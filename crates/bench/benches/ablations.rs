@@ -1,0 +1,108 @@
+//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+//!
+//! * `tauf_ablation` — frontier tolerance τf sweep (§4.5),
+//! * `convergence_mode_ablation` — per-vertex vs per-chunk `RC` flags
+//!   (§4.3's "alternatively, one may use a per-chunk converged flag"),
+//! * `kernel_baseline` — raw pull-kernel cost per graph class (the
+//!   memory-bound floor the schedulers sit on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfpr_bench::setup::{prepare, scaled_opts, scaled_tolerance, Prepared};
+use lfpr_core::{api, Algorithm, ConvergenceMode};
+use lfpr_graph::generators::{grid_road, kmer_chain, rmat, RmatParams};
+use lfpr_graph::selfloops::add_self_loops;
+use std::time::Duration;
+
+const REDUCTION: f64 = 5000.0;
+
+fn road_instance(frac: f64) -> Prepared {
+    let mut g = grid_road(20_000, 9);
+    add_self_loops(&mut g);
+    prepare("road20k", g, frac, 10)
+}
+
+fn tauf_ablation(c: &mut Criterion) {
+    let p = road_instance(1e-4);
+    let mut group = c.benchmark_group("tauf_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, ratio) in [("tau", 1.0), ("tau_over_1e3", 1e-3), ("zero", 0.0)] {
+        group.bench_function(label, |b| {
+            let opts = scaled_opts(REDUCTION, 4)
+                .with_frontier_tolerance(scaled_tolerance(REDUCTION) * ratio);
+            b.iter(|| {
+                api::run_dynamic(
+                    Algorithm::DfLF,
+                    &p.prev,
+                    &p.curr,
+                    &p.batch,
+                    &p.prev_ranks,
+                    &opts,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn convergence_mode_ablation(c: &mut Criterion) {
+    let p = road_instance(1e-4);
+    let mut group = c.benchmark_group("convergence_mode_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, mode) in [
+        ("per_vertex", ConvergenceMode::PerVertex),
+        ("per_chunk", ConvergenceMode::PerChunk),
+    ] {
+        group.bench_function(label, |b| {
+            let opts = scaled_opts(REDUCTION, 4).with_convergence(mode);
+            b.iter(|| {
+                api::run_dynamic(
+                    Algorithm::DfLF,
+                    &p.prev,
+                    &p.curr,
+                    &p.batch,
+                    &p.prev_ranks,
+                    &opts,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn kernel_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_baseline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let graphs = [
+        ("web", {
+            let mut g = rmat(4_000, 100_000, RmatParams::web(), false, 3);
+            add_self_loops(&mut g);
+            g.snapshot()
+        }),
+        ("road", {
+            let mut g = grid_road(10_000, 4);
+            add_self_loops(&mut g);
+            g.snapshot()
+        }),
+        ("kmer", {
+            let mut g = kmer_chain(10_000, 5);
+            add_self_loops(&mut g);
+            g.snapshot()
+        }),
+    ];
+    for (name, s) in &graphs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), s, |b, s| {
+            let ranks = vec![1.0 / s.num_vertices() as f64; s.num_vertices()];
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for v in 0..s.num_vertices() as u32 {
+                    acc += lfpr_core::kernel::rank_of_from_slice(s, &ranks, v, 0.85);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tauf_ablation, convergence_mode_ablation, kernel_baseline);
+criterion_main!(benches);

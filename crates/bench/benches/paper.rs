@@ -1,0 +1,171 @@
+//! Criterion benchmarks — one group per paper table/figure, at reduced
+//! scale so `cargo bench` completes in minutes. The `fig*` binaries in
+//! `src/bin/` regenerate the full rows/series; these benches provide
+//! statistically robust per-kernel timings for the same code paths.
+//!
+//! Groups:
+//! * `fig1_chunk_sweep` — StaticBB total time vs chunk size,
+//! * `fig5_temporal` — per-batch update cost on a temporal stream,
+//! * `fig6_scaling` — DFBB/DFLF at 1/2/4 threads,
+//! * `fig7_batch_sweep` — the six approaches at small/large batch,
+//! * `fig8_delays` — DFBB vs DFLF with injected 2 ms delays,
+//! * `fig9_crashes` — DFLF with 0/1/2 crashed threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfpr_bench::setup::{prepare, scaled_opts, Prepared};
+use lfpr_core::{api, Algorithm};
+use lfpr_graph::generators::temporal::{filter_new_edges, temporal_stream};
+use lfpr_graph::generators::{grid_road, rmat, RmatParams};
+use lfpr_graph::selfloops::add_self_loops;
+use lfpr_sched::fault::FaultPlan;
+use std::time::Duration;
+
+/// Tolerance reduction matching the mini graphs (~5000× smaller than the
+/// paper's datasets).
+const REDUCTION: f64 = 5000.0;
+
+fn web_instance(frac: f64) -> Prepared {
+    let mut g = rmat(8_000, 160_000, RmatParams::web(), false, 7);
+    add_self_loops(&mut g);
+    prepare("web8k", g, frac, 8)
+}
+
+fn road_instance(frac: f64) -> Prepared {
+    let mut g = grid_road(20_000, 9);
+    add_self_loops(&mut g);
+    prepare("road20k", g, frac, 10)
+}
+
+fn fig1_chunk_sweep(c: &mut Criterion) {
+    let p = web_instance(1e-4);
+    let mut group = c.benchmark_group("fig1_chunk_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for chunk in [4usize, 64, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            let opts = scaled_opts(REDUCTION, 4).with_chunk_size(chunk);
+            b.iter(|| api::run_static(Algorithm::StaticBB, &p.curr, &opts));
+        });
+    }
+    group.finish();
+}
+
+fn fig5_temporal(c: &mut Criterion) {
+    let t = temporal_stream("bench", 4_000, 60_000, 2.0, 11);
+    let (mut g, tail) = t.preload(0.9);
+    let chunk = t.tail_batches(tail, 60)[0];
+    let prev = g.snapshot();
+    let prev_ranks = lfpr_core::reference::reference_default(&prev);
+    let batch = filter_new_edges(&g, chunk);
+    g.apply_batch(&batch).unwrap();
+    let curr = g.snapshot();
+    let mut group = c.benchmark_group("fig5_temporal");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for algo in Algorithm::FIGURE_SET {
+        group.bench_function(algo.name(), |b| {
+            let opts = scaled_opts(100.0, 4);
+            b.iter(|| api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts));
+        });
+    }
+    group.finish();
+}
+
+fn fig6_scaling(c: &mut Criterion) {
+    let p = road_instance(1e-4);
+    let mut group = c.benchmark_group("fig6_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for algo in [Algorithm::DfBB, Algorithm::DfLF] {
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), threads),
+                &threads,
+                |b, &threads| {
+                    let opts = scaled_opts(REDUCTION, threads);
+                    b.iter(|| {
+                        api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig7_batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_batch_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for frac in [1e-5f64, 1e-2] {
+        let p = road_instance(frac);
+        for algo in Algorithm::FIGURE_SET {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{frac:.0e}")),
+                &frac,
+                |b, _| {
+                    let opts = scaled_opts(REDUCTION, 4);
+                    b.iter(|| {
+                        api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig8_delays(c: &mut Criterion) {
+    let p = road_instance(1e-4);
+    let mut group = c.benchmark_group("fig8_delays");
+    // Delay runs are slow by design; keep the sample count minimal.
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let prob = 1.0 / p.curr.num_vertices() as f64; // ~1 sleep/iteration
+    for algo in [Algorithm::DfBB, Algorithm::DfLF] {
+        group.bench_function(algo.name(), |b| {
+            let opts = scaled_opts(REDUCTION, 4)
+                .with_stall_timeout(Duration::from_secs(30))
+                .with_faults(FaultPlan::with_delays(prob, Duration::from_millis(2), 13));
+            b.iter(|| api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts));
+        });
+    }
+    group.finish();
+}
+
+fn fig9_crashes(c: &mut Criterion) {
+    let p = road_instance(1e-4);
+    let mut group = c.benchmark_group("fig9_crashes");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for crashes in [0usize, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(crashes),
+            &crashes,
+            |b, &crashes| {
+                let faults = if crashes == 0 {
+                    FaultPlan::none()
+                } else {
+                    FaultPlan::with_crashes(crashes, 2_000, 17)
+                };
+                let opts = scaled_opts(REDUCTION, 4).with_faults(faults);
+                b.iter(|| {
+                    api::run_dynamic(
+                        Algorithm::DfLF,
+                        &p.prev,
+                        &p.curr,
+                        &p.batch,
+                        &p.prev_ranks,
+                        &opts,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_chunk_sweep,
+    fig5_temporal,
+    fig6_scaling,
+    fig7_batch_sweep,
+    fig8_delays,
+    fig9_crashes
+);
+criterion_main!(benches);

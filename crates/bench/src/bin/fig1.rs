@@ -1,0 +1,58 @@
+//! Figure 1 — computation time vs barrier wait time of StaticBB under
+//! dynamic vertex-chunk scheduling with chunk sizes 4 → 16384 (×16).
+//!
+//! Paper finding: wait time at barriers reaches up to 73% of total
+//! execution time on sk-2005 at chunk size 16384; tiny chunks reduce
+//! waiting but inflate scheduling overhead.
+
+use lfpr_bench::setup::{scaled_suite, CliArgs};
+use lfpr_core::{api, Algorithm, PagerankOptions};
+use lfpr_graph::generators::GraphClass;
+
+fn main() {
+    let args = CliArgs::parse(1.0);
+    println!(
+        "Figure 1: StaticBB computation vs wait time (threads = {})",
+        args.threads
+    );
+    println!(
+        "{:<20} {:>8} {:>12} {:>12} {:>8}",
+        "graph", "chunk", "total_s", "wait_s", "wait%"
+    );
+    // The paper uses the three largest web crawls.
+    let webs: Vec<_> = scaled_suite(args.scale)
+        .into_iter()
+        .filter(|e| e.class == GraphClass::Web)
+        .collect();
+    let picked = ["sk-2005*", "uk-2005*", "indochina-2004*"];
+    for entry in webs.iter().filter(|e| picked.contains(&e.name)) {
+        let g = entry.generate(args.seed).snapshot();
+        for chunk in [4usize, 64, 1024, 16384] {
+            let opts = PagerankOptions::default()
+                .with_threads(args.threads)
+                .with_chunk_size(chunk);
+            let res = api::run_static(Algorithm::StaticBB, &g, &opts);
+            let wait_frac = res.wait_fraction(args.threads);
+            println!(
+                "{:<20} {:>8} {:>12.4} {:>12.4} {:>7.1}%",
+                entry.name,
+                chunk,
+                res.runtime.as_secs_f64(),
+                res.total_wait.as_secs_f64() / args.threads as f64,
+                wait_frac * 100.0
+            );
+        }
+    }
+    println!("\npaper (64 threads, billion-edge graphs): wait% grows with chunk size,");
+    println!("up to 73% (sk-2005), 37% (uk-2005), 19% (indochina-2004) at chunk 16384.");
+    let cores = lfpr_sched::executor::default_threads();
+    if cores < args.threads {
+        println!(
+            "note: this machine has {cores} core(s) for {} threads — OS time-slicing \
+             imposes a wait baseline of ~{:.0}% regardless of chunk size; the \
+             chunk-size differential on top of that baseline is the comparable signal.",
+            args.threads,
+            100.0 * (args.threads - cores) as f64 / args.threads as f64
+        );
+    }
+}

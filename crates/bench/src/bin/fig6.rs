@@ -1,0 +1,59 @@
+//! Figure 6 — strong scaling of DFBB and DFLF: speedup over the
+//! single-threaded run with threads 1 → max (×2), batch 1e-4·|E|,
+//! no faults.
+//!
+//! Paper (64-core EPYC): DFLF reaches 19.5× at 32 threads and 21.3× at
+//! 64 (NUMA effects); DFBB 14.4× / 14.5×.
+
+use lfpr_bench::report::geomean_secs;
+use lfpr_bench::setup::{prepare, scaled_opts, scaled_suite, suite_reduction, CliArgs};
+use lfpr_core::{api, Algorithm};
+use std::time::Duration;
+
+fn main() {
+    let args = CliArgs::parse(0.5);
+    // A representative subset (one per class) keeps the sweep tractable.
+    let picks = ["uk-2005*", "com-Orkut", "europe_osm", "kmer_A2a"];
+    let prepared: Vec<_> = scaled_suite(args.scale)
+        .into_iter()
+        .filter(|e| picks.contains(&e.name))
+        .map(|e| prepare(e.name, e.generate(args.seed), 1e-4, args.seed + 1))
+        .collect();
+    println!(
+        "Figure 6: strong scaling, batch 1e-4|E|, geomean over {} graphs",
+        prepared.len()
+    );
+    println!("{:<10} {:>8} {:>12} {:>10}", "approach", "threads", "geomean_s", "speedup");
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= args.threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    for algo in [Algorithm::DfBB, Algorithm::DfLF] {
+        let mut base = 0.0f64;
+        for &t in &threads {
+            let times: Vec<Duration> = prepared
+                .iter()
+                .map(|p| {
+                    let opts = scaled_opts(suite_reduction(args.scale), t);
+                    // Minimum of 3 runs rejects scheduling noise.
+                    let (best, _) = lfpr_sched::stats::min_time_of(3, || {
+                        api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts)
+                    });
+                    best
+                })
+                .collect();
+            let g = geomean_secs(&times);
+            if t == 1 {
+                base = g;
+            }
+            println!(
+                "{:<10} {:>8} {:>12.5} {:>9.2}x",
+                algo.name(),
+                t,
+                g,
+                base / g.max(1e-12)
+            );
+        }
+    }
+    println!("\npaper: DFLF 19.5x @32t, 21.3x @64t; DFBB 14.4x @32t, 14.5x @64t.");
+}

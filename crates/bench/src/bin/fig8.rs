@@ -1,0 +1,91 @@
+//! Figure 8 — DFBB vs DFLF under random thread delays.
+//!
+//! Sleep probabilities are chosen so the expected sleeps per iteration
+//! match the paper's 0.01 → 10 (they use p = 1e-9|V|…1e-6|V| on a 10M-
+//! vertex graph; we use p = x/|V| with x ∈ {0.01, 0.1, 1, 10}). Delay
+//! durations default to 2/4/8 ms — the same "sizeable relative to the
+//! iteration time" ratio as the paper's 50/100/200 ms on billion-edge
+//! graphs (override with --full for larger graphs).
+//!
+//! Paper: at delay probability 1e-6|V|, DFLF is 2.0×/2.6×/3.5× faster
+//! than DFBB at 50/100/200 ms delays; DFLF is "minimally affected".
+
+use lfpr_bench::report::geomean_secs;
+use lfpr_bench::setup::{prepare, scaled_opts, scaled_suite, suite_reduction, CliArgs};
+use lfpr_core::norm::linf_diff;
+use lfpr_core::{api, Algorithm};
+use lfpr_sched::fault::FaultPlan;
+use std::time::Duration;
+
+fn main() {
+    let args = CliArgs::parse(0.25);
+    let picks = ["uk-2005*", "com-Orkut", "europe_osm", "kmer_A2a"];
+    let prepared: Vec<_> = scaled_suite(args.scale)
+        .into_iter()
+        .filter(|e| picks.contains(&e.name))
+        .map(|e| prepare(e.name, e.generate(args.seed), 1e-4, args.seed + 1))
+        .collect();
+    println!(
+        "Figure 8: random thread delays, batch 1e-4|E|, {} graphs, {} threads",
+        prepared.len(),
+        args.threads
+    );
+    println!(
+        "{:<10} {:>10} {:>14} {:>12} {:>12} {:>10}",
+        "approach", "delay_ms", "sleeps/iter", "geomean_s", "mean_error", "speedup"
+    );
+    for delay_ms in [2u64, 4, 8] {
+        for sleeps_per_iter in [0.01f64, 0.1, 1.0, 10.0] {
+            let mut geo: Vec<(Algorithm, f64, f64)> = Vec::new();
+            for algo in [Algorithm::DfBB, Algorithm::DfLF] {
+                let mut times = Vec::new();
+                let mut errs = Vec::new();
+                for p in &prepared {
+                    let prob = sleeps_per_iter / p.curr.num_vertices() as f64;
+                    let faults = FaultPlan::with_delays(
+                        prob,
+                        Duration::from_millis(delay_ms),
+                        args.seed + delay_ms,
+                    );
+                    let opts = scaled_opts(suite_reduction(args.scale), args.threads)
+                        .with_stall_timeout(Duration::from_secs(30))
+                        .with_faults(faults);
+                    // Delays are stochastic; average 3 runs per point.
+                    let mut total = Duration::ZERO;
+                    let mut err: f64 = 0.0;
+                    const REPS: u32 = 3;
+                    for _ in 0..REPS {
+                        let res = api::run_dynamic(
+                            algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts,
+                        );
+                        total += res.runtime;
+                        err = err.max(linf_diff(&res.ranks, &p.reference));
+                    }
+                    times.push(total / REPS);
+                    errs.push(err);
+                }
+                let g = geomean_secs(&times);
+                let e = errs.iter().sum::<f64>() / errs.len() as f64;
+                geo.push((algo, g, e));
+            }
+            let speedup = geo[0].1 / geo[1].1.max(1e-12); // DFBB / DFLF
+            for (algo, g, e) in &geo {
+                println!(
+                    "{:<10} {:>10} {:>14} {:>12.5} {:>12.2e} {:>10}",
+                    algo.name(),
+                    delay_ms,
+                    sleeps_per_iter,
+                    g,
+                    e,
+                    if *algo == Algorithm::DfLF {
+                        format!("{speedup:.2}x")
+                    } else {
+                        "-".into()
+                    }
+                );
+            }
+        }
+    }
+    println!("\npaper: DFLF over DFBB = 2.0x/2.6x/3.5x at 50/100/200ms, prob 1e-6|V|;");
+    println!("error stays in the 7e-10..1e-9 band (Fig 8c).");
+}

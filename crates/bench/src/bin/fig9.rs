@@ -1,0 +1,105 @@
+//! Figure 9 — DFLF under random thread crash-stops: relative runtime
+//! (vs zero crashes) and error, for 0, 1, 2, 4, … crashed threads.
+//!
+//! Paper: DFBB fails to complete with even one crash; DFLF degrades
+//! gracefully — at 56/64 threads crashed it still runs at ~40% of full
+//! speed with "almost no increase in error".
+
+use lfpr_bench::report::geomean_secs;
+use lfpr_bench::setup::{prepare, scaled_opts, scaled_suite, suite_reduction, CliArgs};
+use lfpr_core::norm::linf_diff;
+use lfpr_core::{api, Algorithm, RunStatus};
+use lfpr_sched::fault::FaultPlan;
+use std::time::Duration;
+
+fn main() {
+    let args = CliArgs::parse(0.25);
+    let picks = ["uk-2005*", "com-Orkut", "europe_osm", "kmer_A2a"];
+    let prepared: Vec<_> = scaled_suite(args.scale)
+        .into_iter()
+        .filter(|e| picks.contains(&e.name))
+        .map(|e| prepare(e.name, e.generate(args.seed), 1e-4, args.seed + 1))
+        .collect();
+    println!(
+        "Figure 9: thread crash-stops, batch 1e-4|E|, {} graphs, {} threads",
+        prepared.len(),
+        args.threads
+    );
+
+    // First: reproduce "DFBB fails even with a single crash".
+    {
+        let p = &prepared[0];
+        let opts = scaled_opts(suite_reduction(args.scale), args.threads)
+            .with_stall_timeout(Duration::from_millis(1500))
+            .with_faults(FaultPlan::with_crashes(
+                1,
+                (p.curr.num_vertices() / 2) as u64,
+                args.seed,
+            ));
+        let res = api::run_dynamic(Algorithm::DfBB, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts);
+        println!(
+            "DFBB with 1 crashed thread: status = {:?} (paper: fails to complete)",
+            res.status
+        );
+    }
+
+    println!(
+        "\n{:<8} {:>12} {:>14} {:>12} {:>10}",
+        "crashes", "geomean_s", "rel_runtime", "mean_error", "status"
+    );
+    // The paper crashes up to 56 of 64 threads — never the whole team.
+    let mut crash_counts: Vec<usize> = [0usize, 1, 2, 4]
+        .into_iter()
+        .filter(|&c| c < args.threads)
+        .collect();
+    let mut c = 8;
+    while c < args.threads {
+        crash_counts.push(c);
+        c += 8;
+    }
+    let mut base = 0.0f64;
+    for &crashes in &crash_counts {
+        let mut times = Vec::new();
+        let mut errs = Vec::new();
+        let mut all_ok = true;
+        for p in &prepared {
+            let work = (p.curr.num_vertices() / args.threads.max(1)) as u64;
+            let faults = if crashes == 0 {
+                FaultPlan::none()
+            } else {
+                FaultPlan::with_crashes(crashes, work.max(8), args.seed + crashes as u64)
+            };
+            let opts = scaled_opts(suite_reduction(args.scale), args.threads)
+                .with_faults(faults);
+            let res =
+                api::run_dynamic(Algorithm::DfLF, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts);
+            all_ok &= res.status == RunStatus::Converged;
+            times.push(res.runtime);
+            errs.push(linf_diff(&res.ranks, &p.reference));
+        }
+        let g = geomean_secs(&times);
+        if crashes == 0 {
+            base = g;
+        }
+        println!(
+            "{:<8} {:>12.5} {:>13.2}x {:>12.2e} {:>10}",
+            crashes,
+            g,
+            g / base.max(1e-12),
+            errs.iter().sum::<f64>() / errs.len() as f64,
+            if all_ok { "Converged" } else { "DEGRADED" }
+        );
+    }
+    println!("\npaper: relative runtime rises to ~2.5x when 56/64 threads crash;");
+    println!("error stays flat at ~7e-10 (Fig 9c).");
+    let cores = lfpr_sched::executor::default_threads();
+    if cores < args.threads {
+        println!(
+            "note: {} core(s) for {} threads — crashed threads stop consuming the \
+             core(s), so relative runtime can even *drop* here; the paper's rise \
+             needs one thread per physical core. The signal that transfers is: \
+             DFLF converges with correct ranks at every crash count, DFBB at none.",
+            cores, args.threads
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 2 — the 12-graph SuiteSparse substitute suite.
+//!
+//! Prints |V|, |E| (with self-loops, as the paper counts), and Davg for
+//! every generated graph, grouped by class, mirroring the paper's table.
+
+use lfpr_bench::setup::{scaled_suite, CliArgs};
+use lfpr_graph::analysis::stats;
+use lfpr_graph::generators::GraphClass;
+
+fn main() {
+    let args = CliArgs::parse(1.0);
+    println!("Table 2: large-graph suite (scale = {})", args.scale);
+    println!(
+        "{:<20} {:<8} {:>10} {:>12} {:>8} {:>10} {:>10}",
+        "Graph", "class", "|V|", "|E|", "Davg", "maxOutDeg", "deadEnds"
+    );
+    let mut last_class: Option<GraphClass> = None;
+    for entry in scaled_suite(args.scale) {
+        if last_class != Some(entry.class) {
+            let label = match entry.class {
+                GraphClass::Web => "Web Graphs (LAW)",
+                GraphClass::Social => "Social Networks (SNAP)",
+                GraphClass::Road => "Road Networks (DIMACS10)",
+                GraphClass::Kmer => "Protein k-mer Graphs (GenBank)",
+            };
+            println!("--- {label}");
+            last_class = Some(entry.class);
+        }
+        let g = entry.generate(args.seed);
+        let st = stats(&g.snapshot());
+        println!(
+            "{:<20} {:<8} {:>10} {:>12} {:>8.1} {:>10} {:>10}",
+            entry.name,
+            format!("{:?}", entry.class),
+            st.n,
+            st.m,
+            st.avg_out_degree,
+            st.max_out_degree,
+            st.dead_ends
+        );
+        assert_eq!(st.dead_ends, 0, "self-loop elimination must hold");
+    }
+}

@@ -1,0 +1,30 @@
+//! # lfpr-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//! Each binary prints the same rows/series the paper reports; see
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig1` | Figure 1 — barrier wait time vs chunk size (StaticBB) |
+//! | `fig2_timeline` | Figure 2 — BB vs LF under random thread delays |
+//! | `fig3_timeline` | Figure 3 — BB vs LF under thread crashes |
+//! | `table1` | Table 1 — temporal graph statistics |
+//! | `table2` | Table 2 — large-graph suite statistics |
+//! | `fig5` | Figure 5 — runtimes on real-world dynamic graphs |
+//! | `fig6` | Figure 6 — strong scaling of DFBB/DFLF |
+//! | `fig7` | Figure 7 — runtime + error vs batch fraction |
+//! | `fig8` | Figure 8 — runtime + error under random delays |
+//! | `fig9` | Figure 9 — relative runtime + error under crashes |
+//! | `stability` | §5.2.3 — delete+re-insert stability |
+//! | `tauf_sweep` | §4.5 — frontier-tolerance ablation |
+//!
+//! All binaries accept `--scale <f>` (default 1.0) to shrink/grow the
+//! generated graphs and `--seed <n>` for reproducibility.
+
+pub mod report;
+pub mod setup;
+
+pub use report::{geomean_secs, Row};
+pub use setup::{prepare, prepared_suite, CliArgs, Prepared};

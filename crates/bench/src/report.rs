@@ -1,0 +1,92 @@
+//! Row-oriented result reporting shared by all experiment binaries.
+
+use std::time::Duration;
+
+/// One experiment measurement row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Graph name.
+    pub graph: String,
+    /// Approach name (the paper's labels: StaticBB, NDLF, DFLF, …).
+    pub approach: String,
+    /// Independent variable (batch fraction, delay probability, threads,
+    /// …) as a display string.
+    pub x: String,
+    /// Measured wall time.
+    pub time: Duration,
+    /// L∞ error vs the reference (None when not measured).
+    pub error: Option<f64>,
+    /// Free-form annotation (status, wait %, speedup, …).
+    pub note: String,
+}
+
+impl Row {
+    /// Render as a fixed-width table line.
+    pub fn render(&self) -> String {
+        let err = match self.error {
+            Some(e) => format!("{e:.2e}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "{:<20} {:<10} {:>12} {:>12.6} {:>10} {}",
+            self.graph,
+            self.approach,
+            self.x,
+            self.time.as_secs_f64(),
+            err,
+            self.note
+        )
+    }
+
+    /// The table header matching [`Row::render`].
+    pub fn header() -> String {
+        format!(
+            "{:<20} {:<10} {:>12} {:>12} {:>10} {}",
+            "graph", "approach", "x", "time_s", "error", "note"
+        )
+    }
+}
+
+/// Geometric mean of durations in seconds (the paper's cross-graph
+/// average, §5.1.5). Returns 0.0 for empty input.
+pub fn geomean_secs(ds: &[Duration]) -> f64 {
+    lfpr_sched::stats::geometric_mean(
+        &ds.iter().map(|d| d.as_secs_f64().max(1e-12)).collect::<Vec<_>>(),
+    )
+    .unwrap_or(0.0)
+}
+
+/// Print a titled section separator.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_renders_all_fields() {
+        let r = Row {
+            graph: "g".into(),
+            approach: "DFLF".into(),
+            x: "1e-4".into(),
+            time: Duration::from_millis(1500),
+            error: Some(5e-10),
+            note: "ok".into(),
+        };
+        let s = r.render();
+        assert!(s.contains("DFLF"));
+        assert!(s.contains("1.5"));
+        assert!(s.contains("5.00e-10"));
+        let none = Row { error: None, ..r };
+        assert!(none.render().contains('-'));
+    }
+
+    #[test]
+    fn geomean_of_equal_durations() {
+        let g = geomean_secs(&[Duration::from_secs(2), Duration::from_secs(2)]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean_secs(&[]), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Shared engine for the four barrier-based variants (Algorithms 1, 3,
+//! 5, 7).
+//!
+//! The barrier-based algorithms all have the same skeleton — a
+//! synchronous (Jacobi-style) iteration over two rank vectors with an
+//! implicit barrier after the compute phase and after the L∞ reduction:
+//!
+//! ```text
+//! for i in 0..MAX_ITERATIONS:
+//!     parallel-for v (dynamic chunks):  Rnew[v] = kernel(R, v)   [filter]
+//!     barrier                       // paper's "wait for all threads"
+//!     ΔR = l∞(R, Rnew); swap        // leader reduces per-thread maxima
+//!     barrier
+//!     if ΔR ≤ τ: break
+//! ```
+//!
+//! They differ only in which vertices the parallel-for touches
+//! ([`BbMode`]) and in an optional pre-iteration marking phase. The swap
+//! is realized as parity double-buffering: iteration `i` reads
+//! `buffers[i % 2]` and writes `buffers[(i+1) % 2]`, which is equivalent
+//! to the paper's `swap(Rnew, R)` without a serial step.
+//!
+//! Faults: a delayed thread simply makes everyone else wait at the
+//! barrier (Figure 8's DFBB curves); a crashed thread never reaches the
+//! barrier, the survivors' waits exceed the stall timeout, and the run
+//! reports [`RunStatus::Stalled`] — reproducing "DFBB fails to complete
+//! the computation even if a single thread crashes" (§5.4) without
+//! hanging the harness.
+
+use crate::config::PagerankOptions;
+use crate::kernel::rank_of_from_atomic;
+use crate::rank::{AtomicRanks, Flags};
+use crate::result::{PagerankResult, RunStatus};
+use lfpr_graph::Snapshot;
+use lfpr_sched::barrier::{BarrierOutcome, InstrumentedBarrier};
+use lfpr_sched::executor::run_threads;
+use lfpr_sched::fault::ThreadFaults;
+use lfpr_sched::rounds::RoundCursors;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Which vertices each iteration processes.
+pub(crate) enum BbMode<'a> {
+    /// Every vertex (StaticBB, NDBB).
+    All,
+    /// Only vertices whose `VA` flag is set; the set is fixed before the
+    /// iterations start (DTBB).
+    Affected { va: &'a Flags },
+    /// `VA`-marked vertices, with incremental re-marking: a rank change
+    /// above `tau_f` marks the vertex's out-neighbors (DFBB).
+    Frontier { va: &'a Flags, tau_f: f64 },
+}
+
+/// Pre-iteration marking phase run by every thread (initial affected
+/// marking for DT/DF). Returns `false` if the thread crashed mid-phase.
+pub(crate) type MarkFn<'a> = dyn Fn(usize, &mut ThreadFaults) -> bool + Sync + 'a;
+
+enum ThreadEnd {
+    Done,
+    Crashed,
+    Stalled,
+}
+
+/// Decision codes published by the barrier leader after the reduction.
+const DECIDE_CONTINUE: u8 = 1;
+const DECIDE_BREAK: u8 = 2;
+
+/// Run the barrier-based engine. `init` seeds both rank buffers (1/n for
+/// static runs, the previous snapshot's ranks for dynamic runs).
+pub(crate) fn run_bb_engine(
+    g: &Snapshot,
+    init: &[f64],
+    mode: BbMode<'_>,
+    opts: &PagerankOptions,
+    mark: Option<&MarkFn<'_>>,
+) -> PagerankResult {
+    debug_assert!(opts.validate().is_ok());
+    let n = g.num_vertices();
+    let nt = opts.num_threads;
+    let buffers = [AtomicRanks::from_slice(init), AtomicRanks::from_slice(init)];
+    let rounds = RoundCursors::new(n, opts.max_iterations);
+    let barrier = InstrumentedBarrier::new(nt, opts.stall_timeout);
+    // Per-thread local ΔR maxima, reduced by the barrier leader.
+    let slots: Vec<AtomicU64> = (0..nt).map(|_| AtomicU64::new(0)).collect();
+    let decision: Vec<AtomicU8> =
+        (0..opts.max_iterations).map(|_| AtomicU8::new(0)).collect();
+    let committed = AtomicUsize::new(0);
+    let processed = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    let ends: Vec<ThreadEnd> = run_threads(nt, |t| {
+        let mut faults = opts.faults.thread_faults(t, nt);
+        let mut local_processed = 0u64;
+
+        // Optional initial marking phase (Alg. 1 lines 4-7): parallel
+        // marking followed by the paper's implicit barrier.
+        if let Some(mark) = mark {
+            if !mark(t, &mut faults) {
+                processed.fetch_add(local_processed, Ordering::Relaxed);
+                return ThreadEnd::Crashed;
+            }
+            if barrier.wait(t).is_err() {
+                processed.fetch_add(local_processed, Ordering::Relaxed);
+                return ThreadEnd::Stalled;
+            }
+        }
+
+        let mut iter = 0usize;
+        let end = 'run: loop {
+            if iter >= opts.max_iterations {
+                break ThreadEnd::Done;
+            }
+            let read = &buffers[iter % 2];
+            let write = &buffers[(iter + 1) % 2];
+            let mut local_delta = 0.0f64;
+            while let Some(range) = rounds.next_chunk(iter, opts.chunk_size) {
+                for v in range {
+                    let vid = v as u32;
+                    match &mode {
+                        BbMode::All => {}
+                        BbMode::Affected { va } | BbMode::Frontier { va, .. } => {
+                            if !va.get(v) {
+                                continue;
+                            }
+                        }
+                    }
+                    let r = rank_of_from_atomic(g, read, vid, opts.alpha);
+                    let dr = (r - read.get(v)).abs();
+                    write.set(v, r);
+                    local_delta = local_delta.max(dr);
+                    if let BbMode::Frontier { va, tau_f } = &mode {
+                        // Alg. 1 lines 15-17: rank change beyond the
+                        // frontier tolerance propagates affectedness.
+                        if dr > *tau_f {
+                            for &vp in g.out(vid) {
+                                va.set(vp as usize);
+                            }
+                        }
+                    }
+                    local_processed += 1;
+                    if faults.tick() {
+                        break 'run ThreadEnd::Crashed;
+                    }
+                }
+            }
+            slots[t].store(local_delta.to_bits(), Ordering::Relaxed);
+            // Implicit barrier after the compute phase (Alg. 3 line 9).
+            match barrier.wait(t) {
+                Err(_) => break ThreadEnd::Stalled,
+                Ok(BarrierOutcome::Leader) => {
+                    // l∞ reduction over per-thread maxima (Alg. 3 line 10).
+                    let delta = slots
+                        .iter()
+                        .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+                        .fold(0.0, f64::max);
+                    let d = if delta <= opts.tolerance {
+                        DECIDE_BREAK
+                    } else {
+                        DECIDE_CONTINUE
+                    };
+                    decision[iter].store(d, Ordering::SeqCst);
+                    committed.store(iter + 1, Ordering::SeqCst);
+                }
+                Ok(BarrierOutcome::Follower) => {}
+            }
+            // Barrier after the reduction (Alg. 3 line 10, implicit).
+            if barrier.wait(t).is_err() {
+                break ThreadEnd::Stalled;
+            }
+            let d = decision[iter].load(Ordering::SeqCst);
+            iter += 1;
+            if d == DECIDE_BREAK {
+                break ThreadEnd::Done;
+            }
+        };
+        processed.fetch_add(local_processed, Ordering::Relaxed);
+        end
+    });
+    let runtime = t0.elapsed();
+
+    let threads_crashed = ends.iter().filter(|e| matches!(e, ThreadEnd::Crashed)).count();
+    let any_stalled = ends.iter().any(|e| matches!(e, ThreadEnd::Stalled));
+    let iterations = committed.load(Ordering::SeqCst);
+    let converged = iterations > 0
+        && decision[iterations - 1].load(Ordering::SeqCst) == DECIDE_BREAK;
+    let status = if any_stalled || threads_crashed > 0 {
+        // Barrier-based runs cannot absorb a crash: either survivors
+        // stalled, or every thread crashed. Either way: did not finish.
+        if converged && threads_crashed == 0 {
+            RunStatus::Converged
+        } else {
+            RunStatus::Stalled
+        }
+    } else if converged {
+        RunStatus::Converged
+    } else {
+        RunStatus::MaxIterations
+    };
+
+    // Latest fully committed iteration lives in buffers[committed % 2].
+    let ranks = buffers[iterations % 2].to_vec();
+    PagerankResult {
+        ranks,
+        iterations,
+        runtime,
+        total_wait: barrier.total_wait_time(),
+        max_wait: barrier.max_wait_time(),
+        status,
+        vertices_processed: processed.load(Ordering::Relaxed),
+        initially_affected: 0, // variants overwrite for dynamic runs
+        threads_crashed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::linf_diff;
+    use crate::reference::reference_default;
+    use lfpr_graph::Snapshot;
+
+    fn ring(n: usize) -> Snapshot {
+        // Irregular ring: everyone points forward, every third vertex
+        // also skips ahead, every fifth points at the hub. A regular
+        // graph would make the uniform vector the fixpoint and trivially
+        // converge in one iteration.
+        let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, v)).collect();
+        for v in 0..n as u32 {
+            edges.push((v, (v + 1) % n as u32));
+            if v % 3 == 0 {
+                edges.push((v, (v + 3) % n as u32));
+            }
+            if v % 5 == 0 && v != 0 {
+                edges.push((v, 0));
+            }
+        }
+        Snapshot::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn all_mode_matches_reference() {
+        let g = ring(64);
+        let init = vec![1.0 / 64.0; 64];
+        let opts = PagerankOptions::default().with_threads(4).with_chunk_size(8);
+        let res = run_bb_engine(&g, &init, BbMode::All, &opts, None);
+        assert_eq!(res.status, RunStatus::Converged);
+        let reference = reference_default(&g);
+        assert!(linf_diff(&res.ranks, &reference) < 1e-9);
+        assert!(res.iterations > 1);
+        assert!(res.vertices_processed >= 64);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = ring(32);
+        let init = vec![1.0 / 32.0; 32];
+        let opts = PagerankOptions::default().with_threads(1);
+        let res = run_bb_engine(&g, &init, BbMode::All, &opts, None);
+        assert_eq!(res.status, RunStatus::Converged);
+    }
+
+    #[test]
+    fn affected_mode_skips_unmarked() {
+        let g = ring(32);
+        let init = reference_default(&g); // already converged ranks
+        let va = Flags::new(32, 0); // nothing affected
+        let opts = PagerankOptions::default().with_threads(2);
+        let res = run_bb_engine(&g, &init, BbMode::Affected { va: &va }, &opts, None);
+        assert_eq!(res.status, RunStatus::Converged);
+        assert_eq!(res.iterations, 1); // one no-op iteration to see ΔR = 0
+        assert_eq!(res.vertices_processed, 0);
+        assert_eq!(res.ranks, init);
+    }
+
+    #[test]
+    fn crash_stalls_the_run() {
+        use lfpr_sched::fault::FaultPlan;
+        let g = ring(128);
+        let init = vec![1.0 / 128.0; 128];
+        let opts = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(4)
+            .with_stall_timeout(std::time::Duration::from_millis(100))
+            .with_faults(FaultPlan::with_crashes(1, 10, 3));
+        let res = run_bb_engine(&g, &init, BbMode::All, &opts, None);
+        assert_eq!(res.status, RunStatus::Stalled);
+        assert_eq!(res.threads_crashed, 1);
+    }
+
+    #[test]
+    fn wait_time_recorded() {
+        let g = ring(256);
+        let init = vec![1.0 / 256.0; 256];
+        let opts = PagerankOptions::default().with_threads(4).with_chunk_size(4);
+        let res = run_bb_engine(&g, &init, BbMode::All, &opts, None);
+        // With 4 threads there is always *some* barrier wait.
+        assert!(res.total_wait > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,201 @@
+//! Algorithm configuration with the paper's defaults (§5.1.2).
+
+use lfpr_sched::fault::FaultPlan;
+use std::time::Duration;
+
+/// How lock-free variants share per-vertex convergence state (§4.3:
+/// *"Alternatively, one may use a per-chunk converged flag for even
+/// faster detection of convergence"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvergenceMode {
+    /// One `RC` flag per vertex (the paper's primary scheme).
+    #[default]
+    PerVertex,
+    /// One flag per scheduling chunk — fewer flags to scan at the cost
+    /// of coarser re-processing.
+    PerChunk,
+}
+
+/// Tunable parameters for every PageRank variant. Defaults reproduce the
+/// paper's configuration: α = 0.85, τ = 1e-10 (L∞), τf = τ/1000,
+/// 500 max iterations, chunk size 2048, one thread per core.
+#[derive(Debug, Clone)]
+pub struct PagerankOptions {
+    /// Damping factor α.
+    pub alpha: f64,
+    /// Iteration tolerance τ (L∞ norm between consecutive iterations for
+    /// BB; per-vertex rank change for LF).
+    pub tolerance: f64,
+    /// Frontier tolerance τf: rank changes larger than this propagate
+    /// affectedness to out-neighbors (§4.5; default τ/1000).
+    pub frontier_tolerance: f64,
+    /// Iteration cap (paper: 500).
+    pub max_iterations: usize,
+    /// Dynamic-scheduling chunk size (paper: 2048).
+    pub chunk_size: usize,
+    /// Worker thread count (paper: 64, one per core; default here:
+    /// all available cores).
+    pub num_threads: usize,
+    /// Barrier stall timeout for `*BB` variants: longer than any honest
+    /// iteration, shorter than patience (crash experiments report
+    /// `Stalled` after this long).
+    pub stall_timeout: Duration,
+    /// Per-vertex vs per-chunk convergence flags (LF variants).
+    pub convergence: ConvergenceMode,
+    /// Fault injection plan (delays / crash-stop). `FaultPlan::none()`
+    /// for fault-free runs.
+    pub faults: FaultPlan,
+}
+
+impl Default for PagerankOptions {
+    fn default() -> Self {
+        let tolerance = 1e-10;
+        PagerankOptions {
+            alpha: 0.85,
+            tolerance,
+            frontier_tolerance: tolerance / 1000.0,
+            max_iterations: 500,
+            chunk_size: 2048,
+            num_threads: lfpr_sched::executor::default_threads(),
+            stall_timeout: Duration::from_secs(2),
+            convergence: ConvergenceMode::PerVertex,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl PagerankOptions {
+    /// Set the thread count.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.num_threads = n;
+        self
+    }
+
+    /// Set the iteration tolerance and re-derive τf = τ/1000.
+    #[must_use]
+    pub fn with_tolerance(mut self, tau: f64) -> Self {
+        self.tolerance = tau;
+        self.frontier_tolerance = tau / 1000.0;
+        self
+    }
+
+    /// Set the frontier tolerance independently (the §4.5 sweep).
+    #[must_use]
+    pub fn with_frontier_tolerance(mut self, tau_f: f64) -> Self {
+        self.frontier_tolerance = tau_f;
+        self
+    }
+
+    /// Set the scheduling chunk size (the Figure 1 sweep).
+    #[must_use]
+    pub fn with_chunk_size(mut self, c: usize) -> Self {
+        assert!(c > 0);
+        self.chunk_size = c;
+        self
+    }
+
+    /// Set the fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the convergence-flag granularity.
+    #[must_use]
+    pub fn with_convergence(mut self, mode: ConvergenceMode) -> Self {
+        self.convergence = mode;
+        self
+    }
+
+    /// Set the barrier stall timeout.
+    #[must_use]
+    pub fn with_stall_timeout(mut self, t: Duration) -> Self {
+        self.stall_timeout = t;
+        self
+    }
+
+    /// Set the iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, m: usize) -> Self {
+        assert!(m > 0);
+        self.max_iterations = m;
+        self
+    }
+
+    /// Validate parameter ranges (α in (0,1), tolerances positive, …).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.alpha && self.alpha < 1.0) {
+            return Err(format!("alpha must be in (0,1), got {}", self.alpha));
+        }
+        if self.tolerance <= 0.0 {
+            return Err(format!("tolerance must be positive, got {}", self.tolerance));
+        }
+        if self.frontier_tolerance < 0.0 {
+            return Err(format!(
+                "frontier tolerance must be non-negative, got {}",
+                self.frontier_tolerance
+            ));
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be positive".into());
+        }
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be positive".into());
+        }
+        if self.num_threads == 0 {
+            return Err("num_threads must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = PagerankOptions::default();
+        assert_eq!(o.alpha, 0.85);
+        assert_eq!(o.tolerance, 1e-10);
+        assert_eq!(o.frontier_tolerance, 1e-13);
+        assert_eq!(o.max_iterations, 500);
+        assert_eq!(o.chunk_size, 2048);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn with_tolerance_rederives_frontier() {
+        let o = PagerankOptions::default().with_tolerance(1e-8);
+        assert!((o.frontier_tolerance - 1e-11).abs() < 1e-24);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let o = PagerankOptions::default()
+            .with_threads(3)
+            .with_chunk_size(64)
+            .with_max_iterations(10)
+            .with_convergence(ConvergenceMode::PerChunk);
+        assert_eq!(o.num_threads, 3);
+        assert_eq!(o.chunk_size, 64);
+        assert_eq!(o.max_iterations, 10);
+        assert_eq!(o.convergence, ConvergenceMode::PerChunk);
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let o = PagerankOptions { alpha: 1.5, ..PagerankOptions::default() };
+        assert!(o.validate().is_err());
+        let o = PagerankOptions { tolerance: 0.0, ..PagerankOptions::default() };
+        assert!(o.validate().is_err());
+        let o = PagerankOptions {
+            frontier_tolerance: -1.0,
+            ..PagerankOptions::default()
+        };
+        assert!(o.validate().is_err());
+    }
+}

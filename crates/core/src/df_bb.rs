@@ -1,0 +1,137 @@
+//! DFBB — barrier-based Dynamic Frontier PageRank (Algorithm 1, §4.2).
+//!
+//! The paper's DF approach with conventional barrier synchronization:
+//!
+//! 1. **Initial marking** (lines 4-7): for every batch edge `(u, v)`,
+//!    mark the out-neighbors of `u` in both Gt−1 and Gt as affected —
+//!    in parallel, followed by an implicit barrier.
+//! 2. **Iterate** (lines 8-22): synchronous Jacobi updates over the
+//!    affected set; a rank change above the frontier tolerance τf marks
+//!    the vertex's out-neighbors as affected too (incremental marking),
+//!    so affectedness spreads exactly as far as rank perturbations do.
+//!
+//! DFBB is the barrier-based yardstick DFLF is measured against
+//! (average 1.6× in the paper).
+
+use crate::bb_common::{run_bb_engine, BbMode, MarkFn};
+use crate::config::PagerankOptions;
+use crate::frontier::df_initial_affected;
+use crate::rank::Flags;
+use crate::result::PagerankResult;
+use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_sched::chunks::ChunkCursor;
+
+/// Update PageRank after `batch` with the Dynamic Frontier approach,
+/// barrier-based.
+pub fn df_bb(
+    prev: &Snapshot,
+    curr: &Snapshot,
+    batch: &BatchUpdate,
+    prev_ranks: &[f64],
+    opts: &PagerankOptions,
+) -> PagerankResult {
+    assert_eq!(prev_ranks.len(), curr.num_vertices());
+    let n = curr.num_vertices();
+    let va = Flags::new(n, 0);
+    let edges: Vec<(u32, u32)> = batch.iter_all().collect();
+    let cursor = ChunkCursor::new(edges.len());
+
+    // Alg. 1 lines 4-6: mark out-neighbors of every batch source in both
+    // graphs. Re-marking an already-marked vertex is idempotent, so
+    // duplicate sources across edges need no coordination.
+    let mark: &MarkFn<'_> = &|_t, faults| {
+        while let Some(range) = cursor.next_chunk(opts.chunk_size.max(1)) {
+            for &(u, _) in &edges[range.clone()] {
+                for &vp in prev.out(u).iter().chain(curr.out(u)) {
+                    va.set(vp as usize);
+                }
+                if faults.tick() {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
+    let mode = BbMode::Frontier { va: &va, tau_f: opts.frontier_tolerance };
+    let mut res = run_bb_engine(curr, prev_ranks, mode, opts, Some(mark));
+    res.initially_affected = df_initial_affected(prev, curr, batch).len();
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::linf_diff;
+    use crate::reference::reference_default;
+    use crate::result::RunStatus;
+    use crate::static_bb::static_bb;
+    use lfpr_graph::generators::erdos_renyi;
+    use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::BatchSpec;
+    use lfpr_sched::fault::FaultPlan;
+
+    fn opts() -> PagerankOptions {
+        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+    }
+
+    fn updated(seed: u64, frac: f64) -> (Snapshot, Snapshot, BatchUpdate, Vec<f64>) {
+        let mut g = erdos_renyi(250, 1800, seed);
+        add_self_loops(&mut g);
+        let prev = g.snapshot();
+        let r_prev = static_bb(&prev, &opts()).ranks;
+        let batch = BatchSpec::mixed(frac, seed + 1).generate(&g);
+        g.apply_batch(&batch).unwrap();
+        (prev, g.snapshot(), batch, r_prev)
+    }
+
+    #[test]
+    fn error_within_paper_bound() {
+        let (prev, curr, batch, r_prev) = updated(41, 0.01);
+        let res = df_bb(&prev, &curr, &batch, &r_prev, &opts());
+        assert_eq!(res.status, RunStatus::Converged);
+        // §4.5: τf = τ/1000 keeps error under ~10·τ (1e-9 at τ=1e-10).
+        let err = linf_diff(&res.ranks, &reference_default(&curr));
+        assert!(err < 1e-8, "err = {err}");
+    }
+
+    #[test]
+    fn processes_fewer_vertices_than_nd() {
+        let (prev, curr, batch, r_prev) = updated(43, 0.001);
+        let df = df_bb(&prev, &curr, &batch, &r_prev, &opts());
+        let nd = crate::nd_bb::nd_bb(&curr, &r_prev, &opts());
+        assert!(
+            df.vertices_processed < nd.vertices_processed,
+            "DF {} vs ND {}",
+            df.vertices_processed,
+            nd.vertices_processed
+        );
+    }
+
+    #[test]
+    fn initially_affected_reported() {
+        let (prev, curr, batch, r_prev) = updated(45, 0.01);
+        let res = df_bb(&prev, &curr, &batch, &r_prev, &opts());
+        assert!(res.initially_affected > 0);
+        assert!(res.initially_affected <= curr.num_vertices());
+    }
+
+    #[test]
+    fn crash_stalls_the_run() {
+        let (prev, curr, batch, r_prev) = updated(47, 0.01);
+        let o = opts()
+            .with_stall_timeout(std::time::Duration::from_millis(100))
+            .with_faults(FaultPlan::with_crashes(1, 50, 5));
+        let res = df_bb(&prev, &curr, &batch, &r_prev, &o);
+        assert_eq!(res.status, RunStatus::Stalled, "BB cannot survive a crash");
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let (prev, _, _, r_prev) = updated(49, 0.01);
+        let res = df_bb(&prev, &prev, &BatchUpdate::new(), &r_prev, &opts());
+        assert_eq!(res.status, RunStatus::Converged);
+        assert_eq!(res.vertices_processed, 0);
+        assert_eq!(res.ranks, r_prev);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error measurement against the reference PageRank (§5.1.5).
+
+use crate::norm::linf_diff;
+use crate::reference::reference_pagerank;
+use lfpr_graph::Snapshot;
+
+/// L∞ error of `ranks` with respect to the reference PageRank of `g`
+/// (the paper's accuracy metric). The reference runs at the f64
+/// fixpoint, the stand-in for the paper's τ = 1e-100 (see
+/// [`crate::reference`]).
+pub fn error_vs_reference(g: &Snapshot, ranks: &[f64], alpha: f64) -> f64 {
+    let reference = reference_pagerank(g, alpha, 500);
+    linf_diff(ranks, &reference)
+}
+
+/// Error report comparing a computed rank vector to a precomputed
+/// reference (avoids recomputing the reference across approaches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// L∞ distance to the reference ranks.
+    pub linf: f64,
+    /// |Σ ranks − 1|: probability-mass drift (0 at an exact fixpoint).
+    pub mass_drift: f64,
+}
+
+/// Compute an [`ErrorReport`] against precomputed reference ranks.
+pub fn compare_to_reference(ranks: &[f64], reference: &[f64]) -> ErrorReport {
+    ErrorReport {
+        linf: linf_diff(ranks, reference),
+        mass_drift: (ranks.iter().sum::<f64>() - 1.0).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_default;
+    use lfpr_graph::Snapshot;
+
+    fn graph() -> Snapshot {
+        Snapshot::from_edges(
+            4,
+            &[(0, 0), (1, 1), (2, 2), (3, 3), (0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+    }
+
+    #[test]
+    fn reference_has_zero_error_vs_itself() {
+        let g = graph();
+        let r = reference_default(&g);
+        assert_eq!(error_vs_reference(&g, &r, 0.85), 0.0);
+    }
+
+    #[test]
+    fn perturbed_ranks_have_positive_error() {
+        let g = graph();
+        let mut r = reference_default(&g);
+        r[0] += 1e-6;
+        let e = error_vs_reference(&g, &r, 0.85);
+        assert!((e - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_fields() {
+        let reference = vec![0.25; 4];
+        let ranks = vec![0.25, 0.26, 0.25, 0.25];
+        let rep = compare_to_reference(&ranks, &reference);
+        assert!((rep.linf - 0.01).abs() < 1e-15);
+        assert!((rep.mass_drift - 0.01).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,98 @@
+//! The per-vertex rank kernel shared by every variant.
+//!
+//! Equation 1 of the paper:
+//!
+//! ```text
+//! R[v] = α · Σ_{u ∈ G.in(v)} R[u] / |G.out(u)|  +  (1 − α)/n
+//! ```
+//!
+//! Dead ends are eliminated by universal self-loops (§5.1.3) so no global
+//! teleport correction term is needed.
+
+use crate::rank::AtomicRanks;
+use lfpr_graph::Snapshot;
+
+/// Compute the new rank of `v` by pulling from a **plain** rank slice
+/// (synchronous/Jacobi style — barrier-based variants read the previous
+/// iteration's vector).
+#[inline]
+pub fn rank_of_from_slice(g: &Snapshot, ranks: &[f64], v: u32, alpha: f64) -> f64 {
+    let n = g.num_vertices() as f64;
+    let mut r = (1.0 - alpha) / n;
+    for &u in g.in_(v) {
+        let d = g.out_degree(u) as f64;
+        // d >= 1 is guaranteed: u has an out-edge to v by construction.
+        r += alpha * ranks[u as usize] / d;
+    }
+    r
+}
+
+/// Compute the new rank of `v` by pulling from the **shared atomic** rank
+/// vector (asynchronous/Gauss–Seidel style — lock-free variants see a
+/// mix of current- and previous-iteration neighbor ranks, which is
+/// exactly the in-place scheme of §3.3.2).
+#[inline]
+pub fn rank_of_from_atomic(g: &Snapshot, ranks: &AtomicRanks, v: u32, alpha: f64) -> f64 {
+    let n = g.num_vertices() as f64;
+    let mut r = (1.0 - alpha) / n;
+    for &u in g.in_(v) {
+        let d = g.out_degree(u) as f64;
+        r += alpha * ranks.get(u as usize) / d;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfpr_graph::Snapshot;
+
+    /// Two-vertex graph with self-loops: 0 ⇄ 1 plus loops.
+    fn two_cycle() -> Snapshot {
+        Snapshot::from_edges(2, &[(0, 0), (0, 1), (1, 0), (1, 1)])
+    }
+
+    #[test]
+    fn symmetric_graph_fixpoint_is_uniform() {
+        let g = two_cycle();
+        let ranks = vec![0.5, 0.5];
+        // By symmetry the uniform vector is the fixpoint.
+        let r0 = rank_of_from_slice(&g, &ranks, 0, 0.85);
+        assert!((r0 - 0.5).abs() < 1e-15, "r0 = {r0}");
+    }
+
+    #[test]
+    fn atomic_and_slice_kernels_agree() {
+        let g = Snapshot::from_edges(
+            4,
+            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0), (3, 3), (3, 0)],
+        );
+        let ranks = vec![0.4, 0.3, 0.2, 0.1];
+        let atomic = crate::rank::AtomicRanks::from_slice(&ranks);
+        for v in 0..4 {
+            let a = rank_of_from_slice(&g, &ranks, v, 0.85);
+            let b = rank_of_from_atomic(&g, &atomic, v, 0.85);
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn teleport_term_only_for_sourceless_vertex() {
+        // Vertex 1 has only its self-loop in-edge from itself.
+        let g = Snapshot::from_edges(2, &[(0, 0), (1, 1)]);
+        let ranks = vec![0.5, 0.5];
+        let r = rank_of_from_slice(&g, &ranks, 1, 0.85);
+        // r = 0.15/2 + 0.85 * 0.5/1
+        assert!((r - (0.075 + 0.425)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank_scales_with_contribution_split() {
+        // 0 -> {0, 1, 2}: vertex 0's rank is split across 3 out-edges.
+        let g = Snapshot::from_edges(3, &[(0, 0), (0, 1), (0, 2), (1, 1), (2, 2)]);
+        let ranks = vec![0.6, 0.2, 0.2];
+        let r1 = rank_of_from_slice(&g, &ranks, 1, 0.85);
+        let expect = 0.15 / 3.0 + 0.85 * (0.6 / 3.0 + 0.2 / 1.0);
+        assert!((r1 - expect).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,418 @@
+//! Shared engine for the four lock-free variants (Algorithms 2, 4, 6, 8).
+//!
+//! The lock-free algorithms share this skeleton (§3.3.2, §4.3):
+//!
+//! ```text
+//! parallel (top-level block, no barriers anywhere):
+//!     [phase 1: initial marking with helping — dynamic variants]
+//!     for round in 0..MAX_ITERATIONS:
+//!         while chunk = claim(round):          # dynamic sched, nowait
+//!             for v in chunk [filter]:
+//!                 r = kernel(R, v); Δr = |r − R[v]|; R[v] = r   # in place
+//!                 [Frontier: Δr > τf ⇒ mark out-neighbors, RC[v'] = 1]
+//!                 if Δr ≤ τ: RC[v] = 0
+//!         if RC[v] = 0 ∀v: break               # per-thread check
+//! ```
+//!
+//! Threads never wait: the per-round chunk cursors let a fast thread
+//! proceed to round *i+1* while a slow thread is still in round *i*
+//! (OpenMP `nowait` semantics), and the shared `RC` flag vector carries
+//! each vertex's convergence status between threads. A crashed thread's
+//! claimed-but-unprocessed vertices keep `RC = 1`, so surviving threads
+//! re-process them in their next round — the fault-tolerance argument of
+//! §4.4.
+//!
+//! **Lock-freedom:** the only shared-state operations on this path are
+//! atomic loads, stores, and `fetch_add` — every one of them completes in
+//! a bounded number of steps regardless of what other threads do, so
+//! system-wide progress is guaranteed as long as one thread keeps
+//! running.
+
+use crate::config::{ConvergenceMode, PagerankOptions};
+use crate::kernel::rank_of_from_atomic;
+use crate::rank::{AtomicRanks, Flags};
+use crate::result::{PagerankResult, RunStatus};
+use lfpr_graph::Snapshot;
+use lfpr_sched::chunks::ChunkCursor;
+use lfpr_sched::executor::run_threads;
+use lfpr_sched::fault::ThreadFaults;
+use lfpr_sched::rounds::RoundCursors;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Which vertices each round processes (mirrors `bb_common::BbMode`).
+pub(crate) enum LfMode<'a> {
+    /// Every vertex (StaticLF, NDLF).
+    All,
+    /// Only `VA`-marked vertices; the set is fixed by phase 1 (DTLF).
+    Affected { va: &'a Flags },
+    /// `VA`-marked vertices with incremental frontier expansion (DFLF).
+    Frontier { va: &'a Flags, tau_f: f64 },
+}
+
+/// Convergence-flag view: per-vertex (`RC[v]`) or per-chunk (the §4.3
+/// alternative). Both are plain atomic flag vectors; this adapter maps a
+/// vertex id onto the right flag index.
+pub(crate) struct RcView<'a> {
+    flags: &'a Flags,
+    mode: ConvergenceMode,
+    chunk: usize,
+}
+
+impl<'a> RcView<'a> {
+    pub(crate) fn new(flags: &'a Flags, mode: ConvergenceMode, chunk: usize) -> Self {
+        RcView { flags, mode, chunk }
+    }
+
+    /// Number of flags a vector must have for `n` vertices in `mode`.
+    pub(crate) fn flags_len(n: usize, mode: ConvergenceMode, chunk: usize) -> usize {
+        match mode {
+            ConvergenceMode::PerVertex => n,
+            ConvergenceMode::PerChunk => n.div_ceil(chunk),
+        }
+    }
+
+    /// Mark vertex `v` as not-yet-converged (RC[v] ← 1).
+    #[inline]
+    pub(crate) fn set_vertex(&self, v: usize) {
+        match self.mode {
+            ConvergenceMode::PerVertex => self.flags.set(v),
+            ConvergenceMode::PerChunk => self.flags.set(v / self.chunk),
+        }
+    }
+
+    /// Clear vertex `v`'s convergence flag — valid only in per-vertex
+    /// mode (per-chunk clearing happens at chunk granularity).
+    #[inline]
+    fn clear_vertex(&self, v: usize) {
+        debug_assert!(matches!(self.mode, ConvergenceMode::PerVertex));
+        self.flags.clear(v);
+    }
+}
+
+/// Phase-1 closure: initial affected marking with helping (DT/DF lock-
+/// free variants). Returns `false` if the thread crashed mid-phase.
+pub(crate) type Phase1Fn<'a> = dyn Fn(usize, &mut ThreadFaults) -> bool + Sync + 'a;
+
+/// The helping loop of DFLF's initial-marking phase (Alg. 2 lines 5-16):
+/// threads drain the batch-edge cursor; a thread that finishes re-scans
+/// the `C` flags and processes any source vertex another (possibly
+/// stalled) thread left unchecked. Marking is idempotent, so racing
+/// helpers are harmless (§4.4).
+pub(crate) fn helping_mark_phase(
+    edges: &[(u32, u32)],
+    cursor: &ChunkCursor,
+    checked: &Flags,
+    chunk: usize,
+    mark_source: &(impl Fn(u32) + Sync),
+    faults: &mut ThreadFaults,
+) -> bool {
+    // Pass 1: cooperative dynamic scheduling over the batch.
+    while let Some(range) = cursor.next_chunk(chunk) {
+        for &(u, _) in &edges[range] {
+            if !checked.get(u as usize) {
+                mark_source(u);
+                checked.set(u as usize);
+            }
+            if faults.tick() {
+                return false;
+            }
+        }
+    }
+    // Pass 2 (helping): verify every batch source is checked; process
+    // leftovers from stalled/crashed peers ourselves. One extra pass
+    // suffices because we process everything we find unchecked.
+    loop {
+        let mut all_checked = true;
+        for &(u, _) in edges {
+            if !checked.get(u as usize) {
+                all_checked = false;
+                mark_source(u);
+                checked.set(u as usize);
+            }
+            if faults.tick() {
+                return false;
+            }
+        }
+        if all_checked {
+            return true;
+        }
+    }
+}
+
+/// Run the lock-free engine over a pre-initialized shared rank vector
+/// and convergence flags. The caller owns initialization:
+/// * `ranks` — 1/n (static) or previous ranks (dynamic),
+/// * `rc` — all ones for All mode; zeros + marking for Affected/Frontier.
+pub(crate) fn run_lf_engine(
+    g: &Snapshot,
+    ranks: &AtomicRanks,
+    rc: &Flags,
+    mode: LfMode<'_>,
+    opts: &PagerankOptions,
+    phase1: Option<&Phase1Fn<'_>>,
+) -> PagerankResult {
+    debug_assert!(opts.validate().is_ok());
+    let n = g.num_vertices();
+    let nt = opts.num_threads;
+    let rounds = RoundCursors::new(n, opts.max_iterations);
+    let processed = AtomicU64::new(0);
+    let max_round = AtomicUsize::new(0);
+    let crashed_count = AtomicUsize::new(0);
+    let converged = AtomicBool::new(false);
+    let rc_view = RcView::new(rc, opts.convergence, opts.chunk_size);
+    let per_chunk = matches!(opts.convergence, ConvergenceMode::PerChunk);
+
+    let t0 = Instant::now();
+    run_threads(nt, |t| {
+        let mut faults = opts.faults.thread_faults(t, nt);
+        let mut local_processed = 0u64;
+
+        // Phase 1: initial marking with helping (dynamic variants only).
+        if let Some(p1) = phase1 {
+            if !p1(t, &mut faults) {
+                crashed_count.fetch_add(1, Ordering::Relaxed);
+                processed.fetch_add(local_processed, Ordering::Relaxed);
+                return;
+            }
+        }
+
+        // Phase 2: incremental marking, processing, and convergence
+        // detection — no barriers anywhere.
+        'rounds: for round in 0..opts.max_iterations {
+            while let Some(range) = rounds.next_chunk(round, opts.chunk_size) {
+                let chunk_idx = range.start / opts.chunk_size;
+                let mut chunk_converged = true;
+                for v in range {
+                    let vid = v as u32;
+                    match &mode {
+                        LfMode::All => {}
+                        LfMode::Affected { va } | LfMode::Frontier { va, .. } => {
+                            if !va.get(v) {
+                                continue; // unaffected ⇒ trivially converged
+                            }
+                        }
+                    }
+                    let r = rank_of_from_atomic(g, ranks, vid, opts.alpha);
+                    let dr = (r - ranks.get(v)).abs();
+                    ranks.set(v, r); // in-place, visible to all threads
+                    if let LfMode::Frontier { va, tau_f } = &mode {
+                        // Alg. 2 lines 25-27: expand the frontier.
+                        //
+                        // Deviation from line 28 (RC[v'] ← 1): setting RC
+                        // for every newly marked vertex makes each
+                        // frontier ring block the all-clear check for one
+                        // more round, so the run terminates only when
+                        // every first-processing Δr is ≤ τf — i.e. it
+                        // expands ring-by-ring to the graph boundary and
+                        // over-converges 1000× past τ, contradicting the
+                        // paper's own measured error (~5e-10) and
+                        // runtimes. We extend VA only; sub-τ wavelets
+                        // reaching new vertices are absorbed (that is the
+                        // DF approximation, same as DFBB terminating on
+                        // ΔR ≤ τ while VA still grows), while genuine
+                        // > τ waves keep RC alive through the Δr > τ
+                        // re-arm below and are never lost.
+                        if dr > *tau_f {
+                            for &vp in g.out(vid) {
+                                va.set(vp as usize);
+                            }
+                        }
+                    }
+                    if per_chunk {
+                        if dr > opts.tolerance {
+                            chunk_converged = false;
+                        }
+                    } else if dr <= opts.tolerance {
+                        // Alg. 2 line 29: RC[v] ← 0.
+                        rc_view.clear_vertex(v);
+                    } else {
+                        // Re-arm: the pseudocode only ever clears RC, but
+                        // a cleared flag must be re-set when a later
+                        // round's Δr exceeds τ again (neighbor updates
+                        // arriving asynchronously) — otherwise threads
+                        // can terminate while ranks are still moving and
+                        // the error blows past the paper's ~5e-10 band.
+                        // RC[v] = 1 means "not yet converged" (§4.3), so
+                        // this is the definition, made explicit.
+                        rc_view.set_vertex(v);
+                    }
+                    local_processed += 1;
+                    if faults.tick() {
+                        crashed_count.fetch_add(1, Ordering::Relaxed);
+                        processed.fetch_add(local_processed, Ordering::Relaxed);
+                        max_round.fetch_max(round, Ordering::Relaxed);
+                        return; // crash-stop: clean exit, memory intact
+                    }
+                }
+                if per_chunk {
+                    // §4.3 per-chunk alternative: one flag per chunk.
+                    if chunk_converged {
+                        rc.clear(chunk_idx);
+                    } else {
+                        rc.set(chunk_idx);
+                    }
+                }
+            }
+            max_round.fetch_max(round + 1, Ordering::Relaxed);
+            // Alg. 2 line 31: per-thread convergence check over RC. Each
+            // thread decides from its own observation only — exiting on
+            // *another* thread's observation would let a thread skip the
+            // repair round after an in-flight update re-armed a flag.
+            if rc.all_clear() {
+                converged.store(true, Ordering::SeqCst);
+                break 'rounds;
+            }
+        }
+        processed.fetch_add(local_processed, Ordering::Relaxed);
+    });
+    let runtime = t0.elapsed();
+
+    let threads_crashed = crashed_count.load(Ordering::Relaxed);
+    let status = if converged.load(Ordering::SeqCst) {
+        RunStatus::Converged
+    } else if threads_crashed >= nt {
+        // Everyone crashed before convergence: nobody finished the work.
+        RunStatus::Stalled
+    } else {
+        RunStatus::MaxIterations
+    };
+    PagerankResult {
+        ranks: ranks.to_vec(),
+        iterations: max_round.load(Ordering::Relaxed),
+        runtime,
+        total_wait: std::time::Duration::ZERO, // lock-free: no barriers
+        max_wait: std::time::Duration::ZERO,
+        status,
+        vertices_processed: processed.load(Ordering::Relaxed),
+        initially_affected: 0, // variants overwrite for dynamic runs
+        threads_crashed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::linf_diff;
+    use crate::reference::reference_default;
+    use lfpr_graph::Snapshot;
+    use lfpr_sched::fault::FaultPlan;
+
+    fn ring(n: usize) -> Snapshot {
+        // Irregular ring (see bb_common::tests::ring): a regular graph
+        // would converge in one iteration from the uniform start.
+        let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, v)).collect();
+        for v in 0..n as u32 {
+            edges.push((v, (v + 1) % n as u32));
+            if v % 3 == 0 {
+                edges.push((v, (v + 3) % n as u32));
+            }
+            if v % 5 == 0 && v != 0 {
+                edges.push((v, 0));
+            }
+        }
+        Snapshot::from_edges(n, &edges)
+    }
+
+    fn opts() -> PagerankOptions {
+        PagerankOptions::default().with_threads(4).with_chunk_size(8)
+    }
+
+    #[test]
+    fn all_mode_matches_reference() {
+        let g = ring(64);
+        let ranks = AtomicRanks::uniform(64, 1.0 / 64.0);
+        let rc = Flags::new(64, 1);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &opts(), None);
+        assert_eq!(res.status, RunStatus::Converged);
+        let reference = reference_default(&g);
+        assert!(
+            linf_diff(&res.ranks, &reference) < 1e-8,
+            "err = {}",
+            linf_diff(&res.ranks, &reference)
+        );
+        assert_eq!(res.total_wait, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn per_chunk_convergence_matches_reference() {
+        let g = ring(64);
+        let o = opts().with_convergence(ConvergenceMode::PerChunk);
+        let ranks = AtomicRanks::uniform(64, 1.0 / 64.0);
+        let rc = Flags::new(RcView::flags_len(64, o.convergence, o.chunk_size), 1);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        assert_eq!(res.status, RunStatus::Converged);
+        let reference = reference_default(&g);
+        assert!(linf_diff(&res.ranks, &reference) < 1e-8);
+    }
+
+    #[test]
+    fn survives_thread_crashes() {
+        // Large enough that the run outlives thread spawn latency — the
+        // crash-flagged threads must actually claim work before the
+        // survivors finish, otherwise the crash never fires.
+        let n = 20_000;
+        let g = ring(n);
+        let o = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(256)
+            .with_faults(FaultPlan::with_crashes(2, 50, 7));
+        let ranks = AtomicRanks::uniform(n, 1.0 / n as f64);
+        let rc = Flags::new(n, 1);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        assert_eq!(res.status, RunStatus::Converged, "LF must finish despite crashes");
+        assert_eq!(res.threads_crashed, 2);
+        let reference = reference_default(&g);
+        assert!(linf_diff(&res.ranks, &reference) < 1e-8);
+    }
+
+    #[test]
+    fn all_threads_crashing_reports_stalled() {
+        let g = ring(128);
+        let o = opts().with_faults(FaultPlan::with_crashes(4, 5, 9));
+        let ranks = AtomicRanks::uniform(128, 1.0 / 128.0);
+        let rc = Flags::new(128, 1);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        assert_eq!(res.status, RunStatus::Stalled);
+        assert_eq!(res.threads_crashed, 4);
+    }
+
+    #[test]
+    fn helping_mark_phase_completes_leftovers() {
+        // Simulate a stalled peer: the cursor is pre-drained so the
+        // "cooperative" pass sees nothing, but `checked` has holes — the
+        // helping pass must fill them.
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (2, 3), (4, 5)];
+        let cursor = ChunkCursor::new(edges.len());
+        while cursor.next_chunk(1).is_some() {}
+        let checked = Flags::new(6, 0);
+        checked.set(2); // one source already done by the "stalled" peer
+        let marked = Flags::new(6, 0);
+        let mut faults = FaultPlan::none().thread_faults(0, 1);
+        let ok = helping_mark_phase(
+            &edges,
+            &cursor,
+            &checked,
+            2,
+            &|u| marked.set(u as usize),
+            &mut faults,
+        );
+        assert!(ok);
+        assert!(checked.get(0) && checked.get(2) && checked.get(4));
+        assert!(marked.get(0) && marked.get(4));
+        assert!(!marked.get(2), "already-checked source must not be re-marked");
+    }
+
+    #[test]
+    fn affected_mode_with_empty_marking_converges_immediately() {
+        let g = ring(32);
+        let init = reference_default(&g);
+        let ranks = AtomicRanks::from_slice(&init);
+        let rc = Flags::new(32, 0);
+        let va = Flags::new(32, 0);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::Affected { va: &va }, &opts(), None);
+        assert_eq!(res.status, RunStatus::Converged);
+        assert_eq!(res.vertices_processed, 0);
+        assert_eq!(res.ranks, init);
+    }
+}

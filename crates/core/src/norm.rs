@@ -1,0 +1,59 @@
+//! L∞-norm utilities (the paper's convergence and error metric, §5.1.2,
+//! §5.1.5).
+
+/// L∞ norm of the difference between two equal-length vectors.
+pub fn linf_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// L∞ norm of the difference over an index sub-range (used by the
+/// chunked parallel reduction in the barrier-based variants).
+pub fn linf_diff_range(a: &[f64], b: &[f64], range: std::ops::Range<usize>) -> f64 {
+    a[range.clone()]
+        .iter()
+        .zip(&b[range])
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Sum of a rank vector (≈ 1.0 at any PageRank fixpoint when dead ends
+/// have been eliminated).
+pub fn rank_sum(r: &[f64]) -> f64 {
+    r.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linf_basic() {
+        assert_eq!(linf_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(linf_diff(&[], &[]), 0.0);
+        assert_eq!(linf_diff(&[1.0, -3.0], &[1.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn linf_range_matches_full() {
+        let a = [0.1, 0.9, 0.5, 0.7];
+        let b = [0.0, 1.0, 0.5, 0.0];
+        let full = linf_diff(&a, &b);
+        let split = linf_diff_range(&a, &b, 0..2).max(linf_diff_range(&a, &b, 2..4));
+        assert_eq!(full, split);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn linf_length_mismatch_panics() {
+        linf_diff(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_sum_basic() {
+        assert!((rank_sum(&[0.25; 4]) - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared atomic rank and flag vectors.
+//!
+//! The lock-free variants update ranks **in place** on a single shared
+//! vector (asynchronous, Gauss–Seidel style — §3.3.2), so rank storage
+//! must admit concurrent plain reads and writes. [`AtomicRanks`] stores
+//! f64 bit patterns in `AtomicU64`s with `Relaxed` ordering: individual
+//! rank loads/stores are atomic (no torn reads), and no ordering between
+//! *different* vertices' ranks is required — the algorithm tolerates
+//! reading a mix of old and new neighbor ranks (the paper's correctness
+//! argument, §4.4; stale reads are repaired by later iterations).
+//!
+//! [`Flags`] is the 8-bit flag vector the paper uses for `VA` (affected),
+//! `C` (batch-edge checked), and `RC` (not-yet-converged), also with
+//! `Relaxed` single-flag operations; phase transitions that must observe
+//! *all* flags (e.g. "every C[u] is set") use `SeqCst` scans, mirroring
+//! the conservative flush OpenMP performs at construct boundaries.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// A shared vector of f64 ranks supporting concurrent in-place updates.
+#[derive(Debug)]
+pub struct AtomicRanks {
+    bits: Vec<AtomicU64>,
+}
+
+impl AtomicRanks {
+    /// All ranks set to `value` (e.g. 1/n for a fresh static run).
+    pub fn uniform(n: usize, value: f64) -> Self {
+        let b = value.to_bits();
+        AtomicRanks { bits: (0..n).map(|_| AtomicU64::new(b)).collect() }
+    }
+
+    /// Initialize from a previous rank vector (dynamic warm start).
+    pub fn from_slice(ranks: &[f64]) -> Self {
+        AtomicRanks {
+            bits: ranks.iter().map(|r| AtomicU64::new(r.to_bits())).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Atomically read the rank of `v`.
+    #[inline]
+    pub fn get(&self, v: usize) -> f64 {
+        f64::from_bits(self.bits[v].load(Ordering::Relaxed))
+    }
+
+    /// Atomically write the rank of `v`.
+    #[inline]
+    pub fn set(&self, v: usize, r: f64) {
+        self.bits[v].store(r.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copy out a plain `Vec<f64>` (after the parallel phase ends).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.bits
+            .iter()
+            .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Sum of all ranks (diagnostic; ≈ 1.0 at a PageRank fixpoint).
+    pub fn sum(&self) -> f64 {
+        (0..self.len()).map(|v| self.get(v)).sum()
+    }
+}
+
+/// An 8-bit shared flag vector (`VA`, `C`, `RC` in the paper).
+#[derive(Debug)]
+pub struct Flags {
+    flags: Vec<AtomicU8>,
+}
+
+impl Flags {
+    /// All flags initialized to `init` (0 or 1).
+    pub fn new(n: usize, init: u8) -> Self {
+        Flags { flags: (0..n).map(|_| AtomicU8::new(init)).collect() }
+    }
+
+    /// Number of flags.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Read flag `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.flags[i].load(Ordering::Relaxed) != 0
+    }
+
+    /// Set flag `i` to 1.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        self.flags[i].store(1, Ordering::Relaxed);
+    }
+
+    /// Clear flag `i` to 0.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        self.flags[i].store(0, Ordering::Relaxed);
+    }
+
+    /// Atomically set flag `i`, returning whether it was already set.
+    /// Used as the visited check of the Dynamic Traversal DFS so
+    /// concurrent traversals stay idempotent.
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        self.flags[i].swap(1, Ordering::Relaxed) != 0
+    }
+
+    /// `SeqCst` scan: are **all** flags set? Used for the DFLF phase-1
+    /// exit check ("C[u] = 1 ∀ u", Alg. 2 line 15).
+    pub fn all_set(&self) -> bool {
+        self.flags.iter().all(|f| f.load(Ordering::SeqCst) != 0)
+    }
+
+    /// `SeqCst` scan: are **all** flags clear? Used for the LF
+    /// convergence check ("RC[v] = 0 ∀ v", Alg. 2 line 31).
+    pub fn all_clear(&self) -> bool {
+        self.flags.iter().all(|f| f.load(Ordering::SeqCst) == 0)
+    }
+
+    /// Index of the first set flag, if any (`Relaxed`; diagnostic).
+    pub fn first_set(&self) -> Option<usize> {
+        self.flags
+            .iter()
+            .position(|f| f.load(Ordering::Relaxed) != 0)
+    }
+
+    /// Count of set flags (`Relaxed`; diagnostic).
+    pub fn count_set(&self) -> usize {
+        self.flags
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_roundtrip() {
+        let r = AtomicRanks::uniform(4, 0.25);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.get(2), 0.25);
+        assert!((r.sum() - 1.0).abs() < 1e-15);
+        r.set(2, 0.5);
+        assert_eq!(r.get(2), 0.5);
+        assert_eq!(r.to_vec(), vec![0.25, 0.25, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn from_slice_preserves_bits() {
+        let src = vec![1e-300, 0.0, f64::MIN_POSITIVE, 0.123456789];
+        let r = AtomicRanks::from_slice(&src);
+        assert_eq!(r.to_vec(), src);
+    }
+
+    #[test]
+    fn concurrent_writes_never_tear() {
+        // Two threads alternate writing two distinct bit patterns;
+        // readers must only ever observe one of the two.
+        let r = AtomicRanks::uniform(1, 1.0);
+        let a = 1.0f64;
+        let b = -123.456e-78f64;
+        std::thread::scope(|s| {
+            let r = &r;
+            s.spawn(move || {
+                for i in 0..100_000 {
+                    r.set(0, if i % 2 == 0 { a } else { b });
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..100_000 {
+                    let x = r.get(0);
+                    assert!(x == a || x == b, "torn read: {x}");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn flags_basics() {
+        let f = Flags::new(3, 0);
+        assert!(f.all_clear());
+        assert!(!f.all_set());
+        f.set(1);
+        assert!(!f.all_clear());
+        assert_eq!(f.first_set(), Some(1));
+        assert_eq!(f.count_set(), 1);
+        f.set(0);
+        f.set(2);
+        assert!(f.all_set());
+        f.clear(1);
+        assert!(!f.all_set());
+        assert_eq!(f.count_set(), 2);
+    }
+
+    #[test]
+    fn test_and_set_semantics() {
+        let f = Flags::new(2, 0);
+        assert!(!f.test_and_set(0), "first set reports previously-clear");
+        assert!(f.test_and_set(0), "second set reports previously-set");
+        assert!(f.get(0));
+        assert!(!f.get(1));
+    }
+
+    #[test]
+    fn flags_init_one() {
+        let f = Flags::new(4, 1);
+        assert!(f.all_set());
+        assert_eq!(f.count_set(), 4);
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let r = AtomicRanks::uniform(0, 0.0);
+        assert!(r.is_empty());
+        let f = Flags::new(0, 0);
+        assert!(f.is_empty());
+        assert!(f.all_set() && f.all_clear()); // vacuous truth
+        assert_eq!(f.first_set(), None);
+    }
+}

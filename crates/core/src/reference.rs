@@ -1,0 +1,105 @@
+//! Sequential reference PageRank for error measurement.
+//!
+//! §5.1.5: *"we measure the error/accuracy of a given approach by
+//! measuring the L∞-norm of the PageRanks produced with respect to
+//! PageRanks obtained from a reference barrier-based Static PageRank run
+//! on the updated graph with a very low tolerance of τ = 10⁻¹⁰⁰, limited
+//! to 500 iterations."* A tolerance of 1e-100 is far below f64
+//! resolution, so it effectively means "iterate until the f64 fixpoint
+//! or 500 iterations" — which is exactly what this function does.
+
+use crate::kernel::rank_of_from_slice;
+use crate::norm::linf_diff;
+use lfpr_graph::Snapshot;
+
+/// Run the reference power iteration: synchronous (Jacobi) updates, up to
+/// `max_iterations`, stopping early only at the exact f64 fixpoint.
+pub fn reference_pagerank(g: &Snapshot, alpha: f64, max_iterations: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut r = vec![1.0 / n as f64; n];
+    let mut r_new = vec![0.0; n];
+    for _ in 0..max_iterations {
+        for v in 0..n as u32 {
+            r_new[v as usize] = rank_of_from_slice(g, &r, v, alpha);
+        }
+        let delta = linf_diff(&r, &r_new);
+        std::mem::swap(&mut r, &mut r_new);
+        if delta == 0.0 {
+            break; // exact f64 fixpoint — cannot improve further
+        }
+    }
+    r
+}
+
+/// Reference run with the paper's configuration (α = 0.85, 500 iters).
+pub fn reference_default(g: &Snapshot) -> Vec<f64> {
+    reference_pagerank(g, 0.85, 500)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfpr_graph::Snapshot;
+
+    fn with_loops(n: usize, edges: &[(u32, u32)]) -> Snapshot {
+        let mut all: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, v)).collect();
+        all.extend_from_slice(edges);
+        Snapshot::from_edges(n, &all)
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = with_loops(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let r = reference_default(&g);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = with_loops(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = reference_default(&g);
+        for &x in &r {
+            assert!((x - 0.25).abs() < 1e-12, "rank {x}");
+        }
+    }
+
+    #[test]
+    fn hub_ranks_higher() {
+        // Everyone points at vertex 0.
+        let g = with_loops(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let r = reference_default(&g);
+        for v in 1..5 {
+            assert!(r[0] > r[v], "hub rank {} vs {}", r[0], r[v]);
+        }
+    }
+
+    #[test]
+    fn satisfies_fixpoint_equation() {
+        let g = with_loops(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 2)]);
+        let r = reference_default(&g);
+        for v in 0..6u32 {
+            let rhs = rank_of_from_slice(&g, &r, v, 0.85);
+            assert!(
+                (r[v as usize] - rhs).abs() < 1e-12,
+                "vertex {v}: {} vs {rhs}",
+                r[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Snapshot::from_edges(0, &[]);
+        assert!(reference_default(&g).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = with_loops(8, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 0)]);
+        assert_eq!(reference_default(&g), reference_default(&g));
+    }
+}

@@ -1,0 +1,108 @@
+//! Run results and status reporting.
+
+use std::time::Duration;
+
+/// How a PageRank run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All ranks converged within tolerance.
+    Converged,
+    /// The iteration cap was reached before convergence.
+    MaxIterations,
+    /// A barrier-based run stalled: some thread crashed (or was delayed
+    /// beyond the stall timeout) and the surviving threads deadlocked at
+    /// the iteration barrier — the paper's "DFBB fails to complete the
+    /// computation even if a single thread crashes" (§5.4).
+    Stalled,
+}
+
+impl RunStatus {
+    /// Whether the run produced a usable rank vector (converged or hit
+    /// the iteration cap, but did not deadlock).
+    pub fn is_success(&self) -> bool {
+        !matches!(self, RunStatus::Stalled)
+    }
+}
+
+/// The outcome of one PageRank computation.
+#[derive(Debug, Clone)]
+pub struct PagerankResult {
+    /// Final rank vector (for `Stalled` runs: best-effort partial ranks).
+    pub ranks: Vec<f64>,
+    /// Number of iterations performed. For lock-free runs this is the
+    /// highest round any thread completed (threads may legitimately have
+    /// executed different numbers of rounds).
+    pub iterations: usize,
+    /// Wall-clock time of the parallel section (excludes allocation, as
+    /// in §5.1.5).
+    pub runtime: Duration,
+    /// Aggregate time threads spent blocked at iteration barriers;
+    /// always zero for lock-free variants. Drives Figure 1.
+    pub total_wait: Duration,
+    /// Maximum single-thread barrier wait.
+    pub max_wait: Duration,
+    /// Termination status.
+    pub status: RunStatus,
+    /// Total vertex-rank computations across all threads (work measure;
+    /// lock-free runs may exceed `n · iterations` due to benign
+    /// redundancy — §6: "lock-free computations may introduce some
+    /// redundancy").
+    pub vertices_processed: u64,
+    /// How many vertices the initial marking phase flagged as affected
+    /// (dynamic variants only; 0 for static runs).
+    pub initially_affected: usize,
+    /// How many worker threads crashed during the run (fault
+    /// experiments).
+    pub threads_crashed: usize,
+}
+
+impl PagerankResult {
+    /// Fraction of total thread-time spent waiting at barriers, the
+    /// percentage printed on the Figure 1 bars:
+    /// `total_wait / (num_threads × runtime)`.
+    pub fn wait_fraction(&self, num_threads: usize) -> f64 {
+        let denom = self.runtime.as_secs_f64() * num_threads as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.total_wait.as_secs_f64() / denom).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(status: RunStatus) -> PagerankResult {
+        PagerankResult {
+            ranks: vec![0.5, 0.5],
+            iterations: 3,
+            runtime: Duration::from_secs(2),
+            total_wait: Duration::from_secs(1),
+            max_wait: Duration::from_millis(600),
+            status,
+            vertices_processed: 6,
+            initially_affected: 0,
+            threads_crashed: 0,
+        }
+    }
+
+    #[test]
+    fn status_success() {
+        assert!(RunStatus::Converged.is_success());
+        assert!(RunStatus::MaxIterations.is_success());
+        assert!(!RunStatus::Stalled.is_success());
+    }
+
+    #[test]
+    fn wait_fraction_computation() {
+        let r = dummy(RunStatus::Converged);
+        // 1s wait over 2 threads × 2s = 0.25
+        assert!((r.wait_fraction(2) - 0.25).abs() < 1e-12);
+        // Zero-duration runs report 0 rather than dividing by zero.
+        let mut z = dummy(RunStatus::Converged);
+        z.runtime = Duration::ZERO;
+        assert_eq!(z.wait_fraction(2), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Vertex additions and removals — the paper's Future Directions (§6).
+//!
+//! *"For future research, we plan to extend the algorithm to handle
+//! vertex additions and deletions by scaling existing vertex ranks
+//! before computation."* This module implements that extension:
+//!
+//! * **Addition**: the vertex set grows from `old_n` to `new_n`. Each
+//!   new vertex starts at the teleport floor `(1−α)/new_n`; existing
+//!   ranks are scaled by `(1 − added_mass)` so total mass stays 1. The
+//!   scaled vector is a valid warm start for any dynamic variant, with
+//!   the new vertices' incident edges as the batch.
+//! * **Removal**: the removed vertices' mass is redistributed uniformly
+//!   (they are isolated first — their incident-edge deletions form the
+//!   batch — and their residual rank is the teleport share they will
+//!   retain as isolated self-loop vertices).
+//!
+//! The key invariant either way: the warm-start vector still sums to 1,
+//! so the fixpoint iteration starts from a proper distribution.
+
+use crate::config::PagerankOptions;
+use crate::df_lf::df_lf;
+use crate::result::PagerankResult;
+use lfpr_graph::{BatchUpdate, Snapshot};
+
+/// Scale an existing rank vector for a vertex-set growth from
+/// `ranks.len()` to `new_n` (§6). New vertices get the teleport floor
+/// `(1−α)/new_n`; old ranks are scaled so the vector sums to 1.
+pub fn scale_ranks_for_growth(ranks: &[f64], new_n: usize, alpha: f64) -> Vec<f64> {
+    let old_n = ranks.len();
+    assert!(new_n >= old_n, "growth only; use scale_ranks_for_removal");
+    if new_n == old_n {
+        return ranks.to_vec();
+    }
+    let added = new_n - old_n;
+    let floor = (1.0 - alpha) / new_n as f64;
+    let added_mass = floor * added as f64;
+    let scale = (1.0 - added_mass).max(0.0);
+    let mut out = Vec::with_capacity(new_n);
+    out.extend(ranks.iter().map(|r| r * scale));
+    out.extend(std::iter::repeat_n(floor, added));
+    out
+}
+
+/// Scale a rank vector after isolating `removed` vertices (they stay in
+/// the id space as self-loop-only vertices). Their rank above the
+/// teleport floor is released and redistributed proportionally to the
+/// surviving vertices.
+pub fn scale_ranks_for_removal(ranks: &[f64], removed: &[u32], alpha: f64) -> Vec<f64> {
+    let n = ranks.len();
+    let floor = (1.0 - alpha) / n as f64;
+    let mut out = ranks.to_vec();
+    let mut released = 0.0;
+    for &v in removed {
+        let r = out[v as usize];
+        released += (r - floor).max(0.0);
+        out[v as usize] = r.min(floor);
+    }
+    let surviving_mass: f64 = out.iter().sum::<f64>() - removed.len() as f64 * floor;
+    if surviving_mass > 0.0 && released > 0.0 {
+        let scale = 1.0 + released / surviving_mass;
+        let removed_set: std::collections::HashSet<u32> = removed.iter().copied().collect();
+        for (v, r) in out.iter_mut().enumerate() {
+            if !removed_set.contains(&(v as u32)) {
+                *r *= scale;
+            }
+        }
+    }
+    out
+}
+
+/// DFLF with vertex growth: `prev` has fewer vertices than `curr`; the
+/// previous ranks are scaled per §6 and the batch (which must contain
+/// the new vertices' incident edges) drives the frontier.
+pub fn df_lf_with_growth(
+    prev_padded: &Snapshot,
+    curr: &Snapshot,
+    batch: &BatchUpdate,
+    prev_ranks: &[f64],
+    opts: &PagerankOptions,
+) -> PagerankResult {
+    let scaled = scale_ranks_for_growth(prev_ranks, curr.num_vertices(), opts.alpha);
+    df_lf(prev_padded, curr, batch, &scaled, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::linf_diff;
+    use crate::reference::reference_default;
+    use crate::result::RunStatus;
+    use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::DynGraph;
+
+    #[test]
+    fn growth_scaling_preserves_mass() {
+        let ranks = vec![0.5, 0.3, 0.2];
+        let scaled = scale_ranks_for_growth(&ranks, 5, 0.85);
+        assert_eq!(scaled.len(), 5);
+        let sum: f64 = scaled.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum = {sum}");
+        // New vertices start at the teleport floor.
+        assert!((scaled[3] - 0.15 / 5.0).abs() < 1e-12);
+        // Relative order of old ranks preserved.
+        assert!(scaled[0] > scaled[1] && scaled[1] > scaled[2]);
+    }
+
+    #[test]
+    fn growth_noop_when_same_size() {
+        let ranks = vec![0.6, 0.4];
+        assert_eq!(scale_ranks_for_growth(&ranks, 2, 0.85), ranks);
+    }
+
+    #[test]
+    #[should_panic(expected = "growth only")]
+    fn growth_rejects_shrink() {
+        scale_ranks_for_growth(&[0.5, 0.5], 1, 0.85);
+    }
+
+    #[test]
+    fn removal_scaling_preserves_mass() {
+        let ranks = vec![0.4, 0.3, 0.2, 0.1];
+        let scaled = scale_ranks_for_removal(&ranks, &[0], 0.85);
+        let sum: f64 = scaled.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum = {sum}");
+        // Removed vertex dropped to the floor; others gained.
+        assert!(scaled[0] <= 0.15 / 4.0 + 1e-15);
+        assert!(scaled[1] > 0.3);
+    }
+
+    #[test]
+    fn end_to_end_vertex_growth() {
+        // 30-vertex graph grows to 34; new vertices wire into the core.
+        let mut g = lfpr_graph::generators::erdos_renyi(30, 150, 21);
+        add_self_loops(&mut g);
+        let prev_ranks = reference_default(&g.snapshot());
+
+        g.grow(34);
+        let mut batch = BatchUpdate::new();
+        for v in 30u32..34 {
+            // Self-loop (dead-end elimination) plus links to/from core.
+            for (a, b) in [(v, v), (v, v % 7), (v % 11, v)] {
+                if g.insert_edge_if_absent(a, b).unwrap() {
+                    batch.insertions.push((a, b));
+                }
+            }
+        }
+        // prev snapshot padded to the new id space (no edges for new ids).
+        let mut prev_padded = DynGraph::new(34);
+        for (u, v) in lfpr_graph::GraphBuilder::new(30)
+            .edges(
+                lfpr_graph::generators::erdos_renyi(30, 150, 21)
+                    .edges()
+                    .collect::<Vec<_>>(),
+            )
+            .build_dyn()
+            .unwrap()
+            .edges()
+        {
+            prev_padded.insert_edge(u, v).unwrap();
+        }
+        for v in 0..30u32 {
+            let _ = prev_padded.insert_edge_if_absent(v, v);
+        }
+        let prev_snap = prev_padded.snapshot();
+        let curr = g.snapshot();
+
+        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(8);
+        let res = df_lf_with_growth(&prev_snap, &curr, &batch, &prev_ranks, &opts);
+        assert_eq!(res.status, RunStatus::Converged);
+        let reference = reference_default(&curr);
+        let err = linf_diff(&res.ranks, &reference);
+        assert!(err < 1e-7, "err = {err:.2e}");
+    }
+
+    #[test]
+    fn end_to_end_vertex_removal() {
+        let mut g = lfpr_graph::generators::erdos_renyi(40, 250, 23);
+        add_self_loops(&mut g);
+        let prev = g.snapshot();
+        let prev_ranks = reference_default(&prev);
+
+        // Isolate vertex 5 (keep its self-loop so it is not a dead end).
+        let removed_edges: Vec<_> = g
+            .isolate_vertex(5)
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .collect();
+        g.insert_edge(5, 5).unwrap();
+        let mut batch = BatchUpdate::delete_only(removed_edges);
+        batch.deletions.retain(|&(u, v)| !(u == 5 && v == 5));
+        let curr = g.snapshot();
+
+        let scaled = scale_ranks_for_removal(&prev_ranks, &[5], 0.85);
+        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(8);
+        let res = crate::df_lf::df_lf(&prev, &curr, &batch, &scaled, &opts);
+        assert_eq!(res.status, RunStatus::Converged);
+        let reference = reference_default(&curr);
+        assert!(linf_diff(&res.ranks, &reference) < 1e-7);
+    }
+}

@@ -1,0 +1,121 @@
+//! Structural statistics used by the Table-1/Table-2 harnesses and for
+//! sanity-checking generated graphs against their dataset class.
+
+use crate::snapshot::Snapshot;
+use crate::types::VertexId;
+
+/// Degree and connectivity statistics of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count |V|.
+    pub n: usize,
+    /// Directed edge count |E| (incl. self-loops).
+    pub m: usize,
+    /// Average out-degree (Table 2's Davg).
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of dead ends (must be 0 after self-loop elimination).
+    pub dead_ends: usize,
+    /// Number of self-loops.
+    pub self_loops: usize,
+}
+
+/// Compute [`GraphStats`] in one pass.
+pub fn stats(s: &Snapshot) -> GraphStats {
+    let n = s.num_vertices();
+    let mut max_out = 0usize;
+    let mut max_in = 0usize;
+    let mut self_loops = 0usize;
+    for v in 0..n as VertexId {
+        max_out = max_out.max(s.out_degree(v) as usize);
+        max_in = max_in.max(s.in_degree(v));
+        if s.has_edge(v, v) {
+            self_loops += 1;
+        }
+    }
+    GraphStats {
+        n,
+        m: s.num_edges(),
+        avg_out_degree: s.avg_degree(),
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        dead_ends: s.dead_end_count(),
+        self_loops,
+    }
+}
+
+/// Out-degree histogram with logarithmic (power-of-two) buckets; bucket
+/// `i` counts vertices with out-degree in `[2^i, 2^(i+1))` (bucket 0 also
+/// holds degree-0 vertices). Useful for verifying heavy-tailed generators.
+pub fn degree_histogram(s: &Snapshot) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for v in 0..s.num_vertices() as VertexId {
+        let d = s.out_degree(v) as usize;
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// Number of vertices reachable from `start` (BFS over out-edges),
+/// including `start`. Used in tests to sanity-check generator
+/// connectivity and by the Dynamic Traversal analysis.
+pub fn reachable_count(s: &Snapshot, start: VertexId) -> usize {
+    let n = s.num_vertices();
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    let mut count = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &v in s.out(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+
+    fn sample() -> Snapshot {
+        Snapshot::from_edges(4, &[(0, 0), (0, 1), (0, 2), (1, 2), (2, 0), (3, 3)])
+    }
+
+    #[test]
+    fn stats_basic() {
+        let st = stats(&sample());
+        assert_eq!(st.n, 4);
+        assert_eq!(st.m, 6);
+        assert_eq!(st.max_out_degree, 3);
+        assert_eq!(st.max_in_degree, 2);
+        assert_eq!(st.self_loops, 2);
+        assert_eq!(st.dead_ends, 0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = degree_histogram(&sample());
+        // degrees: 3,1,1,1 → bucket0 (deg<=1): 3 vertices, bucket1 (2-3): 1
+        assert_eq!(h, vec![3, 1]);
+    }
+
+    #[test]
+    fn reachability() {
+        let s = sample();
+        assert_eq!(reachable_count(&s, 0), 3); // 0,1,2 (3 is isolated loop)
+        assert_eq!(reachable_count(&s, 3), 1);
+    }
+}

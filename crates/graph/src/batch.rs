@@ -1,0 +1,307 @@
+//! Batch updates Δt = (Δt−, Δt+) and the paper's random-batch generator.
+//!
+//! §5.1.4 of the paper: *"we take each graph and generate a random batch
+//! update consisting of an equal mix of edge deletions and insertions. To
+//! prepare the set of edges deleted, we delete each existing edge with a
+//! uniform probability. We prepare the set of edges to insert by choosing
+//! non-connected pairs of vertices with equal probability. … we ensure
+//! that no new vertices are added to or removed from the graph."*
+//!
+//! Self-loops (added by dead-end elimination) are never deleted, so the
+//! "no dead ends" invariant survives every batch.
+
+use crate::digraph::DynGraph;
+use crate::types::{Edge, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A batch update: a set of edge deletions Δt− and insertions Δt+.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchUpdate {
+    /// Edges removed going from Gt−1 to Gt (must exist in Gt−1).
+    pub deletions: Vec<Edge>,
+    /// Edges added going from Gt−1 to Gt (must be absent from Gt−1).
+    pub insertions: Vec<Edge>,
+}
+
+impl BatchUpdate {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insertion-only batch (the temporal-graph experiments of Figure 5).
+    pub fn insert_only(insertions: Vec<Edge>) -> Self {
+        BatchUpdate { deletions: Vec::new(), insertions }
+    }
+
+    /// Deletion-only batch (the stability experiment, §5.2.3).
+    pub fn delete_only(deletions: Vec<Edge>) -> Self {
+        BatchUpdate { deletions, insertions: Vec::new() }
+    }
+
+    /// Total number of edge updates |Δt−| + |Δt+|.
+    pub fn len(&self) -> usize {
+        self.deletions.len() + self.insertions.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The inverse batch: applying `self` then `self.inverse()` restores
+    /// the original graph.
+    pub fn inverse(&self) -> BatchUpdate {
+        BatchUpdate {
+            deletions: self.insertions.clone(),
+            insertions: self.deletions.clone(),
+        }
+    }
+
+    /// Iterate over every update edge (deletions first, then insertions),
+    /// the order the algorithms scan Δt− ∪ Δt+.
+    pub fn iter_all(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.deletions.iter().chain(self.insertions.iter()).copied()
+    }
+
+    /// Distinct source vertices appearing in the batch, deduplicated.
+    pub fn sources(&self) -> Vec<VertexId> {
+        let mut s: Vec<VertexId> = self.iter_all().map(|(u, _)| u).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+/// Composition of a generated batch: what fraction of the batch is
+/// deletions vs insertions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchMix {
+    /// Equal mix of deletions and insertions (paper §5.1.4 default).
+    Mixed,
+    /// Insertions only.
+    InsertOnly,
+    /// Deletions only.
+    DeleteOnly,
+}
+
+/// Parameters for random batch generation.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSpec {
+    /// Batch size as a fraction of `|E|` (paper sweeps 1e-8 … 0.1).
+    pub fraction: f64,
+    /// Deletion/insertion composition.
+    pub mix: BatchMix,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl BatchSpec {
+    /// Equal-mix batch of `fraction * |E|` edges.
+    pub fn mixed(fraction: f64, seed: u64) -> Self {
+        BatchSpec { fraction, mix: BatchMix::Mixed, seed }
+    }
+
+    /// Insertion-only batch.
+    pub fn insert_only(fraction: f64, seed: u64) -> Self {
+        BatchSpec { fraction, mix: BatchMix::InsertOnly, seed }
+    }
+
+    /// Deletion-only batch.
+    pub fn delete_only(fraction: f64, seed: u64) -> Self {
+        BatchSpec { fraction, mix: BatchMix::DeleteOnly, seed }
+    }
+
+    /// Generate a batch against the current state of `g`.
+    ///
+    /// The batch always has at least one edge update (the paper's smallest
+    /// fraction, 1e-8 of a 37M-edge graph, is still ≥ 1 edge; on our
+    /// scaled-down graphs rounding to zero would degenerate the sweep).
+    pub fn generate(&self, g: &DynGraph) -> BatchUpdate {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total = ((g.num_edges() as f64 * self.fraction).round() as usize).max(1);
+        let (n_del, n_ins) = match self.mix {
+            BatchMix::Mixed => {
+                let d = total / 2;
+                (d, total - d)
+            }
+            BatchMix::InsertOnly => (0, total),
+            BatchMix::DeleteOnly => (total, 0),
+        };
+        let deletions = sample_existing_edges(g, n_del, &mut rng);
+        let insertions = sample_absent_edges(g, &deletions, n_ins, &mut rng);
+        BatchUpdate { deletions, insertions }
+    }
+}
+
+/// Uniformly sample `k` distinct existing edges, excluding self-loops
+/// (self-loops implement dead-end elimination and must survive batches).
+fn sample_existing_edges(g: &DynGraph, k: usize, rng: &mut StdRng) -> Vec<Edge> {
+    let n = g.num_vertices();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut chosen = Vec::with_capacity(k);
+    let mut seen = std::collections::HashSet::with_capacity(k * 2);
+    // Rejection-sample via random vertex weighted retry: pick a random
+    // vertex, then a random out-neighbor. Vertices with higher degree are
+    // oversampled relative to uniform-over-edges, so correct by retrying
+    // proportionally: accept with probability deg/maxdeg.
+    let max_deg = (0..n as VertexId).map(|v| g.out_degree(v)).max().unwrap_or(0);
+    if max_deg == 0 {
+        return Vec::new();
+    }
+    let mut attempts = 0usize;
+    let attempt_cap = (k * 64 + 1024).saturating_mul(4);
+    while chosen.len() < k && attempts < attempt_cap {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as VertexId;
+        let d = g.out_degree(u);
+        if d == 0 {
+            continue;
+        }
+        // Degree-proportional acceptance makes the (u, v) draw uniform
+        // over edges.
+        if rng.gen_range(0..max_deg) >= d {
+            continue;
+        }
+        let v = g.out_neighbors(u)[rng.gen_range(0..d)];
+        if u == v {
+            continue; // preserve dead-end-elimination self-loops
+        }
+        if seen.insert((u, v)) {
+            chosen.push((u, v));
+        }
+    }
+    chosen
+}
+
+/// Uniformly sample `k` distinct vertex pairs that are non-edges in `g`
+/// (and not already scheduled for deletion, so the batch stays valid), and
+/// not self-loops.
+fn sample_absent_edges(
+    g: &DynGraph,
+    deletions: &[Edge],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Edge> {
+    let n = g.num_vertices();
+    if n < 2 || k == 0 {
+        return Vec::new();
+    }
+    let del: std::collections::HashSet<Edge> = deletions.iter().copied().collect();
+    let mut chosen = Vec::with_capacity(k);
+    let mut seen = std::collections::HashSet::with_capacity(k * 2);
+    let mut attempts = 0usize;
+    let attempt_cap = (k * 64 + 1024).saturating_mul(4);
+    while chosen.len() < k && attempts < attempt_cap {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v || g.has_edge(u, v) || del.contains(&(u, v)) {
+            continue;
+        }
+        if seen.insert((u, v)) {
+            chosen.push((u, v));
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi::erdos_renyi;
+    use crate::selfloops::add_self_loops;
+
+    fn test_graph() -> DynGraph {
+        let mut g = erdos_renyi(200, 1500, 42);
+        add_self_loops(&mut g);
+        g
+    }
+
+    #[test]
+    fn generated_batch_is_valid() {
+        let g = test_graph();
+        let batch = BatchSpec::mixed(0.01, 7).generate(&g);
+        assert!(!batch.is_empty());
+        for &(u, v) in &batch.deletions {
+            assert!(g.has_edge(u, v), "deletion ({u},{v}) not in graph");
+            assert_ne!(u, v, "self-loop scheduled for deletion");
+        }
+        for &(u, v) in &batch.insertions {
+            assert!(!g.has_edge(u, v), "insertion ({u},{v}) already in graph");
+            assert_ne!(u, v);
+        }
+        // Applying must succeed without error.
+        let mut g2 = g.clone();
+        g2.apply_batch(&batch).unwrap();
+    }
+
+    #[test]
+    fn equal_mix_split() {
+        let g = test_graph();
+        let batch = BatchSpec::mixed(0.02, 3).generate(&g);
+        let total = batch.len();
+        assert!(batch.deletions.len() == total / 2);
+        assert!(batch.insertions.len() == total - total / 2);
+    }
+
+    #[test]
+    fn min_batch_is_one_edge() {
+        let g = test_graph();
+        let batch = BatchSpec::mixed(1e-12, 3).generate(&g);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn insert_only_and_delete_only() {
+        let g = test_graph();
+        let bi = BatchSpec::insert_only(0.01, 5).generate(&g);
+        assert!(bi.deletions.is_empty() && !bi.insertions.is_empty());
+        let bd = BatchSpec::delete_only(0.01, 5).generate(&g);
+        assert!(bd.insertions.is_empty() && !bd.deletions.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = test_graph();
+        let a = BatchSpec::mixed(0.01, 11).generate(&g);
+        let b = BatchSpec::mixed(0.01, 11).generate(&g);
+        assert_eq!(a, b);
+        let c = BatchSpec::mixed(0.01, 12).generate(&g);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inverse_restores_graph() {
+        let g0 = test_graph();
+        let mut g = g0.clone();
+        let batch = BatchSpec::mixed(0.05, 9).generate(&g);
+        g.apply_batch(&batch).unwrap();
+        g.apply_batch(&batch.inverse()).unwrap();
+        assert_eq!(g, g0);
+    }
+
+    #[test]
+    fn self_loops_survive_batches() {
+        let g0 = test_graph();
+        let mut g = g0.clone();
+        let batch = BatchSpec::mixed(0.1, 13).generate(&g);
+        g.apply_batch(&batch).unwrap();
+        for v in 0..g.num_vertices() as VertexId {
+            assert!(g.has_edge(v, v), "self-loop of {v} lost");
+        }
+        assert_eq!(g.snapshot().dead_end_count(), 0);
+    }
+
+    #[test]
+    fn sources_deduplicated_and_sorted() {
+        let b = BatchUpdate {
+            deletions: vec![(3, 1), (1, 2)],
+            insertions: vec![(3, 4), (0, 5)],
+        };
+        assert_eq!(b.sources(), vec![0, 1, 3]);
+    }
+}

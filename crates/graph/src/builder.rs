@@ -1,0 +1,141 @@
+//! Edge-list accumulation and normalization before CSR construction.
+
+use crate::csr::Csr;
+use crate::digraph::DynGraph;
+use crate::types::{Edge, GraphError, Result, VertexId};
+
+/// Accumulates edges, then normalizes (dedup, optional self-loop policy)
+/// and produces a [`DynGraph`] or a raw [`Csr`].
+///
+/// ```
+/// use lfpr_graph::GraphBuilder;
+/// let g = GraphBuilder::new(3)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(0, 1) // duplicate, removed on build
+///     .build_dyn()
+///     .unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), symmetric: false }
+    }
+
+    /// Add one directed edge.
+    #[must_use]
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Add many directed edges.
+    #[must_use]
+    pub fn edges<I: IntoIterator<Item = Edge>>(mut self, it: I) -> Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Treat the input as undirected: each edge `(u, v)` also adds `(v, u)`.
+    /// The paper does this for the undirected SuiteSparse graphs (§5.1.3).
+    #[must_use]
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Number of edges currently staged (before dedup/symmetrization).
+    pub fn staged_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn normalized_edges(&self) -> Result<Vec<Edge>> {
+        let mut edges = Vec::with_capacity(
+            self.edges.len() * if self.symmetric { 2 } else { 1 },
+        );
+        for &(u, v) in &self.edges {
+            if (u as usize) >= self.n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            }
+            if (v as usize) >= self.n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            }
+            edges.push((u, v));
+            if self.symmetric && u != v {
+                edges.push((v, u));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Ok(edges)
+    }
+
+    /// Build a deduplicated mutable [`DynGraph`].
+    pub fn build_dyn(&self) -> Result<DynGraph> {
+        let edges = self.normalized_edges()?;
+        Ok(DynGraph::from_sorted_edges(self.n, &edges))
+    }
+
+    /// Build a deduplicated immutable out-adjacency [`Csr`].
+    pub fn build_csr(&self) -> Result<Csr> {
+        let edges = self.normalized_edges()?;
+        Ok(Csr::from_edges(self.n, &edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_on_build() {
+        let g = GraphBuilder::new(2).edge(0, 1).edge(0, 1).build_csr().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn symmetric_doubles_edges() {
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .symmetric(true)
+            .build_csr()
+            .unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn symmetric_self_loop_not_doubled() {
+        let g = GraphBuilder::new(1).edge(0, 0).symmetric(true).build_csr().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = GraphBuilder::new(2).edge(0, 5).build_csr().unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 });
+        let err = GraphBuilder::new(2).edge(7, 0).build_csr().unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 7, n: 2 });
+    }
+
+    #[test]
+    fn build_dyn_matches_build_csr() {
+        let b = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 2)]);
+        let dg = b.build_dyn().unwrap();
+        let csr = b.build_csr().unwrap();
+        assert_eq!(dg.num_edges(), csr.num_edges());
+        for u in 0..4 {
+            assert_eq!(dg.out_neighbors(u), csr.neighbors(u));
+        }
+    }
+}

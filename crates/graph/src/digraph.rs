@@ -1,0 +1,310 @@
+//! Mutable dynamic directed graph with batch edge updates.
+//!
+//! `DynGraph` is the mutable side of the substrate: it supports single-edge
+//! and batched insertions/deletions, and produces immutable
+//! [`Snapshot`](crate::snapshot::Snapshot)s for the compute phase, matching
+//! the paper's interleaved update/compute model (§3.4).
+//!
+//! Adjacency is stored per-vertex as a sorted `Vec<VertexId>`, so edge
+//! membership is `O(log d)` and inserts/deletes are `O(d)` — good enough
+//! for the batch-dynamic setting where batches are small relative to `|E|`.
+
+use crate::batch::BatchUpdate;
+use crate::snapshot::Snapshot;
+use crate::types::{Edge, GraphError, Result, VertexId};
+
+/// A mutable directed graph over a fixed vertex set `0..n`.
+///
+/// The paper assumes no vertex additions/removals (§3.4); the vertex count
+/// is fixed at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynGraph {
+    out: Vec<Vec<VertexId>>, // sorted
+    m: usize,
+}
+
+impl DynGraph {
+    /// An edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DynGraph { out: vec![Vec::new(); n], m: 0 }
+    }
+
+    /// Construct from a strictly sorted, deduplicated edge list.
+    pub(crate) fn from_sorted_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut out = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            out[u as usize].push(v);
+        }
+        DynGraph { out, m: edges.len() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Sorted out-neighbors of `u`.
+    #[inline]
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.out[u as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: VertexId) -> usize {
+        self.out[u as usize].len()
+    }
+
+    /// Whether `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out[u as usize].binary_search(&v).is_ok()
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if (v as usize) < self.out.len() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange { vertex: v, n: self.out.len() })
+        }
+    }
+
+    /// Insert edge `(u, v)`. Errors if it already exists.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        match self.out[u as usize].binary_search(&v) {
+            Ok(_) => Err(GraphError::DuplicateEdge((u, v))),
+            Err(pos) => {
+                self.out[u as usize].insert(pos, v);
+                self.m += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Insert edge `(u, v)` if absent; returns whether it was inserted.
+    pub fn insert_edge_if_absent(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        match self.insert_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Delete edge `(u, v)`. Errors if it does not exist.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        match self.out[u as usize].binary_search(&v) {
+            Ok(pos) => {
+                self.out[u as usize].remove(pos);
+                self.m -= 1;
+                Ok(())
+            }
+            Err(_) => Err(GraphError::MissingEdge((u, v))),
+        }
+    }
+
+    /// Apply a batch update: all deletions then all insertions.
+    ///
+    /// Deletions of missing edges and insertions of existing edges are
+    /// rejected with an error and the graph is left partially updated, so
+    /// callers should validate batches (the generators in
+    /// [`batch`](crate::batch) always produce valid batches).
+    pub fn apply_batch(&mut self, batch: &BatchUpdate) -> Result<()> {
+        for &(u, v) in &batch.deletions {
+            self.delete_edge(u, v)?;
+        }
+        for &(u, v) in &batch.insertions {
+            self.insert_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Apply the inverse of a batch (re-insert deletions, remove
+    /// insertions), restoring the pre-batch graph. Used by the stability
+    /// experiment (§5.2.3).
+    pub fn revert_batch(&mut self, batch: &BatchUpdate) -> Result<()> {
+        for &(u, v) in &batch.insertions {
+            self.delete_edge(u, v)?;
+        }
+        for &(u, v) in &batch.deletions {
+            self.insert_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Grow the vertex set to `new_n` vertices (ids `old_n..new_n` are
+    /// added with empty adjacency). Supports the paper's future-work
+    /// extension (§6): vertex additions in the dynamic setting. Shrinking
+    /// is not supported; `new_n < n` is a no-op.
+    pub fn grow(&mut self, new_n: usize) {
+        if new_n > self.out.len() {
+            self.out.resize(new_n, Vec::new());
+        }
+    }
+
+    /// Delete every edge incident to `v` (both directions), isolating it.
+    /// Returns the removed edges as a batch-compatible list. `O(|E|)` —
+    /// intended for the vertex-removal extension, not hot paths.
+    pub fn isolate_vertex(&mut self, v: VertexId) -> Vec<Edge> {
+        let mut removed: Vec<Edge> = Vec::new();
+        // Outgoing edges.
+        let outs = std::mem::take(&mut self.out[v as usize]);
+        for &w in &outs {
+            removed.push((v, w));
+        }
+        self.m -= outs.len();
+        // Incoming edges: scan all sources (no reverse index on the
+        // mutable graph).
+        for u in 0..self.out.len() {
+            if u as VertexId == v {
+                continue;
+            }
+            if let Ok(pos) = self.out[u].binary_search(&v) {
+                self.out[u].remove(pos);
+                self.m -= 1;
+                removed.push((u as VertexId, v));
+            }
+        }
+        removed
+    }
+
+    /// Iterate all edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out.iter().enumerate().flat_map(|(u, list)| {
+            list.iter().map(move |&v| (u as VertexId, v))
+        })
+    }
+
+    /// Take an immutable CSR snapshot (out + in adjacency).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_adjacency(&self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchUpdate;
+
+    fn triangle() -> DynGraph {
+        let mut g = DynGraph::new(3);
+        g.insert_edge(0, 1).unwrap();
+        g.insert_edge(1, 2).unwrap();
+        g.insert_edge(2, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let g = triangle();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.out_degree(0), 1);
+    }
+
+    #[test]
+    fn insert_duplicate_rejected() {
+        let mut g = triangle();
+        assert_eq!(g.insert_edge(0, 1).unwrap_err(), GraphError::DuplicateEdge((0, 1)));
+        assert!(!g.insert_edge_if_absent(0, 1).unwrap());
+        assert!(g.insert_edge_if_absent(0, 2).unwrap());
+    }
+
+    #[test]
+    fn delete_missing_rejected() {
+        let mut g = triangle();
+        assert_eq!(g.delete_edge(0, 2).unwrap_err(), GraphError::MissingEdge((0, 2)));
+        g.delete_edge(0, 1).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn neighbors_stay_sorted_under_mutation() {
+        let mut g = DynGraph::new(5);
+        for v in [4, 1, 3, 0, 2] {
+            g.insert_edge(0, v).unwrap();
+        }
+        assert_eq!(g.out_neighbors(0), &[0, 1, 2, 3, 4]);
+        g.delete_edge(0, 2).unwrap();
+        assert_eq!(g.out_neighbors(0), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn apply_then_revert_is_identity() {
+        let mut g = triangle();
+        let before = g.clone();
+        let batch = BatchUpdate {
+            deletions: vec![(0, 1)],
+            insertions: vec![(1, 0), (0, 2)],
+        };
+        g.apply_batch(&batch).unwrap();
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 1));
+        g.revert_batch(&batch).unwrap();
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = DynGraph::new(2);
+        assert!(matches!(
+            g.insert_edge(0, 9),
+            Err(GraphError::VertexOutOfRange { vertex: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn edges_iterator_sorted() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn grow_adds_isolated_vertices() {
+        let mut g = triangle();
+        g.grow(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(4), 0);
+        g.insert_edge(4, 0).unwrap();
+        assert!(g.has_edge(4, 0));
+        // Shrinking is a no-op.
+        g.grow(2);
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn isolate_vertex_removes_all_incident_edges() {
+        let mut g = triangle();
+        g.insert_edge(0, 2).unwrap();
+        let removed = g.isolate_vertex(2);
+        assert_eq!(g.num_edges(), 1); // only (0,1) remains
+        assert!(!g.has_edge(1, 2) && !g.has_edge(2, 0) && !g.has_edge(0, 2));
+        let mut removed_sorted = removed.clone();
+        removed_sorted.sort_unstable();
+        assert_eq!(removed_sorted, vec![(0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn snapshot_matches_dyn() {
+        let g = triangle();
+        let s = g.snapshot();
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.num_edges(), 3);
+        assert_eq!(s.out(0), &[1]);
+        assert_eq!(s.in_(0), &[2]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Erdős–Rényi G(n, m) random digraphs (uniform edge placement).
+//!
+//! Used as a structure-free baseline in tests and ablations; the paper's
+//! dataset classes are all *non*-uniform, which is exactly why ER is a
+//! useful control: frontier growth on ER has no hubs to amplify it.
+
+use crate::digraph::DynGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a uniform random digraph with `n` vertices and (up to) `m`
+/// distinct directed edges, no self-loops. Deterministic in `seed`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> DynGraph {
+    let mut g = DynGraph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_m = n * (n - 1);
+    let m = m.min(max_m);
+    let mut placed = 0usize;
+    // Rejection sampling is fine while the graph is sparse (m << n^2).
+    let mut attempts = 0usize;
+    let cap = m * 32 + 1024;
+    while placed < m && attempts < cap {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        if g.insert_edge_if_absent(u, v).expect("in range") {
+            placed += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_when_sparse() {
+        let g = erdos_renyi(100, 500, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(50, 300, 2);
+        for v in 0..50u32 {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(80, 400, 9), erdos_renyi(80, 400, 9));
+        assert_ne!(erdos_renyi(80, 400, 9), erdos_renyi(80, 400, 10));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(erdos_renyi(0, 10, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(1, 10, 1).num_edges(), 0);
+        // Requesting more edges than possible caps at n(n-1).
+        let g = erdos_renyi(3, 100, 1);
+        assert_eq!(g.num_edges(), 6);
+    }
+}

@@ -1,0 +1,101 @@
+//! Road-network-like graphs: perturbed 2D grids.
+//!
+//! DIMACS10 road networks (asia_osm, europe_osm) have average degree ≈ 3.1
+//! and enormous diameter — rank perturbations propagate slowly, which is
+//! exactly the regime where the paper says DF "performs well on road
+//! networks … (sparse)" (§5.2.2). A 2D grid with a random fraction of
+//! edges removed and a few shortcuts reproduces degree ≈ 3 and
+//! diameter Θ(√n).
+
+use crate::digraph::DynGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a symmetrized road-like network with approximately `n`
+/// vertices (rounded to a full `rows × cols` grid).
+///
+/// Construction: 4-neighbor grid, keep each undirected lattice edge with
+/// probability 0.53 — OSM graphs have |E| ≈ 3.1·|V| *including* the
+/// self-loops the paper adds, i.e. ~1.05 undirected lattice edges per
+/// vertex — then add `n/200` long-range shortcuts (highways).
+pub fn grid_road(n: usize, seed: u64) -> DynGraph {
+    let mut g = DynGraph::new(n);
+    if n == 0 {
+        return g;
+    }
+    let side = (n as f64).sqrt().round().max(1.0) as usize;
+    let (rows, cols) = (n.div_ceil(side).max(1), side);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // The last grid row may be partial; any id >= n is skipped, so the
+    // graph has exactly n vertices.
+    let id = |r: usize, c: usize| r * cols + c;
+    let keep_p = 0.53;
+    for r in 0..rows {
+        for c in 0..cols {
+            if id(r, c) >= n {
+                continue;
+            }
+            if c + 1 < cols && id(r, c + 1) < n && rng.gen::<f64>() < keep_p {
+                let (a, b) = (id(r, c) as u32, id(r, c + 1) as u32);
+                let _ = g.insert_edge_if_absent(a, b);
+                let _ = g.insert_edge_if_absent(b, a);
+            }
+            if r + 1 < rows && id(r + 1, c) < n && rng.gen::<f64>() < keep_p {
+                let (a, b) = (id(r, c) as u32, id(r + 1, c) as u32);
+                let _ = g.insert_edge_if_absent(a, b);
+                let _ = g.insert_edge_if_absent(b, a);
+            }
+        }
+    }
+    // Highways: a few long-range shortcuts.
+    let shortcuts = (n / 200).max(1);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < shortcuts && attempts < shortcuts * 32 + 64 {
+        attempts += 1;
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        if a == b {
+            continue;
+        }
+        if g.insert_edge_if_absent(a, b).expect("in range") {
+            let _ = g.insert_edge_if_absent(b, a);
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_matches_road_class() {
+        let g = grid_road(10_000, 1);
+        let davg = g.num_edges() as f64 / g.num_vertices() as f64;
+        // OSM: ~2.1 directed edges per vertex before self-loops
+        // (3.1 including them, as Table 2 counts).
+        assert!(davg > 1.7 && davg < 2.8, "Davg = {davg:.2}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = grid_road(900, 2);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(grid_road(400, 3), grid_road(400, 3));
+    }
+
+    #[test]
+    fn exact_vertex_count() {
+        for n in [1, 4, 100, 6000, 977] {
+            assert_eq!(grid_road(n, 4).num_vertices(), n, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Protein k-mer-like graphs: long chains with sparse branching.
+//!
+//! GenBank k-mer graphs (kmer_A2a, kmer_V1r in Table 2) are de-Bruijn-ish:
+//! average degree ≈ 3.1 with long filamentary paths. We model them as a
+//! union of vertex-disjoint chains whose ends are stitched with random
+//! branch edges, symmetrized.
+
+use crate::digraph::DynGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a k-mer-like chain graph with `n` vertices.
+///
+/// Vertices are partitioned into chains of random length 32–256; chain
+/// neighbors are connected bidirectionally, then `0.05 · n` extra branch
+/// edges are added between random vertices (biased toward chain ends) to
+/// reach the Davg ≈ 3.1 of the GenBank graphs.
+pub fn kmer_chain(n: usize, seed: u64) -> DynGraph {
+    let mut g = DynGraph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Chains.
+    let mut v = 0usize;
+    while v + 1 < n {
+        let len = rng.gen_range(32..=256).min(n - v);
+        for i in 0..len - 1 {
+            let (a, b) = ((v + i) as u32, (v + i + 1) as u32);
+            let _ = g.insert_edge_if_absent(a, b);
+            let _ = g.insert_edge_if_absent(b, a);
+        }
+        v += len;
+    }
+    // Branch edges: ~0.05 n undirected extras. GenBank k-mer graphs have
+    // |E| ≈ 3.1|V| including self-loops, i.e. ~1.05 undirected edges per
+    // vertex: the chains supply ~0.99, branches the rest.
+    let extras = n * 5 / 100;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extras && attempts < extras * 32 + 64 {
+        attempts += 1;
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        if a == b {
+            continue;
+        }
+        if g.insert_edge_if_absent(a, b).expect("in range") {
+            let _ = g.insert_edge_if_absent(b, a);
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_matches_kmer_class() {
+        let g = kmer_chain(20_000, 1);
+        let davg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(davg > 1.8 && davg < 2.6, "Davg = {davg:.2}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = kmer_chain(2000, 2);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn chains_are_connected_locally() {
+        let g = kmer_chain(1000, 3);
+        // Most consecutive pairs inside a chain are connected; sample the
+        // start of the graph (first chain is at least 32 long).
+        let connected = (0..31).filter(|&i| g.has_edge(i, i + 1)).count();
+        assert!(connected >= 30, "only {connected}/31 chain links present");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(kmer_chain(500, 7), kmer_chain(500, 7));
+    }
+}

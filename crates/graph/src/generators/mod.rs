@@ -1,0 +1,155 @@
+//! Synthetic graph generators standing in for the paper's datasets.
+//!
+//! The paper evaluates on 12 SuiteSparse graphs (Table 2: web graphs,
+//! social networks, road networks, protein k-mer graphs; 37 M – 1.98 B
+//! edges) and 2 SNAP temporal graphs (Table 1). Those inputs are
+//! impractical to ship; per the substitution rule we generate graphs of
+//! the **same structural classes** at laptop scale:
+//!
+//! * **web-like** — RMAT with skewed parameters (a≫d): heavy-tailed
+//!   in/out degrees, local clustering, high average degree (~25).
+//! * **social** — RMAT, denser and slightly less skewed (avg degree ~75
+//!   for the com-Orkut analogue), symmetrized.
+//! * **road** — 2D grid with perturbed connectivity: degree ≈ 3, enormous
+//!   diameter, symmetrized. DF shines here per §5.2.2.
+//! * **k-mer** — long chains with occasional branching: degree ≈ 3, long
+//!   paths (GenBank k-mer graphs are de-Bruijn-like).
+//! * **temporal** — timestamped preferential-attachment streams with
+//!   duplicate edges, replayed as insert-only batches (Table 1 protocol).
+//!
+//! What the DF-vs-ND comparison depends on — degree distribution shape,
+//! diameter class, and sparsity — is preserved; absolute scale is not.
+
+pub mod erdos_renyi;
+pub mod grid;
+pub mod kmer;
+pub mod rmat;
+pub mod temporal;
+
+pub use erdos_renyi::erdos_renyi;
+pub use grid::grid_road;
+pub use kmer::kmer_chain;
+pub use rmat::{rmat, RmatParams};
+pub use temporal::{temporal_stream, TemporalGraph};
+
+use crate::digraph::DynGraph;
+use crate::selfloops::add_self_loops;
+
+/// Structural class of a generated graph (mirrors Table 2's four groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphClass {
+    /// LAW web crawls: directed, skewed, high degree.
+    Web,
+    /// SNAP social networks: undirected (symmetrized), dense.
+    Social,
+    /// DIMACS10 road networks: undirected, degree ~3, huge diameter.
+    Road,
+    /// GenBank protein k-mer graphs: undirected, degree ~3, long chains.
+    Kmer,
+}
+
+/// A named entry of the scaled-down Table-2 suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Name mirroring the paper's dataset (e.g. "indochina-2004*").
+    pub name: &'static str,
+    /// Structural class.
+    pub class: GraphClass,
+    /// Scaled vertex count.
+    pub n: usize,
+    /// Target (directed) edge count before self-loops.
+    pub m: usize,
+    /// Whether the paper marks the original as directed (`*` in Table 2).
+    pub directed: bool,
+}
+
+impl SuiteEntry {
+    /// Generate the graph (self-loops added, dead-end free).
+    pub fn generate(&self, seed: u64) -> DynGraph {
+        let mut g = match self.class {
+            GraphClass::Web => rmat(self.n, self.m, RmatParams::web(), false, seed),
+            GraphClass::Social => rmat(self.n, self.m, RmatParams::social(), true, seed),
+            GraphClass::Road => grid_road(self.n, seed),
+            GraphClass::Kmer => kmer_chain(self.n, seed),
+        };
+        add_self_loops(&mut g);
+        g
+    }
+}
+
+/// The 12-graph suite mirroring Table 2, scaled ~1000× down so the full
+/// batch-fraction sweep (Figure 7) runs on a commodity machine. Relative
+/// proportions between the graphs (vertex/edge ratios, degree classes)
+/// follow the table.
+pub fn table2_suite() -> Vec<SuiteEntry> {
+    use GraphClass::*;
+    vec![
+        SuiteEntry { name: "indochina-2004*", class: Web, n: 7_400, m: 199_000, directed: true },
+        SuiteEntry { name: "arabic-2005*", class: Web, n: 22_700, m: 654_000, directed: true },
+        SuiteEntry { name: "uk-2005*", class: Web, n: 39_500, m: 961_000, directed: true },
+        SuiteEntry { name: "webbase-2001*", class: Web, n: 118_000, m: 1_110_000, directed: true },
+        SuiteEntry { name: "it-2004*", class: Web, n: 41_300, m: 1_180_000, directed: true },
+        SuiteEntry { name: "sk-2005*", class: Web, n: 50_600, m: 1_980_000, directed: true },
+        SuiteEntry { name: "com-LiveJournal", class: Social, n: 4_000, m: 73_400, directed: false },
+        SuiteEntry { name: "com-Orkut", class: Social, n: 3_070, m: 237_000, directed: false },
+        SuiteEntry { name: "asia_osm", class: Road, n: 12_000, m: 37_400, directed: false },
+        SuiteEntry { name: "europe_osm", class: Road, n: 50_900, m: 159_000, directed: false },
+        SuiteEntry { name: "kmer_A2a", class: Kmer, n: 171_000, m: 531_000, directed: false },
+        SuiteEntry { name: "kmer_V1r", class: Kmer, n: 214_000, m: 679_000, directed: false },
+    ]
+}
+
+/// A reduced 4-graph suite (one per class) for quick benches and tests.
+pub fn mini_suite() -> Vec<SuiteEntry> {
+    use GraphClass::*;
+    vec![
+        SuiteEntry { name: "web-mini*", class: Web, n: 4_000, m: 100_000, directed: true },
+        SuiteEntry { name: "social-mini", class: Social, n: 2_000, m: 120_000, directed: false },
+        SuiteEntry { name: "road-mini", class: Road, n: 6_000, m: 18_000, directed: false },
+        SuiteEntry { name: "kmer-mini", class: Kmer, n: 8_000, m: 24_000, directed: false },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selfloops::all_have_self_loops;
+
+    #[test]
+    fn suite_has_twelve_entries() {
+        assert_eq!(table2_suite().len(), 12);
+    }
+
+    #[test]
+    fn mini_suite_generates_valid_graphs() {
+        for entry in mini_suite() {
+            let g = entry.generate(1);
+            assert_eq!(g.num_vertices(), entry.n, "{}", entry.name);
+            assert!(all_have_self_loops(&g), "{}", entry.name);
+            assert_eq!(g.snapshot().dead_end_count(), 0, "{}", entry.name);
+            // Edge count should be in the right ballpark (generators are
+            // probabilistic; self-loops add n edges).
+            assert!(
+                g.num_edges() >= entry.n,
+                "{}: too few edges ({})",
+                entry.name,
+                g.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn classes_have_distinct_density() {
+        let suite = mini_suite();
+        let deg = |e: &SuiteEntry| {
+            let g = e.generate(2);
+            g.num_edges() as f64 / g.num_vertices() as f64
+        };
+        let social = deg(&suite[1]);
+        let road = deg(&suite[2]);
+        assert!(
+            social > 4.0 * road,
+            "social ({social:.1}) should be much denser than road ({road:.1})"
+        );
+    }
+}

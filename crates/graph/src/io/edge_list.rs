@@ -1,0 +1,112 @@
+//! Whitespace-separated edge-list I/O (SNAP style).
+//!
+//! Format: one `u v` pair per line; `#` or `%` lines are comments. A third
+//! column (weight or timestamp) is tolerated and ignored. Vertex ids are
+//! compacted: the file's max id + 1 becomes the vertex count.
+
+use crate::digraph::DynGraph;
+use crate::types::{Edge, GraphError, Result};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parse an edge list from any reader. Returns `(n, edges)` where `n` is
+/// `max_id + 1`.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> {
+    let mut edges = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse(format!("line {}: missing source", lineno + 1)))?
+            .parse()
+            .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse(format!("line {}: missing target", lineno + 1)))?
+            .parse()
+            .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    Ok((n, edges))
+}
+
+/// Read an edge-list file into a deduplicated [`DynGraph`].
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<DynGraph> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
+    let (n, mut edges) = parse_edge_list(std::io::BufReader::new(file))?;
+    edges.sort_unstable();
+    edges.dedup();
+    Ok(crate::digraph::DynGraph::from_sorted_edges(n, &edges))
+}
+
+/// Write a graph as a `u v` edge list with a header comment.
+pub fn write_edge_list<P: AsRef<Path>>(path: P, g: &DynGraph) -> Result<()> {
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
+    let mut w = BufWriter::new(file);
+    let mut emit = || -> std::io::Result<()> {
+        writeln!(w, "# vertices: {} edges: {}", g.num_vertices(), g.num_edges())?;
+        for (u, v) in g.edges() {
+            writeln!(w, "{u} {v}")?;
+        }
+        w.flush()
+    };
+    emit().map_err(|e| GraphError::Parse(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_basic() {
+        let input = "# comment\n0 1\n1 2\n% another\n2 0 17\n";
+        let (n, edges) = parse_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn parse_empty() {
+        let (n, edges) = parse_edge_list(Cursor::new("# only comments\n")).unwrap();
+        assert_eq!(n, 0);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_edge_list(Cursor::new("0 x\n")).is_err());
+        assert!(parse_edge_list(Cursor::new("0\n")).is_err());
+    }
+
+    #[test]
+    fn roundtrip_via_tempfile() {
+        let mut g = DynGraph::new(4);
+        g.insert_edge(0, 1).unwrap();
+        g.insert_edge(1, 3).unwrap();
+        g.insert_edge(3, 0).unwrap();
+        let path = std::env::temp_dir().join("lfpr_edge_list_roundtrip.txt");
+        write_edge_list(&path, &g).unwrap();
+        let g2 = read_edge_list(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn read_missing_file_errors() {
+        assert!(read_edge_list("/nonexistent/definitely/missing.txt").is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal MatrixMarket (`.mtx`) coordinate reader for SuiteSparse graphs.
+//!
+//! Supports `matrix coordinate (pattern|real|integer) (general|symmetric)`.
+//! Symmetric matrices are expanded to both directions, matching the
+//! paper's treatment of undirected graphs (§5.1.3). Values are ignored
+//! (PageRank is unweighted here). MatrixMarket is 1-indexed; we shift to
+//! 0-indexed.
+
+use crate::digraph::DynGraph;
+use crate::types::{Edge, GraphError, Result};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Parse MatrixMarket coordinate data from a reader.
+pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| GraphError::Parse("empty file".into()))?
+        .map_err(|e| GraphError::Parse(e.to_string()))?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(GraphError::Parse(format!("unsupported header: {header}")));
+    }
+    let symmetric = h.contains("symmetric");
+    let has_value = !h.contains("pattern");
+
+    // Skip comments, read size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| GraphError::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| GraphError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>().map_err(|e| GraphError::Parse(e.to_string())))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(GraphError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+    let n = rows.max(cols);
+    let mut edges = Vec::with_capacity(if symmetric { nnz * 2 } else { nnz });
+    for line in lines {
+        let line = line.map_err(|e| GraphError::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse("missing row".into()))?
+            .parse()
+            .map_err(|e| GraphError::Parse(format!("{e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse("missing col".into()))?
+            .parse()
+            .map_err(|e| GraphError::Parse(format!("{e}")))?;
+        if has_value && parts.next().is_none() {
+            return Err(GraphError::Parse(format!("missing value: {t}")));
+        }
+        if u == 0 || v == 0 || u > n || v > n {
+            return Err(GraphError::Parse(format!("index out of range: {t}")));
+        }
+        let (u, v) = ((u - 1) as u32, (v - 1) as u32);
+        edges.push((u, v));
+        if symmetric && u != v {
+            edges.push((v, u));
+        }
+    }
+    Ok((n, edges))
+}
+
+/// Read a `.mtx` file into a deduplicated [`DynGraph`].
+pub fn read_matrix_market<P: AsRef<Path>>(path: P) -> Result<DynGraph> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
+    let (n, mut edges) = parse_matrix_market(std::io::BufReader::new(file))?;
+    edges.sort_unstable();
+    edges.dedup();
+    Ok(DynGraph::from_sorted_edges(n, &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_general_pattern() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n% comment\n3 3 3\n1 2\n2 3\n3 1\n";
+        let (n, edges) = parse_matrix_market(Cursor::new(mtx)).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n";
+        let (_, edges) = parse_matrix_market(Cursor::new(mtx)).unwrap();
+        assert_eq!(edges, vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn parse_real_values_ignored() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 0.5\n2 1 1.5\n";
+        let (_, edges) = parse_matrix_market(Cursor::new(mtx)).unwrap();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn symmetric_diagonal_not_doubled() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 1\n";
+        let (_, edges) = parse_matrix_market(Cursor::new(mtx)).unwrap();
+        assert_eq!(edges, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n")).is_err());
+        assert!(parse_matrix_market(Cursor::new("garbage\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(parse_matrix_market(Cursor::new(mtx)).is_err());
+        let mtx0 = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(parse_matrix_market(Cursor::new(mtx0)).is_err());
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n";
+        assert!(parse_matrix_market(Cursor::new(mtx)).is_err());
+    }
+}

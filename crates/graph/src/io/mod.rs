@@ -1,0 +1,11 @@
+//! Graph input/output: plain edge lists and MatrixMarket.
+//!
+//! Lets users run the harness against the paper's actual datasets
+//! (SuiteSparse `.mtx`, SNAP edge lists) when they have them on disk; the
+//! benches fall back to generated graphs otherwise.
+
+pub mod edge_list;
+pub mod matrix_market;
+
+pub use edge_list::{read_edge_list, write_edge_list};
+pub use matrix_market::read_matrix_market;

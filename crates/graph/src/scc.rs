@@ -1,0 +1,186 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! The Dynamic Traversal literature the paper builds on (Sahu et al.
+//! [38]) confines recomputation to SCCs reachable from updated vertices;
+//! this module provides the SCC decomposition for that style of
+//! analysis, plus condensation utilities used to reason about how far a
+//! batch update can possibly propagate (an upper bound on any frontier).
+
+use crate::snapshot::Snapshot;
+use crate::types::VertexId;
+
+/// SCC decomposition result.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `component[v]` = the SCC id of vertex `v` (ids are dense,
+    /// `0..num_components`, in reverse topological order of the
+    /// condensation — Tarjan emits sinks first).
+    pub component: Vec<u32>,
+    /// Number of SCCs.
+    pub num_components: usize,
+}
+
+impl SccDecomposition {
+    /// Size of each component.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest SCC.
+    pub fn largest(&self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether `u` and `v` are strongly connected.
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.component[u as usize] == self.component[v as usize]
+    }
+}
+
+/// Iterative Tarjan SCC over the snapshot's out-edges. `O(|V| + |E|)`,
+/// no recursion (safe on long k-mer chains and grid paths).
+pub fn tarjan_scc(g: &Snapshot) -> SccDecomposition {
+    let n = g.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new(); // Tarjan's stack
+    let mut next_index = 0u32;
+    let mut num_components = 0usize;
+
+    // Explicit DFS frame: (vertex, next-edge cursor).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let outs = g.out(v);
+            if *cursor < outs.len() {
+                let w = outs[*cursor];
+                *cursor += 1;
+                if index[w as usize] == UNSET {
+                    // Tree edge: descend.
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    // Back/cross edge within the current SCC forest.
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // v is finished.
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    // v is an SCC root: pop its component.
+                    loop {
+                        let w = stack.pop().expect("stack non-empty");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+    SccDecomposition { component, num_components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = Snapshot::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 1);
+        assert!(scc.same_component(0, 3));
+        assert_eq!(scc.largest(), 4);
+    }
+
+    #[test]
+    fn dag_is_singletons() {
+        let g = Snapshot::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 4);
+        assert!(!scc.same_component(0, 1));
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // 0<->1  ->  2<->3
+        let g = Snapshot::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 2);
+        assert!(scc.same_component(0, 1));
+        assert!(scc.same_component(2, 3));
+        assert!(!scc.same_component(1, 2));
+        // Tarjan emits sinks first: {2,3} gets the lower id.
+        assert!(scc.component[2] < scc.component[0]);
+    }
+
+    #[test]
+    fn self_loops_are_singleton_sccs() {
+        let g = Snapshot::from_edges(3, &[(0, 0), (1, 1), (2, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 3);
+        assert_eq!(scc.component_sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-vertex path — a recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let g = Snapshot::from_edges(n, &edges);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, n);
+    }
+
+    #[test]
+    fn generated_symmetric_graph_component_structure() {
+        // Symmetric graphs: SCCs = weakly connected components.
+        let mut g = crate::generators::grid_road(400, 3);
+        crate::selfloops::add_self_loops(&mut g);
+        let s = g.snapshot();
+        let scc = tarjan_scc(&s);
+        // Every edge's endpoints are strongly connected (symmetric).
+        for (u, v) in s.edges() {
+            assert!(scc.same_component(u, v), "({u},{v}) split across SCCs");
+        }
+        let total: usize = scc.component_sizes().iter().sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Snapshot::from_edges(0, &[]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 0);
+        assert_eq!(scc.largest(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Dead-end elimination via universal self-loops.
+//!
+//! Dead ends (vertices with no out-links) leak rank; the standard fix adds
+//! a global teleport contribution each iteration, which costs a full
+//! reduction. The paper (§5.1.3) instead adds a self-loop to **every**
+//! vertex: *"We eliminate this overhead by adding self-loops to all the
+//! vertices in the graph"* (following Andersen et al. and Langville &
+//! Meyer). We do the same, and the batch generator never deletes
+//! self-loops, so the invariant holds across updates.
+
+use crate::digraph::DynGraph;
+use crate::types::VertexId;
+
+/// Add a self-loop to every vertex that lacks one. Returns how many were
+/// added.
+pub fn add_self_loops(g: &mut DynGraph) -> usize {
+    let mut added = 0;
+    for v in 0..g.num_vertices() as VertexId {
+        if g.insert_edge_if_absent(v, v).expect("vertex in range") {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Check that every vertex has a self-loop (the no-dead-end invariant).
+pub fn all_have_self_loops(g: &DynGraph) -> bool {
+    (0..g.num_vertices() as VertexId).all(|v| g.has_edge(v, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds_loops_everywhere() {
+        let mut g = DynGraph::new(4);
+        g.insert_edge(0, 1).unwrap();
+        g.insert_edge(1, 1).unwrap(); // pre-existing loop
+        let added = add_self_loops(&mut g);
+        assert_eq!(added, 3);
+        assert!(all_have_self_loops(&g));
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut g = DynGraph::new(3);
+        add_self_loops(&mut g);
+        let m = g.num_edges();
+        assert_eq!(add_self_loops(&mut g), 0);
+        assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn eliminates_dead_ends() {
+        let mut g = DynGraph::new(10);
+        g.insert_edge(0, 5).unwrap();
+        add_self_loops(&mut g);
+        assert_eq!(g.snapshot().dead_end_count(), 0);
+    }
+}

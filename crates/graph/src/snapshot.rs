@@ -1,0 +1,170 @@
+//! Immutable CSR snapshots consumed by the PageRank algorithms.
+//!
+//! A [`Snapshot`] is a frozen view of a [`DynGraph`](crate::digraph::DynGraph)
+//! holding both out-adjacency (for frontier expansion: marking
+//! out-neighbors as affected) and in-adjacency (for the pull-style rank
+//! computation `R[v] = (1-α)/n + α · Σ R[u]/outdeg(u)` over `u ∈ in(v)`).
+//! Out-degrees are cached in a dense array because every in-edge visit
+//! divides by the source's out-degree.
+//!
+//! Snapshots are `Sync` and are shared by reference across worker threads.
+
+use crate::csr::Csr;
+use crate::types::{Edge, VertexId};
+
+/// Frozen directed graph with out- and in-CSR plus cached out-degrees.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    out_csr: Csr,
+    in_csr: Csr,
+    out_degree: Vec<u32>,
+}
+
+impl Snapshot {
+    /// Build from per-vertex sorted out-adjacency lists.
+    pub fn from_adjacency(adj: &[Vec<VertexId>]) -> Self {
+        let out_csr = Csr::from_adjacency(adj);
+        Self::from_out_csr(out_csr)
+    }
+
+    /// Build from an edge list (sorted or not; duplicates kept).
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        Self::from_out_csr(Csr::from_edges(n, edges))
+    }
+
+    /// Build from an existing out-CSR (computes transpose + degrees).
+    pub fn from_out_csr(out_csr: Csr) -> Self {
+        let in_csr = out_csr.transpose();
+        let n = out_csr.num_vertices();
+        let mut out_degree = vec![0u32; n];
+        for (v, d) in out_degree.iter_mut().enumerate() {
+            *d = out_csr.degree(v as VertexId) as u32;
+        }
+        Snapshot { out_csr, in_csr, out_degree }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_csr.num_vertices()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_csr.num_edges()
+    }
+
+    /// Out-neighbors of `v` (sorted).
+    #[inline]
+    pub fn out(&self, v: VertexId) -> &[VertexId] {
+        self.out_csr.neighbors(v)
+    }
+
+    /// In-neighbors of `v` (sorted).
+    #[inline]
+    pub fn in_(&self, v: VertexId) -> &[VertexId] {
+        self.in_csr.neighbors(v)
+    }
+
+    /// Cached out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out_degree[v as usize]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_csr.degree(v)
+    }
+
+    /// Whether edge `(u, v)` is present.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_csr.has_edge(u, v)
+    }
+
+    /// Underlying out-CSR.
+    pub fn out_csr(&self) -> &Csr {
+        &self.out_csr
+    }
+
+    /// Underlying in-CSR.
+    pub fn in_csr(&self) -> &Csr {
+        &self.in_csr
+    }
+
+    /// Iterate all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out_csr.edges()
+    }
+
+    /// Number of dead ends (vertices with out-degree zero). After
+    /// self-loop elimination (paper §5.1.3) this must be zero.
+    pub fn dead_end_count(&self) -> usize {
+        self.out_degree.iter().filter(|&&d| d == 0).count()
+    }
+
+    /// Average out-degree `|E| / |V|` (the `Davg` column of Table 2).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {0}, 3 isolated
+        Snapshot::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn out_and_in_are_consistent() {
+        let s = sample();
+        assert_eq!(s.out(0), &[1, 2]);
+        assert_eq!(s.in_(2), &[0, 1]);
+        assert_eq!(s.in_(0), &[2]);
+        assert_eq!(s.in_(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn degrees_cached_correctly() {
+        let s = sample();
+        assert_eq!(s.out_degree(0), 2);
+        assert_eq!(s.out_degree(3), 0);
+        assert_eq!(s.in_degree(2), 2);
+    }
+
+    #[test]
+    fn dead_end_count() {
+        let s = sample();
+        assert_eq!(s.dead_end_count(), 1); // vertex 3
+        let s2 = Snapshot::from_edges(2, &[(0, 0), (1, 1)]);
+        assert_eq!(s2.dead_end_count(), 0);
+    }
+
+    #[test]
+    fn avg_degree() {
+        let s = sample();
+        assert!((s.avg_degree() - 1.0).abs() < 1e-12);
+        let empty = Snapshot::from_edges(0, &[]);
+        assert_eq!(empty.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn every_out_edge_has_matching_in_edge() {
+        let s = sample();
+        for (u, v) in s.edges() {
+            assert!(s.in_(v).contains(&u), "({u},{v}) missing from in-CSR");
+        }
+        let m_in: usize = (0..s.num_vertices() as VertexId).map(|v| s.in_(v).len()).sum();
+        assert_eq!(m_in, s.num_edges());
+    }
+}

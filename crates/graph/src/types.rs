@@ -1,0 +1,70 @@
+//! Fundamental graph types: vertex ids, edges, and error values.
+
+use std::fmt;
+
+/// Vertex identifier. The paper (§5.1.2) uses 32-bit integers for vertex
+/// ids; we do the same, which halves adjacency-array memory traffic
+/// compared to `usize` on 64-bit machines.
+pub type VertexId = u32;
+
+/// A directed edge `(source, target)`.
+pub type Edge = (VertexId, VertexId);
+
+/// Errors produced by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= n`.
+    VertexOutOfRange { vertex: VertexId, n: usize },
+    /// A deletion referenced an edge that does not exist.
+    MissingEdge(Edge),
+    /// An insertion referenced an edge that already exists.
+    DuplicateEdge(Edge),
+    /// Input file could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range (n = {n})")
+            }
+            GraphError::MissingEdge((u, v)) => {
+                write!(f, "edge ({u}, {v}) does not exist")
+            }
+            GraphError::DuplicateEdge((u, v)) => {
+                write!(f, "edge ({u}, {v}) already exists")
+            }
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::MissingEdge((1, 2));
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = GraphError::DuplicateEdge((3, 4));
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::Parse("bad line".into());
+        assert!(e.to_string().contains("bad line"));
+    }
+
+    #[test]
+    fn vertex_id_is_u32() {
+        // Guard against accidental widening: adjacency arrays double in
+        // size if this becomes usize.
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+    }
+}

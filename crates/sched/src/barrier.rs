@@ -1,0 +1,275 @@
+//! Generation-counted barrier with wait-time accounting and stall
+//! detection — the instrumented stand-in for OpenMP's implicit iteration
+//! barrier.
+//!
+//! Two features beyond `std::sync::Barrier` are required by the paper's
+//! experiments:
+//!
+//! 1. **Wait-time accounting** (Figure 1): the per-thread time spent
+//!    blocked at the barrier is accumulated so the harness can report
+//!    "thread wait time at barriers can make up to 73% of total execution
+//!    time".
+//! 2. **Stall detection** (Figures 3, 9): under the crash-stop model a
+//!    barrier-based algorithm deadlocks — *"DFBB fails to complete the
+//!    computation even if a single thread crashes"*. Real deadlock would
+//!    hang the harness, so `wait` takes a timeout and reports
+//!    [`BarrierStall`], which the `*BB` algorithms convert into a
+//!    "did not finish" result.
+//!
+//! The barrier also supports **deregistration**: a thread that crashes
+//! *between* barrier episodes (it will never arrive again) can be counted
+//! out, which models OpenMP threads exiting the team. The paper's
+//! experiments crash threads mid-iteration, in which case the remaining
+//! threads stall — exactly the behavior reproduced here.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a successful barrier wait returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierOutcome {
+    /// This thread was the last to arrive and released the others.
+    Leader,
+    /// This thread waited and was released by the leader.
+    Follower,
+}
+
+/// Error: the barrier did not release within the stall timeout — some
+/// participant has crashed or is indefinitely delayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierStall {
+    /// How long this thread waited before giving up.
+    pub waited: Duration,
+    /// Barrier generation in which the stall occurred.
+    pub generation: u64,
+}
+
+impl std::fmt::Display for BarrierStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "barrier stalled in generation {} after {:?} (participant crashed or delayed)",
+            self.generation, self.waited
+        )
+    }
+}
+
+impl std::error::Error for BarrierStall {}
+
+struct State {
+    arrived: usize,
+    parties: usize,
+    generation: u64,
+}
+
+/// A reusable barrier for a fixed team of threads, with per-thread wait
+/// accounting and stall detection.
+pub struct InstrumentedBarrier {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Cumulative nanoseconds each thread spent blocked here.
+    wait_ns: Vec<AtomicU64>,
+    stall_timeout: Duration,
+}
+
+impl InstrumentedBarrier {
+    /// A barrier for `parties` threads with the given stall timeout.
+    pub fn new(parties: usize, stall_timeout: Duration) -> Self {
+        assert!(parties > 0);
+        InstrumentedBarrier {
+            state: Mutex::new(State { arrived: 0, parties, generation: 0 }),
+            cv: Condvar::new(),
+            wait_ns: (0..parties).map(|_| AtomicU64::new(0)).collect(),
+            stall_timeout,
+        }
+    }
+
+    /// Block until all registered parties arrive. `thread_id` indexes the
+    /// wait-time account. Returns [`BarrierStall`] if the barrier does not
+    /// release within the stall timeout.
+    pub fn wait(&self, thread_id: usize) -> Result<BarrierOutcome, BarrierStall> {
+        let start = Instant::now();
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived >= st.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            drop(st);
+            self.cv.notify_all();
+            self.record_wait(thread_id, start);
+            return Ok(BarrierOutcome::Leader);
+        }
+        loop {
+            let timed_out = self
+                .cv
+                .wait_until(&mut st, Instant::now() + self.stall_timeout)
+                .timed_out();
+            if st.generation != gen {
+                drop(st);
+                self.record_wait(thread_id, start);
+                return Ok(BarrierOutcome::Follower);
+            }
+            if timed_out {
+                // Withdraw our arrival so a later retry (or deregister)
+                // leaves the count consistent.
+                st.arrived -= 1;
+                let generation = st.generation;
+                drop(st);
+                let waited = start.elapsed();
+                self.record_wait(thread_id, start);
+                return Err(BarrierStall { waited, generation });
+            }
+        }
+    }
+
+    /// Remove one party (a thread that exited the team cleanly). Wakes
+    /// waiters if the departure completes the current generation.
+    pub fn deregister(&self) {
+        let mut st = self.state.lock();
+        assert!(st.parties > 0);
+        st.parties -= 1;
+        if st.parties > 0 && st.arrived >= st.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Cumulative time thread `thread_id` has spent blocked at this
+    /// barrier.
+    pub fn wait_time(&self, thread_id: usize) -> Duration {
+        Duration::from_nanos(self.wait_ns[thread_id].load(Ordering::Relaxed))
+    }
+
+    /// Sum of all threads' wait times.
+    pub fn total_wait_time(&self) -> Duration {
+        self.wait_ns
+            .iter()
+            .map(|w| Duration::from_nanos(w.load(Ordering::Relaxed)))
+            .sum()
+    }
+
+    /// Maximum single-thread wait time.
+    pub fn max_wait_time(&self) -> Duration {
+        self.wait_ns
+            .iter()
+            .map(|w| Duration::from_nanos(w.load(Ordering::Relaxed)))
+            .max()
+            .unwrap_or_default()
+    }
+
+    fn record_wait(&self, thread_id: usize, start: Instant) {
+        let ns = start.elapsed().as_nanos() as u64;
+        self.wait_ns[thread_id].fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn releases_all_parties() {
+        let b = InstrumentedBarrier::new(4, Duration::from_secs(5));
+        let phase = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = &b;
+                let phase = &phase;
+                s.spawn(move || {
+                    for round in 0..10 {
+                        // All threads must observe the same round count at
+                        // each barrier episode.
+                        assert!(phase.load(Ordering::SeqCst) >= round);
+                        b.wait(t).unwrap();
+                        phase.fetch_max(round + 1, Ordering::SeqCst);
+                        b.wait(t).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(phase.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let b = InstrumentedBarrier::new(3, Duration::from_secs(5));
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let b = &b;
+                let leaders = &leaders;
+                s.spawn(move || {
+                    if b.wait(t).unwrap() == BarrierOutcome::Leader {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stall_detected_when_party_never_arrives() {
+        let b = InstrumentedBarrier::new(2, Duration::from_millis(50));
+        // Only one of two parties arrives.
+        let err = b.wait(0).unwrap_err();
+        assert!(err.waited >= Duration::from_millis(50));
+        assert_eq!(err.generation, 0);
+    }
+
+    #[test]
+    fn wait_time_is_accounted() {
+        let b = InstrumentedBarrier::new(2, Duration::from_secs(5));
+        std::thread::scope(|s| {
+            let b = &b;
+            s.spawn(move || {
+                b.wait(0).unwrap();
+            });
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                b.wait(1).unwrap();
+            });
+        });
+        // Thread 0 waited ~30ms for thread 1; thread 1 (leader) ~0.
+        assert!(b.wait_time(0) >= Duration::from_millis(25), "{:?}", b.wait_time(0));
+        assert!(b.wait_time(1) < Duration::from_millis(25));
+        assert!(b.total_wait_time() >= b.max_wait_time());
+    }
+
+    #[test]
+    fn deregister_releases_waiters() {
+        let b = InstrumentedBarrier::new(2, Duration::from_secs(5));
+        std::thread::scope(|s| {
+            let b = &b;
+            s.spawn(move || {
+                // Arrives and waits; released when the other party
+                // deregisters instead of arriving.
+                assert!(b.wait(0).is_ok());
+            });
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                b.deregister();
+            });
+        });
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = InstrumentedBarrier::new(2, Duration::from_secs(5));
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let b = &b;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        b.wait(t).unwrap();
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,135 @@
+//! Dynamic chunk scheduling via an atomic cursor.
+//!
+//! The OpenMP idiom `#pragma omp for schedule(dynamic, 2048)` hands each
+//! requesting thread the next unclaimed chunk of 2048 loop indices.
+//! [`ChunkCursor`] reproduces that with a single `fetch_add`: wait-free
+//! for every calling thread, hence suitable for the lock-free algorithms.
+//! A thread that stalls *after* claiming a chunk blocks nobody — other
+//! threads keep claiming the remaining chunks; the claimed-but-unfinished
+//! vertices are re-covered in the next iteration by the algorithm's
+//! convergence flags (paper §4.4).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default chunk size — the paper uses 2048 (§5.1.2).
+pub const DEFAULT_CHUNK: usize = 2048;
+
+/// A wait-free dynamic scheduler over the index range `0..len`.
+#[derive(Debug)]
+pub struct ChunkCursor {
+    len: usize,
+    next: AtomicUsize,
+}
+
+impl ChunkCursor {
+    /// Create a cursor over `0..len`.
+    pub fn new(len: usize) -> Self {
+        ChunkCursor { len, next: AtomicUsize::new(0) }
+    }
+
+    /// Claim the next chunk of at most `chunk_size` indices. Returns
+    /// `None` when the range is exhausted. Wait-free (one `fetch_add`).
+    #[inline]
+    pub fn next_chunk(&self, chunk_size: usize) -> Option<Range<usize>> {
+        debug_assert!(chunk_size > 0);
+        let start = self.next.fetch_add(chunk_size, Ordering::Relaxed);
+        if start >= self.len {
+            None
+        } else {
+            Some(start..(start + chunk_size).min(self.len))
+        }
+    }
+
+    /// Whether all indices have been claimed (not necessarily processed).
+    #[inline]
+    pub fn is_drained(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.len
+    }
+
+    /// Total length of the index range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reset the cursor for reuse (single-threaded phases only).
+    pub fn reset(&mut self) {
+        *self.next.get_mut() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn covers_range_exactly_once_single_thread() {
+        let c = ChunkCursor::new(100);
+        let mut seen = [0u8; 100];
+        while let Some(r) = c.next_chunk(7) {
+            for i in r {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&x| x == 1));
+        assert!(c.is_drained());
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let c = ChunkCursor::new(0);
+        assert!(c.next_chunk(8).is_none());
+        assert!(c.is_drained());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn chunk_larger_than_range() {
+        let c = ChunkCursor::new(5);
+        assert_eq!(c.next_chunk(100), Some(0..5));
+        assert_eq!(c.next_chunk(100), None);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_range() {
+        let n = 100_000;
+        let c = Arc::new(ChunkCursor::new(n));
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let sum = Arc::clone(&sum);
+                let count = Arc::clone(&count);
+                s.spawn(move || {
+                    while let Some(r) = c.next_chunk(64) {
+                        for i in r {
+                            sum.fetch_add(i as u64, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        let expect = (n as u64 - 1) * n as u64 / 2;
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let mut c = ChunkCursor::new(10);
+        while c.next_chunk(4).is_some() {}
+        c.reset();
+        assert_eq!(c.next_chunk(4), Some(0..4));
+    }
+}

@@ -1,0 +1,90 @@
+//! Scoped thread-team execution — the `#pragma omp parallel` substitute.
+//!
+//! [`run_threads`] spawns a fixed team of OS threads and runs the same
+//! closure on each, passing the thread id (0-based, like
+//! `omp_get_thread_num()`). It returns each thread's result in id order.
+//! Scoped threads let workers borrow the graph snapshot and shared atomic
+//! vectors without `Arc` churn.
+
+/// Run `f(thread_id)` on `num_threads` scoped threads and collect the
+/// per-thread results in thread-id order.
+///
+/// Panics in workers propagate to the caller (fail fast in tests); the
+/// crash-stop model of the fault framework does **not** use panics — a
+/// crashed thread returns normally after setting its flag.
+pub fn run_threads<R, F>(num_threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(num_threads > 0, "need at least one thread");
+    if num_threads == 1 {
+        // Run inline: keeps single-threaded baselines (Figure 6, 1-thread
+        // case) free of spawn overhead and trivially deterministic.
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..num_threads)
+            .map(|t| {
+                let f = &f;
+                s.spawn(move || f(t))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// The number of hardware threads available, used as the default team
+/// size (the paper uses one thread per core, §5.1.2).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_thread_id_order() {
+        let out = run_threads(8, |t| t * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let tid = std::thread::current().id();
+        let same = run_threads(1, move |_| std::thread::current().id() == tid);
+        assert_eq!(same, vec![true]);
+    }
+
+    #[test]
+    fn all_threads_actually_run() {
+        let counter = AtomicUsize::new(0);
+        run_threads(16, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn workers_can_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let sums = run_threads(4, |t| data[t] * 2);
+        assert_eq!(sums, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one thread")]
+    fn zero_threads_rejected() {
+        run_threads(0, |_| ());
+    }
+}

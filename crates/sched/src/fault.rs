@@ -1,0 +1,295 @@
+//! Fault injection: random thread delays and crash-stop failures.
+//!
+//! Reproduces §5.1.6 of the paper:
+//!
+//! * **Delays** — *"We simulate a random thread delay such that it can
+//!   occur after computing the rank of any vertex in an iteration with a
+//!   certain probability. This random thread delay affects all threads
+//!   uniformly."* Probabilities in Figure 8 range from 1e-9 to 1e-6 per
+//!   vertex computation (expressed there as sleeps-per-iteration,
+//!   `p·|V|`), with sleep durations of 50/100/200 ms.
+//! * **Crashes** — *"We similarly simulate a random thread crash by
+//!   setting a per-thread crashed flag, which signals that particular
+//!   thread to stop its execution deterministically (crash-stop model)."*
+//!   Crashed threads stop cleanly at a random point during computation;
+//!   they corrupt no memory (no byzantine behavior).
+//!
+//! Fault decisions are made by a per-thread deterministic RNG derived
+//! from the plan seed and the thread id, so every experiment is exactly
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Random-delay specification (soft faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelaySpec {
+    /// Probability of a sleep after each vertex-rank computation.
+    pub probability: f64,
+    /// Sleep duration (the paper uses 50, 100, 200 ms).
+    pub duration: Duration,
+}
+
+/// Crash-stop specification (hard faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// How many of the team's threads will crash (paper: 0, 1, 2, 4,
+    /// 8..56 of 64).
+    pub num_crashed: usize,
+    /// Upper bound of the uniformly random work point (counted in vertex
+    /// computations) at which a flagged thread stops. The paper crashes
+    /// threads "at a random point in time during PageRank computation";
+    /// this should be on the order of one iteration's work per thread.
+    pub max_crash_point: u64,
+}
+
+/// A complete fault plan for one algorithm run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Optional random delays.
+    pub delay: Option<DelaySpec>,
+    /// Optional crash-stop failures.
+    pub crash: Option<CrashSpec>,
+    /// Seed for all fault randomness.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The no-fault plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.delay.is_some() || self.crash.is_some()
+    }
+
+    /// Plan with random delays only.
+    pub fn with_delays(probability: f64, duration: Duration, seed: u64) -> Self {
+        FaultPlan {
+            delay: Some(DelaySpec { probability, duration }),
+            crash: None,
+            seed,
+        }
+    }
+
+    /// Plan with crash-stop failures only.
+    pub fn with_crashes(num_crashed: usize, max_crash_point: u64, seed: u64) -> Self {
+        FaultPlan {
+            delay: None,
+            crash: Some(CrashSpec { num_crashed, max_crash_point }),
+            seed,
+        }
+    }
+
+    /// Derive the fault state for one thread of a team of `num_threads`.
+    ///
+    /// Which threads crash is chosen by a seeded shuffle of the thread
+    /// ids, so the crashed subset is random but reproducible.
+    pub fn thread_faults(&self, thread_id: usize, num_threads: usize) -> ThreadFaults {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(thread_id as u64),
+        );
+        let crash_at = self.crash.and_then(|c| {
+            let crashed = crashed_set(self.seed, num_threads, c.num_crashed);
+            if crashed.contains(&thread_id) {
+                Some(rng.gen_range(0..c.max_crash_point.max(1)))
+            } else {
+                None
+            }
+        });
+        ThreadFaults {
+            delay: self.delay,
+            crash_at,
+            work_done: 0,
+            crashed: false,
+            rng,
+        }
+    }
+}
+
+/// The reproducible set of thread ids flagged to crash.
+pub fn crashed_set(seed: u64, num_threads: usize, num_crashed: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..num_threads).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00_DEAD_BEEF);
+    // Fisher–Yates prefix shuffle.
+    let k = num_crashed.min(num_threads);
+    for i in 0..k {
+        let j = rng.gen_range(i..num_threads);
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids
+}
+
+/// What the fault framework tells a worker thread to do after a unit of
+/// work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Keep going.
+    Continue,
+    /// Sleep for the given duration, then keep going (soft fault).
+    Delay(Duration),
+    /// Stop executing immediately (crash-stop; the thread must return).
+    Crash,
+}
+
+/// Per-thread fault state. Threads call [`ThreadFaults::on_work_unit`]
+/// after each vertex-rank computation and obey the returned action.
+#[derive(Debug, Clone)]
+pub struct ThreadFaults {
+    delay: Option<DelaySpec>,
+    crash_at: Option<u64>,
+    work_done: u64,
+    crashed: bool,
+    rng: SmallRng,
+}
+
+impl ThreadFaults {
+    /// Report one unit of work (one vertex rank computed); receive the
+    /// fault action to apply. Once `Crash` is returned, it is returned
+    /// forever (crash-stop is permanent).
+    #[inline]
+    pub fn on_work_unit(&mut self) -> FaultAction {
+        if self.crashed {
+            return FaultAction::Crash;
+        }
+        self.work_done += 1;
+        if let Some(at) = self.crash_at {
+            if self.work_done >= at {
+                self.crashed = true;
+                return FaultAction::Crash;
+            }
+        }
+        if let Some(d) = self.delay {
+            // One branch + one RNG draw per vertex; SmallRng keeps this
+            // cheap enough to leave enabled unconditionally.
+            if d.probability > 0.0 && self.rng.gen::<f64>() < d.probability {
+                return FaultAction::Delay(d.duration);
+            }
+        }
+        FaultAction::Continue
+    }
+
+    /// Convenience: perform the action (sleep on `Delay`); returns `true`
+    /// if the thread must stop (crash).
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        match self.on_work_unit() {
+            FaultAction::Continue => false,
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                false
+            }
+            FaultAction::Crash => true,
+        }
+    }
+
+    /// Whether this thread has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Units of work performed so far.
+    pub fn work_done(&self) -> u64 {
+        self.work_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_plan_always_continues() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        let mut tf = plan.thread_faults(0, 4);
+        for _ in 0..10_000 {
+            assert_eq!(tf.on_work_unit(), FaultAction::Continue);
+        }
+    }
+
+    #[test]
+    fn delay_rate_matches_probability() {
+        let plan = FaultPlan::with_delays(0.01, Duration::from_millis(1), 42);
+        let mut tf = plan.thread_faults(0, 1);
+        let mut delays = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            if matches!(tf.on_work_unit(), FaultAction::Delay(_)) {
+                delays += 1;
+            }
+        }
+        let rate = delays as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.003, "rate {rate}");
+    }
+
+    #[test]
+    fn crash_happens_once_and_is_permanent() {
+        let plan = FaultPlan::with_crashes(1, 100, 7);
+        // Find the crashed thread in a team of 1 — must be thread 0.
+        let mut tf = plan.thread_faults(0, 1);
+        let mut crashed_at = None;
+        for i in 0..1000u64 {
+            if tf.on_work_unit() == FaultAction::Crash {
+                crashed_at = Some(i);
+                break;
+            }
+        }
+        let at = crashed_at.expect("must crash within max_crash_point");
+        assert!(at < 100);
+        assert!(tf.is_crashed());
+        assert_eq!(tf.on_work_unit(), FaultAction::Crash);
+    }
+
+    #[test]
+    fn crashed_subset_has_requested_size_and_is_deterministic() {
+        let a = crashed_set(3, 64, 8);
+        let b = crashed_set(3, 64, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "no duplicate thread ids");
+        assert!(sorted.iter().all(|&t| t < 64));
+        // Different seed gives a different subset (overwhelmingly likely).
+        let c = crashed_set(4, 64, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn crash_count_capped_at_team_size() {
+        assert_eq!(crashed_set(1, 4, 100).len(), 4);
+    }
+
+    #[test]
+    fn non_crashed_threads_never_crash() {
+        let plan = FaultPlan::with_crashes(2, 50, 11);
+        let crashed = crashed_set(11, 8, 2);
+        for t in 0..8 {
+            let mut tf = plan.thread_faults(t, 8);
+            let mut saw_crash = false;
+            for _ in 0..500 {
+                if tf.on_work_unit() == FaultAction::Crash {
+                    saw_crash = true;
+                    break;
+                }
+            }
+            assert_eq!(saw_crash, crashed.contains(&t), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn tick_sleeps_and_reports_crash() {
+        let plan = FaultPlan::with_crashes(1, 1, 5);
+        let mut tf = plan.thread_faults(plan.thread_faults(0, 1).is_crashed() as usize, 1);
+        // crash point < 1 means first work unit crashes
+        assert!(tf.tick());
+    }
+}

@@ -1,0 +1,36 @@
+//! # lfpr-sched — lock-free scheduling, instrumented barriers, faults
+//!
+//! This crate is the Rust substitute for the OpenMP runtime machinery the
+//! paper relies on:
+//!
+//! | OpenMP construct | This crate |
+//! |------------------|-----------|
+//! | `#pragma omp parallel` | [`executor::run_threads`] (scoped threads) |
+//! | `schedule(dynamic, 2048)` | [`chunks::ChunkCursor`] (atomic fetch-add) |
+//! | `for ... nowait` across iterations | [`rounds::RoundCursors`] (one cursor per iteration; fast threads run ahead) |
+//! | implicit iteration barrier | [`barrier::InstrumentedBarrier`] (sense-reversing, wait-time accounting, stall detection) |
+//!
+//! plus the **fault-injection framework** of §5.1.6: random thread delays
+//! (a per-vertex sleep probability, uniform across threads) and the
+//! crash-stop model (a per-thread crashed flag that deterministically
+//! stops the thread at a random point during computation).
+//!
+//! Everything on the lock-free path uses only atomic fetch-add/load/store —
+//! no locks, no blocking — so a stalled thread can never prevent another
+//! thread from acquiring work. The barrier (used only by the `*BB`
+//! baselines) is intentionally blocking; its stall detector exists so the
+//! crash experiments (Figure 9) can report "did not finish" instead of
+//! hanging the harness.
+
+pub mod barrier;
+pub mod chunks;
+pub mod executor;
+pub mod fault;
+pub mod rounds;
+pub mod stats;
+
+pub use barrier::{BarrierOutcome, BarrierStall, InstrumentedBarrier};
+pub use chunks::ChunkCursor;
+pub use executor::run_threads;
+pub use fault::{CrashSpec, DelaySpec, FaultAction, FaultPlan, ThreadFaults};
+pub use rounds::RoundCursors;

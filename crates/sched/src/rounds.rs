@@ -1,0 +1,104 @@
+//! Per-iteration cursors implementing OpenMP `for nowait` semantics.
+//!
+//! In the paper's lock-free algorithms, the PageRank iteration loop is a
+//! sequence of work-sharing constructs with `nowait`: all running threads
+//! cooperatively drain iteration *i*'s vertex range, but a thread that
+//! finishes early proceeds to iteration *i+1* immediately — threads can
+//! legitimately occupy **different iterations at the same time** (that is
+//! what makes the algorithm barrier-free, Figure 2(b)).
+//!
+//! [`RoundCursors`] realizes this with one [`ChunkCursor`] per iteration,
+//! pre-allocated up to `MAX_ITERATIONS` (500 in the paper, §5.1.2), so no
+//! allocation or synchronization beyond a `fetch_add` happens on the hot
+//! path. Memory cost is one `AtomicUsize` + length per round — trivial.
+
+use crate::chunks::ChunkCursor;
+use std::ops::Range;
+
+/// A stack of per-iteration chunk cursors over the same index range.
+#[derive(Debug)]
+pub struct RoundCursors {
+    rounds: Vec<ChunkCursor>,
+}
+
+impl RoundCursors {
+    /// Create cursors for `max_rounds` iterations over `0..len`.
+    pub fn new(len: usize, max_rounds: usize) -> Self {
+        let rounds = (0..max_rounds).map(|_| ChunkCursor::new(len)).collect();
+        RoundCursors { rounds }
+    }
+
+    /// Number of pre-allocated rounds.
+    pub fn max_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Claim the next chunk of round `round`. `None` when that round's
+    /// range is fully claimed.
+    #[inline]
+    pub fn next_chunk(&self, round: usize, chunk_size: usize) -> Option<Range<usize>> {
+        self.rounds[round].next_chunk(chunk_size)
+    }
+
+    /// Access a specific round's cursor.
+    #[inline]
+    pub fn round(&self, round: usize) -> &ChunkCursor {
+        &self.rounds[round]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn rounds_are_independent() {
+        let rc = RoundCursors::new(10, 3);
+        // Drain round 0 fully.
+        while rc.next_chunk(0, 4).is_some() {}
+        // Round 1 is untouched.
+        assert_eq!(rc.next_chunk(1, 4), Some(0..4));
+        assert_eq!(rc.max_rounds(), 3);
+    }
+
+    #[test]
+    fn threads_can_occupy_different_rounds() {
+        // A fast thread drains rounds 0..k while a "slow" one is still in
+        // round 0; nothing blocks.
+        let rc = RoundCursors::new(100, 5);
+        let slow_got = rc.next_chunk(0, 8); // slow thread claims and stalls
+        assert!(slow_got.is_some());
+        std::thread::scope(|s| {
+            let rc = &rc;
+            s.spawn(move || {
+                for round in 0..5 {
+                    while rc.next_chunk(round, 8).is_some() {}
+                }
+            });
+        });
+        // Fast thread finished all rounds; slow thread's claim is still
+        // its own — no index was handed out twice within round 0.
+        assert!(rc.round(0).is_drained());
+    }
+
+    #[test]
+    fn full_coverage_per_round_under_contention() {
+        let rc = RoundCursors::new(5000, 2);
+        let hits = (0..5000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rc = &rc;
+                let hits = &hits;
+                s.spawn(move || {
+                    while let Some(r) = rc.next_chunk(1, 64) {
+                        for i in r {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,93 @@
+//! Small measurement utilities shared by the experiment harnesses.
+
+use std::time::Duration;
+
+/// Geometric mean of strictly positive samples; the paper averages
+/// runtimes across graphs this way (§5.1.5). Returns `None` for empty or
+/// non-positive input.
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Geometric mean of durations (seconds domain).
+pub fn geometric_mean_durations(ds: &[Duration]) -> Option<Duration> {
+    let secs: Vec<f64> = ds.iter().map(|d| d.as_secs_f64()).collect();
+    geometric_mean(&secs).map(Duration::from_secs_f64)
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Maximum of an f64 slice (NaN-free input assumed).
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Run `f` repeatedly and return the minimum wall time over `reps`
+/// repetitions along with the last result. Minimum-of-N is the standard
+/// noise-rejection estimator for short parallel kernels.
+pub fn min_time_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    assert!(reps > 0);
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed());
+        last = Some(r);
+    }
+    (best, last.unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basic() {
+        let g = geometric_mean(&[1.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn geometric_mean_durations_basic() {
+        let g = geometric_mean_durations(&[
+            Duration::from_secs(1),
+            Duration::from_secs(4),
+        ])
+        .unwrap();
+        assert!((g.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(max(&[1.0, 5.0, 3.0]), Some(5.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn min_time_of_runs_all_reps() {
+        let mut count = 0;
+        let (_, r) = min_time_of(5, || {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 5);
+        assert_eq!(r, 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the scheduling and fault-injection
+//! primitives.
+
+use lfpr_sched::chunks::ChunkCursor;
+use lfpr_sched::fault::{crashed_set, FaultAction, FaultPlan};
+use lfpr_sched::rounds::RoundCursors;
+use lfpr_sched::stats::geometric_mean;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+proptest! {
+    /// A cursor partitions its range exactly, for any (len, chunk) pair.
+    #[test]
+    fn cursor_partitions_range(len in 0usize..5000, chunk in 1usize..512) {
+        let c = ChunkCursor::new(len);
+        let mut seen = vec![false; len];
+        while let Some(r) = c.next_chunk(chunk) {
+            for i in r {
+                prop_assert!(!seen[i], "index {} claimed twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x), "range not fully covered");
+    }
+
+    /// Concurrent claiming covers every index exactly once.
+    #[test]
+    fn cursor_concurrent_exactly_once(
+        len in 1usize..20_000,
+        chunk in 1usize..256,
+        threads in 2usize..6,
+    ) {
+        let c = ChunkCursor::new(len);
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    while let Some(r) = c.next_chunk(chunk) {
+                        for i in r {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Rounds are independent index spaces.
+    #[test]
+    fn rounds_independent(len in 1usize..2000, rounds in 1usize..8, chunk in 1usize..128) {
+        let rc = RoundCursors::new(len, rounds);
+        // Drain even rounds only.
+        for r in (0..rounds).step_by(2) {
+            while rc.next_chunk(r, chunk).is_some() {}
+        }
+        for r in 0..rounds {
+            if r % 2 == 0 {
+                prop_assert!(rc.round(r).is_drained());
+            } else {
+                prop_assert!(!rc.round(r).is_drained() || len == 0);
+            }
+        }
+    }
+
+    /// The crashed subset is deterministic in the seed, has the right
+    /// size, and contains no duplicates.
+    #[test]
+    fn crashed_set_properties(seed in 0u64..10_000, nt in 1usize..128, k in 0usize..160) {
+        let a = crashed_set(seed, nt, k);
+        let b = crashed_set(seed, nt, k);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), k.min(nt));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), a.len());
+        prop_assert!(a.iter().all(|&t| t < nt));
+    }
+
+    /// Fault streams are deterministic per (seed, thread) and crash at
+    /// most once, never after `max_crash_point` work units.
+    #[test]
+    fn fault_stream_deterministic(seed in 0u64..1000, t in 0usize..8) {
+        let plan = FaultPlan::with_crashes(8, 64, seed); // everyone crashes
+        let mut a = plan.thread_faults(t, 8);
+        let mut b = plan.thread_faults(t, 8);
+        let mut crash_at = None;
+        for i in 0..200u64 {
+            let x = a.on_work_unit();
+            let y = b.on_work_unit();
+            prop_assert_eq!(x, y, "divergence at step {}", i);
+            if x == FaultAction::Crash && crash_at.is_none() {
+                crash_at = Some(i);
+            }
+        }
+        let at = crash_at.expect("with 8/8 crashed every thread must crash");
+        prop_assert!(at < 64, "crash at {} exceeds max_crash_point", at);
+    }
+
+    /// Geometric mean lies between min and max and is scale-equivariant.
+    #[test]
+    fn geomean_properties(xs in prop::collection::vec(1e-6f64..1e6, 1..20), k in 1e-3f64..1e3) {
+        let g = geometric_mean(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo * 0.999999 && g <= hi * 1.000001, "g = {}", g);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let gs = geometric_mean(&scaled).unwrap();
+        prop_assert!((gs / g / k - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: compute PageRank on a small graph, apply a batch update,
+//! and refresh the ranks incrementally with the lock-free Dynamic
+//! Frontier algorithm (DFLF).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::graph::GraphBuilder;
+use lockfree_pagerank::{Algorithm, PagerankOptions, RankMaintainer};
+
+fn main() {
+    // A tiny web: page 0 links to 1 and 2; 1 and 2 link back to 0;
+    // 2 also links to 3. Self-loops eliminate dead ends (paper §5.1.3).
+    let mut g = GraphBuilder::new(4)
+        .edges([(0, 1), (0, 2), (1, 0), (2, 0), (2, 3)])
+        .build_dyn()
+        .expect("valid edges");
+    add_self_loops(&mut g);
+
+    let opts = PagerankOptions::default().with_threads(4);
+    let mut rm = RankMaintainer::new(g, Algorithm::DfLF, opts);
+
+    println!("initial ranks:");
+    for (v, r) in rm.ranks().iter().enumerate() {
+        println!("  page {v}: {r:.4}");
+    }
+
+    // Page 3 gains a link from page 1 — its rank should rise.
+    let before = rm.rank(3);
+    let res = rm.update(|g| {
+        g.insert_edge(1, 3).expect("edge is new");
+    });
+    println!(
+        "\nafter inserting edge 1 -> 3 ({} iterations, {:?}, {} vertices touched):",
+        res.iterations, res.runtime, res.vertices_processed
+    );
+    for (v, r) in rm.ranks().iter().enumerate() {
+        println!("  page {v}: {r:.4}");
+    }
+    assert!(rm.rank(3) > before);
+    println!("\npage 3 rank rose from {before:.4} to {:.4}", rm.rank(3));
+
+    println!("\ntop pages: {:?}", rm.top_k(2));
+}

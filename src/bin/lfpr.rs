@@ -1,0 +1,164 @@
+//! `lfpr` — command-line PageRank over edge-list / MatrixMarket graphs.
+//!
+//! ```text
+//! lfpr rank   <graph> [--algo staticlf] [--threads N] [--top K] [--tolerance T]
+//! lfpr update <graph> <batch-edge-list> [--algo dflf] [--threads N] [--top K]
+//! lfpr stats  <graph>
+//! ```
+//!
+//! `<graph>` is a SNAP-style edge list (`u v` per line, `#` comments) or
+//! a MatrixMarket `.mtx` file. `update` treats the second file's edges as
+//! an insert-only batch (edges already present are ignored), computes the
+//! base ranks, applies the batch, and refreshes incrementally.
+
+use lockfree_pagerank::core::reference::reference_default;
+use lockfree_pagerank::graph::io::{read_edge_list, read_matrix_market};
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::graph::DynGraph;
+use lockfree_pagerank::{api, Algorithm, BatchUpdate, PagerankOptions};
+
+fn load_graph(path: &str) -> DynGraph {
+    let mut g = if path.ends_with(".mtx") {
+        read_matrix_market(path)
+    } else {
+        read_edge_list(path)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error loading {path}: {e}");
+        std::process::exit(1);
+    });
+    add_self_loops(&mut g);
+    g
+}
+
+struct Flags {
+    algo: Algorithm,
+    threads: usize,
+    top: usize,
+    tolerance: f64,
+}
+
+fn parse_flags(args: &[String], default_algo: Algorithm) -> Flags {
+    let mut f = Flags {
+        algo: default_algo,
+        threads: lockfree_pagerank::sched::executor::default_threads().max(4),
+        top: 10,
+        tolerance: 1e-10,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => {
+                f.algo = args[i + 1].parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--threads" => {
+                f.threads = args[i + 1].parse().expect("--threads N");
+                i += 2;
+            }
+            "--top" => {
+                f.top = args[i + 1].parse().expect("--top K");
+                i += 2;
+            }
+            "--tolerance" => {
+                f.tolerance = args[i + 1].parse().expect("--tolerance T");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    f
+}
+
+fn print_top(ranks: &[f64], k: usize) {
+    let mut idx: Vec<usize> = (0..ranks.len()).collect();
+    idx.sort_by(|&a, &b| ranks[b].partial_cmp(&ranks[a]).unwrap());
+    println!("{:<10} {:>14}", "vertex", "rank");
+    for &v in idx.iter().take(k) {
+        println!("{:<10} {:>14.6e}", v, ranks[v]);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: lfpr <rank|update|stats> <graph> [batch] [flags]");
+        std::process::exit(2);
+    }
+    match args[1].as_str() {
+        "stats" => {
+            let g = load_graph(&args[2]);
+            let st = lockfree_pagerank::graph::analysis::stats(&g.snapshot());
+            println!("{st:#?}");
+        }
+        "rank" => {
+            let flags = parse_flags(&args[3..], Algorithm::StaticLF);
+            let g = load_graph(&args[2]);
+            let s = g.snapshot();
+            let opts = PagerankOptions::default()
+                .with_threads(flags.threads)
+                .with_tolerance(flags.tolerance);
+            let t0 = std::time::Instant::now();
+            let res = api::run_static(flags.algo, &s, &opts);
+            println!(
+                "# {} on {} vertices / {} edges: {:?} in {:?} ({} iterations)",
+                flags.algo,
+                s.num_vertices(),
+                s.num_edges(),
+                res.status,
+                t0.elapsed(),
+                res.iterations
+            );
+            print_top(&res.ranks, flags.top);
+        }
+        "update" => {
+            if args.len() < 4 {
+                eprintln!("usage: lfpr update <graph> <batch-edge-list> [flags]");
+                std::process::exit(2);
+            }
+            let flags = parse_flags(&args[4..], Algorithm::DfLF);
+            let mut g = load_graph(&args[2]);
+            let prev = g.snapshot();
+            let prev_ranks = reference_default(&prev);
+            let additions = read_edge_list(&args[3]).unwrap_or_else(|e| {
+                eprintln!("error loading batch: {e}");
+                std::process::exit(1);
+            });
+            let mut batch = BatchUpdate::new();
+            for (u, v) in additions.edges() {
+                if (u as usize) < g.num_vertices()
+                    && (v as usize) < g.num_vertices()
+                    && g.insert_edge_if_absent(u, v).unwrap_or(false)
+                {
+                    batch.insertions.push((u, v));
+                }
+            }
+            let curr = g.snapshot();
+            let opts = PagerankOptions::default()
+                .with_threads(flags.threads)
+                .with_tolerance(flags.tolerance);
+            let t0 = std::time::Instant::now();
+            let res = api::run_dynamic(flags.algo, &prev, &curr, &batch, &prev_ranks, &opts);
+            println!(
+                "# {} applied {} insertions: {:?} in {:?} ({} iterations, {} vertices touched)",
+                flags.algo,
+                batch.len(),
+                res.status,
+                t0.elapsed(),
+                res.iterations,
+                res.vertices_processed
+            );
+            print_top(&res.ranks, flags.top);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! # lockfree-pagerank
+//!
+//! Lock-free computation of PageRank in dynamic graphs — a from-scratch
+//! Rust reproduction of Sahu, *"Lock-Free Computation of PageRank in
+//! Dynamic Graphs"* (2024, arXiv:2407.19562).
+//!
+//! The workspace splits into three layers, re-exported here:
+//!
+//! * [`graph`] (`lfpr-graph`) — CSR snapshots, batch-dynamic graphs,
+//!   generators, and I/O;
+//! * [`sched`] (`lfpr-sched`) — wait-free chunk scheduling, instrumented
+//!   barriers, and fault injection (random delays + crash-stop);
+//! * [`core`] (`lfpr-core`) — the eight PageRank variants
+//!   (Static/ND/DT/DF × barrier-based/lock-free) plus the reference
+//!   implementation.
+//!
+//! This crate adds [`RankMaintainer`], a convenience layer that owns an
+//! evolving graph and keeps its PageRank vector up to date across batch
+//! updates — the API a downstream application would actually use.
+//!
+//! ```
+//! use lockfree_pagerank::{Algorithm, RankMaintainer, PagerankOptions};
+//! use lockfree_pagerank::graph::{GraphBuilder, selfloops::add_self_loops};
+//!
+//! let mut g = GraphBuilder::new(4)
+//!     .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+//!     .build_dyn()
+//!     .unwrap();
+//! add_self_loops(&mut g);
+//!
+//! let opts = PagerankOptions::default().with_threads(2);
+//! let mut rm = RankMaintainer::new(g, Algorithm::DfLF, opts);
+//! let before = rm.ranks().to_vec();
+//!
+//! // Stream an edge insertion; ranks update incrementally (lock-free).
+//! rm.update(|g| {
+//!     g.insert_edge(3, 1).unwrap();
+//! });
+//! assert_ne!(rm.ranks(), &before[..]);
+//! ```
+
+pub use lfpr_core as core;
+pub use lfpr_graph as graph;
+pub use lfpr_sched as sched;
+
+pub use lfpr_core::{api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RunStatus};
+pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
+
+use lfpr_graph::types::Edge;
+
+/// Owns an evolving graph and keeps its PageRank vector current across
+/// batch updates, using any of the paper's dynamic algorithms.
+///
+/// The maintainer records each mutation made through [`update`] /
+/// [`apply_batch`](Self::apply_batch) as the batch Δt, snapshots the
+/// graph before and after (the paper's read-only snapshot model, §3.4),
+/// and runs the configured algorithm to refresh the ranks.
+pub struct RankMaintainer {
+    graph: DynGraph,
+    snapshot: Snapshot,
+    ranks: Vec<f64>,
+    algorithm: Algorithm,
+    opts: PagerankOptions,
+    last_result: Option<PagerankResult>,
+}
+
+impl RankMaintainer {
+    /// Take ownership of `graph` and compute its initial ranks with the
+    /// matching static variant (lock-free for DFLF/NDLF/DTLF/StaticLF,
+    /// barrier-based otherwise).
+    pub fn new(graph: DynGraph, algorithm: Algorithm, opts: PagerankOptions) -> Self {
+        let snapshot = graph.snapshot();
+        let static_algo = if algorithm.is_lock_free() {
+            Algorithm::StaticLF
+        } else {
+            Algorithm::StaticBB
+        };
+        let initial = api::run_static(static_algo, &snapshot, &opts);
+        RankMaintainer {
+            graph,
+            snapshot,
+            ranks: initial.ranks.clone(),
+            algorithm,
+            opts,
+            last_result: Some(initial),
+        }
+    }
+
+    /// Current PageRank vector.
+    pub fn ranks(&self) -> &[f64] {
+        &self.ranks
+    }
+
+    /// Rank of one vertex.
+    pub fn rank(&self, v: u32) -> f64 {
+        self.ranks[v as usize]
+    }
+
+    /// Read-only access to the current graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The result of the most recent rank computation.
+    pub fn last_result(&self) -> Option<&PagerankResult> {
+        self.last_result.as_ref()
+    }
+
+    /// The `k` highest-ranked vertices, descending.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        let mut idx: Vec<u32> = (0..self.ranks.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.ranks[b as usize]
+                .partial_cmp(&self.ranks[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx.into_iter().map(|v| (v, self.ranks[v as usize])).collect()
+    }
+
+    /// Mutate the graph through `f`, recording every insertion/deletion
+    /// as the batch update, then refresh the ranks incrementally.
+    /// Returns the run result.
+    ///
+    /// Mutations must go through [`MutGuard`]'s methods so the batch is
+    /// captured; the guard derefs to the underlying graph for reads.
+    pub fn update<F: FnOnce(&mut MutGuard<'_>)>(&mut self, f: F) -> &PagerankResult {
+        let mut guard = MutGuard { graph: &mut self.graph, batch: BatchUpdate::new() };
+        f(&mut guard);
+        let batch = guard.batch;
+        self.refresh_after(batch)
+    }
+
+    /// Apply a pre-built batch update and refresh the ranks.
+    pub fn apply_batch(&mut self, batch: BatchUpdate) -> &PagerankResult {
+        self.graph
+            .apply_batch(&batch)
+            .expect("batch must be valid for the current graph");
+        self.refresh_after(batch)
+    }
+
+    fn refresh_after(&mut self, batch: BatchUpdate) -> &PagerankResult {
+        let prev = std::mem::replace(&mut self.snapshot, self.graph.snapshot());
+        let res = api::run_dynamic(
+            self.algorithm,
+            &prev,
+            &self.snapshot,
+            &batch,
+            &self.ranks,
+            &self.opts,
+        );
+        self.ranks = res.ranks.clone();
+        self.last_result = Some(res);
+        self.last_result.as_ref().unwrap()
+    }
+}
+
+/// Records mutations made during [`RankMaintainer::update`] as a batch.
+pub struct MutGuard<'a> {
+    graph: &'a mut DynGraph,
+    batch: BatchUpdate,
+}
+
+impl MutGuard<'_> {
+    /// Insert an edge (errors if present).
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> lfpr_graph::types::Result<()> {
+        self.graph.insert_edge(u, v)?;
+        self.batch.insertions.push((u, v));
+        Ok(())
+    }
+
+    /// Delete an edge (errors if absent).
+    pub fn delete_edge(&mut self, u: u32, v: u32) -> lfpr_graph::types::Result<()> {
+        self.graph.delete_edge(u, v)?;
+        self.batch.deletions.push((u, v));
+        Ok(())
+    }
+
+    /// Bulk-insert edges, skipping ones already present.
+    pub fn insert_edges<I: IntoIterator<Item = Edge>>(&mut self, it: I) {
+        for (u, v) in it {
+            let _ = self.insert_edge(u, v);
+        }
+    }
+
+    /// Read access to the graph mid-update.
+    pub fn graph(&self) -> &DynGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfpr_graph::selfloops::add_self_loops;
+
+    fn maintainer(algo: Algorithm) -> RankMaintainer {
+        let mut g = lfpr_graph::generators::erdos_renyi(100, 600, 5);
+        add_self_loops(&mut g);
+        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(16);
+        RankMaintainer::new(g, algo, opts)
+    }
+
+    #[test]
+    fn initial_ranks_sum_to_one() {
+        let rm = maintainer(Algorithm::DfLF);
+        let sum: f64 = rm.ranks().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-7, "sum = {sum}");
+    }
+
+    #[test]
+    fn update_records_batch_and_refreshes() {
+        let mut rm = maintainer(Algorithm::DfLF);
+        let r0 = rm.rank(1);
+        let res = rm.update(|g| {
+            // Point several vertices at vertex 1.
+            g.insert_edges([(10, 1), (20, 1), (30, 1), (40, 1)]);
+        });
+        assert!(res.status.is_success());
+        assert!(rm.rank(1) > r0, "vertex 1 gained in-links, rank must rise");
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let rm = maintainer(Algorithm::NdLF);
+        let top = rm.top_k(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn works_with_every_algorithm() {
+        for algo in Algorithm::ALL {
+            let mut rm = maintainer(algo);
+            let res = rm.update(|g| {
+                g.insert_edges([(3, 7)]);
+            });
+            assert!(res.status.is_success(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_is_stable() {
+        let mut rm = maintainer(Algorithm::DfLF);
+        let before = rm.ranks().to_vec();
+        rm.update(|g| {
+            g.delete_edge(0, 0).ok();
+        });
+        rm.update(|g| {
+            g.insert_edge(0, 0).ok();
+        });
+        let after = rm.ranks();
+        let max_diff = before
+            .iter()
+            .zip(after)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-6, "stability violated: {max_diff}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full pipeline from graph
+//! generation through batch updates to rank maintenance, across every
+//! algorithm variant and graph class.
+
+use lockfree_pagerank::core::norm::{linf_diff, rank_sum};
+use lockfree_pagerank::core::reference::reference_default;
+use lockfree_pagerank::graph::generators::mini_suite;
+use lockfree_pagerank::graph::generators::temporal::{filter_new_edges, table1_graphs};
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::sched::fault::FaultPlan;
+use lockfree_pagerank::{api, Algorithm, BatchSpec, PagerankOptions, RankMaintainer, RunStatus};
+use std::time::Duration;
+
+fn opts() -> PagerankOptions {
+    PagerankOptions::default()
+        .with_threads(4)
+        .with_chunk_size(256)
+        .with_tolerance(1e-8)
+}
+
+/// Every algorithm agrees with the reference on every graph class.
+#[test]
+fn all_variants_all_classes_agree_with_reference() {
+    for entry in mini_suite() {
+        let mut g = entry.generate(3);
+        let prev = g.snapshot();
+        let prev_ranks = reference_default(&prev);
+        let batch = BatchSpec::mixed(1e-3, 4).generate(&g);
+        g.apply_batch(&batch).unwrap();
+        let curr = g.snapshot();
+        let reference = reference_default(&curr);
+        for algo in Algorithm::ALL {
+            let res = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts());
+            assert!(res.status.is_success(), "{}/{algo}", entry.name);
+            let err = linf_diff(&res.ranks, &reference);
+            // τ = 1e-8; async per-vertex convergence bounds the error at
+            // a small multiple of τ (paper §5.2.2: error ≤ ~10·τ).
+            assert!(err < 1e-6, "{}/{algo}: err = {err:.2e}", entry.name);
+            assert!(
+                (rank_sum(&res.ranks) - 1.0).abs() < 1e-4,
+                "{}/{algo}: mass drift",
+                entry.name
+            );
+        }
+    }
+}
+
+/// The temporal-replay protocol of §5.1.4 works end to end.
+#[test]
+fn temporal_replay_pipeline() {
+    let t = &table1_graphs(9)[0];
+    let (mut g, tail) = t.preload(0.9);
+    let mut prev = g.snapshot();
+    let mut ranks = reference_default(&prev);
+    let mut applied = 0;
+    for chunk in t.tail_batches(tail, 500).iter().take(3) {
+        let batch = filter_new_edges(&g, chunk);
+        if batch.is_empty() {
+            continue;
+        }
+        g.apply_batch(&batch).unwrap();
+        let curr = g.snapshot();
+        let res = api::run_dynamic(Algorithm::DfLF, &prev, &curr, &batch, &ranks, &opts());
+        assert!(res.status.is_success());
+        let reference = reference_default(&curr);
+        assert!(linf_diff(&res.ranks, &reference) < 1e-6);
+        ranks = res.ranks;
+        prev = curr;
+        applied += 1;
+    }
+    assert!(applied >= 2, "replay must actually apply batches");
+}
+
+/// Lock-free variants survive heavy faults on a realistic graph;
+/// barrier-based variants stall on a crash.
+#[test]
+fn fault_matrix() {
+    let entry = &mini_suite()[2]; // road graph: sparse, DF-friendly
+    let mut g = entry.generate(5);
+    let prev = g.snapshot();
+    let prev_ranks = reference_default(&prev);
+    let batch = BatchSpec::mixed(1e-3, 6).generate(&g);
+    g.apply_batch(&batch).unwrap();
+    let curr = g.snapshot();
+    let reference = reference_default(&curr);
+
+    // LF under delays and crashes.
+    for faults in [
+        FaultPlan::with_delays(2.0 / curr.num_vertices() as f64, Duration::from_millis(2), 7),
+        FaultPlan::with_crashes(3, (curr.num_vertices() / 4) as u64, 8),
+    ] {
+        let o = opts().with_faults(faults);
+        let res = api::run_dynamic(Algorithm::DfLF, &prev, &curr, &batch, &prev_ranks, &o);
+        assert_eq!(res.status, RunStatus::Converged, "{faults:?}");
+        assert!(linf_diff(&res.ranks, &reference) < 1e-6);
+    }
+
+    // BB under a crash: must stall, not hang.
+    let o = opts()
+        .with_stall_timeout(Duration::from_millis(300))
+        .with_faults(FaultPlan::with_crashes(1, 64, 9));
+    let t0 = std::time::Instant::now();
+    let res = api::run_dynamic(Algorithm::DfBB, &prev, &curr, &batch, &prev_ranks, &o);
+    assert_eq!(res.status, RunStatus::Stalled);
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "stall detection must bound the hang"
+    );
+}
+
+/// RankMaintainer keeps ranks consistent with a from-scratch recompute
+/// across a sequence of updates.
+#[test]
+fn rank_maintainer_tracks_reference_across_updates() {
+    let mut g = lockfree_pagerank::graph::generators::grid_road(2_000, 11);
+    add_self_loops(&mut g);
+    let mut rm = RankMaintainer::new(g, Algorithm::DfLF, opts());
+    for round in 0..4 {
+        let batch = BatchSpec::mixed(1e-3, 20 + round).generate(rm.graph());
+        rm.apply_batch(batch);
+        let reference = reference_default(&rm.graph().snapshot());
+        let err = linf_diff(rm.ranks(), &reference);
+        // Errors may accumulate slightly across incremental updates but
+        // must stay within the tolerance regime.
+        assert!(err < 1e-5, "round {round}: err = {err:.2e}");
+    }
+}
+
+/// Self-loop invariant survives the full pipeline.
+#[test]
+fn no_dead_ends_ever() {
+    for entry in mini_suite() {
+        let mut g = entry.generate(13);
+        for round in 0..3 {
+            let batch = BatchSpec::mixed(0.01, 30 + round).generate(&g);
+            g.apply_batch(&batch).unwrap();
+            assert_eq!(g.snapshot().dead_end_count(), 0, "{} round {round}", entry.name);
+        }
+    }
+}
+
+/// BB determinism: barrier-based variants are schedule-invariant
+/// (synchronous Jacobi), so two runs with different thread counts give
+/// bit-identical ranks.
+#[test]
+fn bb_variants_are_deterministic() {
+    let entry = &mini_suite()[0];
+    let mut g = entry.generate(17);
+    let prev = g.snapshot();
+    let prev_ranks = reference_default(&prev);
+    let batch = BatchSpec::mixed(1e-3, 18).generate(&g);
+    g.apply_batch(&batch).unwrap();
+    let curr = g.snapshot();
+    for algo in [Algorithm::StaticBB, Algorithm::NdBB, Algorithm::DfBB] {
+        let a = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts().with_threads(1));
+        let b = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts().with_threads(4));
+        assert_eq!(a.ranks, b.ranks, "{algo} must be schedule-invariant");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests on the core data structures and algorithm
+//! invariants.
+
+use lockfree_pagerank::core::norm::linf_diff;
+use lockfree_pagerank::core::reference::{reference_default, reference_pagerank};
+use lockfree_pagerank::graph::csr::Csr;
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::graph::{DynGraph, GraphBuilder};
+use lockfree_pagerank::{api, Algorithm, BatchSpec, BatchUpdate, PagerankOptions};
+use proptest::prelude::*;
+
+/// Arbitrary edge list over `n` vertices.
+fn edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+/// Arbitrary graph with self-loops (dead-end free), 8..=40 vertices.
+fn graph_strategy() -> impl Strategy<Value = DynGraph> {
+    (8u32..=40)
+        .prop_flat_map(|n| {
+            edges_strategy(n, 160).prop_map(move |edges| {
+                let mut g = GraphBuilder::new(n as usize)
+                    .edges(edges)
+                    .build_dyn()
+                    .expect("in-range edges");
+                add_self_loops(&mut g);
+                g
+            })
+        })
+}
+
+proptest! {
+    /// CSR construction round-trips through the edge iterator.
+    #[test]
+    fn csr_roundtrip(edges in edges_strategy(30, 120)) {
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let csr = Csr::from_edges(30, &sorted);
+        let back: Vec<_> = csr.edges().collect();
+        prop_assert_eq!(back, sorted);
+    }
+
+    /// Transpose is an involution and preserves the edge count.
+    #[test]
+    fn transpose_involution(edges in edges_strategy(25, 100)) {
+        let csr = Csr::from_edges(25, &edges);
+        let t = csr.transpose();
+        prop_assert_eq!(t.num_edges(), csr.num_edges());
+        prop_assert_eq!(t.transpose(), csr);
+    }
+
+    /// In-degree sum equals out-degree sum equals |E|.
+    #[test]
+    fn degree_sums(g in graph_strategy()) {
+        let s = g.snapshot();
+        let out: usize = (0..s.num_vertices() as u32).map(|v| s.out_degree(v) as usize).sum();
+        let inn: usize = (0..s.num_vertices() as u32).map(|v| s.in_degree(v)).sum();
+        prop_assert_eq!(out, s.num_edges());
+        prop_assert_eq!(inn, s.num_edges());
+    }
+
+    /// Applying a batch then its inverse restores the graph exactly.
+    #[test]
+    fn batch_apply_revert_identity(g in graph_strategy(), seed in 0u64..1000) {
+        let batch = BatchSpec::mixed(0.2, seed).generate(&g);
+        let mut h = g.clone();
+        h.apply_batch(&batch).unwrap();
+        h.apply_batch(&batch.inverse()).unwrap();
+        prop_assert_eq!(h, g);
+    }
+
+    /// Generated batches are always valid: deletions exist, insertions
+    /// don't, no self-loops on either side.
+    #[test]
+    fn generated_batches_valid(g in graph_strategy(), seed in 0u64..1000, frac in 0.001f64..0.5) {
+        let batch = BatchSpec::mixed(frac, seed).generate(&g);
+        for &(u, v) in &batch.deletions {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert_ne!(u, v);
+        }
+        for &(u, v) in &batch.insertions {
+            prop_assert!(!g.has_edge(u, v));
+            prop_assert_ne!(u, v);
+        }
+    }
+
+    /// Reference PageRank: ranks are positive, sum to 1, and satisfy the
+    /// fixpoint equation.
+    #[test]
+    fn reference_is_a_probability_fixpoint(g in graph_strategy()) {
+        let s = g.snapshot();
+        let r = reference_default(&s);
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {}", sum);
+        for (v, &rv) in r.iter().enumerate() {
+            prop_assert!(rv > 0.0, "rank of {} not positive", v);
+            let rhs = lockfree_pagerank::core::kernel::rank_of_from_slice(&s, &r, v as u32, 0.85);
+            prop_assert!((rv - rhs).abs() < 1e-10, "fixpoint violated at {}", v);
+        }
+    }
+
+    /// Damping monotonicity: with α → 0 ranks approach uniform.
+    #[test]
+    fn low_alpha_approaches_uniform(g in graph_strategy()) {
+        let s = g.snapshot();
+        let r = reference_pagerank(&s, 0.01, 500);
+        let n = s.num_vertices() as f64;
+        for &rv in &r {
+            prop_assert!((rv - 1.0 / n).abs() < 0.01 / n * 5.0);
+        }
+    }
+
+    /// Every algorithm variant converges to the reference on arbitrary
+    /// graphs with arbitrary valid batches.
+    #[test]
+    fn variants_agree_with_reference(
+        g0 in graph_strategy(),
+        seed in 0u64..500,
+    ) {
+        let mut g = g0;
+        let prev = g.snapshot();
+        let prev_ranks = reference_default(&prev);
+        let batch = BatchSpec::mixed(0.05, seed).generate(&g);
+        g.apply_batch(&batch).unwrap();
+        let curr = g.snapshot();
+        let reference = reference_default(&curr);
+        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(8);
+        for algo in [Algorithm::NdLF, Algorithm::DfLF, Algorithm::DfBB] {
+            let res = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts);
+            prop_assert!(res.status.is_success());
+            let err = linf_diff(&res.ranks, &reference);
+            prop_assert!(err < 1e-7, "{}: err = {:.2e}", algo, err);
+        }
+    }
+
+    /// An empty batch never changes the ranks (DF short-circuits).
+    #[test]
+    fn empty_batch_is_identity(g in graph_strategy()) {
+        let s = g.snapshot();
+        let ranks = reference_default(&s);
+        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(8);
+        let res = api::run_dynamic(
+            Algorithm::DfLF, &s, &s, &BatchUpdate::new(), &ranks, &opts,
+        );
+        prop_assert_eq!(res.ranks, ranks);
+        prop_assert_eq!(res.vertices_processed, 0);
+    }
+}

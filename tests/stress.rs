@@ -1,0 +1,174 @@
+//! Race-robustness stress tests: the lock-free engines are
+//! nondeterministic by design, so single-run assertions can hide rare
+//! interleavings. These tests hammer the same instances across many
+//! runs, chunk sizes, and thread counts, asserting the error band holds
+//! *every* time.
+
+use lockfree_pagerank::core::norm::linf_diff;
+use lockfree_pagerank::core::reference::reference_default;
+use lockfree_pagerank::graph::generators::{erdos_renyi, rmat, RmatParams};
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::sched::fault::FaultPlan;
+use lockfree_pagerank::{api, Algorithm, BatchSpec, PagerankOptions};
+
+const TOL: f64 = 1e-8;
+
+fn instance(seed: u64) -> (
+    lockfree_pagerank::Snapshot,
+    lockfree_pagerank::Snapshot,
+    lockfree_pagerank::BatchUpdate,
+    Vec<f64>,
+    Vec<f64>,
+) {
+    let mut g = rmat(600, 6000, RmatParams::web(), false, seed);
+    add_self_loops(&mut g);
+    let prev = g.snapshot();
+    let prev_ranks = reference_default(&prev);
+    let batch = BatchSpec::mixed(0.01, seed + 1).generate(&g);
+    g.apply_batch(&batch).unwrap();
+    let curr = g.snapshot();
+    let reference = reference_default(&curr);
+    (prev, curr, batch, prev_ranks, reference)
+}
+
+/// 30 repeated DFLF runs: the error band must hold on every single
+/// interleaving, not just on average. Guards against the
+/// premature-termination races documented in DESIGN.md §5b.
+#[test]
+fn dflf_error_band_holds_across_interleavings() {
+    let (prev, curr, batch, prev_ranks, reference) = instance(101);
+    for run in 0..30 {
+        let opts = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(16)
+            .with_tolerance(TOL);
+        let res = api::run_dynamic(Algorithm::DfLF, &prev, &curr, &batch, &prev_ranks, &opts);
+        assert!(res.status.is_success(), "run {run}");
+        let err = linf_diff(&res.ranks, &reference);
+        assert!(err < TOL * 100.0, "run {run}: err = {err:.2e}");
+    }
+}
+
+/// Chunk-size extremes: 1 (maximal scheduling churn) and larger than
+/// the graph (one chunk — a single thread does each round alone).
+#[test]
+fn lock_free_robust_to_chunk_size_extremes() {
+    let (prev, curr, batch, prev_ranks, reference) = instance(103);
+    for chunk in [1usize, 7, 1 << 20] {
+        for algo in [Algorithm::StaticLF, Algorithm::NdLF, Algorithm::DfLF] {
+            let opts = PagerankOptions::default()
+                .with_threads(3)
+                .with_chunk_size(chunk)
+                .with_tolerance(TOL);
+            let res = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts);
+            assert!(res.status.is_success(), "{algo} chunk={chunk}");
+            let err = linf_diff(&res.ranks, &reference);
+            assert!(err < TOL * 100.0, "{algo} chunk={chunk}: err = {err:.2e}");
+        }
+    }
+}
+
+/// Oversubscription: many more threads than cores exercise preemption
+/// mid-chunk, the exact scenario the helping mechanism exists for.
+#[test]
+fn heavy_oversubscription() {
+    let (prev, curr, batch, prev_ranks, reference) = instance(105);
+    let opts = PagerankOptions::default()
+        .with_threads(16)
+        .with_chunk_size(8)
+        .with_tolerance(TOL);
+    for _ in 0..5 {
+        let res = api::run_dynamic(Algorithm::DfLF, &prev, &curr, &batch, &prev_ranks, &opts);
+        assert!(res.status.is_success());
+        assert!(linf_diff(&res.ranks, &reference) < TOL * 100.0);
+    }
+}
+
+/// Crash storms at random points, many seeds: survivors always finish
+/// with in-band error.
+#[test]
+fn crash_storm_sweep() {
+    let (prev, curr, batch, prev_ranks, reference) = instance(107);
+    for seed in 0..10u64 {
+        let opts = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(16)
+            .with_tolerance(TOL)
+            .with_faults(FaultPlan::with_crashes(3, 400, seed));
+        let res = api::run_dynamic(Algorithm::DfLF, &prev, &curr, &batch, &prev_ranks, &opts);
+        assert!(res.status.is_success(), "seed {seed}: {:?}", res.status);
+        let err = linf_diff(&res.ranks, &reference);
+        assert!(err < TOL * 100.0, "seed {seed}: err = {err:.2e}");
+    }
+}
+
+/// Delay + crash combined on one run (the paper tests them separately;
+/// the combination must also hold by the same argument).
+#[test]
+fn combined_delay_and_crash() {
+    let (prev, curr, batch, prev_ranks, reference) = instance(109);
+    let faults = FaultPlan {
+        delay: Some(lockfree_pagerank::sched::fault::DelaySpec {
+            probability: 1e-3,
+            duration: std::time::Duration::from_micros(200),
+        }),
+        crash: Some(lockfree_pagerank::sched::fault::CrashSpec {
+            num_crashed: 2,
+            max_crash_point: 500,
+        }),
+        seed: 7,
+    };
+    let opts = PagerankOptions::default()
+        .with_threads(4)
+        .with_chunk_size(16)
+        .with_tolerance(TOL)
+        .with_faults(faults);
+    let res = api::run_dynamic(Algorithm::DfLF, &prev, &curr, &batch, &prev_ranks, &opts);
+    assert!(res.status.is_success());
+    assert!(linf_diff(&res.ranks, &reference) < TOL * 100.0);
+}
+
+/// Degenerate graphs: single vertex, two vertices, star, complete.
+#[test]
+fn degenerate_graphs_all_variants() {
+    let cases: Vec<lockfree_pagerank::DynGraph> = vec![
+        {
+            let mut g = lockfree_pagerank::DynGraph::new(1);
+            g.insert_edge(0, 0).unwrap();
+            g
+        },
+        {
+            let mut g = lockfree_pagerank::DynGraph::new(2);
+            add_self_loops(&mut g);
+            g.insert_edge(0, 1).unwrap();
+            g
+        },
+        {
+            // Star: everyone points at 0.
+            let mut g = lockfree_pagerank::DynGraph::new(10);
+            add_self_loops(&mut g);
+            for v in 1..10 {
+                g.insert_edge(v, 0).unwrap();
+            }
+            g
+        },
+        {
+            let mut g = erdos_renyi(8, 56, 1); // complete-ish
+            add_self_loops(&mut g);
+            g
+        },
+    ];
+    for (i, g) in cases.into_iter().enumerate() {
+        let s = g.snapshot();
+        let reference = reference_default(&s);
+        for algo in [Algorithm::StaticBB, Algorithm::StaticLF] {
+            let opts = PagerankOptions::default().with_threads(2).with_chunk_size(4);
+            let res = api::run_static(algo, &s, &opts);
+            assert!(res.status.is_success(), "case {i} {algo}");
+            assert!(
+                linf_diff(&res.ranks, &reference) < 1e-8,
+                "case {i} {algo}"
+            );
+        }
+    }
+}
