@@ -24,7 +24,9 @@ fn road_instance(frac: f64) -> Prepared {
 fn tauf_ablation(c: &mut Criterion) {
     let p = road_instance(1e-4);
     let mut group = c.benchmark_group("tauf_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, ratio) in [("tau", 1.0), ("tau_over_1e3", 1e-3), ("zero", 0.0)] {
         group.bench_function(label, |b| {
             let opts = scaled_opts(REDUCTION, 4)
@@ -47,7 +49,9 @@ fn tauf_ablation(c: &mut Criterion) {
 fn convergence_mode_ablation(c: &mut Criterion) {
     let p = road_instance(1e-4);
     let mut group = c.benchmark_group("convergence_mode_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, mode) in [
         ("per_vertex", ConvergenceMode::PerVertex),
         ("per_chunk", ConvergenceMode::PerChunk),
@@ -71,7 +75,9 @@ fn convergence_mode_ablation(c: &mut Criterion) {
 
 fn kernel_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let graphs = [
         ("web", {
             let mut g = rmat(4_000, 100_000, RmatParams::web(), false, 3);
@@ -104,5 +110,10 @@ fn kernel_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, tauf_ablation, convergence_mode_ablation, kernel_baseline);
+criterion_group!(
+    benches,
+    tauf_ablation,
+    convergence_mode_ablation,
+    kernel_baseline
+);
 criterion_main!(benches);

@@ -39,7 +39,9 @@ fn road_instance(frac: f64) -> Prepared {
 fn fig1_chunk_sweep(c: &mut Criterion) {
     let p = web_instance(1e-4);
     let mut group = c.benchmark_group("fig1_chunk_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for chunk in [4usize, 64, 1024, 16384] {
         group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
             let opts = scaled_opts(REDUCTION, 4).with_chunk_size(chunk);
@@ -59,7 +61,9 @@ fn fig5_temporal(c: &mut Criterion) {
     g.apply_batch(&batch).unwrap();
     let curr = g.snapshot();
     let mut group = c.benchmark_group("fig5_temporal");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for algo in Algorithm::FIGURE_SET {
         group.bench_function(algo.name(), |b| {
             let opts = scaled_opts(100.0, 4);
@@ -72,7 +76,9 @@ fn fig5_temporal(c: &mut Criterion) {
 fn fig6_scaling(c: &mut Criterion) {
     let p = road_instance(1e-4);
     let mut group = c.benchmark_group("fig6_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for algo in [Algorithm::DfBB, Algorithm::DfLF] {
         for threads in [1usize, 2, 4] {
             group.bench_with_input(
@@ -92,7 +98,9 @@ fn fig6_scaling(c: &mut Criterion) {
 
 fn fig7_batch_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_batch_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for frac in [1e-5f64, 1e-2] {
         let p = road_instance(frac);
         for algo in Algorithm::FIGURE_SET {
@@ -115,7 +123,9 @@ fn fig8_delays(c: &mut Criterion) {
     let p = road_instance(1e-4);
     let mut group = c.benchmark_group("fig8_delays");
     // Delay runs are slow by design; keep the sample count minimal.
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let prob = 1.0 / p.curr.num_vertices() as f64; // ~1 sleep/iteration
     for algo in [Algorithm::DfBB, Algorithm::DfLF] {
         group.bench_function(algo.name(), |b| {
@@ -131,7 +141,9 @@ fn fig8_delays(c: &mut Criterion) {
 fn fig9_crashes(c: &mut Criterion) {
     let p = road_instance(1e-4);
     let mut group = c.benchmark_group("fig9_crashes");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for crashes in [0usize, 1, 2] {
         group.bench_with_input(
             BenchmarkId::from_parameter(crashes),

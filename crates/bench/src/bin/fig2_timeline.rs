@@ -41,9 +41,15 @@ fn main() {
     let p = 2.0 / s.num_vertices() as f64;
     for (algo, faults) in [
         (Algorithm::StaticBB, FaultPlan::none()),
-        (Algorithm::StaticBB, FaultPlan::with_delays(p, delay, args.seed)),
+        (
+            Algorithm::StaticBB,
+            FaultPlan::with_delays(p, delay, args.seed),
+        ),
         (Algorithm::StaticLF, FaultPlan::none()),
-        (Algorithm::StaticLF, FaultPlan::with_delays(p, delay, args.seed)),
+        (
+            Algorithm::StaticLF,
+            FaultPlan::with_delays(p, delay, args.seed),
+        ),
     ] {
         let opts = PagerankOptions::default()
             .with_threads(args.threads)
@@ -53,7 +59,11 @@ fn main() {
         println!(
             "{:<10} {:>14} {:>12.4} {:>12.4} {:>10?}",
             algo.name(),
-            if faults.is_active() { format!("{:?} p={p:.1e}", delay) } else { "none".into() },
+            if faults.is_active() {
+                format!("{:?} p={p:.1e}", delay)
+            } else {
+                "none".into()
+            },
             res.runtime.as_secs_f64(),
             res.total_wait.as_secs_f64() / args.threads as f64,
             res.status

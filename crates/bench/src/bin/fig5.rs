@@ -12,18 +12,24 @@ use lfpr_bench::report::section;
 use lfpr_bench::setup::{scaled_opts, CliArgs, TEMPORAL_REDUCTION};
 use lfpr_core::reference::reference_default;
 use lfpr_core::{api, Algorithm};
-use lfpr_graph::generators::temporal::{filter_new_edges, table1_graphs};
+use lfpr_graph::generators::temporal::{filter_new_edges, table1_graphs_scaled};
 use std::time::Duration;
 
 const MAX_BATCHES: usize = 10;
 
 fn main() {
     let args = CliArgs::parse(1.0);
-    println!("Figure 5: runtimes on real-world dynamic graphs ({} threads)", args.threads);
-    for t in table1_graphs(args.seed) {
+    println!(
+        "Figure 5: runtimes on real-world dynamic graphs ({} threads)",
+        args.threads
+    );
+    for t in table1_graphs_scaled(args.seed, args.scale) {
         for frac in [1e-4f64, 1e-3] {
             let batch_size = ((t.temporal_edge_count() as f64 * frac) as usize).max(1);
-            section(&format!("{} @ batch {frac:.0e}·|ET| ({batch_size} temporal edges)", t.name));
+            section(&format!(
+                "{} @ batch {frac:.0e}·|ET| ({batch_size} temporal edges)",
+                t.name
+            ));
             let (mut g, tail) = t.preload(0.9);
             let chunks = t.tail_batches(tail, batch_size);
             let mut totals: Vec<(Algorithm, Duration, usize)> = Algorithm::FIGURE_SET

@@ -23,7 +23,10 @@ fn main() {
         "Figure 6: strong scaling, batch 1e-4|E|, geomean over {} graphs",
         prepared.len()
     );
-    println!("{:<10} {:>8} {:>12} {:>10}", "approach", "threads", "geomean_s", "speedup");
+    println!(
+        "{:<10} {:>8} {:>12} {:>10}",
+        "approach", "threads", "geomean_s", "speedup"
+    );
     let mut threads = vec![1usize];
     while *threads.last().unwrap() * 2 <= args.threads {
         threads.push(threads.last().unwrap() * 2);

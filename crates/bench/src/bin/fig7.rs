@@ -30,7 +30,12 @@ fn main() {
     let mut agg: HashMap<(Algorithm, usize), (Vec<Duration>, Vec<f64>)> = HashMap::new();
     for entry in &suite {
         for (fi, &frac) in fractions.iter().enumerate() {
-            let p = prepare(entry.name, entry.generate(args.seed), frac, args.seed + fi as u64);
+            let p = prepare(
+                entry.name,
+                entry.generate(args.seed),
+                frac,
+                args.seed + fi as u64,
+            );
             for algo in Algorithm::FIGURE_SET {
                 let opts = scaled_opts(suite_reduction(args.scale), args.threads);
                 let res = api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts);

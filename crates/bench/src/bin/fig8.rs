@@ -56,7 +56,12 @@ fn main() {
                     const REPS: u32 = 3;
                     for _ in 0..REPS {
                         let res = api::run_dynamic(
-                            algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts,
+                            algo,
+                            &p.prev,
+                            &p.curr,
+                            &p.batch,
+                            &p.prev_ranks,
+                            &opts,
                         );
                         total += res.runtime;
                         err = err.max(linf_diff(&res.ranks, &p.reference));

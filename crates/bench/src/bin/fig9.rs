@@ -36,7 +36,14 @@ fn main() {
                 (p.curr.num_vertices() / 2) as u64,
                 args.seed,
             ));
-        let res = api::run_dynamic(Algorithm::DfBB, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts);
+        let res = api::run_dynamic(
+            Algorithm::DfBB,
+            &p.prev,
+            &p.curr,
+            &p.batch,
+            &p.prev_ranks,
+            &opts,
+        );
         println!(
             "DFBB with 1 crashed thread: status = {:?} (paper: fails to complete)",
             res.status
@@ -69,10 +76,15 @@ fn main() {
             } else {
                 FaultPlan::with_crashes(crashes, work.max(8), args.seed + crashes as u64)
             };
-            let opts = scaled_opts(suite_reduction(args.scale), args.threads)
-                .with_faults(faults);
-            let res =
-                api::run_dynamic(Algorithm::DfLF, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts);
+            let opts = scaled_opts(suite_reduction(args.scale), args.threads).with_faults(faults);
+            let res = api::run_dynamic(
+                Algorithm::DfLF,
+                &p.prev,
+                &p.curr,
+                &p.batch,
+                &p.prev_ranks,
+                &opts,
+            );
             all_ok &= res.status == RunStatus::Converged;
             times.push(res.runtime);
             errs.push(linf_diff(&res.ranks, &p.reference));

@@ -1,0 +1,54 @@
+//! CI bench-smoke target: run every algorithm variant once on a tiny
+//! generated graph and verify ranks against the sequential reference.
+//! Exits non-zero on any failure, so the figure/table code paths
+//! (setup, batch generation, all eight kernels) cannot silently rot.
+//!
+//! Runs in well under a second: `cargo run --release -p lfpr-bench --bin smoke`
+
+use lfpr_core::norm::linf_diff;
+use lfpr_core::reference::reference_default;
+use lfpr_core::{api, Algorithm, PagerankOptions};
+use lfpr_graph::selfloops::add_self_loops;
+use lfpr_graph::BatchSpec;
+
+fn main() {
+    let mut g = lfpr_graph::generators::erdos_renyi(2_000, 16_000, 42);
+    add_self_loops(&mut g);
+    let prev = g.snapshot();
+    let opts = PagerankOptions::default()
+        .with_threads(2)
+        .with_chunk_size(64);
+
+    let r0 = api::run_static(Algorithm::StaticLF, &prev, &opts);
+    assert!(
+        r0.status.is_success(),
+        "static ranking failed: {:?}",
+        r0.status
+    );
+
+    let batch = BatchSpec::mixed(1e-3, 7).generate(&g);
+    g.apply_batch(&batch).expect("generated batch must apply");
+    let curr = g.snapshot();
+    let reference = reference_default(&curr);
+
+    let mut failures = 0;
+    for algo in Algorithm::ALL {
+        let res = api::run_dynamic(algo, &prev, &curr, &batch, &r0.ranks, &opts);
+        let err = linf_diff(&res.ranks, &reference);
+        let ok = res.status.is_success() && err < 1e-6;
+        println!(
+            "{algo}: status={:?} linf_err={err:.2e} time={:?} {}",
+            res.status,
+            res.runtime,
+            if ok { "ok" } else { "FAIL" },
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("smoke: {failures} variant(s) failed");
+        std::process::exit(1);
+    }
+    println!("smoke: all {} variants ok", Algorithm::ALL.len());
+}

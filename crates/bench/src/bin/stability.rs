@@ -19,9 +19,17 @@ fn main() {
         "{:<20} {:<10} {:>10} {:>14}",
         "graph", "approach", "fraction", "linf_vs_orig"
     );
-    let algos = [Algorithm::NdBB, Algorithm::NdLF, Algorithm::DfBB, Algorithm::DfLF];
+    let algos = [
+        Algorithm::NdBB,
+        Algorithm::NdLF,
+        Algorithm::DfBB,
+        Algorithm::DfLF,
+    ];
     let mut max_err: Vec<(Algorithm, f64)> = algos.iter().map(|&a| (a, 0.0)).collect();
-    for entry in scaled_suite(args.scale).into_iter().filter(|e| picks.contains(&e.name)) {
+    for entry in scaled_suite(args.scale)
+        .into_iter()
+        .filter(|e| picks.contains(&e.name))
+    {
         for frac in [1e-5f64, 1e-4, 1e-3, 1e-2] {
             let mut g = entry.generate(args.seed);
             let original = g.snapshot();

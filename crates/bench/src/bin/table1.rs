@@ -6,13 +6,16 @@
 //! proportions at reduced scale (see DESIGN.md §5).
 
 use lfpr_bench::setup::CliArgs;
-use lfpr_graph::generators::temporal::table1_graphs;
+use lfpr_graph::generators::temporal::table1_graphs_scaled;
 
 fn main() {
     let args = CliArgs::parse(1.0);
     println!("Table 1: real-world dynamic graph substitutes (scale-reduced)");
-    println!("{:<24} {:>10} {:>12} {:>12} {:>8}", "Graph", "|V|", "|ET|", "|E|", "ET/E");
-    for t in table1_graphs(args.seed) {
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>8}",
+        "Graph", "|V|", "|ET|", "|E|", "ET/E"
+    );
+    for t in table1_graphs_scaled(args.seed, args.scale) {
         let et = t.temporal_edge_count();
         let e = t.static_edge_count();
         println!(

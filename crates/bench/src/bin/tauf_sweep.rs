@@ -7,7 +7,9 @@
 //! (every processed vertex marks its neighbors) — the accuracy ceiling.
 
 use lfpr_bench::report::geomean_secs;
-use lfpr_bench::setup::{prepare, scaled_opts, scaled_tolerance, scaled_suite, suite_reduction, CliArgs};
+use lfpr_bench::setup::{
+    prepare, scaled_opts, scaled_suite, scaled_tolerance, suite_reduction, CliArgs,
+};
 use lfpr_core::norm::linf_diff;
 use lfpr_core::{api, Algorithm};
 
@@ -29,8 +31,15 @@ fn main() {
         .iter()
         .map(|p| {
             let opts = scaled_opts(suite_reduction(args.scale), args.threads);
-            api::run_dynamic(Algorithm::NdLF, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts)
-                .runtime
+            api::run_dynamic(
+                Algorithm::NdLF,
+                &p.prev,
+                &p.curr,
+                &p.batch,
+                &p.prev_ranks,
+                &opts,
+            )
+            .runtime
         })
         .collect();
     let nd_geo = geomean_secs(&nd_times);
@@ -55,8 +64,14 @@ fn main() {
             let red = suite_reduction(args.scale);
             let opts = scaled_opts(red, args.threads)
                 .with_frontier_tolerance(scaled_tolerance(red) * ratio);
-            let res =
-                api::run_dynamic(Algorithm::DfLF, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts);
+            let res = api::run_dynamic(
+                Algorithm::DfLF,
+                &p.prev,
+                &p.curr,
+                &p.batch,
+                &p.prev_ranks,
+                &opts,
+            );
             times.push(res.runtime);
             max_err = max_err.max(linf_diff(&res.ranks, &p.reference));
             proc += res.vertices_processed;

@@ -51,7 +51,9 @@ impl Row {
 /// average, §5.1.5). Returns 0.0 for empty input.
 pub fn geomean_secs(ds: &[Duration]) -> f64 {
     lfpr_sched::stats::geometric_mean(
-        &ds.iter().map(|d| d.as_secs_f64().max(1e-12)).collect::<Vec<_>>(),
+        &ds.iter()
+            .map(|d| d.as_secs_f64().max(1e-12))
+            .collect::<Vec<_>>(),
     )
     .unwrap_or(0.0)
 }

@@ -29,7 +29,8 @@ pub fn prepare(name: &str, mut g: DynGraph, fraction: f64, seed: u64) -> Prepare
     let prev = g.snapshot();
     let prev_ranks = reference_default(&prev);
     let batch = BatchSpec::mixed(fraction, seed).generate(&g);
-    g.apply_batch(&batch).expect("generated batch must apply cleanly");
+    g.apply_batch(&batch)
+        .expect("generated batch must apply cleanly");
     let curr = g.snapshot();
     let reference = reference_default(&curr);
     Prepared {

@@ -172,7 +172,9 @@ mod tests {
 
     #[test]
     fn every_variant_agrees_with_reference() {
-        let opts = PagerankOptions::default().with_threads(4).with_chunk_size(32);
+        let opts = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32);
         let mut g = erdos_renyi(200, 1400, 71);
         add_self_loops(&mut g);
         let prev = g.snapshot();

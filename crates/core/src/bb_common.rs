@@ -82,8 +82,7 @@ pub(crate) fn run_bb_engine(
     let barrier = InstrumentedBarrier::new(nt, opts.stall_timeout);
     // Per-thread local ΔR maxima, reduced by the barrier leader.
     let slots: Vec<AtomicU64> = (0..nt).map(|_| AtomicU64::new(0)).collect();
-    let decision: Vec<AtomicU8> =
-        (0..opts.max_iterations).map(|_| AtomicU8::new(0)).collect();
+    let decision: Vec<AtomicU8> = (0..opts.max_iterations).map(|_| AtomicU8::new(0)).collect();
     let committed = AtomicUsize::new(0);
     let processed = AtomicU64::new(0);
 
@@ -178,11 +177,14 @@ pub(crate) fn run_bb_engine(
     });
     let runtime = t0.elapsed();
 
-    let threads_crashed = ends.iter().filter(|e| matches!(e, ThreadEnd::Crashed)).count();
+    let threads_crashed = ends
+        .iter()
+        .filter(|e| matches!(e, ThreadEnd::Crashed))
+        .count();
     let any_stalled = ends.iter().any(|e| matches!(e, ThreadEnd::Stalled));
     let iterations = committed.load(Ordering::SeqCst);
-    let converged = iterations > 0
-        && decision[iterations - 1].load(Ordering::SeqCst) == DECIDE_BREAK;
+    let converged =
+        iterations > 0 && decision[iterations - 1].load(Ordering::SeqCst) == DECIDE_BREAK;
     let status = if any_stalled || threads_crashed > 0 {
         // Barrier-based runs cannot absorb a crash: either survivors
         // stalled, or every thread crashed. Either way: did not finish.
@@ -241,7 +243,9 @@ mod tests {
     fn all_mode_matches_reference() {
         let g = ring(64);
         let init = vec![1.0 / 64.0; 64];
-        let opts = PagerankOptions::default().with_threads(4).with_chunk_size(8);
+        let opts = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(8);
         let res = run_bb_engine(&g, &init, BbMode::All, &opts, None);
         assert_eq!(res.status, RunStatus::Converged);
         let reference = reference_default(&g);
@@ -291,7 +295,9 @@ mod tests {
     fn wait_time_recorded() {
         let g = ring(256);
         let init = vec![1.0 / 256.0; 256];
-        let opts = PagerankOptions::default().with_threads(4).with_chunk_size(4);
+        let opts = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(4);
         let res = run_bb_engine(&g, &init, BbMode::All, &opts, None);
         // With 4 threads there is always *some* barrier wait.
         assert!(res.total_wait > std::time::Duration::ZERO);

@@ -131,7 +131,10 @@ impl PagerankOptions {
             return Err(format!("alpha must be in (0,1), got {}", self.alpha));
         }
         if self.tolerance <= 0.0 {
-            return Err(format!("tolerance must be positive, got {}", self.tolerance));
+            return Err(format!(
+                "tolerance must be positive, got {}",
+                self.tolerance
+            ));
         }
         if self.frontier_tolerance < 0.0 {
             return Err(format!(
@@ -188,9 +191,15 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_values() {
-        let o = PagerankOptions { alpha: 1.5, ..PagerankOptions::default() };
+        let o = PagerankOptions {
+            alpha: 1.5,
+            ..PagerankOptions::default()
+        };
         assert!(o.validate().is_err());
-        let o = PagerankOptions { tolerance: 0.0, ..PagerankOptions::default() };
+        let o = PagerankOptions {
+            tolerance: 0.0,
+            ..PagerankOptions::default()
+        };
         assert!(o.validate().is_err());
         let o = PagerankOptions {
             frontier_tolerance: -1.0,

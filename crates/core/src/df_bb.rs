@@ -53,7 +53,10 @@ pub fn df_bb(
         true
     };
 
-    let mode = BbMode::Frontier { va: &va, tau_f: opts.frontier_tolerance };
+    let mode = BbMode::Frontier {
+        va: &va,
+        tau_f: opts.frontier_tolerance,
+    };
     let mut res = run_bb_engine(curr, prev_ranks, mode, opts, Some(mark));
     res.initially_affected = df_initial_affected(prev, curr, batch).len();
     res
@@ -72,7 +75,9 @@ mod tests {
     use lfpr_sched::fault::FaultPlan;
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     fn updated(seed: u64, frac: f64) -> (Snapshot, Snapshot, BatchUpdate, Vec<f64>) {

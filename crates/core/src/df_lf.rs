@@ -59,10 +59,20 @@ pub fn df_lf(
         }
     };
     let phase1: &Phase1Fn<'_> = &|_t, faults| {
-        helping_mark_phase(&edges, &cursor, &checked, opts.chunk_size.max(1), &mark_source, faults)
+        helping_mark_phase(
+            &edges,
+            &cursor,
+            &checked,
+            opts.chunk_size.max(1),
+            &mark_source,
+            faults,
+        )
     };
 
-    let mode = LfMode::Frontier { va: &va, tau_f: opts.frontier_tolerance };
+    let mode = LfMode::Frontier {
+        va: &va,
+        tau_f: opts.frontier_tolerance,
+    };
     let mut res = run_lf_engine(curr, &ranks, &rc, mode, opts, Some(phase1));
     res.initially_affected = df_initial_affected(prev, curr, batch).len();
     res
@@ -83,7 +93,9 @@ mod tests {
     use std::time::Duration;
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     fn updated_er(seed: u64, frac: f64) -> (Snapshot, Snapshot, BatchUpdate, Vec<f64>) {
@@ -144,7 +156,9 @@ mod tests {
         let batch = BatchSpec::mixed(1e-5, 56).generate(&g);
         g.apply_batch(&batch).unwrap();
         let curr = g.snapshot();
-        let o = PagerankOptions::default().with_threads(4).with_chunk_size(256);
+        let o = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(256);
         let df = df_lf(&prev, &curr, &batch, &r_prev, &o);
         let nd = crate::nd_lf::nd_lf(&curr, &r_prev, &o);
         assert!(
@@ -159,11 +173,7 @@ mod tests {
     #[test]
     fn survives_delays() {
         let (prev, curr, batch, r_prev) = updated_er(57, 0.01);
-        let o = opts().with_faults(FaultPlan::with_delays(
-            1e-3,
-            Duration::from_millis(1),
-            19,
-        ));
+        let o = opts().with_faults(FaultPlan::with_delays(1e-3, Duration::from_millis(1), 19));
         let res = df_lf(&prev, &curr, &batch, &r_prev, &o);
         assert_eq!(res.status, RunStatus::Converged);
         assert!(linf_diff(&res.ranks, &reference_default(&curr)) < 1e-8);

@@ -48,7 +48,13 @@ pub fn dt_bb(
         true
     };
 
-    let mut res = run_bb_engine(curr, prev_ranks, BbMode::Affected { va: &va }, opts, Some(mark));
+    let mut res = run_bb_engine(
+        curr,
+        prev_ranks,
+        BbMode::Affected { va: &va },
+        opts,
+        Some(mark),
+    );
     res.initially_affected = dt_initial_affected(prev, curr, batch);
     res
 }
@@ -65,7 +71,9 @@ mod tests {
     use lfpr_graph::BatchSpec;
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     #[test]

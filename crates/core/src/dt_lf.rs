@@ -48,10 +48,24 @@ pub fn dt_lf(
         }
     };
     let phase1: &Phase1Fn<'_> = &|_t, faults| {
-        helping_mark_phase(&edges, &cursor, &checked, opts.chunk_size.max(1), &mark_source, faults)
+        helping_mark_phase(
+            &edges,
+            &cursor,
+            &checked,
+            opts.chunk_size.max(1),
+            &mark_source,
+            faults,
+        )
     };
 
-    let mut res = run_lf_engine(curr, &ranks, &rc, LfMode::Affected { va: &va }, opts, Some(phase1));
+    let mut res = run_lf_engine(
+        curr,
+        &ranks,
+        &rc,
+        LfMode::Affected { va: &va },
+        opts,
+        Some(phase1),
+    );
     res.initially_affected = dt_initial_affected(prev, curr, batch);
     res
 }
@@ -69,7 +83,9 @@ mod tests {
     use lfpr_sched::fault::FaultPlan;
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     fn updated(seed: u64) -> (Snapshot, Snapshot, BatchUpdate, Vec<f64>) {

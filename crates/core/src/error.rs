@@ -40,7 +40,16 @@ mod tests {
     fn graph() -> Snapshot {
         Snapshot::from_edges(
             4,
-            &[(0, 0), (1, 1), (2, 2), (3, 3), (0, 1), (1, 2), (2, 3), (3, 0)],
+            &[
+                (0, 0),
+                (1, 1),
+                (2, 2),
+                (3, 3),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+            ],
         )
     }
 

@@ -15,12 +15,7 @@ use lfpr_graph::{BatchUpdate, Snapshot};
 /// Iterative DFS over `g`'s out-edges from `start`, marking visited
 /// vertices in `va` (atomic test-and-set keeps concurrent traversals
 /// idempotent). Calls `on_new` for every newly marked vertex.
-pub(crate) fn dfs_mark_atomic(
-    g: &Snapshot,
-    start: u32,
-    va: &Flags,
-    on_new: &mut impl FnMut(u32),
-) {
+pub(crate) fn dfs_mark_atomic(g: &Snapshot, start: u32, va: &Flags, on_new: &mut impl FnMut(u32)) {
     if va.test_and_set(start as usize) {
         return;
     }
@@ -39,11 +34,7 @@ pub(crate) fn dfs_mark_atomic(
 /// The distinct vertices DF's initial marking touches: out-neighbors of
 /// every batch source in Gt−1 ∪ Gt. Sequential; used for diagnostics
 /// (`PagerankResult::initially_affected`) outside the timed region.
-pub fn df_initial_affected(
-    prev: &Snapshot,
-    curr: &Snapshot,
-    batch: &BatchUpdate,
-) -> Vec<u32> {
+pub fn df_initial_affected(prev: &Snapshot, curr: &Snapshot, batch: &BatchUpdate) -> Vec<u32> {
     let mut out: Vec<u32> = Vec::new();
     for u in batch.sources() {
         out.extend_from_slice(prev.out(u));
@@ -57,11 +48,7 @@ pub fn df_initial_affected(
 /// The number of vertices DT's initial marking touches: everything
 /// reachable in Gt from any out-neighbor of any batch source.
 /// Sequential; diagnostics only.
-pub fn dt_initial_affected(
-    prev: &Snapshot,
-    curr: &Snapshot,
-    batch: &BatchUpdate,
-) -> usize {
+pub fn dt_initial_affected(prev: &Snapshot, curr: &Snapshot, batch: &BatchUpdate) -> usize {
     let n = curr.num_vertices();
     let va = Flags::new(n, 0);
     let mut count = 0usize;
@@ -82,7 +69,17 @@ mod tests {
     fn chain() -> Snapshot {
         Snapshot::from_edges(
             5,
-            &[(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (0, 1), (1, 2), (2, 3), (3, 4)],
+            &[
+                (0, 0),
+                (1, 1),
+                (2, 2),
+                (3, 3),
+                (4, 4),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+            ],
         )
     }
 
@@ -114,7 +111,17 @@ mod tests {
         // Batch: delete (1,2), insert (3,0). Sources: 1 and 3.
         let curr = Snapshot::from_edges(
             5,
-            &[(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (0, 1), (2, 3), (3, 4), (3, 0)],
+            &[
+                (0, 0),
+                (1, 1),
+                (2, 2),
+                (3, 3),
+                (4, 4),
+                (0, 1),
+                (2, 3),
+                (3, 4),
+                (3, 0),
+            ],
         );
         let batch = BatchUpdate {
             deletions: vec![(1, 2)],

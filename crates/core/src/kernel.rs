@@ -65,7 +65,16 @@ mod tests {
     fn atomic_and_slice_kernels_agree() {
         let g = Snapshot::from_edges(
             4,
-            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0), (3, 3), (3, 0)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 0),
+                (3, 3),
+                (3, 0),
+            ],
         );
         let ranks = vec![0.4, 0.3, 0.2, 0.1];
         let atomic = crate::rank::AtomicRanks::from_slice(&ranks);

@@ -315,7 +315,9 @@ mod tests {
     }
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(8)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(8)
     }
 
     #[test]
@@ -360,7 +362,11 @@ mod tests {
         let ranks = AtomicRanks::uniform(n, 1.0 / n as f64);
         let rc = Flags::new(n, 1);
         let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
-        assert_eq!(res.status, RunStatus::Converged, "LF must finish despite crashes");
+        assert_eq!(
+            res.status,
+            RunStatus::Converged,
+            "LF must finish despite crashes"
+        );
         assert_eq!(res.threads_crashed, 2);
         let reference = reference_default(&g);
         assert!(linf_diff(&res.ranks, &reference) < 1e-8);
@@ -400,7 +406,10 @@ mod tests {
         assert!(ok);
         assert!(checked.get(0) && checked.get(2) && checked.get(4));
         assert!(marked.get(0) && marked.get(4));
-        assert!(!marked.get(2), "already-checked source must not be re-marked");
+        assert!(
+            !marked.get(2),
+            "already-checked source must not be re-marked"
+        );
     }
 
     #[test]

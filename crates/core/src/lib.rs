@@ -62,9 +62,9 @@ pub mod norm;
 pub mod rank;
 pub mod reference;
 pub mod result;
-pub mod vertex_dynamics;
 pub mod static_bb;
 pub mod static_lf;
+pub mod vertex_dynamics;
 
 pub use api::Algorithm;
 pub use config::{ConvergenceMode, PagerankOptions};

@@ -33,7 +33,9 @@ mod tests {
     use lfpr_graph::BatchSpec;
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     #[test]

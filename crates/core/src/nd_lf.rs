@@ -42,7 +42,9 @@ mod tests {
     use lfpr_sched::fault::FaultPlan;
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     fn updated_pair() -> (Snapshot, Snapshot, Vec<f64>) {

@@ -27,7 +27,9 @@ impl AtomicRanks {
     /// All ranks set to `value` (e.g. 1/n for a fresh static run).
     pub fn uniform(n: usize, value: f64) -> Self {
         let b = value.to_bits();
-        AtomicRanks { bits: (0..n).map(|_| AtomicU64::new(b)).collect() }
+        AtomicRanks {
+            bits: (0..n).map(|_| AtomicU64::new(b)).collect(),
+        }
     }
 
     /// Initialize from a previous rank vector (dynamic warm start).
@@ -84,7 +86,9 @@ pub struct Flags {
 impl Flags {
     /// All flags initialized to `init` (0 or 1).
     pub fn new(n: usize, init: u8) -> Self {
-        Flags { flags: (0..n).map(|_| AtomicU8::new(init)).collect() }
+        Flags {
+            flags: (0..n).map(|_| AtomicU8::new(init)).collect(),
+        }
     }
 
     /// Number of flags.

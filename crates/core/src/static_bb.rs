@@ -33,7 +33,9 @@ mod tests {
     }
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     #[test]
@@ -59,7 +61,12 @@ mod tests {
         // vertices, read only the previous iteration's buffer).
         let g = graph(150, 900, 3);
         let a = static_bb(&g, &opts());
-        let b = static_bb(&g, &PagerankOptions::default().with_threads(2).with_chunk_size(7));
+        let b = static_bb(
+            &g,
+            &PagerankOptions::default()
+                .with_threads(2)
+                .with_chunk_size(7),
+        );
         assert_eq!(a.ranks, b.ranks, "StaticBB must be schedule-invariant");
     }
 

@@ -48,7 +48,9 @@ mod tests {
     }
 
     fn opts() -> PagerankOptions {
-        PagerankOptions::default().with_threads(4).with_chunk_size(32)
+        PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(32)
     }
 
     #[test]
@@ -92,11 +94,7 @@ mod tests {
     #[test]
     fn converges_under_delays() {
         let g = graph(300, 2000, 4);
-        let o = opts().with_faults(FaultPlan::with_delays(
-            1e-3,
-            Duration::from_millis(1),
-            11,
-        ));
+        let o = opts().with_faults(FaultPlan::with_delays(1e-3, Duration::from_millis(1), 11));
         let res = static_lf(&g, &o);
         assert_eq!(res.status, RunStatus::Converged);
         assert!(linf_diff(&res.ranks, &reference_default(&g)) < 1e-8);

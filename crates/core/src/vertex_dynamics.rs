@@ -164,7 +164,9 @@ mod tests {
         let prev_snap = prev_padded.snapshot();
         let curr = g.snapshot();
 
-        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(8);
+        let opts = PagerankOptions::default()
+            .with_threads(2)
+            .with_chunk_size(8);
         let res = df_lf_with_growth(&prev_snap, &curr, &batch, &prev_ranks, &opts);
         assert_eq!(res.status, RunStatus::Converged);
         let reference = reference_default(&curr);
@@ -191,7 +193,9 @@ mod tests {
         let curr = g.snapshot();
 
         let scaled = scale_ranks_for_removal(&prev_ranks, &[5], 0.85);
-        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(8);
+        let opts = PagerankOptions::default()
+            .with_threads(2)
+            .with_chunk_size(8);
         let res = crate::df_lf::df_lf(&prev, &curr, &batch, &scaled, &opts);
         assert_eq!(res.status, RunStatus::Converged);
         let reference = reference_default(&curr);

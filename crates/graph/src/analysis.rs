@@ -54,7 +54,11 @@ pub fn degree_histogram(s: &Snapshot) -> Vec<usize> {
     let mut hist: Vec<usize> = Vec::new();
     for v in 0..s.num_vertices() as VertexId {
         let d = s.out_degree(v) as usize;
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);
         }

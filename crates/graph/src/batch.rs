@@ -32,12 +32,18 @@ impl BatchUpdate {
 
     /// Insertion-only batch (the temporal-graph experiments of Figure 5).
     pub fn insert_only(insertions: Vec<Edge>) -> Self {
-        BatchUpdate { deletions: Vec::new(), insertions }
+        BatchUpdate {
+            deletions: Vec::new(),
+            insertions,
+        }
     }
 
     /// Deletion-only batch (the stability experiment, §5.2.3).
     pub fn delete_only(deletions: Vec<Edge>) -> Self {
-        BatchUpdate { deletions, insertions: Vec::new() }
+        BatchUpdate {
+            deletions,
+            insertions: Vec::new(),
+        }
     }
 
     /// Total number of edge updates |Δt−| + |Δt+|.
@@ -100,17 +106,29 @@ pub struct BatchSpec {
 impl BatchSpec {
     /// Equal-mix batch of `fraction * |E|` edges.
     pub fn mixed(fraction: f64, seed: u64) -> Self {
-        BatchSpec { fraction, mix: BatchMix::Mixed, seed }
+        BatchSpec {
+            fraction,
+            mix: BatchMix::Mixed,
+            seed,
+        }
     }
 
     /// Insertion-only batch.
     pub fn insert_only(fraction: f64, seed: u64) -> Self {
-        BatchSpec { fraction, mix: BatchMix::InsertOnly, seed }
+        BatchSpec {
+            fraction,
+            mix: BatchMix::InsertOnly,
+            seed,
+        }
     }
 
     /// Deletion-only batch.
     pub fn delete_only(fraction: f64, seed: u64) -> Self {
-        BatchSpec { fraction, mix: BatchMix::DeleteOnly, seed }
+        BatchSpec {
+            fraction,
+            mix: BatchMix::DeleteOnly,
+            seed,
+        }
     }
 
     /// Generate a batch against the current state of `g`.
@@ -131,7 +149,10 @@ impl BatchSpec {
         };
         let deletions = sample_existing_edges(g, n_del, &mut rng);
         let insertions = sample_absent_edges(g, &deletions, n_ins, &mut rng);
-        BatchUpdate { deletions, insertions }
+        BatchUpdate {
+            deletions,
+            insertions,
+        }
     }
 }
 
@@ -148,7 +169,10 @@ fn sample_existing_edges(g: &DynGraph, k: usize, rng: &mut StdRng) -> Vec<Edge> 
     // vertex, then a random out-neighbor. Vertices with higher degree are
     // oversampled relative to uniform-over-edges, so correct by retrying
     // proportionally: accept with probability deg/maxdeg.
-    let max_deg = (0..n as VertexId).map(|v| g.out_degree(v)).max().unwrap_or(0);
+    let max_deg = (0..n as VertexId)
+        .map(|v| g.out_degree(v))
+        .max()
+        .unwrap_or(0);
     if max_deg == 0 {
         return Vec::new();
     }
@@ -180,12 +204,7 @@ fn sample_existing_edges(g: &DynGraph, k: usize, rng: &mut StdRng) -> Vec<Edge> 
 /// Uniformly sample `k` distinct vertex pairs that are non-edges in `g`
 /// (and not already scheduled for deletion, so the batch stays valid), and
 /// not self-loops.
-fn sample_absent_edges(
-    g: &DynGraph,
-    deletions: &[Edge],
-    k: usize,
-    rng: &mut StdRng,
-) -> Vec<Edge> {
+fn sample_absent_edges(g: &DynGraph, deletions: &[Edge], k: usize, rng: &mut StdRng) -> Vec<Edge> {
     let n = g.num_vertices();
     if n < 2 || k == 0 {
         return Vec::new();

@@ -27,7 +27,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a builder for a graph with `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), symmetric: false }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            symmetric: false,
+        }
     }
 
     /// Add one directed edge.
@@ -58,15 +62,19 @@ impl GraphBuilder {
     }
 
     fn normalized_edges(&self) -> Result<Vec<Edge>> {
-        let mut edges = Vec::with_capacity(
-            self.edges.len() * if self.symmetric { 2 } else { 1 },
-        );
+        let mut edges = Vec::with_capacity(self.edges.len() * if self.symmetric { 2 } else { 1 });
         for &(u, v) in &self.edges {
             if (u as usize) >= self.n {
-                return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u,
+                    n: self.n,
+                });
             }
             if (v as usize) >= self.n {
-                return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    n: self.n,
+                });
             }
             edges.push((u, v));
             if self.symmetric && u != v {
@@ -97,7 +105,11 @@ mod tests {
 
     #[test]
     fn dedup_on_build() {
-        let g = GraphBuilder::new(2).edge(0, 1).edge(0, 1).build_csr().unwrap();
+        let g = GraphBuilder::new(2)
+            .edge(0, 1)
+            .edge(0, 1)
+            .build_csr()
+            .unwrap();
         assert_eq!(g.num_edges(), 1);
     }
 
@@ -116,7 +128,11 @@ mod tests {
 
     #[test]
     fn symmetric_self_loop_not_doubled() {
-        let g = GraphBuilder::new(1).edge(0, 0).symmetric(true).build_csr().unwrap();
+        let g = GraphBuilder::new(1)
+            .edge(0, 0)
+            .symmetric(true)
+            .build_csr()
+            .unwrap();
         assert_eq!(g.num_edges(), 1);
     }
 

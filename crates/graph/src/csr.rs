@@ -53,7 +53,10 @@ impl Csr {
         let m: usize = adj.iter().map(|a| a.len()).sum();
         let mut targets = Vec::with_capacity(m);
         for list in adj {
-            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "adjacency must be strictly sorted");
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "adjacency must be strictly sorted"
+            );
             targets.extend_from_slice(list);
             offsets.push(targets.len());
         }

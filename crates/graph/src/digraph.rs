@@ -26,7 +26,10 @@ pub struct DynGraph {
 impl DynGraph {
     /// An edgeless graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        DynGraph { out: vec![Vec::new(); n], m: 0 }
+        DynGraph {
+            out: vec![Vec::new(); n],
+            m: 0,
+        }
     }
 
     /// Construct from a strictly sorted, deduplicated edge list.
@@ -35,7 +38,10 @@ impl DynGraph {
         for &(u, v) in edges {
             out[u as usize].push(v);
         }
-        DynGraph { out, m: edges.len() }
+        DynGraph {
+            out,
+            m: edges.len(),
+        }
     }
 
     /// Number of vertices.
@@ -72,7 +78,10 @@ impl DynGraph {
         if (v as usize) < self.out.len() {
             Ok(())
         } else {
-            Err(GraphError::VertexOutOfRange { vertex: v, n: self.out.len() })
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.out.len(),
+            })
         }
     }
 
@@ -180,9 +189,10 @@ impl DynGraph {
 
     /// Iterate all edges in sorted order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.out.iter().enumerate().flat_map(|(u, list)| {
-            list.iter().map(move |&v| (u as VertexId, v))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().map(move |&v| (u as VertexId, v)))
     }
 
     /// Take an immutable CSR snapshot (out + in adjacency).
@@ -216,7 +226,10 @@ mod tests {
     #[test]
     fn insert_duplicate_rejected() {
         let mut g = triangle();
-        assert_eq!(g.insert_edge(0, 1).unwrap_err(), GraphError::DuplicateEdge((0, 1)));
+        assert_eq!(
+            g.insert_edge(0, 1).unwrap_err(),
+            GraphError::DuplicateEdge((0, 1))
+        );
         assert!(!g.insert_edge_if_absent(0, 1).unwrap());
         assert!(g.insert_edge_if_absent(0, 2).unwrap());
     }
@@ -224,7 +237,10 @@ mod tests {
     #[test]
     fn delete_missing_rejected() {
         let mut g = triangle();
-        assert_eq!(g.delete_edge(0, 2).unwrap_err(), GraphError::MissingEdge((0, 2)));
+        assert_eq!(
+            g.delete_edge(0, 2).unwrap_err(),
+            GraphError::MissingEdge((0, 2))
+        );
         g.delete_edge(0, 1).unwrap();
         assert_eq!(g.num_edges(), 2);
         assert!(!g.has_edge(0, 1));

@@ -84,18 +84,90 @@ impl SuiteEntry {
 pub fn table2_suite() -> Vec<SuiteEntry> {
     use GraphClass::*;
     vec![
-        SuiteEntry { name: "indochina-2004*", class: Web, n: 7_400, m: 199_000, directed: true },
-        SuiteEntry { name: "arabic-2005*", class: Web, n: 22_700, m: 654_000, directed: true },
-        SuiteEntry { name: "uk-2005*", class: Web, n: 39_500, m: 961_000, directed: true },
-        SuiteEntry { name: "webbase-2001*", class: Web, n: 118_000, m: 1_110_000, directed: true },
-        SuiteEntry { name: "it-2004*", class: Web, n: 41_300, m: 1_180_000, directed: true },
-        SuiteEntry { name: "sk-2005*", class: Web, n: 50_600, m: 1_980_000, directed: true },
-        SuiteEntry { name: "com-LiveJournal", class: Social, n: 4_000, m: 73_400, directed: false },
-        SuiteEntry { name: "com-Orkut", class: Social, n: 3_070, m: 237_000, directed: false },
-        SuiteEntry { name: "asia_osm", class: Road, n: 12_000, m: 37_400, directed: false },
-        SuiteEntry { name: "europe_osm", class: Road, n: 50_900, m: 159_000, directed: false },
-        SuiteEntry { name: "kmer_A2a", class: Kmer, n: 171_000, m: 531_000, directed: false },
-        SuiteEntry { name: "kmer_V1r", class: Kmer, n: 214_000, m: 679_000, directed: false },
+        SuiteEntry {
+            name: "indochina-2004*",
+            class: Web,
+            n: 7_400,
+            m: 199_000,
+            directed: true,
+        },
+        SuiteEntry {
+            name: "arabic-2005*",
+            class: Web,
+            n: 22_700,
+            m: 654_000,
+            directed: true,
+        },
+        SuiteEntry {
+            name: "uk-2005*",
+            class: Web,
+            n: 39_500,
+            m: 961_000,
+            directed: true,
+        },
+        SuiteEntry {
+            name: "webbase-2001*",
+            class: Web,
+            n: 118_000,
+            m: 1_110_000,
+            directed: true,
+        },
+        SuiteEntry {
+            name: "it-2004*",
+            class: Web,
+            n: 41_300,
+            m: 1_180_000,
+            directed: true,
+        },
+        SuiteEntry {
+            name: "sk-2005*",
+            class: Web,
+            n: 50_600,
+            m: 1_980_000,
+            directed: true,
+        },
+        SuiteEntry {
+            name: "com-LiveJournal",
+            class: Social,
+            n: 4_000,
+            m: 73_400,
+            directed: false,
+        },
+        SuiteEntry {
+            name: "com-Orkut",
+            class: Social,
+            n: 3_070,
+            m: 237_000,
+            directed: false,
+        },
+        SuiteEntry {
+            name: "asia_osm",
+            class: Road,
+            n: 12_000,
+            m: 37_400,
+            directed: false,
+        },
+        SuiteEntry {
+            name: "europe_osm",
+            class: Road,
+            n: 50_900,
+            m: 159_000,
+            directed: false,
+        },
+        SuiteEntry {
+            name: "kmer_A2a",
+            class: Kmer,
+            n: 171_000,
+            m: 531_000,
+            directed: false,
+        },
+        SuiteEntry {
+            name: "kmer_V1r",
+            class: Kmer,
+            n: 214_000,
+            m: 679_000,
+            directed: false,
+        },
     ]
 }
 
@@ -103,10 +175,34 @@ pub fn table2_suite() -> Vec<SuiteEntry> {
 pub fn mini_suite() -> Vec<SuiteEntry> {
     use GraphClass::*;
     vec![
-        SuiteEntry { name: "web-mini*", class: Web, n: 4_000, m: 100_000, directed: true },
-        SuiteEntry { name: "social-mini", class: Social, n: 2_000, m: 120_000, directed: false },
-        SuiteEntry { name: "road-mini", class: Road, n: 6_000, m: 18_000, directed: false },
-        SuiteEntry { name: "kmer-mini", class: Kmer, n: 8_000, m: 24_000, directed: false },
+        SuiteEntry {
+            name: "web-mini*",
+            class: Web,
+            n: 4_000,
+            m: 100_000,
+            directed: true,
+        },
+        SuiteEntry {
+            name: "social-mini",
+            class: Social,
+            n: 2_000,
+            m: 120_000,
+            directed: false,
+        },
+        SuiteEntry {
+            name: "road-mini",
+            class: Road,
+            n: 6_000,
+            m: 18_000,
+            directed: false,
+        },
+        SuiteEntry {
+            name: "kmer-mini",
+            class: Kmer,
+            n: 8_000,
+            m: 24_000,
+            directed: false,
+        },
     ]
 }
 

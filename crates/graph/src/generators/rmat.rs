@@ -26,23 +26,29 @@ impl RmatParams {
     /// Web-crawl-like: strongly skewed (hubs with enormous in-degree),
     /// like the LAW graphs (indochina-2004, uk-2005, sk-2005, …).
     pub fn web() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 
     /// Social-network-like: denser core, milder skew (com-LiveJournal,
     /// com-Orkut).
     pub fn social() -> Self {
-        RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 }
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
     }
 
     /// Validate that probabilities are non-negative and sum to ~1.
     pub fn is_valid(&self) -> bool {
         let s = self.a + self.b + self.c + self.d;
-        self.a >= 0.0
-            && self.b >= 0.0
-            && self.c >= 0.0
-            && self.d >= 0.0
-            && (s - 1.0).abs() < 1e-9
+        self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0 && (s - 1.0).abs() < 1e-9
     }
 }
 
@@ -106,7 +112,13 @@ mod tests {
     fn params_presets_valid() {
         assert!(RmatParams::web().is_valid());
         assert!(RmatParams::social().is_valid());
-        assert!(!RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.is_valid());
+        assert!(!RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5
+        }
+        .is_valid());
     }
 
     #[test]

@@ -94,7 +94,13 @@ pub fn filter_new_edges(g: &DynGraph, chunk: &[Edge]) -> BatchUpdate {
 /// * `dup_ratio` — target |ET|/|E| (≥ 1; higher = more repeat
 ///   interactions, like wiki-talk's 2.37),
 /// * `seed` — determinism.
-pub fn temporal_stream(name: &str, n: usize, et: usize, dup_ratio: f64, seed: u64) -> TemporalGraph {
+pub fn temporal_stream(
+    name: &str,
+    n: usize,
+    et: usize,
+    dup_ratio: f64,
+    seed: u64,
+) -> TemporalGraph {
     assert!(dup_ratio >= 1.0, "dup_ratio must be >= 1");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stream = Vec::with_capacity(et);
@@ -141,17 +147,29 @@ pub fn temporal_stream(name: &str, n: usize, et: usize, dup_ratio: f64, seed: u6
         pool.push(u);
         pool.push(v);
     }
-    TemporalGraph { n, stream, name: name.to_string() }
+    TemporalGraph {
+        n,
+        stream,
+        name: name.to_string(),
+    }
 }
 
 /// The two Table-1 substitutes at ~1/100 scale (same |V| : |ET| : |E|
 /// proportions as the paper's datasets).
 pub fn table1_graphs(seed: u64) -> Vec<TemporalGraph> {
+    table1_graphs_scaled(seed, 1.0)
+}
+
+/// [`table1_graphs`] with vertex/edge counts further multiplied by
+/// `scale` (the bench binaries' `--scale` flag; CI smoke uses < 1).
+pub fn table1_graphs_scaled(seed: u64, scale: f64) -> Vec<TemporalGraph> {
+    let sv = |n: usize| ((n as f64 * scale) as usize).max(64);
+    let se = |m: usize| ((m as f64 * scale) as usize).max(128);
     vec![
         // wiki-talk-temporal: 1.14M / 7.83M / 3.31M → dup ratio 2.37
-        temporal_stream("wiki-talk-temporal", 11_400, 78_300, 2.37, seed),
+        temporal_stream("wiki-talk-temporal", sv(11_400), se(78_300), 2.37, seed),
         // sx-stackoverflow: 2.60M / 63.4M / 36.2M → dup ratio 1.75
-        temporal_stream("sx-stackoverflow", 26_000, 634_000, 1.75, seed + 1),
+        temporal_stream("sx-stackoverflow", sv(26_000), se(634_000), 1.75, seed + 1),
     ]
 }
 

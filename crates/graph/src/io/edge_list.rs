@@ -34,7 +34,11 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> {
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     Ok((n, edges))
 }
 
@@ -54,7 +58,12 @@ pub fn write_edge_list<P: AsRef<Path>>(path: P, g: &DynGraph) -> Result<()> {
         .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
     let mut w = BufWriter::new(file);
     let mut emit = || -> std::io::Result<()> {
-        writeln!(w, "# vertices: {} edges: {}", g.num_vertices(), g.num_edges())?;
+        writeln!(
+            w,
+            "# vertices: {} edges: {}",
+            g.num_vertices(),
+            g.num_edges()
+        )?;
         for (u, v) in g.edges() {
             writeln!(w, "{u} {v}")?;
         }

@@ -39,7 +39,10 @@ pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> 
     let size_line = size_line.ok_or_else(|| GraphError::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|s| s.parse::<usize>().map_err(|e| GraphError::Parse(e.to_string())))
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| GraphError::Parse(e.to_string()))
+        })
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
         return Err(GraphError::Parse(format!("bad size line: {size_line}")));
@@ -96,7 +99,8 @@ mod tests {
 
     #[test]
     fn parse_general_pattern() {
-        let mtx = "%%MatrixMarket matrix coordinate pattern general\n% comment\n3 3 3\n1 2\n2 3\n3 1\n";
+        let mtx =
+            "%%MatrixMarket matrix coordinate pattern general\n% comment\n3 3 3\n1 2\n2 3\n3 1\n";
         let (n, edges) = parse_matrix_market(Cursor::new(mtx)).unwrap();
         assert_eq!(n, 3);
         assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
@@ -125,7 +129,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert!(parse_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n")).is_err());
+        assert!(
+            parse_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n")).is_err()
+        );
         assert!(parse_matrix_market(Cursor::new("garbage\n")).is_err());
     }
 

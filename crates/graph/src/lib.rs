@@ -36,7 +36,7 @@ pub mod selfloops;
 pub mod snapshot;
 pub mod types;
 
-pub use batch::{BatchUpdate, BatchSpec};
+pub use batch::{BatchSpec, BatchUpdate};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use digraph::DynGraph;

@@ -105,7 +105,10 @@ pub fn tarjan_scc(g: &Snapshot) -> SccDecomposition {
             }
         }
     }
-    SccDecomposition { component, num_components }
+    SccDecomposition {
+        component,
+        num_components,
+    }
 }
 
 #[cfg(test)]

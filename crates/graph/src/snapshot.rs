@@ -40,7 +40,11 @@ impl Snapshot {
         for (v, d) in out_degree.iter_mut().enumerate() {
             *d = out_csr.degree(v as VertexId) as u32;
         }
-        Snapshot { out_csr, in_csr, out_degree }
+        Snapshot {
+            out_csr,
+            in_csr,
+            out_degree,
+        }
     }
 
     /// Number of vertices.
@@ -164,7 +168,9 @@ mod tests {
         for (u, v) in s.edges() {
             assert!(s.in_(v).contains(&u), "({u},{v}) missing from in-CSR");
         }
-        let m_in: usize = (0..s.num_vertices() as VertexId).map(|v| s.in_(v).len()).sum();
+        let m_in: usize = (0..s.num_vertices() as VertexId)
+            .map(|v| s.in_(v).len())
+            .sum();
         assert_eq!(m_in, s.num_edges());
     }
 }

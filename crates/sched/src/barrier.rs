@@ -78,7 +78,11 @@ impl InstrumentedBarrier {
     pub fn new(parties: usize, stall_timeout: Duration) -> Self {
         assert!(parties > 0);
         InstrumentedBarrier {
-            state: Mutex::new(State { arrived: 0, parties, generation: 0 }),
+            state: Mutex::new(State {
+                arrived: 0,
+                parties,
+                generation: 0,
+            }),
             cv: Condvar::new(),
             wait_ns: (0..parties).map(|_| AtomicU64::new(0)).collect(),
             stall_timeout,
@@ -236,7 +240,11 @@ mod tests {
             });
         });
         // Thread 0 waited ~30ms for thread 1; thread 1 (leader) ~0.
-        assert!(b.wait_time(0) >= Duration::from_millis(25), "{:?}", b.wait_time(0));
+        assert!(
+            b.wait_time(0) >= Duration::from_millis(25),
+            "{:?}",
+            b.wait_time(0)
+        );
         assert!(b.wait_time(1) < Duration::from_millis(25));
         assert!(b.total_wait_time() >= b.max_wait_time());
     }

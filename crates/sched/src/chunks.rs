@@ -25,7 +25,10 @@ pub struct ChunkCursor {
 impl ChunkCursor {
     /// Create a cursor over `0..len`.
     pub fn new(len: usize) -> Self {
-        ChunkCursor { len, next: AtomicUsize::new(0) }
+        ChunkCursor {
+            len,
+            next: AtomicUsize::new(0),
+        }
     }
 
     /// Claim the next chunk of at most `chunk_size` indices. Returns

@@ -40,7 +40,9 @@ where
 /// The number of hardware threads available, used as the default team
 /// size (the paper uses one thread per core, §5.1.2).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

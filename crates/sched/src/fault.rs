@@ -69,7 +69,10 @@ impl FaultPlan {
     /// Plan with random delays only.
     pub fn with_delays(probability: f64, duration: Duration, seed: u64) -> Self {
         FaultPlan {
-            delay: Some(DelaySpec { probability, duration }),
+            delay: Some(DelaySpec {
+                probability,
+                duration,
+            }),
             crash: None,
             seed,
         }
@@ -79,7 +82,10 @@ impl FaultPlan {
     pub fn with_crashes(num_crashed: usize, max_crash_point: u64, seed: u64) -> Self {
         FaultPlan {
             delay: None,
-            crash: Some(CrashSpec { num_crashed, max_crash_point }),
+            crash: Some(CrashSpec {
+                num_crashed,
+                max_crash_point,
+            }),
             seed,
         }
     }

@@ -64,11 +64,8 @@ mod tests {
 
     #[test]
     fn geometric_mean_durations_basic() {
-        let g = geometric_mean_durations(&[
-            Duration::from_secs(1),
-            Duration::from_secs(4),
-        ])
-        .unwrap();
+        let g =
+            geometric_mean_durations(&[Duration::from_secs(1), Duration::from_secs(4)]).unwrap();
         assert!((g.as_secs_f64() - 2.0).abs() < 1e-9);
     }
 

@@ -40,11 +40,8 @@ fn main() {
     for algo in [Algorithm::DfBB, Algorithm::DfLF] {
         for faulty in [false, true] {
             let opts = if faulty {
-                base.clone().with_faults(FaultPlan::with_delays(
-                    p,
-                    Duration::from_millis(4),
-                    9,
-                ))
+                base.clone()
+                    .with_faults(FaultPlan::with_delays(p, Duration::from_millis(4), 9))
             } else {
                 base.clone()
             };
@@ -67,7 +64,9 @@ fn main() {
     ] {
         // Crash within the first couple of claimed chunks so the fault
         // fires before the (warm-started) run converges.
-        let opts = base.clone().with_faults(FaultPlan::with_crashes(crashes, 200, 13));
+        let opts = base
+            .clone()
+            .with_faults(FaultPlan::with_crashes(crashes, 200, 13));
         let res = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts);
         let err = linf_diff(&res.ranks, &reference);
         println!(
@@ -89,5 +88,9 @@ fn main() {
             _ => unreachable!(),
         }
     }
-    println!("\nDFBB deadlocks on one crash; DFLF survives even {} of {} threads crashing.", threads - 1, threads);
+    println!(
+        "\nDFBB deadlocks on one crash; DFLF survives even {} of {} threads crashing.",
+        threads - 1,
+        threads
+    );
 }

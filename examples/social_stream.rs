@@ -25,7 +25,9 @@ fn main() {
     let (mut g, tail) = stream.preload(0.9);
     let mut prev = g.snapshot();
     let mut ranks = reference_default(&prev);
-    let opts = PagerankOptions::default().with_threads(4).with_tolerance(1e-8);
+    let opts = PagerankOptions::default()
+        .with_threads(4)
+        .with_tolerance(1e-8);
 
     let batch_size = 1_000; // ~1e-2 of |ET| per refresh
     for (i, chunk) in stream.tail_batches(tail, batch_size).iter().enumerate() {

@@ -27,7 +27,9 @@ fn main() {
     // Fixpoint-quality initial ranks (see DESIGN.md on warm starts).
     let prev = g.snapshot();
     let mut ranks = lockfree_pagerank::core::reference::reference_default(&prev);
-    let opts = PagerankOptions::default().with_threads(4).with_tolerance(1e-7);
+    let opts = PagerankOptions::default()
+        .with_threads(4)
+        .with_tolerance(1e-7);
 
     let mut prev_snap = prev;
     let mut total_df = std::time::Duration::ZERO;

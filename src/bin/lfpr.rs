@@ -104,11 +104,25 @@ fn main() {
             let opts = PagerankOptions::default()
                 .with_threads(flags.threads)
                 .with_tolerance(flags.tolerance);
+            // From-scratch ranking has no previous state, so a dynamic
+            // variant degenerates to its static counterpart (same rule
+            // as RankMaintainer::new).
+            let algo = match flags.algo {
+                a @ (Algorithm::StaticBB | Algorithm::StaticLF) => a,
+                a if a.is_lock_free() => {
+                    eprintln!("# {a} needs previous ranks; running StaticLF");
+                    Algorithm::StaticLF
+                }
+                a => {
+                    eprintln!("# {a} needs previous ranks; running StaticBB");
+                    Algorithm::StaticBB
+                }
+            };
             let t0 = std::time::Instant::now();
-            let res = api::run_static(flags.algo, &s, &opts);
+            let res = api::run_static(algo, &s, &opts);
             println!(
                 "# {} on {} vertices / {} edges: {:?} in {:?} ({} iterations)",
-                flags.algo,
+                algo,
                 s.num_vertices(),
                 s.num_edges(),
                 res.status,

@@ -116,7 +116,9 @@ impl RankMaintainer {
                 .then(a.cmp(&b))
         });
         idx.truncate(k);
-        idx.into_iter().map(|v| (v, self.ranks[v as usize])).collect()
+        idx.into_iter()
+            .map(|v| (v, self.ranks[v as usize]))
+            .collect()
     }
 
     /// Mutate the graph through `f`, recording every insertion/deletion
@@ -126,7 +128,10 @@ impl RankMaintainer {
     /// Mutations must go through [`MutGuard`]'s methods so the batch is
     /// captured; the guard derefs to the underlying graph for reads.
     pub fn update<F: FnOnce(&mut MutGuard<'_>)>(&mut self, f: F) -> &PagerankResult {
-        let mut guard = MutGuard { graph: &mut self.graph, batch: BatchUpdate::new() };
+        let mut guard = MutGuard {
+            graph: &mut self.graph,
+            batch: BatchUpdate::new(),
+        };
         f(&mut guard);
         let batch = guard.batch;
         self.refresh_after(batch)
@@ -198,7 +203,9 @@ mod tests {
     fn maintainer(algo: Algorithm) -> RankMaintainer {
         let mut g = lfpr_graph::generators::erdos_renyi(100, 600, 5);
         add_self_loops(&mut g);
-        let opts = PagerankOptions::default().with_threads(2).with_chunk_size(16);
+        let opts = PagerankOptions::default()
+            .with_threads(2)
+            .with_chunk_size(16);
         RankMaintainer::new(g, algo, opts)
     }
 

@@ -86,7 +86,11 @@ fn fault_matrix() {
 
     // LF under delays and crashes.
     for faults in [
-        FaultPlan::with_delays(2.0 / curr.num_vertices() as f64, Duration::from_millis(2), 7),
+        FaultPlan::with_delays(
+            2.0 / curr.num_vertices() as f64,
+            Duration::from_millis(2),
+            7,
+        ),
         FaultPlan::with_crashes(3, (curr.num_vertices() / 4) as u64, 8),
     ] {
         let o = opts().with_faults(faults);
@@ -134,7 +138,12 @@ fn no_dead_ends_ever() {
         for round in 0..3 {
             let batch = BatchSpec::mixed(0.01, 30 + round).generate(&g);
             g.apply_batch(&batch).unwrap();
-            assert_eq!(g.snapshot().dead_end_count(), 0, "{} round {round}", entry.name);
+            assert_eq!(
+                g.snapshot().dead_end_count(),
+                0,
+                "{} round {round}",
+                entry.name
+            );
         }
     }
 }
@@ -152,8 +161,22 @@ fn bb_variants_are_deterministic() {
     g.apply_batch(&batch).unwrap();
     let curr = g.snapshot();
     for algo in [Algorithm::StaticBB, Algorithm::NdBB, Algorithm::DfBB] {
-        let a = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts().with_threads(1));
-        let b = api::run_dynamic(algo, &prev, &curr, &batch, &prev_ranks, &opts().with_threads(4));
+        let a = api::run_dynamic(
+            algo,
+            &prev,
+            &curr,
+            &batch,
+            &prev_ranks,
+            &opts().with_threads(1),
+        );
+        let b = api::run_dynamic(
+            algo,
+            &prev,
+            &curr,
+            &batch,
+            &prev_ranks,
+            &opts().with_threads(4),
+        );
         assert_eq!(a.ranks, b.ranks, "{algo} must be schedule-invariant");
     }
 }

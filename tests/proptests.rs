@@ -16,17 +16,16 @@ fn edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u
 
 /// Arbitrary graph with self-loops (dead-end free), 8..=40 vertices.
 fn graph_strategy() -> impl Strategy<Value = DynGraph> {
-    (8u32..=40)
-        .prop_flat_map(|n| {
-            edges_strategy(n, 160).prop_map(move |edges| {
-                let mut g = GraphBuilder::new(n as usize)
-                    .edges(edges)
-                    .build_dyn()
-                    .expect("in-range edges");
-                add_self_loops(&mut g);
-                g
-            })
+    (8u32..=40).prop_flat_map(|n| {
+        edges_strategy(n, 160).prop_map(move |edges| {
+            let mut g = GraphBuilder::new(n as usize)
+                .edges(edges)
+                .build_dyn()
+                .expect("in-range edges");
+            add_self_loops(&mut g);
+            g
         })
+    })
 }
 
 proptest! {

@@ -13,7 +13,9 @@ use lockfree_pagerank::{api, Algorithm, BatchSpec, PagerankOptions};
 
 const TOL: f64 = 1e-8;
 
-fn instance(seed: u64) -> (
+fn instance(
+    seed: u64,
+) -> (
     lockfree_pagerank::Snapshot,
     lockfree_pagerank::Snapshot,
     lockfree_pagerank::BatchUpdate,
@@ -162,13 +164,12 @@ fn degenerate_graphs_all_variants() {
         let s = g.snapshot();
         let reference = reference_default(&s);
         for algo in [Algorithm::StaticBB, Algorithm::StaticLF] {
-            let opts = PagerankOptions::default().with_threads(2).with_chunk_size(4);
+            let opts = PagerankOptions::default()
+                .with_threads(2)
+                .with_chunk_size(4);
             let res = api::run_static(algo, &s, &opts);
             assert!(res.status.is_success(), "case {i} {algo}");
-            assert!(
-                linf_diff(&res.ranks, &reference) < 1e-8,
-                "case {i} {algo}"
-            );
+            assert!(linf_diff(&res.ranks, &reference) < 1e-8, "case {i} {algo}");
         }
     }
 }

@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`: benchmark groups, `Bencher::iter`
+//! timing, and the [`criterion_group!`] / [`criterion_main!`] harness
+//! macros. Reports mean wall-clock per iteration on stdout — no
+//! statistical analysis, outlier detection, or HTML reports. Swap for
+//! the real crate via `[workspace.dependencies]` in the root manifest.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark context (configuration container).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// `cargo bench -- <filter>`: only benchmark ids containing the
+    /// filter run.
+    filter: Option<String>,
+    /// `cargo test --benches` smoke mode: one iteration per benchmark.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply harness command-line arguments (`--bench` is ignored,
+    /// `--test` enables smoke mode, a bare token filters by id).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--quiet" | "-q" | "--noplot" => {}
+                "--test" => self.test_mode = true,
+                s if !s.starts_with('-') => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run a standalone (group-less) benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let id = id.to_string();
+        run_one(&id, self.sample_size, self.measurement_time, self, &mut f);
+    }
+}
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.criterion,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine` (the routine's return value is
+    /// black-boxed so the work is not optimized away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    criterion: &Criterion,
+    f: &mut F,
+) {
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if criterion.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{id}: test ok");
+        return;
+    }
+    // One warmup call, then samples until the time budget or sample
+    // count is exhausted, whichever first.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let budget_start = Instant::now();
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..sample_size {
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+        if budget_start.elapsed() >= measurement_time {
+            break;
+        }
+    }
+    let mean = if iters > 0 {
+        total / iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("{id}: mean {mean:?} over {iters} iterations");
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate the `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("unit");
+        let mut calls = 0u32;
+        group.sample_size(3).bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1);
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert!(calls >= 2, "warmup + at least one sample, got {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

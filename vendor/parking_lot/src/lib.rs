@@ -1,0 +1,215 @@
+//! Offline stand-in for `parking_lot`, implementing the subset this
+//! workspace uses — [`Mutex`] (non-poisoning `lock()`), [`Condvar`]
+//! with [`Condvar::wait_until`], and [`RwLock`] — as thin wrappers over
+//! the std primitives. Lock poisoning is swallowed (parking_lot
+//! semantics): a panic while holding a lock does not wedge later
+//! acquisitions. Swap for the real crate via `[workspace.dependencies]`
+//! in the root manifest.
+
+use std::sync;
+use std::time::{Duration, Instant};
+
+/// Mutual exclusion, `lock()` returning the guard directly (no
+/// poisoning `Result`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = self.0.lock().unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard(Some(inner))
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+///
+/// Holds the std guard in an `Option` so [`Condvar`] waits can move it
+/// out and back through `&mut self` without unsafe code; the slot is
+/// `None` only transiently inside those waits.
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard vacated during condvar wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard vacated during condvar wait")
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable operating on [`MutexGuard`]s in place.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically release the lock and block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard vacated during condvar wait");
+        let inner = self
+            .0
+            .wait(inner)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+    }
+
+    /// Block until notified or until `timeout` (an absolute deadline);
+    /// spurious wakeups are possible, as with std.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Instant,
+    ) -> WaitTimeoutResult {
+        let dur = timeout.saturating_duration_since(Instant::now());
+        self.wait_for(guard, dur)
+    }
+
+    /// Block until notified or for at most `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard vacated during condvar wait");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+}
+
+/// Reader–writer lock with non-poisoning guards.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(res.timed_out());
+        drop(g);
+        assert!(m.try_lock().is_some(), "lock must be reacquired after wait");
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = m.lock();
+                while !*g {
+                    let r = cv.wait_until(&mut g, Instant::now() + Duration::from_secs(5));
+                    assert!(!r.timed_out());
+                }
+            });
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                *m.lock() = true;
+                cv.notify_all();
+            });
+        });
+    }
+
+    #[test]
+    fn poison_is_swallowed() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0, "poisoned lock must still be usable");
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline stand-in for `proptest`: the [`proptest!`] macro, the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, and [`collection::vec`].
+//!
+//! Differences from real proptest, acceptable for this workspace's
+//! tests:
+//!
+//! * **no shrinking** — a failing case reports its seed and case
+//!   number instead of a minimized input;
+//! * **deterministic seeding** — each test's case stream is a fixed
+//!   function of its module path and name, so failures reproduce
+//!   across runs without a persistence file;
+//! * `prop_assert*` panic (like `assert*`) rather than returning
+//!   `Err`, which under the missing shrinking is equivalent.
+//!
+//! Swap for the real crate via `[workspace.dependencies]` in the root
+//! manifest; the test sources need no change.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! The RNG handed to strategies by the [`proptest!`](crate::proptest) runner.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic per-case random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// RNG for case number `case` of the test uniquely named `name`.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use rand::Rng;
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keep only values satisfying `f`, re-drawing up to a retry
+    /// budget.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategies are usable through references (the runner borrows them).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.whence);
+    }
+}
+
+/// A fixed value is the constant strategy (proptest's `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of real proptest's `prop::` path (so
+/// `prop::collection::vec` works from the prelude).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Number of random cases each [`proptest!`] test runs. Real proptest
+/// defaults to 256; this shim uses 64 because the workspace's
+/// concurrency-heavy properties (spawning thread teams per case)
+/// already take seconds per test at this count.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Prints which case a property died in. Created per case inside
+/// [`proptest!`]; on an unwinding drop it reports the test name and
+/// case number, which (with deterministic seeding) fully identifies
+/// the failing input.
+pub struct CaseReporter {
+    /// Fully qualified test name.
+    pub name: &'static str,
+    /// Zero-based case index.
+    pub case: u64,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {}/{} (deterministic; rerunning reproduces it)",
+                self.name, self.case, DEFAULT_CASES
+            );
+        }
+    }
+}
+
+/// Assert inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over [`DEFAULT_CASES`]
+/// deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..$crate::DEFAULT_CASES {
+                let _reporter = $crate::CaseReporter { name: test_name, case };
+                let mut rng = $crate::test_runner::TestRng::deterministic(test_name, case);
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                let run = || $body;
+                run();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("unit", 0);
+        for _ in 0..1000 {
+            let x = (3usize..9).new_value(&mut rng);
+            assert!((3..9).contains(&x));
+            let (a, b) = (0u32..5, 10u32..=12).new_value(&mut rng);
+            assert!(a < 5 && (10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::deterministic("unit", 1);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u64..100, 2..7).new_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let mut rng = TestRng::deterministic("unit", 2);
+        let strat = (1usize..10).prop_flat_map(|n| {
+            prop::collection::vec(0usize..n, n..n + 1).prop_map(move |v| (n, v))
+        });
+        for _ in 0..200 {
+            let (n, v) = strat.new_value(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: attrs, multiple args, trailing comma.
+        #[test]
+        fn macro_smoke(x in 0usize..50, y in 1u64..=9,) {
+            prop_assert!(x < 50);
+            prop_assert_ne!(y, 0);
+            prop_assert_eq!(y.min(9), y);
+        }
+    }
+}
