@@ -20,8 +20,9 @@ fn main() {
         .map(|e| prepare(e.name, e.generate(args.seed), 1e-4, args.seed + 1))
         .collect();
     println!(
-        "Figure 6: strong scaling, batch 1e-4|E|, geomean over {} graphs",
-        prepared.len()
+        "Figure 6: strong scaling, batch 1e-4|E|, geomean over {} graphs, schedule {}",
+        prepared.len(),
+        args.schedule
     );
     println!(
         "{:<10} {:>8} {:>12} {:>10}",
@@ -37,7 +38,8 @@ fn main() {
             let times: Vec<Duration> = prepared
                 .iter()
                 .map(|p| {
-                    let opts = scaled_opts(suite_reduction(args.scale), t);
+                    let opts =
+                        scaled_opts(suite_reduction(args.scale), t).with_schedule(args.schedule);
                     // Minimum of 3 runs rejects scheduling noise.
                     let (best, _) = lfpr_sched::stats::min_time_of(3, || {
                         api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts)

@@ -21,8 +21,8 @@ fn main() {
     // fractions below that all degenerate to a single-edge batch.
     let fractions = [1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
     println!(
-        "Figure 7: batch-fraction sweep on the 12-graph suite (scale {}, {} threads)",
-        args.scale, args.threads
+        "Figure 7: batch-fraction sweep on the 12-graph suite (scale {}, {} threads, schedule {})",
+        args.scale, args.threads, args.schedule
     );
     println!("{}", Row::header());
     let suite = scaled_suite(args.scale);
@@ -37,7 +37,8 @@ fn main() {
                 args.seed + fi as u64,
             );
             for algo in Algorithm::FIGURE_SET {
-                let opts = scaled_opts(suite_reduction(args.scale), args.threads);
+                let opts = scaled_opts(suite_reduction(args.scale), args.threads)
+                    .with_schedule(args.schedule);
                 let res = api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts);
                 let err = linf_diff(&res.ranks, &p.reference);
                 let row = Row {

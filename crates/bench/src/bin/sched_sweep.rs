@@ -1,0 +1,240 @@
+//! Scheduler sweep — the perf trajectory for the persistent-pool +
+//! chunk-policy subsystem (not a paper figure).
+//!
+//! Compares the seed configuration (spawn-per-run teams + fixed 2048
+//! chunks) against the pooled executor under each chunk policy, across
+//! thread counts, on the Dynamic Frontier kernels (DFBB/DFLF) — the
+//! paper's headline algorithms and the ones dominated by per-run
+//! orchestration cost at realistic batch fractions. Every run is also
+//! checked against the sequential reference, so a scheduling bug cannot
+//! masquerade as a speedup.
+//!
+//! Emits a human-readable table plus machine-readable JSON (stdout, and
+//! `--json <path>` for the CI artifact that tracks the trajectory
+//! across PRs).
+//!
+//! Usage: `sched_sweep [--scale f] [--seed n] [--threads n] [--reps n]
+//!                     [--json path]`
+
+use lfpr_bench::report::geomean_secs;
+use lfpr_bench::setup::{prepare, scaled_opts, scaled_suite, suite_reduction, CliArgs, Prepared};
+use lfpr_core::norm::linf_diff;
+use lfpr_core::{api, Algorithm, ChunkPolicy, Schedule};
+use std::time::Duration;
+
+const ALGOS: [Algorithm; 2] = [Algorithm::DfBB, Algorithm::DfLF];
+const FRACTIONS: [f64; 2] = [1e-4, 1e-3];
+
+struct SweepArgs {
+    cli: CliArgs,
+    reps: usize,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> SweepArgs {
+    let mut reps = 3usize;
+    let mut json_path = None;
+    // Small scale by default: thousands of short dynamic-update runs is
+    // exactly the profile where per-run spawn cost dominates and the
+    // pooled schedules pull ahead. The shared parser handles
+    // --scale/--seed/--threads (the configured --schedule/--executor are
+    // ignored here: this bin sweeps all configurations itself).
+    let cli = CliArgs::parse_extra(0.05, |flag, value| match flag {
+        "--reps" => {
+            reps = value.parse().expect("--reps needs an integer");
+            true
+        }
+        "--json" => {
+            json_path = Some(value.to_string());
+            true
+        }
+        _ => false,
+    });
+    SweepArgs {
+        cli,
+        reps,
+        json_path,
+    }
+}
+
+/// The swept configurations; index 0 is the seed baseline.
+fn configs() -> Vec<(&'static str, Schedule)> {
+    vec![
+        ("spawn+fixed:2048", Schedule::default()),
+        (
+            "pool+fixed:2048",
+            Schedule::pooled(ChunkPolicy::Fixed(2048)),
+        ),
+        (
+            "pool+guided:64",
+            Schedule::pooled(ChunkPolicy::Guided { min: 64 }),
+        ),
+        (
+            "pool+degree:2048",
+            Schedule::pooled(ChunkPolicy::DegreeWeighted { chunk: 2048 }),
+        ),
+    ]
+}
+
+fn main() {
+    let args = parse_args();
+    // One graph per class, like fig6; RMAT web/social entries carry the
+    // degree skew the DegreeWeighted policy targets.
+    let picks = ["uk-2005*", "com-Orkut", "europe_osm", "kmer_A2a"];
+    let prepared: Vec<Prepared> = scaled_suite(args.cli.scale)
+        .into_iter()
+        .filter(|e| picks.contains(&e.name))
+        .flat_map(|e| {
+            FRACTIONS
+                .iter()
+                .enumerate()
+                .map(|(fi, &frac)| {
+                    prepare(
+                        e.name,
+                        e.generate(args.cli.seed),
+                        frac,
+                        args.cli.seed + fi as u64,
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut threads = vec![2usize];
+    while *threads.last().unwrap() * 2 <= args.cli.threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    let reduction = suite_reduction(args.cli.scale);
+    // Loose correctness bound: the scaled tolerance regime keeps honest
+    // runs orders of magnitude below this.
+    let err_bound = 1e-4;
+
+    println!(
+        "Scheduler sweep: {} instances ({} graphs x {:?} fractions), DF kernels, reps {}",
+        prepared.len(),
+        picks.len(),
+        FRACTIONS,
+        args.reps
+    );
+    println!(
+        "{:<18} {:>7} {:>8} {:>12} {:>10}",
+        "config", "threads", "algo", "geomean_s", "speedup"
+    );
+
+    // (config, threads, algo) -> geomean seconds; JSON rows in order.
+    let mut rows: Vec<(String, usize, String, f64, f64)> = Vec::new();
+    let mut failures = 0usize;
+    for (name, schedule) in configs() {
+        for &t in &threads {
+            for algo in ALGOS {
+                let times: Vec<Duration> = prepared
+                    .iter()
+                    .map(|p| {
+                        let opts = scaled_opts(reduction, t).with_schedule(schedule);
+                        let (best, res) = lfpr_sched::stats::min_time_of(args.reps, || {
+                            api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts)
+                        });
+                        let err = linf_diff(&res.ranks, &p.reference);
+                        if !res.status.is_success() || err >= err_bound {
+                            eprintln!(
+                                "FAIL {name} t={t} {algo} on {}: status {:?}, err {err:.2e}",
+                                p.name, res.status
+                            );
+                            failures += 1;
+                        }
+                        best
+                    })
+                    .collect();
+                let g = geomean_secs(&times);
+                let base = rows
+                    .iter()
+                    .find(|(c, rt, ra, _, _)| {
+                        c == "spawn+fixed:2048" && *rt == t && *ra == algo.name()
+                    })
+                    .map(|r| r.3)
+                    .unwrap_or(g);
+                let speedup = base / g.max(1e-12);
+                println!(
+                    "{:<18} {:>7} {:>8} {:>12.6} {:>9.2}x",
+                    name,
+                    t,
+                    algo.name(),
+                    g,
+                    speedup
+                );
+                rows.push((name.to_string(), t, algo.name().to_string(), g, speedup));
+            }
+        }
+    }
+
+    // Headline: geomean speedup of each pooled policy over the seed
+    // baseline across both DF kernels at the widest team.
+    let tmax = *threads.last().unwrap();
+    println!("\nDF-kernel geomean speedup vs seed (spawn+fixed:2048) at {tmax} threads:");
+    let mut headline: Vec<(String, f64)> = Vec::new();
+    for (name, _) in configs().iter().skip(1) {
+        let speedups: Vec<f64> = rows
+            .iter()
+            .filter(|(c, t, _, _, _)| c == name && *t == tmax)
+            .map(|r| r.4)
+            .collect();
+        let geo = lfpr_sched::stats::geometric_mean(&speedups).unwrap_or(0.0);
+        println!("  {name:<18} {geo:.2}x");
+        headline.push((name.to_string(), geo));
+    }
+
+    let json = render_json(&args, &threads, &rows, &headline, failures);
+    println!("\n{json}");
+    if let Some(path) = &args.json_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if failures > 0 {
+        eprintln!("sched_sweep: {failures} run(s) failed correctness");
+        std::process::exit(1);
+    }
+}
+
+fn render_json(
+    args: &SweepArgs,
+    threads: &[usize],
+    rows: &[(String, usize, String, f64, f64)],
+    headline: &[(String, f64)],
+    failures: usize,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"sched_sweep\",\n");
+    s.push_str(&format!("  \"scale\": {},\n", args.cli.scale));
+    s.push_str(&format!("  \"seed\": {},\n", args.cli.seed));
+    s.push_str(&format!("  \"reps\": {},\n", args.reps));
+    s.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str("  \"baseline\": \"spawn+fixed:2048\",\n");
+    s.push_str(&format!("  \"correctness_failures\": {failures},\n"));
+    s.push_str("  \"results\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|(c, t, a, g, sp)| {
+            format!(
+                "    {{\"config\": \"{c}\", \"threads\": {t}, \"algo\": \"{a}\", \
+                 \"geomean_s\": {g:.9}, \"speedup_vs_baseline\": {sp:.4}}}"
+            )
+        })
+        .collect();
+    s.push_str(&body.join(",\n"));
+    s.push_str("\n  ],\n");
+    s.push_str("  \"headline_df_speedup_at_max_threads\": {\n");
+    let head: Vec<String> = headline
+        .iter()
+        .map(|(c, g)| format!("    \"{c}\": {g:.4}"))
+        .collect();
+    s.push_str(&head.join(",\n"));
+    s.push_str("\n  }\n}");
+    s
+}

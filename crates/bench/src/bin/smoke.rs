@@ -1,15 +1,51 @@
-//! CI bench-smoke target: run every algorithm variant once on a tiny
-//! generated graph and verify ranks against the sequential reference.
-//! Exits non-zero on any failure, so the figure/table code paths
-//! (setup, batch generation, all eight kernels) cannot silently rot.
+//! CI bench-smoke target: run every algorithm variant against the
+//! sequential reference on a tiny generated graph — under the default
+//! schedule, under every pooled chunk policy, and under injected faults
+//! (delays for all eight; crash-stop for the lock-free four, which must
+//! absorb crashes by design). Exits non-zero on any failure, so the
+//! figure/table code paths (setup, batch generation, all eight kernels,
+//! the scheduling subsystem) cannot silently rot.
 //!
-//! Runs in well under a second: `cargo run --release -p lfpr-bench --bin smoke`
+//! Runs in a few seconds: `cargo run --release -p lfpr-bench --bin smoke`
 
 use lfpr_core::norm::linf_diff;
 use lfpr_core::reference::reference_default;
-use lfpr_core::{api, Algorithm, PagerankOptions};
+use lfpr_core::{api, Algorithm, ChunkPolicy, PagerankOptions, Schedule};
 use lfpr_graph::selfloops::add_self_loops;
-use lfpr_graph::BatchSpec;
+use lfpr_graph::{BatchSpec, BatchUpdate, Snapshot};
+use lfpr_sched::fault::FaultPlan;
+use std::time::Duration;
+
+struct Instance {
+    prev: Snapshot,
+    curr: Snapshot,
+    batch: BatchUpdate,
+    warm: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+fn check(
+    label: &str,
+    inst: &Instance,
+    algos: &[Algorithm],
+    opts: &PagerankOptions,
+    failures: &mut usize,
+) {
+    for &algo in algos {
+        let res = api::run_dynamic(algo, &inst.prev, &inst.curr, &inst.batch, &inst.warm, opts);
+        let err = linf_diff(&res.ranks, &inst.reference);
+        let ok = res.status.is_success() && err < 1e-6;
+        println!(
+            "[{label}] {algo}: status={:?} linf_err={err:.2e} time={:?} {}",
+            res.status,
+            res.runtime,
+            if ok { "ok" } else { "FAIL" },
+        );
+        if !ok {
+            *failures += 1;
+        }
+    }
+}
 
 fn main() {
     let mut g = lfpr_graph::generators::erdos_renyi(2_000, 16_000, 42);
@@ -30,25 +66,58 @@ fn main() {
     g.apply_batch(&batch).expect("generated batch must apply");
     let curr = g.snapshot();
     let reference = reference_default(&curr);
+    let inst = Instance {
+        prev,
+        curr,
+        batch,
+        warm: r0.ranks,
+        reference,
+    };
 
     let mut failures = 0;
-    for algo in Algorithm::ALL {
-        let res = api::run_dynamic(algo, &prev, &curr, &batch, &r0.ranks, &opts);
-        let err = linf_diff(&res.ranks, &reference);
-        let ok = res.status.is_success() && err < 1e-6;
-        println!(
-            "{algo}: status={:?} linf_err={err:.2e} time={:?} {}",
-            res.status,
-            res.runtime,
-            if ok { "ok" } else { "FAIL" },
-        );
-        if !ok {
-            failures += 1;
-        }
+
+    // 1. Paper-default schedule (spawn + fixed 2048-derived chunks).
+    check("default", &inst, &Algorithm::ALL, &opts, &mut failures);
+
+    // 2. The pooled executor under every chunk policy: identical ranks
+    //    are required — scheduling must never change the math.
+    for policy in [
+        ChunkPolicy::Fixed(64),
+        ChunkPolicy::Guided { min: 16 },
+        ChunkPolicy::DegreeWeighted { chunk: 64 },
+    ] {
+        let schedule = Schedule::pooled(policy);
+        let o = opts.clone().with_threads(4).with_schedule(schedule);
+        let label = schedule.to_string();
+        check(&label, &inst, &Algorithm::ALL, &o, &mut failures);
     }
+
+    // 3. Injected random delays: every variant must still converge to
+    //    the reference (Figure 8's fault model), on the pooled executor.
+    let delayed = opts
+        .clone()
+        .with_threads(4)
+        .with_schedule(Schedule::pooled(ChunkPolicy::Guided { min: 16 }))
+        .with_faults(FaultPlan::with_delays(1e-4, Duration::from_micros(200), 19));
+    check("delays", &inst, &Algorithm::ALL, &delayed, &mut failures);
+
+    // 4. Crash-stop: only the lock-free variants absorb crashed threads
+    //    (the BB variants stall by design, §5.4), so only they are
+    //    required to finish here.
+    let lf: Vec<Algorithm> = Algorithm::ALL
+        .into_iter()
+        .filter(Algorithm::is_lock_free)
+        .collect();
+    let crashed = opts
+        .clone()
+        .with_threads(4)
+        .with_schedule(Schedule::pooled(ChunkPolicy::DegreeWeighted { chunk: 64 }))
+        .with_faults(FaultPlan::with_crashes(1, 400, 29));
+    check("crash-stop", &inst, &lf, &crashed, &mut failures);
+
     if failures > 0 {
-        eprintln!("smoke: {failures} variant(s) failed");
+        eprintln!("smoke: {failures} check(s) failed");
         std::process::exit(1);
     }
-    println!("smoke: all {} variants ok", Algorithm::ALL.len());
+    println!("smoke: all variants ok under every schedule and fault plan");
 }

@@ -2,7 +2,7 @@
 //! application, CLI parsing.
 
 use lfpr_core::reference::reference_default;
-use lfpr_core::PagerankOptions;
+use lfpr_core::{PagerankOptions, Schedule};
 use lfpr_graph::generators::{table2_suite, SuiteEntry};
 use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
 
@@ -101,7 +101,9 @@ pub fn suite_reduction(scale: f64) -> f64 {
 pub const TEMPORAL_REDUCTION: f64 = 100.0;
 
 /// Minimal CLI: `--scale <f>`, `--seed <n>`, `--threads <n>`,
-/// `--full` (scale 1.0; default scale is experiment-specific).
+/// `--schedule <fixed[:c]|guided[:min]|degree[:c]>`,
+/// `--executor <spawn|pool>`, `--full` (scale 1.0; default scale is
+/// experiment-specific).
 #[derive(Debug, Clone, Copy)]
 pub struct CliArgs {
     /// Graph-size multiplier.
@@ -110,12 +112,22 @@ pub struct CliArgs {
     pub seed: u64,
     /// Worker threads (default: all cores).
     pub threads: usize,
+    /// Chunk policy + executor (default: the paper's spawn + fixed:2048).
+    pub schedule: Schedule,
 }
 
 impl CliArgs {
     /// Parse from `std::env::args`, with an experiment-specific default
     /// scale.
     pub fn parse(default_scale: f64) -> CliArgs {
+        Self::parse_extra(default_scale, |flag, _| panic!("unknown argument: {flag}"))
+    }
+
+    /// Like [`CliArgs::parse`], but bin-specific flags are offered to
+    /// `extra(flag, value)` before being rejected — return `true` to
+    /// consume the flag together with exactly one value. Keeps every
+    /// bench binary on one shared parser instead of hand-rolled copies.
+    pub fn parse_extra(default_scale: f64, mut extra: impl FnMut(&str, &str) -> bool) -> CliArgs {
         // One thread per core like the paper, but at least 4: on boxes
         // with very few cores the coordination behavior under test
         // (barrier waits, helping, crash absorption) still manifests
@@ -125,6 +137,7 @@ impl CliArgs {
             scale: default_scale,
             seed: 42,
             threads: lfpr_sched::executor::default_threads().max(4),
+            schedule: Schedule::default(),
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -151,11 +164,34 @@ impl CliArgs {
                         .unwrap_or_else(|| panic!("--threads needs an integer"));
                     i += 2;
                 }
+                "--schedule" => {
+                    out.schedule.policy = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            panic!("--schedule needs fixed[:c], guided[:min], or degree[:c]")
+                        });
+                    i += 2;
+                }
+                "--executor" => {
+                    out.schedule.executor = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--executor needs spawn or pool"));
+                    i += 2;
+                }
                 "--full" => {
                     out.scale = 1.0;
                     i += 1;
                 }
-                other => panic!("unknown argument: {other}"),
+                other => {
+                    let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+                    if extra(other, value) {
+                        i += 2;
+                    } else {
+                        panic!("unknown argument: {other}");
+                    }
+                }
             }
         }
         out

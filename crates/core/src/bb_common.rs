@@ -33,7 +33,6 @@ use crate::rank::{AtomicRanks, Flags};
 use crate::result::{PagerankResult, RunStatus};
 use lfpr_graph::Snapshot;
 use lfpr_sched::barrier::{BarrierOutcome, InstrumentedBarrier};
-use lfpr_sched::executor::run_threads;
 use lfpr_sched::fault::ThreadFaults;
 use lfpr_sched::rounds::RoundCursors;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -75,10 +74,9 @@ pub(crate) fn run_bb_engine(
     mark: Option<&MarkFn<'_>>,
 ) -> PagerankResult {
     debug_assert!(opts.validate().is_ok());
-    let n = g.num_vertices();
     let nt = opts.num_threads;
     let buffers = [AtomicRanks::from_slice(init), AtomicRanks::from_slice(init)];
-    let rounds = RoundCursors::new(n, opts.max_iterations);
+    let rounds = RoundCursors::new(opts.vertex_plan(g), opts.max_iterations);
     let barrier = InstrumentedBarrier::new(nt, opts.stall_timeout);
     // Per-thread local ΔR maxima, reduced by the barrier leader.
     let slots: Vec<AtomicU64> = (0..nt).map(|_| AtomicU64::new(0)).collect();
@@ -87,7 +85,7 @@ pub(crate) fn run_bb_engine(
     let processed = AtomicU64::new(0);
 
     let t0 = Instant::now();
-    let ends: Vec<ThreadEnd> = run_threads(nt, |t| {
+    let ends: Vec<ThreadEnd> = opts.schedule.executor.run(nt, |t| {
         let mut faults = opts.faults.thread_faults(t, nt);
         let mut local_processed = 0u64;
 
@@ -112,7 +110,7 @@ pub(crate) fn run_bb_engine(
             let read = &buffers[iter % 2];
             let write = &buffers[(iter + 1) % 2];
             let mut local_delta = 0.0f64;
-            while let Some(range) = rounds.next_chunk(iter, opts.chunk_size) {
+            while let Some(range) = rounds.next_chunk(iter) {
                 for v in range {
                     let vid = v as u32;
                     match &mode {
@@ -289,6 +287,29 @@ mod tests {
         let res = run_bb_engine(&g, &init, BbMode::All, &opts, None);
         assert_eq!(res.status, RunStatus::Stalled);
         assert_eq!(res.threads_crashed, 1);
+    }
+
+    #[test]
+    fn all_schedules_match_reference() {
+        use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
+        let g = ring(512);
+        let init = vec![1.0 / 512.0; 512];
+        let reference = reference_default(&g);
+        for policy in [
+            ChunkPolicy::Fixed(32),
+            ChunkPolicy::Guided { min: 8 },
+            ChunkPolicy::DegreeWeighted { chunk: 32 },
+        ] {
+            for executor in [ExecMode::Spawn, ExecMode::Pool] {
+                let o = PagerankOptions::default()
+                    .with_threads(4)
+                    .with_schedule(Schedule { policy, executor });
+                let res = run_bb_engine(&g, &init, BbMode::All, &o, None);
+                assert_eq!(res.status, RunStatus::Converged, "{policy} {executor}");
+                let err = linf_diff(&res.ranks, &reference);
+                assert!(err < 1e-9, "{policy} {executor}: err = {err}");
+            }
+        }
     }
 
     #[test]

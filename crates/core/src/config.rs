@@ -1,6 +1,10 @@
 //! Algorithm configuration with the paper's defaults (§5.1.2).
 
+use lfpr_graph::Snapshot;
+use lfpr_sched::chunks::{ChunkPlan, ChunkPolicy};
 use lfpr_sched::fault::FaultPlan;
+use lfpr_sched::pool::ExecMode;
+use lfpr_sched::Schedule;
 use std::time::Duration;
 
 /// How lock-free variants share per-vertex convergence state (§4.3:
@@ -45,6 +49,11 @@ pub struct PagerankOptions {
     /// Fault injection plan (delays / crash-stop). `FaultPlan::none()`
     /// for fault-free runs.
     pub faults: FaultPlan,
+    /// Chunk-boundary policy + thread-team executor. The default
+    /// (`spawn` + `fixed:2048`) reproduces the paper's configuration;
+    /// `pool` + `guided`/`degree` is the fast path for processes running
+    /// many updates (see `lfpr_sched::Schedule`).
+    pub schedule: Schedule,
 }
 
 impl Default for PagerankOptions {
@@ -60,6 +69,7 @@ impl Default for PagerankOptions {
             stall_timeout: Duration::from_secs(2),
             convergence: ConvergenceMode::PerVertex,
             faults: FaultPlan::none(),
+            schedule: Schedule::default(),
         }
     }
 }
@@ -88,12 +98,69 @@ impl PagerankOptions {
         self
     }
 
-    /// Set the scheduling chunk size (the Figure 1 sweep).
+    /// Set the scheduling chunk size (the Figure 1 sweep). Keeps a
+    /// `Fixed` chunk policy in sync so `chunk_size` stays the single
+    /// knob for the paper's sweeps.
     #[must_use]
     pub fn with_chunk_size(mut self, c: usize) -> Self {
         assert!(c > 0);
         self.chunk_size = c;
+        if let ChunkPolicy::Fixed(_) = self.schedule.policy {
+            self.schedule.policy = ChunkPolicy::Fixed(c);
+        }
         self
+    }
+
+    /// Set the whole scheduling choice (chunk policy + executor).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        if let ChunkPolicy::Fixed(c) = schedule.policy {
+            self.chunk_size = c; // keep the two knobs coherent
+        }
+        self
+    }
+
+    /// Set the chunk-boundary policy, keeping the current executor.
+    #[must_use]
+    pub fn with_chunk_policy(self, policy: ChunkPolicy) -> Self {
+        let executor = self.schedule.executor;
+        self.with_schedule(Schedule { policy, executor })
+    }
+
+    /// Set the thread-team executor, keeping the current chunk policy.
+    #[must_use]
+    pub fn with_executor(mut self, executor: ExecMode) -> Self {
+        self.schedule.executor = executor;
+        self
+    }
+
+    /// Compile this run's chunk plan over the vertices of `g`.
+    ///
+    /// `DegreeWeighted` cuts at equal shares of `Σ (1 + out_degree(v))`
+    /// — the per-vertex edge work of the rank kernel — so skewed graphs
+    /// get balanced chunks. Per-chunk convergence flags
+    /// ([`ConvergenceMode::PerChunk`]) assume chunks align with the
+    /// fixed `chunk_size` flag granularity, so that mode pins the plan
+    /// to `Fixed(chunk_size)` regardless of policy.
+    pub fn vertex_plan(&self, g: &Snapshot) -> ChunkPlan {
+        let n = g.num_vertices();
+        if matches!(self.convergence, ConvergenceMode::PerChunk) {
+            return ChunkPolicy::Fixed(self.chunk_size).plan(n, self.num_threads);
+        }
+        self.schedule
+            .policy
+            .plan_weighted(n, self.num_threads, |v| 1 + g.out_degree(v as u32) as usize)
+    }
+
+    /// Chunk size for the phase-1 edge-batch cursors (initial marking).
+    /// Batches are usually far smaller than the vertex set; claiming
+    /// them in `chunk_size` (2048) strides would hand the whole batch to
+    /// one thread, so cap the stride to spread a batch over the team
+    /// while never going below one edge per claim.
+    pub fn batch_chunk(&self, batch_len: usize) -> usize {
+        let spread = batch_len / (4 * self.num_threads.max(1));
+        spread.clamp(1, self.chunk_size.max(1))
     }
 
     /// Set the fault plan.
@@ -151,6 +218,7 @@ impl PagerankOptions {
         if self.num_threads == 0 {
             return Err("num_threads must be positive".into());
         }
+        self.schedule.policy.validate()?;
         Ok(())
     }
 }
@@ -187,6 +255,67 @@ mod tests {
         assert_eq!(o.chunk_size, 64);
         assert_eq!(o.max_iterations, 10);
         assert_eq!(o.convergence, ConvergenceMode::PerChunk);
+    }
+
+    #[test]
+    fn default_schedule_is_paper_fidelity() {
+        let o = PagerankOptions::default();
+        assert_eq!(o.schedule, Schedule::default());
+        assert_eq!(o.schedule.policy, ChunkPolicy::Fixed(2048));
+        assert_eq!(o.schedule.executor, ExecMode::Spawn);
+    }
+
+    #[test]
+    fn chunk_size_and_fixed_policy_stay_coherent() {
+        let o = PagerankOptions::default().with_chunk_size(64);
+        assert_eq!(o.schedule.policy, ChunkPolicy::Fixed(64));
+        let o = o.with_schedule(Schedule::pooled(ChunkPolicy::Fixed(256)));
+        assert_eq!(o.chunk_size, 256);
+        // Non-fixed policies leave chunk_size (flag granularity) alone.
+        let o = o.with_chunk_policy(ChunkPolicy::Guided { min: 32 });
+        assert_eq!(o.chunk_size, 256);
+        assert_eq!(o.schedule.executor, ExecMode::Pool);
+        let o = o.with_chunk_size(128);
+        assert_eq!(o.schedule.policy, ChunkPolicy::Guided { min: 32 });
+        assert_eq!(o.chunk_size, 128);
+    }
+
+    #[test]
+    fn vertex_plan_respects_policy_and_perchunk_override() {
+        let g = Snapshot::from_edges(100, &[(0, 1), (0, 2), (0, 3), (1, 0)]);
+        let o = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_size(16)
+            .with_chunk_policy(ChunkPolicy::Guided { min: 4 });
+        let plan = o.vertex_plan(&g);
+        assert!(
+            plan.num_chunks() > 100 / 16,
+            "guided should cut finer tails"
+        );
+        // Per-chunk convergence pins the plan to the flag granularity.
+        let o = o.with_convergence(ConvergenceMode::PerChunk);
+        let plan = o.vertex_plan(&g);
+        assert_eq!(plan.num_chunks(), 100usize.div_ceil(16));
+        assert_eq!(plan.chunk(0), 0..16);
+    }
+
+    #[test]
+    fn batch_chunk_spreads_small_batches() {
+        let o = PagerankOptions::default().with_threads(4);
+        assert_eq!(o.batch_chunk(0), 1);
+        assert_eq!(o.batch_chunk(15), 1);
+        assert_eq!(o.batch_chunk(160), 10);
+        // Large batches still cap at the paper's chunk size.
+        assert_eq!(o.batch_chunk(10_000_000), o.chunk_size);
+    }
+
+    #[test]
+    fn validate_rejects_bad_policy() {
+        let o = PagerankOptions::default().with_schedule(Schedule {
+            policy: ChunkPolicy::Guided { min: 0 },
+            executor: ExecMode::Spawn,
+        });
+        assert!(o.validate().is_err());
     }
 
     #[test]

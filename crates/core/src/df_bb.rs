@@ -39,8 +39,11 @@ pub fn df_bb(
     // Alg. 1 lines 4-6: mark out-neighbors of every batch source in both
     // graphs. Re-marking an already-marked vertex is idempotent, so
     // duplicate sources across edges need no coordination.
+    // Spread the (usually small) batch over the team instead of letting
+    // one thread claim it all in a single 2048-edge stride.
+    let mark_chunk = opts.batch_chunk(edges.len());
     let mark: &MarkFn<'_> = &|_t, faults| {
-        while let Some(range) = cursor.next_chunk(opts.chunk_size.max(1)) {
+        while let Some(range) = cursor.next_chunk(mark_chunk) {
             for &(u, _) in &edges[range.clone()] {
                 for &vp in prev.out(u).iter().chain(curr.out(u)) {
                     va.set(vp as usize);

@@ -34,8 +34,11 @@ pub fn dt_bb(
     // edges dynamically and DFS-marks from the source's out-neighbors in
     // both graphs. The atomic test-and-set visited check in `va` keeps
     // overlapping traversals from repeating work.
+    // Spread the (usually small) batch over the team instead of letting
+    // one thread claim it all in a single 2048-edge stride.
+    let mark_chunk = opts.batch_chunk(edges.len());
     let mark: &MarkFn<'_> = &|_t, faults| {
-        while let Some(range) = cursor.next_chunk(opts.chunk_size.max(1)) {
+        while let Some(range) = cursor.next_chunk(mark_chunk) {
             for &(u, _) in &edges[range.clone()] {
                 for &vp in prev.out(u).iter().chain(curr.out(u)) {
                     dfs_mark_atomic(curr, vp, &va, &mut |_| {});

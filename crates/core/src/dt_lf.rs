@@ -47,12 +47,15 @@ pub fn dt_lf(
             dfs_mark_atomic(curr, vp, &va, &mut |w| rc_view.set_vertex(w as usize));
         }
     };
+    // Spread the (usually small) batch over the team instead of letting
+    // one thread claim it all in a single 2048-edge stride.
+    let phase1_chunk = opts.batch_chunk(edges.len());
     let phase1: &Phase1Fn<'_> = &|_t, faults| {
         helping_mark_phase(
             &edges,
             &cursor,
             &checked,
-            opts.chunk_size.max(1),
+            phase1_chunk,
             &mark_source,
             faults,
         )

@@ -34,7 +34,6 @@ use crate::rank::{AtomicRanks, Flags};
 use crate::result::{PagerankResult, RunStatus};
 use lfpr_graph::Snapshot;
 use lfpr_sched::chunks::ChunkCursor;
-use lfpr_sched::executor::run_threads;
 use lfpr_sched::fault::ThreadFaults;
 use lfpr_sched::rounds::RoundCursors;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -153,9 +152,8 @@ pub(crate) fn run_lf_engine(
     phase1: Option<&Phase1Fn<'_>>,
 ) -> PagerankResult {
     debug_assert!(opts.validate().is_ok());
-    let n = g.num_vertices();
     let nt = opts.num_threads;
-    let rounds = RoundCursors::new(n, opts.max_iterations);
+    let rounds = RoundCursors::new(opts.vertex_plan(g), opts.max_iterations);
     let processed = AtomicU64::new(0);
     let max_round = AtomicUsize::new(0);
     let crashed_count = AtomicUsize::new(0);
@@ -164,7 +162,7 @@ pub(crate) fn run_lf_engine(
     let per_chunk = matches!(opts.convergence, ConvergenceMode::PerChunk);
 
     let t0 = Instant::now();
-    run_threads(nt, |t| {
+    opts.schedule.executor.run(nt, |t| {
         let mut faults = opts.faults.thread_faults(t, nt);
         let mut local_processed = 0u64;
 
@@ -180,7 +178,9 @@ pub(crate) fn run_lf_engine(
         // Phase 2: incremental marking, processing, and convergence
         // detection — no barriers anywhere.
         'rounds: for round in 0..opts.max_iterations {
-            while let Some(range) = rounds.next_chunk(round, opts.chunk_size) {
+            while let Some(range) = rounds.next_chunk(round) {
+                // Valid in per-chunk mode because vertex_plan pins the
+                // plan to Fixed(chunk_size) there (flag alignment).
                 let chunk_idx = range.start / opts.chunk_size;
                 let mut chunk_converged = true;
                 for v in range {
@@ -410,6 +410,47 @@ mod tests {
             !marked.get(2),
             "already-checked source must not be re-marked"
         );
+    }
+
+    #[test]
+    fn all_schedules_match_reference() {
+        use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
+        let g = ring(512);
+        let reference = reference_default(&g);
+        for policy in [
+            ChunkPolicy::Fixed(32),
+            ChunkPolicy::Guided { min: 8 },
+            ChunkPolicy::DegreeWeighted { chunk: 32 },
+        ] {
+            for executor in [ExecMode::Spawn, ExecMode::Pool] {
+                let o = opts().with_schedule(Schedule { policy, executor });
+                let ranks = AtomicRanks::uniform(512, 1.0 / 512.0);
+                let rc = Flags::new(512, 1);
+                let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+                assert_eq!(res.status, RunStatus::Converged, "{policy} {executor}");
+                let err = linf_diff(&res.ranks, &reference);
+                assert!(err < 1e-8, "{policy} {executor}: err = {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_guided_survives_thread_crashes() {
+        use lfpr_sched::{ChunkPolicy, Schedule};
+        // The wait-free claim + helping story must hold unchanged on the
+        // persistent pool with irregular chunks.
+        let n = 20_000;
+        let g = ring(n);
+        let o = PagerankOptions::default()
+            .with_threads(4)
+            .with_schedule(Schedule::pooled(ChunkPolicy::Guided { min: 64 }))
+            .with_faults(FaultPlan::with_crashes(2, 50, 7));
+        let ranks = AtomicRanks::uniform(n, 1.0 / n as f64);
+        let rc = Flags::new(n, 1);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        assert_eq!(res.status, RunStatus::Converged);
+        assert_eq!(res.threads_crashed, 2);
+        assert!(linf_diff(&res.ranks, &reference_default(&g)) < 1e-8);
     }
 
     #[test]

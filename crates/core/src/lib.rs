@@ -68,4 +68,5 @@ pub mod vertex_dynamics;
 
 pub use api::Algorithm;
 pub use config::{ConvergenceMode, PagerankOptions};
+pub use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
 pub use result::{PagerankResult, RunStatus};

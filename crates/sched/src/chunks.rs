@@ -8,12 +8,24 @@
 //! threads keep claiming the remaining chunks; the claimed-but-unfinished
 //! vertices are re-covered in the next iteration by the algorithm's
 //! convergence flags (paper §4.4).
+//!
+//! On top of the fixed-stride cursor, [`ChunkPolicy`] generalizes *how*
+//! the index range is cut into chunks without giving up the wait-free
+//! claim: every policy is compiled once per run into an immutable
+//! [`ChunkPlan`] (either a fixed stride or a precomputed boundary
+//! table), and a [`PlanCursor`] claims chunks from the plan with a
+//! single `fetch_add` — chunk *sizes* vary, the claim protocol does not.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Default chunk size — the paper uses 2048 (§5.1.2).
 pub const DEFAULT_CHUNK: usize = 2048;
+
+/// Default minimum chunk for [`ChunkPolicy::Guided`]: small enough to
+/// smooth load at the tail, large enough to amortize the claim.
+pub const DEFAULT_GUIDED_MIN: usize = 64;
 
 /// A wait-free dynamic scheduler over the index range `0..len`.
 #[derive(Debug)]
@@ -32,10 +44,20 @@ impl ChunkCursor {
     }
 
     /// Claim the next chunk of at most `chunk_size` indices. Returns
-    /// `None` when the range is exhausted. Wait-free (one `fetch_add`).
+    /// `None` when the range is exhausted. Wait-free (at most one load
+    /// plus one `fetch_add`).
+    ///
+    /// The early-return on a drained cursor is load-bearing, not an
+    /// optimization: without it every post-drain poll keeps incrementing
+    /// `next`, so a long-lived claimant spinning on an exhausted cursor
+    /// could wrap `usize` and hand out duplicate chunks. With the check,
+    /// `next` overshoots `len` by at most `threads × chunk_size`.
     #[inline]
     pub fn next_chunk(&self, chunk_size: usize) -> Option<Range<usize>> {
         debug_assert!(chunk_size > 0);
+        if self.next.load(Ordering::Relaxed) >= self.len {
+            return None;
+        }
         let start = self.next.fetch_add(chunk_size, Ordering::Relaxed);
         if start >= self.len {
             None
@@ -65,6 +87,295 @@ impl ChunkCursor {
     /// Reset the cursor for reuse (single-threaded phases only).
     pub fn reset(&mut self) {
         *self.next.get_mut() = 0;
+    }
+}
+
+/// How a run's index range is cut into dynamically claimed chunks.
+///
+/// Every policy compiles into a [`ChunkPlan`] whose chunks are claimed
+/// wait-free (one `fetch_add` per claim), preserving the paper's
+/// lock-freedom and crash-stop story — only the chunk *boundaries*
+/// differ:
+///
+/// | policy | boundaries | best for |
+/// |--------|-----------|----------|
+/// | `Fixed(c)` | stride `c` (paper: 2048) | fidelity; uniform-degree graphs |
+/// | `Guided { min }` | `remaining/(2·threads)`, geometrically shrinking, ≥ `min` | low claim traffic up front, fine-grained balance at the tail |
+/// | `DegreeWeighted { chunk }` | cut at equal shares of `Σ work(v)` (CSR out-degree) | skewed RMAT/web graphs where one 2048-vertex chunk can carry 100× the edge work of another |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Fixed-size chunks of the given vertex count (`schedule(dynamic, c)`).
+    Fixed(usize),
+    /// Geometrically shrinking chunks, never smaller than `min`
+    /// (`schedule(guided, min)`).
+    Guided {
+        /// Lower bound on the chunk size.
+        min: usize,
+    },
+    /// Chunk boundaries placed so each chunk carries an approximately
+    /// equal amount of *edge* work, computed from a per-index weight
+    /// (1 + out-degree for CSR vertex loops). `chunk` is the vertex-count
+    /// hint that fixes the number of chunks (`len / chunk`, like Fixed).
+    DegreeWeighted {
+        /// Average vertices per chunk; determines the chunk count.
+        chunk: usize,
+    },
+}
+
+impl Default for ChunkPolicy {
+    fn default() -> Self {
+        ChunkPolicy::Fixed(DEFAULT_CHUNK)
+    }
+}
+
+impl ChunkPolicy {
+    /// The base chunk size of the policy: the fixed stride, the guided
+    /// minimum, or the degree-weighted vertex-count hint. Used where a
+    /// plain stride is still needed (edge-batch cursors, per-chunk
+    /// convergence flags).
+    pub fn base_chunk(&self) -> usize {
+        match *self {
+            ChunkPolicy::Fixed(c) => c,
+            ChunkPolicy::Guided { min } => min,
+            ChunkPolicy::DegreeWeighted { chunk } => chunk,
+        }
+    }
+
+    /// Validate policy parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_chunk() == 0 {
+            return Err(format!("chunk policy parameter must be positive: {self}"));
+        }
+        Ok(())
+    }
+
+    /// Compile the policy into a plan over `0..len` for a team of
+    /// `threads`. `DegreeWeighted` needs per-index weights; this
+    /// weight-free form degrades it to `Fixed(chunk)` (documented
+    /// fallback for index spaces with no degree structure, e.g. edge
+    /// batches) — use [`ChunkPolicy::plan_weighted`] for vertex loops.
+    pub fn plan(&self, len: usize, threads: usize) -> ChunkPlan {
+        match *self {
+            ChunkPolicy::Fixed(chunk) => ChunkPlan::fixed(len, chunk),
+            ChunkPolicy::DegreeWeighted { chunk } => ChunkPlan::fixed(len, chunk),
+            ChunkPolicy::Guided { min } => {
+                let min = min.max(1);
+                let threads = threads.max(1);
+                let mut bounds = Vec::new();
+                bounds.push(0usize);
+                let mut pos = 0usize;
+                while pos < len {
+                    let step = ((len - pos) / (2 * threads)).max(min).min(len - pos);
+                    pos += step;
+                    bounds.push(pos);
+                }
+                ChunkPlan::from_boundaries(bounds)
+            }
+        }
+    }
+
+    /// Compile the policy with a per-index work weight (for vertex
+    /// loops: `1 + out_degree(v)`). Only `DegreeWeighted` consults the
+    /// weights; the other policies defer to [`ChunkPolicy::plan`].
+    pub fn plan_weighted(
+        &self,
+        len: usize,
+        threads: usize,
+        weight: impl Fn(usize) -> usize,
+    ) -> ChunkPlan {
+        let ChunkPolicy::DegreeWeighted { chunk } = *self else {
+            return self.plan(len, threads);
+        };
+        let chunk = chunk.max(1);
+        let num_chunks = len.div_ceil(chunk).max(1);
+        if num_chunks <= 1 {
+            return ChunkPlan::fixed(len, chunk);
+        }
+        let total: u64 = (0..len).map(|v| weight(v) as u64).sum();
+        if total == 0 {
+            return ChunkPlan::fixed(len, chunk);
+        }
+        // Cut at the k/num_chunks work quantiles: boundary k is placed
+        // after the first vertex whose prefix work reaches k·total/N.
+        // A single heavy vertex may cover several quantiles; it still
+        // produces exactly one cut (chunks are never empty).
+        let mut bounds = Vec::with_capacity(num_chunks + 1);
+        bounds.push(0usize);
+        let mut acc: u64 = 0;
+        let mut k: u64 = 1;
+        let n_chunks = num_chunks as u64;
+        for v in 0..len {
+            acc += weight(v) as u64;
+            if k < n_chunks && acc as u128 * n_chunks as u128 >= k as u128 * total as u128 {
+                bounds.push(v + 1);
+                while k < n_chunks && acc as u128 * n_chunks as u128 >= k as u128 * total as u128 {
+                    k += 1;
+                }
+            }
+        }
+        if *bounds.last().unwrap() != len {
+            bounds.push(len);
+        }
+        ChunkPlan::from_boundaries(bounds)
+    }
+}
+
+impl std::fmt::Display for ChunkPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkPolicy::Fixed(c) => write!(f, "fixed:{c}"),
+            ChunkPolicy::Guided { min } => write!(f, "guided:{min}"),
+            ChunkPolicy::DegreeWeighted { chunk } => write!(f, "degree:{chunk}"),
+        }
+    }
+}
+
+impl std::str::FromStr for ChunkPolicy {
+    type Err = String;
+
+    /// Parse `fixed[:c]`, `guided[:min]`, or `degree[:chunk]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => {
+                let v: usize = p
+                    .parse()
+                    .map_err(|_| format!("bad chunk parameter in {s:?}"))?;
+                (n, Some(v))
+            }
+            None => (s, None),
+        };
+        let policy = match name.to_ascii_lowercase().as_str() {
+            "fixed" => ChunkPolicy::Fixed(param.unwrap_or(DEFAULT_CHUNK)),
+            "guided" => ChunkPolicy::Guided {
+                min: param.unwrap_or(DEFAULT_GUIDED_MIN),
+            },
+            "degree" | "degree-weighted" => ChunkPolicy::DegreeWeighted {
+                chunk: param.unwrap_or(DEFAULT_CHUNK),
+            },
+            other => return Err(format!("unknown chunk policy: {other}")),
+        };
+        policy.validate()?;
+        Ok(policy)
+    }
+}
+
+/// An immutable chunking of `0..len`, compiled once per run and shared
+/// (cheaply, via `Arc`) by every per-round cursor. Either a fixed stride
+/// (chunk `i` is pure arithmetic) or a precomputed boundary table
+/// (chunk `i` = `bounds[i]..bounds[i+1]`).
+#[derive(Debug, Clone)]
+pub struct ChunkPlan {
+    len: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    Fixed { chunk: usize },
+    Bounds(Arc<[usize]>),
+}
+
+impl ChunkPlan {
+    /// Fixed-stride plan (the paper's `schedule(dynamic, chunk)`).
+    pub fn fixed(len: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunkPlan {
+            len,
+            kind: PlanKind::Fixed { chunk },
+        }
+    }
+
+    /// Plan from an ascending boundary list starting at 0 and ending at
+    /// the range length (`[0]` alone means an empty range).
+    pub fn from_boundaries(bounds: Vec<usize>) -> Self {
+        assert!(
+            !bounds.is_empty() && bounds[0] == 0,
+            "boundaries must start at 0"
+        );
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "must be ascending");
+        ChunkPlan {
+            len: *bounds.last().unwrap(),
+            kind: PlanKind::Bounds(bounds.into()),
+        }
+    }
+
+    /// Total length of the index range.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunks the plan cuts the range into.
+    pub fn num_chunks(&self) -> usize {
+        match &self.kind {
+            PlanKind::Fixed { chunk } => self.len.div_ceil(*chunk),
+            PlanKind::Bounds(b) => b.len() - 1,
+        }
+    }
+
+    /// The half-open range of chunk `i` (`i < num_chunks`).
+    pub fn chunk(&self, i: usize) -> Range<usize> {
+        match &self.kind {
+            PlanKind::Fixed { chunk } => {
+                let start = i * chunk;
+                start..(start + chunk).min(self.len)
+            }
+            PlanKind::Bounds(b) => b[i]..b[i + 1],
+        }
+    }
+
+    /// A fresh wait-free cursor over this plan (shares the boundary
+    /// table, owns only the claim counter).
+    pub fn cursor(&self) -> PlanCursor {
+        PlanCursor {
+            plan: self.clone(),
+            next: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A wait-free dynamic scheduler over a [`ChunkPlan`]: claims whole
+/// plan-chunks with a single `fetch_add` on the chunk ordinal, so the
+/// claim protocol is identical to [`ChunkCursor`] regardless of how
+/// irregular the chunk sizes are.
+#[derive(Debug)]
+pub struct PlanCursor {
+    plan: ChunkPlan,
+    next: AtomicUsize,
+}
+
+impl PlanCursor {
+    /// Claim the next chunk. `None` once all chunks are claimed.
+    /// Wait-free: at most one load plus one `fetch_add`, with the same
+    /// drained-cursor early return as [`ChunkCursor::next_chunk`] so
+    /// spinning claimants cannot wrap the counter.
+    #[inline]
+    pub fn next_chunk(&self) -> Option<Range<usize>> {
+        let n = self.plan.num_chunks();
+        if self.next.load(Ordering::Relaxed) >= n {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            None
+        } else {
+            Some(self.plan.chunk(i))
+        }
+    }
+
+    /// Whether all chunks have been claimed (not necessarily processed).
+    #[inline]
+    pub fn is_drained(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.plan.num_chunks()
+    }
+
+    /// The plan this cursor claims from.
+    pub fn plan(&self) -> &ChunkPlan {
+        &self.plan
     }
 }
 
@@ -134,5 +445,170 @@ mod tests {
         while c.next_chunk(4).is_some() {}
         c.reset();
         assert_eq!(c.next_chunk(4), Some(0..4));
+    }
+
+    #[test]
+    fn drained_cursor_counter_saturates() {
+        // Satellite fix: polling an exhausted cursor must not keep
+        // growing the counter (a spinner could wrap usize otherwise).
+        let c = ChunkCursor::new(10);
+        while c.next_chunk(4).is_some() {}
+        let after_drain = c.next.load(Ordering::Relaxed);
+        for _ in 0..1000 {
+            assert_eq!(c.next_chunk(4), None);
+        }
+        assert_eq!(c.next.load(Ordering::Relaxed), after_drain);
+    }
+
+    fn collect_chunks(plan: &ChunkPlan) -> Vec<Range<usize>> {
+        let cur = plan.cursor();
+        let mut out = Vec::new();
+        while let Some(r) = cur.next_chunk() {
+            out.push(r);
+        }
+        out
+    }
+
+    fn assert_partitions(plan: &ChunkPlan, len: usize) {
+        let chunks = collect_chunks(plan);
+        let mut pos = 0;
+        for r in &chunks {
+            assert_eq!(r.start, pos, "gap or overlap at {pos}");
+            assert!(r.end > r.start, "empty chunk at {pos}");
+            pos = r.end;
+        }
+        assert_eq!(pos, len, "range not fully covered");
+        assert_eq!(chunks.len(), plan.num_chunks());
+    }
+
+    #[test]
+    fn fixed_plan_partitions() {
+        assert_partitions(&ChunkPolicy::Fixed(7).plan(100, 4), 100);
+        assert_partitions(&ChunkPolicy::Fixed(2048).plan(100, 4), 100);
+        assert_partitions(&ChunkPolicy::Fixed(1).plan(0, 4), 0);
+    }
+
+    #[test]
+    fn guided_plan_shrinks_and_partitions() {
+        let plan = ChunkPolicy::Guided { min: 8 }.plan(10_000, 4);
+        assert_partitions(&plan, 10_000);
+        let chunks = collect_chunks(&plan);
+        // First chunk is remaining/(2·threads), later chunks shrink and
+        // bottom out at min.
+        assert_eq!(chunks[0].len(), 10_000 / 8);
+        for w in chunks.windows(2) {
+            assert!(w[1].len() <= w[0].len(), "guided chunks must not grow");
+        }
+        assert!(
+            chunks.last().unwrap().len() <= 8,
+            "tail must bottom out at min"
+        );
+    }
+
+    #[test]
+    fn degree_weighted_balances_edge_work() {
+        // Heavily skewed weights: vertex 0 carries half the total work.
+        let n = 4096;
+        let w = |v: usize| if v == 0 { n } else { 1 };
+        let plan = ChunkPolicy::DegreeWeighted { chunk: 512 }.plan_weighted(n, 4, w);
+        assert_partitions(&plan, n);
+        let chunks = collect_chunks(&plan);
+        assert_eq!(chunks.len(), plan.num_chunks());
+        // The hub chunk must be tiny (the hub alone fills its work
+        // budget), and no chunk's work may exceed ~2 budgets.
+        let total: usize = (0..n).map(w).sum();
+        let budget = total / plan.num_chunks();
+        assert!(
+            chunks[0].len() < 512,
+            "hub chunk not shrunk: {:?}",
+            chunks[0]
+        );
+        for r in &chunks[1..] {
+            let work: usize = r.clone().map(w).sum();
+            assert!(work <= 2 * budget + n, "chunk {r:?} overloaded: {work}");
+        }
+    }
+
+    #[test]
+    fn degree_weighted_uniform_matches_fixed_count() {
+        let plan = ChunkPolicy::DegreeWeighted { chunk: 100 }.plan_weighted(1000, 4, |_| 3);
+        assert_partitions(&plan, 1000);
+        assert_eq!(plan.num_chunks(), 10);
+    }
+
+    #[test]
+    fn degree_weighted_without_weights_degrades_to_fixed() {
+        let plan = ChunkPolicy::DegreeWeighted { chunk: 64 }.plan(1000, 4);
+        assert_partitions(&plan, 1000);
+        assert_eq!(plan.chunk(0), 0..64);
+    }
+
+    #[test]
+    fn plan_cursor_concurrent_claims_partition() {
+        let plan = ChunkPolicy::Guided { min: 16 }.plan(50_000, 8);
+        let cur = plan.cursor();
+        let hits: Vec<AtomicUsize> = (0..50_000).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cur = &cur;
+                let hits = &hits;
+                s.spawn(move || {
+                    while let Some(r) = cur.next_chunk() {
+                        for i in r {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(cur.is_drained());
+    }
+
+    #[test]
+    fn plan_cursor_counter_saturates() {
+        let plan = ChunkPolicy::Fixed(4).plan(10, 2);
+        let cur = plan.cursor();
+        while cur.next_chunk().is_some() {}
+        let after = cur.next.load(Ordering::Relaxed);
+        for _ in 0..1000 {
+            assert_eq!(cur.next_chunk(), None);
+        }
+        assert_eq!(cur.next.load(Ordering::Relaxed), after);
+    }
+
+    #[test]
+    fn policy_parsing_roundtrip() {
+        for s in ["fixed:2048", "guided:64", "degree:512"] {
+            let p: ChunkPolicy = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert_eq!(
+            "fixed".parse::<ChunkPolicy>().unwrap(),
+            ChunkPolicy::Fixed(DEFAULT_CHUNK)
+        );
+        assert_eq!(
+            "guided".parse::<ChunkPolicy>().unwrap(),
+            ChunkPolicy::Guided {
+                min: DEFAULT_GUIDED_MIN
+            }
+        );
+        assert_eq!(
+            "degree".parse::<ChunkPolicy>().unwrap(),
+            ChunkPolicy::DegreeWeighted {
+                chunk: DEFAULT_CHUNK
+            }
+        );
+        assert!("fixed:0".parse::<ChunkPolicy>().is_err());
+        assert!("frobnicate".parse::<ChunkPolicy>().is_err());
+        assert!("fixed:xyz".parse::<ChunkPolicy>().is_err());
+    }
+
+    #[test]
+    fn base_chunk_per_policy() {
+        assert_eq!(ChunkPolicy::Fixed(10).base_chunk(), 10);
+        assert_eq!(ChunkPolicy::Guided { min: 5 }.base_chunk(), 5);
+        assert_eq!(ChunkPolicy::DegreeWeighted { chunk: 9 }.base_chunk(), 9);
+        assert_eq!(ChunkPolicy::default(), ChunkPolicy::Fixed(DEFAULT_CHUNK));
     }
 }

@@ -5,8 +5,9 @@
 //!
 //! | OpenMP construct | This crate |
 //! |------------------|-----------|
-//! | `#pragma omp parallel` | [`executor::run_threads`] (scoped threads) |
+//! | `#pragma omp parallel` | [`executor::run_threads`] (scoped threads) or [`pool::WorkerPool`] (persistent parked team, zero spawn on the hot path) |
 //! | `schedule(dynamic, 2048)` | [`chunks::ChunkCursor`] (atomic fetch-add) |
+//! | `schedule(guided)` / degree-aware splitting | [`chunks::ChunkPolicy`] → precompiled [`chunks::ChunkPlan`], claimed wait-free by [`chunks::PlanCursor`] |
 //! | `for ... nowait` across iterations | [`rounds::RoundCursors`] (one cursor per iteration; fast threads run ahead) |
 //! | implicit iteration barrier | [`barrier::InstrumentedBarrier`] (sense-reversing, wait-time accounting, stall detection) |
 //!
@@ -26,11 +27,48 @@ pub mod barrier;
 pub mod chunks;
 pub mod executor;
 pub mod fault;
+pub mod pool;
 pub mod rounds;
 pub mod stats;
 
 pub use barrier::{BarrierOutcome, BarrierStall, InstrumentedBarrier};
-pub use chunks::ChunkCursor;
+pub use chunks::{ChunkCursor, ChunkPlan, ChunkPolicy, PlanCursor};
 pub use executor::run_threads;
 pub use fault::{CrashSpec, DelaySpec, FaultAction, FaultPlan, ThreadFaults};
+pub use pool::{global_pool, ExecMode, WorkerPool};
 pub use rounds::RoundCursors;
+
+/// A complete per-run scheduling choice: how the vertex range is cut
+/// into chunks ([`ChunkPolicy`]) and where the thread team comes from
+/// ([`ExecMode`]). The default — `Fixed(2048)` chunks on freshly
+/// spawned scoped threads — reproduces the paper's configuration
+/// (§5.1.2) exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Schedule {
+    /// Chunk-boundary policy for the dynamic vertex loops.
+    pub policy: ChunkPolicy,
+    /// Thread-team executor for the parallel regions.
+    pub executor: ExecMode,
+}
+
+impl Schedule {
+    /// The paper-fidelity schedule: spawn-per-run + fixed 2048 chunks.
+    pub fn paper() -> Self {
+        Schedule::default()
+    }
+
+    /// Persistent pool + the given chunk policy — the fast path for
+    /// benchmark processes running many updates.
+    pub fn pooled(policy: ChunkPolicy) -> Self {
+        Schedule {
+            policy,
+            executor: ExecMode::Pool,
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{}", self.executor, self.policy)
+    }
+}

@@ -1,0 +1,536 @@
+//! Persistent worker pool — spawn the team once, park between runs.
+//!
+//! [`crate::executor::run_threads`] spawns and joins a fresh OS thread
+//! team for **every** call. A single PageRank run amortizes that, but
+//! the experiment harnesses execute thousands of short dynamic-update
+//! runs per process (the Figure 7 batch-fraction sweep alone runs every
+//! approach on every graph at seven fractions), and on small affected
+//! sets the spawn/join cost rivals the kernel itself.
+//!
+//! [`WorkerPool`] keeps one team alive for the whole process: workers
+//! are spawned on first use (and when a run requests more threads than
+//! ever before), park between jobs, and receive borrowed closures via a
+//! scoped handoff — the same `f(thread_id) -> R` contract as
+//! `run_threads`, with **zero** thread creation on the hot path.
+//!
+//! ## Handoff protocol
+//!
+//! A job is a stack-allocated header holding a type-erased pointer to
+//! the caller's closure, a countdown of unfinished workers, and the
+//! submitting thread's handle. Submission stores the header pointer
+//! into each participating worker's slot (release) and unparks it; the
+//! worker swaps the pointer out (acquire), runs its share under
+//! `catch_unwind`, decrements the countdown, and — if it was last —
+//! unparks the submitter. The submitter runs thread 0's share itself,
+//! then parks until the countdown reaches zero, so the borrowed closure
+//! provably outlives every use (the same guarantee `std::thread::scope`
+//! gives, without the spawn).
+//!
+//! Worker panics are caught, stashed in the job header, and re-raised
+//! on the submitting thread after all workers finish — identical
+//! fail-fast behavior to `run_threads`, and the pool stays usable
+//! afterwards. The paper's crash-stop fault model does **not** use
+//! panics (a crashed thread returns normally), so fault experiments are
+//! unaffected.
+//!
+//! Runs are serialized on an internal lock: the pool models the paper's
+//! "one team per process" OpenMP runtime, not a general task scheduler.
+//! A nested `run` from inside another run — whether from a worker's
+//! share or from the submitter's own thread-0 share — falls back to
+//! spawning scoped threads rather than deadlocking on that lock.
+
+use crate::executor::run_threads;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::{self, JoinHandle, Thread};
+
+/// How an engine obtains its thread team for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Spawn and join a fresh scoped team per run (the seed behavior;
+    /// simplest, and what the paper's per-run timing model assumes).
+    #[default]
+    Spawn,
+    /// Dispatch onto the process-wide persistent [`WorkerPool`]: no
+    /// spawn/join on the hot path, threads stay warm across runs.
+    Pool,
+}
+
+impl ExecMode {
+    /// Run `f(thread_id)` on `num_threads` threads under this mode and
+    /// collect the per-thread results in thread-id order.
+    pub fn run<R, F>(self, num_threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match self {
+            ExecMode::Spawn => run_threads(num_threads, f),
+            ExecMode::Pool => global_pool().run(num_threads, f),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecMode::Spawn => "spawn",
+            ExecMode::Pool => "pool",
+        })
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "spawn" => Ok(ExecMode::Spawn),
+            "pool" => Ok(ExecMode::Pool),
+            other => Err(format!("unknown executor: {other} (spawn|pool)")),
+        }
+    }
+}
+
+/// The process-wide pool used by [`ExecMode::Pool`]. Created empty on
+/// first use; workers are spawned lazily as runs request them and live
+/// until process exit.
+pub fn global_pool() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(WorkerPool::new)
+}
+
+thread_local! {
+    /// Set inside pool workers (permanently) and on submitting threads
+    /// (for the duration of a `run`) so a nested `run` — from a worker's
+    /// share *or* from the submitter's own thread-0 share — detects it
+    /// would deadlock on the submission lock and spawns instead.
+    static IN_POOL_CONTEXT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Unwind-safe reset of the submitter's [`IN_POOL_CONTEXT`] flag: `run`
+/// can exit by `resume_unwind`, which must not leave the flag stuck.
+struct SubmitterGuard;
+
+impl SubmitterGuard {
+    fn enter() -> Self {
+        IN_POOL_CONTEXT.with(|c| c.set(true));
+        SubmitterGuard
+    }
+}
+
+impl Drop for SubmitterGuard {
+    fn drop(&mut self) {
+        IN_POOL_CONTEXT.with(|c| c.set(false));
+    }
+}
+
+/// Type-erased job header, stack-allocated in [`WorkerPool::run`] and
+/// borrowed by workers strictly until `remaining` hits zero.
+struct Job {
+    /// Trampoline restoring the concrete closure type.
+    run: unsafe fn(*const (), usize),
+    /// The caller's wrapped closure, lifetime-erased. Valid until
+    /// `remaining` reaches 0 — the submitter blocks until then.
+    data: *const (),
+    /// Workers still running (excludes the submitter's own share).
+    remaining: AtomicUsize,
+    /// Submitting thread, unparked by the last finishing worker.
+    caller: Thread,
+    /// First worker panic, re-raised on the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+unsafe impl Sync for Job {}
+
+unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), thread_id: usize) {
+    let f = unsafe { &*(data as *const F) };
+    f(thread_id);
+}
+
+/// Monomorphize [`trampoline`] for an unnameable closure type.
+fn trampoline_for<F: Fn(usize) + Sync>(_f: &F) -> unsafe fn(*const (), usize) {
+    trampoline::<F>
+}
+
+/// One worker's mailbox: a single job pointer slot plus shutdown flag.
+struct Slot {
+    job: AtomicPtr<Job>,
+    shutdown: AtomicBool,
+}
+
+struct Worker {
+    slot: Arc<Slot>,
+    /// Handle used to unpark the worker; `None` only transiently in Drop.
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent team of parked worker threads (see module docs).
+pub struct WorkerPool {
+    /// Serializes runs and guards lazy worker growth. Worker `i` in the
+    /// vec executes thread id `i + 1`; thread 0 is the submitter.
+    inner: Mutex<Vec<Worker>>,
+}
+
+impl WorkerPool {
+    /// Create an empty pool; workers are spawned on demand by `run`.
+    pub fn new() -> Self {
+        WorkerPool {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of live workers (grows monotonically, never shrinks).
+    pub fn spawned_workers(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Run `f(thread_id)` for ids `0..num_threads` and collect results
+    /// in id order. Thread 0 runs on the calling thread; ids `1..` run
+    /// on pool workers. Semantics match
+    /// [`run_threads`](crate::executor::run_threads): worker panics
+    /// propagate to the caller, and `num_threads == 1` runs inline.
+    pub fn run<R, F>(&self, num_threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        assert!(num_threads > 0, "need at least one thread");
+        if num_threads == 1 {
+            return vec![f(0)];
+        }
+        if IN_POOL_CONTEXT.with(|c| c.get()) {
+            // Nested use — from a worker's share or from the submitter's
+            // own thread-0 share — would deadlock on the run lock;
+            // degrade to the scoped-spawn executor.
+            return run_threads(num_threads, f);
+        }
+        let _submitting = SubmitterGuard::enter();
+
+        // Per-thread result slots; slot t is written only by thread t.
+        let slots: Vec<ResultSlot<R>> = (0..num_threads).map(|_| ResultSlot::new()).collect();
+        let call = |t: usize| {
+            let r = f(t);
+            unsafe { slots[t].put(r) };
+        };
+
+        let mut inner = self.inner.lock();
+        Self::ensure_workers(&mut inner, num_threads - 1);
+
+        let job = Job {
+            run: trampoline_for(&call),
+            data: &call as *const _ as *const (),
+            remaining: AtomicUsize::new(num_threads - 1),
+            caller: thread::current(),
+            panic: Mutex::new(None),
+        };
+        let job_ptr = &job as *const Job as *mut Job;
+        for w in &inner[..num_threads - 1] {
+            w.slot.job.store(job_ptr, Ordering::Release);
+            w.handle
+                .as_ref()
+                .expect("worker handle present outside Drop")
+                .thread()
+                .unpark();
+        }
+
+        // Thread 0's share runs here; a panic is deferred until every
+        // worker has finished with the borrowed closure.
+        let own = catch_unwind(AssertUnwindSafe(|| call(0)));
+        while job.remaining.load(Ordering::Acquire) > 0 {
+            thread::park();
+        }
+        // All workers are done with `call`/`job`; safe to unwind now.
+        if let Some(payload) = job.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(t, s)| {
+                s.into_inner()
+                    .unwrap_or_else(|| panic!("pool thread {t} produced no result"))
+            })
+            .collect()
+    }
+
+    fn ensure_workers(workers: &mut Vec<Worker>, want: usize) {
+        while workers.len() < want {
+            let id = workers.len() + 1;
+            let slot = Arc::new(Slot {
+                job: AtomicPtr::new(ptr::null_mut()),
+                shutdown: AtomicBool::new(false),
+            });
+            let wslot = Arc::clone(&slot);
+            let handle = thread::Builder::new()
+                .name(format!("lfpr-pool-{id}"))
+                .spawn(move || worker_loop(wslot, id))
+                .expect("failed to spawn pool worker");
+            workers.push(Worker {
+                slot,
+                handle: Some(handle),
+            });
+        }
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut workers = std::mem::take(&mut *self.inner.lock());
+        for w in &workers {
+            w.slot.shutdown.store(true, Ordering::Release);
+        }
+        for w in &mut workers {
+            if let Some(h) = w.handle.take() {
+                h.thread().unpark();
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(slot: Arc<Slot>, thread_id: usize) {
+    IN_POOL_CONTEXT.with(|c| c.set(true));
+    loop {
+        let job_ptr = slot.job.swap(ptr::null_mut(), Ordering::Acquire);
+        if job_ptr.is_null() {
+            if slot.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            thread::park();
+            continue;
+        }
+        // The submitter keeps `job` (and the closure it points to) alive
+        // until `remaining` reaches zero, which this worker signals only
+        // after its last use of either — see the decrement below.
+        let job = unsafe { &*job_ptr };
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (job.run)(job.data, thread_id)
+        }));
+        if let Err(payload) = outcome {
+            let mut p = job.panic.lock();
+            if p.is_none() {
+                *p = Some(payload);
+            }
+        }
+        // Copy what the completion signal needs *before* the decrement:
+        // the moment `remaining` hits zero the submitter may free `job`.
+        let caller = job.caller.clone();
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            caller.unpark();
+        }
+    }
+}
+
+/// One thread's result cell; index `t` is written exclusively by thread
+/// `t` while the submitter blocks, so the unsynchronized interior write
+/// is race-free (the `remaining` countdown orders it before the read).
+struct ResultSlot<R>(UnsafeCell<Option<R>>);
+
+unsafe impl<R: Send> Sync for ResultSlot<R> {}
+
+impl<R> ResultSlot<R> {
+    fn new() -> Self {
+        ResultSlot(UnsafeCell::new(None))
+    }
+
+    /// # Safety
+    /// Must be called at most once, by the single thread owning this slot.
+    unsafe fn put(&self, r: R) {
+        unsafe { *self.0.get() = Some(r) };
+    }
+
+    fn into_inner(self) -> Option<R> {
+        self.0.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_thread_id_order() {
+        let pool = WorkerPool::new();
+        let out = pool.run(8, |t| t * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(pool.spawned_workers(), 7);
+    }
+
+    #[test]
+    fn single_thread_runs_inline_without_workers() {
+        let pool = WorkerPool::new();
+        let tid = thread::current().id();
+        let same = pool.run(1, move |_| thread::current().id() == tid);
+        assert_eq!(same, vec![true]);
+        assert_eq!(pool.spawned_workers(), 0);
+    }
+
+    #[test]
+    fn workers_are_reused_not_respawned() {
+        let pool = WorkerPool::new();
+        for i in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            pool.run(4, |t| {
+                sum.fetch_add(i + t as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 4 * i + 6);
+        }
+        assert_eq!(pool.spawned_workers(), 3);
+    }
+
+    #[test]
+    fn pool_grows_when_asked_for_more_threads() {
+        let pool = WorkerPool::new();
+        pool.run(2, |_| ());
+        assert_eq!(pool.spawned_workers(), 1);
+        pool.run(6, |_| ());
+        assert_eq!(pool.spawned_workers(), 5);
+        pool.run(3, |_| ()); // smaller run reuses a subset
+        assert_eq!(pool.spawned_workers(), 5);
+    }
+
+    #[test]
+    fn workers_can_borrow_stack_data() {
+        let pool = WorkerPool::new();
+        let data = [1u64, 2, 3, 4];
+        let doubled = pool.run(4, |t| data[t] * 2);
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, |t| {
+                if t == 2 {
+                    panic!("boom from worker");
+                }
+                t
+            })
+        }));
+        assert!(caught.is_err(), "worker panic must reach the submitter");
+        // The pool must still work after a propagated panic.
+        assert_eq!(pool.run(4, |t| t), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn submitter_panic_waits_for_workers_then_propagates() {
+        let pool = WorkerPool::new();
+        let finished = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, |t| {
+                if t == 0 {
+                    panic!("boom from submitter share");
+                }
+                thread::sleep(std::time::Duration::from_millis(20));
+                finished.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        assert!(caught.is_err());
+        // Workers must have completed before the unwind (the closure
+        // was still borrowed): all 3 non-submitter shares finished.
+        assert_eq!(finished.load(Ordering::SeqCst), 3);
+        assert_eq!(pool.run(2, |t| t), vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_safely() {
+        let pool = Arc::new(WorkerPool::new());
+        let total = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = &total;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        pool.run(3, |t| {
+                            total.fetch_add(t as u64 + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        // 4 submitters × 25 runs × (1+2+3)
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 6);
+    }
+
+    #[test]
+    fn nested_run_from_worker_falls_back_to_spawn() {
+        let pool = WorkerPool::new();
+        let out = pool.run(2, |t| {
+            if t == 1 {
+                // Would deadlock on the run lock without the fallback.
+                global_pool_free_nested_sum()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out[1], 3);
+    }
+
+    fn global_pool_free_nested_sum() -> usize {
+        // Any pool (not just the global one) must detect worker context.
+        let inner = WorkerPool::new();
+        inner.run(3, |t| t).into_iter().sum()
+    }
+
+    #[test]
+    fn nested_run_from_submitter_share_falls_back_to_spawn() {
+        // Thread 0 of a run executes on the submitting thread, which
+        // holds the run lock — a nested run there must spawn, not
+        // self-deadlock.
+        let pool = WorkerPool::new();
+        let out = pool.run(2, |t| {
+            if t == 0 {
+                pool.run(3, |u| u + 1).into_iter().sum()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out[0], 6);
+        // And the flag must reset: a fresh top-level run still pools.
+        assert_eq!(pool.run(2, |t| t), vec![0, 1]);
+    }
+
+    #[test]
+    fn exec_mode_parsing_and_dispatch() {
+        assert_eq!("spawn".parse::<ExecMode>().unwrap(), ExecMode::Spawn);
+        assert_eq!("pool".parse::<ExecMode>().unwrap(), ExecMode::Pool);
+        assert!("fibers".parse::<ExecMode>().is_err());
+        assert_eq!(ExecMode::default(), ExecMode::Spawn);
+        assert_eq!(ExecMode::Spawn.to_string(), "spawn");
+        assert_eq!(ExecMode::Pool.to_string(), "pool");
+        for mode in [ExecMode::Spawn, ExecMode::Pool] {
+            let out = mode.run(4, |t| t + 1);
+            assert_eq!(out, vec![1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new();
+        pool.run(4, |t| t);
+        drop(pool); // must not hang or leak panics
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one thread")]
+    fn zero_threads_rejected() {
+        WorkerPool::new().run(0, |_| ());
+    }
+}

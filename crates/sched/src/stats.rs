@@ -1,6 +1,41 @@
 //! Small measurement utilities shared by the experiment harnesses.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
+
+/// Concurrent high-water mark of the rounds a run actually touched.
+///
+/// Dynamic runs converge in a handful of rounds while `max_iterations`
+/// is 500; [`crate::rounds::RoundCursors`] uses this to size its lazy
+/// block allocation and to report how deep a run really went.
+#[derive(Debug, Default)]
+pub struct RoundStats {
+    /// `1 + highest round index recorded`; 0 = no round touched yet.
+    peak: AtomicUsize,
+}
+
+impl RoundStats {
+    /// Fresh tracker with no rounds recorded.
+    pub fn new() -> Self {
+        RoundStats::default()
+    }
+
+    /// Record that `round` was entered. Sits on the chunk-claim hot
+    /// path, so the common case (round already recorded) is a single
+    /// relaxed load; the `fetch_max` RMW only fires the first few times
+    /// a new deepest round is entered.
+    #[inline]
+    pub fn record_round(&self, round: usize) {
+        if self.peak.load(Ordering::Relaxed) <= round {
+            self.peak.fetch_max(round + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of rounds touched so far (= 1 + highest recorded index).
+    pub fn peak_rounds(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
 
 /// Geometric mean of strictly positive samples; the paper averages
 /// runtimes across graphs this way (§5.1.5). Returns `None` for empty or

@@ -1,0 +1,85 @@
+//! Integration stress tests for the persistent worker pool: one pool
+//! instance reused across hundreds of heterogeneous runs, interleaved
+//! with panics and thread-count changes — the usage profile of a
+//! benchmark process sweeping many PageRank configurations.
+
+use lfpr_sched::pool::WorkerPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+#[test]
+fn one_pool_hundreds_of_runs_varying_closure_types() {
+    let pool = WorkerPool::new();
+    let mut checks = 0usize;
+
+    for round in 0..120u64 {
+        // Closure type 1: pure function of the thread id, returns usize.
+        let ids = pool.run(4, |t| t * 2);
+        assert_eq!(ids, vec![0, 2, 4, 6]);
+
+        // Closure type 2: borrows round-local stack data, returns String.
+        let labels = [format!("a{round}"), "b".into(), "c".into(), "d".into()];
+        let tagged = pool.run(4, |t| format!("{}:{t}", labels[t]));
+        assert_eq!(tagged[0], format!("a{round}:0"));
+        assert_eq!(tagged[3], "d:3");
+
+        // Closure type 3: shared atomic accumulation, returns ().
+        let sum = AtomicU64::new(0);
+        pool.run(4, |t| {
+            for i in 0..100u64 {
+                sum.fetch_add(i + t as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4 * 4950 + 100 * 6);
+
+        // Closure type 4: varying team width, returns a heap value.
+        let width = 2 + (round as usize % 5); // 2..=6 threads
+        let vecs = pool.run(width, |t| vec![t; t]);
+        assert_eq!(vecs.len(), width);
+        assert!(vecs.iter().enumerate().all(|(t, v)| v.len() == t));
+
+        checks += 4;
+    }
+
+    assert_eq!(checks, 480);
+    // The team was spawned once and only grew to the widest run.
+    assert_eq!(pool.spawned_workers(), 5);
+}
+
+#[test]
+fn panics_interleaved_with_normal_runs_do_not_wedge_the_pool() {
+    let pool = WorkerPool::new();
+    let completed = AtomicUsize::new(0);
+    for i in 0..50usize {
+        if i % 7 == 3 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(4, |t| {
+                    if t == i % 4 {
+                        panic!("injected panic in run {i}");
+                    }
+                })
+            }));
+            assert!(r.is_err(), "run {i} must propagate its panic");
+        } else {
+            let out = pool.run(4, |t| t + i);
+            assert_eq!(out, vec![i, i + 1, i + 2, i + 3]);
+            completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    assert_eq!(completed.load(Ordering::Relaxed), 43);
+}
+
+#[test]
+fn heavy_reuse_with_contention_keeps_results_ordered() {
+    // The bb/lf engines depend on results arriving in thread-id order;
+    // hammer that invariant across many short runs.
+    let pool = WorkerPool::new();
+    for _ in 0..200 {
+        let out = pool.run(8, |t| {
+            // Unequal work so finish order != id order.
+            std::hint::black_box((0..(8 - t) * 500).sum::<usize>());
+            t
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,12 +1,32 @@
 //! Property-based tests for the scheduling and fault-injection
 //! primitives.
 
-use lfpr_sched::chunks::ChunkCursor;
+use lfpr_sched::chunks::{ChunkCursor, ChunkPolicy};
 use lfpr_sched::fault::{crashed_set, FaultAction, FaultPlan};
 use lfpr_sched::rounds::RoundCursors;
 use lfpr_sched::stats::geometric_mean;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Decode one of the three chunk policies from drawn integers, with
+/// parameters spanning degenerate (1) through larger-than-range sizes.
+fn decode_policy(sel: u8, base: usize) -> ChunkPolicy {
+    match sel % 3 {
+        0 => ChunkPolicy::Fixed(base),
+        1 => ChunkPolicy::Guided { min: base },
+        _ => ChunkPolicy::DegreeWeighted { chunk: base },
+    }
+}
+
+/// Synthetic skewed out-degree: a few hubs, a power-ish tail, zeros.
+fn degree_of(v: usize) -> usize {
+    match v % 97 {
+        0 => 500,
+        k if k < 10 => 40,
+        k if k < 60 => 3,
+        _ => 0,
+    }
+}
 
 proptest! {
     /// A cursor partitions its range exactly, for any (len, chunk) pair.
@@ -46,13 +66,19 @@ proptest! {
         prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
-    /// Rounds are independent index spaces.
+    /// Rounds are independent index spaces, for every chunk policy.
     #[test]
-    fn rounds_independent(len in 1usize..2000, rounds in 1usize..8, chunk in 1usize..128) {
-        let rc = RoundCursors::new(len, rounds);
+    fn rounds_independent(
+        len in 1usize..2000,
+        rounds in 1usize..8,
+        sel in 0u8..3,
+        base in 1usize..128,
+    ) {
+        let plan = decode_policy(sel, base).plan_weighted(len, 4, degree_of);
+        let rc = RoundCursors::new(plan, rounds);
         // Drain even rounds only.
         for r in (0..rounds).step_by(2) {
-            while rc.next_chunk(r, chunk).is_some() {}
+            while rc.next_chunk(r).is_some() {}
         }
         for r in 0..rounds {
             if r % 2 == 0 {
@@ -61,6 +87,62 @@ proptest! {
                 prop_assert!(!rc.round(r).is_drained() || len == 0);
             }
         }
+    }
+
+    /// Every chunk policy compiles into a plan that partitions `0..len`
+    /// exactly — contiguous, non-empty chunks, jointly covering the
+    /// range — for any (policy, len, threads) combination.
+    #[test]
+    fn every_policy_partitions_range(
+        sel in 0u8..3,
+        base in 1usize..4096,
+        len in 0usize..30_000,
+        threads in 1usize..16,
+    ) {
+        let policy = decode_policy(sel, base);
+        for plan in [
+            policy.plan(len, threads),
+            policy.plan_weighted(len, threads, degree_of),
+        ] {
+            prop_assert_eq!(plan.len(), len);
+            let mut pos = 0usize;
+            let n = plan.num_chunks();
+            for i in 0..n {
+                let r = plan.chunk(i);
+                prop_assert_eq!(r.start, pos, "gap/overlap at chunk {}", i);
+                prop_assert!(r.end > r.start, "empty chunk {}", i);
+                pos = r.end;
+            }
+            prop_assert_eq!(pos, len, "range not fully covered");
+        }
+    }
+
+    /// Satellite acceptance: under 8-thread contention, a cursor over
+    /// any policy's plan hands out every index exactly once.
+    #[test]
+    fn every_policy_claims_exactly_once_contended(
+        sel in 0u8..3,
+        base in 1usize..2048,
+        len in 1usize..25_000,
+    ) {
+        let plan = decode_policy(sel, base).plan_weighted(len, 8, degree_of);
+        let cursor = plan.cursor();
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cursor = &cursor;
+                let hits = &hits;
+                s.spawn(move || {
+                    while let Some(r) = cursor.next_chunk() {
+                        for i in r {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        prop_assert!(cursor.is_drained());
     }
 
     /// The crashed subset is deterministic in the seed, has the right
