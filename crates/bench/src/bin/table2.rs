@@ -1,19 +1,84 @@
 //! Table 2 — the 12-graph SuiteSparse substitute suite.
 //!
 //! Prints |V|, |E| (with self-loops, as the paper counts), and Davg for
-//! every generated graph, grouped by class, mirroring the paper's table.
+//! every graph, grouped by class, mirroring the paper's table.
+//!
+//! Three input modes:
+//!
+//! * default — generate the scaled suite in memory (the seed behavior);
+//! * `--format <snap|mtx>` — additionally write every generated graph
+//!   as a real-format fixture under `target/fixtures/`, stream it back
+//!   through the ingestion subsystem, verify the round trip, and run a
+//!   PageRank kernel on the *loaded* snapshot: the full
+//!   disk → parse → CSR → kernel path, downloader-free;
+//! * `--graph <path> [--format <snap|mtx>]` — load one real
+//!   SuiteSparse/SNAP file from disk (format guessed from the extension
+//!   unless given) and report its stats + kernel run.
 
-use lfpr_bench::setup::{scaled_suite, CliArgs};
-use lfpr_graph::analysis::stats;
+use lfpr_bench::setup::{load_real_graph, scaled_opts, scaled_suite, suite_reduction, CliArgs};
+use lfpr_core::{api, Algorithm};
+use lfpr_graph::analysis::{stats, GraphStats};
 use lfpr_graph::generators::GraphClass;
+use lfpr_graph::io::{fixtures, stream};
+use lfpr_graph::DynGraph;
+
+fn print_header() {
+    println!(
+        "{:<20} {:<8} {:>10} {:>12} {:>8} {:>10} {:>10} {:>8} {:>12}",
+        "Graph", "class", "|V|", "|E|", "Davg", "maxOutDeg", "deadEnds", "iters", "rank_ms"
+    );
+}
+
+fn print_row(name: &str, class: &str, st: &GraphStats, kernel: Option<(usize, f64)>) {
+    let (iters, ms) = kernel
+        .map(|(i, ms)| (i.to_string(), format!("{ms:.2}")))
+        .unwrap_or_else(|| ("-".into(), "-".into()));
+    println!(
+        "{:<20} {:<8} {:>10} {:>12} {:>8.1} {:>10} {:>10} {:>8} {:>12}",
+        name, class, st.n, st.m, st.avg_out_degree, st.max_out_degree, st.dead_ends, iters, ms
+    );
+}
+
+/// Run the Static LF kernel on the loaded graph — the tail of the
+/// disk → parse → CSR → kernel path. Returns (iterations, millis).
+fn run_kernel(g: &DynGraph, args: &CliArgs) -> (usize, f64) {
+    let s = g.snapshot();
+    let opts = scaled_opts(suite_reduction(args.scale), args.threads).with_schedule(args.schedule);
+    let t0 = std::time::Instant::now();
+    let res = api::run_static(Algorithm::StaticLF, &s, &opts);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        res.status.is_success(),
+        "StaticLF did not converge: {:?}",
+        res.status
+    );
+    (res.iterations, ms)
+}
 
 fn main() {
     let args = CliArgs::parse(1.0);
-    println!("Table 2: large-graph suite (scale = {})", args.scale);
-    println!(
-        "{:<20} {:<8} {:>10} {:>12} {:>8} {:>10} {:>10}",
-        "Graph", "class", "|V|", "|E|", "Davg", "maxOutDeg", "deadEnds"
-    );
+
+    // Single real graph from disk.
+    if let Some(path) = &args.graph {
+        let g = load_real_graph(path, args.format);
+        let st = stats(&g.snapshot());
+        println!("Table 2: real graph via streaming loader");
+        print_header();
+        let kernel = run_kernel(&g, &args);
+        print_row(path, "real", &st, Some(kernel));
+        return;
+    }
+
+    let fixture_format = args.format;
+    match fixture_format {
+        Some(f) => println!(
+            "Table 2: large-graph suite (scale = {}) via {f} fixtures in {}",
+            args.scale,
+            fixtures::fixtures_dir().display()
+        ),
+        None => println!("Table 2: large-graph suite (scale = {})", args.scale),
+    }
+    print_header();
     let mut last_class: Option<GraphClass> = None;
     for entry in scaled_suite(args.scale) {
         if last_class != Some(entry.class) {
@@ -26,18 +91,33 @@ fn main() {
             println!("--- {label}");
             last_class = Some(entry.class);
         }
-        let g = entry.generate(args.seed);
+        let generated = entry.generate(args.seed);
+        let (g, kernel) = match fixture_format {
+            // Fixture mode: write the real on-disk format, stream it
+            // back, and verify the round trip is lossless before the
+            // kernel sees it.
+            Some(format) => {
+                let path = fixtures::write_fixture(
+                    &fixtures::fixtures_dir(),
+                    entry.name,
+                    format,
+                    &generated,
+                )
+                .unwrap_or_else(|e| panic!("{}: fixture write failed: {e}", entry.name));
+                let loaded = stream::load_graph(&path, format)
+                    .unwrap_or_else(|e| panic!("{}: streaming load failed: {e}", path.display()));
+                assert_eq!(
+                    loaded, generated,
+                    "{}: disk round trip must be lossless",
+                    entry.name
+                );
+                let kernel = run_kernel(&loaded, &args);
+                (loaded, Some(kernel))
+            }
+            None => (generated, None),
+        };
         let st = stats(&g.snapshot());
-        println!(
-            "{:<20} {:<8} {:>10} {:>12} {:>8.1} {:>10} {:>10}",
-            entry.name,
-            format!("{:?}", entry.class),
-            st.n,
-            st.m,
-            st.avg_out_degree,
-            st.max_out_degree,
-            st.dead_ends
-        );
+        print_row(entry.name, &format!("{:?}", entry.class), &st, kernel);
         assert_eq!(st.dead_ends, 0, "self-loop elimination must hold");
     }
 }

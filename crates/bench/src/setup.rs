@@ -4,7 +4,9 @@
 use lfpr_core::reference::reference_default;
 use lfpr_core::{PagerankOptions, Schedule};
 use lfpr_graph::generators::{table2_suite, SuiteEntry};
-use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
+use lfpr_graph::io::stream;
+use lfpr_graph::selfloops::add_self_loops;
+use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, GraphFormat, Snapshot};
 
 /// A fully prepared dynamic-update experiment instance.
 pub struct Prepared {
@@ -103,8 +105,10 @@ pub const TEMPORAL_REDUCTION: f64 = 100.0;
 /// Minimal CLI: `--scale <f>`, `--seed <n>`, `--threads <n>`,
 /// `--schedule <fixed[:c]|guided[:min]|degree[:c]>`,
 /// `--executor <spawn|pool>`, `--full` (scale 1.0; default scale is
-/// experiment-specific).
-#[derive(Debug, Clone, Copy)]
+/// experiment-specific), plus the real-graph ingestion flags
+/// `--graph <path>` and `--format <snap|mtx>` (consumed by the bins
+/// that support real inputs, e.g. `table2` and `ingest_bench`).
+#[derive(Debug, Clone)]
 pub struct CliArgs {
     /// Graph-size multiplier.
     pub scale: f64,
@@ -114,6 +118,12 @@ pub struct CliArgs {
     pub threads: usize,
     /// Chunk policy + executor (default: the paper's spawn + fixed:2048).
     pub schedule: Schedule,
+    /// Real graph input file (`--graph`), streamed from disk instead of
+    /// generated.
+    pub graph: Option<String>,
+    /// On-disk format for `--graph` / fixture modes (`--format`);
+    /// `None` = guess from the extension.
+    pub format: Option<GraphFormat>,
 }
 
 impl CliArgs {
@@ -138,6 +148,8 @@ impl CliArgs {
             seed: 42,
             threads: lfpr_sched::executor::default_threads().max(4),
             schedule: Schedule::default(),
+            graph: None,
+            format: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -180,6 +192,22 @@ impl CliArgs {
                         .unwrap_or_else(|| panic!("--executor needs spawn or pool"));
                     i += 2;
                 }
+                "--graph" => {
+                    out.graph = Some(
+                        args.get(i + 1)
+                            .cloned()
+                            .unwrap_or_else(|| panic!("--graph needs a path")),
+                    );
+                    i += 2;
+                }
+                "--format" => {
+                    out.format = Some(
+                        args.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| panic!("--format needs snap or mtx")),
+                    );
+                    i += 2;
+                }
                 "--full" => {
                     out.scale = 1.0;
                     i += 1;
@@ -198,11 +226,23 @@ impl CliArgs {
     }
 }
 
+/// Load a real graph file through the streaming ingestion subsystem
+/// (`--graph` mode), guessing the format from the extension unless one
+/// is given, and apply the paper's self-loop dead-end elimination
+/// (§5.1.3) exactly as the generated path does.
+pub fn load_real_graph(path: &str, format: Option<GraphFormat>) -> DynGraph {
+    let format = format.unwrap_or_else(|| GraphFormat::detect(path));
+    let mut g = stream::load_graph(path, format).unwrap_or_else(|e| {
+        panic!("cannot load {path} as {format}: {e}");
+    });
+    add_self_loops(&mut g);
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lfpr_graph::generators::erdos_renyi;
-    use lfpr_graph::selfloops::add_self_loops;
 
     #[test]
     fn prepare_produces_consistent_instance() {
@@ -219,6 +259,18 @@ mod tests {
         // Reference is a fixpoint of curr, prev_ranks of prev.
         assert!((p.prev_ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((p.reference.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_real_graph_streams_and_self_loops() {
+        let g = erdos_renyi(50, 200, 7);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lfpr_setup_real_{}.mtx", std::process::id()));
+        lfpr_graph::io::fixtures::write_mtx(&path, &g).unwrap();
+        let loaded = load_real_graph(path.to_str().unwrap(), None);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.num_vertices(), 50);
+        assert!(lfpr_graph::selfloops::all_have_self_loops(&loaded));
     }
 
     #[test]

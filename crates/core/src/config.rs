@@ -54,6 +54,11 @@ pub struct PagerankOptions {
     /// `pool` + `guided`/`degree` is the fast path for processes running
     /// many updates (see `lfpr_sched::Schedule`).
     pub schedule: Schedule,
+    /// Precompiled vertex chunk plan, reused by [`Self::vertex_plan`]
+    /// whenever the vertex count matches (see
+    /// [`Self::precompile_vertex_plan`]). `None` (the default) compiles
+    /// a fresh plan per run.
+    pub vertex_plan_cache: Option<ChunkPlan>,
 }
 
 impl Default for PagerankOptions {
@@ -70,6 +75,7 @@ impl Default for PagerankOptions {
             convergence: ConvergenceMode::PerVertex,
             faults: FaultPlan::none(),
             schedule: Schedule::default(),
+            vertex_plan_cache: None,
         }
     }
 }
@@ -80,6 +86,7 @@ impl PagerankOptions {
     pub fn with_threads(mut self, n: usize) -> Self {
         assert!(n > 0);
         self.num_threads = n;
+        self.vertex_plan_cache = None;
         self
     }
 
@@ -108,6 +115,7 @@ impl PagerankOptions {
         if let ChunkPolicy::Fixed(_) = self.schedule.policy {
             self.schedule.policy = ChunkPolicy::Fixed(c);
         }
+        self.vertex_plan_cache = None;
         self
     }
 
@@ -118,6 +126,7 @@ impl PagerankOptions {
         if let ChunkPolicy::Fixed(c) = schedule.policy {
             self.chunk_size = c; // keep the two knobs coherent
         }
+        self.vertex_plan_cache = None;
         self
     }
 
@@ -142,15 +151,49 @@ impl PagerankOptions {
     /// get balanced chunks. Per-chunk convergence flags
     /// ([`ConvergenceMode::PerChunk`]) assume chunks align with the
     /// fixed `chunk_size` flag granularity, so that mode pins the plan
-    /// to `Fixed(chunk_size)` regardless of policy.
+    /// to `Fixed(chunk_size)` regardless of policy (and ignores the
+    /// cache, whose chunks may not align with the flags).
+    ///
+    /// When a plan was precompiled via
+    /// [`Self::precompile_vertex_plan`] and its length matches `n`, it
+    /// is reused instead of re-walking the O(n) degree prefix — sweeps
+    /// rerun the same instance many times and the compile cost rivals a
+    /// small dynamic update.
     pub fn vertex_plan(&self, g: &Snapshot) -> ChunkPlan {
-        let n = g.num_vertices();
         if matches!(self.convergence, ConvergenceMode::PerChunk) {
-            return ChunkPolicy::Fixed(self.chunk_size).plan(n, self.num_threads);
+            return ChunkPolicy::Fixed(self.chunk_size).plan(g.num_vertices(), self.num_threads);
         }
+        if let Some(plan) = &self.vertex_plan_cache {
+            if plan.len() == g.num_vertices() {
+                return plan.clone();
+            }
+        }
+        self.compute_vertex_plan(g)
+    }
+
+    /// Compile the policy plan (the PerChunk pin lives solely in
+    /// [`Self::vertex_plan`], which also short-circuits the cache there).
+    fn compute_vertex_plan(&self, g: &Snapshot) -> ChunkPlan {
+        let n = g.num_vertices();
         self.schedule
             .policy
             .plan_weighted(n, self.num_threads, |v| 1 + g.out_degree(v as u32) as usize)
+    }
+
+    /// Compile the vertex plan for graphs shaped like `g` once and cache
+    /// it on these options. Runs over any graph with the **same vertex
+    /// count** reuse the cached boundaries — for dynamic sweeps the
+    /// vertex set is fixed (§3.4) and a batch perturbs degrees by a
+    /// negligible fraction, so the balance hint stays valid across
+    /// `prev`/`curr` and across repetitions. Every scheduling-knob
+    /// setter ([`Self::with_schedule`], [`Self::with_chunk_policy`],
+    /// [`Self::with_chunk_size`], [`Self::with_threads`],
+    /// [`Self::with_convergence`]) drops the cache so it can never
+    /// describe a stale policy.
+    #[must_use]
+    pub fn precompile_vertex_plan(mut self, g: &Snapshot) -> Self {
+        self.vertex_plan_cache = Some(self.compute_vertex_plan(g));
+        self
     }
 
     /// Chunk size for the phase-1 edge-batch cursors (initial marking).
@@ -174,6 +217,7 @@ impl PagerankOptions {
     #[must_use]
     pub fn with_convergence(mut self, mode: ConvergenceMode) -> Self {
         self.convergence = mode;
+        self.vertex_plan_cache = None;
         self
     }
 
@@ -297,6 +341,41 @@ mod tests {
         let plan = o.vertex_plan(&g);
         assert_eq!(plan.num_chunks(), 100usize.div_ceil(16));
         assert_eq!(plan.chunk(0), 0..16);
+    }
+
+    #[test]
+    fn precompiled_plan_reused_and_invalidated() {
+        let g = Snapshot::from_edges(100, &[(0, 1), (0, 2), (0, 3), (1, 0)]);
+        let o = PagerankOptions::default()
+            .with_threads(4)
+            .with_chunk_policy(ChunkPolicy::DegreeWeighted { chunk: 16 })
+            .precompile_vertex_plan(&g);
+        assert!(o.vertex_plan_cache.is_some());
+        let cached = o.vertex_plan(&g);
+        let fresh = o.compute_vertex_plan(&g);
+        assert_eq!(cached.num_chunks(), fresh.num_chunks());
+        for i in 0..cached.num_chunks() {
+            assert_eq!(cached.chunk(i), fresh.chunk(i));
+        }
+        // A different-sized graph must not reuse the cached boundaries.
+        let g2 = Snapshot::from_edges(50, &[(0, 1)]);
+        assert_eq!(o.vertex_plan(&g2).len(), 50);
+        // Scheduling setters drop the cache.
+        assert!(o
+            .clone()
+            .with_chunk_policy(ChunkPolicy::Fixed(8))
+            .vertex_plan_cache
+            .is_none());
+        assert!(o.clone().with_threads(2).vertex_plan_cache.is_none());
+        assert!(o.clone().with_chunk_size(8).vertex_plan_cache.is_none());
+        // Per-chunk convergence pins to the flag granularity, cache or not.
+        let o = o
+            .with_chunk_size(16)
+            .precompile_vertex_plan(&g)
+            .with_convergence(ConvergenceMode::PerChunk);
+        assert!(o.vertex_plan_cache.is_none());
+        let o = o.precompile_vertex_plan(&g);
+        assert_eq!(o.vertex_plan(&g).chunk(0), 0..16);
     }
 
     #[test]

@@ -81,8 +81,7 @@ impl GraphBuilder {
                 edges.push((v, u));
             }
         }
-        edges.sort_unstable();
-        edges.dedup();
+        crate::digraph::sort_dedup(&mut edges);
         Ok(edges)
     }
 

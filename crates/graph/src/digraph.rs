@@ -44,6 +44,26 @@ impl DynGraph {
         }
     }
 
+    /// Build from an arbitrary edge list: validates vertex ids against
+    /// `n`, then sorts and deduplicates. This is the single merge point
+    /// for every loader (streaming and buffered) and the builder.
+    pub fn from_edges(n: usize, mut edges: Vec<Edge>) -> Result<Self> {
+        for &(u, v) in &edges {
+            let bad = if (u as usize) >= n {
+                Some(u)
+            } else if (v as usize) >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(vertex) = bad {
+                return Err(GraphError::VertexOutOfRange { vertex, n });
+            }
+        }
+        sort_dedup(&mut edges);
+        Ok(DynGraph::from_sorted_edges(n, &edges))
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -201,6 +221,13 @@ impl DynGraph {
     }
 }
 
+/// Sort and deduplicate an edge list in place — the normal form
+/// expected by [`DynGraph::from_sorted_edges`] and CSR construction.
+pub(crate) fn sort_dedup(edges: &mut Vec<Edge>) {
+    edges.sort_unstable();
+    edges.dedup();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +239,24 @@ mod tests {
         g.insert_edge(1, 2).unwrap();
         g.insert_edge(2, 0).unwrap();
         g
+    }
+
+    #[test]
+    fn from_edges_sorts_dedups_and_validates() {
+        let g = DynGraph::from_edges(4, vec![(2, 0), (0, 1), (2, 0), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(2), &[0]);
+        assert!(matches!(
+            DynGraph::from_edges(2, vec![(0, 5)]),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+        assert!(matches!(
+            DynGraph::from_edges(2, vec![(7, 0)]),
+            Err(GraphError::VertexOutOfRange { vertex: 7, .. })
+        ));
+        // n larger than any id: trailing isolated vertices survive.
+        let g = DynGraph::from_edges(10, vec![(0, 1)]).unwrap();
+        assert_eq!(g.num_vertices(), 10);
     }
 
     #[test]

@@ -1,23 +1,63 @@
 //! Whitespace-separated edge-list I/O (SNAP style).
 //!
 //! Format: one `u v` pair per line; `#` or `%` lines are comments. A third
-//! column (weight or timestamp) is tolerated and ignored. Vertex ids are
-//! compacted: the file's max id + 1 becomes the vertex count.
+//! column (weight or timestamp) is tolerated and ignored. The SNAP
+//! `# Nodes: N Edges: M` comment header, when present among the leading
+//! comments, fixes the vertex count: `n = max(N, max_id + 1)`, so
+//! trailing isolated vertices survive a round trip. Without a header,
+//! `n = max_id + 1` (the seed behavior).
+//!
+//! [`read_edge_list`] goes through the streaming parser
+//! ([`super::stream`]); the line-by-line [`parse_edge_list`] /
+//! [`read_edge_list_buffered`] pair is kept for in-memory readers and as
+//! the baseline the `ingest_bench` binary measures against.
 
+use super::stream::{self, GraphFormat};
 use crate::digraph::DynGraph;
 use crate::types::{Edge, GraphError, Result};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
-/// Parse an edge list from any reader. Returns `(n, edges)` where `n` is
-/// `max_id + 1`.
+/// Parse the SNAP `# Nodes: N Edges: M` header out of one comment line
+/// (leading `#`/`%` markers already present). Returns `(nodes, edges)`;
+/// the `Edges:` count is optional and reported as 0 when absent.
+pub(crate) fn snap_header(comment: &str) -> Option<(usize, usize)> {
+    let mut nodes = None;
+    let mut edges = 0usize;
+    let mut toks = comment.trim_start_matches(['#', '%']).split_whitespace();
+    while let Some(tok) = toks.next() {
+        if tok.eq_ignore_ascii_case("nodes:") {
+            nodes = toks.next().and_then(|t| t.parse().ok());
+        } else if tok.eq_ignore_ascii_case("edges:") {
+            if let Some(m) = toks.next().and_then(|t| t.parse().ok()) {
+                edges = m;
+            }
+        }
+    }
+    nodes.map(|n| (n, edges))
+}
+
+/// Parse an edge list from any reader (line-by-line; see module docs
+/// for the streaming alternative). Returns `(n, edges)` where `n` is
+/// `max(header N, max_id + 1)`.
 pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> {
     let mut edges = Vec::new();
     let mut max_id = 0u32;
+    let mut declared_n = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
         let t = line.trim();
-        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('#') || t.starts_with('%') {
+            // Only leading comments carry the SNAP header (same rule as
+            // the streaming parser, which never scans body comments).
+            if edges.is_empty() {
+                if let Some((n, _m)) = snap_header(t) {
+                    declared_n = declared_n.max(n);
+                }
+            }
             continue;
         }
         let mut parts = t.split_whitespace();
@@ -35,35 +75,37 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> {
         edges.push((u, v));
     }
     let n = if edges.is_empty() {
-        0
+        declared_n
     } else {
-        max_id as usize + 1
+        declared_n.max(max_id as usize + 1)
     };
     Ok((n, edges))
 }
 
-/// Read an edge-list file into a deduplicated [`DynGraph`].
+/// Read an edge-list file into a deduplicated [`DynGraph`] through the
+/// streaming parser (mmap + parallel chunk parse).
 pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<DynGraph> {
-    let file = std::fs::File::open(path.as_ref())
-        .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
-    let (n, mut edges) = parse_edge_list(std::io::BufReader::new(file))?;
-    edges.sort_unstable();
-    edges.dedup();
-    Ok(crate::digraph::DynGraph::from_sorted_edges(n, &edges))
+    stream::load_graph(path, GraphFormat::Snap)
 }
 
-/// Write a graph as a `u v` edge list with a header comment.
+/// Read an edge-list file through the line-by-line `BufRead` parser
+/// (the seed loader). Kept as the reference/baseline implementation;
+/// prefer [`read_edge_list`].
+pub fn read_edge_list_buffered<P: AsRef<Path>>(path: P) -> Result<DynGraph> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
+    let (n, edges) = parse_edge_list(std::io::BufReader::new(file))?;
+    DynGraph::from_edges(n, edges)
+}
+
+/// Write a graph as a `u v` edge list with a SNAP-style `# Nodes: N
+/// Edges: M` header, so a round trip preserves isolated vertices.
 pub fn write_edge_list<P: AsRef<Path>>(path: P, g: &DynGraph) -> Result<()> {
     let file = std::fs::File::create(path.as_ref())
         .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
     let mut w = BufWriter::new(file);
     let mut emit = || -> std::io::Result<()> {
-        writeln!(
-            w,
-            "# vertices: {} edges: {}",
-            g.num_vertices(),
-            g.num_edges()
-        )?;
+        writeln!(w, "# Nodes: {} Edges: {}", g.num_vertices(), g.num_edges())?;
         for (u, v) in g.edges() {
             writeln!(w, "{u} {v}")?;
         }
@@ -93,6 +135,35 @@ mod tests {
     }
 
     #[test]
+    fn parse_snap_header_fixes_vertex_count() {
+        let (n, edges) = parse_edge_list(Cursor::new("# Nodes: 9 Edges: 2\n0 1\n1 2\n")).unwrap();
+        assert_eq!(n, 9, "isolated vertices 3..9 must not vanish");
+        assert_eq!(edges.len(), 2);
+        // Header never shrinks below the observed ids.
+        let (n, _) = parse_edge_list(Cursor::new("# Nodes: 2 Edges: 1\n0 7\n")).unwrap();
+        assert_eq!(n, 8);
+        // Header alone: all-isolated graph.
+        let (n, edges) = parse_edge_list(Cursor::new("# Nodes: 4 Edges: 0\n")).unwrap();
+        assert_eq!(n, 4);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn snap_header_tokenizer() {
+        assert_eq!(
+            snap_header("# Nodes: 875713 Edges: 5105039"),
+            Some((875713, 5105039))
+        );
+        assert_eq!(snap_header("# Nodes: 12"), Some((12, 0)));
+        assert_eq!(snap_header("# nodes: 3 edges: 4"), Some((3, 4)));
+        assert_eq!(
+            snap_header("# Directed graph (each unordered pair once)"),
+            None
+        );
+        assert_eq!(snap_header("# Nodes: x Edges: 4"), None);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(parse_edge_list(Cursor::new("0 x\n")).is_err());
         assert!(parse_edge_list(Cursor::new("0\n")).is_err());
@@ -107,15 +178,16 @@ mod tests {
         let path = std::env::temp_dir().join("lfpr_edge_list_roundtrip.txt");
         write_edge_list(&path, &g).unwrap();
         let g2 = read_edge_list(&path).unwrap();
+        let g3 = read_edge_list_buffered(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(g.num_edges(), g2.num_edges());
-        for (u, v) in g.edges() {
-            assert!(g2.has_edge(u, v));
-        }
+        // The header preserves the full vertex set (vertex 2 is isolated).
+        assert_eq!(g, g2);
+        assert_eq!(g, g3);
     }
 
     #[test]
     fn read_missing_file_errors() {
         assert!(read_edge_list("/nonexistent/definitely/missing.txt").is_err());
+        assert!(read_edge_list_buffered("/nonexistent/definitely/missing.txt").is_err());
     }
 }

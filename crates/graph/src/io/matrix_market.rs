@@ -1,29 +1,125 @@
 //! Minimal MatrixMarket (`.mtx`) coordinate reader for SuiteSparse graphs.
 //!
 //! Supports `matrix coordinate (pattern|real|integer) (general|symmetric)`.
-//! Symmetric matrices are expanded to both directions, matching the
-//! paper's treatment of undirected graphs (§5.1.3). Values are ignored
-//! (PageRank is unweighted here). MatrixMarket is 1-indexed; we shift to
-//! 0-indexed.
+//! Qualifiers are matched as exact tokens: `skew-symmetric` no longer
+//! sneaks in via a `contains("symmetric")` substring check, and `complex`
+//! (two value columns) is rejected with a clear error instead of being
+//! misparsed. Symmetric matrices are expanded to both directions,
+//! matching the paper's treatment of undirected graphs (§5.1.3). Values
+//! are ignored (PageRank is unweighted here). MatrixMarket is 1-indexed;
+//! we shift to 0-indexed.
+//!
+//! The declared `nnz` is never trusted: pre-allocation is capped and the
+//! actual entry count is checked against it, so truncated (or padded)
+//! files error instead of parsing silently.
+//!
+//! [`read_matrix_market`] goes through the streaming parser
+//! ([`super::stream`]); the line-by-line [`parse_matrix_market`] /
+//! [`read_matrix_market_buffered`] pair is kept for in-memory readers
+//! and as the `ingest_bench` baseline.
 
+use super::stream::{self, GraphFormat};
 use crate::digraph::DynGraph;
 use crate::types::{Edge, GraphError, Result};
 use std::io::BufRead;
 use std::path::Path;
 
-/// Parse MatrixMarket coordinate data from a reader.
+/// Cap on `Vec::with_capacity` derived from the untrusted size line: a
+/// hostile `nnz` must not trigger a giant allocation before the count
+/// check has a chance to run. 2^20 edges ≈ 8 MiB.
+pub(crate) const MAX_MTX_PREALLOC: usize = 1 << 20;
+
+/// The subset of the MatrixMarket banner this reader supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MtxHeader {
+    /// `symmetric` (exactly — not `skew-symmetric`): expand both ways.
+    pub symmetric: bool,
+    /// `real`/`integer`: one value column must follow the indices.
+    pub has_value: bool,
+}
+
+/// Parse the banner line (`%%MatrixMarket object format field symmetry`)
+/// with exact token matching and clear errors for unsupported qualifiers.
+pub(crate) fn parse_mtx_header(line: &str) -> Result<MtxHeader> {
+    let unsupported = |what: &str, tok: &str| {
+        GraphError::Parse(format!("unsupported MatrixMarket {what}: {tok}"))
+    };
+    let mut toks = line.split_whitespace();
+    let banner = toks.next().unwrap_or("");
+    if !banner.eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(GraphError::Parse(format!("unsupported header: {line}")));
+    }
+    match toks.next() {
+        Some(t) if t.eq_ignore_ascii_case("matrix") => {}
+        t => return Err(unsupported("object", t.unwrap_or("<missing>"))),
+    }
+    match toks.next() {
+        Some(t) if t.eq_ignore_ascii_case("coordinate") => {}
+        t => return Err(unsupported("format", t.unwrap_or("<missing>"))),
+    }
+    let has_value = match toks.next().map(str::to_ascii_lowercase).as_deref() {
+        Some("pattern") => false,
+        Some("real") | Some("integer") => true,
+        Some("complex") => {
+            return Err(GraphError::Parse(
+                "unsupported MatrixMarket field: complex (two value columns)".into(),
+            ))
+        }
+        t => return Err(unsupported("field", t.unwrap_or("<missing>"))),
+    };
+    let symmetric = match toks.next().map(str::to_ascii_lowercase).as_deref() {
+        Some("general") => false,
+        Some("symmetric") => true,
+        Some(t @ ("skew-symmetric" | "hermitian")) => return Err(unsupported("symmetry", t)),
+        t => return Err(unsupported("symmetry", t.unwrap_or("<missing>"))),
+    };
+    Ok(MtxHeader {
+        symmetric,
+        has_value,
+    })
+}
+
+/// Reject MatrixMarket dimensions that cannot be indexed by the `u32`
+/// vertex ids this crate uses (§5.1.2): with `n ≤ u32::MAX + 1` every
+/// in-range 1-indexed entry shifts to a valid id without wrapping (on
+/// a 64-bit `usize`, an unchecked `(u - 1) as u32` would silently
+/// truncate ids above 2^32).
+pub(crate) fn check_mtx_dims(n: usize) -> Result<()> {
+    if n > (u32::MAX as usize).saturating_add(1) {
+        return Err(GraphError::Parse(format!(
+            "matrix dimension {n} exceeds the u32 vertex-id space"
+        )));
+    }
+    Ok(())
+}
+
+/// Parse the size line: exactly `rows cols nnz`.
+pub(crate) fn parse_mtx_size(line: &str) -> Result<(usize, usize, usize)> {
+    let dims: Vec<usize> = line
+        .split_whitespace()
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| GraphError::Parse(e.to_string()))
+        })
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(GraphError::Parse(format!("bad size line: {line}")));
+    }
+    Ok((dims[0], dims[1], dims[2]))
+}
+
+/// Parse MatrixMarket coordinate data from a reader (line-by-line; see
+/// module docs for the streaming alternative).
 pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> {
     let mut lines = reader.lines();
     let header = lines
         .next()
         .ok_or_else(|| GraphError::Parse("empty file".into()))?
         .map_err(|e| GraphError::Parse(e.to_string()))?;
-    let h = header.to_ascii_lowercase();
-    if !h.starts_with("%%matrixmarket matrix coordinate") {
-        return Err(GraphError::Parse(format!("unsupported header: {header}")));
-    }
-    let symmetric = h.contains("symmetric");
-    let has_value = !h.contains("pattern");
+    let MtxHeader {
+        symmetric,
+        has_value,
+    } = parse_mtx_header(&header)?;
 
     // Skip comments, read size line.
     let mut size_line = None;
@@ -37,19 +133,17 @@ pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> 
         break;
     }
     let size_line = size_line.ok_or_else(|| GraphError::Parse("missing size line".into()))?;
-    let dims: Vec<usize> = size_line
-        .split_whitespace()
-        .map(|s| {
-            s.parse::<usize>()
-                .map_err(|e| GraphError::Parse(e.to_string()))
-        })
-        .collect::<Result<_>>()?;
-    if dims.len() != 3 {
-        return Err(GraphError::Parse(format!("bad size line: {size_line}")));
-    }
-    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+    let (rows, cols, nnz) = parse_mtx_size(&size_line)?;
     let n = rows.max(cols);
-    let mut edges = Vec::with_capacity(if symmetric { nnz * 2 } else { nnz });
+    check_mtx_dims(n)?;
+    // Capped pre-allocation: the size line is untrusted input.
+    let cap = nnz.min(MAX_MTX_PREALLOC);
+    let mut edges = Vec::with_capacity(if symmetric {
+        cap.saturating_mul(2)
+    } else {
+        cap
+    });
+    let mut entries = 0usize;
     for line in lines {
         let line = line.map_err(|e| GraphError::Parse(e.to_string()))?;
         let t = line.trim();
@@ -74,22 +168,35 @@ pub fn parse_matrix_market<R: BufRead>(reader: R) -> Result<(usize, Vec<Edge>)> 
             return Err(GraphError::Parse(format!("index out of range: {t}")));
         }
         let (u, v) = ((u - 1) as u32, (v - 1) as u32);
+        entries += 1;
         edges.push((u, v));
         if symmetric && u != v {
             edges.push((v, u));
         }
     }
+    if entries != nnz {
+        return Err(GraphError::Parse(format!(
+            "matrix has {entries} entries but the size line declares {nnz} \
+             (truncated or padded file)"
+        )));
+    }
     Ok((n, edges))
 }
 
-/// Read a `.mtx` file into a deduplicated [`DynGraph`].
+/// Read a `.mtx` file into a deduplicated [`DynGraph`] through the
+/// streaming parser (mmap + parallel chunk parse).
 pub fn read_matrix_market<P: AsRef<Path>>(path: P) -> Result<DynGraph> {
+    stream::load_graph(path, GraphFormat::Mtx)
+}
+
+/// Read a `.mtx` file through the line-by-line `BufRead` parser (the
+/// seed loader). Kept as the reference/baseline implementation; prefer
+/// [`read_matrix_market`].
+pub fn read_matrix_market_buffered<P: AsRef<Path>>(path: P) -> Result<DynGraph> {
     let file = std::fs::File::open(path.as_ref())
         .map_err(|e| GraphError::Parse(format!("{}: {e}", path.as_ref().display())))?;
-    let (n, mut edges) = parse_matrix_market(std::io::BufReader::new(file))?;
-    edges.sort_unstable();
-    edges.dedup();
-    Ok(DynGraph::from_sorted_edges(n, &edges))
+    let (n, edges) = parse_matrix_market(std::io::BufReader::new(file))?;
+    DynGraph::from_edges(n, edges)
 }
 
 #[cfg(test)]
@@ -136,6 +243,21 @@ mod tests {
     }
 
     #[test]
+    fn rejects_skew_symmetric_and_complex() {
+        // `contains("symmetric")` used to match this and silently expand
+        // M[j][i] = -M[i][j] entries as if they were symmetric.
+        let skew = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 5.0\n";
+        let err = parse_matrix_market(Cursor::new(skew)).unwrap_err();
+        assert!(err.to_string().contains("skew-symmetric"), "{err}");
+        // Complex has two value columns; the old value check misread it.
+        let complex = "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 2 1.0 0.0\n";
+        let err = parse_matrix_market(Cursor::new(complex)).unwrap_err();
+        assert!(err.to_string().contains("complex"), "{err}");
+        let hermitian = "%%MatrixMarket matrix coordinate complex hermitian\n2 2 1\n1 2 1.0 0.0\n";
+        assert!(parse_matrix_market(Cursor::new(hermitian)).is_err());
+    }
+
+    #[test]
     fn rejects_out_of_range_index() {
         let mtx = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
         assert!(parse_matrix_market(Cursor::new(mtx)).is_err());
@@ -147,5 +269,68 @@ mod tests {
     fn missing_value_detected() {
         let mtx = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n";
         assert!(parse_matrix_market(Cursor::new(mtx)).is_err());
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        // Declares 4 entries, delivers 2: the seed parser accepted this.
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n3 3 4\n1 2\n2 3\n";
+        let err = parse_matrix_market(Cursor::new(mtx)).unwrap_err();
+        assert!(err.to_string().contains("declares 4"), "{err}");
+        // Padding (more entries than declared) is an error too.
+        let padded = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2\n2 3\n";
+        assert!(parse_matrix_market(Cursor::new(padded)).is_err());
+    }
+
+    #[test]
+    fn hostile_nnz_does_not_preallocate() {
+        // usize::MAX nnz: must fail on the count check without trying to
+        // reserve 2^64 entries first (the seed passed nnz straight into
+        // Vec::with_capacity and aborted).
+        let mtx = format!(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 {}\n1 2\n",
+            usize::MAX
+        );
+        let err = parse_matrix_market(Cursor::new(mtx)).unwrap_err();
+        assert!(err.to_string().contains("entries"), "{err}");
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn dims_beyond_u32_rejected() {
+        // An in-range index of a >2^32-dim matrix would silently wrap in
+        // the `as u32` shift; such dims are rejected up front.
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n\
+                   5000000000 5000000000 1\n4294967299 1\n";
+        let err = parse_matrix_market(Cursor::new(mtx)).unwrap_err();
+        assert!(err.to_string().contains("u32"), "{err}");
+        // The boundary itself is fine: n = 2^32 maps ids 0..=u32::MAX.
+        assert!(check_mtx_dims((u32::MAX as usize) + 1).is_ok());
+        assert!(check_mtx_dims((u32::MAX as usize) + 2).is_err());
+    }
+
+    #[test]
+    fn header_tokenizer_cases() {
+        let h = parse_mtx_header("%%MatrixMarket matrix coordinate pattern general").unwrap();
+        assert_eq!(
+            h,
+            MtxHeader {
+                symmetric: false,
+                has_value: false
+            }
+        );
+        let h = parse_mtx_header("%%matrixmarket MATRIX Coordinate Integer SYMMETRIC").unwrap();
+        assert_eq!(
+            h,
+            MtxHeader {
+                symmetric: true,
+                has_value: true
+            }
+        );
+        assert!(parse_mtx_header("%%MatrixMarket matrix coordinate").is_err());
+        assert!(parse_mtx_header("%%MatrixMarket vector coordinate pattern general").is_err());
+        assert!(parse_mtx_size("3 3").is_err());
+        assert!(parse_mtx_size("3 3 x").is_err());
+        assert_eq!(parse_mtx_size("4 5 6").unwrap(), (4, 5, 6));
     }
 }

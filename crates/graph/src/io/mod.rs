@@ -1,11 +1,36 @@
-//! Graph input/output: plain edge lists and MatrixMarket.
+//! Graph input/output: streaming ingestion, plain edge lists,
+//! MatrixMarket, and fixture writers.
 //!
-//! Lets users run the harness against the paper's actual datasets
-//! (SuiteSparse `.mtx`, SNAP edge lists) when they have them on disk; the
-//! benches fall back to generated graphs otherwise.
+//! Two supported on-disk formats ([`GraphFormat`]):
+//!
+//! * **SNAP edge lists** — one `u v` pair per line, `#`/`%` comments, an
+//!   optional `# Nodes: N Edges: M` header that preserves trailing
+//!   isolated vertices (`n = max(N, max_id + 1)`); a third column is
+//!   tolerated and ignored.
+//! * **MatrixMarket coordinate** (SuiteSparse `.mtx`) — `matrix
+//!   coordinate (pattern|real|integer) (general|symmetric)`, 1-indexed,
+//!   values ignored, symmetric inputs expanded to both directions. The
+//!   declared `nnz` is validated against the actual entry count.
+//!
+//! The default loaders ([`read_edge_list`], [`read_matrix_market`], and
+//! the format-generic [`load_graph`]) go through the **streaming
+//! subsystem** ([`stream`]): the file is memory-mapped (or block-read,
+//! see [`mmap`]), split into newline-aligned byte chunks, and parsed in
+//! parallel on the persistent worker pool with zero per-line `String`
+//! allocations. The line-by-line `BufRead` parsers remain available for
+//! in-memory readers and as the measured baseline
+//! (`read_*_buffered`); the `ingest_bench` binary tracks the speedup.
+//!
+//! [`fixtures`] writes generated graphs back out in these real formats
+//! (default directory `target/fixtures/`), giving the benches and CI a
+//! downloader-free disk → parse → CSR → kernel path.
 
 pub mod edge_list;
+pub mod fixtures;
 pub mod matrix_market;
+pub mod mmap;
+pub mod stream;
 
-pub use edge_list::{read_edge_list, write_edge_list};
-pub use matrix_market::read_matrix_market;
+pub use edge_list::{parse_edge_list, read_edge_list, read_edge_list_buffered, write_edge_list};
+pub use matrix_market::{parse_matrix_market, read_matrix_market, read_matrix_market_buffered};
+pub use stream::{load_graph, load_graph_auto, load_graph_with, GraphFormat, StreamOptions};

@@ -1,0 +1,712 @@
+//! Streaming graph ingestion: mmap + newline-aligned chunks parsed in
+//! parallel, with zero per-line allocations.
+//!
+//! The line-by-line `BufRead` loaders ([`super::edge_list`],
+//! [`super::matrix_market`]) allocate a fresh `String` per line and
+//! UTF-8-validate every byte — on multi-million-edge SuiteSparse/SNAP
+//! inputs that overhead dwarfs the arithmetic. This module instead:
+//!
+//! 1. maps (or block-reads) the whole file via [`super::mmap`],
+//! 2. parses the format prologue sequentially (MatrixMarket banner +
+//!    size line; SNAP `# Nodes: N Edges: M` comment header),
+//! 3. cuts the body into newline-aligned byte chunks,
+//! 4. hands chunks to the persistent [`lfpr_sched::WorkerPool`] (the
+//!    same `f(thread_id)` contract the PageRank kernels use), each
+//!    worker parsing integer tokens straight off the byte slice into a
+//!    per-worker edge buffer,
+//! 5. merges the buffers and builds a sorted/deduplicated
+//!    [`DynGraph`].
+//!
+//! Chunks are claimed wait-free off a [`ChunkCursor`]; a hostile or
+//! truncated input makes the first failing worker raise a flag so the
+//! rest of the team stops instead of grinding through garbage. Parsing
+//! is byte-exact with the `BufRead` loaders (same comment rules, same
+//! header fixes); `crates/graph/tests/io_stream.rs` pins the
+//! equivalence.
+
+use super::edge_list::snap_header;
+use super::matrix_market::{check_mtx_dims, parse_mtx_header, parse_mtx_size};
+use super::mmap::read_bytes;
+use crate::digraph::DynGraph;
+use crate::types::{Edge, GraphError, Result};
+use lfpr_sched::{global_pool, ChunkCursor};
+use std::ops::Range;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// On-disk graph format understood by the streaming loader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// SNAP-style whitespace edge list (`u v` per line, `#`/`%`
+    /// comments, optional `# Nodes: N Edges: M` header).
+    Snap,
+    /// MatrixMarket coordinate format (SuiteSparse `.mtx`).
+    Mtx,
+}
+
+impl GraphFormat {
+    /// Guess the format from a file extension (`.mtx` → MatrixMarket,
+    /// anything else → edge list).
+    pub fn detect<P: AsRef<Path>>(path: P) -> GraphFormat {
+        match path.as_ref().extension().and_then(|e| e.to_str()) {
+            Some(e) if e.eq_ignore_ascii_case("mtx") => GraphFormat::Mtx,
+            _ => GraphFormat::Snap,
+        }
+    }
+
+    /// Canonical file extension for fixtures in this format.
+    pub fn extension(self) -> &'static str {
+        match self {
+            GraphFormat::Snap => "txt",
+            GraphFormat::Mtx => "mtx",
+        }
+    }
+}
+
+impl std::fmt::Display for GraphFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GraphFormat::Snap => "snap",
+            GraphFormat::Mtx => "mtx",
+        })
+    }
+}
+
+impl std::str::FromStr for GraphFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "snap" | "edges" | "edgelist" | "txt" => Ok(GraphFormat::Snap),
+            "mtx" | "matrixmarket" => Ok(GraphFormat::Mtx),
+            other => Err(format!("unknown graph format: {other} (snap|mtx)")),
+        }
+    }
+}
+
+/// Tuning knobs for the streaming parser.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Parser team size (default: one per core). `1` parses inline with
+    /// no pool traffic at all.
+    pub threads: usize,
+    /// Lower bound on chunk size in bytes; chunks smaller than a cache
+    /// page just add claim traffic. Tests shrink this to force many
+    /// chunk boundaries onto small inputs.
+    pub min_chunk_bytes: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            threads: lfpr_sched::executor::default_threads(),
+            min_chunk_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Load a graph file through the streaming parser (default options).
+pub fn load_graph<P: AsRef<Path>>(path: P, format: GraphFormat) -> Result<DynGraph> {
+    load_graph_with(path, format, &StreamOptions::default())
+}
+
+/// Load a graph file, guessing the format from the extension.
+pub fn load_graph_auto<P: AsRef<Path>>(path: P) -> Result<DynGraph> {
+    let format = GraphFormat::detect(&path);
+    load_graph(path, format)
+}
+
+/// Load a graph file through the streaming parser with explicit options.
+pub fn load_graph_with<P: AsRef<Path>>(
+    path: P,
+    format: GraphFormat,
+    opts: &StreamOptions,
+) -> Result<DynGraph> {
+    let path = path.as_ref();
+    let bytes =
+        read_bytes(path).map_err(|e| GraphError::Parse(format!("{}: {e}", path.display())))?;
+    let (n, edges) = match format {
+        GraphFormat::Snap => parse_snap_bytes(&bytes, opts)?,
+        GraphFormat::Mtx => parse_mtx_bytes(&bytes, opts)?,
+    };
+    DynGraph::from_edges(n, edges)
+}
+
+/// Parse SNAP edge-list bytes. Returns `(n, edges)` with `n = max(N
+/// from the `# Nodes:` header, max vertex id + 1)` and the raw
+/// (unsorted, undeduplicated) edge list in unspecified order.
+pub fn parse_snap_bytes(bytes: &[u8], opts: &StreamOptions) -> Result<(usize, Vec<Edge>)> {
+    // Sequential prologue: scan leading comment lines for the SNAP
+    // `# Nodes: N Edges: M` header; the body starts at the first
+    // non-comment line.
+    let mut declared_n = 0usize;
+    let mut body_start = bytes.len();
+    let mut lines = LineCursor::new(bytes);
+    while let Some((line, start)) = lines.next_line() {
+        let line = trim_ascii(line);
+        if line.is_empty() {
+            continue;
+        }
+        if line[0] == b'#' || line[0] == b'%' {
+            if let Some((n, _m)) = snap_header(&String::from_utf8_lossy(line)) {
+                declared_n = declared_n.max(n);
+            }
+            continue;
+        }
+        body_start = start;
+        break;
+    }
+    let (edges, max_id, _entries) =
+        parse_body(&bytes[body_start..], opts, b"#%", |line, shard| {
+            let mut rest = line;
+            let u = parse_u32_token(next_token(&mut rest), line, "source")?;
+            let v = parse_u32_token(next_token(&mut rest), line, "target")?;
+            // A third column (weight or timestamp) is tolerated and ignored.
+            shard.max_id = shard.max_id.max(u).max(v);
+            shard.entries += 1;
+            shard.edges.push((u, v));
+            Ok(())
+        })?;
+    let n = if edges.is_empty() {
+        declared_n
+    } else {
+        declared_n.max(max_id as usize + 1)
+    };
+    Ok((n, edges))
+}
+
+/// Parse MatrixMarket coordinate bytes. Symmetric inputs are expanded
+/// to both directions; the declared `nnz` is checked against the entry
+/// count, so truncated files error instead of parsing silently. Edge
+/// order is unspecified.
+pub fn parse_mtx_bytes(bytes: &[u8], opts: &StreamOptions) -> Result<(usize, Vec<Edge>)> {
+    let mut lines = LineCursor::new(bytes);
+    let (header_line, _) = lines
+        .next_line()
+        .ok_or_else(|| GraphError::Parse("empty file".into()))?;
+    let header = parse_mtx_header(&String::from_utf8_lossy(trim_ascii(header_line)))?;
+
+    // Skip comments, read the size line.
+    let mut size = None;
+    let mut body_start = bytes.len();
+    while let Some((line, _)) = lines.next_line() {
+        let line = trim_ascii(line);
+        if line.is_empty() || line[0] == b'%' {
+            continue;
+        }
+        size = Some(parse_mtx_size(&String::from_utf8_lossy(line))?);
+        // `pos` is one past the consumed newline — past the buffer end
+        // when the size line is the file's last line.
+        body_start = lines.pos.min(bytes.len());
+        break;
+    }
+    let (rows, cols, nnz) = size.ok_or_else(|| GraphError::Parse("missing size line".into()))?;
+    let n = rows.max(cols);
+    check_mtx_dims(n)?;
+
+    let symmetric = header.symmetric;
+    let has_value = header.has_value;
+    let (edges, _max_id, entries) =
+        parse_body(&bytes[body_start..], opts, b"%", move |line, shard| {
+            let mut rest = line;
+            let u = parse_usize_token(next_token(&mut rest), line, "row")?;
+            let v = parse_usize_token(next_token(&mut rest), line, "column")?;
+            if has_value && next_token(&mut rest).is_none() {
+                return Err(GraphError::Parse(format!(
+                    "missing value: {}",
+                    String::from_utf8_lossy(line)
+                )));
+            }
+            if u == 0 || v == 0 || u > n || v > n {
+                return Err(GraphError::Parse(format!(
+                    "index out of range: {}",
+                    String::from_utf8_lossy(line)
+                )));
+            }
+            let (u, v) = ((u - 1) as u32, (v - 1) as u32);
+            shard.entries += 1;
+            shard.edges.push((u, v));
+            if symmetric && u != v {
+                shard.edges.push((v, u));
+            }
+            Ok(())
+        })?;
+    if entries as usize != nnz {
+        return Err(GraphError::Parse(format!(
+            "matrix has {entries} entries but the size line declares {nnz} \
+             (truncated or padded file)"
+        )));
+    }
+    Ok((n, edges))
+}
+
+// ---------------------------------------------------------------------
+// Parallel chunk driver
+// ---------------------------------------------------------------------
+
+/// Per-worker parse accumulator.
+struct Shard {
+    edges: Vec<Edge>,
+    max_id: u32,
+    entries: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            edges: Vec::new(),
+            max_id: 0,
+            entries: 0,
+        }
+    }
+}
+
+/// Split `body` into newline-aligned chunks, parse them in parallel on
+/// the worker pool (inline when `threads <= 1`), and merge the
+/// per-worker shards. `comments` lists the line-comment markers for
+/// this format. Returns `(edges, max_id, entry_count)`.
+fn parse_body<F>(
+    body: &[u8],
+    opts: &StreamOptions,
+    comments: &[u8],
+    per_line: F,
+) -> Result<(Vec<Edge>, u32, u64)>
+where
+    F: Fn(&[u8], &mut Shard) -> Result<()> + Sync,
+{
+    let threads = opts.threads.max(1);
+    let chunks = chunk_ranges(body, threads, opts.min_chunk_bytes);
+    let cursor = ChunkCursor::new(chunks.len());
+    let failed = AtomicBool::new(false);
+
+    let work = |_t: usize| {
+        let mut shard = Shard::new();
+        let mut err: Option<(usize, GraphError)> = None;
+        'claims: while let Some(r) = cursor.next_chunk(1) {
+            if failed.load(Ordering::Relaxed) {
+                break; // another worker hit garbage; stop burning cycles
+            }
+            for ci in r {
+                let chunk = &body[chunks[ci].clone()];
+                // Worst case one edge per 4 bytes ("1 1\n"); reserving a
+                // conservative estimate avoids most mid-chunk regrowth.
+                shard.edges.reserve(chunk.len() / 8);
+                for raw in chunk.split(|&b| b == b'\n') {
+                    let line = trim_ascii(raw);
+                    if line.is_empty() || comments.contains(&line[0]) {
+                        continue;
+                    }
+                    if let Err(e) = per_line(line, &mut shard) {
+                        err = Some((ci, e));
+                        failed.store(true, Ordering::Relaxed);
+                        break 'claims;
+                    }
+                }
+            }
+        }
+        (shard, err)
+    };
+
+    let results = if threads == 1 {
+        vec![work(0)]
+    } else {
+        global_pool().run(threads, work)
+    };
+
+    // Deterministic error reporting: the failure in the earliest chunk
+    // wins regardless of which worker happened to claim it.
+    let mut first_err: Option<(usize, GraphError)> = None;
+    for (_, err) in &results {
+        if let Some((ci, e)) = err {
+            if first_err.as_ref().is_none_or(|(fci, _)| ci < fci) {
+                first_err = Some((*ci, e.clone()));
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+
+    let total: usize = results.iter().map(|(s, _)| s.edges.len()).sum();
+    let mut edges = Vec::with_capacity(total);
+    let mut max_id = 0u32;
+    let mut entries = 0u64;
+    for (shard, _) in results {
+        edges.extend_from_slice(&shard.edges);
+        max_id = max_id.max(shard.max_id);
+        entries += shard.entries;
+    }
+    Ok((edges, max_id, entries))
+}
+
+/// Chunks per thread: oversplit so a worker stuck on a dense chunk
+/// doesn't serialize the tail.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Cut `bytes` into newline-aligned half-open ranges covering the whole
+/// slice. Every chunk except possibly the last ends right after a `\n`;
+/// no line straddles a boundary.
+fn chunk_ranges(bytes: &[u8], threads: usize, min_chunk: usize) -> Vec<Range<usize>> {
+    let len = bytes.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let want = threads.max(1) * CHUNKS_PER_THREAD;
+    let size = (len / want).max(min_chunk.max(1));
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < len {
+        let mut end = start.saturating_add(size).min(len);
+        if end < len && bytes[end - 1] != b'\n' {
+            match bytes[end..].iter().position(|&b| b == b'\n') {
+                Some(i) => end += i + 1,
+                None => end = len,
+            }
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Byte-slice token helpers (no String, no UTF-8 validation)
+// ---------------------------------------------------------------------
+
+#[inline]
+fn is_ascii_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\r' | b'\x0b' | b'\x0c')
+}
+
+/// Trim ASCII whitespace from both ends of a line.
+#[inline]
+fn trim_ascii(mut line: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = line {
+        if is_ascii_space(*first) {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = line {
+        if is_ascii_space(*last) {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    line
+}
+
+/// Pop the next whitespace-separated token off `rest`.
+#[inline]
+fn next_token<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let mut i = 0;
+    while i < rest.len() && is_ascii_space(rest[i]) {
+        i += 1;
+    }
+    if i == rest.len() {
+        *rest = &rest[i..];
+        return None;
+    }
+    let start = i;
+    while i < rest.len() && !is_ascii_space(rest[i]) {
+        i += 1;
+    }
+    let tok = &rest[start..i];
+    *rest = &rest[i..];
+    Some(tok)
+}
+
+#[inline]
+fn parse_digits(tok: &[u8], max: u64) -> Option<u64> {
+    if tok.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in tok {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add((b - b'0') as u64)?;
+        if v > max {
+            return None;
+        }
+    }
+    Some(v)
+}
+
+fn parse_u32_token(tok: Option<&[u8]>, line: &[u8], what: &str) -> Result<u32> {
+    tok.and_then(|t| parse_digits(t, u32::MAX as u64))
+        .map(|v| v as u32)
+        .ok_or_else(|| {
+            GraphError::Parse(format!(
+                "bad {what} in edge line: {}",
+                String::from_utf8_lossy(line)
+            ))
+        })
+}
+
+fn parse_usize_token(tok: Option<&[u8]>, line: &[u8], what: &str) -> Result<usize> {
+    tok.and_then(|t| parse_digits(t, usize::MAX as u64))
+        .map(|v| v as usize)
+        .ok_or_else(|| {
+            GraphError::Parse(format!(
+                "bad {what} in entry: {}",
+                String::from_utf8_lossy(line)
+            ))
+        })
+}
+
+/// Sequential line reader over a byte slice (prologue parsing only; the
+/// body goes through [`chunk_ranges`] + `split`).
+struct LineCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        LineCursor { bytes, pos: 0 }
+    }
+
+    /// The next line (without its newline) and its start offset.
+    fn next_line(&mut self) -> Option<(&'a [u8], usize)> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        let end = match self.bytes[start..].iter().position(|&b| b == b'\n') {
+            Some(i) => start + i,
+            None => self.bytes.len(),
+        };
+        self.pos = end + 1;
+        Some((&self.bytes[start..end], start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(threads: usize, min_chunk: usize) -> StreamOptions {
+        StreamOptions {
+            threads,
+            min_chunk_bytes: min_chunk,
+        }
+    }
+
+    #[test]
+    fn snap_basic_parse() {
+        let input = b"# comment\n0 1\n1 2\n% another\n2 0 17\n";
+        let (n, mut edges) = parse_snap_bytes(input, &opts(1, 1)).unwrap();
+        edges.sort_unstable();
+        assert_eq!(n, 3);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn snap_header_preserves_isolated_vertices() {
+        let input = b"# Nodes: 10 Edges: 2\n0 1\n1 2\n";
+        let (n, edges) = parse_snap_bytes(input, &opts(1, 1)).unwrap();
+        assert_eq!(n, 10, "trailing isolated vertices must not vanish");
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn snap_header_smaller_than_max_id() {
+        let input = b"# Nodes: 2 Edges: 2\n0 1\n5 6\n";
+        let (n, _) = parse_snap_bytes(input, &opts(1, 1)).unwrap();
+        assert_eq!(n, 7, "n = max(header, max_id + 1)");
+    }
+
+    #[test]
+    fn snap_empty_and_comment_only() {
+        assert_eq!(parse_snap_bytes(b"", &opts(1, 1)).unwrap().0, 0);
+        assert_eq!(
+            parse_snap_bytes(b"# only comments\n", &opts(2, 1))
+                .unwrap()
+                .0,
+            0
+        );
+        // Header but no edges: a graph of isolated vertices.
+        let (n, edges) = parse_snap_bytes(b"# Nodes: 5 Edges: 0\n", &opts(1, 1)).unwrap();
+        assert_eq!(n, 5);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn snap_rejects_garbage() {
+        assert!(parse_snap_bytes(b"0 x\n", &opts(1, 1)).is_err());
+        assert!(parse_snap_bytes(b"0\n", &opts(1, 1)).is_err());
+        assert!(parse_snap_bytes(b"99999999999 1\n", &opts(1, 1)).is_err());
+    }
+
+    #[test]
+    fn snap_parallel_matches_inline() {
+        let mut input = String::from("# Nodes: 600 Edges: 500\n");
+        for i in 0..500u32 {
+            input.push_str(&format!("{} {}\n", i % 97, (i * 7) % 89));
+        }
+        let (n1, mut e1) = parse_snap_bytes(input.as_bytes(), &opts(1, 1)).unwrap();
+        let (n4, mut e4) = parse_snap_bytes(input.as_bytes(), &opts(4, 16)).unwrap();
+        e1.sort_unstable();
+        e4.sort_unstable();
+        assert_eq!(n1, n4);
+        assert_eq!(e1, e4);
+        assert_eq!(n1, 600);
+    }
+
+    #[test]
+    fn mtx_basic_and_symmetric() {
+        let mtx = b"%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 3\n1 2\n2 3\n3 1\n";
+        let (n, mut edges) = parse_mtx_bytes(mtx, &opts(2, 1)).unwrap();
+        edges.sort_unstable();
+        assert_eq!(n, 3);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+
+        let sym = b"%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n";
+        let (_, mut edges) = parse_mtx_bytes(sym, &opts(1, 1)).unwrap();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn mtx_truncated_errors() {
+        // Size line declares 3 entries, file holds 2: must not parse
+        // silently (the seed loader did).
+        let mtx = b"%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 2\n2 3\n";
+        let err = parse_mtx_bytes(mtx, &opts(1, 1)).unwrap_err();
+        assert!(err.to_string().contains("declares 3"), "{err}");
+    }
+
+    #[test]
+    fn mtx_hostile_nnz_errors_without_huge_alloc() {
+        // The declared nnz is absurd; must fail on the count check, not
+        // attempt a pre-allocation of 2^60 entries.
+        let mtx =
+            b"%%MatrixMarket matrix coordinate pattern general\n3 3 1152921504606846976\n1 2\n";
+        assert!(parse_mtx_bytes(mtx, &opts(1, 1)).is_err());
+    }
+
+    #[test]
+    fn mtx_size_line_at_eof_without_newline() {
+        // The size line is the file's last line: body_start must clamp
+        // to the buffer end instead of slicing one past it (panicked
+        // before the fix).
+        let mtx = b"%%MatrixMarket matrix coordinate pattern general\n2 2 0";
+        let (n, edges) = parse_mtx_bytes(mtx, &opts(1, 1)).unwrap();
+        assert_eq!(n, 2);
+        assert!(edges.is_empty());
+        // Same with a trailing newline.
+        let mtx = b"%%MatrixMarket matrix coordinate pattern general\n2 2 0\n";
+        let (n, edges) = parse_mtx_bytes(mtx, &opts(2, 1)).unwrap();
+        assert_eq!(n, 2);
+        assert!(edges.is_empty());
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn mtx_dims_beyond_u32_rejected() {
+        // Ids above 2^32 would wrap in the `as u32` shift; the dims are
+        // rejected up front instead.
+        let mtx = b"%%MatrixMarket matrix coordinate pattern general\n5000000000 5000000000 1\n4294967299 1\n";
+        let err = parse_mtx_bytes(mtx, &opts(1, 1)).unwrap_err();
+        assert!(err.to_string().contains("u32"), "{err}");
+    }
+
+    #[test]
+    fn mtx_rejects_unsupported_qualifiers() {
+        for h in [
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 5.0\n",
+            "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 2 1.0 0.0\n",
+            "%%MatrixMarket matrix coordinate complex hermitian\n2 2 1\n1 2 1.0 0.0\n",
+            "%%MatrixMarket matrix array real general\n",
+            "garbage\n",
+        ] {
+            assert!(parse_mtx_bytes(h.as_bytes(), &opts(1, 1)).is_err(), "{h}");
+        }
+    }
+
+    #[test]
+    fn mtx_out_of_range_and_missing_value() {
+        let range = b"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(parse_mtx_bytes(range, &opts(1, 1)).is_err());
+        let zero = b"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(parse_mtx_bytes(zero, &opts(1, 1)).is_err());
+        let noval = b"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n";
+        assert!(parse_mtx_bytes(noval, &opts(1, 1)).is_err());
+    }
+
+    #[test]
+    fn chunk_ranges_are_newline_aligned_and_cover() {
+        let data = b"0 1\n22 33\n4 5\n666 777\n8 9\n";
+        for threads in [1, 2, 4] {
+            for min in [1, 4, 1024] {
+                let ranges = chunk_ranges(data, threads, min);
+                let mut pos = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, pos);
+                    assert!(r.end > r.start);
+                    if r.end < data.len() {
+                        assert_eq!(data[r.end - 1], b'\n', "chunk must end after newline");
+                    }
+                    pos = r.end;
+                }
+                assert_eq!(pos, data.len());
+            }
+        }
+        assert!(chunk_ranges(b"", 4, 1).is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_handle_missing_trailing_newline() {
+        let data = b"0 1\n2 3"; // no final newline
+        let ranges = chunk_ranges(data, 4, 1);
+        assert_eq!(ranges.last().unwrap().end, data.len());
+        let (n, edges) = parse_snap_bytes(data, &opts(3, 1)).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn format_detect_parse_display() {
+        assert_eq!(GraphFormat::detect("a/b/c.mtx"), GraphFormat::Mtx);
+        assert_eq!(GraphFormat::detect("a/b/c.MTX"), GraphFormat::Mtx);
+        assert_eq!(GraphFormat::detect("a/b/c.txt"), GraphFormat::Snap);
+        assert_eq!(GraphFormat::detect("noext"), GraphFormat::Snap);
+        assert_eq!("snap".parse::<GraphFormat>().unwrap(), GraphFormat::Snap);
+        assert_eq!("mtx".parse::<GraphFormat>().unwrap(), GraphFormat::Mtx);
+        assert!("pdf".parse::<GraphFormat>().is_err());
+        assert_eq!(GraphFormat::Snap.to_string(), "snap");
+        assert_eq!(GraphFormat::Mtx.to_string(), "mtx");
+    }
+
+    #[test]
+    fn tokens_and_trim() {
+        let mut rest: &[u8] = b"  12 \t 34  ";
+        assert_eq!(next_token(&mut rest), Some(&b"12"[..]));
+        assert_eq!(next_token(&mut rest), Some(&b"34"[..]));
+        assert_eq!(next_token(&mut rest), None);
+        assert_eq!(trim_ascii(b" \t a b \r"), b"a b");
+        assert_eq!(trim_ascii(b""), b"");
+        assert_eq!(
+            parse_digits(b"4294967295", u32::MAX as u64),
+            Some(4294967295)
+        );
+        assert_eq!(parse_digits(b"4294967296", u32::MAX as u64), None);
+        assert_eq!(parse_digits(b"", u32::MAX as u64), None);
+        assert_eq!(parse_digits(b"12x", u32::MAX as u64), None);
+    }
+
+    #[test]
+    fn load_graph_roundtrip_via_file() {
+        let p = std::env::temp_dir().join(format!("lfpr_stream_load_{}.txt", std::process::id()));
+        std::fs::write(&p, "# Nodes: 6 Edges: 3\n0 1\n1 2\n2 0\n").unwrap();
+        let g = load_graph_auto(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(2, 0));
+    }
+}

@@ -20,7 +20,11 @@
 //!   temporal edge streams,
 //! * **self-loop dead-end elimination** ([`selfloops`]) as the paper does
 //!   (§5.1.3) to avoid the global teleport-rank correction,
-//! * plain-text **edge-list and MatrixMarket I/O** ([`io`]).
+//! * **streaming graph ingestion** ([`io`]): mmap + parallel byte-chunk
+//!   parsing of SNAP edge lists and MatrixMarket `.mtx` files on the
+//!   persistent worker pool, plus real-format fixture writers
+//!   ([`io::fixtures`]) so the benches can exercise the full
+//!   disk → parse → CSR → kernel path offline.
 //!
 //! Vertex ids are `u32` (paper §5.1.2) and edge counts `usize`.
 
@@ -40,5 +44,6 @@ pub use batch::{BatchSpec, BatchUpdate};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use digraph::DynGraph;
+pub use io::GraphFormat;
 pub use snapshot::Snapshot;
 pub use types::{Edge, VertexId};

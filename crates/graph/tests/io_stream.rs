@@ -1,0 +1,273 @@
+//! Property and fuzz tests for the streaming ingestion subsystem.
+//!
+//! Three invariants pin the subsystem down:
+//!
+//! 1. **Roundtrip identity** — any graph written by `write_edge_list` or
+//!    the fixture writers and read back through the streaming loader is
+//!    the *identical* `DynGraph`, including trailing isolated vertices
+//!    (the SNAP `# Nodes:` header / mtx size line carry `n`).
+//! 2. **Streaming ≡ BufRead** — the parallel byte-chunk parser and the
+//!    seed line-by-line parser accept the same inputs and build the same
+//!    graphs, for every fixture format, thread count, and chunk size.
+//! 3. **Hostile input safety** — truncated, padded, garbage, and
+//!    absurdly-sized inputs error cleanly instead of parsing silently or
+//!    pre-allocating unbounded memory.
+
+use lfpr_graph::io::{
+    fixtures, read_edge_list, read_edge_list_buffered, read_matrix_market,
+    read_matrix_market_buffered, stream, write_edge_list, GraphFormat, StreamOptions,
+};
+use lfpr_graph::{DynGraph, Edge};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_path(stem: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lfpr_iostream_{}_{stem}.{ext}", std::process::id()))
+}
+
+/// Build a valid graph from arbitrary drawn data: ids are clamped into
+/// `0..n`, duplicates removed by construction.
+fn graph_from(n: usize, raw: &[(u32, u32)]) -> DynGraph {
+    let edges: Vec<Edge> = raw
+        .iter()
+        .map(|&(u, v)| (u % n as u32, v % n as u32))
+        .collect();
+    DynGraph::from_edges(n, edges).expect("clamped ids are in range")
+}
+
+/// Streaming parse configurations that must all agree: inline, small
+/// team, oversplit chunks (min_chunk 1 puts nearly every line in its
+/// own chunk).
+fn stream_configs() -> Vec<StreamOptions> {
+    vec![
+        StreamOptions {
+            threads: 1,
+            min_chunk_bytes: 1,
+        },
+        StreamOptions {
+            threads: 3,
+            min_chunk_bytes: 1,
+        },
+        StreamOptions {
+            threads: 4,
+            min_chunk_bytes: 64,
+        },
+        StreamOptions::default(),
+    ]
+}
+
+proptest! {
+    /// write_edge_list → streaming reader is the identity, for every
+    /// parser configuration, and matches the BufRead loader.
+    #[test]
+    fn snap_roundtrip_identity(
+        n in 1usize..120,
+        raw in prop::collection::vec((0u32..200, 0u32..200), 0..300),
+    ) {
+        let g = graph_from(n, &raw);
+        let path = tmp_path("snap_rt", "txt");
+        write_edge_list(&path, &g).unwrap();
+        let buffered = read_edge_list_buffered(&path).unwrap();
+        prop_assert_eq!(&g, &buffered, "BufRead roundtrip");
+        for opts in stream_configs() {
+            let streamed = stream::load_graph_with(&path, GraphFormat::Snap, &opts).unwrap();
+            prop_assert_eq!(&g, &streamed, "streaming roundtrip under {:?}", opts);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Fixture writer (mtx) → streaming reader is the identity and
+    /// matches the BufRead loader.
+    #[test]
+    fn mtx_roundtrip_identity(
+        n in 1usize..120,
+        raw in prop::collection::vec((0u32..200, 0u32..200), 0..300),
+    ) {
+        let g = graph_from(n, &raw);
+        let path = tmp_path("mtx_rt", "mtx");
+        fixtures::write_mtx(&path, &g).unwrap();
+        let buffered = read_matrix_market_buffered(&path).unwrap();
+        prop_assert_eq!(&g, &buffered, "BufRead roundtrip");
+        for opts in stream_configs() {
+            let streamed = stream::load_graph_with(&path, GraphFormat::Mtx, &opts).unwrap();
+            prop_assert_eq!(&g, &streamed, "streaming roundtrip under {:?}", opts);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Noise injection: blank lines, comments, `\r\n` endings, and
+    /// trailing columns sprinkled through a SNAP body change nothing —
+    /// and chunk boundaries falling inside the noise (min_chunk 1)
+    /// produce empty or comment-only chunks that parse to nothing.
+    #[test]
+    fn snap_parsing_survives_interleaved_noise(
+        n in 1usize..60,
+        raw in prop::collection::vec((0u32..100, 0u32..100), 1..120),
+        noise_every in 1usize..5,
+        crlf_sel in 0u8..2,
+    ) {
+        let crlf = crlf_sel == 1;
+        let g = graph_from(n, &raw);
+        let eol = if crlf { "\r\n" } else { "\n" };
+        let mut text = format!("# Nodes: {} Edges: {}{eol}", g.num_vertices(), g.num_edges());
+        for (i, (u, v)) in g.edges().enumerate() {
+            if i % noise_every == 0 {
+                text.push_str(eol);
+                text.push_str("# interleaved comment");
+                text.push_str(eol);
+                text.push_str("% more noise 123");
+                text.push_str(eol);
+            }
+            // Tolerated third column on some lines.
+            if i % 3 == 0 {
+                text.push_str(&format!("{u} {v} 17{eol}"));
+            } else {
+                text.push_str(&format!("  {u}\t{v}{eol}"));
+            }
+        }
+        for opts in stream_configs() {
+            let (pn, edges) = stream::parse_snap_bytes(text.as_bytes(), &opts).unwrap();
+            let parsed = DynGraph::from_edges(pn, edges).unwrap();
+            prop_assert_eq!(&g, &parsed);
+        }
+    }
+}
+
+#[test]
+fn streaming_equals_buffered_on_every_fixture() {
+    use lfpr_graph::generators::{erdos_renyi, grid_road, kmer_chain, rmat, RmatParams};
+    let graphs: Vec<(&str, DynGraph)> = vec![
+        ("er", erdos_renyi(200, 1400, 3)),
+        ("road", grid_road(300, 4)),
+        ("kmer", kmer_chain(250, 5)),
+        ("web", rmat(150, 2000, RmatParams::web(), false, 6)),
+        ("empty", DynGraph::new(17)),
+    ];
+    let dir = std::env::temp_dir().join(format!("lfpr_iostream_fixt_{}", std::process::id()));
+    for (name, g) in &graphs {
+        for format in [GraphFormat::Snap, GraphFormat::Mtx] {
+            let path = fixtures::write_fixture(&dir, name, format, g).unwrap();
+            let buffered = match format {
+                GraphFormat::Snap => read_edge_list_buffered(&path),
+                GraphFormat::Mtx => read_matrix_market_buffered(&path),
+            }
+            .unwrap();
+            assert_eq!(g, &buffered, "{name}/{format}: buffered");
+            let default_stream = match format {
+                GraphFormat::Snap => read_edge_list(&path),
+                GraphFormat::Mtx => read_matrix_market(&path),
+            }
+            .unwrap();
+            assert_eq!(g, &default_stream, "{name}/{format}: default streaming");
+            for opts in stream_configs() {
+                let streamed = stream::load_graph_with(&path, format, &opts).unwrap();
+                assert_eq!(g, &streamed, "{name}/{format}: streaming {opts:?}");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_mtx_file_rejected_by_both_loaders() {
+    let g = graph_from(40, &[(1, 2), (3, 4), (5, 6), (7, 8), (9, 10)]);
+    let path = tmp_path("trunc", "mtx");
+    fixtures::write_mtx(&path, &g).unwrap();
+    // Chop the last line off: the entry count no longer matches nnz.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let truncated = text.trim_end().rsplit_once('\n').unwrap().0;
+    std::fs::write(&path, truncated).unwrap();
+    let es = read_matrix_market(&path).unwrap_err();
+    let eb = read_matrix_market_buffered(&path).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(es.to_string().contains("declares"), "{es}");
+    assert!(eb.to_string().contains("declares"), "{eb}");
+}
+
+#[test]
+fn garbage_inputs_rejected_by_both_loaders() {
+    for (ext, contents) in [
+        ("txt", "0 1\nnot an edge\n2 3\n"),
+        ("txt", "0\n"),
+        ("txt", "0 99999999999\n"),
+        (
+            "mtx",
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 x\n",
+        ),
+        (
+            "mtx",
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 5.0\n",
+        ),
+        (
+            "mtx",
+            "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 2 1.0 0.0\n",
+        ),
+        (
+            "mtx",
+            "%%MatrixMarket matrix coordinate pattern general\n2 2\n1 2\n",
+        ),
+        ("mtx", ""),
+    ] {
+        let path = tmp_path("garbage", ext);
+        std::fs::write(&path, contents).unwrap();
+        let (streamed, buffered) = if ext == "mtx" {
+            (
+                read_matrix_market(&path),
+                read_matrix_market_buffered(&path),
+            )
+        } else {
+            (read_edge_list(&path), read_edge_list_buffered(&path))
+        };
+        std::fs::remove_file(&path).ok();
+        assert!(streamed.is_err(), "streaming must reject {contents:?}");
+        assert!(buffered.is_err(), "buffered must reject {contents:?}");
+    }
+}
+
+#[test]
+fn hostile_nnz_declaration_is_safe() {
+    // nnz = usize::MAX must fail on the count check in both loaders
+    // without attempting the pre-allocation.
+    let path = tmp_path("hostile", "mtx");
+    std::fs::write(
+        &path,
+        format!(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n4 4 {}\n1 2\n",
+            usize::MAX
+        ),
+    )
+    .unwrap();
+    assert!(read_matrix_market(&path).is_err());
+    assert!(read_matrix_market_buffered(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_and_comment_only_files() {
+    let path = tmp_path("empty", "txt");
+    std::fs::write(&path, "").unwrap();
+    let g = read_edge_list(&path).unwrap();
+    assert_eq!(g.num_vertices(), 0);
+    std::fs::write(&path, "# nothing here\n% nor here\n\n\n").unwrap();
+    let g = read_edge_list(&path).unwrap();
+    assert_eq!(g.num_vertices(), 0);
+    // A header with no edges is a legal all-isolated graph.
+    std::fs::write(&path, "# Nodes: 12 Edges: 0\n").unwrap();
+    let g = read_edge_list(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(g.num_vertices(), 12);
+    assert_eq!(g.num_edges(), 0);
+}
+
+#[test]
+fn snap_header_preserves_isolated_vertices_through_cli_path() {
+    // The seed dropped vertices beyond max_id+1; Table-1-style SNAP
+    // inputs list `# Nodes:` precisely because of trailing isolates.
+    let path = tmp_path("isolated", "txt");
+    std::fs::write(&path, "# Nodes: 100 Edges: 2\n0 1\n1 2\n").unwrap();
+    let streamed = read_edge_list(&path).unwrap();
+    let buffered = read_edge_list_buffered(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(streamed.num_vertices(), 100);
+    assert_eq!(streamed, buffered);
+}

@@ -7,23 +7,22 @@
 //! ```
 //!
 //! `<graph>` is a SNAP-style edge list (`u v` per line, `#` comments) or
-//! a MatrixMarket `.mtx` file. `update` treats the second file's edges as
-//! an insert-only batch (edges already present are ignored), computes the
-//! base ranks, applies the batch, and refreshes incrementally.
+//! a MatrixMarket `.mtx` file, chosen by extension unless `--format
+//! <snap|mtx>` overrides it; files load through the streaming ingestion
+//! subsystem (mmap + parallel chunk parse). `update` treats the second
+//! file's edges as an insert-only batch (edges already present are
+//! ignored), computes the base ranks, applies the batch, and refreshes
+//! incrementally.
 
 use lockfree_pagerank::core::reference::reference_default;
-use lockfree_pagerank::graph::io::{read_edge_list, read_matrix_market};
+use lockfree_pagerank::graph::io::{read_edge_list, stream};
 use lockfree_pagerank::graph::selfloops::add_self_loops;
-use lockfree_pagerank::graph::DynGraph;
+use lockfree_pagerank::graph::{DynGraph, GraphFormat};
 use lockfree_pagerank::{api, Algorithm, BatchUpdate, PagerankOptions};
 
-fn load_graph(path: &str) -> DynGraph {
-    let mut g = if path.ends_with(".mtx") {
-        read_matrix_market(path)
-    } else {
-        read_edge_list(path)
-    }
-    .unwrap_or_else(|e| {
+fn load_graph(path: &str, format: Option<GraphFormat>) -> DynGraph {
+    let format = format.unwrap_or_else(|| GraphFormat::detect(path));
+    let mut g = stream::load_graph(path, format).unwrap_or_else(|e| {
         eprintln!("error loading {path}: {e}");
         std::process::exit(1);
     });
@@ -36,6 +35,7 @@ struct Flags {
     threads: usize,
     top: usize,
     tolerance: f64,
+    format: Option<GraphFormat>,
 }
 
 fn parse_flags(args: &[String], default_algo: Algorithm) -> Flags {
@@ -44,6 +44,7 @@ fn parse_flags(args: &[String], default_algo: Algorithm) -> Flags {
         threads: lockfree_pagerank::sched::executor::default_threads().max(4),
         top: 10,
         tolerance: 1e-10,
+        format: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -53,6 +54,13 @@ fn parse_flags(args: &[String], default_algo: Algorithm) -> Flags {
                     eprintln!("{e}");
                     std::process::exit(2);
                 });
+                i += 2;
+            }
+            "--format" => {
+                f.format = Some(args[i + 1].parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }));
                 i += 2;
             }
             "--threads" => {
@@ -93,13 +101,14 @@ fn main() {
     }
     match args[1].as_str() {
         "stats" => {
-            let g = load_graph(&args[2]);
+            let flags = parse_flags(&args[3..], Algorithm::StaticLF);
+            let g = load_graph(&args[2], flags.format);
             let st = lockfree_pagerank::graph::analysis::stats(&g.snapshot());
             println!("{st:#?}");
         }
         "rank" => {
             let flags = parse_flags(&args[3..], Algorithm::StaticLF);
-            let g = load_graph(&args[2]);
+            let g = load_graph(&args[2], flags.format);
             let s = g.snapshot();
             let opts = PagerankOptions::default()
                 .with_threads(flags.threads)
@@ -137,7 +146,7 @@ fn main() {
                 std::process::exit(2);
             }
             let flags = parse_flags(&args[4..], Algorithm::DfLF);
-            let mut g = load_graph(&args[2]);
+            let mut g = load_graph(&args[2], flags.format);
             let prev = g.snapshot();
             let prev_ranks = reference_default(&prev);
             let additions = read_edge_list(&args[3]).unwrap_or_else(|e| {
