@@ -25,7 +25,7 @@
 
 use crate::config::PagerankOptions;
 use crate::frontier::df_initial_affected;
-use crate::lf_common::{helping_mark_phase, run_lf_engine, LfMode, Phase1Fn, RcView};
+use crate::lf_common::{helping_mark_phase, rc_flags_len, run_lf_engine, LfMode, Phase1Fn, RcView};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::PagerankResult;
 use lfpr_graph::{BatchUpdate, Snapshot};
@@ -43,7 +43,7 @@ pub fn df_lf(
     assert_eq!(prev_ranks.len(), curr.num_vertices());
     let n = curr.num_vertices();
     let ranks = AtomicRanks::from_slice(prev_ranks);
-    let rc = Flags::new(RcView::flags_len(n, opts.convergence, opts.chunk_size), 0);
+    let rc = Flags::new(rc_flags_len(n, opts.convergence, opts.chunk_size), 0);
     let va = Flags::new(n, 0);
     let checked = Flags::new(n, 0); // C[u] — batch source processed?
     let edges: Vec<(u32, u32)> = batch.iter_all().collect();

@@ -9,13 +9,18 @@
 //!   source marks everything reachable in Gt — the much larger affected
 //!   set whose traversal overhead is why the paper discards DT.
 
-use crate::rank::Flags;
+use crate::rank::{FlagOps, Flags};
 use lfpr_graph::{BatchUpdate, Snapshot};
 
 /// Iterative DFS over `g`'s out-edges from `start`, marking visited
 /// vertices in `va` (atomic test-and-set keeps concurrent traversals
 /// idempotent). Calls `on_new` for every newly marked vertex.
-pub(crate) fn dfs_mark_atomic(g: &Snapshot, start: u32, va: &Flags, on_new: &mut impl FnMut(u32)) {
+pub(crate) fn dfs_mark_atomic(
+    g: &Snapshot,
+    start: u32,
+    va: &impl FlagOps,
+    on_new: &mut impl FnMut(u32),
+) {
     if va.test_and_set(start as usize) {
         return;
     }

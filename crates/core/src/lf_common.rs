@@ -30,45 +30,49 @@
 
 use crate::config::{ConvergenceMode, PagerankOptions};
 use crate::kernel::rank_of_from_atomic;
-use crate::rank::{AtomicRanks, Flags};
+use crate::rank::{AtomicRanks, FlagOps};
 use crate::result::{PagerankResult, RunStatus};
 use lfpr_graph::Snapshot;
 use lfpr_sched::chunks::ChunkCursor;
 use lfpr_sched::fault::ThreadFaults;
 use lfpr_sched::rounds::RoundCursors;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which vertices each round processes (mirrors `bb_common::BbMode`).
-pub(crate) enum LfMode<'a> {
+/// Generic over the flag representation so one-shot runs ([`crate::rank::Flags`])
+/// and reusable session workspaces ([`crate::rank::EpochFlags`]) share
+/// the engine.
+pub(crate) enum LfMode<'a, VA: FlagOps> {
     /// Every vertex (StaticLF, NDLF).
     All,
     /// Only `VA`-marked vertices; the set is fixed by phase 1 (DTLF).
-    Affected { va: &'a Flags },
+    Affected { va: &'a VA },
     /// `VA`-marked vertices with incremental frontier expansion (DFLF).
-    Frontier { va: &'a Flags, tau_f: f64 },
+    Frontier { va: &'a VA, tau_f: f64 },
+}
+
+/// Number of convergence flags a vector must have for `n` vertices in
+/// `mode` (per-vertex: `n`; per-chunk: one per scheduling chunk).
+pub(crate) fn rc_flags_len(n: usize, mode: ConvergenceMode, chunk: usize) -> usize {
+    match mode {
+        ConvergenceMode::PerVertex => n,
+        ConvergenceMode::PerChunk => n.div_ceil(chunk),
+    }
 }
 
 /// Convergence-flag view: per-vertex (`RC[v]`) or per-chunk (the §4.3
 /// alternative). Both are plain atomic flag vectors; this adapter maps a
 /// vertex id onto the right flag index.
-pub(crate) struct RcView<'a> {
-    flags: &'a Flags,
+pub(crate) struct RcView<'a, RC: FlagOps> {
+    flags: &'a RC,
     mode: ConvergenceMode,
     chunk: usize,
 }
 
-impl<'a> RcView<'a> {
-    pub(crate) fn new(flags: &'a Flags, mode: ConvergenceMode, chunk: usize) -> Self {
+impl<'a, RC: FlagOps> RcView<'a, RC> {
+    pub(crate) fn new(flags: &'a RC, mode: ConvergenceMode, chunk: usize) -> Self {
         RcView { flags, mode, chunk }
-    }
-
-    /// Number of flags a vector must have for `n` vertices in `mode`.
-    pub(crate) fn flags_len(n: usize, mode: ConvergenceMode, chunk: usize) -> usize {
-        match mode {
-            ConvergenceMode::PerVertex => n,
-            ConvergenceMode::PerChunk => n.div_ceil(chunk),
-        }
     }
 
     /// Mark vertex `v` as not-yet-converged (RC[v] ← 1).
@@ -89,6 +93,84 @@ impl<'a> RcView<'a> {
     }
 }
 
+/// Granularity of the sparse-batch active filter: one flag covers this
+/// many consecutive vertex ids. Small enough that a localized affected
+/// ball dirties few granules, large enough that flag-checking overhead
+/// stays ≪ the skipped per-vertex scans.
+pub(crate) const ACTIVE_GRANULE: usize = 64;
+
+/// Sparse-batch accelerator: one flag per [`ACTIVE_GRANULE`]-vertex
+/// granule, set when the granule contains *any* affected vertex. Rounds
+/// walk claimed chunks granule-by-granule and skip clean granules
+/// without touching their per-vertex flags, and the convergence check
+/// filters through active granules before paying the authoritative full
+/// `RC` scan — per-round cost drops from `O(n)` to
+/// `O(n/granule + |active| · granule)`.
+///
+/// Value-neutral by construction: a skipped vertex is one the unfiltered
+/// engine would have `continue`d over (not `VA`-marked) and processing
+/// order is unchanged, so ranks are bit-identical to an unfiltered run
+/// at one thread. Every marking path sets the granule flag **before**
+/// the vertex flags; a stale-clear granule flag can therefore only
+/// delay processing by a round (the marker's `RC` bit keeps termination
+/// blocked via the authoritative scan), never lose it. Requires
+/// per-vertex convergence flags — the session enforces that.
+pub(crate) struct ActiveChunks<'a, F: FlagOps> {
+    flags: &'a F,
+    granule: usize,
+    n: usize,
+}
+
+impl<'a, F: FlagOps> ActiveChunks<'a, F> {
+    pub(crate) fn new(flags: &'a F, granule: usize, n: usize) -> Self {
+        debug_assert!(granule > 0);
+        ActiveChunks { flags, granule, n }
+    }
+
+    /// Mark the granule containing vertex `v` as active. Call **before**
+    /// setting the vertex's `VA`/`RC` flags.
+    #[inline]
+    pub(crate) fn mark_vertex(&self, v: usize) {
+        self.flags.set(v / self.granule);
+    }
+
+    /// The next maximal run of indices within `[pos, end)` that starts
+    /// at `pos`-or-later in an active granule. Clean granules in between
+    /// cost one flag load each.
+    #[inline]
+    fn next_active_segment(&self, mut pos: usize, end: usize) -> Option<(usize, usize)> {
+        while pos < end {
+            let g = pos / self.granule;
+            if self.flags.get(g) {
+                let hi = ((g + 1) * self.granule).min(end);
+                return Some((pos, hi));
+            }
+            pos = (g + 1) * self.granule;
+        }
+        None
+    }
+
+    /// Fast convergence filter: scan only active granules' `RC` ranges.
+    /// `false` is exact (a set flag was seen); `true` means "maybe
+    /// clear" and must be confirmed by the authoritative full scan.
+    fn rc_maybe_clear<RC: FlagOps>(&self, rc: &RC) -> bool {
+        let num = self.n.div_ceil(self.granule);
+        for g in 0..num {
+            if !self.flags.get(g) {
+                continue;
+            }
+            let lo = g * self.granule;
+            let hi = (lo + self.granule).min(self.n);
+            for v in lo..hi {
+                if rc.get_sync(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
 /// Phase-1 closure: initial affected marking with helping (DT/DF lock-
 /// free variants). Returns `false` if the thread crashed mid-phase.
 pub(crate) type Phase1Fn<'a> = dyn Fn(usize, &mut ThreadFaults) -> bool + Sync + 'a;
@@ -101,7 +183,7 @@ pub(crate) type Phase1Fn<'a> = dyn Fn(usize, &mut ThreadFaults) -> bool + Sync +
 pub(crate) fn helping_mark_phase(
     edges: &[(u32, u32)],
     cursor: &ChunkCursor,
-    checked: &Flags,
+    checked: &impl FlagOps,
     chunk: usize,
     mark_source: &(impl Fn(u32) + Sync),
     faults: &mut ThreadFaults,
@@ -139,21 +221,69 @@ pub(crate) fn helping_mark_phase(
     }
 }
 
+/// What [`run_lf_engine_on`] measures — everything in a
+/// [`PagerankResult`] except the materialized rank vector, so reusable
+/// workspaces can skip the terminal `ranks.to_vec()`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineStats {
+    pub iterations: usize,
+    pub runtime: Duration,
+    pub status: RunStatus,
+    pub vertices_processed: u64,
+    pub threads_crashed: usize,
+}
+
 /// Run the lock-free engine over a pre-initialized shared rank vector
-/// and convergence flags. The caller owns initialization:
+/// and convergence flags, allocating the round cursors per run and
+/// materializing the final ranks (the one-shot kernel path). The caller
+/// owns initialization:
 /// * `ranks` — 1/n (static) or previous ranks (dynamic),
 /// * `rc` — all ones for All mode; zeros + marking for Affected/Frontier.
-pub(crate) fn run_lf_engine(
+pub(crate) fn run_lf_engine<RC: FlagOps, VA: FlagOps>(
     g: &Snapshot,
     ranks: &AtomicRanks,
-    rc: &Flags,
-    mode: LfMode<'_>,
+    rc: &RC,
+    mode: LfMode<'_, VA>,
     opts: &PagerankOptions,
     phase1: Option<&Phase1Fn<'_>>,
 ) -> PagerankResult {
-    debug_assert!(opts.validate().is_ok());
-    let nt = opts.num_threads;
     let rounds = RoundCursors::new(opts.vertex_plan(g), opts.max_iterations);
+    let s = run_lf_engine_on::<RC, VA, RC>(g, ranks, rc, mode, opts, phase1, &rounds, None);
+    PagerankResult {
+        ranks: ranks.to_vec(),
+        iterations: s.iterations,
+        runtime: s.runtime,
+        total_wait: Duration::ZERO, // lock-free: no barriers
+        max_wait: Duration::ZERO,
+        status: s.status,
+        vertices_processed: s.vertices_processed,
+        initially_affected: 0, // variants overwrite for dynamic runs
+        threads_crashed: s.threads_crashed,
+    }
+}
+
+/// The lock-free engine proper, running over caller-owned round cursors
+/// (reset between runs by a persistent session) and returning stats
+/// only — the final ranks live in `ranks`, which the session exposes by
+/// reference instead of cloning out.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_lf_engine_on<RC: FlagOps, VA: FlagOps, AC: FlagOps>(
+    g: &Snapshot,
+    ranks: &AtomicRanks,
+    rc: &RC,
+    mode: LfMode<'_, VA>,
+    opts: &PagerankOptions,
+    phase1: Option<&Phase1Fn<'_>>,
+    rounds: &RoundCursors,
+    active: Option<&ActiveChunks<'_, AC>>,
+) -> EngineStats {
+    debug_assert!(opts.validate().is_ok());
+    // The filter only makes sense when unaffected vertices are skipped.
+    let active = match mode {
+        LfMode::All => None,
+        _ => active,
+    };
+    let nt = opts.num_threads;
     let processed = AtomicU64::new(0);
     let max_round = AtomicUsize::new(0);
     let crashed_count = AtomicUsize::new(0);
@@ -183,66 +313,83 @@ pub(crate) fn run_lf_engine(
                 // plan to Fixed(chunk_size) there (flag alignment).
                 let chunk_idx = range.start / opts.chunk_size;
                 let mut chunk_converged = true;
-                for v in range {
-                    let vid = v as u32;
-                    match &mode {
-                        LfMode::All => {}
-                        LfMode::Affected { va } | LfMode::Frontier { va, .. } => {
-                            if !va.get(v) {
-                                continue; // unaffected ⇒ trivially converged
+                // With an active filter, walk the chunk granule-by-
+                // granule, skipping granules with no affected vertices
+                // (their per-vertex flags would all read clear anyway).
+                let mut pos = range.start;
+                while pos < range.end {
+                    let (seg_lo, seg_hi) = match active {
+                        Some(a) => match a.next_active_segment(pos, range.end) {
+                            Some(seg) => seg,
+                            None => break,
+                        },
+                        None => (pos, range.end),
+                    };
+                    pos = seg_hi;
+                    for v in seg_lo..seg_hi {
+                        let vid = v as u32;
+                        match &mode {
+                            LfMode::All => {}
+                            LfMode::Affected { va } | LfMode::Frontier { va, .. } => {
+                                if !va.get(v) {
+                                    continue; // unaffected ⇒ trivially converged
+                                }
                             }
                         }
-                    }
-                    let r = rank_of_from_atomic(g, ranks, vid, opts.alpha);
-                    let dr = (r - ranks.get(v)).abs();
-                    ranks.set(v, r); // in-place, visible to all threads
-                    if let LfMode::Frontier { va, tau_f } = &mode {
-                        // Alg. 2 lines 25-27: expand the frontier.
-                        //
-                        // Deviation from line 28 (RC[v'] ← 1): setting RC
-                        // for every newly marked vertex makes each
-                        // frontier ring block the all-clear check for one
-                        // more round, so the run terminates only when
-                        // every first-processing Δr is ≤ τf — i.e. it
-                        // expands ring-by-ring to the graph boundary and
-                        // over-converges 1000× past τ, contradicting the
-                        // paper's own measured error (~5e-10) and
-                        // runtimes. We extend VA only; sub-τ wavelets
-                        // reaching new vertices are absorbed (that is the
-                        // DF approximation, same as DFBB terminating on
-                        // ΔR ≤ τ while VA still grows), while genuine
-                        // > τ waves keep RC alive through the Δr > τ
-                        // re-arm below and are never lost.
-                        if dr > *tau_f {
-                            for &vp in g.out(vid) {
-                                va.set(vp as usize);
+                        let r = rank_of_from_atomic(g, ranks, vid, opts.alpha);
+                        let dr = (r - ranks.get(v)).abs();
+                        ranks.set(v, r); // in-place, visible to all threads
+                        if let LfMode::Frontier { va, tau_f } = &mode {
+                            // Alg. 2 lines 25-27: expand the frontier.
+                            //
+                            // Deviation from line 28 (RC[v'] ← 1): setting RC
+                            // for every newly marked vertex makes each
+                            // frontier ring block the all-clear check for one
+                            // more round, so the run terminates only when
+                            // every first-processing Δr is ≤ τf — i.e. it
+                            // expands ring-by-ring to the graph boundary and
+                            // over-converges 1000× past τ, contradicting the
+                            // paper's own measured error (~5e-10) and
+                            // runtimes. We extend VA only; sub-τ wavelets
+                            // reaching new vertices are absorbed (that is the
+                            // DF approximation, same as DFBB terminating on
+                            // ΔR ≤ τ while VA still grows), while genuine
+                            // > τ waves keep RC alive through the Δr > τ
+                            // re-arm below and are never lost.
+                            if dr > *tau_f {
+                                for &vp in g.out(vid) {
+                                    if let Some(a) = active {
+                                        a.mark_vertex(vp as usize);
+                                    }
+                                    va.set(vp as usize);
+                                }
                             }
                         }
-                    }
-                    if per_chunk {
-                        if dr > opts.tolerance {
-                            chunk_converged = false;
+                        if per_chunk {
+                            if dr > opts.tolerance {
+                                chunk_converged = false;
+                            }
+                        } else if dr <= opts.tolerance {
+                            // Alg. 2 line 29: RC[v] ← 0.
+                            rc_view.clear_vertex(v);
+                        } else {
+                            // Re-arm: the pseudocode only ever clears RC, but
+                            // a cleared flag must be re-set when a later
+                            // round's Δr exceeds τ again (neighbor updates
+                            // arriving asynchronously) — otherwise threads
+                            // can terminate while ranks are still moving and
+                            // the error blows past the paper's ~5e-10 band.
+                            // RC[v] = 1 means "not yet converged" (§4.3), so
+                            // this is the definition, made explicit.
+                            rc_view.set_vertex(v);
                         }
-                    } else if dr <= opts.tolerance {
-                        // Alg. 2 line 29: RC[v] ← 0.
-                        rc_view.clear_vertex(v);
-                    } else {
-                        // Re-arm: the pseudocode only ever clears RC, but
-                        // a cleared flag must be re-set when a later
-                        // round's Δr exceeds τ again (neighbor updates
-                        // arriving asynchronously) — otherwise threads
-                        // can terminate while ranks are still moving and
-                        // the error blows past the paper's ~5e-10 band.
-                        // RC[v] = 1 means "not yet converged" (§4.3), so
-                        // this is the definition, made explicit.
-                        rc_view.set_vertex(v);
-                    }
-                    local_processed += 1;
-                    if faults.tick() {
-                        crashed_count.fetch_add(1, Ordering::Relaxed);
-                        processed.fetch_add(local_processed, Ordering::Relaxed);
-                        max_round.fetch_max(round, Ordering::Relaxed);
-                        return; // crash-stop: clean exit, memory intact
+                        local_processed += 1;
+                        if faults.tick() {
+                            crashed_count.fetch_add(1, Ordering::Relaxed);
+                            processed.fetch_add(local_processed, Ordering::Relaxed);
+                            max_round.fetch_max(round, Ordering::Relaxed);
+                            return; // crash-stop: clean exit, memory intact
+                        }
                     }
                 }
                 if per_chunk {
@@ -259,7 +406,11 @@ pub(crate) fn run_lf_engine(
             // thread decides from its own observation only — exiting on
             // *another* thread's observation would let a thread skip the
             // repair round after an in-flight update re-armed a flag.
-            if rc.all_clear() {
+            // With an active-chunk filter, the cheap active-only scan
+            // rejects non-converged rounds without paying the O(n) walk;
+            // the authoritative full scan still gates actual exit.
+            let maybe_clear = active.is_none_or(|a| a.rc_maybe_clear(rc));
+            if maybe_clear && rc.all_clear() {
                 converged.store(true, Ordering::SeqCst);
                 break 'rounds;
             }
@@ -277,15 +428,11 @@ pub(crate) fn run_lf_engine(
     } else {
         RunStatus::MaxIterations
     };
-    PagerankResult {
-        ranks: ranks.to_vec(),
+    EngineStats {
         iterations: max_round.load(Ordering::Relaxed),
         runtime,
-        total_wait: std::time::Duration::ZERO, // lock-free: no barriers
-        max_wait: std::time::Duration::ZERO,
         status,
         vertices_processed: processed.load(Ordering::Relaxed),
-        initially_affected: 0, // variants overwrite for dynamic runs
         threads_crashed,
     }
 }
@@ -294,6 +441,7 @@ pub(crate) fn run_lf_engine(
 mod tests {
     use super::*;
     use crate::norm::linf_diff;
+    use crate::rank::Flags;
     use crate::reference::reference_default;
     use lfpr_graph::Snapshot;
     use lfpr_sched::fault::FaultPlan;
@@ -325,7 +473,7 @@ mod tests {
         let g = ring(64);
         let ranks = AtomicRanks::uniform(64, 1.0 / 64.0);
         let rc = Flags::new(64, 1);
-        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &opts(), None);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::<Flags>::All, &opts(), None);
         assert_eq!(res.status, RunStatus::Converged);
         let reference = reference_default(&g);
         assert!(
@@ -341,8 +489,8 @@ mod tests {
         let g = ring(64);
         let o = opts().with_convergence(ConvergenceMode::PerChunk);
         let ranks = AtomicRanks::uniform(64, 1.0 / 64.0);
-        let rc = Flags::new(RcView::flags_len(64, o.convergence, o.chunk_size), 1);
-        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        let rc = Flags::new(rc_flags_len(64, o.convergence, o.chunk_size), 1);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::<Flags>::All, &o, None);
         assert_eq!(res.status, RunStatus::Converged);
         let reference = reference_default(&g);
         assert!(linf_diff(&res.ranks, &reference) < 1e-8);
@@ -361,7 +509,7 @@ mod tests {
             .with_faults(FaultPlan::with_crashes(2, 50, 7));
         let ranks = AtomicRanks::uniform(n, 1.0 / n as f64);
         let rc = Flags::new(n, 1);
-        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::<Flags>::All, &o, None);
         assert_eq!(
             res.status,
             RunStatus::Converged,
@@ -378,7 +526,7 @@ mod tests {
         let o = opts().with_faults(FaultPlan::with_crashes(4, 5, 9));
         let ranks = AtomicRanks::uniform(128, 1.0 / 128.0);
         let rc = Flags::new(128, 1);
-        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::<Flags>::All, &o, None);
         assert_eq!(res.status, RunStatus::Stalled);
         assert_eq!(res.threads_crashed, 4);
     }
@@ -426,7 +574,7 @@ mod tests {
                 let o = opts().with_schedule(Schedule { policy, executor });
                 let ranks = AtomicRanks::uniform(512, 1.0 / 512.0);
                 let rc = Flags::new(512, 1);
-                let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+                let res = run_lf_engine(&g, &ranks, &rc, LfMode::<Flags>::All, &o, None);
                 assert_eq!(res.status, RunStatus::Converged, "{policy} {executor}");
                 let err = linf_diff(&res.ranks, &reference);
                 assert!(err < 1e-8, "{policy} {executor}: err = {err}");
@@ -447,7 +595,7 @@ mod tests {
             .with_faults(FaultPlan::with_crashes(2, 50, 7));
         let ranks = AtomicRanks::uniform(n, 1.0 / n as f64);
         let rc = Flags::new(n, 1);
-        let res = run_lf_engine(&g, &ranks, &rc, LfMode::All, &o, None);
+        let res = run_lf_engine(&g, &ranks, &rc, LfMode::<Flags>::All, &o, None);
         assert_eq!(res.status, RunStatus::Converged);
         assert_eq!(res.threads_crashed, 2);
         assert!(linf_diff(&res.ranks, &reference_default(&g)) < 1e-8);

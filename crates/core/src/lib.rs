@@ -62,6 +62,7 @@ pub mod norm;
 pub mod rank;
 pub mod reference;
 pub mod result;
+pub mod session;
 pub mod static_bb;
 pub mod static_lf;
 pub mod vertex_dynamics;
@@ -70,3 +71,4 @@ pub use api::Algorithm;
 pub use config::{ConvergenceMode, PagerankOptions};
 pub use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
 pub use result::{PagerankResult, RunStatus};
+pub use session::{StepStats, UpdateSession};

@@ -11,7 +11,7 @@
 //! [`crate::static_lf`] on the pseudocode's initialization typo).
 
 use crate::config::PagerankOptions;
-use crate::lf_common::{run_lf_engine, LfMode, RcView};
+use crate::lf_common::{rc_flags_len, run_lf_engine, LfMode};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::PagerankResult;
 use lfpr_graph::Snapshot;
@@ -25,8 +25,8 @@ pub fn nd_lf(curr: &Snapshot, prev_ranks: &[f64], opts: &PagerankOptions) -> Pag
     );
     let n = curr.num_vertices();
     let ranks = AtomicRanks::from_slice(prev_ranks);
-    let rc = Flags::new(RcView::flags_len(n, opts.convergence, opts.chunk_size), 1);
-    run_lf_engine(curr, &ranks, &rc, LfMode::All, opts, None)
+    let rc = Flags::new(rc_flags_len(n, opts.convergence, opts.chunk_size), 1);
+    run_lf_engine(curr, &ranks, &rc, LfMode::<Flags>::All, opts, None)
 }
 
 #[cfg(test)]

@@ -15,7 +15,14 @@
 //! *all* flags (e.g. "every C[u] is set") use `SeqCst` scans, mirroring
 //! the conservative flush OpenMP performs at construct boundaries.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+//! [`EpochFlags`] is the reusable-workspace counterpart: the same flag
+//! semantics, but "set" means "stamped with the current epoch", so a
+//! long-running [`UpdateSession`](crate::session::UpdateSession) clears
+//! the whole vector between batches in O(1) (one epoch bump) instead of
+//! an O(n) wipe. The [`FlagOps`] trait lets the lock-free engine run on
+//! either representation.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// A shared vector of f64 ranks supporting concurrent in-place updates.
 #[derive(Debug)]
@@ -74,6 +81,193 @@ impl AtomicRanks {
     /// Sum of all ranks (diagnostic; ≈ 1.0 at a PageRank fixpoint).
     pub fn sum(&self) -> f64 {
         (0..self.len()).map(|v| self.get(v)).sum()
+    }
+
+    /// Overwrite every rank with `value` without allocating (exclusive
+    /// access, plain stores).
+    pub fn fill(&mut self, value: f64) {
+        let b = value.to_bits();
+        for x in &mut self.bits {
+            *x.get_mut() = b;
+        }
+    }
+
+    /// Overwrite the ranks from a plain slice, resizing only if the
+    /// length changed (steady-state: no allocation).
+    pub fn copy_from_slice(&mut self, ranks: &[f64]) {
+        if self.bits.len() != ranks.len() {
+            *self = AtomicRanks::from_slice(ranks);
+            return;
+        }
+        for (x, r) in self.bits.iter_mut().zip(ranks) {
+            *x.get_mut() = r.to_bits();
+        }
+    }
+
+    /// View the ranks as a plain `&[f64]` without copying.
+    ///
+    /// `&mut self` guarantees no thread can be writing concurrently, so
+    /// the reinterpretation is sound: `AtomicU64` has the same size and
+    /// bit validity as `u64`, and every stored pattern came from
+    /// `f64::to_bits`.
+    pub fn as_f64_slice(&mut self) -> &[f64] {
+        unsafe { self.as_f64_slice_unchecked() }
+    }
+
+    /// [`Self::as_f64_slice`] through a shared reference.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent writer exists for the
+    /// lifetime of the returned slice (e.g. the vector is owned by a
+    /// structure whose only writers take `&mut`).
+    pub(crate) unsafe fn as_f64_slice_unchecked(&self) -> &[f64] {
+        std::slice::from_raw_parts(self.bits.as_ptr() as *const f64, self.bits.len())
+    }
+}
+
+/// The flag operations the lock-free engine needs, abstracted over the
+/// storage representation ([`Flags`] for one-shot runs, [`EpochFlags`]
+/// for reusable session workspaces).
+pub trait FlagOps: Sync {
+    /// Read flag `i`.
+    fn get(&self, i: usize) -> bool;
+    /// Set flag `i`.
+    fn set(&self, i: usize);
+    /// Clear flag `i`.
+    fn clear(&self, i: usize);
+    /// Atomically set flag `i`, returning whether it was already set.
+    fn test_and_set(&self, i: usize) -> bool;
+    /// Read flag `i` with `SeqCst` ordering (termination scans).
+    fn get_sync(&self, i: usize) -> bool;
+    /// `SeqCst` scan: are **all** flags clear? (The LF convergence
+    /// check, Alg. 2 line 31.)
+    fn all_clear(&self) -> bool;
+}
+
+impl FlagOps for Flags {
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        Flags::get(self, i)
+    }
+    #[inline]
+    fn set(&self, i: usize) {
+        Flags::set(self, i)
+    }
+    #[inline]
+    fn clear(&self, i: usize) {
+        Flags::clear(self, i)
+    }
+    #[inline]
+    fn test_and_set(&self, i: usize) -> bool {
+        Flags::test_and_set(self, i)
+    }
+    #[inline]
+    fn get_sync(&self, i: usize) -> bool {
+        self.flags[i].load(Ordering::SeqCst) != 0
+    }
+    fn all_clear(&self) -> bool {
+        Flags::all_clear(self)
+    }
+}
+
+/// A flag vector whose "set" state is an epoch stamp: advancing the
+/// epoch (an exclusive O(1) operation) clears every flag at once, so a
+/// reusable workspace pays nothing per batch to reset `n`-sized flag
+/// vectors. Within one epoch the concurrent semantics match [`Flags`]
+/// (relaxed single-flag ops, `SeqCst` full scans).
+#[derive(Debug)]
+pub struct EpochFlags {
+    stamps: Vec<AtomicU32>,
+    epoch: u32,
+}
+
+impl EpochFlags {
+    /// `n` flags, all clear, at epoch 1 (stamp 0 = never set).
+    pub fn new(n: usize) -> Self {
+        EpochFlags {
+            stamps: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            epoch: 1,
+        }
+    }
+
+    /// Number of flags.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Clear every flag in O(1) by entering a new epoch. On the (once
+    /// per ~4 billion batches) wrap-around, falls back to an O(n) wipe
+    /// so stale stamps can never alias a future epoch.
+    pub fn advance(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            for s in &mut self.stamps {
+                *s.get_mut() = 0;
+            }
+            self.epoch = 1;
+        }
+    }
+
+    /// Set every flag (exclusive; O(n) plain stores). Used by the
+    /// all-vertices modes (Static/ND), whose per-batch work is O(n)
+    /// regardless.
+    pub fn fill_set(&mut self) {
+        let e = self.epoch;
+        for s in &mut self.stamps {
+            *s.get_mut() = e;
+        }
+    }
+
+    /// Resize to `n` flags, all clear (only allocates when growing past
+    /// the previous high-water length).
+    pub fn resize(&mut self, n: usize) {
+        self.stamps.resize_with(n, || AtomicU32::new(0));
+        self.advance();
+    }
+
+    /// Count of set flags (`Relaxed`; diagnostic).
+    pub fn count_set(&self) -> usize {
+        self.stamps
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) == self.epoch)
+            .count()
+    }
+}
+
+impl FlagOps for EpochFlags {
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.stamps[i].load(Ordering::Relaxed) == self.epoch
+    }
+    #[inline]
+    fn set(&self, i: usize) {
+        self.stamps[i].store(self.epoch, Ordering::Relaxed);
+    }
+    #[inline]
+    fn clear(&self, i: usize) {
+        // 0 is never a valid epoch (see `advance`), so this always
+        // reads back as clear.
+        self.stamps[i].store(0, Ordering::Relaxed);
+    }
+    #[inline]
+    fn test_and_set(&self, i: usize) -> bool {
+        self.stamps[i].swap(self.epoch, Ordering::Relaxed) == self.epoch
+    }
+    #[inline]
+    fn get_sync(&self, i: usize) -> bool {
+        self.stamps[i].load(Ordering::SeqCst) == self.epoch
+    }
+    fn all_clear(&self) -> bool {
+        self.stamps
+            .iter()
+            .all(|s| s.load(Ordering::SeqCst) != self.epoch)
     }
 }
 
@@ -233,6 +427,74 @@ mod tests {
         let f = Flags::new(4, 1);
         assert!(f.all_set());
         assert_eq!(f.count_set(), 4);
+    }
+
+    #[test]
+    fn fill_copy_and_plain_view() {
+        let mut r = AtomicRanks::uniform(3, 0.0);
+        r.fill(0.25);
+        assert_eq!(r.as_f64_slice(), &[0.25, 0.25, 0.25]);
+        r.copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.as_f64_slice(), &[1.0, 2.0, 3.0]);
+        // Length change falls back to reallocation.
+        r.copy_from_slice(&[7.0]);
+        assert_eq!(r.as_f64_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn epoch_flags_match_plain_flags_semantics() {
+        let e = EpochFlags::new(4);
+        assert!(e.all_clear() && !e.is_empty() && e.len() == 4);
+        e.set(2);
+        assert!(e.get(2) && !e.get(0));
+        assert!(!e.all_clear());
+        assert_eq!(e.count_set(), 1);
+        assert!(e.test_and_set(2), "already set");
+        assert!(!e.test_and_set(3), "was clear");
+        e.clear(2);
+        assert!(!e.get(2));
+        assert!(e.get(3));
+    }
+
+    #[test]
+    fn epoch_advance_clears_everything_in_o1() {
+        let mut e = EpochFlags::new(8);
+        for i in 0..8 {
+            e.set(i);
+        }
+        e.advance();
+        assert!(e.all_clear());
+        assert_eq!(e.count_set(), 0);
+        // Setting after the bump works against the new epoch.
+        e.set(5);
+        assert!(e.get(5));
+        e.fill_set();
+        assert!((0..8).all(|i| e.get(i)));
+    }
+
+    #[test]
+    fn epoch_wraparound_cannot_resurrect_stale_stamps() {
+        let mut e = EpochFlags::new(2);
+        e.set(0);
+        // Force the wrap: epoch u32::MAX → 0 triggers the O(n) wipe.
+        e.epoch = u32::MAX;
+        e.set(1);
+        e.advance();
+        assert_eq!(e.epoch, 1);
+        assert!(!e.get(0) && !e.get(1));
+    }
+
+    #[test]
+    fn flags_and_epoch_flags_share_the_trait() {
+        fn drive(f: &impl FlagOps) {
+            f.set(1);
+            assert!(f.get(1));
+            assert!(!f.all_clear());
+            f.clear(1);
+            assert!(f.all_clear());
+        }
+        drive(&Flags::new(3, 0));
+        drive(&EpochFlags::new(3));
     }
 
     #[test]

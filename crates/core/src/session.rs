@@ -1,0 +1,670 @@
+//! Long-lived incremental update sessions with a reusable workspace.
+//!
+//! [`UpdateSession`] is the stateful counterpart of [`api::run_dynamic`]:
+//! it owns the evolving [`DynGraph`], keeps the graph's CSR snapshot
+//! coherent across batches (patched incrementally via
+//! [`Snapshot::apply_batch_into`], never rebuilt), and reuses one
+//! workspace — the shared [`AtomicRanks`] vector, the `VA`/`RC`/`C` flag
+//! vectors ([`EpochFlags`]: cleared per batch by an O(1) epoch bump),
+//! the batch-edge scratch, and the precompiled round cursors — across
+//! every [`step`](UpdateSession::step).
+//!
+//! Why it matters: the one-shot path pays `O(n + m)` per batch no matter
+//! how small `|Δ|` is — `DynGraph::snapshot()` rebuilds both CSRs plus
+//! the transpose, and every `run_dynamic` allocates fresh rank/flag
+//! vectors and clones the rank vector back out. A session replaces all
+//! of that with work proportional to `|Δ|` plus bandwidth-bound bulk
+//! copies, which is what makes the paper's "small batch updates are
+//! cheap" headline hold end-to-end (the `update_bench` binary tracks
+//! the ratio). In steady state a lock-free step performs **zero O(n)
+//! allocations**: ranks stay in place (the previous batch's output *is*
+//! this batch's warm start), flags reset by epoch, retired snapshot
+//! buffers are recycled as the next patch destination, and the final
+//! ranks are exposed by reference ([`ranks`](UpdateSession::ranks))
+//! instead of a terminal `to_vec`.
+//!
+//! All eight algorithm variants work; the four barrier-based ones
+//! delegate to [`api::run_dynamic`] (they are synchronous baselines and
+//! keep their own allocation profile), while the four lock-free ones run
+//! on the shared engine directly against the workspace.
+
+use crate::api::{self, Algorithm};
+use crate::config::PagerankOptions;
+use crate::frontier::dfs_mark_atomic;
+use crate::lf_common::{
+    helping_mark_phase, rc_flags_len, run_lf_engine_on, ActiveChunks, EngineStats, LfMode,
+    Phase1Fn, RcView, ACTIVE_GRANULE,
+};
+use crate::rank::{AtomicRanks, EpochFlags, FlagOps};
+use crate::result::RunStatus;
+use lfpr_graph::types::Result as GraphResult;
+use lfpr_graph::{BatchUpdate, DynGraph, Snapshot};
+use lfpr_sched::chunks::ChunkCursor;
+use lfpr_sched::rounds::RoundCursors;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What one [`UpdateSession::step`] did, end to end.
+#[derive(Debug, Clone, Copy)]
+pub struct StepStats {
+    /// Termination status of the rank computation.
+    pub status: RunStatus,
+    /// Rounds/iterations the computation performed.
+    pub iterations: usize,
+    /// Wall-clock time of the parallel rank computation.
+    pub runtime: Duration,
+    /// Time spent refreshing the snapshot (incremental patch, or full
+    /// rebuild on the fallback path).
+    pub snapshot_time: Duration,
+    /// End-to-end step time (validation + snapshot + ranks).
+    pub total_time: Duration,
+    /// Total vertex-rank computations across all threads.
+    pub vertices_processed: u64,
+    /// Vertices flagged affected by the initial marking phase.
+    pub initially_affected: usize,
+    /// Worker threads crashed by fault injection during the run.
+    pub threads_crashed: usize,
+    /// `|Δ|`: number of edge updates in the batch.
+    pub batch_size: usize,
+    /// Whether the snapshot was refreshed incrementally (`false` means
+    /// the session had to fall back to a full rebuild, e.g. after
+    /// unrecorded ad-hoc mutations).
+    pub incremental: bool,
+}
+
+/// Reusable per-session buffers — allocated once, recycled every batch.
+struct Workspace {
+    /// Shared in-place rank vector; the previous step's output is the
+    /// next step's warm start, with no copy in between.
+    ranks: AtomicRanks,
+    /// `VA` (affected) flags, epoch-cleared per batch.
+    va: EpochFlags,
+    /// `RC` (not-yet-converged) flags, epoch-cleared per batch.
+    rc: EpochFlags,
+    /// `C` (batch-source checked) flags for the helping phase 1.
+    checked: EpochFlags,
+    /// Flattened batch edges (phase-1 work list).
+    edges: Vec<(u32, u32)>,
+    /// One flag per [`ACTIVE_GRANULE`]-vertex granule: set iff the
+    /// granule holds an affected vertex. Lets DF/DT rounds skip the
+    /// per-vertex scan of untouched index ranges (per-round cost ∝
+    /// affected set, not n).
+    active: EpochFlags,
+    /// Per-round chunk cursors over the precompiled vertex plan,
+    /// rewound (not reallocated) between steps.
+    rounds: Option<RoundCursors>,
+}
+
+/// A long-running incremental PageRank session over an evolving graph.
+///
+/// ```
+/// use lfpr_core::{session::UpdateSession, Algorithm, PagerankOptions};
+/// use lfpr_graph::{BatchUpdate, GraphBuilder, selfloops::add_self_loops};
+///
+/// let mut g = GraphBuilder::new(4)
+///     .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+///     .build_dyn()
+///     .unwrap();
+/// add_self_loops(&mut g);
+/// let opts = PagerankOptions::default().with_threads(2);
+/// let mut session = UpdateSession::new(g, Algorithm::DfLF, opts);
+///
+/// let before = session.ranks()[1];
+/// let stats = session
+///     .step(&BatchUpdate::insert_only(vec![(3, 1)]))
+///     .unwrap();
+/// assert!(stats.status.is_success());
+/// assert!(session.ranks()[1] > before);
+/// ```
+pub struct UpdateSession {
+    graph: DynGraph,
+    algorithm: Algorithm,
+    opts: PagerankOptions,
+    ws: Workspace,
+    last: Option<StepStats>,
+    steps: u64,
+}
+
+impl UpdateSession {
+    /// Take ownership of `graph`, compute its initial ranks with the
+    /// matching static variant (lock-free for LF algorithms, barrier-
+    /// based otherwise), and set up the reusable workspace.
+    pub fn new(mut graph: DynGraph, algorithm: Algorithm, opts: PagerankOptions) -> Self {
+        let snapshot = graph.snapshot_shared();
+        let opts = opts.precompile_vertex_plan(&snapshot);
+        let static_algo = if algorithm.is_lock_free() {
+            Algorithm::StaticLF
+        } else {
+            Algorithm::StaticBB
+        };
+        let initial = api::run_static(static_algo, &snapshot, &opts);
+        let n = snapshot.num_vertices();
+        drop(snapshot);
+        let ws = Workspace {
+            ranks: AtomicRanks::from_slice(&initial.ranks),
+            va: EpochFlags::new(n),
+            rc: EpochFlags::new(rc_flags_len(n, opts.convergence, opts.chunk_size)),
+            checked: EpochFlags::new(n),
+            edges: Vec::new(),
+            active: EpochFlags::new(n.div_ceil(ACTIVE_GRANULE)),
+            rounds: None,
+        };
+        let last = StepStats {
+            status: initial.status,
+            iterations: initial.iterations,
+            runtime: initial.runtime,
+            snapshot_time: Duration::ZERO,
+            total_time: initial.runtime,
+            vertices_processed: initial.vertices_processed,
+            initially_affected: 0,
+            threads_crashed: initial.threads_crashed,
+            batch_size: 0,
+            incremental: false,
+        };
+        UpdateSession {
+            graph,
+            algorithm,
+            opts,
+            ws,
+            last: Some(last),
+            steps: 0,
+        }
+    }
+
+    /// The current rank vector, borrowed from the in-place workspace
+    /// (no copy).
+    pub fn ranks(&self) -> &[f64] {
+        // SAFETY: every writer of `ws.ranks` runs inside a method taking
+        // `&mut self` and finishes (joins its worker team) before that
+        // method returns, so a shared borrow of `self` can never observe
+        // a concurrent writer.
+        unsafe { self.ws.ranks.as_f64_slice_unchecked() }
+    }
+
+    /// Rank of one vertex.
+    pub fn rank(&self, v: u32) -> f64 {
+        self.ranks()[v as usize]
+    }
+
+    /// Read-only access to the owned graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The `k` highest-ranked vertices, descending (ties broken by
+    /// vertex id). `O(n + k log k)` partial selection — the full
+    /// `O(n log n)` sort only the top slice needs is skipped.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        let ranks = self.ranks();
+        let k = k.min(ranks.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let cmp = |a: &u32, b: &u32| {
+            ranks[*b as usize]
+                .partial_cmp(&ranks[*a as usize])
+                .unwrap()
+                .then(a.cmp(b))
+        };
+        let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
+        if k < idx.len() {
+            idx.select_nth_unstable_by(k - 1, cmp);
+            idx.truncate(k);
+        }
+        idx.sort_unstable_by(cmp);
+        idx.into_iter().map(|v| (v, ranks[v as usize])).collect()
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &PagerankOptions {
+        &self.opts
+    }
+
+    /// Stats of the most recent step (or of the initial static compute
+    /// before any step ran).
+    pub fn last_stats(&self) -> Option<&StepStats> {
+        self.last.as_ref()
+    }
+
+    /// Number of update steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The coherent snapshot of the current graph (cache hit after the
+    /// first call; kept up to date incrementally by `step`).
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
+        self.graph.snapshot_shared()
+    }
+
+    /// Apply `batch` to the graph (all-or-nothing; the graph and ranks
+    /// are untouched on error) and refresh the ranks incrementally.
+    pub fn step(&mut self, batch: &BatchUpdate) -> GraphResult<StepStats> {
+        let t_total = Instant::now();
+        let prev = self.graph.snapshot_shared();
+        let t_snap = Instant::now();
+        self.graph.apply_batch(batch)?; // validates, then patches the cache
+                                        // The defensive arm in `apply_batch` drops the cache instead of
+                                        // installing a bad patch; report honestly when that forces the
+                                        // next line into a full rebuild.
+        let incremental = self.graph.cached_snapshot().is_some();
+        let curr = self.graph.snapshot_shared();
+        let snapshot_time = t_snap.elapsed();
+        let (engine, affected) = self.run_kernel(&prev, &curr, batch);
+        drop(curr);
+        self.graph.recycle_snapshot(prev);
+        Ok(self.finish(
+            engine,
+            affected,
+            batch.len(),
+            snapshot_time,
+            incremental,
+            t_total,
+        ))
+    }
+
+    /// Mutate the graph through `mutate` (which must return the batch of
+    /// every recorded insertion/deletion it performed) and refresh the
+    /// ranks. The snapshot is re-derived incrementally from the recorded
+    /// batch; if the batch does not reproduce the mutated graph (ad-hoc
+    /// unrecorded changes), the session falls back to a full rebuild.
+    pub fn step_mutated(&mut self, mutate: impl FnOnce(&mut DynGraph) -> BatchUpdate) -> StepStats {
+        let t_total = Instant::now();
+        let prev = self.graph.snapshot_shared();
+        let batch = mutate(&mut self.graph);
+        let t_snap = Instant::now();
+        let incremental = self.graph.reprime_snapshot(&prev, &batch);
+        let curr = self.graph.snapshot_shared();
+        let snapshot_time = t_snap.elapsed();
+        let (engine, affected) = self.run_kernel(&prev, &curr, &batch);
+        drop(curr);
+        self.graph.recycle_snapshot(prev);
+        self.finish(
+            engine,
+            affected,
+            batch.len(),
+            snapshot_time,
+            incremental,
+            t_total,
+        )
+    }
+
+    fn finish(
+        &mut self,
+        engine: EngineStats,
+        initially_affected: usize,
+        batch_size: usize,
+        snapshot_time: Duration,
+        incremental: bool,
+        t_total: Instant,
+    ) -> StepStats {
+        let stats = StepStats {
+            status: engine.status,
+            iterations: engine.iterations,
+            runtime: engine.runtime,
+            snapshot_time,
+            total_time: t_total.elapsed(),
+            vertices_processed: engine.vertices_processed,
+            initially_affected,
+            threads_crashed: engine.threads_crashed,
+            batch_size,
+            incremental,
+        };
+        self.last = Some(stats);
+        self.steps += 1;
+        stats
+    }
+
+    /// Grow/rebuild the workspace when the vertex set changed (ad-hoc
+    /// `grow()` inside a mutate closure) and rewind the round cursors.
+    fn prepare_workspace(&mut self, curr: &Snapshot) {
+        let n = curr.num_vertices();
+        if self.ws.ranks.len() != n {
+            // Vertex growth: keep existing ranks, seed newcomers at 1/n
+            // (they are repaired as soon as a batch touches them).
+            let mut v = self.ws.ranks.to_vec();
+            v.resize(n, 1.0 / n.max(1) as f64);
+            self.ws.ranks.copy_from_slice(&v);
+            self.ws.va.resize(n);
+            self.ws.checked.resize(n);
+        }
+        let rc_len = rc_flags_len(n, self.opts.convergence, self.opts.chunk_size);
+        if self.ws.rc.len() != rc_len {
+            self.ws.rc.resize(rc_len);
+        }
+        let granules = n.div_ceil(ACTIVE_GRANULE);
+        if self.ws.active.len() != granules {
+            self.ws.active.resize(granules);
+        }
+        if self
+            .opts
+            .vertex_plan_cache
+            .as_ref()
+            .is_none_or(|p| p.len() != n)
+        {
+            self.opts = self.opts.clone().precompile_vertex_plan(curr);
+        }
+        let rebuild = match &self.ws.rounds {
+            Some(r) => r.plan().len() != n || r.max_rounds() != self.opts.max_iterations,
+            None => true,
+        };
+        if rebuild {
+            self.ws.rounds = Some(RoundCursors::new(
+                self.opts.vertex_plan(curr),
+                self.opts.max_iterations,
+            ));
+        } else {
+            self.ws.rounds.as_mut().unwrap().reset();
+        }
+    }
+
+    /// Dispatch one rank refresh over the reusable workspace. Returns
+    /// the engine stats plus the initially-affected count.
+    fn run_kernel(
+        &mut self,
+        prev: &Snapshot,
+        curr: &Snapshot,
+        batch: &BatchUpdate,
+    ) -> (EngineStats, usize) {
+        self.prepare_workspace(curr);
+        if !self.algorithm.is_lock_free() {
+            // Barrier-based baselines: delegate to the one-shot path
+            // (synchronous Jacobi needs its own double-buffered state).
+            // SAFETY: see `ranks` — no concurrent writer can exist here.
+            let prev_ranks: &[f64] = unsafe { self.ws.ranks.as_f64_slice_unchecked() };
+            // A vertex-set change (ad-hoc `grow()` in a mutate closure)
+            // invalidates `prev` for the DT/DF kernels, which index it
+            // by batch source; recompute statically for that one step.
+            let res = if prev.num_vertices() != curr.num_vertices() {
+                api::run_static(Algorithm::StaticBB, curr, &self.opts)
+            } else {
+                api::run_dynamic(self.algorithm, prev, curr, batch, prev_ranks, &self.opts)
+            };
+            let engine = EngineStats {
+                iterations: res.iterations,
+                runtime: res.runtime,
+                status: res.status,
+                vertices_processed: res.vertices_processed,
+                threads_crashed: res.threads_crashed,
+            };
+            let affected = res.initially_affected;
+            self.ws.ranks.copy_from_slice(&res.ranks);
+            return (engine, affected);
+        }
+
+        let opts = &self.opts;
+        // The granule filter's termination scan indexes RC by vertex,
+        // so it requires per-vertex convergence flags.
+        let sparse_filter = matches!(opts.convergence, crate::config::ConvergenceMode::PerVertex);
+        let Workspace {
+            ranks,
+            va,
+            rc,
+            checked,
+            edges,
+            active,
+            rounds,
+        } = &mut self.ws;
+        let rounds: &RoundCursors = rounds.as_ref().expect("prepared above");
+        let n = curr.num_vertices();
+
+        match self.algorithm {
+            Algorithm::StaticLF => {
+                // Full recompute baseline: uniform restart over all
+                // vertices (the workspace still saves the allocations).
+                ranks.fill(1.0 / n.max(1) as f64);
+                rc.fill_set();
+                let s = run_lf_engine_on::<EpochFlags, EpochFlags, EpochFlags>(
+                    curr,
+                    ranks,
+                    &*rc,
+                    LfMode::All,
+                    opts,
+                    None,
+                    rounds,
+                    None,
+                );
+                (s, 0)
+            }
+            Algorithm::NdLF => {
+                // Naive-dynamic: warm ranks are already in place.
+                rc.fill_set();
+                let s = run_lf_engine_on::<EpochFlags, EpochFlags, EpochFlags>(
+                    curr,
+                    ranks,
+                    &*rc,
+                    LfMode::All,
+                    opts,
+                    None,
+                    rounds,
+                    None,
+                );
+                (s, 0)
+            }
+            Algorithm::DtLF | Algorithm::DfLF => {
+                va.advance();
+                rc.advance();
+                checked.advance();
+                active.advance();
+                edges.clear();
+                edges.extend(batch.iter_all());
+                let cursor = ChunkCursor::new(edges.len());
+                let rc_view = RcView::new(&*rc, opts.convergence, opts.chunk_size);
+                let affected = AtomicUsize::new(0);
+                let phase1_chunk = opts.batch_chunk(edges.len());
+                let va = &*va;
+                let checked = &*checked;
+                let active_view = ActiveChunks::new(&*active, ACTIVE_GRANULE, n);
+                let active_opt = sparse_filter.then_some(&active_view);
+                let traversal = self.algorithm == Algorithm::DtLF;
+                // Sources past `prev`'s vertex set (ad-hoc `grow()` in a
+                // mutate closure) have no previous out-neighbors.
+                let prev_n = prev.num_vertices();
+                // DF (Alg. 2 lines 10-12): out-neighbors of u in both
+                // snapshots become affected. DT (§3.5.2): everything
+                // reachable from them in Gt, via atomic-visited DFS.
+                // Chunk flags are marked before vertex flags (see
+                // `ActiveChunks`).
+                let mark_source = |u: u32| {
+                    let prev_out = if (u as usize) < prev_n {
+                        prev.out(u)
+                    } else {
+                        &[][..]
+                    };
+                    for &vp in prev_out.iter().chain(curr.out(u)) {
+                        if traversal {
+                            dfs_mark_atomic(curr, vp, va, &mut |w| {
+                                active_view.mark_vertex(w as usize);
+                                affected.fetch_add(1, Ordering::Relaxed);
+                                rc_view.set_vertex(w as usize);
+                            });
+                        } else {
+                            active_view.mark_vertex(vp as usize);
+                            if !va.test_and_set(vp as usize) {
+                                affected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            rc_view.set_vertex(vp as usize);
+                        }
+                    }
+                };
+                let phase1: &Phase1Fn<'_> = &|_t, faults| {
+                    helping_mark_phase(edges, &cursor, checked, phase1_chunk, &mark_source, faults)
+                };
+                let mode = if traversal {
+                    LfMode::Affected { va }
+                } else {
+                    LfMode::Frontier {
+                        va,
+                        tau_f: opts.frontier_tolerance,
+                    }
+                };
+                let s = run_lf_engine_on(
+                    curr,
+                    ranks,
+                    &*rc,
+                    mode,
+                    opts,
+                    Some(phase1),
+                    rounds,
+                    active_opt,
+                );
+                (s, affected.load(Ordering::Relaxed))
+            }
+            Algorithm::StaticBB | Algorithm::NdBB | Algorithm::DtBB | Algorithm::DfBB => {
+                unreachable!("barrier-based variants dispatched above")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::linf_diff;
+    use crate::reference::reference_default;
+    use lfpr_graph::generators::erdos_renyi;
+    use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::BatchSpec;
+
+    fn opts() -> PagerankOptions {
+        PagerankOptions::default()
+            .with_threads(2)
+            .with_chunk_size(32)
+    }
+
+    fn session(algo: Algorithm) -> UpdateSession {
+        let mut g = erdos_renyi(120, 700, 91);
+        add_self_loops(&mut g);
+        UpdateSession::new(g, algo, opts())
+    }
+
+    #[test]
+    fn initial_ranks_sum_to_one() {
+        let s = session(Algorithm::DfLF);
+        let sum: f64 = s.ranks().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-7, "sum = {sum}");
+        assert_eq!(s.steps(), 0);
+        assert!(s.last_stats().is_some());
+    }
+
+    #[test]
+    fn steps_track_reference_for_every_algorithm() {
+        for algo in Algorithm::ALL {
+            let mut s = session(algo);
+            for round in 0..3u64 {
+                let batch = BatchSpec::mixed(0.02, 100 + round).generate(s.graph());
+                let stats = s.step(&batch).unwrap_or_else(|e| panic!("{algo}: {e}"));
+                assert!(stats.status.is_success(), "{algo}");
+                assert!(stats.incremental, "{algo}: snapshot must be patched");
+                assert_eq!(stats.batch_size, batch.len());
+                let reference = reference_default(&s.graph().snapshot());
+                let err = linf_diff(s.ranks(), &reference);
+                assert!(err < 1e-6, "{algo} round {round}: err = {err:.2e}");
+                assert_eq!(s.steps(), round + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_batch_leaves_session_untouched() {
+        let mut s = session(Algorithm::DfLF);
+        let before = s.ranks().to_vec();
+        let g_before = s.graph().clone();
+        let bad = BatchUpdate::insert_only(vec![(0, 0)]); // self-loop exists
+        assert!(s.step(&bad).is_err());
+        assert_eq!(s.ranks(), &before[..]);
+        assert_eq!(*s.graph(), g_before);
+        assert_eq!(s.steps(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut s = session(Algorithm::DfLF);
+        let before = s.ranks().to_vec();
+        let stats = s.step(&BatchUpdate::new()).unwrap();
+        assert_eq!(stats.status, RunStatus::Converged);
+        assert_eq!(stats.vertices_processed, 0);
+        assert_eq!(s.ranks(), &before[..]);
+    }
+
+    #[test]
+    fn step_mutated_records_and_falls_back() {
+        let mut s = session(Algorithm::DfLF);
+        // Coherent recording: incremental refresh.
+        let stats = s.step_mutated(|g| {
+            let mut b = BatchUpdate::new();
+            g.insert_edge(3, 7).unwrap();
+            b.insertions.push((3, 7));
+            b
+        });
+        assert!(stats.incremental);
+        assert!(s.graph().has_edge(3, 7));
+        // Unrecorded mutation: the session must notice and rebuild.
+        let stats = s.step_mutated(|g| {
+            g.delete_edge(3, 7).unwrap();
+            BatchUpdate::new() // lies by omission
+        });
+        assert!(!stats.incremental);
+        let reference = reference_default(&s.graph().snapshot());
+        // NDLF-quality repair is not guaranteed after a lie (DF marks
+        // nothing), but the snapshot itself must be coherent.
+        assert_eq!(*s.snapshot(), s.graph().snapshot());
+        let _ = reference;
+    }
+
+    #[test]
+    fn grow_mid_session_is_survivable() {
+        // Ad-hoc `grow()` inside a mutate closure changes the vertex
+        // set: LF sessions must guard `prev` indexing, BB sessions fall
+        // back to a static recompute for that step.
+        for algo in [Algorithm::DfLF, Algorithm::DtLF, Algorithm::DfBB] {
+            let mut s = session(algo);
+            let n = s.graph().num_vertices() as u32;
+            let stats = s.step_mutated(|g| {
+                g.grow(n as usize + 3);
+                let mut b = BatchUpdate::new();
+                for w in [(n, 0), (n + 2, 5), (3, n + 1)] {
+                    g.insert_edge(w.0, w.1).unwrap();
+                    b.insertions.push(w);
+                }
+                b
+            });
+            assert!(stats.status.is_success(), "{algo}");
+            assert_eq!(s.ranks().len(), n as usize + 3, "{algo}");
+            assert_eq!(*s.snapshot(), s.graph().snapshot(), "{algo}");
+            // The session keeps working at the new size.
+            let batch = BatchSpec::mixed(0.01, 77).generate(s.graph());
+            assert!(s.step(&batch).unwrap().status.is_success(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_bit_for_bit_single_thread() {
+        // Same warm start + same snapshots + 1 thread ⇒ the session's
+        // workspace path must reproduce the one-shot kernel exactly.
+        let o = PagerankOptions::default()
+            .with_threads(1)
+            .with_chunk_size(64);
+        let mut g = erdos_renyi(150, 900, 17);
+        add_self_loops(&mut g);
+        let mut s = UpdateSession::new(g.clone(), Algorithm::DfLF, o.clone());
+        let mut oracle_ranks = s.ranks().to_vec();
+        for round in 0..4u64 {
+            let batch = BatchSpec::mixed(0.01, 40 + round).generate(&g);
+            let prev = g.snapshot();
+            g.apply_batch(&batch).unwrap();
+            let curr = g.snapshot();
+            let one_shot = crate::df_lf::df_lf(&prev, &curr, &batch, &oracle_ranks, &o);
+            oracle_ranks = one_shot.ranks;
+            let stats = s.step(&batch).unwrap();
+            assert_eq!(s.ranks(), &oracle_ranks[..], "round {round}");
+            assert_eq!(stats.initially_affected, one_shot.initially_affected);
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //! converge.
 
 use crate::config::PagerankOptions;
-use crate::lf_common::{run_lf_engine, LfMode, RcView};
+use crate::lf_common::{rc_flags_len, run_lf_engine, LfMode};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::PagerankResult;
 use lfpr_graph::Snapshot;
@@ -26,8 +26,8 @@ use lfpr_graph::Snapshot;
 pub fn static_lf(g: &Snapshot, opts: &PagerankOptions) -> PagerankResult {
     let n = g.num_vertices();
     let ranks = AtomicRanks::uniform(n, 1.0 / n.max(1) as f64);
-    let rc = Flags::new(RcView::flags_len(n, opts.convergence, opts.chunk_size), 1);
-    run_lf_engine(g, &ranks, &rc, LfMode::All, opts, None)
+    let rc = Flags::new(rc_flags_len(n, opts.convergence, opts.chunk_size), 1);
+    run_lf_engine(g, &ranks, &rc, LfMode::<Flags>::All, opts, None)
 }
 
 #[cfg(test)]

@@ -12,16 +12,41 @@
 use crate::batch::BatchUpdate;
 use crate::snapshot::Snapshot;
 use crate::types::{Edge, GraphError, Result, VertexId};
+use std::sync::Arc;
 
 /// A mutable directed graph over a fixed vertex set `0..n`.
 ///
 /// The paper assumes no vertex additions/removals (§3.4); the vertex count
 /// is fixed at construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The graph keeps its own CSR snapshot coherent across
+/// [`apply_batch`](Self::apply_batch) calls: the first
+/// [`snapshot_shared`](Self::snapshot_shared) builds it in full, and every
+/// subsequent batch patches it incrementally via
+/// [`Snapshot::apply_batch_into`] instead of re-deriving both CSRs and the
+/// transpose from scratch. Ad-hoc single-edge mutations invalidate the
+/// cache (the next `snapshot_shared` rebuilds).
+#[derive(Debug, Clone)]
 pub struct DynGraph {
     out: Vec<Vec<VertexId>>, // sorted
     m: usize,
+    /// Coherent CSR snapshot of the current adjacency, shared with
+    /// readers (rank sessions) via `Arc`.
+    cached: Option<Arc<Snapshot>>,
+    /// Buffers of a retired snapshot, recycled as the patch destination
+    /// of the next incremental batch (steady-state: zero allocation).
+    retired: Option<Snapshot>,
 }
+
+/// Equality is over the graph itself (adjacency + edge count); the
+/// snapshot cache and recycling scratch are representation details.
+impl PartialEq for DynGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m && self.out == other.out
+    }
+}
+
+impl Eq for DynGraph {}
 
 impl DynGraph {
     /// An edgeless graph with `n` vertices.
@@ -29,6 +54,8 @@ impl DynGraph {
         DynGraph {
             out: vec![Vec::new(); n],
             m: 0,
+            cached: None,
+            retired: None,
         }
     }
 
@@ -41,6 +68,8 @@ impl DynGraph {
         DynGraph {
             out,
             m: edges.len(),
+            cached: None,
+            retired: None,
         }
     }
 
@@ -105,7 +134,9 @@ impl DynGraph {
         }
     }
 
-    /// Insert edge `(u, v)`. Errors if it already exists.
+    /// Insert edge `(u, v)`. Errors if it already exists. Invalidates
+    /// the cached snapshot (use [`apply_batch`](Self::apply_batch) to
+    /// keep it coherent incrementally).
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
@@ -114,6 +145,7 @@ impl DynGraph {
             Err(pos) => {
                 self.out[u as usize].insert(pos, v);
                 self.m += 1;
+                self.cached = None;
                 Ok(())
             }
         }
@@ -128,7 +160,9 @@ impl DynGraph {
         }
     }
 
-    /// Delete edge `(u, v)`. Errors if it does not exist.
+    /// Delete edge `(u, v)`. Errors if it does not exist. Invalidates
+    /// the cached snapshot (use [`apply_batch`](Self::apply_batch) to
+    /// keep it coherent incrementally).
     pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
@@ -136,39 +170,83 @@ impl DynGraph {
             Ok(pos) => {
                 self.out[u as usize].remove(pos);
                 self.m -= 1;
+                self.cached = None;
                 Ok(())
             }
             Err(_) => Err(GraphError::MissingEdge((u, v))),
         }
     }
 
-    /// Apply a batch update: all deletions then all insertions.
-    ///
-    /// Deletions of missing edges and insertions of existing edges are
-    /// rejected with an error and the graph is left partially updated, so
-    /// callers should validate batches (the generators in
-    /// [`batch`](crate::batch) always produce valid batches).
-    pub fn apply_batch(&mut self, batch: &BatchUpdate) -> Result<()> {
+    /// Check that applying `batch` (all deletions, then all insertions,
+    /// in list order) would succeed on the current graph without
+    /// touching it: every vertex in range, every deletion present and
+    /// not repeated, every insertion absent (or deleted earlier in the
+    /// same batch) and not repeated.
+    pub fn validate_batch(&self, batch: &BatchUpdate) -> Result<()> {
+        use std::collections::HashSet;
+        for (u, v) in batch.iter_all() {
+            self.check_vertex(u)?;
+            self.check_vertex(v)?;
+        }
+        let mut dels: HashSet<Edge> = HashSet::with_capacity(batch.deletions.len());
         for &(u, v) in &batch.deletions {
-            self.delete_edge(u, v)?;
+            if !self.has_edge(u, v) || !dels.insert((u, v)) {
+                return Err(GraphError::MissingEdge((u, v)));
+            }
+        }
+        let mut ins: HashSet<Edge> = HashSet::with_capacity(batch.insertions.len());
+        for &(u, v) in &batch.insertions {
+            let vacant = !self.has_edge(u, v) || dels.contains(&(u, v));
+            if !vacant || !ins.insert((u, v)) {
+                return Err(GraphError::DuplicateEdge((u, v)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a batch update: all deletions then all insertions,
+    /// **all-or-nothing**. The whole batch is validated up front
+    /// ([`validate_batch`](Self::validate_batch)); on error the graph is
+    /// left exactly as it was. A coherent cached snapshot is patched
+    /// incrementally (cost ∝ |Δ| plus a bulk copy) rather than dropped.
+    pub fn apply_batch(&mut self, batch: &BatchUpdate) -> Result<()> {
+        self.validate_batch(batch)?;
+        // Patch the coherent snapshot first — it describes the pre-batch
+        // graph. Validation guarantees the patch cannot fail; the
+        // defensive arm drops the cache so the next reader rebuilds.
+        if let Some(prev) = self.cached.take() {
+            let mut dst = self.retired.take().unwrap_or_default();
+            if prev.apply_batch_into(batch, &mut dst).is_ok() {
+                self.cached = Some(Arc::new(dst));
+            }
+        }
+        for &(u, v) in &batch.deletions {
+            let pos = self.out[u as usize]
+                .binary_search(&v)
+                .expect("validated deletion must exist");
+            self.out[u as usize].remove(pos);
+            self.m -= 1;
         }
         for &(u, v) in &batch.insertions {
-            self.insert_edge(u, v)?;
+            let pos = self.out[u as usize]
+                .binary_search(&v)
+                .expect_err("validated insertion must be absent");
+            self.out[u as usize].insert(pos, v);
+            self.m += 1;
+        }
+        if let Some(s) = &self.cached {
+            debug_assert_eq!(s.num_edges(), self.m);
+            debug_assert_eq!(*s.as_ref(), Snapshot::from_adjacency(&self.out));
         }
         Ok(())
     }
 
     /// Apply the inverse of a batch (re-insert deletions, remove
     /// insertions), restoring the pre-batch graph. Used by the stability
-    /// experiment (§5.2.3).
+    /// experiment (§5.2.3). All-or-nothing, like
+    /// [`apply_batch`](Self::apply_batch).
     pub fn revert_batch(&mut self, batch: &BatchUpdate) -> Result<()> {
-        for &(u, v) in &batch.insertions {
-            self.delete_edge(u, v)?;
-        }
-        for &(u, v) in &batch.deletions {
-            self.insert_edge(u, v)?;
-        }
-        Ok(())
+        self.apply_batch(&batch.inverse())
     }
 
     /// Grow the vertex set to `new_n` vertices (ids `old_n..new_n` are
@@ -178,6 +256,7 @@ impl DynGraph {
     pub fn grow(&mut self, new_n: usize) {
         if new_n > self.out.len() {
             self.out.resize(new_n, Vec::new());
+            self.cached = None;
         }
     }
 
@@ -185,6 +264,7 @@ impl DynGraph {
     /// Returns the removed edges as a batch-compatible list. `O(|E|)` —
     /// intended for the vertex-removal extension, not hot paths.
     pub fn isolate_vertex(&mut self, v: VertexId) -> Vec<Edge> {
+        self.cached = None;
         let mut removed: Vec<Edge> = Vec::new();
         // Outgoing edges.
         let outs = std::mem::take(&mut self.out[v as usize]);
@@ -215,9 +295,64 @@ impl DynGraph {
             .flat_map(|(u, list)| list.iter().map(move |&v| (u as VertexId, v)))
     }
 
-    /// Take an immutable CSR snapshot (out + in adjacency).
+    /// Take an immutable CSR snapshot (out + in adjacency) by full
+    /// rebuild. This is the `O(n + m)` oracle path; long-running update
+    /// loops should use [`snapshot_shared`](Self::snapshot_shared) +
+    /// [`apply_batch`](Self::apply_batch), which keep a coherent
+    /// snapshot patched incrementally.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot::from_adjacency(&self.out)
+    }
+
+    /// The coherent shared snapshot of the current graph: returns the
+    /// cached `Arc` when valid (O(1)), otherwise rebuilds once and
+    /// caches. Subsequent [`apply_batch`](Self::apply_batch) calls keep
+    /// it up to date incrementally.
+    pub fn snapshot_shared(&mut self) -> Arc<Snapshot> {
+        if let Some(s) = &self.cached {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(self.snapshot());
+        self.cached = Some(Arc::clone(&s));
+        s
+    }
+
+    /// The cached coherent snapshot, if one is currently valid.
+    pub fn cached_snapshot(&self) -> Option<&Arc<Snapshot>> {
+        self.cached.as_ref()
+    }
+
+    /// Restore the coherent cache after ad-hoc mutations by patching
+    /// `prev` (the snapshot of this graph **before** the mutations) with
+    /// the recorded `batch`, reusing retired buffers. Returns whether
+    /// the patch succeeded *and* reproduces the mutated graph; on
+    /// `false` the cache stays invalid and the next
+    /// [`snapshot_shared`](Self::snapshot_shared) rebuilds in full.
+    pub fn reprime_snapshot(&mut self, prev: &Snapshot, batch: &BatchUpdate) -> bool {
+        let mut dst = self.retired.take().unwrap_or_default();
+        if prev.apply_batch_into(batch, &mut dst).is_err() {
+            return false; // dst is garbage; drop it
+        }
+        if dst.num_vertices() != self.num_vertices() || dst.num_edges() != self.m {
+            self.retired = Some(dst); // valid buffers, wrong graph
+            return false;
+        }
+        debug_assert_eq!(dst, Snapshot::from_adjacency(&self.out));
+        self.cached = Some(Arc::new(dst));
+        true
+    }
+
+    /// Hand back a retired snapshot `Arc` (typically the pre-batch
+    /// snapshot once a rank update no longer needs it). If this was the
+    /// last reference, its buffers are kept and reused as the patch
+    /// destination of the next incremental [`apply_batch`](Self::apply_batch),
+    /// making the steady-state snapshot refresh allocation-free.
+    pub fn recycle_snapshot(&mut self, snapshot: Arc<Snapshot>) {
+        if self.retired.is_none() {
+            if let Ok(s) = Arc::try_unwrap(snapshot) {
+                self.retired = Some(s);
+            }
+        }
     }
 }
 
@@ -357,6 +492,87 @@ mod tests {
         let mut removed_sorted = removed.clone();
         removed_sorted.sort_unstable();
         assert_eq!(removed_sorted, vec![(0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn apply_batch_is_all_or_nothing() {
+        // A batch that deletes a real edge but then inserts a duplicate
+        // must leave the graph completely untouched (the seed behavior
+        // deleted (0,1) before failing).
+        let mut g = triangle();
+        let before = g.clone();
+        let batch = BatchUpdate {
+            deletions: vec![(0, 1)],
+            insertions: vec![(1, 2)], // already present → invalid
+        };
+        assert_eq!(
+            g.apply_batch(&batch).unwrap_err(),
+            GraphError::DuplicateEdge((1, 2))
+        );
+        assert_eq!(g, before);
+        // Same for a missing deletion listed after valid insertions.
+        let batch = BatchUpdate {
+            deletions: vec![(0, 2)], // absent → invalid
+            insertions: vec![(1, 0)],
+        };
+        assert_eq!(
+            g.apply_batch(&batch).unwrap_err(),
+            GraphError::MissingEdge((0, 2))
+        );
+        assert_eq!(g, before);
+        // Duplicate entries within one batch are rejected too.
+        let batch = BatchUpdate::delete_only(vec![(0, 1), (0, 1)]);
+        assert!(g.apply_batch(&batch).is_err());
+        assert_eq!(g, before);
+        let batch = BatchUpdate::insert_only(vec![(0, 2), (0, 2)]);
+        assert!(g.apply_batch(&batch).is_err());
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn apply_batch_allows_delete_then_reinsert() {
+        let mut g = triangle();
+        let batch = BatchUpdate {
+            deletions: vec![(0, 1)],
+            insertions: vec![(0, 1)],
+        };
+        g.apply_batch(&batch).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn shared_snapshot_stays_coherent_across_batches() {
+        let mut g = triangle();
+        let s0 = g.snapshot_shared();
+        assert!(Arc::ptr_eq(&s0, &g.snapshot_shared()), "cache hit");
+        let batch = BatchUpdate {
+            deletions: vec![(2, 0)],
+            insertions: vec![(0, 2), (1, 0)],
+        };
+        g.apply_batch(&batch).unwrap();
+        let s1 = g.snapshot_shared();
+        assert!(!Arc::ptr_eq(&s0, &s1));
+        assert_eq!(*s1, g.snapshot(), "incremental patch ≡ full rebuild");
+        // Ad-hoc mutation invalidates; next call rebuilds coherently.
+        g.insert_edge(2, 1).unwrap();
+        assert!(g.cached_snapshot().is_none());
+        assert_eq!(*g.snapshot_shared(), g.snapshot());
+    }
+
+    #[test]
+    fn recycled_snapshot_buffers_are_reused() {
+        let mut g = triangle();
+        let s0 = g.snapshot_shared();
+        g.apply_batch(&BatchUpdate::insert_only(vec![(0, 2)]))
+            .unwrap();
+        // s0 is now retired; hand it back for buffer reuse.
+        g.recycle_snapshot(s0);
+        assert!(g.retired.is_some());
+        g.apply_batch(&BatchUpdate::delete_only(vec![(0, 2)]))
+            .unwrap();
+        assert!(g.retired.is_none(), "scratch consumed by the next patch");
+        assert_eq!(*g.snapshot_shared(), g.snapshot());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Property tests for the incremental delta-snapshot path.
+//!
+//! The invariant that makes the whole update pipeline trustworthy:
+//! `Snapshot::apply_batch` (CSR splicing) is **extensionally identical**
+//! to the full rebuild (`DynGraph::apply_batch` + `snapshot()`), for any
+//! valid batch over any graph — out-CSR, in-CSR, and the cached
+//! out-degree array all compare equal (`Snapshot: PartialEq`). The same
+//! holds transitively for `DynGraph`'s coherent cached snapshot across
+//! arbitrary batch sequences.
+
+use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
+use proptest::prelude::*;
+
+/// Build a valid graph from arbitrary drawn data: ids clamped into
+/// `0..n`, duplicates removed by `from_edges`.
+fn graph_from(n: usize, raw: &[(u32, u32)]) -> DynGraph {
+    let edges: Vec<(u32, u32)> = raw
+        .iter()
+        .map(|&(u, v)| (u % n as u32, v % n as u32))
+        .collect();
+    DynGraph::from_edges(n, edges).expect("clamped ids are in range")
+}
+
+proptest! {
+    /// Incremental patch ≡ full rebuild for a random generated batch
+    /// over a random graph.
+    #[test]
+    fn apply_batch_equals_full_rebuild(
+        n in 2usize..80,
+        raw in proptest::collection::vec((0u32..100, 0u32..100), 0..300),
+        fraction in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let mut g = graph_from(n, &raw);
+        let prev = g.snapshot();
+        let batch = BatchSpec::mixed(fraction, seed).generate(&g);
+        let incremental = prev.apply_batch(&batch).expect("generated batch is valid");
+        g.apply_batch(&batch).expect("generated batch is valid");
+        prop_assert_eq!(&incremental, &g.snapshot());
+        // Degrees patched, not recomputed — spot-check against the graph.
+        for v in 0..n as u32 {
+            prop_assert_eq!(incremental.out_degree(v) as usize, g.out_degree(v));
+        }
+    }
+
+    /// A chain of batches keeps the graph's coherent cached snapshot
+    /// equal to a from-scratch rebuild at every step (including buffer
+    /// recycling through `recycle_snapshot`).
+    #[test]
+    fn cached_snapshot_coherent_across_batch_chains(
+        n in 2usize..60,
+        raw in proptest::collection::vec((0u32..80, 0u32..80), 0..200),
+        seeds in proptest::collection::vec(0u64..1000, 1..6),
+    ) {
+        let mut g = graph_from(n, &raw);
+        let mut retired = Some(g.snapshot_shared());
+        for seed in seeds {
+            let batch = BatchSpec::mixed(0.1, seed).generate(&g);
+            g.apply_batch(&batch).expect("generated batch is valid");
+            if let Some(prev) = retired.take() {
+                g.recycle_snapshot(prev);
+            }
+            let shared = g.snapshot_shared();
+            prop_assert_eq!(shared.as_ref(), &g.snapshot());
+            retired = Some(shared);
+        }
+    }
+
+    /// Delete-then-reinsert of the same edge inside one batch nets to
+    /// "present" on both paths.
+    #[test]
+    fn delete_reinsert_roundtrip(
+        n in 2usize..40,
+        raw in proptest::collection::vec((0u32..50, 0u32..50), 1..120),
+    ) {
+        let mut g = graph_from(n, &raw);
+        if g.num_edges() > 0 {
+            let (u, v) = g.edges().next().unwrap();
+            let prev = g.snapshot();
+            let batch = BatchUpdate {
+                deletions: vec![(u, v)],
+                insertions: vec![(u, v)],
+            };
+            let incremental = prev.apply_batch(&batch).expect("net no-op batch is valid");
+            prop_assert_eq!(&incremental, &prev);
+            g.apply_batch(&batch).expect("net no-op batch is valid");
+            prop_assert_eq!(incremental, g.snapshot());
+        }
+    }
+
+    /// Invalid batches are rejected without corrupting either path:
+    /// `Snapshot::apply_batch` errors and `DynGraph::apply_batch` stays
+    /// all-or-nothing.
+    #[test]
+    fn invalid_batches_rejected_consistently(
+        n in 2usize..40,
+        raw in proptest::collection::vec((0u32..50, 0u32..50), 0..120),
+        u in 0u32..50,
+        v in 0u32..50,
+    ) {
+        let mut g = graph_from(n, &raw);
+        let (u, v) = (u % n as u32, v % n as u32);
+        let prev = g.snapshot();
+        let before = g.clone();
+        let bad = if g.has_edge(u, v) {
+            BatchUpdate::insert_only(vec![(u, v)])
+        } else {
+            BatchUpdate::delete_only(vec![(u, v)])
+        };
+        prop_assert!(prev.apply_batch(&bad).is_err());
+        prop_assert!(g.apply_batch(&bad).is_err());
+        prop_assert_eq!(g, before);
+    }
+}
+
+#[test]
+fn snapshot_apply_batch_handles_boundary_vertices() {
+    // First and last vertices touched: exercises the splice's prefix,
+    // gap, and tail copies.
+    let g = DynGraph::from_edges(5, vec![(0, 4), (4, 0), (2, 2)]).unwrap();
+    let prev = g.snapshot();
+    let batch = BatchUpdate {
+        deletions: vec![(0, 4), (4, 0)],
+        insertions: vec![(0, 1), (4, 3), (4, 2)],
+    };
+    let next = prev.apply_batch(&batch).unwrap();
+    let mut g2 = g.clone();
+    g2.apply_batch(&batch).unwrap();
+    assert_eq!(next, g2.snapshot());
+    assert_eq!(next.out(4), &[2, 3]);
+    assert_eq!(next.in_(0), &[] as &[u32]);
+}
+
+#[test]
+fn empty_graph_and_empty_batch() {
+    let g = DynGraph::new(3);
+    let prev = g.snapshot();
+    let next = prev.apply_batch(&BatchUpdate::new()).unwrap();
+    assert_eq!(next, prev);
+    let empty = Snapshot::from_edges(0, &[]);
+    assert_eq!(empty.apply_batch(&BatchUpdate::new()).unwrap(), empty);
+}

@@ -377,6 +377,14 @@ impl PlanCursor {
     pub fn plan(&self) -> &ChunkPlan {
         &self.plan
     }
+
+    /// Rewind the cursor so the whole plan can be claimed again.
+    /// `&mut self` guarantees no thread is claiming concurrently — this
+    /// is the between-runs reuse hook for persistent workspaces, not
+    /// part of the wait-free claim protocol.
+    pub fn reset(&mut self) {
+        *self.next.get_mut() = 0;
+    }
 }
 
 #[cfg(test)]

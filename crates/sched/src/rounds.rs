@@ -115,6 +115,23 @@ impl RoundCursors {
         }
     }
 
+    /// Rewind every materialized cursor (and the round stats) so the
+    /// same set can drive another run — the reuse hook for persistent
+    /// update sessions, which would otherwise re-allocate the spine and
+    /// first cursor block on every batch. `&mut self` guarantees no
+    /// claim is in flight; lazily allocated deep blocks are kept.
+    pub fn reset(&mut self) {
+        for p in self.spine.iter_mut() {
+            let ptr = *p.get_mut();
+            if !ptr.is_null() {
+                for cursor in unsafe { &mut (*ptr).cursors }.iter_mut() {
+                    cursor.reset();
+                }
+            }
+        }
+        self.stats.reset();
+    }
+
     /// Claim the next chunk of round `round`. `None` when that round's
     /// range is fully claimed.
     #[inline]
@@ -253,6 +270,20 @@ mod tests {
         let firsts: Vec<_> = (0..3).map(|round| rc.next_chunk(round).unwrap()).collect();
         assert_eq!(firsts[0], firsts[1]);
         assert_eq!(firsts[1], firsts[2]);
+    }
+
+    #[test]
+    fn reset_rewinds_all_materialized_rounds() {
+        let mut rc = RoundCursors::new(fixed(20, 4), 64);
+        while rc.next_chunk(0).is_some() {}
+        rc.next_chunk(ROUND_BLOCK); // materialize block 1
+        assert_eq!(rc.allocated_blocks(), 2);
+        assert!(rc.round(0).is_drained());
+        rc.reset();
+        assert_eq!(rc.peak_rounds(), 0);
+        assert_eq!(rc.next_chunk(0), Some(0..4), "round 0 claimable again");
+        assert_eq!(rc.next_chunk(ROUND_BLOCK), Some(0..4));
+        assert_eq!(rc.allocated_blocks(), 2, "blocks kept for reuse");
     }
 
     #[test]

@@ -35,6 +35,11 @@ impl RoundStats {
     pub fn peak_rounds(&self) -> usize {
         self.peak.load(Ordering::Relaxed)
     }
+
+    /// Forget all recorded rounds (between-runs workspace reuse).
+    pub fn reset(&mut self) {
+        *self.peak.get_mut() = 0;
+    }
 }
 
 /// Geometric mean of strictly positive samples; the paper averages

@@ -4,7 +4,16 @@
 //! lfpr rank   <graph> [--algo staticlf] [--threads N] [--top K] [--tolerance T]
 //! lfpr update <graph> <batch-edge-list> [--algo dflf] [--threads N] [--top K]
 //! lfpr stats  <graph>
+//! lfpr serve  [--graph path | --gen n m seed] [--algo dflf] [--threads N]
+//!             [--tolerance T] [--tauf T] [--tcp addr:port]
 //! ```
+//!
+//! `serve` runs the streaming batch service: an incremental
+//! `UpdateSession` driven by the line protocol documented in
+//! [`lockfree_pagerank::serve`] over stdin/stdout (default) or a TCP
+//! socket (one connection at a time; the session persists across
+//! connections). Protocol replies go to stdout; logs and per-batch
+//! timing go to stderr, so scripted sessions are diffable.
 //!
 //! `<graph>` is a SNAP-style edge list (`u v` per line, `#` comments) or
 //! a MatrixMarket `.mtx` file, chosen by extension unless `--format
@@ -93,10 +102,168 @@ fn print_top(ranks: &[f64], k: usize) {
     }
 }
 
+fn serve_main(args: &[String]) {
+    use lockfree_pagerank::sched::{ChunkPolicy, ExecMode, Schedule};
+    use lockfree_pagerank::serve::serve_connection;
+    use lockfree_pagerank::UpdateSession;
+
+    let mut algo = Algorithm::DfLF;
+    let mut threads = 1usize;
+    let mut tolerance = 1e-10f64;
+    let mut tauf: Option<f64> = None;
+    let mut format: Option<GraphFormat> = None;
+    let mut graph_path: Option<String> = None;
+    let mut gen: Option<(usize, usize, u64)> = None;
+    let mut tcp: Option<String> = None;
+    let mut i = 0;
+    let bad = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    // Missing values exit with a usage message, not an index panic.
+    let value = |i: usize, usage: &str| -> &String {
+        args.get(i)
+            .unwrap_or_else(|| bad(&format!("usage: {usage}")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => {
+                algo = value(i + 1, "--algo <name>")
+                    .parse()
+                    .unwrap_or_else(|e: String| bad(&e));
+                i += 2;
+            }
+            "--threads" => {
+                threads = value(i + 1, "--threads <n>")
+                    .parse()
+                    .unwrap_or_else(|_| bad("usage: --threads <n>"));
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = value(i + 1, "--tolerance <t>")
+                    .parse()
+                    .unwrap_or_else(|_| bad("usage: --tolerance <t>"));
+                i += 2;
+            }
+            "--tauf" => {
+                tauf = Some(
+                    value(i + 1, "--tauf <t>")
+                        .parse()
+                        .unwrap_or_else(|_| bad("usage: --tauf <t>")),
+                );
+                i += 2;
+            }
+            "--format" => {
+                format = Some(
+                    value(i + 1, "--format <snap|mtx>")
+                        .parse()
+                        .unwrap_or_else(|e: String| bad(&e)),
+                );
+                i += 2;
+            }
+            "--graph" => {
+                graph_path = Some(value(i + 1, "--graph <path>").clone());
+                i += 2;
+            }
+            "--gen" => {
+                let usage = "--gen <n> <m> <seed>";
+                gen = Some((
+                    value(i + 1, usage).parse().unwrap_or_else(|_| bad(usage)),
+                    value(i + 2, usage).parse().unwrap_or_else(|_| bad(usage)),
+                    value(i + 3, usage).parse().unwrap_or_else(|_| bad(usage)),
+                ));
+                i += 4;
+            }
+            "--tcp" => {
+                tcp = Some(value(i + 1, "--tcp <addr:port>").clone());
+                i += 2;
+            }
+            other => bad(&format!("unknown flag: {other}")),
+        }
+    }
+    let g = match (&graph_path, gen) {
+        (Some(path), None) => load_graph(path, format),
+        (None, Some((n, m, seed))) => {
+            let mut g = lockfree_pagerank::graph::generators::erdos_renyi(n, m, seed);
+            add_self_loops(&mut g);
+            g
+        }
+        _ => bad("serve needs exactly one of --graph <path> or --gen <n> <m> <seed>"),
+    };
+    // The persistent worker pool is the right executor for a process
+    // that runs many updates (PR 2); stays deterministic at 1 thread.
+    // τf defaults to τ, not the paper's τ/1000: each batch warm-starts
+    // from the previous τ-converged output, whose residuals would flood
+    // the frontier at τ/1000 (see update_bench); τf = τ bounds the
+    // affected ball by genuine rank movement. `--tauf` overrides.
+    let opts = PagerankOptions::default()
+        .with_threads(threads)
+        .with_tolerance(tolerance)
+        .with_frontier_tolerance(tauf.unwrap_or(tolerance))
+        .with_schedule(Schedule {
+            policy: ChunkPolicy::Fixed(2048),
+            executor: ExecMode::Pool,
+        });
+    eprintln!(
+        "# serving {} vertices / {} edges with {} on {} thread(s)",
+        g.num_vertices(),
+        g.num_edges(),
+        algo,
+        threads
+    );
+    let mut session = UpdateSession::new(g, algo, opts);
+    match tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let summary = serve_connection(&mut session, stdin.lock(), stdout.lock())
+                .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
+            eprintln!(
+                "# session ended: {} commands, {} batches, {} edge updates, {} steps",
+                summary.commands,
+                summary.batches,
+                summary.updates,
+                session.steps()
+            );
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
+            eprintln!("# listening on {addr} (one connection at a time)");
+            for conn in listener.incoming() {
+                let conn = match conn {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("# accept error: {e}");
+                        continue;
+                    }
+                };
+                let peer = conn.peer_addr().map(|a| a.to_string());
+                eprintln!("# connection from {}", peer.as_deref().unwrap_or("?"));
+                let reader = std::io::BufReader::new(&conn);
+                // Buffer replies so each command's block is one write
+                // (serve_connection flushes once per command).
+                let writer = std::io::BufWriter::new(&conn);
+                match serve_connection(&mut session, reader, writer) {
+                    Ok(s) => eprintln!(
+                        "# connection closed: {} commands, {} batches",
+                        s.commands, s.batches
+                    ),
+                    Err(e) => eprintln!("# connection error: {e}"),
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 2 && args[1] == "serve" {
+        serve_main(&args[2..]);
+        return;
+    }
     if args.len() < 3 {
-        eprintln!("usage: lfpr <rank|update|stats> <graph> [batch] [flags]");
+        eprintln!("usage: lfpr <rank|update|stats|serve> <graph> [batch] [flags]");
         std::process::exit(2);
     }
     match args[1].as_str() {

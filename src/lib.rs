@@ -16,7 +16,13 @@
 //!
 //! This crate adds [`RankMaintainer`], a convenience layer that owns an
 //! evolving graph and keeps its PageRank vector up to date across batch
-//! updates — the API a downstream application would actually use.
+//! updates — the API a downstream application would actually use. It is
+//! a thin facade over [`UpdateSession`] (re-exported from `lfpr-core`),
+//! which keeps the graph snapshot coherent incrementally and reuses one
+//! rank/flag workspace across batches, so per-batch cost scales with
+//! `|Δ|` instead of `n + m`. The [`serve`] module wraps a session in the
+//! `lfpr serve` line protocol (insert/delete/batch/topk/rank over stdin
+//! or TCP).
 //!
 //! ```
 //! use lockfree_pagerank::{Algorithm, RankMaintainer, PagerankOptions};
@@ -43,25 +49,29 @@ pub use lfpr_core as core;
 pub use lfpr_graph as graph;
 pub use lfpr_sched as sched;
 
-pub use lfpr_core::{api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RunStatus};
+pub use lfpr_core::{
+    api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RunStatus, StepStats,
+    UpdateSession,
+};
 pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
 
-use lfpr_graph::types::Edge;
+pub mod serve;
+
+use lfpr_graph::types::{Edge, GraphError};
 
 /// Owns an evolving graph and keeps its PageRank vector current across
 /// batch updates, using any of the paper's dynamic algorithms.
 ///
 /// The maintainer records each mutation made through [`update`] /
-/// [`apply_batch`](Self::apply_batch) as the batch Δt, snapshots the
-/// graph before and after (the paper's read-only snapshot model, §3.4),
-/// and runs the configured algorithm to refresh the ranks.
+/// [`apply_batch`](Self::apply_batch) as the batch Δt and refreshes the
+/// ranks through an [`UpdateSession`]: the pre/post snapshots of the
+/// paper's read-only snapshot model (§3.4) are maintained incrementally
+/// (CSR patching, not rebuilds) and the rank/flag workspace is reused
+/// across batches, so a small batch costs `O(|Δ|)` plus bulk copies
+/// instead of `O(n + m)`. [`ranks`](Self::ranks) borrows straight from
+/// the session's in-place rank vector — there is no terminal clone.
 pub struct RankMaintainer {
-    graph: DynGraph,
-    snapshot: Snapshot,
-    ranks: Vec<f64>,
-    algorithm: Algorithm,
-    opts: PagerankOptions,
-    last_result: Option<PagerankResult>,
+    session: UpdateSession,
 }
 
 impl RankMaintainer {
@@ -69,99 +79,91 @@ impl RankMaintainer {
     /// matching static variant (lock-free for DFLF/NDLF/DTLF/StaticLF,
     /// barrier-based otherwise).
     pub fn new(graph: DynGraph, algorithm: Algorithm, opts: PagerankOptions) -> Self {
-        let snapshot = graph.snapshot();
-        let static_algo = if algorithm.is_lock_free() {
-            Algorithm::StaticLF
-        } else {
-            Algorithm::StaticBB
-        };
-        let initial = api::run_static(static_algo, &snapshot, &opts);
-        RankMaintainer {
-            graph,
-            snapshot,
-            ranks: initial.ranks.clone(),
-            algorithm,
-            opts,
-            last_result: Some(initial),
-        }
+        let session = UpdateSession::new(graph, algorithm, opts);
+        RankMaintainer { session }
     }
 
-    /// Current PageRank vector.
+    /// Current PageRank vector (borrowed from the session workspace).
     pub fn ranks(&self) -> &[f64] {
-        &self.ranks
+        self.session.ranks()
     }
 
     /// Rank of one vertex.
     pub fn rank(&self, v: u32) -> f64 {
-        self.ranks[v as usize]
+        self.session.rank(v)
     }
 
     /// Read-only access to the current graph.
     pub fn graph(&self) -> &DynGraph {
-        &self.graph
+        self.session.graph()
     }
 
-    /// The result of the most recent rank computation.
-    pub fn last_result(&self) -> Option<&PagerankResult> {
-        self.last_result.as_ref()
+    /// Stats of the most recent rank refresh (the initial static
+    /// compute before any update ran).
+    pub fn last_result(&self) -> Option<&StepStats> {
+        self.session.last_stats()
     }
 
-    /// The `k` highest-ranked vertices, descending.
+    /// The underlying update session.
+    pub fn session(&self) -> &UpdateSession {
+        &self.session
+    }
+
+    /// Unwrap into the underlying update session.
+    pub fn into_session(self) -> UpdateSession {
+        self.session
+    }
+
+    /// The `k` highest-ranked vertices, descending (ties broken by
+    /// vertex id). Uses an `O(n + k log k)` partial selection instead of
+    /// sorting the whole rank vector.
     pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
-        let mut idx: Vec<u32> = (0..self.ranks.len() as u32).collect();
-        idx.sort_by(|&a, &b| {
-            self.ranks[b as usize]
-                .partial_cmp(&self.ranks[a as usize])
-                .unwrap()
-                .then(a.cmp(&b))
-        });
-        idx.truncate(k);
-        idx.into_iter()
-            .map(|v| (v, self.ranks[v as usize]))
-            .collect()
+        self.session.top_k(k)
     }
 
     /// Mutate the graph through `f`, recording every insertion/deletion
     /// as the batch update, then refresh the ranks incrementally.
-    /// Returns the run result.
+    /// Returns the step stats.
     ///
     /// Mutations must go through [`MutGuard`]'s methods so the batch is
-    /// captured; the guard derefs to the underlying graph for reads.
-    pub fn update<F: FnOnce(&mut MutGuard<'_>)>(&mut self, f: F) -> &PagerankResult {
-        let mut guard = MutGuard {
-            graph: &mut self.graph,
-            batch: BatchUpdate::new(),
-        };
-        f(&mut guard);
-        let batch = guard.batch;
-        self.refresh_after(batch)
+    /// captured; the guard exposes the underlying graph for reads.
+    pub fn update<F: FnOnce(&mut MutGuard<'_>)>(&mut self, f: F) -> &StepStats {
+        self.session.step_mutated(|graph| {
+            let mut guard = MutGuard {
+                graph,
+                batch: BatchUpdate::new(),
+            };
+            f(&mut guard);
+            guard.batch
+        });
+        self.session.last_stats().expect("step just ran")
     }
 
     /// Apply a pre-built batch update and refresh the ranks.
-    pub fn apply_batch(&mut self, batch: BatchUpdate) -> &PagerankResult {
-        self.graph
-            .apply_batch(&batch)
-            .expect("batch must be valid for the current graph");
-        self.refresh_after(batch)
+    ///
+    /// # Panics
+    /// Panics if the batch is invalid for the current graph; use
+    /// [`try_apply_batch`](Self::try_apply_batch) to handle that case.
+    pub fn apply_batch(&mut self, batch: BatchUpdate) -> &StepStats {
+        self.try_apply_batch(batch)
+            .expect("batch must be valid for the current graph")
     }
 
-    fn refresh_after(&mut self, batch: BatchUpdate) -> &PagerankResult {
-        let prev = std::mem::replace(&mut self.snapshot, self.graph.snapshot());
-        let res = api::run_dynamic(
-            self.algorithm,
-            &prev,
-            &self.snapshot,
-            &batch,
-            &self.ranks,
-            &self.opts,
-        );
-        self.ranks = res.ranks.clone();
-        self.last_result = Some(res);
-        self.last_result.as_ref().unwrap()
+    /// Apply a pre-built batch update and refresh the ranks. The batch
+    /// is validated as a whole first; on error the graph and ranks are
+    /// untouched.
+    pub fn try_apply_batch(&mut self, batch: BatchUpdate) -> Result<&StepStats, GraphError> {
+        self.session.step(&batch)?;
+        Ok(self.session.last_stats().expect("step just ran"))
     }
 }
 
 /// Records mutations made during [`RankMaintainer::update`] as a batch.
+///
+/// The recorded batch is kept in normal form — deletions that existed
+/// before the update, insertions that did not — so deleting an edge
+/// inserted earlier in the same update (or re-inserting one deleted
+/// earlier) cancels out instead of producing a contradictory Δt.
 pub struct MutGuard<'a> {
     graph: &'a mut DynGraph,
     batch: BatchUpdate,
@@ -171,22 +173,44 @@ impl MutGuard<'_> {
     /// Insert an edge (errors if present).
     pub fn insert_edge(&mut self, u: u32, v: u32) -> lfpr_graph::types::Result<()> {
         self.graph.insert_edge(u, v)?;
-        self.batch.insertions.push((u, v));
+        // Re-inserting an edge deleted earlier in this update nets out.
+        if let Some(pos) = self.batch.deletions.iter().position(|&e| e == (u, v)) {
+            self.batch.deletions.swap_remove(pos);
+        } else {
+            self.batch.insertions.push((u, v));
+        }
         Ok(())
     }
 
     /// Delete an edge (errors if absent).
     pub fn delete_edge(&mut self, u: u32, v: u32) -> lfpr_graph::types::Result<()> {
         self.graph.delete_edge(u, v)?;
-        self.batch.deletions.push((u, v));
+        // Deleting an edge inserted earlier in this update nets out.
+        if let Some(pos) = self.batch.insertions.iter().position(|&e| e == (u, v)) {
+            self.batch.insertions.swap_remove(pos);
+        } else {
+            self.batch.deletions.push((u, v));
+        }
         Ok(())
     }
 
-    /// Bulk-insert edges, skipping ones already present.
-    pub fn insert_edges<I: IntoIterator<Item = Edge>>(&mut self, it: I) {
+    /// Bulk-insert edges, skipping ones already present. Returns how
+    /// many were actually inserted; errors other than
+    /// [`GraphError::DuplicateEdge`] (e.g. a vertex id out of range)
+    /// are surfaced instead of being swallowed.
+    pub fn insert_edges<I: IntoIterator<Item = Edge>>(
+        &mut self,
+        it: I,
+    ) -> lfpr_graph::types::Result<usize> {
+        let mut inserted = 0usize;
         for (u, v) in it {
-            let _ = self.insert_edge(u, v);
+            match self.insert_edge(u, v) {
+                Ok(()) => inserted += 1,
+                Err(GraphError::DuplicateEdge(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
+        Ok(inserted)
     }
 
     /// Read access to the graph mid-update.
@@ -222,9 +246,10 @@ mod tests {
         let r0 = rm.rank(1);
         let res = rm.update(|g| {
             // Point several vertices at vertex 1.
-            g.insert_edges([(10, 1), (20, 1), (30, 1), (40, 1)]);
+            assert_eq!(g.insert_edges([(10, 1), (20, 1), (30, 1), (40, 1)]), Ok(4));
         });
         assert!(res.status.is_success());
+        assert!(res.incremental, "facade updates must patch, not rebuild");
         assert!(rm.rank(1) > r0, "vertex 1 gained in-links, rank must rise");
     }
 
@@ -243,10 +268,62 @@ mod tests {
         for algo in Algorithm::ALL {
             let mut rm = maintainer(algo);
             let res = rm.update(|g| {
-                g.insert_edges([(3, 7)]);
+                g.insert_edges([(3, 7)]).unwrap();
             });
             assert!(res.status.is_success(), "{algo}");
         }
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let rm = maintainer(Algorithm::DfLF);
+        let ranks = rm.ranks();
+        let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            ranks[b as usize]
+                .partial_cmp(&ranks[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        for k in [0, 1, 5, 99, 100, 1000] {
+            let top = rm.top_k(k);
+            let expect: Vec<(u32, f64)> = idx
+                .iter()
+                .take(k)
+                .map(|&v| (v, ranks[v as usize]))
+                .collect();
+            assert_eq!(top, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn insert_edges_surfaces_out_of_range() {
+        let mut rm = maintainer(Algorithm::DfLF);
+        rm.update(|g| {
+            // Duplicates are skipped silently…
+            assert_eq!(g.insert_edges([(0, 0), (5, 9)]), Ok(1));
+            // …but a bad vertex id is a real error, not a no-op.
+            assert!(matches!(
+                g.insert_edges([(0, 1_000_000)]),
+                Err(lfpr_graph::types::GraphError::VertexOutOfRange { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn mutguard_normalizes_cancelling_ops() {
+        let mut rm = maintainer(Algorithm::DfLF);
+        let before = rm.ranks().to_vec();
+        let res = rm.update(|g| {
+            // Insert-then-delete and delete-then-reinsert both net out.
+            g.insert_edge(5, 9).unwrap();
+            g.delete_edge(5, 9).unwrap();
+            g.delete_edge(0, 0).unwrap();
+            g.insert_edge(0, 0).unwrap();
+        });
+        assert_eq!(res.batch_size, 0, "cancelling ops must leave Δt empty");
+        assert_eq!(res.vertices_processed, 0);
+        assert_eq!(rm.ranks(), &before[..]);
     }
 
     #[test]

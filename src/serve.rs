@@ -1,0 +1,326 @@
+//! The `lfpr serve` line protocol — a long-running streaming batch
+//! service over an [`UpdateSession`].
+//!
+//! One command per line, whitespace-separated tokens; every command
+//! produces exactly one reply block on the output stream, so a scripted
+//! session is diffable byte-for-byte (CI does exactly that). Timing is
+//! reported in-band only where deterministic; wall-clock numbers go to
+//! stderr.
+//!
+//! ```text
+//! insert <u> <v>   stage an edge insertion        → staged <count>
+//! delete <u> <v>   stage an edge deletion         → staged <count>
+//! batch            commit staged ops as one Δt    → ok batch=<k> m=<m> status=<s> iters=<i>
+//! topk <k>         k highest-ranked vertices      → topk <k> + k lines "<v> <rank>"
+//! rank <v>         one vertex's rank              → rank <v> <value>
+//! stats            session counters               → stats n=.. m=.. steps=.. staged=.. algo=..
+//! quit             end the session                → bye
+//! ```
+//!
+//! Staged operations are validated eagerly against the current graph
+//! (plus the staged set), so `batch` cannot fail halfway; queries
+//! always see the last committed ranks. Deleting a self-loop is
+//! refused — self-loops implement dead-end elimination (§5.1.3) and
+//! removing one would leak rank mass. A staged insert/delete pair of
+//! the same edge cancels out, mirroring [`crate::MutGuard`].
+
+use lfpr_core::session::UpdateSession;
+use lfpr_core::RunStatus;
+use lfpr_graph::BatchUpdate;
+use std::io::{BufRead, Write};
+
+/// Counters a serve loop reports when the connection ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Lines processed (excluding blanks/comments).
+    pub commands: u64,
+    /// Batches committed.
+    pub batches: u64,
+    /// Edge updates committed across all batches.
+    pub updates: u64,
+}
+
+/// Drive `session` with the line protocol from `input`, writing replies
+/// to `out`, until EOF or `quit`. Returns the connection counters.
+pub fn serve_connection<R: BufRead, W: Write>(
+    session: &mut UpdateSession,
+    input: R,
+    mut out: W,
+) -> std::io::Result<ServeSummary> {
+    let mut staged = BatchUpdate::new();
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() || tokens[0].starts_with('#') {
+            continue;
+        }
+        summary.commands += 1;
+        match handle(session, &mut staged, &mut summary, &tokens, &mut out)? {
+            Flow::Continue => {}
+            Flow::Quit => break,
+        }
+        out.flush()?;
+    }
+    Ok(summary)
+}
+
+enum Flow {
+    Continue,
+    Quit,
+}
+
+fn handle<W: Write>(
+    session: &mut UpdateSession,
+    staged: &mut BatchUpdate,
+    summary: &mut ServeSummary,
+    tokens: &[&str],
+    out: &mut W,
+) -> std::io::Result<Flow> {
+    match tokens {
+        ["insert", u, v] => match parse_edge(session, u, v) {
+            Ok((u, v)) => stage_insert(session, staged, u, v, out)?,
+            Err(msg) => writeln!(out, "err {msg}")?,
+        },
+        ["delete", u, v] => match parse_edge(session, u, v) {
+            Ok((u, v)) => stage_delete(session, staged, u, v, out)?,
+            Err(msg) => writeln!(out, "err {msg}")?,
+        },
+        ["batch"] => {
+            let batch = std::mem::take(staged);
+            let k = batch.len();
+            match session.step(&batch) {
+                Ok(stats) => {
+                    summary.batches += 1;
+                    summary.updates += k as u64;
+                    writeln!(
+                        out,
+                        "ok batch={k} m={} status={} iters={}",
+                        session.graph().num_edges(),
+                        status_str(stats.status),
+                        stats.iterations
+                    )?;
+                    eprintln!(
+                        "# batch {k} updates in {:?} (snapshot {:?}, ranks {:?}, {} vertices)",
+                        stats.total_time,
+                        stats.snapshot_time,
+                        stats.runtime,
+                        stats.vertices_processed
+                    );
+                }
+                // Unreachable when staging validated (the graph only
+                // changes through commits), but never die on input —
+                // and never drop the client's staged edits either.
+                Err(e) => {
+                    *staged = batch;
+                    writeln!(out, "err batch rejected: {e}")?;
+                }
+            }
+        }
+        ["topk", k] => match k.parse::<usize>() {
+            Ok(k) => {
+                let top = session.top_k(k);
+                writeln!(out, "topk {}", top.len())?;
+                for (v, r) in top {
+                    writeln!(out, "{v} {r:.6e}")?;
+                }
+            }
+            Err(_) => writeln!(out, "err topk needs an integer")?,
+        },
+        ["rank", v] => match v.parse::<u32>() {
+            Ok(v) if (v as usize) < session.graph().num_vertices() => {
+                writeln!(out, "rank {v} {:.6e}", session.rank(v))?;
+            }
+            _ => writeln!(out, "err unknown vertex {v}")?,
+        },
+        ["stats"] => {
+            writeln!(
+                out,
+                "stats n={} m={} steps={} staged={} algo={}",
+                session.graph().num_vertices(),
+                session.graph().num_edges(),
+                session.steps(),
+                staged.len(),
+                session.algorithm()
+            )?;
+        }
+        ["quit"] => {
+            writeln!(out, "bye")?;
+            return Ok(Flow::Quit);
+        }
+        other => writeln!(out, "err unknown command: {}", other.join(" "))?,
+    }
+    Ok(Flow::Continue)
+}
+
+fn parse_edge(session: &UpdateSession, u: &str, v: &str) -> Result<(u32, u32), String> {
+    let n = session.graph().num_vertices();
+    let parse = |s: &str| -> Result<u32, String> {
+        let id: u32 = s.parse().map_err(|_| format!("bad vertex id {s}"))?;
+        if (id as usize) < n {
+            Ok(id)
+        } else {
+            Err(format!("vertex {id} out of range (n = {n})"))
+        }
+    };
+    Ok((parse(u)?, parse(v)?))
+}
+
+fn stage_insert<W: Write>(
+    session: &UpdateSession,
+    staged: &mut BatchUpdate,
+    u: u32,
+    v: u32,
+    out: &mut W,
+) -> std::io::Result<()> {
+    if let Some(pos) = staged.deletions.iter().position(|&e| e == (u, v)) {
+        staged.deletions.swap_remove(pos); // reinstate a staged delete
+    } else if session.graph().has_edge(u, v) {
+        writeln!(out, "err edge ({u}, {v}) already exists")?;
+        return Ok(());
+    } else if staged.insertions.contains(&(u, v)) {
+        writeln!(out, "err edge ({u}, {v}) already staged")?;
+        return Ok(());
+    } else {
+        staged.insertions.push((u, v));
+    }
+    writeln!(out, "staged {}", staged.len())?;
+    Ok(())
+}
+
+fn stage_delete<W: Write>(
+    session: &UpdateSession,
+    staged: &mut BatchUpdate,
+    u: u32,
+    v: u32,
+    out: &mut W,
+) -> std::io::Result<()> {
+    if u == v {
+        writeln!(
+            out,
+            "err refusing to delete self-loop ({u}, {v}): dead-end elimination"
+        )?;
+        return Ok(());
+    }
+    if let Some(pos) = staged.insertions.iter().position(|&e| e == (u, v)) {
+        staged.insertions.swap_remove(pos); // cancel a staged insert
+    } else if !session.graph().has_edge(u, v) {
+        writeln!(out, "err edge ({u}, {v}) does not exist")?;
+        return Ok(());
+    } else if staged.deletions.contains(&(u, v)) {
+        writeln!(out, "err edge ({u}, {v}) already staged")?;
+        return Ok(());
+    } else {
+        staged.deletions.push((u, v));
+    }
+    writeln!(out, "staged {}", staged.len())?;
+    Ok(())
+}
+
+fn status_str(status: RunStatus) -> &'static str {
+    match status {
+        RunStatus::Converged => "converged",
+        RunStatus::MaxIterations => "max-iterations",
+        RunStatus::Stalled => "stalled",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfpr_core::{Algorithm, PagerankOptions};
+    use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::GraphBuilder;
+
+    fn session() -> UpdateSession {
+        let mut g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0)])
+            .build_dyn()
+            .unwrap();
+        add_self_loops(&mut g);
+        UpdateSession::new(
+            g,
+            Algorithm::DfLF,
+            PagerankOptions::default().with_threads(1),
+        )
+    }
+
+    fn run(input: &str) -> (String, ServeSummary) {
+        let mut s = session();
+        let mut out = Vec::new();
+        let summary = serve_connection(&mut s, input.as_bytes(), &mut out).unwrap();
+        (String::from_utf8(out).unwrap(), summary)
+    }
+
+    #[test]
+    fn scripted_session_round_trip() {
+        let (out, summary) = run("stats\n\
+             insert 4 1\n\
+             delete 0 1\n\
+             batch\n\
+             rank 1\n\
+             topk 2\n\
+             quit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "stats n=5 m=11 steps=0 staged=0 algo=DFLF");
+        assert_eq!(lines[1], "staged 1");
+        assert_eq!(lines[2], "staged 2");
+        assert!(lines[3].starts_with("ok batch=2 m=11 status=converged"));
+        assert!(lines[4].starts_with("rank 1 "));
+        assert_eq!(lines[5], "topk 2");
+        assert_eq!(summary.commands, 7);
+        assert_eq!(summary.batches, 1);
+        assert_eq!(summary.updates, 2);
+        assert_eq!(*lines.last().unwrap(), "bye");
+    }
+
+    #[test]
+    fn staging_validates_eagerly() {
+        let (out, _) = run("insert 0 1\n\
+             delete 9 0\n\
+             delete 0 0\n\
+             delete 4 0\n\
+             delete 4 0\n\
+             insert 4 0\n\
+             batch\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "err edge (0, 1) already exists");
+        assert!(lines[1].starts_with("err vertex 9 out of range"));
+        assert!(lines[2].starts_with("err refusing to delete self-loop"));
+        assert_eq!(lines[3], "staged 1");
+        assert_eq!(lines[4], "err edge (4, 0) already staged");
+        assert_eq!(lines[5], "staged 0", "insert cancels the staged delete");
+        assert!(lines[6].starts_with("ok batch=0"));
+    }
+
+    #[test]
+    fn queries_and_errors_never_kill_the_loop() {
+        let (out, summary) = run("frobnicate\n\
+             topk nope\n\
+             rank 99\n\
+             \n\
+             # comment line\n\
+             stats\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("err unknown command"));
+        assert_eq!(lines[1], "err topk needs an integer");
+        assert_eq!(lines[2], "err unknown vertex 99");
+        assert!(lines[3].starts_with("stats "));
+        assert_eq!(summary.commands, 4, "blanks and comments don't count");
+    }
+
+    #[test]
+    fn ranks_update_across_batches() {
+        let mut s = session();
+        let before = s.rank(1);
+        let mut out = Vec::new();
+        serve_connection(
+            &mut s,
+            "insert 3 1\ninsert 4 1\nbatch\n".as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(s.rank(1) > before, "vertex 1 gained in-links");
+        assert_eq!(s.steps(), 1);
+    }
+}

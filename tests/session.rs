@@ -1,0 +1,124 @@
+//! End-to-end tests for the incremental update pipeline: a long-lived
+//! `UpdateSession` / `RankMaintainer` must stay equivalent to building a
+//! fresh maintainer from scratch at every intermediate state, for all
+//! eight algorithm variants.
+
+use lockfree_pagerank::core::norm::linf_diff;
+use lockfree_pagerank::core::reference::reference_default;
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::{
+    Algorithm, BatchSpec, BatchUpdate, PagerankOptions, RankMaintainer, UpdateSession,
+};
+
+fn opts() -> PagerankOptions {
+    PagerankOptions::default()
+        .with_threads(2)
+        .with_chunk_size(32)
+}
+
+fn base_graph(seed: u64) -> lockfree_pagerank::DynGraph {
+    let mut g = lockfree_pagerank::graph::generators::erdos_renyi(150, 900, seed);
+    add_self_loops(&mut g);
+    g
+}
+
+/// A long session must match a *fresh* maintainer built from the current
+/// graph state at every step — same graph, coherent snapshot, and ranks
+/// within the tolerance regime — for every algorithm variant.
+#[test]
+fn long_session_matches_fresh_maintainer_every_step() {
+    for algo in Algorithm::ALL {
+        let mut session = UpdateSession::new(base_graph(7), algo, opts());
+        for round in 0..4u64 {
+            let batch = BatchSpec::mixed(0.02, 100 + round).generate(session.graph());
+            let stats = session
+                .step(&batch)
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(stats.status.is_success(), "{algo} round {round}");
+            assert!(stats.incremental, "{algo} round {round}: must patch");
+
+            // The incrementally maintained snapshot is the real graph.
+            assert_eq!(
+                *session.snapshot(),
+                session.graph().snapshot(),
+                "{algo} round {round}: snapshot drifted"
+            );
+
+            // A maintainer built from scratch over the same graph agrees.
+            let fresh = RankMaintainer::new(session.graph().clone(), algo, opts());
+            let diff = linf_diff(session.ranks(), fresh.ranks());
+            assert!(
+                diff < 1e-6,
+                "{algo} round {round}: session vs fresh L∞ = {diff:.2e}"
+            );
+
+            let sum: f64 = session.ranks().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "{algo} round {round}: sum {sum}");
+        }
+    }
+}
+
+/// Facade updates (MutGuard recording) and pre-built batches can be
+/// interleaved freely; the maintainer stays on the incremental path and
+/// tracks the reference.
+#[test]
+fn maintainer_interleaves_updates_and_batches_incrementally() {
+    let mut rm = RankMaintainer::new(base_graph(21), Algorithm::DfLF, opts());
+    for round in 0..3u64 {
+        let stats = rm.update(|g| {
+            g.insert_edges([(round as u32, 149 - round as u32)])
+                .unwrap();
+            g.delete_edge(0, 0).ok();
+            g.insert_edge(0, 0).ok();
+        });
+        assert!(
+            stats.incremental,
+            "round {round}: guarded update must patch"
+        );
+
+        let batch = BatchSpec::mixed(0.01, 300 + round).generate(rm.graph());
+        let stats = rm.try_apply_batch(batch).expect("generated batch valid");
+        assert!(stats.incremental, "round {round}: batch must patch");
+    }
+    let reference = reference_default(&rm.graph().snapshot());
+    let err = linf_diff(rm.ranks(), &reference);
+    assert!(err < 1e-6, "err = {err:.2e}");
+}
+
+/// An invalid batch must leave maintainer state (graph, snapshot, ranks,
+/// step count) fully intact — the all-or-nothing contract end to end.
+#[test]
+fn rejected_batch_leaves_maintainer_untouched() {
+    let mut rm = RankMaintainer::new(base_graph(33), Algorithm::DfLF, opts());
+    let ranks_before = rm.ranks().to_vec();
+    let graph_before = rm.graph().clone();
+    let bad = BatchUpdate {
+        deletions: vec![(0, 0)],          // self-loop exists…
+        insertions: vec![(1, 1), (1, 1)], // …but duplicate insertions are invalid
+    };
+    assert!(rm.try_apply_batch(bad).is_err());
+    assert_eq!(rm.ranks(), &ranks_before[..]);
+    assert_eq!(*rm.graph(), graph_before);
+    // The session still works afterwards.
+    let batch = BatchSpec::mixed(0.01, 5).generate(rm.graph());
+    assert!(rm.try_apply_batch(batch).is_ok());
+}
+
+/// Session stats expose the incremental pipeline's cost model: the
+/// steady-state snapshot refresh must stay far below a full rebuild (it
+/// is a patch + bulk copy, not per-edge reconstruction).
+#[test]
+fn step_stats_report_pipeline_breakdown() {
+    let mut session = UpdateSession::new(base_graph(55), Algorithm::DfLF, opts());
+    let batch = BatchSpec::mixed(0.01, 9).generate(session.graph());
+    let stats = session.step(&batch).unwrap();
+    assert_eq!(stats.batch_size, batch.len());
+    assert!(stats.snapshot_time <= stats.total_time);
+    assert!(stats.runtime <= stats.total_time);
+    assert_eq!(session.steps(), 1);
+    assert_eq!(
+        session.last_stats().unwrap().batch_size,
+        batch.len(),
+        "last_stats reflects the most recent step"
+    );
+}
