@@ -10,10 +10,12 @@
 //! is needed to clear the ≥1.5× acceptance bar.
 //!
 //! Usage: `ingest_bench [--edges n] [--reps n] [--threads n]
-//!                      [--seed n] [--json path] [--graph path [--format f]]`
+//!                      [--seed n] [--json path] [--require x]
+//!                      [--graph path [--format f]]`
 //!
 //! With `--graph`, the comparison runs on the given real file instead
-//! of a generated fixture.
+//! of a generated fixture. `--require x` is the CI rot floor: the run
+//! fails unless the minimum speedup across formats stays ≥ `x`.
 
 use lfpr_bench::setup::CliArgs;
 use lfpr_graph::generators::{rmat, RmatParams};
@@ -28,12 +30,14 @@ struct BenchArgs {
     edges: usize,
     reps: usize,
     json_path: Option<String>,
+    require: Option<f64>,
 }
 
 fn parse_args() -> BenchArgs {
     let mut edges = 150_000usize;
     let mut reps = 5usize;
     let mut json_path = None;
+    let mut require = None;
     let cli = CliArgs::parse_extra(1.0, |flag, value| match flag {
         "--edges" => {
             edges = value.parse().expect("--edges needs an integer");
@@ -47,6 +51,10 @@ fn parse_args() -> BenchArgs {
             json_path = Some(value.to_string());
             true
         }
+        "--require" => {
+            require = Some(value.parse().expect("--require needs a ratio"));
+            true
+        }
         _ => false,
     });
     BenchArgs {
@@ -54,6 +62,7 @@ fn parse_args() -> BenchArgs {
         edges,
         reps,
         json_path,
+        require,
     }
 }
 
@@ -161,6 +170,13 @@ fn main() {
     if let Some(path) = &args.json_path {
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
+    }
+    if let Some(required) = args.require {
+        assert!(
+            min_speedup >= required,
+            "min speedup {min_speedup:.2}x below required {required:.2}x"
+        );
+        println!("speedup target ≥ {required:.2}x met");
     }
 }
 

@@ -14,7 +14,12 @@
 //! across PRs).
 //!
 //! Usage: `sched_sweep [--scale f] [--seed n] [--threads n] [--reps n]
-//!                     [--json path]`
+//!                     [--json path] [--require x]`
+//!
+//! `--require x` is the CI rot floor: the run fails unless the best
+//! pooled configuration's headline geomean speedup over the seed
+//! baseline is ≥ `x`, so a scheduling regression fails the job instead
+//! of silently shifting the trajectory artifact.
 
 use lfpr_bench::report::geomean_secs;
 use lfpr_bench::setup::{prepare, scaled_opts, scaled_suite, suite_reduction, CliArgs, Prepared};
@@ -29,11 +34,13 @@ struct SweepArgs {
     cli: CliArgs,
     reps: usize,
     json_path: Option<String>,
+    require: Option<f64>,
 }
 
 fn parse_args() -> SweepArgs {
     let mut reps = 3usize;
     let mut json_path = None;
+    let mut require = None;
     // Small scale by default: thousands of short dynamic-update runs is
     // exactly the profile where per-run spawn cost dominates and the
     // pooled schedules pull ahead. The shared parser handles
@@ -48,12 +55,17 @@ fn parse_args() -> SweepArgs {
             json_path = Some(value.to_string());
             true
         }
+        "--require" => {
+            require = Some(value.parse().expect("--require needs a ratio"));
+            true
+        }
         _ => false,
     });
     SweepArgs {
         cli,
         reps,
         json_path,
+        require,
     }
 }
 
@@ -199,6 +211,17 @@ fn main() {
     if failures > 0 {
         eprintln!("sched_sweep: {failures} run(s) failed correctness");
         std::process::exit(1);
+    }
+    if let Some(required) = args.require {
+        // The floor is on the *best* pooled policy: on a 1-core runner
+        // the balance policies cannot differentiate, but at least one
+        // pooled configuration must keep beating the seed spawn path.
+        let best = headline.iter().map(|(_, g)| *g).fold(0.0f64, f64::max);
+        assert!(
+            best >= required,
+            "best pooled speedup {best:.2}x below required {required:.2}x"
+        );
+        println!("speedup target ≥ {required:.2}x met (best pooled: {best:.2}x)");
     }
 }
 

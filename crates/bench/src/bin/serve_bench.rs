@@ -1,0 +1,378 @@
+//! Serving benchmark — read throughput and latency of the concurrent
+//! TCP server, with and without a racing batch writer.
+//!
+//! The point of the concurrent serving layer (ISSUE 5) is that
+//! read-only queries proceed while a batch commits instead of stalling
+//! behind it. This bench quantifies exactly that on one in-process
+//! server:
+//!
+//! 1. **idle phase** — reader clients hammer `rank <v>` over TCP with
+//!    no writer; per-request latency gives the baseline p50/p99.
+//! 2. **concurrent phase** — the same readers keep hammering while one
+//!    writer client replays a precomputed batch sequence (staged
+//!    `insert`/`delete` lines + `batch`, measured from the `batch` send
+//!    to its `ok` reply).
+//!
+//! Headline: `commit_to_read_ratio = mean batch-commit latency /
+//! concurrent read p99`. With the seed's one-connection-at-a-time
+//! server this ratio is ≤ 1 by construction (a read issued during a
+//! commit waits the whole commit out); the epoch-published read path
+//! must keep p99 well below one commit — `--require x` makes the floor
+//! fatal for CI.
+//!
+//! The batch sequence is generated against a local replica graph, so
+//! the bench never has to guess which edges exist; after the run the
+//! server's final epoch and edge count are checked against the replica.
+//!
+//! Usage: `serve_bench [--vertices n] [--batch k] [--batches b]
+//!   [--clients c] [--workers w] [--reads r] [--threads t] [--seed x]
+//!   [--topology grid|kmer|er] [--json path] [--require x]`
+
+use lfpr_bench::client::{field, Client};
+use lfpr_core::{Algorithm, PagerankOptions, UpdateSession};
+use lfpr_graph::generators::{erdos_renyi, grid_road, kmer_chain};
+use lfpr_graph::selfloops::add_self_loops;
+use lfpr_graph::BatchSpec;
+use lockfree_pagerank::server;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+struct Args {
+    vertices: usize,
+    topology: String,
+    batch: usize,
+    batches: usize,
+    clients: usize,
+    workers: usize,
+    reads: usize,
+    threads: usize,
+    seed: u64,
+    tolerance: f64,
+    json_path: Option<String>,
+    require: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        vertices: 100_000,
+        topology: "grid".to_string(),
+        batch: 1_000,
+        batches: 12,
+        clients: 2,
+        workers: 0, // 0 = clients + 1
+        reads: 400,
+        threads: 1,
+        seed: 42,
+        tolerance: 1e-7,
+        json_path: None,
+        require: None,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = argv.get(i + 1).cloned().unwrap_or_default();
+        match argv[i].as_str() {
+            "--vertices" => a.vertices = val.parse().expect("--vertices n"),
+            "--topology" => a.topology = val.clone(),
+            "--batch" => a.batch = val.parse().expect("--batch k"),
+            "--batches" => a.batches = val.parse().expect("--batches b"),
+            "--clients" => a.clients = val.parse().expect("--clients c"),
+            "--workers" => a.workers = val.parse().expect("--workers w"),
+            "--reads" => a.reads = val.parse().expect("--reads r"),
+            "--threads" => a.threads = val.parse().expect("--threads t"),
+            "--seed" => a.seed = val.parse().expect("--seed x"),
+            "--tolerance" => a.tolerance = val.parse().expect("--tolerance t"),
+            "--json" => a.json_path = Some(val.clone()),
+            "--require" => a.require = Some(val.parse().expect("--require x")),
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 2;
+    }
+    a
+}
+
+/// Latency percentiles over a sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Phase {
+    reads: usize,
+    wall_s: f64,
+    p50_s: f64,
+    p99_s: f64,
+    max_s: f64,
+}
+
+fn summarize(all: Vec<Vec<f64>>, wall_s: f64) -> Phase {
+    let mut lat: Vec<f64> = all.into_iter().flatten().collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Phase {
+        reads: lat.len(),
+        wall_s,
+        p50_s: percentile(&lat, 0.50),
+        p99_s: percentile(&lat, 0.99),
+        max_s: lat.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// Run `clients` reader threads, each timing `rank <v>` round trips
+/// until it has done `reads` requests *and* `stop` (if any) is set.
+fn read_phase(
+    addr: SocketAddr,
+    clients: usize,
+    reads: usize,
+    n: usize,
+    stop: Option<&AtomicBool>,
+) -> Phase {
+    let t0 = Instant::now();
+    let lat: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut lat = Vec::with_capacity(reads);
+                    let mut i = 0usize;
+                    loop {
+                        let done_quota = lat.len() >= reads;
+                        match stop {
+                            // Keep reading until the writer finishes, so
+                            // commits always race live readers.
+                            Some(flag) => {
+                                if done_quota && flag.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                            }
+                            None => {
+                                if done_quota {
+                                    break;
+                                }
+                            }
+                        }
+                        let v = (c * 7919 + i * 104729) % n;
+                        let t = Instant::now();
+                        client.send(&format!("rank {v}"));
+                        let reply = client.recv_line();
+                        lat.push(t.elapsed().as_secs_f64());
+                        debug_assert!(reply.starts_with("rank "), "{reply}");
+                        i += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    summarize(lat, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = parse_args();
+    let workers = if args.workers == 0 {
+        args.clients + 1
+    } else {
+        args.workers
+    };
+    let mut g = match args.topology.as_str() {
+        "grid" => grid_road(args.vertices, args.seed),
+        "kmer" => kmer_chain(args.vertices, args.seed),
+        "er" => erdos_renyi(args.vertices, args.vertices * 10, args.seed),
+        other => panic!("unknown topology {other} (grid|kmer|er)"),
+    };
+    add_self_loops(&mut g);
+    let n = g.num_vertices();
+
+    // Precompute the writer's batch scripts against a replica, so the
+    // TCP writer never stages an edge the server must reject.
+    let mut replica = g.clone();
+    let mut scripts: Vec<Vec<String>> = Vec::new();
+    for i in 0..args.batches {
+        let fraction = args.batch as f64 / replica.num_edges() as f64;
+        let b = BatchSpec::mixed(fraction, args.seed + 1 + i as u64).generate(&replica);
+        let mut lines: Vec<String> = Vec::with_capacity(b.len());
+        for &(u, v) in &b.deletions {
+            lines.push(format!("delete {u} {v}"));
+        }
+        for &(u, v) in &b.insertions {
+            lines.push(format!("insert {u} {v}"));
+        }
+        replica.apply_batch(&b).expect("replica batch must apply");
+        scripts.push(lines);
+    }
+
+    // Same steady-state serving regime as update_bench: τ = 1e-7 at
+    // this scale, τf = τ (warm starts are τ-converged).
+    let opts = PagerankOptions::default()
+        .with_threads(args.threads)
+        .with_tolerance(args.tolerance)
+        .with_frontier_tolerance(args.tolerance);
+    println!(
+        "Serve bench: {} vertices / {} edges ({}), |Δ| ≈ {}, {} batches, \
+         {} reader clients, {} workers, {} kernel thread(s)",
+        n,
+        g.num_edges(),
+        args.topology,
+        args.batch,
+        args.batches,
+        args.clients,
+        workers,
+        args.threads
+    );
+    let t0 = Instant::now();
+    let session = UpdateSession::new(g, Algorithm::DfLF, opts);
+    println!("initial static ranks in {:?}", t0.elapsed());
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let srv = server::spawn(session, listener, workers).expect("spawn server");
+    let addr = srv.addr();
+
+    // Phase 1: reads with no writer.
+    let idle = read_phase(addr, args.clients, args.reads, n, None);
+    println!(
+        "idle       reads {:>6}  wall {:>8.3}s  {:>9.0} req/s  p50 {:>9.6}s  p99 {:>9.6}s  max {:>9.6}s",
+        idle.reads,
+        idle.wall_s,
+        idle.reads as f64 / idle.wall_s.max(1e-12),
+        idle.p50_s,
+        idle.p99_s,
+        idle.max_s
+    );
+
+    // Phase 2: the same read hammering while a writer replays batches.
+    let stop = AtomicBool::new(false);
+    let (concurrent, commits) = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            // Set `stop` even if an assert below panics — otherwise the
+            // readers (whose requests keep succeeding) spin forever and
+            // the panic only surfaces at scope exit, hanging CI.
+            struct StopGuard<'a>(&'a AtomicBool);
+            impl Drop for StopGuard<'_> {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::Relaxed);
+                }
+            }
+            let _guard = StopGuard(&stop);
+            let mut w = Client::connect(addr);
+            let mut commit_lat = Vec::with_capacity(scripts.len());
+            for lines in &scripts {
+                for line in lines {
+                    w.send(line);
+                    let reply = w.recv_line();
+                    assert!(reply.starts_with("staged"), "staging failed: {reply}");
+                }
+                let t = Instant::now();
+                w.send("batch");
+                let reply = w.recv_line();
+                commit_lat.push(t.elapsed().as_secs_f64());
+                assert!(reply.starts_with("ok batch="), "commit failed: {reply}");
+            }
+            commit_lat
+        });
+        let phase = read_phase(addr, args.clients, args.reads, n, Some(&stop));
+        (phase, writer.join().unwrap())
+    });
+    let mean_commit = commits.iter().sum::<f64>() / commits.len().max(1) as f64;
+    println!(
+        "concurrent reads {:>6}  wall {:>8.3}s  {:>9.0} req/s  p50 {:>9.6}s  p99 {:>9.6}s  max {:>9.6}s",
+        concurrent.reads,
+        concurrent.wall_s,
+        concurrent.reads as f64 / concurrent.wall_s.max(1e-12),
+        concurrent.p50_s,
+        concurrent.p99_s,
+        concurrent.max_s
+    );
+    println!(
+        "commits    count {:>6}  mean {:>9.6}s  max {:>9.6}s",
+        commits.len(),
+        mean_commit,
+        commits.iter().fold(0.0f64, |a, &b| a.max(b))
+    );
+
+    // The server must have committed every batch and nothing else.
+    let mut check = Client::connect(addr);
+    let stats = check.roundtrip("stats");
+    assert_eq!(
+        field(&stats, "epoch"),
+        Some(args.batches as u64),
+        "server epoch drifted: {stats}"
+    );
+    assert_eq!(
+        field(&stats, "m"),
+        Some(replica.num_edges() as u64),
+        "server edge count drifted from the replica: {stats}"
+    );
+    drop(check);
+    srv.stop();
+
+    let ratio = mean_commit / concurrent.p99_s.max(1e-12);
+    println!(
+        "\ncommit-to-read ratio: one batch commit ({mean_commit:.6}s) ≈ {ratio:.1}× \
+         the concurrent read p99 ({:.6}s)",
+        concurrent.p99_s
+    );
+
+    let json = render_json(&args, workers, &idle, &concurrent, &commits, ratio);
+    if let Some(path) = &args.json_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+    if let Some(required) = args.require {
+        assert!(
+            ratio >= required,
+            "commit-to-read ratio {ratio:.2} below required {required:.2} — \
+             reads are stalling behind batch commits"
+        );
+        println!("ratio target ≥ {required:.2} met");
+    }
+}
+
+fn render_json(
+    args: &Args,
+    workers: usize,
+    idle: &Phase,
+    concurrent: &Phase,
+    commits: &[f64],
+    ratio: f64,
+) -> String {
+    let phase = |name: &str, p: &Phase| {
+        format!(
+            "  \"{name}\": {{\"reads\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.1}, \
+             \"p50_s\": {:.9}, \"p99_s\": {:.9}, \"max_s\": {:.9}}}",
+            p.reads,
+            p.wall_s,
+            p.reads as f64 / p.wall_s.max(1e-12),
+            p.p50_s,
+            p.p99_s,
+            p.max_s
+        )
+    };
+    let mean_commit = commits.iter().sum::<f64>() / commits.len().max(1) as f64;
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"serve_bench\",\n");
+    s.push_str(&format!("  \"vertices\": {},\n", args.vertices));
+    s.push_str(&format!("  \"topology\": \"{}\",\n", args.topology));
+    s.push_str(&format!("  \"batch\": {},\n", args.batch));
+    s.push_str(&format!("  \"batches\": {},\n", args.batches));
+    s.push_str(&format!("  \"clients\": {},\n", args.clients));
+    s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str(&format!("  \"threads\": {},\n", args.threads));
+    s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    s.push_str(&phase("idle", idle));
+    s.push_str(",\n");
+    s.push_str(&phase("concurrent", concurrent));
+    s.push_str(",\n");
+    s.push_str(&format!(
+        "  \"commit_mean_s\": {:.9},\n  \"commit_max_s\": {:.9},\n",
+        mean_commit,
+        commits.iter().fold(0.0f64, |a, &b| a.max(b))
+    ));
+    s.push_str(&format!("  \"commit_to_read_p99_ratio\": {ratio:.4}\n}}"));
+    s
+}

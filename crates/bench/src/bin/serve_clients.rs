@@ -1,0 +1,203 @@
+//! Multi-client serve smoke driver — N scripted readers racing one
+//! batch writer against a running `lfpr serve --tcp` server.
+//!
+//! CI launches the server in the background and runs this driver
+//! against it. The driver:
+//!
+//! 1. connects a control client (retrying while the server boots),
+//!    captures the byte-exact reply block of every probe command at the
+//!    pre-batch epoch `e0`;
+//! 2. spawns `--clients` reader threads that hammer the probe commands
+//!    concurrently, recording every raw reply block;
+//! 3. stages a batch of insertions on the control connection and
+//!    commits it (epoch `e1 = e0 + 1`) while the readers keep reading —
+//!    each reader then performs one final probe round, which is
+//!    guaranteed to answer from `e1` (the commit's `ok` reply
+//!    happens-after the server published the new view);
+//! 4. captures the post-batch reply blocks and asserts **every**
+//!    recorded block matches the pre- or post-batch capture
+//!    byte-for-byte, keyed by the epoch the reply itself reports, and
+//!    that both epochs were actually observed.
+//!
+//! Any torn read — a reply mixing two epochs' data, a malformed block,
+//! an epoch that is neither `e0` nor `e1` — fails the process, so the
+//! assertion is deterministic no matter how the threads interleave.
+//!
+//! Usage: `serve_clients --addr host:port [--clients n] [--stage k]`
+
+use lfpr_bench::client::{field, Client};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// The read-only commands every thread replays. `stats` is included:
+/// its `staged=0` field is connection-local but identical on every
+/// reader connection, so blocks stay byte-comparable.
+const PROBES: [&str; 5] = ["rank 0", "rank 1", "rank 2", "topk 3", "stats"];
+
+struct Args {
+    addr: String,
+    clients: usize,
+    stage: usize,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: String::new(),
+        clients: 4,
+        stage: 5,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let val = argv.get(i + 1).cloned().unwrap_or_default();
+        match argv[i].as_str() {
+            "--addr" => a.addr = val.clone(),
+            "--clients" => a.clients = val.parse().expect("--clients n"),
+            "--stage" => a.stage = val.parse().expect("--stage k"),
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 2;
+    }
+    assert!(!a.addr.is_empty(), "usage: serve_clients --addr host:port");
+    a
+}
+
+/// How long to keep retrying the first connect while CI's background
+/// server boots.
+const BOOT_RETRY: Duration = Duration::from_secs(30);
+
+/// The epoch a reply block reports (first line carries `epoch=<e>`).
+fn epoch_of(block: &str) -> u64 {
+    let head = block.lines().next().unwrap_or_default();
+    field(head, "epoch").unwrap_or_else(|| panic!("reply block without parsable epoch: {head}"))
+}
+
+fn capture(client: &mut Client) -> HashMap<&'static str, String> {
+    PROBES
+        .iter()
+        .map(|&cmd| (cmd, client.reply_block(cmd)))
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let mut control = Client::connect_retry(&args.addr, BOOT_RETRY);
+
+    // Pre-batch state.
+    let pre = capture(&mut control);
+    let e0 = epoch_of(&pre["stats"]);
+    eprintln!("# pre-batch epoch {e0} captured");
+
+    // Probe insertable edges for the batch: the driver doesn't know the
+    // server's graph, so it scans candidate pairs and keeps whatever the
+    // server accepts as stageable.
+    let mut staged = 0usize;
+    'scan: for u in 0..64u32 {
+        for v in 0..64u32 {
+            if u == v {
+                continue;
+            }
+            let reply = {
+                control.send(&format!("insert {u} {v}"));
+                control.recv_line()
+            };
+            if reply.starts_with("staged") {
+                staged += 1;
+                if staged >= args.stage {
+                    break 'scan;
+                }
+            }
+        }
+    }
+    assert!(staged > 0, "no stageable edge among the candidate pairs");
+    eprintln!("# staged {staged} insertions");
+
+    // Readers hammer the probes while the batch commits.
+    let stop = AtomicBool::new(false);
+    let (observed, commit_reply) = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let stop = &stop;
+                let addr = &args.addr;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr.as_str());
+                    let mut seen: Vec<(&'static str, String)> = Vec::new();
+                    // Hammer until the commit lands, then one drain
+                    // round: its requests start after the commit's `ok`
+                    // was received, so they must answer from e1.
+                    let mut drain = false;
+                    for round in 0.. {
+                        for &cmd in &PROBES {
+                            seen.push((cmd, c.reply_block(cmd)));
+                        }
+                        if drain {
+                            break;
+                        }
+                        drain = stop.load(Ordering::SeqCst);
+                        assert!(round < 1_000_000, "writer never committed");
+                    }
+                    seen
+                })
+            })
+            .collect();
+        // Give the readers a head start against epoch e0, then commit.
+        std::thread::sleep(Duration::from_millis(100));
+        control.send("batch");
+        let commit_reply = control.recv_line();
+        stop.store(true, Ordering::SeqCst);
+        let observed: Vec<Vec<(&'static str, String)>> =
+            readers.into_iter().map(|r| r.join().unwrap()).collect();
+        (observed, commit_reply)
+    });
+    assert!(
+        commit_reply.starts_with("ok batch="),
+        "commit failed: {commit_reply}"
+    );
+    let e1 = epoch_of(&commit_reply);
+    assert_eq!(e1, e0 + 1, "commit must advance the epoch by one");
+
+    // Post-batch state (quiesced: the writer is done, state is frozen).
+    let post = capture(&mut control);
+    assert_eq!(epoch_of(&post["stats"]), e1);
+
+    // Every observed block must be byte-identical to the capture of the
+    // epoch it claims to answer from.
+    let mut at_pre = 0u64;
+    let mut at_post = 0u64;
+    for (reader, seen) in observed.iter().enumerate() {
+        assert!(
+            !seen.is_empty(),
+            "reader {reader} recorded nothing — was it starved of a worker?"
+        );
+        for (cmd, block) in seen {
+            let e = epoch_of(block);
+            let expected = if e == e0 {
+                at_pre += 1;
+                &pre[cmd]
+            } else if e == e1 {
+                at_post += 1;
+                &post[cmd]
+            } else {
+                panic!("reader {reader}: `{cmd}` answered from unknown epoch {e}: {block}");
+            };
+            assert_eq!(
+                block, expected,
+                "reader {reader}: `{cmd}` reply diverges from the epoch-{e} capture"
+            );
+        }
+    }
+    // The drain round guarantees every reader observed the post-batch
+    // epoch; readers typically also race the pre-batch one, but that
+    // half is timing-dependent and not asserted.
+    assert!(
+        at_post >= (args.clients * PROBES.len()) as u64,
+        "every reader must complete a post-commit probe round"
+    );
+    println!(
+        "serve_clients OK: {} readers, {} replies validated byte-for-byte \
+         ({at_pre} from epoch {e0}, {at_post} from epoch {e1})",
+        args.clients,
+        at_pre + at_post
+    );
+}

@@ -1,0 +1,115 @@
+//! Minimal line-protocol TCP client shared by the serving binaries
+//! (`serve_bench`, `serve_clients`), so the protocol framing lives in
+//! one place.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One `lfpr serve` protocol client over TCP.
+pub struct Client {
+    conn: TcpStream,
+    input: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect immediately; panics if the server is not up.
+    pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Client {
+        Self::from_stream(TcpStream::connect(&addr).unwrap_or_else(|e| {
+            panic!("cannot reach bench server at {addr:?}: {e}");
+        }))
+    }
+
+    /// Connect, retrying for `retry` while the server boots (CI starts
+    /// the server in the background and races it).
+    pub fn connect_retry(addr: &str, retry: Duration) -> Client {
+        let deadline = Instant::now() + retry;
+        let conn = loop {
+            match TcpStream::connect(addr) {
+                Ok(c) => break c,
+                Err(e) if Instant::now() < deadline => {
+                    eprintln!("# waiting for {addr}: {e}");
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                Err(e) => panic!("cannot reach {addr}: {e}"),
+            }
+        };
+        Self::from_stream(conn)
+    }
+
+    fn from_stream(conn: TcpStream) -> Client {
+        conn.set_nodelay(true).ok();
+        // A reply that takes this long means the server wedged; fail
+        // the run instead of hanging CI.
+        conn.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        let input = BufReader::new(conn.try_clone().expect("clone socket"));
+        Client { conn, input }
+    }
+
+    /// Send one command line.
+    pub fn send(&mut self, line: &str) {
+        self.conn
+            .write_all(line.as_bytes())
+            .and_then(|_| self.conn.write_all(b"\n"))
+            .expect("send command");
+    }
+
+    /// Read one reply line (newline stripped).
+    pub fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.input.read_line(&mut line).expect("read reply line");
+        assert!(n > 0, "server closed the connection mid-session");
+        line.trim_end().to_string()
+    }
+
+    /// Send `cmd` and read its full reply block: one line for most
+    /// commands, `1 + k` lines for `topk k`.
+    pub fn reply_block(&mut self, cmd: &str) -> String {
+        self.send(cmd);
+        let head = self.recv_line();
+        let mut block = head.clone();
+        if let Some(rest) = head.strip_prefix("topk ") {
+            let k: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| panic!("malformed topk header: {head}"));
+            for _ in 0..k {
+                block.push('\n');
+                block.push_str(&self.recv_line());
+            }
+        }
+        block
+    }
+
+    /// Send a single-line-reply command and return that line.
+    pub fn roundtrip(&mut self, cmd: &str) -> String {
+        self.send(cmd);
+        self.recv_line()
+    }
+}
+
+/// Extract an integer protocol field like `m=1003` or `epoch=2` from a
+/// reply line by exact token match (a substring search would also
+/// match prefixes, e.g. `m=100` inside `m=1003`).
+pub fn field(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::field;
+
+    #[test]
+    fn field_matches_exact_tokens_only() {
+        let line = "stats n=200 m=1003 steps=2 staged=0 algo=DFLF epoch=2";
+        assert_eq!(field(line, "m"), Some(1003));
+        assert_eq!(field(line, "epoch"), Some(2));
+        assert_eq!(field(line, "n"), Some(200));
+        assert_eq!(field(line, "poch"), None, "no substring matches");
+        assert_eq!(field(line, "algo"), None, "non-numeric value");
+        assert_eq!(field("bare line", "m"), None);
+    }
+}

@@ -23,6 +23,7 @@
 //! All binaries accept `--scale <f>` (default 1.0) to shrink/grow the
 //! generated graphs and `--seed <n>` for reproducibility.
 
+pub mod client;
 pub mod report;
 pub mod setup;
 

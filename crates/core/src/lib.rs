@@ -71,4 +71,4 @@ pub use api::Algorithm;
 pub use config::{ConvergenceMode, PagerankOptions};
 pub use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
 pub use result::{PagerankResult, RunStatus};
-pub use session::{StepStats, UpdateSession};
+pub use session::{RankReader, RankView, StepStats, UpdateSession};

@@ -12,7 +12,7 @@
 //! [`Flags`] is the 8-bit flag vector the paper uses for `VA` (affected),
 //! `C` (batch-edge checked), and `RC` (not-yet-converged), also with
 //! `Relaxed` single-flag operations; phase transitions that must observe
-//! *all* flags (e.g. "every C[u] is set") use `SeqCst` scans, mirroring
+//! *all* flags (e.g. "every C\[u\] is set") use `SeqCst` scans, mirroring
 //! the conservative flush OpenMP performs at construct boundaries.
 
 //! [`EpochFlags`] is the reusable-workspace counterpart: the same flag
@@ -324,13 +324,13 @@ impl Flags {
     }
 
     /// `SeqCst` scan: are **all** flags set? Used for the DFLF phase-1
-    /// exit check ("C[u] = 1 ∀ u", Alg. 2 line 15).
+    /// exit check ("C\[u\] = 1 ∀ u", Alg. 2 line 15).
     pub fn all_set(&self) -> bool {
         self.flags.iter().all(|f| f.load(Ordering::SeqCst) != 0)
     }
 
     /// `SeqCst` scan: are **all** flags clear? Used for the LF
-    /// convergence check ("RC[v] = 0 ∀ v", Alg. 2 line 31).
+    /// convergence check ("RC\[v\] = 0 ∀ v", Alg. 2 line 31).
     pub fn all_clear(&self) -> bool {
         self.flags.iter().all(|f| f.load(Ordering::SeqCst) == 0)
     }

@@ -27,6 +27,22 @@
 //! delegate to [`api::run_dynamic`] (they are synchronous baselines and
 //! keep their own allocation profile), while the four lock-free ones run
 //! on the shared engine directly against the workspace.
+//!
+//! ## Concurrent readers
+//!
+//! A session is single-writer by construction (`step` takes `&mut
+//! self`), but it can *publish* its committed state for concurrent
+//! readers: [`reader`](UpdateSession::reader) hands out a cheap
+//! [`RankReader`] handle whose [`view`](RankReader::view) returns the
+//! latest [`RankView`] — an immutable `(Arc<Snapshot>, Arc<[f64]>,
+//! epoch)` triple swapped in atomically after every commit. Readers on
+//! other threads never block the writer beyond an `Arc` refcount bump,
+//! never observe torn ranks (a view is frozen at publish time), and can
+//! tell exactly which commit they are looking at via the monotone
+//! epoch. Publication is pay-as-you-go: while no reader handle exists,
+//! commits skip the `O(n)` rank copy entirely, and the copy recycles
+//! the previous view's buffer once readers release it, so a served
+//! session in steady state allocates nothing per batch either.
 
 use crate::api::{self, Algorithm};
 use crate::config::PagerankOptions;
@@ -42,7 +58,7 @@ use lfpr_graph::{BatchUpdate, DynGraph, Snapshot};
 use lfpr_sched::chunks::ChunkCursor;
 use lfpr_sched::rounds::RoundCursors;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// What one [`UpdateSession::step`] did, end to end.
@@ -71,6 +87,96 @@ pub struct StepStats {
     /// the session had to fall back to a full rebuild, e.g. after
     /// unrecorded ad-hoc mutations).
     pub incremental: bool,
+}
+
+/// One committed session state, immutable once published.
+///
+/// A view pins the graph snapshot and the rank vector of a single
+/// epoch: the two always correspond to the same commit, no matter how
+/// many batches the writer has applied since. Holding a view never
+/// blocks the writer; it only keeps this epoch's buffers alive.
+#[derive(Debug, Clone)]
+pub struct RankView {
+    snapshot: Arc<Snapshot>,
+    ranks: Arc<[f64]>,
+    epoch: u64,
+}
+
+impl RankView {
+    /// The graph snapshot this view's ranks were computed on.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// The committed rank vector of this epoch.
+    pub fn ranks(&self) -> &[f64] {
+        &self.ranks
+    }
+
+    /// Which commit this view captures: the session's
+    /// [`steps`](UpdateSession::steps) count at publish time (0 = the
+    /// initial static ranks). Strictly monotone across republications
+    /// with interleaved commits.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rank of one vertex.
+    pub fn rank(&self, v: u32) -> f64 {
+        self.ranks[v as usize]
+    }
+
+    /// The `k` highest-ranked vertices of this epoch, descending (ties
+    /// broken by vertex id).
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        top_k_of(&self.ranks, k)
+    }
+}
+
+/// A cloneable, `Send + Sync` handle onto a session's published views.
+///
+/// Obtained from [`UpdateSession::reader`]; any number of threads may
+/// call [`view`](Self::view) while the owning thread keeps committing
+/// batches. Each call is one `RwLock` read acquisition plus an `Arc`
+/// clone — the pointer swap the writer performs at publish time is the
+/// only write ever taken on the slot, so readers cannot observe a
+/// half-updated view.
+#[derive(Debug, Clone)]
+pub struct RankReader {
+    slot: Arc<RwLock<Arc<RankView>>>,
+}
+
+impl RankReader {
+    /// The most recently published view (latest committed epoch).
+    pub fn view(&self) -> Arc<RankView> {
+        self.slot.read().expect("publish slot poisoned").clone()
+    }
+
+    /// The latest committed epoch, without retaining the view.
+    pub fn epoch(&self) -> u64 {
+        self.view().epoch
+    }
+}
+
+/// Shared `O(n + k log k)` partial top-k selection (session + views).
+fn top_k_of(ranks: &[f64], k: usize) -> Vec<(u32, f64)> {
+    let k = k.min(ranks.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &u32, b: &u32| {
+        ranks[*b as usize]
+            .partial_cmp(&ranks[*a as usize])
+            .unwrap()
+            .then(a.cmp(b))
+    };
+    let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
+    idx.into_iter().map(|v| (v, ranks[v as usize])).collect()
 }
 
 /// Reusable per-session buffers — allocated once, recycled every batch.
@@ -124,6 +230,16 @@ pub struct UpdateSession {
     ws: Workspace,
     last: Option<StepStats>,
     steps: u64,
+    /// The published-view slot shared with every [`RankReader`]. The
+    /// session is the only writer; publishing is one pointer swap.
+    published: Arc<RwLock<Arc<RankView>>>,
+    /// `steps` value of the most recent publication (commits that
+    /// happen while no reader handle exists skip publishing).
+    published_step: u64,
+    /// The rank buffer of the view retired by the last publish, kept
+    /// for reuse once every reader has released it — steady-state
+    /// publication then allocates nothing.
+    spare_ranks: Option<Arc<[f64]>>,
 }
 
 impl UpdateSession {
@@ -140,7 +256,6 @@ impl UpdateSession {
         };
         let initial = api::run_static(static_algo, &snapshot, &opts);
         let n = snapshot.num_vertices();
-        drop(snapshot);
         let ws = Workspace {
             ranks: AtomicRanks::from_slice(&initial.ranks),
             va: EpochFlags::new(n),
@@ -162,6 +277,13 @@ impl UpdateSession {
             batch_size: 0,
             incremental: false,
         };
+        // Epoch 0: the initial static ranks. `initial.ranks` moves into
+        // the published buffer, so the first publication is free.
+        let view = RankView {
+            snapshot,
+            ranks: Arc::from(initial.ranks),
+            epoch: 0,
+        };
         UpdateSession {
             graph,
             algorithm,
@@ -169,6 +291,73 @@ impl UpdateSession {
             ws,
             last: Some(last),
             steps: 0,
+            published: Arc::new(RwLock::new(Arc::new(view))),
+            published_step: 0,
+            spare_ranks: None,
+        }
+    }
+
+    /// A handle for concurrent readers: any number of threads may pull
+    /// the latest committed [`RankView`] from it while this session
+    /// keeps applying batches. Creating (or holding) at least one
+    /// reader is what turns publication on — commits made while no
+    /// handle exists skip the per-commit rank copy, and the handle
+    /// returned here is brought up to date immediately.
+    pub fn reader(&mut self) -> RankReader {
+        if self.published_step != self.steps {
+            self.publish();
+        }
+        RankReader {
+            slot: Arc::clone(&self.published),
+        }
+    }
+
+    /// Publish the current committed state if any reader can see it.
+    fn maybe_publish(&mut self) {
+        // Only the session and live `RankReader`s hold the slot; count 1
+        // means nobody is (or can start) reading — skip the O(n) copy.
+        // A reader handed out later is caught up by `reader()` itself.
+        if Arc::strong_count(&self.published) > 1 {
+            self.publish();
+        }
+    }
+
+    /// Unconditionally publish `(snapshot, ranks, epoch = steps)`.
+    fn publish(&mut self) {
+        let n = self.ws.ranks.len();
+        // SAFETY: see `ranks` — `&mut self` rules out concurrent writers.
+        let ranks: &[f64] = unsafe { self.ws.ranks.as_f64_slice_unchecked() };
+        let buf: Arc<[f64]> = match self.spare_ranks.take() {
+            // Reuse the retired buffer when every reader released it
+            // (unique Arc) and the vertex count still matches.
+            Some(mut spare) if spare.len() == n => match Arc::get_mut(&mut spare) {
+                Some(dst) => {
+                    dst.copy_from_slice(ranks);
+                    spare
+                }
+                None => Arc::from(ranks),
+            },
+            _ => Arc::from(ranks),
+        };
+        let view = Arc::new(RankView {
+            snapshot: self.graph.snapshot_shared(),
+            ranks: buf,
+            epoch: self.steps,
+        });
+        let old = {
+            let mut slot = self.published.write().expect("publish slot poisoned");
+            std::mem::replace(&mut *slot, view)
+        };
+        self.published_step = self.steps;
+        // Retire the displaced view's buffers for the next publish: the
+        // rank buffer becomes the next copy destination and the pre-batch
+        // snapshot goes back to the graph's recycler (while a view holds
+        // it, `step`'s own recycle attempt necessarily fails). If a
+        // reader still holds the view, everything stays frozen with it
+        // and the next publish simply allocates.
+        if let Some(old) = Arc::into_inner(old) {
+            self.spare_ranks = Some(old.ranks);
+            self.graph.recycle_snapshot(old.snapshot);
         }
     }
 
@@ -196,24 +385,7 @@ impl UpdateSession {
     /// vertex id). `O(n + k log k)` partial selection — the full
     /// `O(n log n)` sort only the top slice needs is skipped.
     pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
-        let ranks = self.ranks();
-        let k = k.min(ranks.len());
-        if k == 0 {
-            return Vec::new();
-        }
-        let cmp = |a: &u32, b: &u32| {
-            ranks[*b as usize]
-                .partial_cmp(&ranks[*a as usize])
-                .unwrap()
-                .then(a.cmp(b))
-        };
-        let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
-        if k < idx.len() {
-            idx.select_nth_unstable_by(k - 1, cmp);
-            idx.truncate(k);
-        }
-        idx.sort_unstable_by(cmp);
-        idx.into_iter().map(|v| (v, ranks[v as usize])).collect()
+        top_k_of(self.ranks(), k)
     }
 
     /// The configured algorithm.
@@ -259,14 +431,16 @@ impl UpdateSession {
         let (engine, affected) = self.run_kernel(&prev, &curr, batch);
         drop(curr);
         self.graph.recycle_snapshot(prev);
-        Ok(self.finish(
+        let stats = self.finish(
             engine,
             affected,
             batch.len(),
             snapshot_time,
             incremental,
             t_total,
-        ))
+        );
+        self.maybe_publish();
+        Ok(stats)
     }
 
     /// Mutate the graph through `mutate` (which must return the batch of
@@ -285,14 +459,16 @@ impl UpdateSession {
         let (engine, affected) = self.run_kernel(&prev, &curr, &batch);
         drop(curr);
         self.graph.recycle_snapshot(prev);
-        self.finish(
+        let stats = self.finish(
             engine,
             affected,
             batch.len(),
             snapshot_time,
             incremental,
             t_total,
-        )
+        );
+        self.maybe_publish();
+        stats
     }
 
     fn finish(
@@ -642,6 +818,72 @@ mod tests {
             let batch = BatchSpec::mixed(0.01, 77).generate(s.graph());
             assert!(s.step(&batch).unwrap().status.is_success(), "{algo}");
         }
+    }
+
+    #[test]
+    fn published_views_track_commits() {
+        let mut s = session(Algorithm::DfLF);
+        let reader = s.reader();
+        let v0 = reader.view();
+        assert_eq!(v0.epoch(), 0);
+        assert_eq!(v0.ranks(), s.ranks());
+        assert_eq!(v0.snapshot().num_edges(), s.graph().num_edges());
+        for round in 1..=3u64 {
+            let batch = BatchSpec::mixed(0.01, 200 + round).generate(s.graph());
+            s.step(&batch).unwrap();
+            let v = reader.view();
+            assert_eq!(v.epoch(), round);
+            assert_eq!(v.ranks(), s.ranks(), "round {round}");
+            assert_eq!(v.snapshot().num_edges(), s.graph().num_edges());
+            assert_eq!(v.top_k(5), s.top_k(5));
+            assert_eq!(v.rank(3), s.rank(3));
+        }
+        // The early view is frozen: still epoch 0, untouched by commits.
+        assert_eq!(v0.epoch(), 0);
+        assert_eq!(reader.epoch(), 3);
+    }
+
+    #[test]
+    fn commits_without_readers_skip_publication() {
+        let mut s = session(Algorithm::DfLF);
+        let batch = BatchSpec::mixed(0.01, 300).generate(s.graph());
+        s.step(&batch).unwrap(); // no reader handle exists → no publish
+        let reader = s.reader(); // must catch up on creation
+        assert_eq!(reader.view().epoch(), 1);
+        assert_eq!(reader.view().ranks(), s.ranks());
+        // A dropped reader stops publication again.
+        drop(reader);
+        let batch = BatchSpec::mixed(0.01, 301).generate(s.graph());
+        s.step(&batch).unwrap();
+        assert_eq!(s.reader().view().epoch(), 2);
+    }
+
+    #[test]
+    fn held_view_survives_rank_buffer_recycling() {
+        // A reader pins epoch e while the writer publishes e+1, e+2, …;
+        // the pinned buffers must never be overwritten by the recycler.
+        let mut s = session(Algorithm::DfLF);
+        let reader = s.reader();
+        let pinned = reader.view();
+        let pinned_ranks = pinned.ranks().to_vec();
+        let pinned_edges: Vec<_> = pinned.snapshot().edges().collect();
+        for round in 0..5u64 {
+            let batch = BatchSpec::mixed(0.02, 400 + round).generate(s.graph());
+            s.step(&batch).unwrap();
+        }
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.ranks(), &pinned_ranks[..]);
+        assert_eq!(pinned.snapshot().edges().collect::<Vec<_>>(), pinned_edges);
+        assert_eq!(reader.view().epoch(), 5);
+    }
+
+    #[test]
+    fn failed_step_does_not_publish() {
+        let mut s = session(Algorithm::DfLF);
+        let reader = s.reader();
+        let bad = BatchUpdate::insert_only(vec![(0, 0)]); // self-loop exists
+        assert!(s.step(&bad).is_err());
+        assert_eq!(reader.view().epoch(), 0, "no commit → no new epoch");
     }
 
     #[test]

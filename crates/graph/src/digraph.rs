@@ -2,7 +2,7 @@
 //!
 //! `DynGraph` is the mutable side of the substrate: it supports single-edge
 //! and batched insertions/deletions, and produces immutable
-//! [`Snapshot`](crate::snapshot::Snapshot)s for the compute phase, matching
+//! [`Snapshot`]s for the compute phase, matching
 //! the paper's interleaved update/compute model (§3.4).
 //!
 //! Adjacency is stored per-vertex as a sorted `Vec<VertexId>`, so edge

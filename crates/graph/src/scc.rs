@@ -1,7 +1,7 @@
 //! Strongly connected components (iterative Tarjan).
 //!
 //! The Dynamic Traversal literature the paper builds on (Sahu et al.
-//! [38]) confines recomputation to SCCs reachable from updated vertices;
+//! \[38\]) confines recomputation to SCCs reachable from updated vertices;
 //! this module provides the SCC decomposition for that style of
 //! analysis, plus condensation utilities used to reason about how far a
 //! batch update can possibly propagate (an upper bound on any frontier).

@@ -192,7 +192,7 @@ impl WorkerPool {
     /// Run `f(thread_id)` for ids `0..num_threads` and collect results
     /// in id order. Thread 0 runs on the calling thread; ids `1..` run
     /// on pool workers. Semantics match
-    /// [`run_threads`](crate::executor::run_threads): worker panics
+    /// [`run_threads`]: worker panics
     /// propagate to the caller, and `num_threads == 1` runs inline.
     pub fn run<R, F>(&self, num_threads: usize, f: F) -> Vec<R>
     where

@@ -5,15 +5,18 @@
 //! lfpr update <graph> <batch-edge-list> [--algo dflf] [--threads N] [--top K]
 //! lfpr stats  <graph>
 //! lfpr serve  [--graph path | --gen n m seed] [--algo dflf] [--threads N]
-//!             [--tolerance T] [--tauf T] [--tcp addr:port]
+//!             [--tolerance T] [--tauf T] [--tcp addr:port] [--workers N]
 //! ```
 //!
 //! `serve` runs the streaming batch service: an incremental
 //! `UpdateSession` driven by the line protocol documented in
 //! [`lockfree_pagerank::serve`] over stdin/stdout (default) or a TCP
-//! socket (one connection at a time; the session persists across
-//! connections). Protocol replies go to stdout; logs and per-batch
-//! timing go to stderr, so scripted sessions are diffable.
+//! socket. TCP mode serves many clients concurrently
+//! ([`lockfree_pagerank::server`]): `--workers` connection handlers
+//! answer reads from the epoch-published rank view while one writer
+//! thread commits batches. Protocol replies go to stdout (stdin mode)
+//! or the socket; logs and per-batch timing go to stderr, so scripted
+//! sessions are diffable.
 //!
 //! `<graph>` is a SNAP-style edge list (`u v` per line, `#` comments) or
 //! a MatrixMarket `.mtx` file, chosen by extension unless `--format
@@ -115,6 +118,7 @@ fn serve_main(args: &[String]) {
     let mut graph_path: Option<String> = None;
     let mut gen: Option<(usize, usize, u64)> = None;
     let mut tcp: Option<String> = None;
+    let mut workers = 4usize;
     let mut i = 0;
     let bad = |msg: &str| -> ! {
         eprintln!("{msg}");
@@ -178,6 +182,12 @@ fn serve_main(args: &[String]) {
                 tcp = Some(value(i + 1, "--tcp <addr:port>").clone());
                 i += 2;
             }
+            "--workers" => {
+                workers = value(i + 1, "--workers <n>")
+                    .parse()
+                    .unwrap_or_else(|_| bad("usage: --workers <n>"));
+                i += 2;
+            }
             other => bad(&format!("unknown flag: {other}")),
         }
     }
@@ -229,29 +239,14 @@ fn serve_main(args: &[String]) {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
                 .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
-            eprintln!("# listening on {addr} (one connection at a time)");
-            for conn in listener.incoming() {
-                let conn = match conn {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("# accept error: {e}");
-                        continue;
-                    }
-                };
-                let peer = conn.peer_addr().map(|a| a.to_string());
-                eprintln!("# connection from {}", peer.as_deref().unwrap_or("?"));
-                let reader = std::io::BufReader::new(&conn);
-                // Buffer replies so each command's block is one write
-                // (serve_connection flushes once per command).
-                let writer = std::io::BufWriter::new(&conn);
-                match serve_connection(&mut session, reader, writer) {
-                    Ok(s) => eprintln!(
-                        "# connection closed: {} commands, {} batches",
-                        s.commands, s.batches
-                    ),
-                    Err(e) => eprintln!("# connection error: {e}"),
-                }
-            }
+            let server = lockfree_pagerank::server::spawn(session, listener, workers)
+                .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
+            eprintln!(
+                "# listening on {} ({} workers, single-writer commits, epoch-published reads)",
+                server.addr(),
+                workers
+            );
+            server.wait();
         }
     }
 }

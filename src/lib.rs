@@ -22,7 +22,9 @@
 //! rank/flag workspace across batches, so per-batch cost scales with
 //! `|Δ|` instead of `n + m`. The [`serve`] module wraps a session in the
 //! `lfpr serve` line protocol (insert/delete/batch/topk/rank over stdin
-//! or TCP).
+//! or TCP); the [`server`] module serves that protocol to many TCP
+//! clients at once — reads answered from the session's epoch-published
+//! [`RankView`] while one writer thread commits batches.
 //!
 //! ```
 //! use lockfree_pagerank::{Algorithm, RankMaintainer, PagerankOptions};
@@ -50,19 +52,20 @@ pub use lfpr_graph as graph;
 pub use lfpr_sched as sched;
 
 pub use lfpr_core::{
-    api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RunStatus, StepStats,
-    UpdateSession,
+    api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RankReader, RankView,
+    RunStatus, StepStats, UpdateSession,
 };
 pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
 
 pub mod serve;
+pub mod server;
 
 use lfpr_graph::types::{Edge, GraphError};
 
 /// Owns an evolving graph and keeps its PageRank vector current across
 /// batch updates, using any of the paper's dynamic algorithms.
 ///
-/// The maintainer records each mutation made through [`update`] /
+/// The maintainer records each mutation made through [`update`](Self::update) /
 /// [`apply_batch`](Self::apply_batch) as the batch Δt and refreshes the
 /// ranks through an [`UpdateSession`]: the pre/post snapshots of the
 /// paper's read-only snapshot model (§3.4) are maintained incrementally
@@ -107,6 +110,14 @@ impl RankMaintainer {
     /// The underlying update session.
     pub fn session(&self) -> &UpdateSession {
         &self.session
+    }
+
+    /// A handle for concurrent readers: threads may pull the latest
+    /// committed [`RankView`](lfpr_core::RankView) — `(snapshot, ranks,
+    /// epoch)` — from it while this maintainer keeps applying updates.
+    /// See [`UpdateSession::reader`].
+    pub fn reader(&mut self) -> RankReader {
+        self.session.reader()
     }
 
     /// Unwrap into the underlying update session.
@@ -294,6 +305,20 @@ mod tests {
                 .collect();
             assert_eq!(top, expect, "k = {k}");
         }
+    }
+
+    #[test]
+    fn reader_views_track_maintainer_updates() {
+        let mut rm = maintainer(Algorithm::DfLF);
+        let reader = rm.reader();
+        assert_eq!(reader.view().epoch(), 0);
+        rm.update(|g| {
+            g.insert_edges([(10, 1), (20, 1)]).unwrap();
+        });
+        let v = reader.view();
+        assert_eq!(v.epoch(), 1);
+        assert_eq!(v.ranks(), rm.ranks());
+        assert_eq!(v.snapshot().num_edges(), rm.graph().num_edges());
     }
 
     #[test]

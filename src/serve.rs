@@ -10,24 +10,35 @@
 //! ```text
 //! insert <u> <v>   stage an edge insertion        → staged <count>
 //! delete <u> <v>   stage an edge deletion         → staged <count>
-//! batch            commit staged ops as one Δt    → ok batch=<k> m=<m> status=<s> iters=<i>
-//! topk <k>         k highest-ranked vertices      → topk <k> + k lines "<v> <rank>"
-//! rank <v>         one vertex's rank              → rank <v> <value>
-//! stats            session counters               → stats n=.. m=.. steps=.. staged=.. algo=..
+//! batch            commit staged ops as one Δt    → ok batch=<k> m=<m> status=<s> iters=<i> epoch=<e>
+//! topk <k>         k highest-ranked vertices      → topk <k> epoch=<e> + k lines "<v> <rank>"
+//! rank <v>         one vertex's rank              → rank <v> <value> epoch=<e>
+//! stats            session counters               → stats n=.. m=.. steps=.. staged=.. algo=.. epoch=<e>
 //! quit             end the session                → bye
 //! ```
 //!
+//! Every reply that reads committed state carries `epoch=<e>` — the
+//! commit number it was answered from (0 = the initial static ranks).
+//! Under the concurrent TCP server ([`crate::server`]) reads are served
+//! from an atomically published [`RankView`], so a reply's `rank`/`topk`
+//! values and its epoch always belong to the same commit even while a
+//! batch is being applied on the writer.
+//!
 //! Staged operations are validated eagerly against the current graph
-//! (plus the staged set), so `batch` cannot fail halfway; queries
-//! always see the last committed ranks. Deleting a self-loop is
-//! refused — self-loops implement dead-end elimination (§5.1.3) and
-//! removing one would leak rank mass. A staged insert/delete pair of
-//! the same edge cancels out, mirroring [`crate::MutGuard`].
+//! (plus the staged set), so a `batch` from a single-client session
+//! cannot fail halfway; under concurrent clients the commit revalidates
+//! authoritatively and replies `err batch rejected: …` when another
+//! client's commit conflicted (the staged set is kept for inspection).
+//! Deleting a self-loop is refused — self-loops implement dead-end
+//! elimination (§5.1.3) and removing one would leak rank mass. A staged
+//! insert/delete pair of the same edge cancels out, mirroring
+//! [`crate::MutGuard`].
 
-use lfpr_core::session::UpdateSession;
-use lfpr_core::RunStatus;
+use lfpr_core::session::{RankReader, RankView, UpdateSession};
+use lfpr_core::{Algorithm, RunStatus};
 use lfpr_graph::BatchUpdate;
 use std::io::{BufRead, Write};
+use std::sync::{mpsc, Arc};
 
 /// Counters a serve loop reports when the connection ends.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,10 +51,197 @@ pub struct ServeSummary {
     pub updates: u64,
 }
 
-/// Drive `session` with the line protocol from `input`, writing replies
-/// to `out`, until EOF or `quit`. Returns the connection counters.
+impl ServeSummary {
+    /// Fold another connection's counters into this aggregate.
+    pub fn absorb(&mut self, other: ServeSummary) {
+        self.commands += other.commands;
+        self.batches += other.batches;
+        self.updates += other.updates;
+    }
+}
+
+/// What one committed batch reports back to the protocol layer.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitOutcome {
+    /// Edge count of the graph after the commit.
+    pub edges: usize,
+    /// Termination status of the rank refresh.
+    pub status: RunStatus,
+    /// Rounds the refresh performed.
+    pub iterations: usize,
+    /// The epoch this commit produced.
+    pub epoch: u64,
+}
+
+/// A commit funneled from a serving worker to the single session
+/// writer. The worker blocks on `reply` until the writer has applied
+/// the batch (or rejected it — a rejection hands the batch back so the
+/// client's staged edits survive for inspection).
+pub struct CommitRequest {
+    /// The staged batch to apply.
+    pub batch: BatchUpdate,
+    /// Where the writer sends the outcome.
+    pub reply: mpsc::SyncSender<Result<CommitOutcome, (BatchUpdate, String)>>,
+}
+
+/// Apply `batch` to `session` and report the outcome — the one commit
+/// path shared by the Direct backend and the TCP writer thread, so the
+/// per-batch stderr line and the outcome fields cannot drift apart.
+pub fn commit_on(
+    session: &mut UpdateSession,
+    batch: &BatchUpdate,
+) -> Result<CommitOutcome, String> {
+    match session.step(batch) {
+        Ok(stats) => {
+            eprintln!(
+                "# batch {} updates in {:?} (snapshot {:?}, ranks {:?}, {} vertices)",
+                batch.len(),
+                stats.total_time,
+                stats.snapshot_time,
+                stats.runtime,
+                stats.vertices_processed
+            );
+            Ok(CommitOutcome {
+                edges: session.graph().num_edges(),
+                status: stats.status,
+                iterations: stats.iterations,
+                epoch: session.steps(),
+            })
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// How a serve loop reaches session state.
+///
+/// * [`Direct`](Backend::Direct) — exclusive access (stdin mode, tests):
+///   reads and commits go straight to the owned session.
+/// * [`Concurrent`](Backend::Concurrent) — a TCP worker: reads come from
+///   the epoch-published [`RankView`] (never blocking the writer),
+///   commits are funneled through a channel to the single writer thread.
+pub enum Backend<'a> {
+    /// Exclusive access to the session (single-connection modes).
+    Direct(&'a mut UpdateSession),
+    /// Shared access under the concurrent server.
+    Concurrent {
+        /// Handle onto the session's published views.
+        reader: RankReader,
+        /// Funnel to the writer thread owning the session.
+        commits: mpsc::Sender<CommitRequest>,
+        /// The session's configured algorithm (for `stats`).
+        algorithm: Algorithm,
+    },
+}
+
+/// One command's coherent look at committed state: every field a reply
+/// derives (ranks, edges, epoch) comes from the same commit.
+enum CmdView<'a> {
+    Direct(&'a UpdateSession),
+    Published(Arc<RankView>),
+}
+
+impl CmdView<'_> {
+    fn num_vertices(&self) -> usize {
+        match self {
+            CmdView::Direct(s) => s.graph().num_vertices(),
+            CmdView::Published(v) => v.snapshot().num_vertices(),
+        }
+    }
+
+    fn num_edges(&self) -> usize {
+        match self {
+            CmdView::Direct(s) => s.graph().num_edges(),
+            CmdView::Published(v) => v.snapshot().num_edges(),
+        }
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        match self {
+            CmdView::Direct(s) => s.graph().has_edge(u, v),
+            CmdView::Published(view) => view.snapshot().has_edge(u, v),
+        }
+    }
+
+    fn rank(&self, v: u32) -> f64 {
+        match self {
+            CmdView::Direct(s) => s.rank(v),
+            CmdView::Published(view) => view.rank(v),
+        }
+    }
+
+    fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        match self {
+            CmdView::Direct(s) => s.top_k(k),
+            CmdView::Published(view) => view.top_k(k),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            CmdView::Direct(s) => s.steps(),
+            CmdView::Published(view) => view.epoch(),
+        }
+    }
+}
+
+impl Backend<'_> {
+    /// Pin the state one command answers from. Under the concurrent
+    /// server this is one published-view load; commands never mix two
+    /// epochs within a reply.
+    fn view(&self) -> CmdView<'_> {
+        match self {
+            Backend::Direct(s) => CmdView::Direct(s),
+            Backend::Concurrent { reader, .. } => CmdView::Published(reader.view()),
+        }
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        match self {
+            Backend::Direct(s) => s.algorithm(),
+            Backend::Concurrent { algorithm, .. } => *algorithm,
+        }
+    }
+
+    /// Commit a batch. Direct mode applies it in place; concurrent mode
+    /// funnels it to the writer thread and blocks for the outcome. On
+    /// rejection the batch travels back with the error so the caller
+    /// can restore the client's staged edits.
+    fn commit(&mut self, batch: BatchUpdate) -> Result<CommitOutcome, (BatchUpdate, String)> {
+        match self {
+            Backend::Direct(session) => commit_on(session, &batch).map_err(|msg| (batch, msg)),
+            Backend::Concurrent { commits, .. } => {
+                let (tx, rx) = mpsc::sync_channel(1);
+                let req = CommitRequest { batch, reply: tx };
+                match commits.send(req) {
+                    Ok(()) => match rx.recv() {
+                        Ok(Ok(outcome)) => Ok(outcome),
+                        Ok(Err((batch, msg))) => Err((batch, msg)),
+                        // The writer died mid-commit; the batch is gone
+                        // with it, and so is the server.
+                        Err(_) => Err((BatchUpdate::new(), "server shutting down".into())),
+                    },
+                    Err(e) => Err((e.0.batch, "server shutting down".into())),
+                }
+            }
+        }
+    }
+}
+
+/// Drive `session` exclusively with the line protocol from `input`,
+/// writing replies to `out`, until EOF or `quit`. Returns the
+/// connection counters. This is the single-connection (stdin) mode; the
+/// concurrent TCP server drives [`serve_client`] instead.
 pub fn serve_connection<R: BufRead, W: Write>(
     session: &mut UpdateSession,
+    input: R,
+    out: W,
+) -> std::io::Result<ServeSummary> {
+    serve_client(&mut Backend::Direct(session), input, out)
+}
+
+/// Drive one client connection against `backend` until EOF or `quit`.
+pub fn serve_client<R: BufRead, W: Write>(
+    backend: &mut Backend<'_>,
     input: R,
     mut out: W,
 ) -> std::io::Result<ServeSummary> {
@@ -56,7 +254,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
             continue;
         }
         summary.commands += 1;
-        match handle(session, &mut staged, &mut summary, &tokens, &mut out)? {
+        match handle(backend, &mut staged, &mut summary, &tokens, &mut out)? {
             Flow::Continue => {}
             Flow::Quit => break,
         }
@@ -71,56 +269,58 @@ enum Flow {
 }
 
 fn handle<W: Write>(
-    session: &mut UpdateSession,
+    backend: &mut Backend<'_>,
     staged: &mut BatchUpdate,
     summary: &mut ServeSummary,
     tokens: &[&str],
     out: &mut W,
 ) -> std::io::Result<Flow> {
     match tokens {
-        ["insert", u, v] => match parse_edge(session, u, v) {
-            Ok((u, v)) => stage_insert(session, staged, u, v, out)?,
-            Err(msg) => writeln!(out, "err {msg}")?,
-        },
-        ["delete", u, v] => match parse_edge(session, u, v) {
-            Ok((u, v)) => stage_delete(session, staged, u, v, out)?,
-            Err(msg) => writeln!(out, "err {msg}")?,
-        },
+        ["insert", u, v] => {
+            let view = backend.view();
+            match parse_edge(&view, u, v) {
+                Ok((u, v)) => stage_insert(&view, staged, u, v, out)?,
+                Err(msg) => writeln!(out, "err {msg}")?,
+            }
+        }
+        ["delete", u, v] => {
+            let view = backend.view();
+            match parse_edge(&view, u, v) {
+                Ok((u, v)) => stage_delete(&view, staged, u, v, out)?,
+                Err(msg) => writeln!(out, "err {msg}")?,
+            }
+        }
         ["batch"] => {
             let batch = std::mem::take(staged);
             let k = batch.len();
-            match session.step(&batch) {
-                Ok(stats) => {
+            match backend.commit(batch) {
+                Ok(o) => {
                     summary.batches += 1;
                     summary.updates += k as u64;
                     writeln!(
                         out,
-                        "ok batch={k} m={} status={} iters={}",
-                        session.graph().num_edges(),
-                        status_str(stats.status),
-                        stats.iterations
+                        "ok batch={k} m={} status={} iters={} epoch={}",
+                        o.edges,
+                        status_str(o.status),
+                        o.iterations,
+                        o.epoch
                     )?;
-                    eprintln!(
-                        "# batch {k} updates in {:?} (snapshot {:?}, ranks {:?}, {} vertices)",
-                        stats.total_time,
-                        stats.snapshot_time,
-                        stats.runtime,
-                        stats.vertices_processed
-                    );
                 }
-                // Unreachable when staging validated (the graph only
-                // changes through commits), but never die on input —
-                // and never drop the client's staged edits either.
-                Err(e) => {
+                // Reachable under concurrent clients: another commit can
+                // land between staging and this batch. Never die on
+                // input — and restore the client's staged edits so they
+                // can be inspected or amended.
+                Err((batch, msg)) => {
                     *staged = batch;
-                    writeln!(out, "err batch rejected: {e}")?;
+                    writeln!(out, "err batch rejected: {msg}")?;
                 }
             }
         }
         ["topk", k] => match k.parse::<usize>() {
             Ok(k) => {
-                let top = session.top_k(k);
-                writeln!(out, "topk {}", top.len())?;
+                let view = backend.view();
+                let top = view.top_k(k);
+                writeln!(out, "topk {} epoch={}", top.len(), view.epoch())?;
                 for (v, r) in top {
                     writeln!(out, "{v} {r:.6e}")?;
                 }
@@ -128,20 +328,27 @@ fn handle<W: Write>(
             Err(_) => writeln!(out, "err topk needs an integer")?,
         },
         ["rank", v] => match v.parse::<u32>() {
-            Ok(v) if (v as usize) < session.graph().num_vertices() => {
-                writeln!(out, "rank {v} {:.6e}", session.rank(v))?;
+            Ok(v) => {
+                let view = backend.view();
+                if (v as usize) < view.num_vertices() {
+                    writeln!(out, "rank {v} {:.6e} epoch={}", view.rank(v), view.epoch())?;
+                } else {
+                    writeln!(out, "err unknown vertex {v}")?;
+                }
             }
-            _ => writeln!(out, "err unknown vertex {v}")?,
+            Err(_) => writeln!(out, "err unknown vertex {v}")?,
         },
         ["stats"] => {
+            let view = backend.view();
             writeln!(
                 out,
-                "stats n={} m={} steps={} staged={} algo={}",
-                session.graph().num_vertices(),
-                session.graph().num_edges(),
-                session.steps(),
+                "stats n={} m={} steps={} staged={} algo={} epoch={}",
+                view.num_vertices(),
+                view.num_edges(),
+                view.epoch(),
                 staged.len(),
-                session.algorithm()
+                backend.algorithm(),
+                view.epoch()
             )?;
         }
         ["quit"] => {
@@ -153,8 +360,8 @@ fn handle<W: Write>(
     Ok(Flow::Continue)
 }
 
-fn parse_edge(session: &UpdateSession, u: &str, v: &str) -> Result<(u32, u32), String> {
-    let n = session.graph().num_vertices();
+fn parse_edge(view: &CmdView<'_>, u: &str, v: &str) -> Result<(u32, u32), String> {
+    let n = view.num_vertices();
     let parse = |s: &str| -> Result<u32, String> {
         let id: u32 = s.parse().map_err(|_| format!("bad vertex id {s}"))?;
         if (id as usize) < n {
@@ -167,7 +374,7 @@ fn parse_edge(session: &UpdateSession, u: &str, v: &str) -> Result<(u32, u32), S
 }
 
 fn stage_insert<W: Write>(
-    session: &UpdateSession,
+    view: &CmdView<'_>,
     staged: &mut BatchUpdate,
     u: u32,
     v: u32,
@@ -175,7 +382,7 @@ fn stage_insert<W: Write>(
 ) -> std::io::Result<()> {
     if let Some(pos) = staged.deletions.iter().position(|&e| e == (u, v)) {
         staged.deletions.swap_remove(pos); // reinstate a staged delete
-    } else if session.graph().has_edge(u, v) {
+    } else if view.has_edge(u, v) {
         writeln!(out, "err edge ({u}, {v}) already exists")?;
         return Ok(());
     } else if staged.insertions.contains(&(u, v)) {
@@ -189,7 +396,7 @@ fn stage_insert<W: Write>(
 }
 
 fn stage_delete<W: Write>(
-    session: &UpdateSession,
+    view: &CmdView<'_>,
     staged: &mut BatchUpdate,
     u: u32,
     v: u32,
@@ -204,7 +411,7 @@ fn stage_delete<W: Write>(
     }
     if let Some(pos) = staged.insertions.iter().position(|&e| e == (u, v)) {
         staged.insertions.swap_remove(pos); // cancel a staged insert
-    } else if !session.graph().has_edge(u, v) {
+    } else if !view.has_edge(u, v) {
         writeln!(out, "err edge ({u}, {v}) does not exist")?;
         return Ok(());
     } else if staged.deletions.contains(&(u, v)) {
@@ -228,7 +435,7 @@ fn status_str(status: RunStatus) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lfpr_core::{Algorithm, PagerankOptions};
+    use lfpr_core::PagerankOptions;
     use lfpr_graph::selfloops::add_self_loops;
     use lfpr_graph::GraphBuilder;
 
@@ -262,12 +469,17 @@ mod tests {
              topk 2\n\
              quit\n");
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines[0], "stats n=5 m=11 steps=0 staged=0 algo=DFLF");
+        assert_eq!(
+            lines[0],
+            "stats n=5 m=11 steps=0 staged=0 algo=DFLF epoch=0"
+        );
         assert_eq!(lines[1], "staged 1");
         assert_eq!(lines[2], "staged 2");
         assert!(lines[3].starts_with("ok batch=2 m=11 status=converged"));
+        assert!(lines[3].ends_with("epoch=1"));
         assert!(lines[4].starts_with("rank 1 "));
-        assert_eq!(lines[5], "topk 2");
+        assert!(lines[4].ends_with("epoch=1"));
+        assert_eq!(lines[5], "topk 2 epoch=1");
         assert_eq!(summary.commands, 7);
         assert_eq!(summary.batches, 1);
         assert_eq!(summary.updates, 2);
@@ -322,5 +534,47 @@ mod tests {
         .unwrap();
         assert!(s.rank(1) > before, "vertex 1 gained in-links");
         assert_eq!(s.steps(), 1);
+    }
+
+    #[test]
+    fn concurrent_backend_answers_from_published_views() {
+        // A Concurrent backend wired to an in-thread "writer": commits
+        // drain synchronously after the serve loop ends, so replies to
+        // reads must come from the published view only.
+        let mut s = session();
+        let reader = s.reader();
+        let (tx, rx) = mpsc::channel::<CommitRequest>();
+        let mut backend = Backend::Concurrent {
+            reader,
+            commits: tx,
+            algorithm: s.algorithm(),
+        };
+        let mut out = Vec::new();
+        // Reads before any commit: epoch 0.
+        serve_client(&mut backend, "stats\nrank 1\ntopk 1\n".as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for line in text.lines().take(3) {
+            assert!(line.contains("epoch=0"), "{line}");
+        }
+        // A commit via the funnel: handled by the session writer.
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        let Backend::Concurrent { commits, .. } = &backend else {
+            unreachable!()
+        };
+        commits
+            .send(CommitRequest {
+                batch: BatchUpdate::insert_only(vec![(4, 1)]),
+                reply: rtx,
+            })
+            .unwrap();
+        let req = rx.recv().unwrap();
+        let outcome = commit_on(&mut s, &req.batch).map_err(|msg| (req.batch, msg));
+        req.reply.send(outcome).unwrap();
+        assert!(rrx.recv().unwrap().is_ok());
+        // The published view caught up.
+        let mut out = Vec::new();
+        serve_client(&mut backend, "rank 1\n".as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.trim_end().ends_with("epoch=1"), "{text}");
     }
 }

@@ -1,0 +1,391 @@
+//! Concurrent TCP serving: multi-client reads during batch commits.
+//!
+//! The seed `lfpr serve --tcp` handled one connection at a time, so
+//! every query stalled behind every batch commit. This module serves
+//! the line protocol ([`crate::serve`]) with the single-writer /
+//! epoch-published-readers model:
+//!
+//! * **one writer thread** owns the [`UpdateSession`] and drains a
+//!   channel of [`CommitRequest`]s — batch commits from all clients are
+//!   serialized there, exactly like the single-connection mode;
+//! * **a small worker set** accepts connections (the OS distributes
+//!   `accept` among workers blocked on the same listener) and answers
+//!   read-only commands (`topk`/`rank`/`stats`) from the session's
+//!   atomically published [`RankView`](lfpr_core::RankView), so reads
+//!   proceed — and report the epoch they answered from — while a batch
+//!   is mid-commit on the writer;
+//! * staging (`insert`/`delete`) is connection-local and validated
+//!   against the latest published view; the writer revalidates every
+//!   batch authoritatively, so a conflicting interleaved commit yields
+//!   `err batch rejected: …` instead of corruption.
+//!
+//! A client disconnecting mid-line or mid-response only drops that
+//! connection (logged to stderr); the worker returns to `accept` and
+//! the server keeps running.
+
+use crate::serve::{commit_on, serve_client, Backend, CommitRequest, ServeSummary};
+use lfpr_core::session::{RankReader, UpdateSession};
+use lfpr_core::Algorithm;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running concurrent TCP server (see the module docs for the
+/// threading model). Obtained from [`spawn`]; dropped handles leave the
+/// threads serving — call [`stop`](Self::stop) for a graceful shutdown
+/// or [`wait`](Self::wait) to serve until the process ends.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    writer: JoinHandle<UpdateSession>,
+    totals: Arc<Mutex<ServeSummary>>,
+}
+
+impl TcpServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Aggregate counters across all closed connections so far.
+    pub fn totals(&self) -> ServeSummary {
+        *self.totals.lock().expect("totals poisoned")
+    }
+
+    /// Graceful shutdown: stop accepting, wake blocked workers, join
+    /// everything, and hand back the session plus aggregate counters.
+    /// Workers mid-connection finish serving that client first.
+    pub fn stop(self) -> (UpdateSession, ServeSummary) {
+        self.stop.store(true, Ordering::Release);
+        // One wake-up connection per worker unblocks their `accept`.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        // All workers (and their channel senders) are gone: the writer's
+        // recv loop ends and returns the session.
+        let session = self.writer.join().expect("writer thread panicked");
+        let totals = *self.totals.lock().expect("totals poisoned");
+        (session, totals)
+    }
+
+    /// Serve until every thread exits — effectively forever, unless
+    /// [`stop`](Self::stop) is called or the writer dies (which shuts
+    /// the workers down so the exit is visible). Used by the CLI.
+    pub fn wait(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if self.writer.join().is_err() {
+            eprintln!("# server stopped: writer thread panicked");
+        }
+    }
+}
+
+/// Start serving `listener` with `workers` concurrent connection
+/// handlers (at least 1) plus one writer thread owning `session`.
+pub fn spawn(
+    mut session: UpdateSession,
+    listener: TcpListener,
+    workers: usize,
+) -> std::io::Result<TcpServer> {
+    let addr = listener.local_addr()?;
+    let algorithm = session.algorithm();
+    // Creating the reader turns on epoch publication; every commit from
+    // here on is visible to the workers.
+    let reader = session.reader();
+    let (tx, rx) = mpsc::channel::<CommitRequest>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        // If the writer dies (a kernel panic propagated out of
+        // `session.step`), the server must not keep serving stale reads
+        // while every commit fails — shut the workers down and let
+        // `wait`/`stop` surface the panic instead.
+        let stop = Arc::clone(&stop);
+        let n_workers = workers.max(1);
+        std::thread::Builder::new()
+            .name("lfpr-writer".into())
+            .spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    writer_loop(session, rx)
+                }));
+                match result {
+                    Ok(session) => session,
+                    Err(panic) => {
+                        eprintln!("# writer thread panicked; stopping the server");
+                        stop.store(true, Ordering::Release);
+                        for _ in 0..n_workers {
+                            let _ = TcpStream::connect(addr);
+                        }
+                        std::panic::resume_unwind(panic)
+                    }
+                }
+            })?
+    };
+    let totals = Arc::new(Mutex::new(ServeSummary::default()));
+    let listener = Arc::new(listener);
+    let workers = (0..workers.max(1))
+        .map(|id| {
+            let ctx = WorkerCtx {
+                listener: Arc::clone(&listener),
+                stop: Arc::clone(&stop),
+                reader: reader.clone(),
+                commits: tx.clone(),
+                algorithm,
+                totals: Arc::clone(&totals),
+                id,
+            };
+            std::thread::Builder::new()
+                .name(format!("lfpr-worker-{id}"))
+                .spawn(move || worker_loop(ctx))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    // The workers hold the only remaining senders; dropping ours lets
+    // the writer exit as soon as the last worker does.
+    drop(tx);
+    Ok(TcpServer {
+        addr,
+        stop,
+        workers,
+        writer,
+        totals,
+    })
+}
+
+struct WorkerCtx {
+    listener: Arc<TcpListener>,
+    stop: Arc<AtomicBool>,
+    reader: RankReader,
+    commits: mpsc::Sender<CommitRequest>,
+    algorithm: Algorithm,
+    totals: Arc<Mutex<ServeSummary>>,
+    id: usize,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let (conn, peer) = match ctx.listener.accept() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("# worker {}: accept error: {e}", ctx.id);
+                // A persistent failure (EMFILE under fd exhaustion)
+                // must not busy-spin the accept loop.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        // `stop` wakes blocked accepts with throwaway connections.
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        eprintln!("# worker {}: connection from {peer}", ctx.id);
+        let mut backend = Backend::Concurrent {
+            reader: ctx.reader.clone(),
+            commits: ctx.commits.clone(),
+            algorithm: ctx.algorithm,
+        };
+        let input = BufReader::new(&conn);
+        // Buffer replies so each command's block is one write
+        // (serve_client flushes once per command).
+        let output = BufWriter::new(&conn);
+        match serve_client(&mut backend, input, output) {
+            Ok(s) => {
+                eprintln!(
+                    "# worker {}: connection closed: {} commands, {} batches",
+                    ctx.id, s.commands, s.batches
+                );
+                ctx.totals.lock().expect("totals poisoned").absorb(s);
+            }
+            // A half-written line or a reply into a closed socket is the
+            // client's problem, not the server's: log, drop, keep going.
+            Err(e) => eprintln!("# worker {}: client dropped: {e}", ctx.id),
+        }
+    }
+}
+
+/// The single writer: applies every funneled batch to the owned session
+/// (which republishes the read view after each commit) and reports the
+/// outcome back to the requesting worker. A rejected batch travels back
+/// with the error so the client's staged edits survive.
+fn writer_loop(mut session: UpdateSession, rx: mpsc::Receiver<CommitRequest>) -> UpdateSession {
+    while let Ok(req) = rx.recv() {
+        let outcome = commit_on(&mut session, &req.batch).map_err(|msg| (req.batch, msg));
+        // A worker gone mid-commit (its client vanished) is fine.
+        let _ = req.reply.send(outcome);
+    }
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfpr_core::PagerankOptions;
+    use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::GraphBuilder;
+    use std::io::{BufRead, Write};
+
+    fn session() -> UpdateSession {
+        let mut g = GraphBuilder::new(6)
+            .edges([
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (4, 5),
+                (5, 0),
+            ])
+            .build_dyn()
+            .unwrap();
+        add_self_loops(&mut g);
+        UpdateSession::new(
+            g,
+            Algorithm::DfLF,
+            PagerankOptions::default().with_threads(1),
+        )
+    }
+
+    fn start(workers: usize) -> TcpServer {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        spawn(session(), listener, workers).unwrap()
+    }
+
+    struct Client {
+        conn: TcpStream,
+        input: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let conn = TcpStream::connect(addr).unwrap();
+            let input = BufReader::new(conn.try_clone().unwrap());
+            Client { conn, input }
+        }
+
+        fn send(&mut self, cmd: &str) {
+            writeln!(self.conn, "{cmd}").unwrap();
+        }
+
+        fn recv_line(&mut self) -> String {
+            let mut line = String::new();
+            self.input.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        }
+
+        fn roundtrip(&mut self, cmd: &str) -> String {
+            self.send(cmd);
+            self.recv_line()
+        }
+    }
+
+    #[test]
+    fn two_clients_see_each_others_commits() {
+        let server = start(2);
+        let mut a = Client::connect(server.addr());
+        let mut b = Client::connect(server.addr());
+        assert!(a.roundtrip("stats").contains("epoch=0"));
+        assert!(b.roundtrip("rank 1").ends_with("epoch=0"));
+        // A commits; B's next read answers from the new epoch.
+        assert_eq!(a.roundtrip("insert 3 1"), "staged 1");
+        let ok = a.roundtrip("batch");
+        assert!(ok.starts_with("ok batch=1"), "{ok}");
+        assert!(ok.ends_with("epoch=1"), "{ok}");
+        assert!(b.roundtrip("rank 1").ends_with("epoch=1"));
+        assert_eq!(a.roundtrip("quit"), "bye");
+        assert_eq!(b.roundtrip("quit"), "bye");
+        let (session, totals) = server.stop();
+        assert_eq!(session.steps(), 1);
+        assert_eq!(totals.batches, 1);
+        assert_eq!(totals.commands, 7);
+    }
+
+    #[test]
+    fn conflicting_commit_is_rejected_not_fatal() {
+        let server = start(2);
+        let mut a = Client::connect(server.addr());
+        let mut b = Client::connect(server.addr());
+        // Both stage the same insertion against epoch 0.
+        assert_eq!(a.roundtrip("insert 3 1"), "staged 1");
+        assert_eq!(b.roundtrip("insert 3 1"), "staged 1");
+        assert!(a.roundtrip("batch").starts_with("ok batch=1"));
+        // B's commit now duplicates an existing edge: rejected, and the
+        // connection (plus the server) lives on — with B's staged edits
+        // restored for inspection.
+        let reply = b.roundtrip("batch");
+        assert!(reply.starts_with("err batch rejected"), "{reply}");
+        let stats = b.roundtrip("stats");
+        assert!(stats.contains("staged=1"), "staged edits lost: {stats}");
+        assert!(stats.contains("epoch=1"));
+        // B can repair the staged set and commit cleanly.
+        assert_eq!(b.roundtrip("delete 3 1"), "staged 0");
+        assert_eq!(b.roundtrip("insert 0 2"), "staged 1");
+        assert!(b.roundtrip("batch").starts_with("ok batch=1"));
+        drop(a);
+        drop(b);
+        let (session, _) = server.stop();
+        assert_eq!(session.steps(), 2);
+    }
+
+    #[test]
+    fn mid_line_disconnect_leaves_server_serving() {
+        let server = start(1);
+        {
+            // Half a command, no newline, then a hard drop.
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            c.write_all(b"insert 3").unwrap();
+        }
+        {
+            // Mid-session drop with a reply pending in the pipe.
+            let mut c = Client::connect(server.addr());
+            c.send("topk 3");
+            drop(c);
+        }
+        // The single worker must still serve a well-behaved client.
+        let mut c = Client::connect(server.addr());
+        assert!(c.roundtrip("stats").contains("n=6"));
+        assert_eq!(c.roundtrip("quit"), "bye");
+        server.stop();
+    }
+
+    #[test]
+    fn reads_carry_consistent_epoch_under_a_racing_writer() {
+        let server = start(3);
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            let mut last_epoch = 0u64;
+            let mut reads = 0u64;
+            while !flag.load(Ordering::Relaxed) {
+                let reply = c.roundtrip("rank 0");
+                let epoch: u64 = reply.rsplit("epoch=").next().unwrap().parse().unwrap();
+                assert!(epoch >= last_epoch, "epoch went backwards: {reply}");
+                last_epoch = epoch;
+                reads += 1;
+            }
+            (reads, last_epoch)
+        });
+        let mut w = Client::connect(addr);
+        for edge in ["0 2", "0 3", "0 4", "0 5", "1 0"] {
+            assert_eq!(w.roundtrip(&format!("insert {edge}")), "staged 1");
+            let ok = w.roundtrip("batch");
+            assert!(ok.starts_with("ok batch=1"), "{ok}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (reads, _) = reader.join().unwrap();
+        assert!(reads > 0);
+        drop(w); // workers mid-connection only exit once their client leaves
+        let (session, _) = server.stop();
+        assert_eq!(session.steps(), 5);
+    }
+}

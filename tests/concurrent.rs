@@ -1,0 +1,181 @@
+//! Concurrency stress tests for the epoch-published read view: reader
+//! threads hammer [`RankReader::view`] while the single writer applies
+//! batches, asserting every observed `(epoch, ranks, snapshot)` triple
+//! is internally consistent and epochs are monotone per reader.
+//!
+//! The writer records the exact rank vector and edge count of every
+//! committed epoch; a reader observing epoch `e` must see *precisely*
+//! that data — any torn publish, any buffer recycled while still
+//! referenced, any snapshot/ranks mismatch fails the run.
+
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::{Algorithm, BatchSpec, PagerankOptions, UpdateSession};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+fn session(algo: Algorithm, threads: usize) -> UpdateSession {
+    let mut g = lockfree_pagerank::graph::generators::erdos_renyi(800, 5000, 33);
+    add_self_loops(&mut g);
+    let opts = PagerankOptions::default()
+        .with_threads(threads)
+        .with_chunk_size(64);
+    UpdateSession::new(g, algo, opts)
+}
+
+/// Bit-level fingerprint of a rank vector (sum would collide).
+fn fingerprint(ranks: &[f64]) -> u64 {
+    ranks.iter().fold(0xcbf29ce484222325u64, |h, r| {
+        (h ^ r.to_bits()).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[test]
+fn readers_observe_only_committed_epochs_under_write_pressure() {
+    const BATCHES: u64 = 25;
+    const READERS: usize = 3;
+
+    /// Ground truth of one commit: rank fingerprint, full ranks, edges.
+    type Committed = (u64, Vec<f64>, usize);
+
+    let mut s = session(Algorithm::DfLF, 2);
+    let reader = s.reader();
+    // epoch -> ground truth, recorded by the writer after each commit.
+    let committed: Mutex<HashMap<u64, Committed>> = Mutex::new(HashMap::new());
+    committed.lock().unwrap().insert(
+        0,
+        (
+            fingerprint(s.ranks()),
+            s.ranks().to_vec(),
+            s.graph().num_edges(),
+        ),
+    );
+    let done = AtomicBool::new(false);
+
+    let observations: Vec<Vec<(u64, u64, usize, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let reader = reader.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    let mut last_epoch = 0u64;
+                    while !done.load(Ordering::Acquire) {
+                        let v = reader.view();
+                        let epoch = v.epoch();
+                        assert!(
+                            epoch >= last_epoch,
+                            "epoch regressed: {last_epoch} → {epoch}"
+                        );
+                        last_epoch = epoch;
+                        // The view's pieces must all belong to one
+                        // commit: capture them together for validation.
+                        seen.push((
+                            epoch,
+                            fingerprint(v.ranks()),
+                            v.snapshot().num_edges(),
+                            v.ranks().len(),
+                        ));
+                    }
+                    // One final observation after the writer stopped:
+                    // must be the last committed epoch.
+                    let v = reader.view();
+                    assert_eq!(v.epoch(), BATCHES);
+                    seen
+                })
+            })
+            .collect();
+
+        // The writer: commit batches as fast as possible, recording the
+        // ground truth of each epoch.
+        for i in 0..BATCHES {
+            let batch = BatchSpec::mixed(0.01, 1000 + i).generate(s.graph());
+            let stats = s.step(&batch).expect("generated batch must apply");
+            assert!(stats.status.is_success());
+            committed.lock().unwrap().insert(
+                s.steps(),
+                (
+                    fingerprint(s.ranks()),
+                    s.ranks().to_vec(),
+                    s.graph().num_edges(),
+                ),
+            );
+        }
+        done.store(true, Ordering::Release);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let committed = committed.into_inner().unwrap();
+    let mut total = 0usize;
+    for (r, seen) in observations.iter().enumerate() {
+        assert!(!seen.is_empty(), "reader {r} never got a view");
+        for &(epoch, fp, m, n) in seen {
+            let (expect_fp, expect_ranks, expect_m) = committed
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("reader {r} saw unpublished epoch {epoch}"));
+            assert_eq!(fp, *expect_fp, "reader {r}, epoch {epoch}: torn ranks");
+            assert_eq!(m, *expect_m, "reader {r}, epoch {epoch}: snapshot mismatch");
+            assert_eq!(n, expect_ranks.len());
+            total += 1;
+        }
+    }
+    assert!(total > 0);
+}
+
+#[test]
+fn pinned_view_stays_frozen_while_writer_races_ahead() {
+    let mut s = session(Algorithm::DfLF, 2);
+    let reader = s.reader();
+    let pinned = reader.view();
+    let frozen_ranks = pinned.ranks().to_vec();
+    let frozen_m = pinned.snapshot().num_edges();
+    // Race many commits while a thread re-validates the pinned view —
+    // guards the Arc-recycling path against overwriting live buffers.
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let done = &done;
+        let checker = {
+            let pinned = pinned.clone();
+            let frozen_ranks = frozen_ranks.clone();
+            scope.spawn(move || {
+                let mut checks = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    assert_eq!(pinned.epoch(), 0);
+                    assert_eq!(pinned.ranks(), &frozen_ranks[..]);
+                    assert_eq!(pinned.snapshot().num_edges(), frozen_m);
+                    checks += 1;
+                }
+                checks
+            })
+        };
+        for i in 0..30u64 {
+            let batch = BatchSpec::mixed(0.02, 2000 + i).generate(s.graph());
+            s.step(&batch).expect("generated batch must apply");
+        }
+        done.store(true, Ordering::Release);
+        assert!(checker.join().unwrap() > 0);
+    });
+    assert_eq!(reader.view().epoch(), 30);
+    assert_eq!(pinned.ranks(), &frozen_ranks[..]);
+}
+
+#[test]
+fn every_lock_free_algorithm_publishes_consistently() {
+    for algo in [
+        Algorithm::StaticLF,
+        Algorithm::NdLF,
+        Algorithm::DtLF,
+        Algorithm::DfLF,
+    ] {
+        let mut s = session(algo, 2);
+        let reader = s.reader();
+        for i in 0..3u64 {
+            let batch = BatchSpec::mixed(0.01, 3000 + i).generate(s.graph());
+            s.step(&batch).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let v = reader.view();
+            assert_eq!(v.epoch(), i + 1, "{algo}");
+            assert_eq!(v.ranks(), s.ranks(), "{algo}");
+            assert_eq!(v.snapshot().num_edges(), s.graph().num_edges(), "{algo}");
+        }
+    }
+}
