@@ -13,12 +13,20 @@
 //!    `insert`/`delete` lines + `batch`, measured from the `batch` send
 //!    to its `ok` reply).
 //!
+//! 3. **notify phase** — a subscriber holds `eps = 0` subscriptions on
+//!    a vertex block and tight-polls while the writer commits more
+//!    batches; per-commit notify latency is the gap between the
+//!    writer's `ok` and the first `poll` whose push block reports that
+//!    epoch.
+//!
 //! Headline: `commit_to_read_ratio = mean batch-commit latency /
 //! concurrent read p99`. With the seed's one-connection-at-a-time
 //! server this ratio is ≤ 1 by construction (a read issued during a
 //! commit waits the whole commit out); the epoch-published read path
 //! must keep p99 well below one commit — `--require x` makes the floor
-//! fatal for CI.
+//! fatal for CI. The analogous `commit_to_notify_ratio` (mean notify
+//! commit / notify p99) gets its own `--require-notify x` floor:
+//! subscription delivery must also stay cheap relative to a commit.
 //!
 //! The batch sequence is generated against a local replica graph, so
 //! the bench never has to guess which edges exist; after the run the
@@ -26,7 +34,8 @@
 //!
 //! Usage: `serve_bench [--vertices n] [--batch k] [--batches b]
 //!   [--clients c] [--workers w] [--reads r] [--threads t] [--seed x]
-//!   [--topology grid|kmer|er] [--json path] [--require x]`
+//!   [--topology grid|kmer|er] [--notify-batches nb] [--json path]
+//!   [--require x] [--require-notify x]`
 
 use lfpr_bench::client::{field, Client};
 use lfpr_core::{Algorithm, PagerankOptions, UpdateSession};
@@ -49,8 +58,10 @@ struct Args {
     threads: usize,
     seed: u64,
     tolerance: f64,
+    notify_batches: usize,
     json_path: Option<String>,
     require: Option<f64>,
+    require_notify: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -65,8 +76,10 @@ fn parse_args() -> Args {
         threads: 1,
         seed: 42,
         tolerance: 1e-7,
+        notify_batches: 6,
         json_path: None,
         require: None,
+        require_notify: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -83,8 +96,10 @@ fn parse_args() -> Args {
             "--threads" => a.threads = val.parse().expect("--threads t"),
             "--seed" => a.seed = val.parse().expect("--seed x"),
             "--tolerance" => a.tolerance = val.parse().expect("--tolerance t"),
+            "--notify-batches" => a.notify_batches = val.parse().expect("--notify-batches nb"),
             "--json" => a.json_path = Some(val.clone()),
             "--require" => a.require = Some(val.parse().expect("--require x")),
+            "--require-notify" => a.require_notify = Some(val.parse().expect("--require-notify x")),
             other => panic!("unknown argument: {other}"),
         }
         i += 2;
@@ -204,6 +219,23 @@ fn main() {
         replica.apply_batch(&b).expect("replica batch must apply");
         scripts.push(lines);
     }
+    // Edge count after phase 2, checked mid-run before the notify phase
+    // extends the replica further.
+    let mid_edges = replica.num_edges();
+    let mut notify_scripts: Vec<Vec<String>> = Vec::new();
+    for i in 0..args.notify_batches {
+        let fraction = args.batch as f64 / replica.num_edges() as f64;
+        let b = BatchSpec::mixed(fraction, args.seed + 1000 + i as u64).generate(&replica);
+        let mut lines: Vec<String> = Vec::with_capacity(b.len());
+        for &(u, v) in &b.deletions {
+            lines.push(format!("delete {u} {v}"));
+        }
+        for &(u, v) in &b.insertions {
+            lines.push(format!("insert {u} {v}"));
+        }
+        replica.apply_batch(&b).expect("replica batch must apply");
+        notify_scripts.push(lines);
+    }
 
     // Same steady-state serving regime as update_bench: τ = 1e-7 at
     // this scale, τf = τ (warm starts are τ-converged).
@@ -303,10 +335,92 @@ fn main() {
     );
     assert_eq!(
         field(&stats, "m"),
+        Some(mid_edges as u64),
+        "server edge count drifted from the replica: {stats}"
+    );
+    drop(check);
+
+    // Phase 3: subscription notify latency. A subscriber with eps=0 on
+    // a vertex block tight-polls while the writer commits more batches;
+    // each commit's latency is the gap from the writer's `ok` to the
+    // first poll whose push block reports that epoch (clamped at zero —
+    // the published view can beat the writer's own `ok` reply).
+    let base_epoch = args.batches as u64;
+    let final_epoch = base_epoch + args.notify_batches as u64;
+    let mut sub = Client::connect(addr);
+    for v in 0..64u32.min(n as u32) {
+        let reply = sub.roundtrip(&format!("subscribe {v} 0"));
+        assert!(reply.starts_with("subscribed "), "{reply}");
+    }
+    let (oks, seen) = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut w = Client::connect(addr);
+            let mut oks = Vec::with_capacity(notify_scripts.len());
+            for lines in &notify_scripts {
+                for line in lines {
+                    w.send(line);
+                    let reply = w.recv_line();
+                    assert!(reply.starts_with("staged"), "staging failed: {reply}");
+                }
+                let t = Instant::now();
+                w.send("batch");
+                let reply = w.recv_line();
+                let commit_s = t.elapsed().as_secs_f64();
+                assert!(reply.starts_with("ok batch="), "commit failed: {reply}");
+                let epoch = field(&reply, "epoch").expect("ok reply carries epoch");
+                oks.push((epoch, Instant::now(), commit_s));
+            }
+            oks
+        });
+        let mut seen: Vec<(u64, Instant)> = Vec::new();
+        let mut last = base_epoch;
+        while last < final_epoch {
+            let block = sub.reply_block("poll");
+            let t = Instant::now();
+            let head = block.lines().next().unwrap_or_default();
+            let e = field(head, "epoch").unwrap_or_else(|| panic!("bad poll reply: {block}"));
+            while last < e {
+                last += 1;
+                seen.push((last, t));
+            }
+        }
+        (writer.join().unwrap(), seen)
+    });
+    let mut notify_lat: Vec<f64> = oks
+        .iter()
+        .map(|&(epoch, ok_at, _)| {
+            let (_, seen_at) = seen
+                .iter()
+                .find(|&&(e, _)| e == epoch)
+                .unwrap_or_else(|| panic!("epoch {epoch} never observed by the subscriber"));
+            seen_at.saturating_duration_since(ok_at).as_secs_f64()
+        })
+        .collect();
+    notify_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let notify_commit_mean = oks.iter().map(|&(_, _, s)| s).sum::<f64>() / oks.len().max(1) as f64;
+    let notify = Phase {
+        reads: notify_lat.len(),
+        wall_s: 0.0,
+        p50_s: percentile(&notify_lat, 0.50),
+        p99_s: percentile(&notify_lat, 0.99),
+        max_s: notify_lat.last().copied().unwrap_or(0.0),
+    };
+    println!(
+        "notify     cmts  {:>6}  commit mean {:>9.6}s  p50 {:>9.6}s  p99 {:>9.6}s  max {:>9.6}s",
+        notify.reads, notify_commit_mean, notify.p50_s, notify.p99_s, notify.max_s
+    );
+
+    // Final state check after both write phases.
+    let mut check = Client::connect(addr);
+    let stats = check.roundtrip("stats");
+    assert_eq!(field(&stats, "epoch"), Some(final_epoch), "{stats}");
+    assert_eq!(
+        field(&stats, "m"),
         Some(replica.num_edges() as u64),
         "server edge count drifted from the replica: {stats}"
     );
     drop(check);
+    drop(sub);
     srv.stop();
 
     let ratio = mean_commit / concurrent.p99_s.max(1e-12);
@@ -315,8 +429,24 @@ fn main() {
          the concurrent read p99 ({:.6}s)",
         concurrent.p99_s
     );
+    let notify_ratio = notify_commit_mean / notify.p99_s.max(1e-12);
+    println!(
+        "commit-to-notify ratio: one batch commit ({notify_commit_mean:.6}s) ≈ {notify_ratio:.1}× \
+         the notify p99 ({:.6}s)",
+        notify.p99_s
+    );
 
-    let json = render_json(&args, workers, &idle, &concurrent, &commits, ratio);
+    let json = render_json(
+        &args,
+        workers,
+        &idle,
+        &concurrent,
+        &commits,
+        ratio,
+        &notify,
+        notify_commit_mean,
+        notify_ratio,
+    );
     if let Some(path) = &args.json_path {
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
@@ -331,8 +461,17 @@ fn main() {
         );
         println!("ratio target ≥ {required:.2} met");
     }
+    if let Some(required) = args.require_notify {
+        assert!(
+            notify_ratio >= required,
+            "commit-to-notify ratio {notify_ratio:.2} below required {required:.2} — \
+             subscription pushes are stalling behind batch commits"
+        );
+        println!("notify ratio target ≥ {required:.2} met");
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     args: &Args,
     workers: usize,
@@ -340,6 +479,9 @@ fn render_json(
     concurrent: &Phase,
     commits: &[f64],
     ratio: f64,
+    notify: &Phase,
+    notify_commit_mean: f64,
+    notify_ratio: f64,
 ) -> String {
     let phase = |name: &str, p: &Phase| {
         format!(
@@ -373,6 +515,16 @@ fn render_json(
         mean_commit,
         commits.iter().fold(0.0f64, |a, &b| a.max(b))
     ));
-    s.push_str(&format!("  \"commit_to_read_p99_ratio\": {ratio:.4}\n}}"));
+    s.push_str(&format!("  \"commit_to_read_p99_ratio\": {ratio:.4},\n"));
+    s.push_str(&format!(
+        "  \"notify\": {{\"commits\": {}, \"p50_s\": {:.9}, \"p99_s\": {:.9}, \"max_s\": {:.9}}},\n",
+        notify.reads, notify.p50_s, notify.p99_s, notify.max_s
+    ));
+    s.push_str(&format!(
+        "  \"notify_commit_mean_s\": {notify_commit_mean:.9},\n"
+    ));
+    s.push_str(&format!(
+        "  \"commit_to_notify_p99_ratio\": {notify_ratio:.4}\n}}"
+    ));
     s
 }

@@ -5,23 +5,34 @@
 //! against it. The driver:
 //!
 //! 1. connects a control client (retrying while the server boots),
-//!    captures the byte-exact reply block of every probe command at the
-//!    pre-batch epoch `e0`;
-//! 2. spawns `--clients` reader threads that hammer the probe commands
+//!    handshakes with `hello`, creates a personalized view (`watch`),
+//!    and captures the byte-exact reply block of every probe command —
+//!    default and personalized — at the pre-batch epoch `e0`;
+//! 2. connects a subscriber client that subscribes to the first
+//!    [`SUB_N`] vertices with `eps` = 0 (push on any bitwise change)
+//!    plus one vertex with an absurdly large eps (must never fire),
+//!    and records each vertex's pre-batch rank reply;
+//! 3. spawns `--clients` reader threads that hammer the probe commands
 //!    concurrently, recording every raw reply block;
-//! 3. stages a batch of insertions on the control connection and
+//! 4. stages a batch of insertions on the control connection and
 //!    commits it (epoch `e1 = e0 + 1`) while the readers keep reading —
 //!    each reader then performs one final probe round, which is
 //!    guaranteed to answer from `e1` (the commit's `ok` reply
 //!    happens-after the server published the new view);
-//! 4. captures the post-batch reply blocks and asserts **every**
+//! 5. captures the post-batch reply blocks and asserts **every**
 //!    recorded block matches the pre- or post-batch capture
 //!    byte-for-byte, keyed by the epoch the reply itself reports, and
-//!    that both epochs were actually observed.
+//!    that both epochs were actually observed;
+//! 6. polls the subscriber and asserts the push block is exactly the
+//!    subscribed vertices whose visible rank string changed across the
+//!    commit (pushed ⊇ string-diff; pushed values byte-equal the
+//!    post-batch `rank` replies; the huge-eps vertex absent; a second
+//!    poll comes back empty).
 //!
 //! Any torn read — a reply mixing two epochs' data, a malformed block,
-//! an epoch that is neither `e0` nor `e1` — fails the process, so the
-//! assertion is deterministic no matter how the threads interleave.
+//! an epoch that is neither `e0` nor `e1`, a push for an unsubscribed
+//! vertex — fails the process, so the assertion is deterministic no
+//! matter how the threads interleave.
 //!
 //! Usage: `serve_clients --addr host:port [--clients n] [--stage k]`
 
@@ -32,8 +43,22 @@ use std::time::Duration;
 
 /// The read-only commands every thread replays. `stats` is included:
 /// its `staged=0` field is connection-local but identical on every
-/// reader connection, so blocks stay byte-comparable.
-const PROBES: [&str; 5] = ["rank 0", "rank 1", "rank 2", "topk 3", "stats"];
+/// reader connection, so blocks stay byte-comparable. The `watch`
+/// probes exercise the personalized view concurrently with the default
+/// ranking over the same graph.
+const PROBES: [&str; 8] = [
+    "rank 0",
+    "rank 1",
+    "rank 2",
+    "topk 3",
+    "stats",
+    "rank 1 watch",
+    "topk 3 watch",
+    "movers 3",
+];
+
+/// How many vertices the subscriber watches with `eps` = 0.
+const SUB_N: u32 = 32;
 
 struct Args {
     addr: String,
@@ -73,6 +98,13 @@ fn epoch_of(block: &str) -> u64 {
     field(head, "epoch").unwrap_or_else(|| panic!("reply block without parsable epoch: {head}"))
 }
 
+/// The value token of a `rank <v> <value> epoch=<e>` reply.
+fn rank_value(line: &str) -> &str {
+    line.split_whitespace()
+        .nth(2)
+        .unwrap_or_else(|| panic!("malformed rank reply: {line}"))
+}
+
 fn capture(client: &mut Client) -> HashMap<&'static str, String> {
     PROBES
         .iter()
@@ -84,10 +116,41 @@ fn main() {
     let args = parse_args();
     let mut control = Client::connect_retry(&args.addr, BOOT_RETRY);
 
+    // Handshake and view setup (before any capture, so every probe —
+    // default and personalized — exists for both epochs).
+    let hello = control.roundtrip("hello");
+    assert!(
+        hello.starts_with("hello lfpr/") && hello.contains(" verbs="),
+        "bad handshake: {hello}"
+    );
+    let view_ok = control.roundtrip("view add watch 0 1:0.5");
+    assert!(
+        view_ok.starts_with("ok view watch sources=2"),
+        "view add failed: {view_ok}"
+    );
+
     // Pre-batch state.
     let pre = capture(&mut control);
     let e0 = epoch_of(&pre["stats"]);
     eprintln!("# pre-batch epoch {e0} captured");
+
+    // The subscriber: eps=0 on the first SUB_N vertices, plus a vertex
+    // whose eps can never be exceeded. Baselines are the e0 ranks.
+    let mut sub = Client::connect(args.addr.as_str());
+    for v in 0..SUB_N {
+        let reply = sub.roundtrip(&format!("subscribe {v} 0"));
+        assert_eq!(reply, format!("subscribed {v} eps=0e0"), "{reply}");
+    }
+    let quiet = SUB_N; // subscribed, but can never drift past eps
+    let reply = sub.roundtrip(&format!("subscribe {quiet} 1e9"));
+    assert_eq!(reply, format!("subscribed {quiet} eps=1e9"), "{reply}");
+    let sub_pre: Vec<String> = (0..SUB_N)
+        .map(|v| {
+            let line = sub.roundtrip(&format!("rank {v}"));
+            assert_eq!(epoch_of(&line), e0, "subscriber raced the batch: {line}");
+            line
+        })
+        .collect();
 
     // Probe insertable edges for the batch: the driver doesn't know the
     // server's graph, so it scans candidate pairs and keeps whatever the
@@ -194,10 +257,61 @@ fn main() {
         at_post >= (args.clients * PROBES.len()) as u64,
         "every reader must complete a post-commit probe round"
     );
+
+    // The subscriber drains its pushes: the pushed set must be exactly
+    // the subscribed vertices whose rank moved across the commit.
+    let push = sub.reply_block("poll");
+    assert_eq!(epoch_of(&push), e1, "push from the wrong epoch: {push}");
+    let pushed: HashMap<u32, String> = push
+        .lines()
+        .skip(1)
+        .map(|line| {
+            let mut it = line.split_whitespace();
+            let v: u32 = it.next().and_then(|t| t.parse().ok()).unwrap();
+            let r = it.next().unwrap().to_string();
+            (v, r)
+        })
+        .collect();
+    assert!(
+        !pushed.is_empty(),
+        "a committed batch of {staged} edges moved no subscribed rank"
+    );
+    assert!(
+        !pushed.contains_key(&quiet),
+        "eps=1e9 subscription must never fire"
+    );
+    for v in pushed.keys() {
+        assert!(*v < SUB_N, "push for unsubscribed vertex {v}");
+    }
+    let mut diffs = 0u32;
+    for v in 0..SUB_N {
+        let line = sub.roundtrip(&format!("rank {v}"));
+        assert_eq!(epoch_of(&line), e1);
+        let post_val = rank_value(&line);
+        let pre_val = rank_value(&sub_pre[v as usize]);
+        if let Some(pushed_val) = pushed.get(&v) {
+            assert_eq!(
+                pushed_val, post_val,
+                "pushed rank for {v} diverges from the post-batch reply"
+            );
+        }
+        if pre_val != post_val {
+            diffs += 1;
+            assert!(
+                pushed.contains_key(&v),
+                "vertex {v} moved {pre_val} -> {post_val} but was not pushed"
+            );
+        }
+    }
+    // Baselines advanced with the push: nothing further is pending.
+    let drained = sub.reply_block("poll");
+    assert_eq!(drained, format!("push 0 epoch={e1}"), "{drained}");
     println!(
         "serve_clients OK: {} readers, {} replies validated byte-for-byte \
-         ({at_pre} from epoch {e0}, {at_post} from epoch {e1})",
+         ({at_pre} from epoch {e0}, {at_post} from epoch {e1}); \
+         {} pushes for {diffs} visibly-moved subscribed vertices",
         args.clients,
-        at_pre + at_post
+        at_pre + at_post,
+        pushed.len(),
     );
 }

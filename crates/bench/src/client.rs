@@ -1,7 +1,12 @@
 //! Minimal line-protocol TCP client shared by the serving binaries
-//! (`serve_bench`, `serve_clients`), so the protocol framing lives in
-//! one place.
+//! (`serve_bench`, `serve_clients`).
+//!
+//! Framing and field extraction come from
+//! [`lockfree_pagerank::protocol`] — the same typed grammar the server
+//! encodes with — so the client cannot drift from the wire format.
 
+use lockfree_pagerank::protocol::continuation_lines;
+pub use lockfree_pagerank::protocol::field;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -62,24 +67,44 @@ impl Client {
         line.trim_end().to_string()
     }
 
-    /// Send `cmd` and read its full reply block: one line for most
-    /// commands, `1 + k` lines for `topk k`.
-    pub fn reply_block(&mut self, cmd: &str) -> String {
-        self.send(cmd);
+    /// Read one full reply block: a head line plus however many
+    /// continuation lines its count announces (`topk`, `movers`,
+    /// `push`, `views`); one line for everything else.
+    pub fn recv_block(&mut self) -> String {
         let head = self.recv_line();
         let mut block = head.clone();
-        if let Some(rest) = head.strip_prefix("topk ") {
-            let k: usize = rest
-                .split_whitespace()
-                .next()
-                .and_then(|t| t.parse().ok())
-                .unwrap_or_else(|| panic!("malformed topk header: {head}"));
-            for _ in 0..k {
-                block.push('\n');
-                block.push_str(&self.recv_line());
-            }
+        for _ in 0..continuation_lines(&head) {
+            block.push('\n');
+            block.push_str(&self.recv_line());
         }
         block
+    }
+
+    /// Send `cmd` and read its full reply block.
+    ///
+    /// Callers that hold subscriptions should prefer
+    /// [`reply_blocks`](Self::reply_blocks): a pending `push` block
+    /// piggybacks *before* a command's reply, and this method would
+    /// return the push, leaving the reply queued.
+    pub fn reply_block(&mut self, cmd: &str) -> String {
+        self.send(cmd);
+        self.recv_block()
+    }
+
+    /// Send `cmd` and read reply blocks until one that is not a `push`
+    /// arrives: `(pushes, reply)`. For `poll`, the push block *is* the
+    /// reply — use [`reply_block`](Self::reply_block) there.
+    pub fn reply_blocks(&mut self, cmd: &str) -> (Vec<String>, String) {
+        self.send(cmd);
+        let mut pushes = Vec::new();
+        loop {
+            let block = self.recv_block();
+            if block.starts_with("push ") {
+                pushes.push(block);
+            } else {
+                return (pushes, block);
+            }
+        }
     }
 
     /// Send a single-line-reply command and return that line.
@@ -87,15 +112,6 @@ impl Client {
         self.send(cmd);
         self.recv_line()
     }
-}
-
-/// Extract an integer protocol field like `m=1003` or `epoch=2` from a
-/// reply line by exact token match (a substring search would also
-/// match prefixes, e.g. `m=100` inside `m=1003`).
-pub fn field(line: &str, key: &str) -> Option<u64> {
-    line.split_whitespace()
-        .find_map(|tok| tok.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
-        .and_then(|v| v.parse().ok())
 }
 
 #[cfg(test)]

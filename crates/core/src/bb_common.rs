@@ -28,7 +28,7 @@
 //! hanging the harness.
 
 use crate::config::PagerankOptions;
-use crate::kernel::rank_of_from_atomic;
+use crate::kernel::{rank_of_from_atomic_with, TeleportBase};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::{PagerankResult, RunStatus};
 use lfpr_graph::Snapshot;
@@ -83,6 +83,9 @@ pub(crate) fn run_bb_engine(
     let decision: Vec<AtomicU8> = (0..opts.max_iterations).map(|_| AtomicU8::new(0)).collect();
     let committed = AtomicUsize::new(0);
     let processed = AtomicU64::new(0);
+    // Teleport term precomputed once per run; `Uniform` yields the same
+    // `(1.0 - alpha) / n` constant the kernels historically inlined.
+    let base = TeleportBase::new(&opts.teleport, g.num_vertices(), opts.alpha);
 
     let t0 = Instant::now();
     let ends: Vec<ThreadEnd> = opts.schedule.executor.run(nt, |t| {
@@ -121,7 +124,7 @@ pub(crate) fn run_bb_engine(
                             }
                         }
                     }
-                    let r = rank_of_from_atomic(g, read, vid, opts.alpha);
+                    let r = rank_of_from_atomic_with(g, read, vid, opts.alpha, &base);
                     let dr = (r - read.get(v)).abs();
                     write.set(v, r);
                     local_delta = local_delta.max(dr);

@@ -5,7 +5,143 @@ use lfpr_sched::chunks::{ChunkPlan, ChunkPolicy};
 use lfpr_sched::fault::FaultPlan;
 use lfpr_sched::pool::ExecMode;
 use lfpr_sched::Schedule;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// The restart (teleport) distribution `t` of the PageRank recurrence
+/// `R[v] = (1-α)·t(v) + α·Σ R[u]/d(u)`.
+///
+/// The paper computes classic PageRank, where `t` is implicit and
+/// uniform: every vertex receives `(1-α)/n` restart mass. Generalizing
+/// `t` to an arbitrary distribution yields *personalized* PageRank
+/// (PPR): random walks restart at a chosen source set instead of a
+/// random vertex, so ranks measure proximity to those sources. All
+/// eight variants accept either form — the teleport term is a
+/// per-vertex constant, so the dynamic-update machinery (affected
+/// flags, frontiers, lock-free helping) is unchanged.
+///
+/// `Uniform` is **bit-compatible** with the pre-teleport kernels: the
+/// engines evaluate the identical `(1.0 - alpha) / n` expression, so
+/// results are bit-for-bit what they were before this enum existed
+/// (asserted in tests).
+///
+/// ```
+/// use lfpr_core::config::{Teleport, TeleportWeights};
+///
+/// // Restart at vertices 3 and 7, 75%/25%.
+/// let t = Teleport::personalized([(3, 0.75), (7, 0.25)]).unwrap();
+/// assert!(!t.is_uniform());
+/// // Weights need not be pre-normalized; they are scaled to sum 1.
+/// let t2 = Teleport::personalized([(3, 3.0), (7, 1.0)]).unwrap();
+/// assert_eq!(t, t2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Teleport {
+    /// Classic PageRank: restart uniformly over all vertices,
+    /// `t(v) = 1/n`. Bit-identical to the historical kernels.
+    #[default]
+    Uniform,
+    /// Personalized PageRank: restart over a weighted source set.
+    /// Vertices outside the set get zero restart mass (their rank comes
+    /// only from incoming links).
+    Personalized(Arc<TeleportWeights>),
+}
+
+impl Teleport {
+    /// Build a personalized teleport from `(vertex, weight)` pairs.
+    /// Weights must be finite and positive, vertices distinct; they are
+    /// normalized to sum to 1. Errors (as a human-readable message) on
+    /// an empty set, a duplicate vertex, or a non-finite/non-positive
+    /// weight.
+    pub fn personalized(weights: impl IntoIterator<Item = (u32, f64)>) -> Result<Teleport, String> {
+        Ok(Teleport::Personalized(Arc::new(TeleportWeights::new(
+            weights,
+        )?)))
+    }
+
+    /// `true` for [`Teleport::Uniform`].
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, Teleport::Uniform)
+    }
+
+    /// The validated source set, or `None` for uniform.
+    pub fn weights(&self) -> Option<&TeleportWeights> {
+        match self {
+            Teleport::Uniform => None,
+            Teleport::Personalized(w) => Some(w),
+        }
+    }
+}
+
+/// A validated personalized-restart source set: distinct vertices with
+/// positive weights normalized to sum to 1, sorted by vertex id.
+///
+/// Constructed via [`TeleportWeights::new`] (or the
+/// [`Teleport::personalized`] shorthand); the invariants hold for the
+/// lifetime of the value, so the kernels can consume it unchecked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeleportWeights {
+    sources: Vec<(u32, f64)>,
+}
+
+impl TeleportWeights {
+    /// Validate and normalize `(vertex, weight)` pairs. See
+    /// [`Teleport::personalized`] for the accepted inputs.
+    pub fn new(weights: impl IntoIterator<Item = (u32, f64)>) -> Result<TeleportWeights, String> {
+        let mut sources: Vec<(u32, f64)> = weights.into_iter().collect();
+        if sources.is_empty() {
+            return Err("personalized teleport needs at least one source".into());
+        }
+        for &(v, w) in &sources {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(format!(
+                    "teleport weight for vertex {v} must be finite and positive, got {w}"
+                ));
+            }
+        }
+        sources.sort_unstable_by_key(|&(v, _)| v);
+        for pair in sources.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(format!("duplicate teleport source {}", pair[0].0));
+            }
+        }
+        let total: f64 = sources.iter().map(|&(_, w)| w).sum();
+        for (_, w) in &mut sources {
+            *w /= total;
+        }
+        Ok(TeleportWeights { sources })
+    }
+
+    /// Equal weights over `vertices` (deduplicated).
+    pub fn uniform_over(
+        vertices: impl IntoIterator<Item = u32>,
+    ) -> Result<TeleportWeights, String> {
+        let mut vs: Vec<u32> = vertices.into_iter().collect();
+        vs.sort_unstable();
+        vs.dedup();
+        TeleportWeights::new(vs.into_iter().map(|v| (v, 1.0)))
+    }
+
+    /// The normalized `(vertex, weight)` pairs, sorted by vertex id.
+    pub fn sources(&self) -> &[(u32, f64)] {
+        &self.sources
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Never true — construction rejects empty sets.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Largest source vertex id (the set is non-empty by construction).
+    pub fn max_vertex(&self) -> u32 {
+        self.sources.last().map(|&(v, _)| v).unwrap_or(0)
+    }
+}
 
 /// How lock-free variants share per-vertex convergence state (§4.3:
 /// *"Alternatively, one may use a per-chunk converged flag for even
@@ -59,6 +195,10 @@ pub struct PagerankOptions {
     /// [`Self::precompile_vertex_plan`]). `None` (the default) compiles
     /// a fresh plan per run.
     pub vertex_plan_cache: Option<ChunkPlan>,
+    /// Restart distribution: classic uniform PageRank (the default,
+    /// bit-identical to the pre-teleport kernels) or a personalized
+    /// source set. See [`Teleport`].
+    pub teleport: Teleport,
 }
 
 impl Default for PagerankOptions {
@@ -76,6 +216,7 @@ impl Default for PagerankOptions {
             faults: FaultPlan::none(),
             schedule: Schedule::default(),
             vertex_plan_cache: None,
+            teleport: Teleport::Uniform,
         }
     }
 }
@@ -233,6 +374,14 @@ impl PagerankOptions {
     pub fn with_max_iterations(mut self, m: usize) -> Self {
         assert!(m > 0);
         self.max_iterations = m;
+        self
+    }
+
+    /// Set the restart distribution ([`Teleport::Uniform`] for classic
+    /// PageRank, [`Teleport::Personalized`] for PPR).
+    #[must_use]
+    pub fn with_teleport(mut self, teleport: Teleport) -> Self {
+        self.teleport = teleport;
         self
     }
 
@@ -395,6 +544,41 @@ mod tests {
             executor: ExecMode::Spawn,
         });
         assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn teleport_weights_validate_and_normalize() {
+        let t = Teleport::personalized([(7, 1.0), (3, 3.0)]).unwrap();
+        let w = t.weights().unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.max_vertex(), 7);
+        assert_eq!(w.sources()[0].0, 3, "sources sort by vertex id");
+        assert!((w.sources()[0].1 - 0.75).abs() < 1e-15);
+        assert!((w.sources()[1].1 - 0.25).abs() < 1e-15);
+        let sum: f64 = w.sources().iter().map(|&(_, x)| x).sum();
+        assert!((sum - 1.0).abs() < 1e-15);
+
+        assert!(Teleport::personalized([]).is_err(), "empty set");
+        assert!(Teleport::personalized([(1, 0.0)]).is_err(), "zero weight");
+        assert!(Teleport::personalized([(1, -2.0)]).is_err(), "negative");
+        assert!(Teleport::personalized([(1, f64::NAN)]).is_err(), "nan");
+        assert!(
+            Teleport::personalized([(1, 1.0), (1, 2.0)]).is_err(),
+            "duplicate vertex"
+        );
+
+        let u = TeleportWeights::uniform_over([5, 2, 5]).unwrap();
+        assert_eq!(u.sources(), &[(2, 0.5), (5, 0.5)]);
+    }
+
+    #[test]
+    fn default_teleport_is_uniform() {
+        let o = PagerankOptions::default();
+        assert!(o.teleport.is_uniform());
+        let t = Teleport::personalized([(0, 1.0)]).unwrap();
+        let o = o.with_teleport(t.clone());
+        assert_eq!(o.teleport, t);
+        assert!(o.validate().is_ok());
     }
 
     #[test]

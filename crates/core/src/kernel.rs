@@ -9,8 +9,65 @@
 //! Dead ends are eliminated by universal self-loops (§5.1.3) so no global
 //! teleport correction term is needed.
 
+use crate::config::Teleport;
 use crate::rank::AtomicRanks;
 use lfpr_graph::Snapshot;
+use std::sync::Arc;
+
+/// The precomputed per-vertex teleport term `(1-α)·t(v)` an engine run
+/// adds into every rank evaluation.
+///
+/// Built once per run from [`Teleport`] (see [`TeleportBase::new`]);
+/// the kernels then look it up per vertex instead of re-deriving it,
+/// keeping the inner loop branch-light.
+///
+/// `Const` is the uniform case and evaluates the **identical float
+/// expression** `(1.0 - alpha) / n` the historical kernels inlined, so
+/// uniform runs stay bit-for-bit reproducible. `Dense` materializes the
+/// personalized vector (zero off the source set) — dynamic batches
+/// touch arbitrary vertices, so a dense lookup beats a per-evaluation
+/// binary search over the sources.
+#[derive(Debug, Clone)]
+pub enum TeleportBase {
+    /// Uniform restart: every vertex gets this constant,
+    /// `(1.0 - alpha) / n` verbatim.
+    Const(f64),
+    /// Personalized restart: `base[v] = (1-α)·t(v)`.
+    Dense(Arc<[f64]>),
+}
+
+impl TeleportBase {
+    /// Precompute the teleport term for a run over `n` vertices.
+    ///
+    /// # Panics
+    /// Panics if a personalized source vertex is `>= n` — sources must
+    /// exist in the graph being ranked.
+    pub fn new(teleport: &Teleport, n: usize, alpha: f64) -> TeleportBase {
+        match teleport {
+            Teleport::Uniform => TeleportBase::Const((1.0 - alpha) / n as f64),
+            Teleport::Personalized(w) => {
+                let mut base = vec![0.0; n];
+                for &(v, t) in w.sources() {
+                    assert!(
+                        (v as usize) < n,
+                        "teleport source {v} out of range (n = {n})"
+                    );
+                    base[v as usize] = (1.0 - alpha) * t;
+                }
+                TeleportBase::Dense(base.into())
+            }
+        }
+    }
+
+    /// The restart mass `(1-α)·t(v)` for vertex `v`.
+    #[inline]
+    pub fn at(&self, v: u32) -> f64 {
+        match self {
+            TeleportBase::Const(c) => *c,
+            TeleportBase::Dense(base) => base[v as usize],
+        }
+    }
+}
 
 /// Compute the new rank of `v` by pulling from a **plain** rank slice
 /// (synchronous/Jacobi style — barrier-based variants read the previous
@@ -35,6 +92,44 @@ pub fn rank_of_from_slice(g: &Snapshot, ranks: &[f64], v: u32, alpha: f64) -> f6
 pub fn rank_of_from_atomic(g: &Snapshot, ranks: &AtomicRanks, v: u32, alpha: f64) -> f64 {
     let n = g.num_vertices() as f64;
     let mut r = (1.0 - alpha) / n;
+    for &u in g.in_(v) {
+        let d = g.out_degree(u) as f64;
+        r += alpha * ranks.get(u as usize) / d;
+    }
+    r
+}
+
+/// [`rank_of_from_slice`] with an explicit teleport term. With a
+/// [`TeleportBase::Const`] built from [`Teleport::Uniform`] this is
+/// bit-identical to the plain kernel (asserted in tests).
+#[inline]
+pub fn rank_of_from_slice_with(
+    g: &Snapshot,
+    ranks: &[f64],
+    v: u32,
+    alpha: f64,
+    base: &TeleportBase,
+) -> f64 {
+    let mut r = base.at(v);
+    for &u in g.in_(v) {
+        let d = g.out_degree(u) as f64;
+        r += alpha * ranks[u as usize] / d;
+    }
+    r
+}
+
+/// [`rank_of_from_atomic`] with an explicit teleport term. With a
+/// [`TeleportBase::Const`] built from [`Teleport::Uniform`] this is
+/// bit-identical to the plain kernel (asserted in tests).
+#[inline]
+pub fn rank_of_from_atomic_with(
+    g: &Snapshot,
+    ranks: &AtomicRanks,
+    v: u32,
+    alpha: f64,
+    base: &TeleportBase,
+) -> f64 {
+    let mut r = base.at(v);
     for &u in g.in_(v) {
         let d = g.out_degree(u) as f64;
         r += alpha * ranks.get(u as usize) / d;
@@ -93,6 +188,58 @@ mod tests {
         let r = rank_of_from_slice(&g, &ranks, 1, 0.85);
         // r = 0.15/2 + 0.85 * 0.5/1
         assert!((r - (0.075 + 0.425)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_teleport_base_is_bit_identical_to_plain_kernels() {
+        let g = Snapshot::from_edges(
+            5,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 0),
+                (3, 3),
+                (3, 0),
+                (4, 4),
+                (4, 2),
+            ],
+        );
+        let ranks = vec![0.31, 0.17, 0.23, 0.09, 0.2];
+        let atomic = crate::rank::AtomicRanks::from_slice(&ranks);
+        let base = TeleportBase::new(&Teleport::Uniform, 5, 0.85);
+        for v in 0..5 {
+            let legacy = rank_of_from_slice(&g, &ranks, v, 0.85);
+            let with = rank_of_from_slice_with(&g, &ranks, v, 0.85, &base);
+            assert_eq!(legacy.to_bits(), with.to_bits(), "slice, vertex {v}");
+            let legacy = rank_of_from_atomic(&g, &atomic, v, 0.85);
+            let with = rank_of_from_atomic_with(&g, &atomic, v, 0.85, &base);
+            assert_eq!(legacy.to_bits(), with.to_bits(), "atomic, vertex {v}");
+        }
+    }
+
+    #[test]
+    fn personalized_base_restricts_restart_mass() {
+        let t = Teleport::personalized([(1, 3.0), (3, 1.0)]).unwrap();
+        let base = TeleportBase::new(&t, 4, 0.85);
+        assert_eq!(base.at(0), 0.0);
+        assert!((base.at(1) - 0.15 * 0.75).abs() < 1e-15);
+        assert_eq!(base.at(2), 0.0);
+        assert!((base.at(3) - 0.15 * 0.25).abs() < 1e-15);
+        // The personalized kernel uses the dense base.
+        let g = Snapshot::from_edges(4, &[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let ranks = vec![0.25; 4];
+        let r0 = rank_of_from_slice_with(&g, &ranks, 0, 0.85, &base);
+        assert!((r0 - 0.85 * 0.25).abs() < 1e-15, "no restart mass at 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn personalized_base_rejects_out_of_range_source() {
+        let t = Teleport::personalized([(9, 1.0)]).unwrap();
+        let _ = TeleportBase::new(&t, 4, 0.85);
     }
 
     #[test]

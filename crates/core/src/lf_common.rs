@@ -29,7 +29,7 @@
 //! running.
 
 use crate::config::{ConvergenceMode, PagerankOptions};
-use crate::kernel::rank_of_from_atomic;
+use crate::kernel::{rank_of_from_atomic_with, TeleportBase};
 use crate::rank::{AtomicRanks, FlagOps};
 use crate::result::{PagerankResult, RunStatus};
 use lfpr_graph::Snapshot;
@@ -290,6 +290,9 @@ pub(crate) fn run_lf_engine_on<RC: FlagOps, VA: FlagOps, AC: FlagOps>(
     let converged = AtomicBool::new(false);
     let rc_view = RcView::new(rc, opts.convergence, opts.chunk_size);
     let per_chunk = matches!(opts.convergence, ConvergenceMode::PerChunk);
+    // Teleport term precomputed once per run; `Uniform` yields the same
+    // `(1.0 - alpha) / n` constant the kernels historically inlined.
+    let base = TeleportBase::new(&opts.teleport, g.num_vertices(), opts.alpha);
 
     let t0 = Instant::now();
     opts.schedule.executor.run(nt, |t| {
@@ -336,7 +339,7 @@ pub(crate) fn run_lf_engine_on<RC: FlagOps, VA: FlagOps, AC: FlagOps>(
                                 }
                             }
                         }
-                        let r = rank_of_from_atomic(g, ranks, vid, opts.alpha);
+                        let r = rank_of_from_atomic_with(g, ranks, vid, opts.alpha, &base);
                         let dr = (r - ranks.get(v)).abs();
                         ranks.set(v, r); // in-place, visible to all threads
                         if let LfMode::Frontier { va, tau_f } = &mode {

@@ -68,7 +68,7 @@ pub mod static_lf;
 pub mod vertex_dynamics;
 
 pub use api::Algorithm;
-pub use config::{ConvergenceMode, PagerankOptions};
+pub use config::{ConvergenceMode, PagerankOptions, Teleport, TeleportWeights};
 pub use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
 pub use result::{PagerankResult, RunStatus};
-pub use session::{RankReader, RankView, StepStats, UpdateSession};
+pub use session::{RankDelta, RankReader, RankView, StepStats, UpdateSession};

@@ -8,7 +8,8 @@
 //! resolution, so it effectively means "iterate until the f64 fixpoint
 //! or 500 iterations" — which is exactly what this function does.
 
-use crate::kernel::rank_of_from_slice;
+use crate::config::Teleport;
+use crate::kernel::{rank_of_from_slice, rank_of_from_slice_with, TeleportBase};
 use crate::norm::linf_diff;
 use lfpr_graph::Snapshot;
 
@@ -24,6 +25,35 @@ pub fn reference_pagerank(g: &Snapshot, alpha: f64, max_iterations: usize) -> Ve
     for _ in 0..max_iterations {
         for v in 0..n as u32 {
             r_new[v as usize] = rank_of_from_slice(g, &r, v, alpha);
+        }
+        let delta = linf_diff(&r, &r_new);
+        std::mem::swap(&mut r, &mut r_new);
+        if delta == 0.0 {
+            break; // exact f64 fixpoint — cannot improve further
+        }
+    }
+    r
+}
+
+/// [`reference_pagerank`] with an explicit restart distribution — the
+/// oracle for personalized-PageRank runs. With [`Teleport::Uniform`]
+/// it returns exactly what [`reference_pagerank`] does.
+pub fn reference_pagerank_with(
+    g: &Snapshot,
+    alpha: f64,
+    max_iterations: usize,
+    teleport: &Teleport,
+) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = TeleportBase::new(teleport, n, alpha);
+    let mut r = vec![1.0 / n as f64; n];
+    let mut r_new = vec![0.0; n];
+    for _ in 0..max_iterations {
+        for v in 0..n as u32 {
+            r_new[v as usize] = rank_of_from_slice_with(g, &r, v, alpha, &base);
         }
         let delta = linf_diff(&r, &r_new);
         std::mem::swap(&mut r, &mut r_new);
@@ -95,6 +125,28 @@ mod tests {
     fn empty_graph() {
         let g = Snapshot::from_edges(0, &[]);
         assert!(reference_default(&g).is_empty());
+    }
+
+    #[test]
+    fn with_uniform_teleport_matches_plain_reference_bitwise() {
+        let g = with_loops(8, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 0)]);
+        let plain = reference_default(&g);
+        let with = reference_pagerank_with(&g, 0.85, 500, &Teleport::Uniform);
+        assert_eq!(plain.len(), with.len());
+        for (a, b) in plain.iter().zip(&with) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn personalized_reference_concentrates_near_sources() {
+        // Directed cycle: PPR from vertex 0 must decay with distance.
+        let g = with_loops(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let t = Teleport::personalized([(0, 1.0)]).unwrap();
+        let r = reference_pagerank_with(&g, 0.85, 500, &t);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        assert!(r[0] > r[1] && r[1] > r[2] && r[2] > r[3], "{r:?}");
     }
 
     #[test]

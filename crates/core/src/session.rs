@@ -45,7 +45,7 @@
 //! session in steady state allocates nothing per batch either.
 
 use crate::api::{self, Algorithm};
-use crate::config::PagerankOptions;
+use crate::config::{PagerankOptions, Teleport};
 use crate::frontier::dfs_mark_atomic;
 use crate::lf_common::{
     helping_mark_phase, rc_flags_len, run_lf_engine_on, ActiveChunks, EngineStats, LfMode,
@@ -89,17 +89,81 @@ pub struct StepStats {
     pub incremental: bool,
 }
 
+/// One vertex's rank movement across a single committed step.
+///
+/// Produced when delta tracking is on (see
+/// [`UpdateSession::enable_delta_tracking`]); a vertex appears iff its
+/// committed rank is bit-different from the previous epoch's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankDelta {
+    /// The vertex whose rank moved.
+    pub vertex: u32,
+    /// Its rank at the previous epoch.
+    pub old: f64,
+    /// Its rank at this epoch.
+    pub new: f64,
+}
+
+impl RankDelta {
+    /// Signed rank change `new - old`.
+    pub fn delta(&self) -> f64 {
+        self.new - self.old
+    }
+}
+
+/// Vertices whose ranks are bit-different between `old` and `new`.
+fn deltas_of(old: &[f64], new: &[f64]) -> Arc<[RankDelta]> {
+    let mut out = Vec::new();
+    for (v, (&o, &nw)) in old.iter().zip(new).enumerate() {
+        if o.to_bits() != nw.to_bits() {
+            out.push(RankDelta {
+                vertex: v as u32,
+                old: o,
+                new: nw,
+            });
+        }
+    }
+    out.into()
+}
+
+/// Top-`k` deltas by |change| descending, ties by vertex id ascending.
+fn top_movers_of(deltas: &[RankDelta], k: usize) -> Vec<RankDelta> {
+    let mut d = deltas.to_vec();
+    d.sort_unstable_by(|a, b| {
+        b.delta()
+            .abs()
+            .partial_cmp(&a.delta().abs())
+            .unwrap()
+            .then(a.vertex.cmp(&b.vertex))
+    });
+    d.truncate(k);
+    d
+}
+
+/// A named secondary ranking published alongside the default one.
+#[derive(Debug, Clone)]
+struct PublishedNamedView {
+    name: Arc<str>,
+    sources: usize,
+    ranks: Arc<[f64]>,
+    deltas: Arc<[RankDelta]>,
+}
+
 /// One committed session state, immutable once published.
 ///
 /// A view pins the graph snapshot and the rank vector of a single
 /// epoch: the two always correspond to the same commit, no matter how
 /// many batches the writer has applied since. Holding a view never
-/// blocks the writer; it only keeps this epoch's buffers alive.
+/// blocks the writer; it only keeps this epoch's buffers alive. When
+/// the session hosts named ranking views ([`UpdateSession::add_view`])
+/// or delta tracking, those are frozen into the view too.
 #[derive(Debug, Clone)]
 pub struct RankView {
     snapshot: Arc<Snapshot>,
     ranks: Arc<[f64]>,
     epoch: u64,
+    deltas: Arc<[RankDelta]>,
+    views: Arc<[PublishedNamedView]>,
 }
 
 impl RankView {
@@ -130,6 +194,51 @@ impl RankView {
     /// broken by vertex id).
     pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
         top_k_of(&self.ranks, k)
+    }
+
+    /// Every vertex whose rank moved across the step that produced this
+    /// epoch (empty unless the session tracks deltas).
+    pub fn deltas(&self) -> &[RankDelta] {
+        &self.deltas
+    }
+
+    /// The `k` largest rank changes of this epoch by |Δ| descending
+    /// (ties by vertex id).
+    pub fn movers(&self, k: usize) -> Vec<RankDelta> {
+        top_movers_of(&self.deltas, k)
+    }
+
+    /// Names and source counts of the named ranking views frozen into
+    /// this epoch (`sources == 0` means a uniform-restart view).
+    pub fn view_names(&self) -> Vec<(String, usize)> {
+        self.views
+            .iter()
+            .map(|v| (v.name.to_string(), v.sources))
+            .collect()
+    }
+
+    /// Whether a named view exists in this epoch.
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.iter().any(|v| &*v.name == name)
+    }
+
+    fn named(&self, name: &str) -> Option<&PublishedNamedView> {
+        self.views.iter().find(|v| &*v.name == name)
+    }
+
+    /// Rank of `v` in a named view (`None` if the view is unknown).
+    pub fn rank_in(&self, name: &str, v: u32) -> Option<f64> {
+        self.named(name).map(|nv| nv.ranks[v as usize])
+    }
+
+    /// Top-`k` of a named view (`None` if the view is unknown).
+    pub fn top_k_in(&self, name: &str, k: usize) -> Option<Vec<(u32, f64)>> {
+        self.named(name).map(|nv| top_k_of(&nv.ranks, k))
+    }
+
+    /// Biggest movers of a named view (`None` if the view is unknown).
+    pub fn movers_in(&self, name: &str, k: usize) -> Option<Vec<RankDelta>> {
+        self.named(name).map(|nv| top_movers_of(&nv.deltas, k))
     }
 }
 
@@ -202,6 +311,24 @@ struct Workspace {
     rounds: Option<RoundCursors>,
 }
 
+/// A named ranking maintained alongside the default one: same graph,
+/// same algorithm, same flag workspace — only the restart distribution
+/// (and therefore the rank vector) differs. Each step re-runs the
+/// kernel once per view after the default pass; the affected-marking
+/// phase repeats per pass because affectedness is graph-topological,
+/// not rank-dependent.
+struct SecondaryView {
+    name: Arc<str>,
+    /// Personalized source count (0 for a uniform-restart view).
+    sources: usize,
+    /// Session options with this view's teleport swapped in.
+    opts: PagerankOptions,
+    /// The view's in-place rank vector (its own warm start).
+    ranks: AtomicRanks,
+    /// Rank movements of the most recent step (when tracking is on).
+    deltas: Arc<[RankDelta]>,
+}
+
 /// A long-running incremental PageRank session over an evolving graph.
 ///
 /// ```
@@ -236,10 +363,25 @@ pub struct UpdateSession {
     /// `steps` value of the most recent publication (commits that
     /// happen while no reader handle exists skip publishing).
     published_step: u64,
+    /// Set when the publishable state changed without a step (a named
+    /// view was added/dropped with no reader live); the next `reader()`
+    /// call republishes even though `published_step` matches.
+    published_stale: bool,
     /// The rank buffer of the view retired by the last publish, kept
     /// for reuse once every reader has released it — steady-state
     /// publication then allocates nothing.
     spare_ranks: Option<Arc<[f64]>>,
+    /// Whether steps record per-vertex rank deltas (off by default —
+    /// tracking costs one O(n) shadow copy + diff per pass).
+    track_deltas: bool,
+    /// Pre-step rank shadow used to diff deltas (reused across passes).
+    shadow: Vec<f64>,
+    /// Rank movements of the most recent step (empty when tracking is
+    /// off or no step ran yet).
+    last_deltas: Arc<[RankDelta]>,
+    /// Named secondary ranking views sharing this session's graph and
+    /// flag workspace.
+    views: Vec<SecondaryView>,
 }
 
 impl UpdateSession {
@@ -283,6 +425,8 @@ impl UpdateSession {
             snapshot,
             ranks: Arc::from(initial.ranks),
             epoch: 0,
+            deltas: Arc::from(Vec::new()),
+            views: Arc::from(Vec::new()),
         };
         UpdateSession {
             graph,
@@ -293,7 +437,12 @@ impl UpdateSession {
             steps: 0,
             published: Arc::new(RwLock::new(Arc::new(view))),
             published_step: 0,
+            published_stale: false,
             spare_ranks: None,
+            track_deltas: false,
+            shadow: Vec::new(),
+            last_deltas: Arc::from(Vec::new()),
+            views: Vec::new(),
         }
     }
 
@@ -304,7 +453,7 @@ impl UpdateSession {
     /// handle exists skip the per-commit rank copy, and the handle
     /// returned here is brought up to date immediately.
     pub fn reader(&mut self) -> RankReader {
-        if self.published_step != self.steps {
+        if self.published_step != self.steps || self.published_stale {
             self.publish();
         }
         RankReader {
@@ -319,6 +468,8 @@ impl UpdateSession {
         // A reader handed out later is caught up by `reader()` itself.
         if Arc::strong_count(&self.published) > 1 {
             self.publish();
+        } else {
+            self.published_stale = true;
         }
     }
 
@@ -339,16 +490,32 @@ impl UpdateSession {
             },
             _ => Arc::from(ranks),
         };
+        // Named views are copied out per publish — they exist only on
+        // served sessions, which accept the O(n) copy per view.
+        let named: Vec<PublishedNamedView> = self
+            .views
+            .iter()
+            .map(|v| PublishedNamedView {
+                name: Arc::clone(&v.name),
+                sources: v.sources,
+                // SAFETY: see `ranks` — `&mut self` rules out writers.
+                ranks: Arc::from(unsafe { v.ranks.as_f64_slice_unchecked() }),
+                deltas: Arc::clone(&v.deltas),
+            })
+            .collect();
         let view = Arc::new(RankView {
             snapshot: self.graph.snapshot_shared(),
             ranks: buf,
             epoch: self.steps,
+            deltas: Arc::clone(&self.last_deltas),
+            views: named.into(),
         });
         let old = {
             let mut slot = self.published.write().expect("publish slot poisoned");
             std::mem::replace(&mut *slot, view)
         };
         self.published_step = self.steps;
+        self.published_stale = false;
         // Retire the displaced view's buffers for the next publish: the
         // rank buffer becomes the next copy destination and the pre-batch
         // snapshot goes back to the graph's recycler (while a view holds
@@ -386,6 +553,126 @@ impl UpdateSession {
     /// `O(n log n)` sort only the top slice needs is skipped.
     pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
         top_k_of(self.ranks(), k)
+    }
+
+    /// Turn on per-step rank-delta recording: every subsequent step
+    /// diffs the committed ranks against the previous epoch's and keeps
+    /// the moved vertices in [`last_deltas`](Self::last_deltas) (and in
+    /// each published [`RankView`]). Off by default — tracking costs an
+    /// O(n) shadow copy + diff per kernel pass, which the zero-alloc
+    /// batch pipeline does not want to pay unasked.
+    pub fn enable_delta_tracking(&mut self) {
+        self.track_deltas = true;
+    }
+
+    /// Rank movements of the most recent step (empty when tracking is
+    /// off, or before the first tracked step).
+    pub fn last_deltas(&self) -> &[RankDelta] {
+        &self.last_deltas
+    }
+
+    /// The `k` largest rank changes of the most recent step, by |Δ|
+    /// descending (ties by vertex id ascending). Requires
+    /// [`enable_delta_tracking`](Self::enable_delta_tracking).
+    pub fn movers(&self, k: usize) -> Vec<RankDelta> {
+        top_movers_of(&self.last_deltas, k)
+    }
+
+    /// Add a named ranking view sharing this session's graph and
+    /// workspace, with its own restart distribution. The view's ranks
+    /// are computed statically now and kept current by every subsequent
+    /// step (one extra kernel pass per view per batch). The name
+    /// `"default"` is reserved for the session's own ranking; duplicate
+    /// names and personalized sources outside the vertex set are
+    /// rejected.
+    pub fn add_view(&mut self, name: &str, teleport: Teleport) -> Result<(), String> {
+        if name == "default" {
+            return Err("view name default is reserved".into());
+        }
+        if self.views.iter().any(|v| &*v.name == name) {
+            return Err(format!("view {name} already exists"));
+        }
+        let n = self.graph.num_vertices();
+        if let Some(w) = teleport.weights() {
+            if w.max_vertex() as usize >= n {
+                return Err(format!(
+                    "teleport source {} out of range (n = {n})",
+                    w.max_vertex()
+                ));
+            }
+        }
+        let sources = teleport.weights().map_or(0, |w| w.len());
+        let opts = self.opts.clone().with_teleport(teleport);
+        let snapshot = self.graph.snapshot_shared();
+        let static_algo = if self.algorithm.is_lock_free() {
+            Algorithm::StaticLF
+        } else {
+            Algorithm::StaticBB
+        };
+        let initial = api::run_static(static_algo, &snapshot, &opts);
+        self.views.push(SecondaryView {
+            name: Arc::from(name),
+            sources,
+            opts,
+            ranks: AtomicRanks::from_slice(&initial.ranks),
+            deltas: Arc::from(Vec::new()),
+        });
+        // Republish (same epoch) so live readers see the new view now.
+        self.maybe_publish();
+        Ok(())
+    }
+
+    /// Remove a named ranking view.
+    pub fn drop_view(&mut self, name: &str) -> Result<(), String> {
+        match self.views.iter().position(|v| &*v.name == name) {
+            Some(i) => {
+                self.views.remove(i);
+                self.maybe_publish();
+                Ok(())
+            }
+            None => Err(format!("unknown view {name}")),
+        }
+    }
+
+    /// Names and source counts of the named views, in creation order
+    /// (`sources == 0` means a uniform-restart view).
+    pub fn view_names(&self) -> Vec<(String, usize)> {
+        self.views
+            .iter()
+            .map(|v| (v.name.to_string(), v.sources))
+            .collect()
+    }
+
+    /// Whether a named view exists.
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.iter().any(|v| &*v.name == name)
+    }
+
+    fn find_view(&self, name: &str) -> Option<&SecondaryView> {
+        self.views.iter().find(|v| &*v.name == name)
+    }
+
+    /// Current ranks of a named view (`None` if unknown).
+    pub fn view_ranks(&self, name: &str) -> Option<&[f64]> {
+        // SAFETY: see `ranks` — view ranks have the same single-writer
+        // discipline (only written inside `&mut self` methods).
+        self.find_view(name)
+            .map(|v| unsafe { v.ranks.as_f64_slice_unchecked() })
+    }
+
+    /// Rank of `v` in a named view (`None` if the view is unknown).
+    pub fn view_rank(&self, name: &str, v: u32) -> Option<f64> {
+        self.view_ranks(name).map(|r| r[v as usize])
+    }
+
+    /// Top-`k` of a named view (`None` if the view is unknown).
+    pub fn view_top_k(&self, name: &str, k: usize) -> Option<Vec<(u32, f64)>> {
+        self.view_ranks(name).map(|r| top_k_of(r, k))
+    }
+
+    /// Biggest movers of a named view (`None` if the view is unknown).
+    pub fn view_movers(&self, name: &str, k: usize) -> Option<Vec<RankDelta>> {
+        self.find_view(name).map(|v| top_movers_of(&v.deltas, k))
     }
 
     /// The configured algorithm.
@@ -510,6 +797,13 @@ impl UpdateSession {
             self.ws.va.resize(n);
             self.ws.checked.resize(n);
         }
+        for view in &mut self.views {
+            if view.ranks.len() != n {
+                let mut v = view.ranks.to_vec();
+                v.resize(n, 1.0 / n.max(1) as f64);
+                view.ranks = AtomicRanks::from_slice(&v);
+            }
+        }
         let rc_len = rc_flags_len(n, self.opts.convergence, self.opts.chunk_size);
         if self.ws.rc.len() != rc_len {
             self.ws.rc.resize(rc_len);
@@ -540,8 +834,11 @@ impl UpdateSession {
         }
     }
 
-    /// Dispatch one rank refresh over the reusable workspace. Returns
-    /// the engine stats plus the initially-affected count.
+    /// Dispatch one rank refresh over the reusable workspace: the
+    /// default pass, then one pass per named view (same workspace, the
+    /// view's own ranks + teleport). Returns the default pass's engine
+    /// stats plus its initially-affected count; when delta tracking is
+    /// on, each pass's rank movements are diffed and recorded.
     fn run_kernel(
         &mut self,
         prev: &Snapshot,
@@ -549,18 +846,89 @@ impl UpdateSession {
         batch: &BatchUpdate,
     ) -> (EngineStats, usize) {
         self.prepare_workspace(curr);
-        if !self.algorithm.is_lock_free() {
+        if self.track_deltas {
+            self.shadow.clear();
+            // SAFETY: see `ranks` — `&mut self` rules out writers.
+            self.shadow
+                .extend_from_slice(unsafe { self.ws.ranks.as_f64_slice_unchecked() });
+        }
+        let result = Self::kernel_pass(
+            self.algorithm,
+            &self.opts,
+            &mut self.ws,
+            None,
+            prev,
+            curr,
+            batch,
+        );
+        if self.track_deltas {
+            self.last_deltas = deltas_of(&self.shadow, unsafe {
+                self.ws.ranks.as_f64_slice_unchecked()
+            });
+        }
+        for view in &mut self.views {
+            // Each pass needs fresh flag epochs and rewound cursors; the
+            // flags advance inside the pass, the cursors rewind here.
+            self.ws.rounds.as_mut().expect("prepared above").reset();
+            if self.track_deltas {
+                self.shadow.clear();
+                // SAFETY: see `ranks` — `&mut self` rules out writers.
+                self.shadow
+                    .extend_from_slice(unsafe { view.ranks.as_f64_slice_unchecked() });
+            }
+            let _ = Self::kernel_pass(
+                self.algorithm,
+                &view.opts,
+                &mut self.ws,
+                Some(&mut view.ranks),
+                prev,
+                curr,
+                batch,
+            );
+            if self.track_deltas {
+                view.deltas =
+                    deltas_of(&self.shadow, unsafe { view.ranks.as_f64_slice_unchecked() });
+            }
+        }
+        result
+    }
+
+    /// One kernel pass over the shared workspace. `ranks_override`
+    /// selects a named view's rank vector (with `opts` carrying that
+    /// view's teleport); `None` runs the session's default ranking.
+    fn kernel_pass(
+        algorithm: Algorithm,
+        opts: &PagerankOptions,
+        ws: &mut Workspace,
+        ranks_override: Option<&mut AtomicRanks>,
+        prev: &Snapshot,
+        curr: &Snapshot,
+        batch: &BatchUpdate,
+    ) -> (EngineStats, usize) {
+        let Workspace {
+            ranks: default_ranks,
+            va,
+            rc,
+            checked,
+            edges,
+            active,
+            rounds,
+        } = ws;
+        let ranks: &mut AtomicRanks = match ranks_override {
+            Some(r) => r,
+            None => default_ranks,
+        };
+        if !algorithm.is_lock_free() {
             // Barrier-based baselines: delegate to the one-shot path
             // (synchronous Jacobi needs its own double-buffered state).
-            // SAFETY: see `ranks` — no concurrent writer can exist here.
-            let prev_ranks: &[f64] = unsafe { self.ws.ranks.as_f64_slice_unchecked() };
             // A vertex-set change (ad-hoc `grow()` in a mutate closure)
             // invalidates `prev` for the DT/DF kernels, which index it
             // by batch source; recompute statically for that one step.
             let res = if prev.num_vertices() != curr.num_vertices() {
-                api::run_static(Algorithm::StaticBB, curr, &self.opts)
+                api::run_static(Algorithm::StaticBB, curr, opts)
             } else {
-                api::run_dynamic(self.algorithm, prev, curr, batch, prev_ranks, &self.opts)
+                let prev_ranks: &[f64] = ranks.as_f64_slice();
+                api::run_dynamic(algorithm, prev, curr, batch, prev_ranks, opts)
             };
             let engine = EngineStats {
                 iterations: res.iterations,
@@ -570,27 +938,17 @@ impl UpdateSession {
                 threads_crashed: res.threads_crashed,
             };
             let affected = res.initially_affected;
-            self.ws.ranks.copy_from_slice(&res.ranks);
+            ranks.copy_from_slice(&res.ranks);
             return (engine, affected);
         }
 
-        let opts = &self.opts;
         // The granule filter's termination scan indexes RC by vertex,
         // so it requires per-vertex convergence flags.
         let sparse_filter = matches!(opts.convergence, crate::config::ConvergenceMode::PerVertex);
-        let Workspace {
-            ranks,
-            va,
-            rc,
-            checked,
-            edges,
-            active,
-            rounds,
-        } = &mut self.ws;
         let rounds: &RoundCursors = rounds.as_ref().expect("prepared above");
         let n = curr.num_vertices();
 
-        match self.algorithm {
+        match algorithm {
             Algorithm::StaticLF => {
                 // Full recompute baseline: uniform restart over all
                 // vertices (the workspace still saves the allocations).
@@ -638,7 +996,7 @@ impl UpdateSession {
                 let checked = &*checked;
                 let active_view = ActiveChunks::new(&*active, ACTIVE_GRANULE, n);
                 let active_opt = sparse_filter.then_some(&active_view);
-                let traversal = self.algorithm == Algorithm::DtLF;
+                let traversal = algorithm == Algorithm::DtLF;
                 // Sources past `prev`'s vertex set (ad-hoc `grow()` in a
                 // mutate closure) have no previous out-neighbors.
                 let prev_n = prev.num_vertices();
@@ -884,6 +1242,156 @@ mod tests {
         let bad = BatchUpdate::insert_only(vec![(0, 0)]); // self-loop exists
         assert!(s.step(&bad).is_err());
         assert_eq!(reader.view().epoch(), 0, "no commit → no new epoch");
+    }
+
+    #[test]
+    fn explicit_uniform_teleport_is_bit_identical_for_every_algorithm() {
+        // The acceptance bar: selecting `Teleport::Uniform` explicitly
+        // must reproduce the historical kernels bit for bit, for all 8
+        // variants, across several batches.
+        for algo in Algorithm::ALL {
+            let mut g = erdos_renyi(100, 500, 31);
+            add_self_loops(&mut g);
+            let mut plain = UpdateSession::new(g.clone(), algo, opts().with_threads(1));
+            let mut explicit = UpdateSession::new(
+                g,
+                algo,
+                opts().with_threads(1).with_teleport(Teleport::Uniform),
+            );
+            for round in 0..3u64 {
+                let batch = BatchSpec::mixed(0.02, 500 + round).generate(plain.graph());
+                plain.step(&batch).unwrap();
+                explicit.step(&batch).unwrap();
+                for (a, b) in plain.ranks().iter().zip(explicit.ranks()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{algo} round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn personalized_teleport_tracks_ppr_reference_for_every_algorithm() {
+        use crate::reference::reference_pagerank_with;
+        let t = Teleport::personalized([(0, 2.0), (7, 1.0), (19, 1.0)]).unwrap();
+        for algo in Algorithm::ALL {
+            let mut g = erdos_renyi(120, 700, 91);
+            add_self_loops(&mut g);
+            let mut s = UpdateSession::new(g, algo, opts().with_teleport(t.clone()));
+            for round in 0..2u64 {
+                let batch = BatchSpec::mixed(0.02, 600 + round).generate(s.graph());
+                let stats = s.step(&batch).unwrap();
+                assert!(stats.status.is_success(), "{algo}");
+                let oracle = reference_pagerank_with(&s.graph().snapshot(), 0.85, 500, &t);
+                let err = linf_diff(s.ranks(), &oracle);
+                assert!(err < 1e-6, "{algo} round {round}: err = {err:.2e}");
+            }
+        }
+    }
+
+    #[test]
+    fn named_views_rank_concurrently_with_the_default() {
+        use crate::reference::{reference_default, reference_pagerank_with};
+        let mut s = session(Algorithm::DfLF);
+        let t = Teleport::personalized([(3, 1.0), (11, 1.0)]).unwrap();
+        s.add_view("near-3", t.clone()).unwrap();
+        assert!(s.has_view("near-3"));
+        assert_eq!(s.view_names(), vec![("near-3".to_string(), 2)]);
+        for round in 0..3u64 {
+            let batch = BatchSpec::mixed(0.02, 700 + round).generate(s.graph());
+            s.step(&batch).unwrap();
+            let snap = s.graph().snapshot();
+            // Default ranking unaffected by the personalized passenger.
+            let err = linf_diff(s.ranks(), &reference_default(&snap));
+            assert!(err < 1e-6, "default, round {round}: {err:.2e}");
+            // The view tracks its own PPR fixpoint over the same graph.
+            let oracle = reference_pagerank_with(&snap, 0.85, 500, &t);
+            let view_ranks = s.view_ranks("near-3").unwrap();
+            let err = linf_diff(view_ranks, &oracle);
+            assert!(err < 1e-6, "view, round {round}: {err:.2e}");
+            let tk = s.view_top_k("near-3", 3).unwrap();
+            assert_eq!(tk.len(), 3);
+            assert!(tk[0].1 >= tk[1].1);
+        }
+        s.drop_view("near-3").unwrap();
+        assert!(!s.has_view("near-3"));
+        assert!(s.view_rank("near-3", 0).is_none());
+    }
+
+    #[test]
+    fn add_view_validates_names_and_sources() {
+        let mut s = session(Algorithm::DfLF);
+        let t = Teleport::personalized([(1, 1.0)]).unwrap();
+        assert!(s.add_view("default", t.clone()).is_err(), "reserved");
+        s.add_view("a", t.clone()).unwrap();
+        assert!(s.add_view("a", t.clone()).is_err(), "duplicate");
+        let oob = Teleport::personalized([(100_000, 1.0)]).unwrap();
+        assert!(s.add_view("b", oob).is_err(), "source out of range");
+        assert!(s.drop_view("nope").is_err());
+    }
+
+    #[test]
+    fn delta_tracking_records_movers() {
+        let mut s = session(Algorithm::DfLF);
+        assert!(s.last_deltas().is_empty());
+        s.enable_delta_tracking();
+        let before = s.ranks().to_vec();
+        let batch = BatchSpec::mixed(0.05, 800).generate(s.graph());
+        s.step(&batch).unwrap();
+        let after = s.ranks();
+        let deltas = s.last_deltas();
+        assert!(!deltas.is_empty(), "a 5% batch must move some ranks");
+        // Deltas are exactly the bit-changed vertices, old/new faithful.
+        let mut expect = 0usize;
+        for (v, (&o, &nw)) in before.iter().zip(after).enumerate() {
+            if o.to_bits() != nw.to_bits() {
+                expect += 1;
+                let d = deltas.iter().find(|d| d.vertex == v as u32).unwrap();
+                assert_eq!(d.old.to_bits(), o.to_bits());
+                assert_eq!(d.new.to_bits(), nw.to_bits());
+            }
+        }
+        assert_eq!(deltas.len(), expect);
+        // Movers: sorted by |Δ| descending, capped at k.
+        let movers = s.movers(5);
+        assert!(movers.len() <= 5);
+        for w in movers.windows(2) {
+            assert!(w[0].delta().abs() >= w[1].delta().abs());
+        }
+        assert_eq!(
+            movers[0].delta().abs(),
+            deltas
+                .iter()
+                .map(|d| d.delta().abs())
+                .fold(0.0f64, f64::max)
+        );
+    }
+
+    #[test]
+    fn published_views_carry_deltas_and_named_views() {
+        let mut s = session(Algorithm::DfLF);
+        s.enable_delta_tracking();
+        let t = Teleport::personalized([(5, 1.0)]).unwrap();
+        s.add_view("ego-5", t).unwrap();
+        let reader = s.reader();
+        // add_view before any step: the epoch-0 view already lists it.
+        assert!(reader.view().has_view("ego-5"));
+        let batch = BatchSpec::mixed(0.03, 900).generate(s.graph());
+        s.step(&batch).unwrap();
+        let v = reader.view();
+        assert_eq!(v.epoch(), 1);
+        assert_eq!(v.deltas(), s.last_deltas());
+        assert_eq!(v.movers(3), s.movers(3));
+        assert_eq!(v.view_names(), s.view_names());
+        assert_eq!(v.rank_in("ego-5", 2), s.view_rank("ego-5", 2));
+        assert_eq!(v.top_k_in("ego-5", 4), s.view_top_k("ego-5", 4));
+        assert_eq!(v.movers_in("ego-5", 4), s.view_movers("ego-5", 4));
+        assert!(v.rank_in("nope", 0).is_none());
+        // The view's own deltas are recorded too (source 5 moved or not,
+        // but the machinery must have produced a coherent list).
+        let vm = v.movers_in("ego-5", 1000).unwrap();
+        for d in &vm {
+            assert!(d.old.to_bits() != d.new.to_bits());
+        }
     }
 
     #[test]

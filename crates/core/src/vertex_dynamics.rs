@@ -17,8 +17,9 @@
 //! The key invariant either way: the warm-start vector still sums to 1,
 //! so the fixpoint iteration starts from a proper distribution.
 
-use crate::config::PagerankOptions;
+use crate::config::{PagerankOptions, Teleport};
 use crate::df_lf::df_lf;
+use crate::kernel::TeleportBase;
 use crate::result::PagerankResult;
 use lfpr_graph::{BatchUpdate, Snapshot};
 
@@ -38,6 +39,35 @@ pub fn scale_ranks_for_growth(ranks: &[f64], new_n: usize, alpha: f64) -> Vec<f6
     let mut out = Vec::with_capacity(new_n);
     out.extend(ranks.iter().map(|r| r * scale));
     out.extend(std::iter::repeat_n(floor, added));
+    out
+}
+
+/// [`scale_ranks_for_growth`] with an explicit restart distribution.
+/// Each new vertex starts at **its own** teleport floor `(1−α)·t(v)` —
+/// zero for non-sources under a personalized restart — and existing
+/// ranks are scaled by `(1 − added_mass)` so the vector still sums
+/// to 1. The [`Teleport::Uniform`] arm delegates to the uniform
+/// implementation and is bit-identical to it.
+pub fn scale_ranks_for_growth_with(
+    ranks: &[f64],
+    new_n: usize,
+    alpha: f64,
+    teleport: &Teleport,
+) -> Vec<f64> {
+    if teleport.is_uniform() {
+        return scale_ranks_for_growth(ranks, new_n, alpha);
+    }
+    let old_n = ranks.len();
+    assert!(new_n >= old_n, "growth only; use scale_ranks_for_removal");
+    if new_n == old_n {
+        return ranks.to_vec();
+    }
+    let base = TeleportBase::new(teleport, new_n, alpha);
+    let added_mass: f64 = (old_n..new_n).map(|v| base.at(v as u32)).sum();
+    let scale = (1.0 - added_mass).max(0.0);
+    let mut out = Vec::with_capacity(new_n);
+    out.extend(ranks.iter().map(|r| r * scale));
+    out.extend((old_n..new_n).map(|v| base.at(v as u32)));
     out
 }
 
@@ -68,9 +98,48 @@ pub fn scale_ranks_for_removal(ranks: &[f64], removed: &[u32], alpha: f64) -> Ve
     out
 }
 
+/// [`scale_ranks_for_removal`] with an explicit restart distribution:
+/// the floor each removed vertex keeps is its own `(1−α)·t(v)`. The
+/// [`Teleport::Uniform`] arm delegates to the uniform implementation
+/// and is bit-identical to it.
+pub fn scale_ranks_for_removal_with(
+    ranks: &[f64],
+    removed: &[u32],
+    alpha: f64,
+    teleport: &Teleport,
+) -> Vec<f64> {
+    if teleport.is_uniform() {
+        return scale_ranks_for_removal(ranks, removed, alpha);
+    }
+    let n = ranks.len();
+    let base = TeleportBase::new(teleport, n, alpha);
+    let mut out = ranks.to_vec();
+    let mut released = 0.0;
+    let mut removed_floor_mass = 0.0;
+    for &v in removed {
+        let floor = base.at(v);
+        let r = out[v as usize];
+        released += (r - floor).max(0.0);
+        out[v as usize] = r.min(floor);
+        removed_floor_mass += out[v as usize];
+    }
+    let surviving_mass: f64 = out.iter().sum::<f64>() - removed_floor_mass;
+    if surviving_mass > 0.0 && released > 0.0 {
+        let scale = 1.0 + released / surviving_mass;
+        let removed_set: std::collections::HashSet<u32> = removed.iter().copied().collect();
+        for (v, r) in out.iter_mut().enumerate() {
+            if !removed_set.contains(&(v as u32)) {
+                *r *= scale;
+            }
+        }
+    }
+    out
+}
+
 /// DFLF with vertex growth: `prev` has fewer vertices than `curr`; the
 /// previous ranks are scaled per §6 and the batch (which must contain
-/// the new vertices' incident edges) drives the frontier.
+/// the new vertices' incident edges) drives the frontier. Respects
+/// `opts.teleport` for both the scaling floors and the kernel.
 pub fn df_lf_with_growth(
     prev_padded: &Snapshot,
     curr: &Snapshot,
@@ -78,7 +147,8 @@ pub fn df_lf_with_growth(
     prev_ranks: &[f64],
     opts: &PagerankOptions,
 ) -> PagerankResult {
-    let scaled = scale_ranks_for_growth(prev_ranks, curr.num_vertices(), opts.alpha);
+    let scaled =
+        scale_ranks_for_growth_with(prev_ranks, curr.num_vertices(), opts.alpha, &opts.teleport);
     df_lf(prev_padded, curr, batch, &scaled, opts)
 }
 
@@ -125,6 +195,40 @@ mod tests {
         // Removed vertex dropped to the floor; others gained.
         assert!(scaled[0] <= 0.15 / 4.0 + 1e-15);
         assert!(scaled[1] > 0.3);
+    }
+
+    #[test]
+    fn teleport_aware_scaling_uniform_is_bit_identical() {
+        let ranks = vec![0.5, 0.3, 0.2];
+        let plain = scale_ranks_for_growth(&ranks, 5, 0.85);
+        let with = scale_ranks_for_growth_with(&ranks, 5, 0.85, &Teleport::Uniform);
+        for (a, b) in plain.iter().zip(&with) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let plain = scale_ranks_for_removal(&[0.4, 0.3, 0.2, 0.1], &[0], 0.85);
+        let with =
+            scale_ranks_for_removal_with(&[0.4, 0.3, 0.2, 0.1], &[0], 0.85, &Teleport::Uniform);
+        for (a, b) in plain.iter().zip(&with) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn personalized_scaling_preserves_mass_and_zero_floors() {
+        let t = Teleport::personalized([(0, 1.0)]).unwrap();
+        let ranks = vec![0.5, 0.3, 0.2];
+        // Growth: newcomers are non-sources, so they start at 0 mass.
+        let grown = scale_ranks_for_growth_with(&ranks, 5, 0.85, &t);
+        assert_eq!(grown.len(), 5);
+        assert_eq!(grown[3], 0.0);
+        assert_eq!(grown[4], 0.0);
+        let sum: f64 = grown.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum = {sum}");
+        // Removal of a non-source: its whole rank is released.
+        let removed = scale_ranks_for_removal_with(&[0.4, 0.3, 0.2, 0.1], &[2], 0.85, &t);
+        assert_eq!(removed[2], 0.0);
+        let sum: f64 = removed.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum = {sum}");
     }
 
     #[test]

@@ -222,6 +222,8 @@ fn serve_main(args: &[String]) {
         threads
     );
     let mut session = UpdateSession::new(g, algo, opts);
+    // `movers` and subscriptions need per-batch deltas.
+    session.enable_delta_tracking();
     match tcp {
         None => {
             let stdin = std::io::stdin();

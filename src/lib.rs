@@ -52,11 +52,12 @@ pub use lfpr_graph as graph;
 pub use lfpr_sched as sched;
 
 pub use lfpr_core::{
-    api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RankReader, RankView,
-    RunStatus, StepStats, UpdateSession,
+    api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RankDelta, RankReader,
+    RankView, RunStatus, StepStats, Teleport, TeleportWeights, UpdateSession,
 };
 pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
 
+pub mod protocol;
 pub mod serve;
 pub mod server;
 
@@ -113,7 +114,7 @@ impl RankMaintainer {
     }
 
     /// A handle for concurrent readers: threads may pull the latest
-    /// committed [`RankView`](lfpr_core::RankView) — `(snapshot, ranks,
+    /// committed [`RankView`] — `(snapshot, ranks,
     /// epoch)` — from it while this maintainer keeps applying updates.
     /// See [`UpdateSession::reader`].
     pub fn reader(&mut self) -> RankReader {
@@ -166,6 +167,43 @@ impl RankMaintainer {
     pub fn try_apply_batch(&mut self, batch: BatchUpdate) -> Result<&StepStats, GraphError> {
         self.session.step(&batch)?;
         Ok(self.session.last_stats().expect("step just ran"))
+    }
+
+    /// Record per-vertex rank deltas on every refresh, enabling
+    /// [`movers`](Self::movers). Off by default — tracking costs one
+    /// extra `O(n)` copy + diff per batch.
+    pub fn track_deltas(&mut self) {
+        self.session.enable_delta_tracking();
+    }
+
+    /// The `k` largest rank changes of the most recent refresh
+    /// (requires [`track_deltas`](Self::track_deltas)).
+    pub fn movers(&self, k: usize) -> Vec<RankDelta> {
+        self.session.movers(k)
+    }
+
+    /// Add a personalized ranking view: a second rank vector over the
+    /// same graph whose restart mass goes to `teleport`'s sources
+    /// instead of being spread uniformly. The view updates on every
+    /// subsequent batch, sharing the session's workspace. See
+    /// [`UpdateSession::add_view`].
+    pub fn add_view(&mut self, name: &str, teleport: Teleport) -> Result<(), String> {
+        self.session.add_view(name, teleport)
+    }
+
+    /// Remove a personalized view.
+    pub fn drop_view(&mut self, name: &str) -> Result<(), String> {
+        self.session.drop_view(name)
+    }
+
+    /// Rank of `v` in the named view, if it exists.
+    pub fn view_rank(&self, name: &str, v: u32) -> Option<f64> {
+        self.session.view_rank(name, v)
+    }
+
+    /// The `k` highest-ranked vertices of the named view.
+    pub fn view_top_k(&self, name: &str, k: usize) -> Option<Vec<(u32, f64)>> {
+        self.session.view_top_k(name, k)
     }
 }
 

@@ -1,0 +1,1089 @@
+//! The `lfpr serve` wire protocol, typed.
+//!
+//! One grammar, one encoder: [`Request`] and [`Response`] enums with
+//! [`parse_request`]/[`encode_response`] (and their inverses) are the
+//! single source of truth for the line protocol. The stdin loop
+//! ([`crate::serve`]), the TCP server ([`crate::server`]) and the bench
+//! client (`lfpr-bench`) all consume this module — none of them
+//! hand-parses tokens or formats replies on its own.
+//!
+//! The full grammar is documented in `docs/PROTOCOL.md`. Wire frames
+//! are lines: every request is one line; every response is one line
+//! except the list-shaped ones (`topk`, `movers`, `push`, `views`),
+//! whose head line carries the number of continuation lines that follow
+//! ([`continuation_lines`]) — so a client can frame any reply without
+//! knowing the verb that caused it.
+//!
+//! Round-trip laws (property-tested in `tests/proptests.rs`):
+//!
+//! * requests are exact: `parse_request(&encode_request(r)) == r` —
+//!   floats are encoded with `{:e}` (shortest representation that
+//!   parses back to the same value);
+//! * responses are canonical: `encode(parse(encode(r))) == encode(r)`
+//!   — ranks are formatted `{:.6e}` for human-stable output, which
+//!   rounds, so a second trip is the identity but the first need not
+//!   be.
+
+use lfpr_core::RankDelta;
+use std::fmt;
+
+/// Version of the wire grammar, negotiated via the `hello` verb.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Every verb the grammar understands, in documentation order.
+pub const VERBS: &[&str] = &[
+    "hello",
+    "insert",
+    "delete",
+    "batch",
+    "rank",
+    "topk",
+    "movers",
+    "stats",
+    "subscribe",
+    "unsubscribe",
+    "poll",
+    "view",
+    "views",
+    "quit",
+];
+
+/// Longest accepted view name (`view add`).
+pub const MAX_VIEW_NAME: usize = 32;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `hello` — protocol handshake.
+    Hello,
+    /// `insert <u> <v>` — stage an edge insertion.
+    Insert { u: u32, v: u32 },
+    /// `delete <u> <v>` — stage an edge deletion.
+    Delete { u: u32, v: u32 },
+    /// `batch` — commit the staged updates and refresh ranks.
+    Batch,
+    /// `rank <v> [view]` — rank of one vertex (optionally in a named
+    /// view).
+    Rank { v: u32, view: Option<String> },
+    /// `topk <k> [view]` — the k highest-ranked vertices.
+    TopK { k: usize, view: Option<String> },
+    /// `movers <k> [view]` — the k largest rank changes of this epoch.
+    Movers { k: usize, view: Option<String> },
+    /// `stats` — session counters.
+    Stats,
+    /// `subscribe <v> <eps>` — push `(v, rank)` when v's rank drifts
+    /// more than `eps` from the value last pushed (or subscribed at).
+    Subscribe { v: u32, eps: f64 },
+    /// `unsubscribe <v>` — cancel a subscription.
+    Unsubscribe { v: u32 },
+    /// `poll` — explicitly request pending pushes (always answered with
+    /// a `push` block, possibly empty).
+    Poll,
+    /// `view add <name> <v[:w]>...` — create a personalized ranking
+    /// view restarting at the given weighted sources.
+    ViewAdd {
+        name: String,
+        sources: Vec<(u32, f64)>,
+    },
+    /// `view drop <name>` — remove a named view.
+    ViewDrop { name: String },
+    /// `views` — list the named views.
+    Views,
+    /// `quit` — end the session.
+    Quit,
+}
+
+/// One `movers` entry: a vertex, its current rank, and its signed
+/// change across the epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoverEntry {
+    /// The vertex that moved.
+    pub v: u32,
+    /// Its rank at this epoch.
+    pub rank: f64,
+    /// Signed change from the previous epoch.
+    pub delta: f64,
+}
+
+impl From<RankDelta> for MoverEntry {
+    fn from(d: RankDelta) -> MoverEntry {
+        MoverEntry {
+            v: d.vertex,
+            rank: d.new,
+            delta: d.delta(),
+        }
+    }
+}
+
+/// A server reply (one line, or a head line plus
+/// [`continuation_lines`] continuation lines).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `hello lfpr/<version> algo=<algo> verbs=<v1,v2,...>`
+    Hello {
+        version: u32,
+        algorithm: String,
+        verbs: Vec<String>,
+    },
+    /// `staged <count>`
+    Staged { count: usize },
+    /// `ok batch=<k> m=<m> status=<s> iters=<i> epoch=<e>`
+    BatchOk {
+        batch: usize,
+        m: usize,
+        status: String,
+        iters: usize,
+        epoch: u64,
+    },
+    /// `rank <v> <rank> epoch=<e>[ view=<name>]`
+    Rank {
+        v: u32,
+        rank: f64,
+        epoch: u64,
+        view: Option<String>,
+    },
+    /// `topk <len> epoch=<e>[ view=<name>]` + `<v> <rank>` lines
+    TopK {
+        entries: Vec<(u32, f64)>,
+        epoch: u64,
+        view: Option<String>,
+    },
+    /// `movers <len> epoch=<e>[ view=<name>]` + `<v> <rank> <delta>` lines
+    Movers {
+        entries: Vec<MoverEntry>,
+        epoch: u64,
+        view: Option<String>,
+    },
+    /// `stats n=<n> m=<m> steps=<s> staged=<k> algo=<a> epoch=<e>`
+    Stats {
+        n: usize,
+        m: usize,
+        steps: u64,
+        staged: usize,
+        algo: String,
+        epoch: u64,
+    },
+    /// `subscribed <v> eps=<eps>`
+    Subscribed { v: u32, eps: f64 },
+    /// `unsubscribed <v>`
+    Unsubscribed { v: u32 },
+    /// `push <len> epoch=<e>` + `<v> <rank>` lines
+    Push {
+        entries: Vec<(u32, f64)>,
+        epoch: u64,
+    },
+    /// `ok view <name> sources=<k> epoch=<e>`
+    ViewAdded {
+        name: String,
+        sources: usize,
+        epoch: u64,
+    },
+    /// `ok dropped view <name>`
+    ViewDropped { name: String },
+    /// `views <len>` + `<name> sources=<k>` lines
+    Views { entries: Vec<(String, usize)> },
+    /// `bye`
+    Bye,
+    /// `err <message>`
+    Error(ServeError),
+}
+
+/// Every error the serve layer reports, with a stable wire encoding
+/// (`err ` + [`fmt::Display`]). The texts are byte-compatible with the
+/// historical ad-hoc strings — `tests/data/serve_smoke.expected` pins
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A vertex argument did not parse as an integer id.
+    BadVertexId(String),
+    /// A vertex id parsed but exceeds the graph's vertex count.
+    VertexOutOfRange { id: u32, n: usize },
+    /// `rank` argument that is not a known vertex (including
+    /// non-integer tokens, for historical compatibility).
+    UnknownVertex(String),
+    /// A count argument (`topk`/`movers`) did not parse.
+    NeedsInteger(&'static str),
+    /// `insert` of an edge the graph already has.
+    EdgeExists(u32, u32),
+    /// `insert`/`delete` of an edge already staged.
+    EdgeAlreadyStaged(u32, u32),
+    /// `delete` of an edge the graph does not have.
+    EdgeMissing(u32, u32),
+    /// `delete` of a self-loop (they implement dead-end elimination).
+    SelfLoopDelete(u32, u32),
+    /// The staged batch failed validation at commit time.
+    BatchRejected(String),
+    /// Unknown verb (the full command line is echoed).
+    UnknownCommand(String),
+    /// A named view that does not exist.
+    UnknownView(String),
+    /// `view add` with a name already in use.
+    ViewExists(String),
+    /// A view name violating the grammar (must start with a letter,
+    /// use only `[A-Za-z0-9_-]`, and fit in [`MAX_VIEW_NAME`] bytes).
+    BadViewName(String),
+    /// `view add default` — the default ranking's name is reserved.
+    ReservedViewName(String),
+    /// A float argument (`eps`, `weight`) that did not parse or is out
+    /// of domain.
+    BadNumber { what: &'static str, token: String },
+    /// `view add` with no source vertices.
+    NoSources,
+    /// `unsubscribe` for a vertex with no subscription.
+    NotSubscribed(u32),
+    /// `view add` rejected by the session (duplicate source, race, …).
+    ViewRejected(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadVertexId(s) => write!(f, "bad vertex id {s}"),
+            ServeError::VertexOutOfRange { id, n } => {
+                write!(f, "vertex {id} out of range (n = {n})")
+            }
+            ServeError::UnknownVertex(s) => write!(f, "unknown vertex {s}"),
+            ServeError::NeedsInteger(what) => write!(f, "{what} needs an integer"),
+            ServeError::EdgeExists(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            ServeError::EdgeAlreadyStaged(u, v) => write!(f, "edge ({u}, {v}) already staged"),
+            ServeError::EdgeMissing(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            ServeError::SelfLoopDelete(u, v) => write!(
+                f,
+                "refusing to delete self-loop ({u}, {v}): dead-end elimination"
+            ),
+            ServeError::BatchRejected(msg) => write!(f, "batch rejected: {msg}"),
+            ServeError::UnknownCommand(line) => write!(f, "unknown command: {line}"),
+            ServeError::UnknownView(name) => write!(f, "unknown view {name}"),
+            ServeError::ViewExists(name) => write!(f, "view {name} already exists"),
+            ServeError::BadViewName(name) => write!(f, "bad view name {name}"),
+            ServeError::ReservedViewName(name) => write!(f, "view name {name} is reserved"),
+            ServeError::BadNumber { what, token } => write!(f, "bad {what} {token}"),
+            ServeError::NoSources => write!(f, "view add needs at least one source vertex"),
+            ServeError::NotSubscribed(v) => write!(f, "not subscribed to vertex {v}"),
+            ServeError::ViewRejected(msg) => write!(f, "view rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Is `name` a well-formed view name? (Letter first, then letters,
+/// digits, `_` or `-`, at most [`MAX_VIEW_NAME`] bytes.)
+pub fn valid_view_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() => {}
+        _ => return false,
+    }
+    name.len() <= MAX_VIEW_NAME && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_view_name(token: &str) -> Result<String, ServeError> {
+    if token == "default" {
+        return Err(ServeError::ReservedViewName(token.into()));
+    }
+    if !valid_view_name(token) {
+        return Err(ServeError::BadViewName(token.into()));
+    }
+    Ok(token.to_string())
+}
+
+fn parse_vertex(token: &str) -> Result<u32, ServeError> {
+    token
+        .parse()
+        .map_err(|_| ServeError::BadVertexId(token.into()))
+}
+
+/// Parse one request line. `None` means the line carries no command
+/// (blank, or a `#` comment) and deserves no reply; a grammar-level
+/// error (bad number, unknown verb, …) is `Some(Err(_))` so the caller
+/// can reply `err …` without touching the session.
+pub fn parse_request(line: &str) -> Option<Result<Request, ServeError>> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.is_empty() || tokens[0].starts_with('#') {
+        return None;
+    }
+    Some(parse_request_tokens(&tokens))
+}
+
+fn parse_request_tokens(tokens: &[&str]) -> Result<Request, ServeError> {
+    match tokens {
+        ["hello"] => Ok(Request::Hello),
+        ["insert", u, v] => Ok(Request::Insert {
+            u: parse_vertex(u)?,
+            v: parse_vertex(v)?,
+        }),
+        ["delete", u, v] => Ok(Request::Delete {
+            u: parse_vertex(u)?,
+            v: parse_vertex(v)?,
+        }),
+        ["batch"] => Ok(Request::Batch),
+        ["rank", v] | ["rank", v, _] => {
+            // Historical reply shape: a non-integer token is reported as
+            // an unknown vertex, not a syntax error.
+            let vid: u32 = v
+                .parse()
+                .map_err(|_| ServeError::UnknownVertex(v.to_string()))?;
+            let view = match tokens {
+                [_, _, name] => Some(parse_view_name(name)?),
+                _ => None,
+            };
+            Ok(Request::Rank { v: vid, view })
+        }
+        ["topk", k] | ["topk", k, _] => {
+            let k: usize = k.parse().map_err(|_| ServeError::NeedsInteger("topk"))?;
+            let view = match tokens {
+                [_, _, name] => Some(parse_view_name(name)?),
+                _ => None,
+            };
+            Ok(Request::TopK { k, view })
+        }
+        ["movers", k] | ["movers", k, _] => {
+            let k: usize = k.parse().map_err(|_| ServeError::NeedsInteger("movers"))?;
+            let view = match tokens {
+                [_, _, name] => Some(parse_view_name(name)?),
+                _ => None,
+            };
+            Ok(Request::Movers { k, view })
+        }
+        ["stats"] => Ok(Request::Stats),
+        ["subscribe", v, eps] => {
+            let vid = parse_vertex(v)?;
+            let e: f64 = eps.parse().map_err(|_| ServeError::BadNumber {
+                what: "eps",
+                token: eps.to_string(),
+            })?;
+            if !(e.is_finite() && e >= 0.0) {
+                return Err(ServeError::BadNumber {
+                    what: "eps",
+                    token: eps.to_string(),
+                });
+            }
+            Ok(Request::Subscribe { v: vid, eps: e })
+        }
+        ["unsubscribe", v] => Ok(Request::Unsubscribe {
+            v: parse_vertex(v)?,
+        }),
+        ["poll"] => Ok(Request::Poll),
+        ["view", "add", name, sources @ ..] => {
+            let name = parse_view_name(name)?;
+            if sources.is_empty() {
+                return Err(ServeError::NoSources);
+            }
+            let mut parsed = Vec::with_capacity(sources.len());
+            for s in sources {
+                let (v, w) = match s.split_once(':') {
+                    Some((v, w)) => {
+                        let weight: f64 = w.parse().map_err(|_| ServeError::BadNumber {
+                            what: "weight",
+                            token: w.to_string(),
+                        })?;
+                        if !(weight.is_finite() && weight > 0.0) {
+                            return Err(ServeError::BadNumber {
+                                what: "weight",
+                                token: w.to_string(),
+                            });
+                        }
+                        (parse_vertex(v)?, weight)
+                    }
+                    None => (parse_vertex(s)?, 1.0),
+                };
+                parsed.push((v, w));
+            }
+            Ok(Request::ViewAdd {
+                name,
+                sources: parsed,
+            })
+        }
+        ["view", "drop", name] => Ok(Request::ViewDrop {
+            name: parse_view_name(name)?,
+        }),
+        ["views"] => Ok(Request::Views),
+        ["quit"] => Ok(Request::Quit),
+        _ => Err(ServeError::UnknownCommand(tokens.join(" "))),
+    }
+}
+
+/// Encode a request as one protocol line (no trailing newline).
+/// Floats use `{:e}` — the shortest form that parses back exactly, so
+/// `parse_request(&encode_request(r)) == r` holds for every request.
+pub fn encode_request(r: &Request) -> String {
+    match r {
+        Request::Hello => "hello".into(),
+        Request::Insert { u, v } => format!("insert {u} {v}"),
+        Request::Delete { u, v } => format!("delete {u} {v}"),
+        Request::Batch => "batch".into(),
+        Request::Rank { v, view } => match view {
+            Some(name) => format!("rank {v} {name}"),
+            None => format!("rank {v}"),
+        },
+        Request::TopK { k, view } => match view {
+            Some(name) => format!("topk {k} {name}"),
+            None => format!("topk {k}"),
+        },
+        Request::Movers { k, view } => match view {
+            Some(name) => format!("movers {k} {name}"),
+            None => format!("movers {k}"),
+        },
+        Request::Stats => "stats".into(),
+        Request::Subscribe { v, eps } => format!("subscribe {v} {eps:e}"),
+        Request::Unsubscribe { v } => format!("unsubscribe {v}"),
+        Request::Poll => "poll".into(),
+        Request::ViewAdd { name, sources } => {
+            let mut out = format!("view add {name}");
+            for (v, w) in sources {
+                out.push_str(&format!(" {v}:{w:e}"));
+            }
+            out
+        }
+        Request::ViewDrop { name } => format!("view drop {name}"),
+        Request::Views => "views".into(),
+        Request::Quit => "quit".into(),
+    }
+}
+
+/// Format a rank for the wire: 7 significant digits, scientific.
+fn fmt_rank(r: f64) -> String {
+    format!("{r:.6e}")
+}
+
+/// Encode a response block (head line plus continuation lines joined
+/// with `\n`; no trailing newline). Ranks use `{:.6e}` — stable,
+/// human-scannable, byte-diffable output.
+pub fn encode_response(resp: &Response) -> String {
+    let view_suffix = |view: &Option<String>| match view {
+        Some(name) => format!(" view={name}"),
+        None => String::new(),
+    };
+    match resp {
+        Response::Hello {
+            version,
+            algorithm,
+            verbs,
+        } => format!(
+            "hello lfpr/{version} algo={algorithm} verbs={}",
+            verbs.join(",")
+        ),
+        Response::Staged { count } => format!("staged {count}"),
+        Response::BatchOk {
+            batch,
+            m,
+            status,
+            iters,
+            epoch,
+        } => format!("ok batch={batch} m={m} status={status} iters={iters} epoch={epoch}"),
+        Response::Rank {
+            v,
+            rank,
+            epoch,
+            view,
+        } => format!(
+            "rank {v} {} epoch={epoch}{}",
+            fmt_rank(*rank),
+            view_suffix(view)
+        ),
+        Response::TopK {
+            entries,
+            epoch,
+            view,
+        } => {
+            let mut out = format!("topk {} epoch={epoch}{}", entries.len(), view_suffix(view));
+            for (v, r) in entries {
+                out.push_str(&format!("\n{v} {}", fmt_rank(*r)));
+            }
+            out
+        }
+        Response::Movers {
+            entries,
+            epoch,
+            view,
+        } => {
+            let mut out = format!(
+                "movers {} epoch={epoch}{}",
+                entries.len(),
+                view_suffix(view)
+            );
+            for e in entries {
+                out.push_str(&format!(
+                    "\n{} {} {}",
+                    e.v,
+                    fmt_rank(e.rank),
+                    fmt_rank(e.delta)
+                ));
+            }
+            out
+        }
+        Response::Stats {
+            n,
+            m,
+            steps,
+            staged,
+            algo,
+            epoch,
+        } => format!("stats n={n} m={m} steps={steps} staged={staged} algo={algo} epoch={epoch}"),
+        Response::Subscribed { v, eps } => format!("subscribed {v} eps={eps:e}"),
+        Response::Unsubscribed { v } => format!("unsubscribed {v}"),
+        Response::Push { entries, epoch } => {
+            let mut out = format!("push {} epoch={epoch}", entries.len());
+            for (v, r) in entries {
+                out.push_str(&format!("\n{v} {}", fmt_rank(*r)));
+            }
+            out
+        }
+        Response::ViewAdded {
+            name,
+            sources,
+            epoch,
+        } => format!("ok view {name} sources={sources} epoch={epoch}"),
+        Response::ViewDropped { name } => format!("ok dropped view {name}"),
+        Response::Views { entries } => {
+            let mut out = format!("views {}", entries.len());
+            for (name, sources) in entries {
+                out.push_str(&format!("\n{name} sources={sources}"));
+            }
+            out
+        }
+        Response::Bye => "bye".into(),
+        Response::Error(e) => format!("err {e}"),
+    }
+}
+
+/// How many continuation lines follow a response head line. Zero for
+/// single-line replies; the count embedded in the head for the
+/// list-shaped ones (`topk`, `movers`, `push`, `views`). This is the
+/// only framing rule a client needs.
+pub fn continuation_lines(head: &str) -> usize {
+    let mut it = head.split_whitespace();
+    match (it.next(), it.next()) {
+        (Some("topk" | "movers" | "push" | "views"), Some(count)) => count.parse().unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Extract `key=value` (exact token match) from a reply line as an
+/// integer. `stats n=200 …` → `field(line, "n") == Some(200)`.
+pub fn field(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace().find_map(|tok| {
+        let (k, v) = tok.split_once('=')?;
+        (k == key).then(|| v.parse().ok())?
+    })
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace().find_map(|tok| {
+        let (k, v) = tok.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// Parse a full response block (head + continuation lines, as produced
+/// by [`encode_response`]). Returns `None` for text that is not a
+/// well-formed reply. Because ranks are rounded on encode, the law is
+/// canonical-form idempotence, not exactness: see the module docs.
+pub fn parse_response(block: &str) -> Option<Response> {
+    let mut lines = block.lines();
+    let head = lines.next()?;
+    let tokens: Vec<&str> = head.split_whitespace().collect();
+    let tail: Vec<&str> = lines.collect();
+    let expect_tail = continuation_lines(head);
+    if tail.len() != expect_tail {
+        return None;
+    }
+    let view_of = |head: &str| field_str(head, "view").map(str::to_string);
+    match tokens.as_slice() {
+        ["hello", ident, ..] => {
+            let version = ident.strip_prefix("lfpr/")?.parse().ok()?;
+            Some(Response::Hello {
+                version,
+                algorithm: field_str(head, "algo")?.to_string(),
+                verbs: field_str(head, "verbs")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect(),
+            })
+        }
+        ["staged", count] => Some(Response::Staged {
+            count: count.parse().ok()?,
+        }),
+        ["ok", "view", name, ..] => Some(Response::ViewAdded {
+            name: name.to_string(),
+            sources: field(head, "sources")? as usize,
+            epoch: field(head, "epoch")?,
+        }),
+        ["ok", "dropped", "view", name] => Some(Response::ViewDropped {
+            name: name.to_string(),
+        }),
+        ["ok", ..] => Some(Response::BatchOk {
+            batch: field(head, "batch")? as usize,
+            m: field(head, "m")? as usize,
+            status: field_str(head, "status")?.to_string(),
+            iters: field(head, "iters")? as usize,
+            epoch: field(head, "epoch")?,
+        }),
+        ["rank", v, rank, ..] => Some(Response::Rank {
+            v: v.parse().ok()?,
+            rank: rank.parse().ok()?,
+            epoch: field(head, "epoch")?,
+            view: view_of(head),
+        }),
+        ["topk", ..] => Some(Response::TopK {
+            entries: parse_rank_lines(&tail)?,
+            epoch: field(head, "epoch")?,
+            view: view_of(head),
+        }),
+        ["movers", ..] => {
+            let mut entries = Vec::with_capacity(tail.len());
+            for line in &tail {
+                let mut it = line.split_whitespace();
+                entries.push(MoverEntry {
+                    v: it.next()?.parse().ok()?,
+                    rank: it.next()?.parse().ok()?,
+                    delta: it.next()?.parse().ok()?,
+                });
+                if it.next().is_some() {
+                    return None;
+                }
+            }
+            Some(Response::Movers {
+                entries,
+                epoch: field(head, "epoch")?,
+                view: view_of(head),
+            })
+        }
+        ["stats", ..] => Some(Response::Stats {
+            n: field(head, "n")? as usize,
+            m: field(head, "m")? as usize,
+            steps: field(head, "steps")?,
+            staged: field(head, "staged")? as usize,
+            algo: field_str(head, "algo")?.to_string(),
+            epoch: field(head, "epoch")?,
+        }),
+        ["subscribed", v, ..] => Some(Response::Subscribed {
+            v: v.parse().ok()?,
+            eps: field_str(head, "eps")?.parse().ok()?,
+        }),
+        ["unsubscribed", v] => Some(Response::Unsubscribed { v: v.parse().ok()? }),
+        ["push", ..] => Some(Response::Push {
+            entries: parse_rank_lines(&tail)?,
+            epoch: field(head, "epoch")?,
+        }),
+        ["views", ..] => {
+            let mut entries = Vec::with_capacity(tail.len());
+            for line in &tail {
+                let mut it = line.split_whitespace();
+                let name = it.next()?.to_string();
+                let sources = field(line, "sources")? as usize;
+                entries.push((name, sources));
+            }
+            Some(Response::Views { entries })
+        }
+        ["bye"] => Some(Response::Bye),
+        ["err", ..] => Some(Response::Error(parse_error(head.strip_prefix("err ")?)?)),
+        _ => None,
+    }
+}
+
+fn parse_rank_lines(tail: &[&str]) -> Option<Vec<(u32, f64)>> {
+    let mut entries = Vec::with_capacity(tail.len());
+    for line in tail {
+        let mut it = line.split_whitespace();
+        let v: u32 = it.next()?.parse().ok()?;
+        let r: f64 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        entries.push((v, r));
+    }
+    Some(entries)
+}
+
+/// Reconstruct a [`ServeError`] from its wire text (everything after
+/// `err `). Total over text this module emits; `None` otherwise.
+fn parse_error(msg: &str) -> Option<ServeError> {
+    if let Some(rest) = msg.strip_prefix("bad vertex id ") {
+        return Some(ServeError::BadVertexId(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("bad view name ") {
+        return Some(ServeError::BadViewName(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("bad eps ") {
+        return Some(ServeError::BadNumber {
+            what: "eps",
+            token: rest.to_string(),
+        });
+    }
+    if let Some(rest) = msg.strip_prefix("bad weight ") {
+        return Some(ServeError::BadNumber {
+            what: "weight",
+            token: rest.to_string(),
+        });
+    }
+    if let Some(rest) = msg.strip_prefix("unknown vertex ") {
+        return Some(ServeError::UnknownVertex(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("unknown command: ") {
+        return Some(ServeError::UnknownCommand(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("unknown view ") {
+        return Some(ServeError::UnknownView(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("batch rejected: ") {
+        return Some(ServeError::BatchRejected(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("view rejected: ") {
+        return Some(ServeError::ViewRejected(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("not subscribed to vertex ") {
+        return Some(ServeError::NotSubscribed(rest.parse().ok()?));
+    }
+    if msg == "view add needs at least one source vertex" {
+        return Some(ServeError::NoSources);
+    }
+    if let Some(rest) = msg.strip_prefix("view name ") {
+        let name = rest.strip_suffix(" is reserved")?;
+        return Some(ServeError::ReservedViewName(name.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("vertex ") {
+        // "vertex {id} out of range (n = {n})"
+        let (id, rest) = rest.split_once(" out of range (n = ")?;
+        let n = rest.strip_suffix(')')?;
+        return Some(ServeError::VertexOutOfRange {
+            id: id.parse().ok()?,
+            n: n.parse().ok()?,
+        });
+    }
+    if let Some(rest) = msg.strip_prefix("refusing to delete self-loop (") {
+        let rest = rest.strip_suffix("): dead-end elimination")?;
+        let (u, v) = rest.split_once(", ")?;
+        return Some(ServeError::SelfLoopDelete(u.parse().ok()?, v.parse().ok()?));
+    }
+    if let Some(rest) = msg.strip_prefix("edge (") {
+        let (pair, suffix) = rest.split_once(')')?;
+        let (u, v) = pair.split_once(", ")?;
+        let (u, v) = (u.parse().ok()?, v.parse().ok()?);
+        return Some(match suffix {
+            " already exists" => ServeError::EdgeExists(u, v),
+            " already staged" => ServeError::EdgeAlreadyStaged(u, v),
+            " does not exist" => ServeError::EdgeMissing(u, v),
+            _ => return None,
+        });
+    }
+    if let Some(rest) = msg.strip_prefix("view ") {
+        let name = rest.strip_suffix(" already exists")?;
+        return Some(ServeError::ViewExists(name.to_string()));
+    }
+    if let Some(what) = msg.strip_suffix(" needs an integer") {
+        return Some(match what {
+            "topk" => ServeError::NeedsInteger("topk"),
+            "movers" => ServeError::NeedsInteger("movers"),
+            _ => return None,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_blanks_are_silent() {
+        assert!(parse_request("").is_none());
+        assert!(parse_request("   ").is_none());
+        assert!(parse_request("# a comment").is_none());
+        assert!(parse_request("#insert 1 2").is_none());
+    }
+
+    #[test]
+    fn legacy_error_strings_are_stable() {
+        // These exact bytes are pinned by tests/data/serve_smoke.expected.
+        let err = match parse_request("insert x 2").unwrap() {
+            Err(e) => e,
+            Ok(r) => panic!("parsed {r:?}"),
+        };
+        assert_eq!(err.to_string(), "bad vertex id x");
+        assert_eq!(
+            ServeError::EdgeAlreadyStaged(10, 20).to_string(),
+            "edge (10, 20) already staged"
+        );
+        assert_eq!(
+            ServeError::SelfLoopDelete(0, 0).to_string(),
+            "refusing to delete self-loop (0, 0): dead-end elimination"
+        );
+        assert_eq!(
+            ServeError::VertexOutOfRange { id: 500, n: 200 }.to_string(),
+            "vertex 500 out of range (n = 200)"
+        );
+        assert_eq!(
+            ServeError::NeedsInteger("topk").to_string(),
+            "topk needs an integer"
+        );
+        let err = match parse_request("frobnicate 12").unwrap() {
+            Err(e) => e,
+            Ok(r) => panic!("parsed {r:?}"),
+        };
+        assert_eq!(err.to_string(), "unknown command: frobnicate 12");
+    }
+
+    #[test]
+    fn view_names_are_validated() {
+        assert!(valid_view_name("a"));
+        assert!(valid_view_name("near-3_x"));
+        assert!(!valid_view_name(""));
+        assert!(!valid_view_name("3abc"));
+        assert!(!valid_view_name("has space"));
+        assert!(!valid_view_name(&"x".repeat(40)));
+        assert!(matches!(
+            parse_request("view add default 1").unwrap(),
+            Err(ServeError::ReservedViewName(_))
+        ));
+        assert!(matches!(
+            parse_request("view add 9bad 1").unwrap(),
+            Err(ServeError::BadViewName(_))
+        ));
+        assert!(matches!(
+            parse_request("view add ok").unwrap(),
+            Err(ServeError::NoSources)
+        ));
+    }
+
+    #[test]
+    fn weighted_sources_parse() {
+        let r = parse_request("view add ego 3:0.75 7:0.25 9")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::ViewAdd {
+                name: "ego".into(),
+                sources: vec![(3, 0.75), (7, 0.25), (9, 1.0)],
+            }
+        );
+        assert!(matches!(
+            parse_request("view add ego 3:nope").unwrap(),
+            Err(ServeError::BadNumber { what: "weight", .. })
+        ));
+        assert!(matches!(
+            parse_request("view add ego 3:-1").unwrap(),
+            Err(ServeError::BadNumber { what: "weight", .. })
+        ));
+    }
+
+    #[test]
+    fn subscribe_eps_must_be_a_finite_nonnegative_float() {
+        assert_eq!(
+            parse_request("subscribe 4 1e-7").unwrap().unwrap(),
+            Request::Subscribe { v: 4, eps: 1e-7 }
+        );
+        assert_eq!(
+            parse_request("subscribe 4 0").unwrap().unwrap(),
+            Request::Subscribe { v: 4, eps: 0.0 }
+        );
+        for bad in ["subscribe 4 x", "subscribe 4 -1", "subscribe 4 inf"] {
+            assert!(
+                matches!(
+                    parse_request(bad).unwrap(),
+                    Err(ServeError::BadNumber { what: "eps", .. })
+                ),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn framing_counts_come_from_the_head_line() {
+        assert_eq!(continuation_lines("topk 5 epoch=1"), 5);
+        assert_eq!(continuation_lines("movers 2 epoch=4 view=x"), 2);
+        assert_eq!(continuation_lines("push 0 epoch=9"), 0);
+        assert_eq!(continuation_lines("views 3"), 3);
+        assert_eq!(continuation_lines("rank 0 4.2e-3 epoch=1"), 0);
+        assert_eq!(continuation_lines("stats n=200"), 0);
+        assert_eq!(continuation_lines("bye"), 0);
+    }
+
+    #[test]
+    fn field_matches_exact_tokens_only() {
+        let line = "ok batch=2 m=1002 status=converged iters=77 epoch=1";
+        assert_eq!(field(line, "batch"), Some(2));
+        assert_eq!(field(line, "m"), Some(1002));
+        assert_eq!(field(line, "epoch"), Some(1));
+        assert_eq!(field(line, "atch"), None);
+        assert_eq!(field(line, "status"), None, "non-integer value");
+        assert_eq!(field("x mm=9", "m"), None);
+    }
+
+    #[test]
+    fn request_roundtrip_spot_checks() {
+        for line in [
+            "hello",
+            "insert 3 4",
+            "delete 0 9",
+            "batch",
+            "rank 7",
+            "rank 7 ego",
+            "topk 5",
+            "movers 3 ego",
+            "stats",
+            "subscribe 12 1e-9",
+            "unsubscribe 12",
+            "poll",
+            "view drop ego",
+            "views",
+            "quit",
+        ] {
+            let r = parse_request(line).unwrap().unwrap();
+            assert_eq!(encode_request(&r), line, "canonical form differs");
+            let again = parse_request(&encode_request(&r)).unwrap().unwrap();
+            assert_eq!(again, r);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_spot_checks() {
+        let samples = vec![
+            Response::Hello {
+                version: 1,
+                algorithm: "DFLF".into(),
+                verbs: VERBS.iter().map(|s| s.to_string()).collect(),
+            },
+            Response::Staged { count: 2 },
+            Response::BatchOk {
+                batch: 2,
+                m: 1002,
+                status: "converged".into(),
+                iters: 77,
+                epoch: 1,
+            },
+            Response::Rank {
+                v: 0,
+                rank: 4.294974e-3,
+                epoch: 1,
+                view: None,
+            },
+            Response::Rank {
+                v: 0,
+                rank: 4.294974e-3,
+                epoch: 1,
+                view: Some("ego".into()),
+            },
+            Response::TopK {
+                entries: vec![(53, 2.587890e-2), (171, 2.346116e-2)],
+                epoch: 1,
+                view: None,
+            },
+            Response::Movers {
+                entries: vec![MoverEntry {
+                    v: 9,
+                    rank: 1.5e-3,
+                    delta: -2.5e-4,
+                }],
+                epoch: 3,
+                view: Some("ego".into()),
+            },
+            Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 0,
+                staged: 0,
+                algo: "DFLF".into(),
+                epoch: 0,
+            },
+            Response::Subscribed { v: 4, eps: 1e-7 },
+            Response::Unsubscribed { v: 4 },
+            Response::Push {
+                entries: vec![(1, 0.25), (2, 0.125)],
+                epoch: 2,
+            },
+            Response::Push {
+                entries: vec![],
+                epoch: 2,
+            },
+            Response::ViewAdded {
+                name: "ego".into(),
+                sources: 2,
+                epoch: 0,
+            },
+            Response::ViewDropped { name: "ego".into() },
+            Response::Views {
+                entries: vec![("ego".into(), 2), ("other".into(), 0)],
+            },
+            Response::Bye,
+            Response::Error(ServeError::EdgeExists(1, 2)),
+            Response::Error(ServeError::BatchRejected("boom".into())),
+        ];
+        for resp in samples {
+            let wire = encode_response(&resp);
+            let parsed = parse_response(&wire).unwrap_or_else(|| panic!("unparsed: {wire}"));
+            assert_eq!(
+                encode_response(&parsed),
+                wire,
+                "canonical form not idempotent"
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_fixture_bytes_reproduce() {
+        // The exact head lines of the pinned CI fixture must come out of
+        // the typed encoder byte-for-byte.
+        assert_eq!(
+            encode_response(&Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 0,
+                staged: 0,
+                algo: "DFLF".into(),
+                epoch: 0,
+            }),
+            "stats n=200 m=1000 steps=0 staged=0 algo=DFLF epoch=0"
+        );
+        assert_eq!(
+            encode_response(&Response::BatchOk {
+                batch: 2,
+                m: 1002,
+                status: "converged".into(),
+                iters: 77,
+                epoch: 1,
+            }),
+            "ok batch=2 m=1002 status=converged iters=77 epoch=1"
+        );
+        assert_eq!(
+            encode_response(&Response::Rank {
+                v: 0,
+                rank: 4.294974e-3,
+                epoch: 1,
+                view: None,
+            }),
+            "rank 0 4.294974e-3 epoch=1"
+        );
+        assert_eq!(
+            encode_response(&Response::Error(ServeError::EdgeAlreadyStaged(10, 20))),
+            "err edge (10, 20) already staged"
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_mangled() {
+        for garbage in [
+            "rank",
+            "insert 1",
+            "insert 1 2 3",
+            "subscribe 1",
+            "view",
+            "view add",
+            "view frob x",
+            "topk",
+        ] {
+            match parse_request(garbage).unwrap() {
+                Err(_) => {}
+                Ok(r) => panic!("{garbage:?} parsed as {r:?}"),
+            }
+        }
+        assert!(parse_response("glorp 7").is_none());
+        assert!(
+            parse_response("topk 2 epoch=1\n1 0.5").is_none(),
+            "short tail"
+        );
+        assert!(parse_response("err untyped nonsense").is_none());
+    }
+}

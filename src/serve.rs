@@ -1,20 +1,27 @@
 //! The `lfpr serve` line protocol — a long-running streaming batch
 //! service over an [`UpdateSession`].
 //!
-//! One command per line, whitespace-separated tokens; every command
-//! produces exactly one reply block on the output stream, so a scripted
-//! session is diffable byte-for-byte (CI does exactly that). Timing is
-//! reported in-band only where deterministic; wall-clock numbers go to
-//! stderr.
+//! Commands and replies are typed: every input line is parsed into a
+//! [`Request`] and every reply is an encoded
+//! [`Response`] — see [`crate::protocol`]
+//! for the grammar and `docs/PROTOCOL.md` for the full reference. One
+//! command produces exactly one reply block (plus, possibly, one
+//! piggybacked `push` block — see below), so a scripted session is
+//! diffable byte-for-byte (CI does exactly that). Timing is reported
+//! in-band only where deterministic; wall-clock numbers go to stderr.
 //!
 //! ```text
-//! insert <u> <v>   stage an edge insertion        → staged <count>
-//! delete <u> <v>   stage an edge deletion         → staged <count>
-//! batch            commit staged ops as one Δt    → ok batch=<k> m=<m> status=<s> iters=<i> epoch=<e>
-//! topk <k>         k highest-ranked vertices      → topk <k> epoch=<e> + k lines "<v> <rank>"
-//! rank <v>         one vertex's rank              → rank <v> <value> epoch=<e>
-//! stats            session counters               → stats n=.. m=.. steps=.. staged=.. algo=.. epoch=<e>
-//! quit             end the session                → bye
+//! insert <u> <v>        stage an edge insertion     → staged <count>
+//! delete <u> <v>        stage an edge deletion      → staged <count>
+//! batch                 commit staged ops as one Δt → ok batch=<k> m=<m> status=<s> iters=<i> epoch=<e>
+//! rank <v> [view]       one vertex's rank           → rank <v> <value> epoch=<e>[ view=<name>]
+//! topk <k> [view]       k highest-ranked vertices   → topk <len> epoch=<e>[ view=<name>] + lines
+//! movers <k> [view]     k largest changes this epoch→ movers <len> epoch=<e>[ view=<name>] + lines
+//! subscribe <v> <eps>   watch one vertex's rank     → subscribed <v> eps=<eps>
+//! poll                  collect pending pushes      → push <len> epoch=<e> + lines
+//! view add <name> <v[:w]>...  personalized view     → ok view <name> sources=<k> epoch=<e>
+//! stats                 session counters            → stats n=.. m=.. steps=.. staged=.. algo=.. epoch=<e>
+//! quit                  end the session             → bye
 //! ```
 //!
 //! Every reply that reads committed state carries `epoch=<e>` — the
@@ -23,6 +30,21 @@
 //! from an atomically published [`RankView`], so a reply's `rank`/`topk`
 //! values and its epoch always belong to the same commit even while a
 //! batch is being applied on the writer.
+//!
+//! ## Subscriptions
+//!
+//! `subscribe <v> <eps>` records the vertex's rank as the baseline.
+//! Each subsequent command first pins the committed state it will
+//! answer from; if any subscribed vertex has drifted more than `eps`
+//! from its baseline (for `eps` = 0: if its rank changed at all, to the
+//! bit), a `push` block is written *before* that command's reply and
+//! the pushed ranks become the new baselines. `poll` exists to collect
+//! pushes explicitly — it always answers with a `push` block, possibly
+//! empty. A `batch` command pins its view *before* committing, so the
+//! pushes caused by its own commit arrive on the next command — a reply
+//! is never interleaved with pushes from its own write.
+//!
+//! ## Staging
 //!
 //! Staged operations are validated eagerly against the current graph
 //! (plus the staged set), so a `batch` from a single-client session
@@ -34,9 +56,14 @@
 //! insert/delete pair of the same edge cancels out, mirroring
 //! [`crate::MutGuard`].
 
+use crate::protocol::{
+    encode_response, parse_request, MoverEntry, Request, Response, ServeError, PROTOCOL_VERSION,
+    VERBS,
+};
 use lfpr_core::session::{RankReader, RankView, UpdateSession};
-use lfpr_core::{Algorithm, RunStatus};
+use lfpr_core::{Algorithm, RankDelta, RunStatus, Teleport};
 use lfpr_graph::BatchUpdate;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::sync::{mpsc, Arc};
 
@@ -49,6 +76,8 @@ pub struct ServeSummary {
     pub batches: u64,
     /// Edge updates committed across all batches.
     pub updates: u64,
+    /// Push blocks written (piggybacked or via `poll`).
+    pub pushes: u64,
 }
 
 impl ServeSummary {
@@ -57,6 +86,7 @@ impl ServeSummary {
         self.commands += other.commands;
         self.batches += other.batches;
         self.updates += other.updates;
+        self.pushes += other.pushes;
     }
 }
 
@@ -73,15 +103,52 @@ pub struct CommitOutcome {
     pub epoch: u64,
 }
 
-/// A commit funneled from a serving worker to the single session
+/// A state-changing operation funneled to the single session writer.
+/// Batch commits and view management both mutate the session, so under
+/// the concurrent server they serialize through the same channel — one
+/// writer, many readers, no locks on the read path.
+#[derive(Debug)]
+pub enum WriterOp {
+    /// Commit a staged batch.
+    Commit(BatchUpdate),
+    /// Create a personalized ranking view.
+    AddView {
+        /// View name (protocol-validated by the caller).
+        name: String,
+        /// Its restart distribution.
+        teleport: Teleport,
+    },
+    /// Remove a named view.
+    DropView {
+        /// View name.
+        name: String,
+    },
+}
+
+/// Successful outcome of a [`WriterOp`].
+#[derive(Debug, Clone, Copy)]
+pub enum WriterOk {
+    /// A batch landed.
+    Committed(CommitOutcome),
+    /// A view was added; ranks were computed at this epoch.
+    ViewAdded {
+        /// Epoch the view's initial ranks belong to.
+        epoch: u64,
+    },
+    /// A view was removed.
+    ViewDropped,
+}
+
+/// An operation funneled from a serving worker to the single session
 /// writer. The worker blocks on `reply` until the writer has applied
-/// the batch (or rejected it — a rejection hands the batch back so the
-/// client's staged edits survive for inspection).
-pub struct CommitRequest {
-    /// The staged batch to apply.
-    pub batch: BatchUpdate,
+/// the op (or rejected it — a rejection hands the op back, so e.g. a
+/// failed commit returns the batch for the client's staged edits to
+/// survive inspection).
+pub struct WriterRequest {
+    /// The operation to apply.
+    pub op: WriterOp,
     /// Where the writer sends the outcome.
-    pub reply: mpsc::SyncSender<Result<CommitOutcome, (BatchUpdate, String)>>,
+    pub reply: mpsc::SyncSender<Result<WriterOk, (WriterOp, String)>>,
 }
 
 /// Apply `batch` to `session` and report the outcome — the one commit
@@ -112,13 +179,35 @@ pub fn commit_on(
     }
 }
 
+/// Apply any writer op to `session` — the single mutation path shared
+/// by the Direct backend and the TCP writer thread. On rejection the op
+/// travels back with the error message.
+pub fn apply_on(session: &mut UpdateSession, op: WriterOp) -> Result<WriterOk, (WriterOp, String)> {
+    match op {
+        WriterOp::Commit(batch) => match commit_on(session, &batch) {
+            Ok(outcome) => Ok(WriterOk::Committed(outcome)),
+            Err(msg) => Err((WriterOp::Commit(batch), msg)),
+        },
+        WriterOp::AddView { name, teleport } => match session.add_view(&name, teleport.clone()) {
+            Ok(()) => Ok(WriterOk::ViewAdded {
+                epoch: session.steps(),
+            }),
+            Err(msg) => Err((WriterOp::AddView { name, teleport }, msg)),
+        },
+        WriterOp::DropView { name } => match session.drop_view(&name) {
+            Ok(()) => Ok(WriterOk::ViewDropped),
+            Err(msg) => Err((WriterOp::DropView { name }, msg)),
+        },
+    }
+}
+
 /// How a serve loop reaches session state.
 ///
 /// * [`Direct`](Backend::Direct) — exclusive access (stdin mode, tests):
-///   reads and commits go straight to the owned session.
+///   reads and writes go straight to the owned session.
 /// * [`Concurrent`](Backend::Concurrent) — a TCP worker: reads come from
 ///   the epoch-published [`RankView`] (never blocking the writer),
-///   commits are funneled through a channel to the single writer thread.
+///   writes are funneled through a channel to the single writer thread.
 pub enum Backend<'a> {
     /// Exclusive access to the session (single-connection modes).
     Direct(&'a mut UpdateSession),
@@ -127,14 +216,14 @@ pub enum Backend<'a> {
         /// Handle onto the session's published views.
         reader: RankReader,
         /// Funnel to the writer thread owning the session.
-        commits: mpsc::Sender<CommitRequest>,
+        writer: mpsc::Sender<WriterRequest>,
         /// The session's configured algorithm (for `stats`).
         algorithm: Algorithm,
     },
 }
 
 /// One command's coherent look at committed state: every field a reply
-/// derives (ranks, edges, epoch) comes from the same commit.
+/// derives (ranks, edges, epoch, views) comes from the same commit.
 enum CmdView<'a> {
     Direct(&'a UpdateSession),
     Published(Arc<RankView>),
@@ -176,6 +265,48 @@ impl CmdView<'_> {
         }
     }
 
+    fn movers(&self, k: usize) -> Vec<RankDelta> {
+        match self {
+            CmdView::Direct(s) => s.movers(k),
+            CmdView::Published(view) => view.movers(k),
+        }
+    }
+
+    fn has_view(&self, name: &str) -> bool {
+        match self {
+            CmdView::Direct(s) => s.has_view(name),
+            CmdView::Published(view) => view.has_view(name),
+        }
+    }
+
+    fn rank_in(&self, name: &str, v: u32) -> Option<f64> {
+        match self {
+            CmdView::Direct(s) => s.view_rank(name, v),
+            CmdView::Published(view) => view.rank_in(name, v),
+        }
+    }
+
+    fn top_k_in(&self, name: &str, k: usize) -> Option<Vec<(u32, f64)>> {
+        match self {
+            CmdView::Direct(s) => s.view_top_k(name, k),
+            CmdView::Published(view) => view.top_k_in(name, k),
+        }
+    }
+
+    fn movers_in(&self, name: &str, k: usize) -> Option<Vec<RankDelta>> {
+        match self {
+            CmdView::Direct(s) => s.view_movers(name, k),
+            CmdView::Published(view) => view.movers_in(name, k),
+        }
+    }
+
+    fn view_names(&self) -> Vec<(String, usize)> {
+        match self {
+            CmdView::Direct(s) => s.view_names(),
+            CmdView::Published(view) => view.view_names(),
+        }
+    }
+
     fn epoch(&self) -> u64 {
         match self {
             CmdView::Direct(s) => s.steps(),
@@ -209,21 +340,112 @@ impl Backend<'_> {
     fn commit(&mut self, batch: BatchUpdate) -> Result<CommitOutcome, (BatchUpdate, String)> {
         match self {
             Backend::Direct(session) => commit_on(session, &batch).map_err(|msg| (batch, msg)),
-            Backend::Concurrent { commits, .. } => {
-                let (tx, rx) = mpsc::sync_channel(1);
-                let req = CommitRequest { batch, reply: tx };
-                match commits.send(req) {
-                    Ok(()) => match rx.recv() {
-                        Ok(Ok(outcome)) => Ok(outcome),
-                        Ok(Err((batch, msg))) => Err((batch, msg)),
-                        // The writer died mid-commit; the batch is gone
-                        // with it, and so is the server.
-                        Err(_) => Err((BatchUpdate::new(), "server shutting down".into())),
-                    },
-                    Err(e) => Err((e.0.batch, "server shutting down".into())),
+            Backend::Concurrent { writer, .. } => {
+                match send_writer(writer, WriterOp::Commit(batch)) {
+                    Ok(WriterOk::Committed(outcome)) => Ok(outcome),
+                    Ok(_) => unreachable!("commit answered with a non-commit outcome"),
+                    Err((WriterOp::Commit(batch), msg)) => Err((batch, msg)),
+                    Err((_, msg)) => Err((BatchUpdate::new(), msg)),
                 }
             }
         }
+    }
+
+    /// Add a personalized view; returns the epoch its ranks belong to.
+    fn add_view(&mut self, name: &str, teleport: Teleport) -> Result<u64, String> {
+        match self {
+            Backend::Direct(session) => {
+                session.add_view(name, teleport)?;
+                Ok(session.steps())
+            }
+            Backend::Concurrent { writer, .. } => {
+                let op = WriterOp::AddView {
+                    name: name.to_string(),
+                    teleport,
+                };
+                match send_writer(writer, op) {
+                    Ok(WriterOk::ViewAdded { epoch }) => Ok(epoch),
+                    Ok(_) => unreachable!("view add answered with a non-view outcome"),
+                    Err((_, msg)) => Err(msg),
+                }
+            }
+        }
+    }
+
+    /// Drop a personalized view.
+    fn drop_view(&mut self, name: &str) -> Result<(), String> {
+        match self {
+            Backend::Direct(session) => session.drop_view(name),
+            Backend::Concurrent { writer, .. } => {
+                let op = WriterOp::DropView {
+                    name: name.to_string(),
+                };
+                match send_writer(writer, op) {
+                    Ok(WriterOk::ViewDropped) => Ok(()),
+                    Ok(_) => unreachable!("view drop answered with a non-view outcome"),
+                    Err((_, msg)) => Err(msg),
+                }
+            }
+        }
+    }
+}
+
+/// Send one op to the writer thread and block for its outcome.
+fn send_writer(
+    writer: &mpsc::Sender<WriterRequest>,
+    op: WriterOp,
+) -> Result<WriterOk, (WriterOp, String)> {
+    let (tx, rx) = mpsc::sync_channel(1);
+    match writer.send(WriterRequest { op, reply: tx }) {
+        Ok(()) => match rx.recv() {
+            Ok(outcome) => outcome,
+            // The writer died mid-op; the op is gone with it, and so is
+            // the server.
+            Err(_) => Err((
+                WriterOp::Commit(BatchUpdate::new()),
+                "server shutting down".into(),
+            )),
+        },
+        Err(e) => Err((e.0.op, "server shutting down".into())),
+    }
+}
+
+/// One client's subscription to a vertex's rank.
+struct SubEntry {
+    eps: f64,
+    /// Rank last acknowledged to the client (at subscribe time, or by
+    /// the latest push).
+    baseline: f64,
+}
+
+/// Per-connection protocol state.
+#[derive(Default)]
+struct ConnState {
+    staged: BatchUpdate,
+    /// Subscriptions, keyed by vertex — BTreeMap so push blocks list
+    /// vertices in ascending order, deterministically.
+    subs: BTreeMap<u32, SubEntry>,
+}
+
+impl ConnState {
+    /// Collect the subscribed vertices that drifted past eps since
+    /// their baseline, against the pinned view, updating baselines for
+    /// the collected ones. `eps` = 0 means "any bitwise change".
+    fn drain_pushes(&mut self, view: &CmdView<'_>) -> Vec<(u32, f64)> {
+        let mut pushed = Vec::new();
+        for (&v, entry) in self.subs.iter_mut() {
+            let r = view.rank(v);
+            let drifted = if entry.eps == 0.0 {
+                r.to_bits() != entry.baseline.to_bits()
+            } else {
+                (r - entry.baseline).abs() > entry.eps
+            };
+            if drifted {
+                entry.baseline = r;
+                pushed.push((v, r));
+            }
+        }
+        pushed
     }
 }
 
@@ -245,20 +467,25 @@ pub fn serve_client<R: BufRead, W: Write>(
     input: R,
     mut out: W,
 ) -> std::io::Result<ServeSummary> {
-    let mut staged = BatchUpdate::new();
+    let mut state = ConnState::default();
     let mut summary = ServeSummary::default();
     for line in input.lines() {
         let line = line?;
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        if tokens.is_empty() || tokens[0].starts_with('#') {
-            continue;
-        }
+        let Some(parsed) = parse_request(&line) else {
+            continue; // blank or comment: no command, no reply
+        };
         summary.commands += 1;
-        match handle(backend, &mut staged, &mut summary, &tokens, &mut out)? {
-            Flow::Continue => {}
-            Flow::Quit => break,
-        }
+        let flow = match parsed {
+            Ok(req) => handle(backend, &mut state, &mut summary, req, &mut out)?,
+            Err(e) => {
+                reply(&mut out, &Response::Error(e))?;
+                Flow::Continue
+            }
+        };
         out.flush()?;
+        if matches!(flow, Flow::Quit) {
+            break;
+        }
     }
     Ok(summary)
 }
@@ -268,160 +495,275 @@ enum Flow {
     Quit,
 }
 
+fn reply<W: Write>(out: &mut W, resp: &Response) -> std::io::Result<()> {
+    writeln!(out, "{}", encode_response(resp))
+}
+
 fn handle<W: Write>(
     backend: &mut Backend<'_>,
-    staged: &mut BatchUpdate,
+    state: &mut ConnState,
     summary: &mut ServeSummary,
-    tokens: &[&str],
+    req: Request,
     out: &mut W,
 ) -> std::io::Result<Flow> {
-    match tokens {
-        ["insert", u, v] => {
+    // Pin the committed state this command answers from, and piggyback
+    // any pending subscription pushes before the reply. `batch` pins
+    // before committing, so its own pushes arrive on the next command.
+    {
+        let view = backend.view();
+        let is_poll = matches!(req, Request::Poll);
+        let pushed = state.drain_pushes(&view);
+        if is_poll || !pushed.is_empty() {
+            summary.pushes += 1;
+            reply(
+                out,
+                &Response::Push {
+                    entries: pushed,
+                    epoch: view.epoch(),
+                },
+            )?;
+        }
+        if is_poll {
+            return Ok(Flow::Continue);
+        }
+    }
+
+    let resp = match req {
+        Request::Poll => unreachable!("handled by the push preamble"),
+        Request::Hello => Response::Hello {
+            version: PROTOCOL_VERSION,
+            algorithm: backend.algorithm().to_string(),
+            verbs: VERBS.iter().map(|s| s.to_string()).collect(),
+        },
+        Request::Insert { u, v } => {
             let view = backend.view();
-            match parse_edge(&view, u, v) {
-                Ok((u, v)) => stage_insert(&view, staged, u, v, out)?,
-                Err(msg) => writeln!(out, "err {msg}")?,
+            match checked_edge(&view, u, v) {
+                Ok(()) => stage_insert(&view, &mut state.staged, u, v),
+                Err(e) => Response::Error(e),
             }
         }
-        ["delete", u, v] => {
+        Request::Delete { u, v } => {
             let view = backend.view();
-            match parse_edge(&view, u, v) {
-                Ok((u, v)) => stage_delete(&view, staged, u, v, out)?,
-                Err(msg) => writeln!(out, "err {msg}")?,
+            match checked_edge(&view, u, v) {
+                Ok(()) => stage_delete(&view, &mut state.staged, u, v),
+                Err(e) => Response::Error(e),
             }
         }
-        ["batch"] => {
-            let batch = std::mem::take(staged);
+        Request::Batch => {
+            let batch = std::mem::take(&mut state.staged);
             let k = batch.len();
             match backend.commit(batch) {
                 Ok(o) => {
                     summary.batches += 1;
                     summary.updates += k as u64;
-                    writeln!(
-                        out,
-                        "ok batch={k} m={} status={} iters={} epoch={}",
-                        o.edges,
-                        status_str(o.status),
-                        o.iterations,
-                        o.epoch
-                    )?;
+                    Response::BatchOk {
+                        batch: k,
+                        m: o.edges,
+                        status: status_str(o.status).to_string(),
+                        iters: o.iterations,
+                        epoch: o.epoch,
+                    }
                 }
                 // Reachable under concurrent clients: another commit can
                 // land between staging and this batch. Never die on
                 // input — and restore the client's staged edits so they
                 // can be inspected or amended.
                 Err((batch, msg)) => {
-                    *staged = batch;
-                    writeln!(out, "err batch rejected: {msg}")?;
+                    state.staged = batch;
+                    Response::Error(ServeError::BatchRejected(msg))
                 }
             }
         }
-        ["topk", k] => match k.parse::<usize>() {
-            Ok(k) => {
-                let view = backend.view();
-                let top = view.top_k(k);
-                writeln!(out, "topk {} epoch={}", top.len(), view.epoch())?;
-                for (v, r) in top {
-                    writeln!(out, "{v} {r:.6e}")?;
-                }
-            }
-            Err(_) => writeln!(out, "err topk needs an integer")?,
-        },
-        ["rank", v] => match v.parse::<u32>() {
-            Ok(v) => {
-                let view = backend.view();
-                if (v as usize) < view.num_vertices() {
-                    writeln!(out, "rank {v} {:.6e} epoch={}", view.rank(v), view.epoch())?;
-                } else {
-                    writeln!(out, "err unknown vertex {v}")?;
-                }
-            }
-            Err(_) => writeln!(out, "err unknown vertex {v}")?,
-        },
-        ["stats"] => {
+        Request::Rank { v, view: name } => {
             let view = backend.view();
-            writeln!(
-                out,
-                "stats n={} m={} steps={} staged={} algo={} epoch={}",
-                view.num_vertices(),
-                view.num_edges(),
-                view.epoch(),
-                staged.len(),
-                backend.algorithm(),
-                view.epoch()
-            )?;
+            let in_range = (v as usize) < view.num_vertices();
+            match name {
+                None if in_range => Response::Rank {
+                    v,
+                    rank: view.rank(v),
+                    epoch: view.epoch(),
+                    view: None,
+                },
+                Some(name) if !view.has_view(&name) => {
+                    Response::Error(ServeError::UnknownView(name))
+                }
+                Some(name) if in_range => Response::Rank {
+                    v,
+                    rank: view.rank_in(&name, v).expect("view checked above"),
+                    epoch: view.epoch(),
+                    view: Some(name),
+                },
+                _ => Response::Error(ServeError::UnknownVertex(v.to_string())),
+            }
         }
-        ["quit"] => {
-            writeln!(out, "bye")?;
+        Request::TopK { k, view: name } => {
+            let view = backend.view();
+            match name {
+                None => Response::TopK {
+                    entries: view.top_k(k),
+                    epoch: view.epoch(),
+                    view: None,
+                },
+                Some(name) => match view.top_k_in(&name, k) {
+                    Some(entries) => Response::TopK {
+                        entries,
+                        epoch: view.epoch(),
+                        view: Some(name),
+                    },
+                    None => Response::Error(ServeError::UnknownView(name)),
+                },
+            }
+        }
+        Request::Movers { k, view: name } => {
+            let view = backend.view();
+            let to_entries = |ds: Vec<RankDelta>| ds.into_iter().map(MoverEntry::from).collect();
+            match name {
+                None => Response::Movers {
+                    entries: to_entries(view.movers(k)),
+                    epoch: view.epoch(),
+                    view: None,
+                },
+                Some(name) => match view.movers_in(&name, k) {
+                    Some(ds) => Response::Movers {
+                        entries: to_entries(ds),
+                        epoch: view.epoch(),
+                        view: Some(name),
+                    },
+                    None => Response::Error(ServeError::UnknownView(name)),
+                },
+            }
+        }
+        Request::Stats => {
+            let view = backend.view();
+            Response::Stats {
+                n: view.num_vertices(),
+                m: view.num_edges(),
+                steps: view.epoch(),
+                staged: state.staged.len(),
+                algo: backend.algorithm().to_string(),
+                epoch: view.epoch(),
+            }
+        }
+        Request::Subscribe { v, eps } => {
+            let view = backend.view();
+            if (v as usize) < view.num_vertices() {
+                let baseline = view.rank(v);
+                state.subs.insert(v, SubEntry { eps, baseline });
+                Response::Subscribed { v, eps }
+            } else {
+                Response::Error(ServeError::VertexOutOfRange {
+                    id: v,
+                    n: view.num_vertices(),
+                })
+            }
+        }
+        Request::Unsubscribe { v } => {
+            if state.subs.remove(&v).is_some() {
+                Response::Unsubscribed { v }
+            } else {
+                Response::Error(ServeError::NotSubscribed(v))
+            }
+        }
+        Request::ViewAdd { name, sources } => {
+            let count = sources.len();
+            match view_add_precheck(&backend.view(), &name, &sources) {
+                Err(e) => Response::Error(e),
+                Ok(()) => match Teleport::personalized(sources) {
+                    // Parse-level validation already passed; remaining
+                    // failures (e.g. duplicate sources) surface here.
+                    Err(msg) => Response::Error(ServeError::ViewRejected(msg)),
+                    Ok(teleport) => match backend.add_view(&name, teleport) {
+                        Ok(epoch) => Response::ViewAdded {
+                            name,
+                            sources: count,
+                            epoch,
+                        },
+                        Err(msg) => Response::Error(ServeError::ViewRejected(msg)),
+                    },
+                },
+            }
+        }
+        Request::ViewDrop { name } => {
+            if backend.view().has_view(&name) {
+                match backend.drop_view(&name) {
+                    Ok(()) => Response::ViewDropped { name },
+                    // Lost a race with another client dropping it.
+                    Err(_) => Response::Error(ServeError::UnknownView(name)),
+                }
+            } else {
+                Response::Error(ServeError::UnknownView(name))
+            }
+        }
+        Request::Views => Response::Views {
+            entries: backend.view().view_names(),
+        },
+        Request::Quit => {
+            reply(out, &Response::Bye)?;
             return Ok(Flow::Quit);
         }
-        other => writeln!(out, "err unknown command: {}", other.join(" "))?,
-    }
+    };
+    reply(out, &resp)?;
     Ok(Flow::Continue)
 }
 
-fn parse_edge(view: &CmdView<'_>, u: &str, v: &str) -> Result<(u32, u32), String> {
+fn checked_edge(view: &CmdView<'_>, u: u32, v: u32) -> Result<(), ServeError> {
     let n = view.num_vertices();
-    let parse = |s: &str| -> Result<u32, String> {
-        let id: u32 = s.parse().map_err(|_| format!("bad vertex id {s}"))?;
-        if (id as usize) < n {
-            Ok(id)
-        } else {
-            Err(format!("vertex {id} out of range (n = {n})"))
+    for id in [u, v] {
+        if id as usize >= n {
+            return Err(ServeError::VertexOutOfRange { id, n });
         }
-    };
-    Ok((parse(u)?, parse(v)?))
-}
-
-fn stage_insert<W: Write>(
-    view: &CmdView<'_>,
-    staged: &mut BatchUpdate,
-    u: u32,
-    v: u32,
-    out: &mut W,
-) -> std::io::Result<()> {
-    if let Some(pos) = staged.deletions.iter().position(|&e| e == (u, v)) {
-        staged.deletions.swap_remove(pos); // reinstate a staged delete
-    } else if view.has_edge(u, v) {
-        writeln!(out, "err edge ({u}, {v}) already exists")?;
-        return Ok(());
-    } else if staged.insertions.contains(&(u, v)) {
-        writeln!(out, "err edge ({u}, {v}) already staged")?;
-        return Ok(());
-    } else {
-        staged.insertions.push((u, v));
     }
-    writeln!(out, "staged {}", staged.len())?;
     Ok(())
 }
 
-fn stage_delete<W: Write>(
+fn view_add_precheck(
     view: &CmdView<'_>,
-    staged: &mut BatchUpdate,
-    u: u32,
-    v: u32,
-    out: &mut W,
-) -> std::io::Result<()> {
+    name: &str,
+    sources: &[(u32, f64)],
+) -> Result<(), ServeError> {
+    if view.has_view(name) {
+        return Err(ServeError::ViewExists(name.to_string()));
+    }
+    let n = view.num_vertices();
+    for &(v, _) in sources {
+        if v as usize >= n {
+            return Err(ServeError::VertexOutOfRange { id: v, n });
+        }
+    }
+    Ok(())
+}
+
+fn stage_insert(view: &CmdView<'_>, staged: &mut BatchUpdate, u: u32, v: u32) -> Response {
+    if let Some(pos) = staged.deletions.iter().position(|&e| e == (u, v)) {
+        staged.deletions.swap_remove(pos); // reinstate a staged delete
+    } else if view.has_edge(u, v) {
+        return Response::Error(ServeError::EdgeExists(u, v));
+    } else if staged.insertions.contains(&(u, v)) {
+        return Response::Error(ServeError::EdgeAlreadyStaged(u, v));
+    } else {
+        staged.insertions.push((u, v));
+    }
+    Response::Staged {
+        count: staged.len(),
+    }
+}
+
+fn stage_delete(view: &CmdView<'_>, staged: &mut BatchUpdate, u: u32, v: u32) -> Response {
     if u == v {
-        writeln!(
-            out,
-            "err refusing to delete self-loop ({u}, {v}): dead-end elimination"
-        )?;
-        return Ok(());
+        return Response::Error(ServeError::SelfLoopDelete(u, v));
     }
     if let Some(pos) = staged.insertions.iter().position(|&e| e == (u, v)) {
         staged.insertions.swap_remove(pos); // cancel a staged insert
     } else if !view.has_edge(u, v) {
-        writeln!(out, "err edge ({u}, {v}) does not exist")?;
-        return Ok(());
+        return Response::Error(ServeError::EdgeMissing(u, v));
     } else if staged.deletions.contains(&(u, v)) {
-        writeln!(out, "err edge ({u}, {v}) already staged")?;
-        return Ok(());
+        return Response::Error(ServeError::EdgeAlreadyStaged(u, v));
     } else {
         staged.deletions.push((u, v));
     }
-    writeln!(out, "staged {}", staged.len())?;
-    Ok(())
+    Response::Staged {
+        count: staged.len(),
+    }
 }
 
 fn status_str(status: RunStatus) -> &'static str {
@@ -445,11 +787,13 @@ mod tests {
             .build_dyn()
             .unwrap();
         add_self_loops(&mut g);
-        UpdateSession::new(
+        let mut s = UpdateSession::new(
             g,
             Algorithm::DfLF,
             PagerankOptions::default().with_threads(1),
-        )
+        );
+        s.enable_delta_tracking();
+        s
     }
 
     fn run(input: &str) -> (String, ServeSummary) {
@@ -537,16 +881,144 @@ mod tests {
     }
 
     #[test]
+    fn hello_names_the_protocol_and_verbs() {
+        let (out, _) = run("hello\nquit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines[0].starts_with("hello lfpr/1 algo=DFLF verbs=hello,insert,"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].ends_with(",quit"));
+    }
+
+    #[test]
+    fn personalized_views_serve_alongside_the_default() {
+        let (out, _) = run("view add ego 1 2\n\
+             views\n\
+             rank 1 ego\n\
+             rank 1\n\
+             topk 2 ego\n\
+             insert 3 1\n\
+             batch\n\
+             rank 1 ego\n\
+             movers 2 ego\n\
+             view drop ego\n\
+             rank 1 ego\n\
+             quit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "ok view ego sources=2 epoch=0");
+        assert_eq!(lines[1], "views 1");
+        assert_eq!(lines[2], "ego sources=2");
+        assert!(lines[3].starts_with("rank 1 ") && lines[3].ends_with("epoch=0 view=ego"));
+        assert!(lines[4].ends_with("epoch=0"), "default has no view suffix");
+        assert_ne!(
+            lines[3].split_whitespace().nth(2),
+            lines[4].split_whitespace().nth(2),
+            "personalized rank differs from the default"
+        );
+        assert_eq!(lines[5], "topk 2 epoch=0 view=ego");
+        // lines 6–7: topk entries; then staged 1 / ok batch=1 …
+        assert_eq!(lines[8], "staged 1");
+        assert!(lines[9].starts_with("ok batch=1"));
+        assert!(lines[10].ends_with("epoch=1 view=ego"));
+        assert!(lines[11].starts_with("movers ") && lines[11].ends_with("epoch=1 view=ego"));
+        let movers: usize = lines[11]
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(movers > 0, "a committed edge must move some rank");
+        let after_movers = 12 + movers;
+        assert_eq!(lines[after_movers], "ok dropped view ego");
+        assert_eq!(lines[after_movers + 1], "err unknown view ego");
+    }
+
+    #[test]
+    fn view_add_is_validated() {
+        let (out, _) = run("view add default 1\n\
+             view add 9bad 1\n\
+             view add ego 99\n\
+             view add ego 1 1\n\
+             view add ego 1\n\
+             view add ego 2\n\
+             quit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "err view name default is reserved");
+        assert_eq!(lines[1], "err bad view name 9bad");
+        assert!(lines[2].starts_with("err vertex 99 out of range"));
+        assert!(lines[3].starts_with("err view rejected: duplicate teleport source"));
+        assert_eq!(lines[4], "ok view ego sources=1 epoch=0");
+        assert_eq!(lines[5], "err view ego already exists");
+    }
+
+    #[test]
+    fn subscriptions_push_after_commits() {
+        // eps=0: any bitwise rank change is pushed; the push block rides
+        // in front of the next command's reply, baselines advance, and a
+        // second poll is empty.
+        let (out, summary) = run("subscribe 1 0\n\
+             subscribe 3 1e9\n\
+             insert 3 1\n\
+             insert 4 1\n\
+             batch\n\
+             poll\n\
+             poll\n\
+             unsubscribe 1\n\
+             unsubscribe 1\n\
+             quit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "subscribed 1 eps=0e0");
+        assert_eq!(lines[1], "subscribed 3 eps=1e9");
+        assert_eq!(lines[2], "staged 1");
+        assert_eq!(lines[3], "staged 2");
+        assert!(lines[4].starts_with("ok batch=2"), "{}", lines[4]);
+        // Vertex 1 gained in-links (pushed); vertex 3's eps is huge (not pushed).
+        assert_eq!(lines[5], "push 1 epoch=1");
+        assert!(lines[6].starts_with("1 "), "{}", lines[6]);
+        assert_eq!(lines[7], "push 0 epoch=1", "baseline advanced");
+        assert_eq!(lines[8], "unsubscribed 1");
+        assert_eq!(lines[9], "err not subscribed to vertex 1");
+        assert_eq!(lines[10], "bye");
+        assert_eq!(summary.pushes, 2);
+    }
+
+    #[test]
+    fn pushes_piggyback_before_other_replies() {
+        let (out, _) = run("subscribe 1 0\n\
+             insert 3 1\n\
+             batch\n\
+             stats\n\
+             quit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        // The batch reply comes from a view pinned pre-commit: no push
+        // interleaves with it. The next command carries the push.
+        assert!(lines[2].starts_with("ok batch=1"));
+        assert_eq!(lines[3], "push 1 epoch=1");
+        assert!(lines[4].starts_with("1 "));
+        assert!(lines[5].starts_with("stats "));
+    }
+
+    #[test]
+    fn subscribe_validates_vertices() {
+        let (out, _) = run("subscribe 99 0\nsubscribe 1 nope\nquit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("err vertex 99 out of range"));
+        assert_eq!(lines[1], "err bad eps nope");
+    }
+
+    #[test]
     fn concurrent_backend_answers_from_published_views() {
-        // A Concurrent backend wired to an in-thread "writer": commits
+        // A Concurrent backend wired to an in-thread "writer": ops
         // drain synchronously after the serve loop ends, so replies to
         // reads must come from the published view only.
         let mut s = session();
         let reader = s.reader();
-        let (tx, rx) = mpsc::channel::<CommitRequest>();
+        let (tx, rx) = mpsc::channel::<WriterRequest>();
         let mut backend = Backend::Concurrent {
             reader,
-            commits: tx,
+            writer: tx,
             algorithm: s.algorithm(),
         };
         let mut out = Vec::new();
@@ -558,17 +1030,17 @@ mod tests {
         }
         // A commit via the funnel: handled by the session writer.
         let (rtx, rrx) = mpsc::sync_channel(1);
-        let Backend::Concurrent { commits, .. } = &backend else {
+        let Backend::Concurrent { writer, .. } = &backend else {
             unreachable!()
         };
-        commits
-            .send(CommitRequest {
-                batch: BatchUpdate::insert_only(vec![(4, 1)]),
+        writer
+            .send(WriterRequest {
+                op: WriterOp::Commit(BatchUpdate::insert_only(vec![(4, 1)])),
                 reply: rtx,
             })
             .unwrap();
         let req = rx.recv().unwrap();
-        let outcome = commit_on(&mut s, &req.batch).map_err(|msg| (req.batch, msg));
+        let outcome = apply_on(&mut s, req.op);
         req.reply.send(outcome).unwrap();
         assert!(rrx.recv().unwrap().is_ok());
         // The published view caught up.
@@ -576,5 +1048,41 @@ mod tests {
         serve_client(&mut backend, "rank 1\n".as_bytes(), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.trim_end().ends_with("epoch=1"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_backend_serves_views_through_the_writer() {
+        let mut s = session();
+        let reader = s.reader();
+        let (tx, rx) = mpsc::channel::<WriterRequest>();
+        // An in-thread writer: applies every funneled op against the
+        // session as soon as it arrives.
+        let mut backend = Backend::Concurrent {
+            reader,
+            writer: tx,
+            algorithm: s.algorithm(),
+        };
+        let writer_thread = std::thread::spawn(move || {
+            while let Ok(req) = rx.recv() {
+                let outcome = apply_on(&mut s, req.op);
+                let _ = req.reply.send(outcome);
+            }
+        });
+        let mut out = Vec::new();
+        serve_client(
+            &mut backend,
+            "view add ego 1\nviews\nrank 1 ego\nview drop ego\nquit\n".as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        drop(backend);
+        writer_thread.join().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "ok view ego sources=1 epoch=0");
+        assert_eq!(lines[1], "views 1");
+        assert_eq!(lines[2], "ego sources=1");
+        assert!(lines[3].ends_with("view=ego"), "{}", lines[3]);
+        assert_eq!(lines[4], "ok dropped view ego");
     }
 }

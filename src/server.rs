@@ -6,8 +6,9 @@
 //! epoch-published-readers model:
 //!
 //! * **one writer thread** owns the [`UpdateSession`] and drains a
-//!   channel of [`CommitRequest`]s — batch commits from all clients are
-//!   serialized there, exactly like the single-connection mode;
+//!   channel of [`WriterRequest`]s — batch commits and view management
+//!   from all clients are serialized there, exactly like the
+//!   single-connection mode;
 //! * **a small worker set** accepts connections (the OS distributes
 //!   `accept` among workers blocked on the same listener) and answers
 //!   read-only commands (`topk`/`rank`/`stats`) from the session's
@@ -23,7 +24,7 @@
 //! connection (logged to stderr); the worker returns to `accept` and
 //! the server keeps running.
 
-use crate::serve::{commit_on, serve_client, Backend, CommitRequest, ServeSummary};
+use crate::serve::{apply_on, serve_client, Backend, ServeSummary, WriterRequest};
 use lfpr_core::session::{RankReader, UpdateSession};
 use lfpr_core::Algorithm;
 use std::io::{BufReader, BufWriter};
@@ -99,7 +100,7 @@ pub fn spawn(
     // Creating the reader turns on epoch publication; every commit from
     // here on is visible to the workers.
     let reader = session.reader();
-    let (tx, rx) = mpsc::channel::<CommitRequest>();
+    let (tx, rx) = mpsc::channel::<WriterRequest>();
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
         // If the writer dies (a kernel panic propagated out of
@@ -135,7 +136,7 @@ pub fn spawn(
                 listener: Arc::clone(&listener),
                 stop: Arc::clone(&stop),
                 reader: reader.clone(),
-                commits: tx.clone(),
+                writer_tx: tx.clone(),
                 algorithm,
                 totals: Arc::clone(&totals),
                 id,
@@ -161,7 +162,7 @@ struct WorkerCtx {
     listener: Arc<TcpListener>,
     stop: Arc<AtomicBool>,
     reader: RankReader,
-    commits: mpsc::Sender<CommitRequest>,
+    writer_tx: mpsc::Sender<WriterRequest>,
     algorithm: Algorithm,
     totals: Arc<Mutex<ServeSummary>>,
     id: usize,
@@ -189,7 +190,7 @@ fn worker_loop(ctx: WorkerCtx) {
         eprintln!("# worker {}: connection from {peer}", ctx.id);
         let mut backend = Backend::Concurrent {
             reader: ctx.reader.clone(),
-            commits: ctx.commits.clone(),
+            writer: ctx.writer_tx.clone(),
             algorithm: ctx.algorithm,
         };
         let input = BufReader::new(&conn);
@@ -211,14 +212,15 @@ fn worker_loop(ctx: WorkerCtx) {
     }
 }
 
-/// The single writer: applies every funneled batch to the owned session
-/// (which republishes the read view after each commit) and reports the
-/// outcome back to the requesting worker. A rejected batch travels back
-/// with the error so the client's staged edits survive.
-fn writer_loop(mut session: UpdateSession, rx: mpsc::Receiver<CommitRequest>) -> UpdateSession {
+/// The single writer: applies every funneled op (batch commit, view
+/// add/drop) to the owned session — which republishes the read view
+/// after each mutation — and reports the outcome back to the requesting
+/// worker. A rejected op travels back with the error so e.g. a failed
+/// commit's staged edits survive on the client.
+fn writer_loop(mut session: UpdateSession, rx: mpsc::Receiver<WriterRequest>) -> UpdateSession {
     while let Ok(req) = rx.recv() {
-        let outcome = commit_on(&mut session, &req.batch).map_err(|msg| (req.batch, msg));
-        // A worker gone mid-commit (its client vanished) is fine.
+        let outcome = apply_on(&mut session, req.op);
+        // A worker gone mid-op (its client vanished) is fine.
         let _ = req.reply.send(outcome);
     }
     session

@@ -1,11 +1,15 @@
-//! Property-based tests on the core data structures and algorithm
-//! invariants.
+//! Property-based tests on the core data structures, algorithm
+//! invariants, and the serve wire protocol.
 
 use lockfree_pagerank::core::norm::linf_diff;
 use lockfree_pagerank::core::reference::{reference_default, reference_pagerank};
 use lockfree_pagerank::graph::csr::Csr;
 use lockfree_pagerank::graph::selfloops::add_self_loops;
 use lockfree_pagerank::graph::{DynGraph, GraphBuilder};
+use lockfree_pagerank::protocol::{
+    continuation_lines, encode_request, encode_response, parse_request, parse_response, MoverEntry,
+    Request, Response, ServeError, VERBS,
+};
 use lockfree_pagerank::{api, Algorithm, BatchSpec, BatchUpdate, PagerankOptions};
 use proptest::prelude::*;
 
@@ -144,5 +148,238 @@ proptest! {
         );
         prop_assert_eq!(res.ranks, ranks);
         prop_assert_eq!(res.vertices_processed, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-protocol round-trip laws (`lockfree_pagerank::protocol`).
+// ---------------------------------------------------------------------------
+
+/// A deterministic view name satisfying the grammar: letter first, then
+/// `[a-z0-9_-]`, never the reserved `default`.
+fn view_name(seed: u64, len: usize) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    let mut x = seed;
+    let mut s = String::with_capacity(len + 1);
+    s.push(FIRST[(x % FIRST.len() as u64) as usize] as char);
+    for _ in 1..len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s.push(REST[((x >> 33) % REST.len() as u64) as usize] as char);
+    }
+    if s == "default" {
+        s.push('x');
+    }
+    s
+}
+
+/// Every [`Request`] variant, with grammar-valid names and in-domain
+/// floats (finite, eps ≥ 0, weights > 0).
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        (0usize..15, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
+        (0.0f64..1e3, 0u64..u64::MAX, 1usize..13, 0u32..2),
+        prop::collection::vec((0u32..1_000_000, 1e-3f64..1e3), 1..5),
+    )
+        .prop_map(|((variant, a, b, k), (eps, nseed, nlen, named), sources)| {
+            let name = view_name(nseed, nlen);
+            let view = (named == 1).then(|| name.clone());
+            match variant {
+                0 => Request::Hello,
+                1 => Request::Insert { u: a, v: b },
+                2 => Request::Delete { u: a, v: b },
+                3 => Request::Batch,
+                4 => Request::Rank { v: a, view },
+                5 => Request::TopK { k, view },
+                6 => Request::Movers { k, view },
+                7 => Request::Stats,
+                8 => Request::Subscribe { v: a, eps },
+                9 => Request::Unsubscribe { v: a },
+                10 => Request::Poll,
+                11 => Request::ViewAdd { name, sources },
+                12 => Request::ViewDrop { name },
+                13 => Request::Views,
+                _ => Request::Quit,
+            }
+        })
+}
+
+/// Every non-error [`Response`] variant (errors get their own exact
+/// round-trip property below).
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        (0usize..14, 0u32..1_000_000, 0usize..10_000, 0u64..1_000_000),
+        (0.0f64..1.0, 0u64..u64::MAX, 1usize..13, 0usize..4),
+        prop::collection::vec((0u32..1_000_000, 0.0f64..1.0), 0..6),
+        prop::collection::vec(-1.0f64..1.0, 0..6),
+        prop::collection::vec((0u64..u64::MAX, 1usize..13, 0usize..100), 0..4),
+    )
+        .prop_map(
+            |((variant, v, count, epoch), (rank, nseed, nlen, pick), ranks, deltas, raw_views)| {
+                let name = view_name(nseed, nlen);
+                let view = (pick % 2 == 1).then(|| name.clone());
+                let status = ["converged", "max-iterations", "diverged", "skipped"][pick];
+                let algo = ["DFLF", "DFBB", "NDLF", "STBB"][pick];
+                match variant {
+                    0 => Response::Hello {
+                        version: v,
+                        algorithm: algo.to_string(),
+                        verbs: VERBS[..1 + count % VERBS.len()]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
+                    },
+                    1 => Response::Staged { count },
+                    2 => Response::BatchOk {
+                        batch: count,
+                        m: count * 2,
+                        status: status.to_string(),
+                        iters: pick,
+                        epoch,
+                    },
+                    3 => Response::Rank {
+                        v,
+                        rank,
+                        epoch,
+                        view,
+                    },
+                    4 => Response::TopK {
+                        entries: ranks,
+                        epoch,
+                        view,
+                    },
+                    5 => Response::Movers {
+                        entries: ranks
+                            .iter()
+                            .zip(deltas.iter())
+                            .map(|(&(v, rank), &delta)| MoverEntry { v, rank, delta })
+                            .collect(),
+                        epoch,
+                        view,
+                    },
+                    6 => Response::Stats {
+                        n: count,
+                        m: count * 3,
+                        steps: epoch,
+                        staged: pick,
+                        algo: algo.to_string(),
+                        epoch,
+                    },
+                    7 => Response::Subscribed { v, eps: rank },
+                    8 => Response::Unsubscribed { v },
+                    9 => Response::Push {
+                        entries: ranks,
+                        epoch,
+                    },
+                    10 => Response::ViewAdded {
+                        name,
+                        sources: count,
+                        epoch,
+                    },
+                    11 => Response::ViewDropped { name },
+                    12 => Response::Views {
+                        entries: raw_views
+                            .into_iter()
+                            .map(|(s, l, k)| (view_name(s, l), k))
+                            .collect(),
+                    },
+                    _ => Response::Bye,
+                }
+            },
+        )
+}
+
+/// Every [`ServeError`] variant, with space-free argument tokens (the
+/// wire texts embed them between fixed markers).
+fn error_strategy() -> impl Strategy<Value = ServeError> {
+    (
+        (0usize..18, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
+        (0u64..u64::MAX, 1usize..13, 0u32..2),
+    )
+        .prop_map(|((variant, u, v, n), (nseed, nlen, flip))| {
+            let tok = view_name(nseed, nlen);
+            match variant {
+                0 => ServeError::BadVertexId(tok),
+                1 => ServeError::VertexOutOfRange { id: u, n },
+                2 => ServeError::UnknownVertex(tok),
+                3 => ServeError::NeedsInteger(if flip == 0 { "topk" } else { "movers" }),
+                4 => ServeError::EdgeExists(u, v),
+                5 => ServeError::EdgeAlreadyStaged(u, v),
+                6 => ServeError::EdgeMissing(u, v),
+                7 => ServeError::SelfLoopDelete(u, u),
+                8 => ServeError::BatchRejected(tok),
+                9 => ServeError::UnknownCommand(tok),
+                10 => ServeError::UnknownView(tok),
+                11 => ServeError::ViewExists(tok),
+                12 => ServeError::BadViewName(tok),
+                13 => ServeError::ReservedViewName(tok),
+                14 => ServeError::BadNumber {
+                    what: if flip == 0 { "eps" } else { "weight" },
+                    token: tok,
+                },
+                15 => ServeError::NoSources,
+                16 => ServeError::NotSubscribed(u),
+                _ => ServeError::ViewRejected(tok),
+            }
+        })
+}
+
+proptest! {
+    /// Requests are wire-exact: `parse ∘ encode = id` for every
+    /// variant (floats use `{:e}`, the shortest round-trip form).
+    #[test]
+    fn request_roundtrip_is_exact(r in request_strategy()) {
+        let line = encode_request(&r);
+        prop_assert_eq!(parse_request(&line), Some(Ok(r)), "wire: {}", line);
+    }
+
+    /// Responses are canonical: `encode ∘ parse ∘ encode = encode`
+    /// (ranks print as `{:.6e}`, which rounds, so the *first* trip need
+    /// not be the identity but the encoding is a fixpoint).
+    #[test]
+    fn response_encoding_is_canonical(r in response_strategy()) {
+        let wire = encode_response(&r);
+        let parsed = parse_response(&wire)
+            .unwrap_or_else(|| panic!("unparsable response: {wire}"));
+        prop_assert_eq!(encode_response(&parsed), wire);
+    }
+
+    /// The head line alone frames every reply block: its announced
+    /// continuation count equals the lines that follow.
+    #[test]
+    fn head_line_frames_every_response(r in response_strategy()) {
+        let wire = encode_response(&r);
+        let head = wire.lines().next().unwrap();
+        prop_assert_eq!(continuation_lines(head), wire.lines().count() - 1);
+    }
+
+    /// Error texts round-trip exactly: every `ServeError` survives
+    /// `err <Display>` → parse → encode byte-for-byte.
+    #[test]
+    fn error_lines_roundtrip_exactly(e in error_strategy()) {
+        let wire = encode_response(&Response::Error(e.clone()));
+        prop_assert_eq!(parse_response(&wire), Some(Response::Error(e)), "wire: {}", wire);
+    }
+
+    /// Arbitrary printable garbage never panics the parsers, is only
+    /// silently dropped when blank or a comment, and anything accepted
+    /// re-encodes to a line that parses back to the same request.
+    #[test]
+    fn garbage_is_handled_not_mangled(bytes in prop::collection::vec(0u8..95, 0..30)) {
+        let line: String = bytes.iter().map(|&b| (b' ' + b) as char).collect();
+        match parse_request(&line) {
+            None => prop_assert!(
+                line.split_whitespace().next().is_none_or(|t| t.starts_with('#')),
+                "silently dropped non-comment: {:?}", line
+            ),
+            Some(Ok(r)) => {
+                let canon = encode_request(&r);
+                prop_assert_eq!(parse_request(&canon), Some(Ok(r)), "wire: {}", canon);
+            }
+            Some(Err(_)) => {} // rejected with a typed error: fine
+        }
+        let _ = parse_response(&line); // must not panic either
     }
 }
