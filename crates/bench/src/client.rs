@@ -9,7 +9,37 @@ use lockfree_pagerank::protocol::continuation_lines;
 pub use lockfree_pagerank::protocol::field;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Connection tunables for a bench [`Client`]. The defaults suit CI:
+/// per-attempt connect timeout, bounded reconnect attempts with
+/// exponential backoff (for racing a server that is still booting),
+/// and a read timeout that fails a wedged run instead of hanging it.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Reply timeout; a server taking this long has wedged.
+    pub read_timeout: Duration,
+    /// Consecutive failed connects before giving up.
+    pub max_attempts: u32,
+    /// First retry delay; doubles per failure.
+    pub backoff_base: Duration,
+    /// Retry delay ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(3),
+            read_timeout: Duration::from_secs(60),
+            max_attempts: 1,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
 
 /// One `lfpr serve` protocol client over TCP.
 pub struct Client {
@@ -20,33 +50,63 @@ pub struct Client {
 impl Client {
     /// Connect immediately; panics if the server is not up.
     pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Client {
-        Self::from_stream(TcpStream::connect(&addr).unwrap_or_else(|e| {
-            panic!("cannot reach bench server at {addr:?}: {e}");
-        }))
+        Self::connect_with(addr, &ClientConfig::default())
     }
 
     /// Connect, retrying for `retry` while the server boots (CI starts
-    /// the server in the background and races it).
+    /// the server in the background and races it). Backs off
+    /// exponentially between attempts.
     pub fn connect_retry(addr: &str, retry: Duration) -> Client {
-        let deadline = Instant::now() + retry;
-        let conn = loop {
-            match TcpStream::connect(addr) {
-                Ok(c) => break c,
-                Err(e) if Instant::now() < deadline => {
-                    eprintln!("# waiting for {addr}: {e}");
-                    std::thread::sleep(Duration::from_millis(200));
-                }
-                Err(e) => panic!("cannot reach {addr}: {e}"),
-            }
-        };
-        Self::from_stream(conn)
+        // Size the attempt budget so the doubling delays roughly fill
+        // `retry`: n attempts cost base * (2^n - 1) before the cap.
+        let cfg = ClientConfig::default();
+        let mut budget = retry;
+        let mut attempts = 1u32;
+        while budget > Duration::ZERO && attempts < 32 {
+            let delay = backoff_delay(&cfg, attempts).min(budget);
+            budget = budget.saturating_sub(delay);
+            attempts += 1;
+        }
+        Self::connect_with(
+            addr,
+            &ClientConfig {
+                max_attempts: attempts,
+                ..cfg
+            },
+        )
     }
 
-    fn from_stream(conn: TcpStream) -> Client {
+    /// Connect under explicit [`ClientConfig`] tunables; panics (with
+    /// the attempt count in the message) once the budget is exhausted —
+    /// a bench run without a server has nothing to measure.
+    pub fn connect_with<A: ToSocketAddrs + std::fmt::Debug>(addr: A, cfg: &ClientConfig) -> Client {
+        let mut failures = 0u32;
+        let conn = loop {
+            match connect_once(&addr, cfg.connect_timeout) {
+                Ok(c) => break c,
+                Err(e) => {
+                    failures += 1;
+                    if failures >= cfg.max_attempts.max(1) {
+                        panic!(
+                            "cannot reach bench server at {addr:?} after {failures} attempts: {e}"
+                        );
+                    }
+                    let delay = backoff_delay(cfg, failures);
+                    eprintln!(
+                        "# waiting for {addr:?} (attempt {failures}): {e}; retry in {delay:?}"
+                    );
+                    std::thread::sleep(delay);
+                }
+            }
+        };
+        Self::from_stream_with(conn, cfg)
+    }
+
+    fn from_stream_with(conn: TcpStream, cfg: &ClientConfig) -> Client {
         conn.set_nodelay(true).ok();
         // A reply that takes this long means the server wedged; fail
         // the run instead of hanging CI.
-        conn.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        conn.set_read_timeout(Some(cfg.read_timeout)).ok();
         let input = BufReader::new(conn.try_clone().expect("clone socket"));
         Client { conn, input }
     }
@@ -114,9 +174,33 @@ impl Client {
     }
 }
 
+/// `connect_timeout` needs a resolved `SocketAddr`; try each resolution
+/// of `addr` in turn.
+fn connect_once<A: ToSocketAddrs>(addr: &A, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    }))
+}
+
+/// Exponential backoff: base × 2^(failures−1), capped.
+fn backoff_delay(cfg: &ClientConfig, failures: u32) -> Duration {
+    let shift = (failures.saturating_sub(1)).min(16);
+    (cfg.backoff_base * 2u32.pow(shift)).min(cfg.backoff_cap)
+}
+
 #[cfg(test)]
 mod tests {
-    use super::field;
+    use super::*;
 
     #[test]
     fn field_matches_exact_tokens_only() {
@@ -127,5 +211,47 @@ mod tests {
         assert_eq!(field(line, "poch"), None, "no substring matches");
         assert_eq!(field(line, "algo"), None, "non-numeric value");
         assert_eq!(field("bare line", "m"), None);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            ..ClientConfig::default()
+        };
+        assert_eq!(backoff_delay(&cfg, 1), Duration::from_millis(100));
+        assert_eq!(backoff_delay(&cfg, 2), Duration::from_millis(200));
+        assert_eq!(backoff_delay(&cfg, 3), Duration::from_millis(400));
+        assert_eq!(backoff_delay(&cfg, 6), Duration::from_secs(2), "capped");
+        assert_eq!(
+            backoff_delay(&cfg, 60),
+            Duration::from_secs(2),
+            "shift clamped"
+        );
+    }
+
+    #[test]
+    fn unreachable_connect_gives_up_after_bounded_attempts() {
+        // Bind a port, then close it: connecting there is refused
+        // immediately, so only the retry/backoff bound is on the clock.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let cfg = ClientConfig {
+            connect_timeout: Duration::from_millis(50),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = std::panic::catch_unwind(|| Client::connect_with(addr, &cfg));
+        assert!(r.is_err(), "refused connect must panic, not hang");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "attempts not bounded: took {:?}",
+            t0.elapsed()
+        );
     }
 }

@@ -112,6 +112,39 @@ impl TeleportWeights {
         Ok(TeleportWeights { sources })
     }
 
+    /// Rebuild a source set from pairs previously produced by
+    /// [`sources`](Self::sources) — already validated, sorted, and
+    /// normalized. Skips the re-normalizing division of
+    /// [`new`](Self::new), which would perturb the stored bit patterns:
+    /// WAL replay and checkpoint loading depend on reproducing the
+    /// original weights exactly. The structural invariants (non-empty,
+    /// finite positive weights, strictly ascending vertices) are still
+    /// checked.
+    pub fn from_normalized(
+        sources: impl IntoIterator<Item = (u32, f64)>,
+    ) -> Result<TeleportWeights, String> {
+        let sources: Vec<(u32, f64)> = sources.into_iter().collect();
+        if sources.is_empty() {
+            return Err("personalized teleport needs at least one source".into());
+        }
+        for &(v, w) in &sources {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(format!(
+                    "teleport weight for vertex {v} must be finite and positive, got {w}"
+                ));
+            }
+        }
+        for pair in sources.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(format!(
+                    "teleport sources must be strictly ascending, got {} then {}",
+                    pair[0].0, pair[1].0
+                ));
+            }
+        }
+        Ok(TeleportWeights { sources })
+    }
+
     /// Equal weights over `vertices` (deduplicated).
     pub fn uniform_over(
         vertices: impl IntoIterator<Item = u32>,

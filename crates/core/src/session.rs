@@ -147,6 +147,10 @@ struct PublishedNamedView {
     sources: usize,
     ranks: Arc<[f64]>,
     deltas: Arc<[RankDelta]>,
+    /// The view's restart distribution, frozen so readers (checkpoint
+    /// writers, the replica feed) can reconstruct the view exactly
+    /// without access to the owning session.
+    teleport: Teleport,
 }
 
 /// One committed session state, immutable once published.
@@ -239,6 +243,25 @@ impl RankView {
     /// Biggest movers of a named view (`None` if the view is unknown).
     pub fn movers_in(&self, name: &str, k: usize) -> Option<Vec<RankDelta>> {
         self.named(name).map(|nv| top_movers_of(&nv.deltas, k))
+    }
+
+    /// Full delta list of a named view (`None` if the view is unknown).
+    /// Used by the replica feed to ship a joining follower the exact
+    /// per-view mover state of the pinned epoch.
+    pub fn deltas_in(&self, name: &str) -> Option<&[RankDelta]> {
+        self.named(name).map(|nv| &*nv.deltas)
+    }
+
+    /// The restart distribution of a named view (`None` if unknown).
+    /// Frozen at publish time so feed/checkpoint writers holding only a
+    /// reader can reconstruct the view's teleport exactly.
+    pub fn teleport_in(&self, name: &str) -> Option<Teleport> {
+        self.named(name).map(|nv| nv.teleport.clone())
+    }
+
+    /// Ranks of a named view (`None` if the view is unknown).
+    pub fn ranks_in(&self, name: &str) -> Option<&[f64]> {
+        self.named(name).map(|nv| &*nv.ranks)
     }
 }
 
@@ -446,6 +469,117 @@ impl UpdateSession {
         }
     }
 
+    /// Rebuild a session from externally persisted committed state —
+    /// the checkpoint/recovery path. Unlike [`new`](Self::new), no
+    /// static rank computation runs: `ranks` are installed bit-for-bit
+    /// as the committed state of `epoch`, and the step counter resumes
+    /// from there, so replaying the same batches afterwards (at one
+    /// thread) reproduces a never-crashed session exactly. Named views
+    /// and delta state are restored separately via
+    /// [`restore_view`](Self::restore_view) /
+    /// [`restore_deltas`](Self::restore_deltas).
+    pub fn restore(
+        mut graph: DynGraph,
+        algorithm: Algorithm,
+        opts: PagerankOptions,
+        ranks: &[f64],
+        epoch: u64,
+    ) -> Result<Self, String> {
+        let snapshot = graph.snapshot_shared();
+        let n = snapshot.num_vertices();
+        if ranks.len() != n {
+            return Err(format!(
+                "rank vector length {} does not match vertex count {n}",
+                ranks.len()
+            ));
+        }
+        let opts = opts.precompile_vertex_plan(&snapshot);
+        let ws = Workspace {
+            ranks: AtomicRanks::from_slice(ranks),
+            va: EpochFlags::new(n),
+            rc: EpochFlags::new(rc_flags_len(n, opts.convergence, opts.chunk_size)),
+            checked: EpochFlags::new(n),
+            edges: Vec::new(),
+            active: EpochFlags::new(n.div_ceil(ACTIVE_GRANULE)),
+            rounds: None,
+        };
+        let view = RankView {
+            snapshot,
+            ranks: Arc::from(ranks),
+            epoch,
+            deltas: Arc::from(Vec::new()),
+            views: Arc::from(Vec::new()),
+        };
+        Ok(UpdateSession {
+            graph,
+            algorithm,
+            opts,
+            ws,
+            last: None,
+            steps: epoch,
+            published: Arc::new(RwLock::new(Arc::new(view))),
+            published_step: epoch,
+            published_stale: false,
+            spare_ranks: None,
+            track_deltas: false,
+            shadow: Vec::new(),
+            last_deltas: Arc::from(Vec::new()),
+            views: Vec::new(),
+        })
+    }
+
+    /// Reinstall the rank deltas of the restored epoch (recovery path),
+    /// so `movers` answers match the pre-crash session even when
+    /// recovery lands exactly on a checkpoint with no batches to replay.
+    pub fn restore_deltas(&mut self, deltas: Vec<RankDelta>) {
+        self.last_deltas = deltas.into();
+        self.maybe_publish();
+    }
+
+    /// Reinstall a named view from persisted state (recovery path):
+    /// like [`add_view`](Self::add_view) but with the rank vector and
+    /// delta list provided bit-for-bit instead of recomputed.
+    pub fn restore_view(
+        &mut self,
+        name: &str,
+        teleport: Teleport,
+        ranks: &[f64],
+        deltas: Vec<RankDelta>,
+    ) -> Result<(), String> {
+        if name == "default" {
+            return Err("view name default is reserved".into());
+        }
+        if self.views.iter().any(|v| &*v.name == name) {
+            return Err(format!("view {name} already exists"));
+        }
+        let n = self.graph.num_vertices();
+        if ranks.len() != n {
+            return Err(format!(
+                "view {name}: rank vector length {} does not match vertex count {n}",
+                ranks.len()
+            ));
+        }
+        if let Some(w) = teleport.weights() {
+            if w.max_vertex() as usize >= n {
+                return Err(format!(
+                    "teleport source {} out of range (n = {n})",
+                    w.max_vertex()
+                ));
+            }
+        }
+        let sources = teleport.weights().map_or(0, |w| w.len());
+        let opts = self.opts.clone().with_teleport(teleport);
+        self.views.push(SecondaryView {
+            name: Arc::from(name),
+            sources,
+            opts,
+            ranks: AtomicRanks::from_slice(ranks),
+            deltas: deltas.into(),
+        });
+        self.maybe_publish();
+        Ok(())
+    }
+
     /// A handle for concurrent readers: any number of threads may pull
     /// the latest committed [`RankView`] from it while this session
     /// keeps applying batches. Creating (or holding) at least one
@@ -501,6 +635,7 @@ impl UpdateSession {
                 // SAFETY: see `ranks` — `&mut self` rules out writers.
                 ranks: Arc::from(unsafe { v.ranks.as_f64_slice_unchecked() }),
                 deltas: Arc::clone(&v.deltas),
+                teleport: v.opts.teleport.clone(),
             })
             .collect();
         let view = Arc::new(RankView {
@@ -673,6 +808,17 @@ impl UpdateSession {
     /// Biggest movers of a named view (`None` if the view is unknown).
     pub fn view_movers(&self, name: &str, k: usize) -> Option<Vec<RankDelta>> {
         self.find_view(name).map(|v| top_movers_of(&v.deltas, k))
+    }
+
+    /// Full delta list of a named view (`None` if the view is unknown).
+    pub fn view_deltas(&self, name: &str) -> Option<&[RankDelta]> {
+        self.find_view(name).map(|v| &*v.deltas)
+    }
+
+    /// The restart distribution of a named view (`None` if unknown).
+    /// The checkpoint writer persists this alongside the view's ranks.
+    pub fn view_teleport(&self, name: &str) -> Option<Teleport> {
+        self.find_view(name).map(|v| v.opts.teleport.clone())
     }
 
     /// The configured algorithm.
@@ -1391,6 +1537,67 @@ mod tests {
         let vm = v.movers_in("ego-5", 1000).unwrap();
         for d in &vm {
             assert!(d.old.to_bits() != d.new.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_resumes_bit_for_bit_at_one_thread() {
+        // The recovery contract: rebuild the graph from its edge list,
+        // install the persisted ranks/views/deltas, and the session is
+        // indistinguishable — to the bit — from one that never stopped.
+        use crate::config::TeleportWeights;
+        for algo in [Algorithm::DfLF, Algorithm::DtBB] {
+            let o = PagerankOptions::default()
+                .with_threads(1)
+                .with_chunk_size(64);
+            let mut g = erdos_renyi(100, 500, 3);
+            add_self_loops(&mut g);
+            let mut live = UpdateSession::new(g, algo, o.clone());
+            live.enable_delta_tracking();
+            let t = Teleport::personalized([(3, 1.0), (9, 2.0)]).unwrap();
+            live.add_view("ego", t.clone()).unwrap();
+            for round in 0..2u64 {
+                let batch = BatchSpec::mixed(0.02, 10 + round).generate(live.graph());
+                live.step(&batch).unwrap();
+            }
+            // "Checkpoint": edge list + rank bits, rebuilt the recovery way.
+            let n = live.graph().num_vertices();
+            let edges: Vec<_> = live.graph().snapshot().edges().collect();
+            let graph = DynGraph::from_edges(n, edges).unwrap();
+            let mut rec =
+                UpdateSession::restore(graph, algo, o.clone(), live.ranks(), live.steps()).unwrap();
+            rec.enable_delta_tracking();
+            rec.restore_deltas(live.last_deltas().to_vec());
+            let shipped = t.weights().unwrap().sources().to_vec();
+            let tn = TeleportWeights::from_normalized(shipped).unwrap();
+            rec.restore_view(
+                "ego",
+                Teleport::Personalized(Arc::new(tn)),
+                live.view_ranks("ego").unwrap(),
+                live.view_deltas("ego").unwrap().to_vec(),
+            )
+            .unwrap();
+            assert_eq!(rec.steps(), live.steps(), "{algo}");
+            assert_eq!(rec.movers(5), live.movers(5), "{algo}");
+            assert_eq!(rec.view_names(), live.view_names(), "{algo}");
+            for round in 2..4u64 {
+                let batch = BatchSpec::mixed(0.02, 10 + round).generate(live.graph());
+                live.step(&batch).unwrap();
+                rec.step(&batch).unwrap();
+                for (a, b) in live.ranks().iter().zip(rec.ranks()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{algo} round {round}");
+                }
+                let va = live.view_ranks("ego").unwrap();
+                let vb = rec.view_ranks("ego").unwrap();
+                for (a, b) in va.iter().zip(vb) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{algo} view round {round}");
+                }
+                assert_eq!(
+                    live.view_movers("ego", 3),
+                    rec.view_movers("ego", 3),
+                    "{algo}"
+                );
+            }
         }
     }
 

@@ -30,6 +30,7 @@ pub mod fixtures;
 pub mod matrix_market;
 pub mod mmap;
 pub mod stream;
+pub mod wal;
 
 pub use edge_list::{parse_edge_list, read_edge_list, read_edge_list_buffered, write_edge_list};
 pub use matrix_market::{parse_matrix_market, read_matrix_market, read_matrix_market_buffered};

@@ -1,0 +1,924 @@
+//! Binary write-ahead log and checkpoint files for durable sessions.
+//!
+//! The WAL records every committed mutation of an update session —
+//! batch commits and named-view management — as length- and
+//! checksum-framed binary records, so a crashed process can rebuild the
+//! exact session state by loading the latest checkpoint and replaying
+//! the log tail through the ordinary `apply_batch` path. The framing is
+//! deliberately dumb: any prefix of a record stream is recoverable, and
+//! a torn tail (partial write, bit flip, garbage) stops replay cleanly
+//! at the last intact record instead of propagating bad state.
+//!
+//! ```text
+//! wal file   := magic "LFPRWAL1" , frame*
+//! frame      := len:u32 , crc32(payload):u32 , payload[len]
+//! payload    := kind:u8 , body
+//! kind 1     := Commit   { epoch:u64, n_del:u32, n_ins:u32, (u:u32,v:u32)* }
+//! kind 2     := ViewAdd  { epoch:u64, name:str16, n_src:u32, (v:u32,w:f64)* }
+//! kind 3     := ViewDrop { epoch:u64, name:str16 }
+//! str16      := len:u16 , utf8 bytes
+//! ```
+//!
+//! All integers are little-endian; `f64` travels as its IEEE-754 bit
+//! pattern (`to_bits`), so replay reproduces weights *bit for bit* —
+//! the recovery acceptance test diffs ranks by bits, not by epsilon.
+//!
+//! Checkpoints serialize one whole committed epoch (graph edges, rank
+//! vectors, per-view state, last-step deltas) into a single
+//! crc-trailered file written atomically (tmp + fsync + rename), after
+//! which the WAL can be truncated. See `docs/DURABILITY.md` for the
+//! recovery algorithm built on top of these primitives.
+
+use crate::batch::BatchUpdate;
+use crate::io::mmap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Magic prefix of a WAL file (version 1).
+pub const WAL_MAGIC: &[u8; 8] = b"LFPRWAL1";
+/// Magic prefix of a checkpoint file (version 1).
+pub const CKPT_MAGIC: &[u8; 8] = b"LFPRCKP1";
+/// Upper bound on one record's payload, to reject implausible lengths
+/// from corrupt headers before allocating.
+pub const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), computed bytewise from a
+/// lazily built table — vendored in-repo because the offline container
+/// has no checksum crate.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// When the WAL writer calls `fsync` after appending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record: survives power loss, slowest.
+    Always,
+    /// Sync after every `k`-th record (and on graceful shutdown).
+    EveryK(u32),
+    /// Never sync explicitly: survives process crash (data reached the
+    /// kernel), not power loss.
+    Never,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            _ => match s.strip_prefix("every-").and_then(|k| k.parse::<u32>().ok()) {
+                Some(k) if k > 0 => Ok(FsyncPolicy::EveryK(k)),
+                _ => Err(format!(
+                    "bad fsync policy {s} (want always, never, or every-<k>)"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryK(k) => write!(f, "every-{k}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// One logged session mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A committed batch that produced `epoch`.
+    Commit {
+        /// The epoch the commit produced (`session.steps()` after).
+        epoch: u64,
+        /// The normalized edits, exactly as applied.
+        batch: BatchUpdate,
+    },
+    /// A named view created at `epoch`.
+    ViewAdd {
+        /// Epoch the view's initial ranks were computed at.
+        epoch: u64,
+        /// View name.
+        name: String,
+        /// Personalized teleport sources as *normalized* `(vertex,
+        /// weight)` pairs (empty = uniform restart). Stored normalized
+        /// so replay skips re-normalization and reproduces the exact
+        /// bits.
+        sources: Vec<(u32, f64)>,
+    },
+    /// A named view dropped at `epoch`.
+    ViewDrop {
+        /// Epoch current when the view was dropped.
+        epoch: u64,
+        /// View name.
+        name: String,
+    },
+}
+
+impl WalRecord {
+    /// The epoch this record belongs to.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            WalRecord::Commit { epoch, .. }
+            | WalRecord::ViewAdd { epoch, .. }
+            | WalRecord::ViewDrop { epoch, .. } => *epoch,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            WalRecord::Commit { epoch, batch } => {
+                p.push(1u8);
+                put_u64(&mut p, *epoch);
+                put_u32(&mut p, batch.deletions.len() as u32);
+                put_u32(&mut p, batch.insertions.len() as u32);
+                for &(u, v) in batch.deletions.iter().chain(&batch.insertions) {
+                    put_u32(&mut p, u);
+                    put_u32(&mut p, v);
+                }
+            }
+            WalRecord::ViewAdd {
+                epoch,
+                name,
+                sources,
+            } => {
+                p.push(2u8);
+                put_u64(&mut p, *epoch);
+                put_str16(&mut p, name);
+                put_u32(&mut p, sources.len() as u32);
+                for &(v, w) in sources {
+                    put_u32(&mut p, v);
+                    put_u64(&mut p, w.to_bits());
+                }
+            }
+            WalRecord::ViewDrop { epoch, name } => {
+                p.push(3u8);
+                put_u64(&mut p, *epoch);
+                put_str16(&mut p, name);
+            }
+        }
+        p
+    }
+
+    fn decode(payload: &[u8]) -> Result<WalRecord, String> {
+        let mut c = Cursor::new(payload);
+        let kind = c.u8().ok_or("empty payload")?;
+        let rec = match kind {
+            1 => {
+                let epoch = c.u64().ok_or("commit: short epoch")?;
+                let n_del = c.u32().ok_or("commit: short n_del")? as usize;
+                let n_ins = c.u32().ok_or("commit: short n_ins")? as usize;
+                let mut batch = BatchUpdate::new();
+                batch.deletions.reserve(n_del);
+                batch.insertions.reserve(n_ins);
+                for i in 0..n_del + n_ins {
+                    let u = c.u32().ok_or("commit: short edge list")?;
+                    let v = c.u32().ok_or("commit: short edge list")?;
+                    if i < n_del {
+                        batch.deletions.push((u, v));
+                    } else {
+                        batch.insertions.push((u, v));
+                    }
+                }
+                WalRecord::Commit { epoch, batch }
+            }
+            2 => {
+                let epoch = c.u64().ok_or("view-add: short epoch")?;
+                let name = c.str16().ok_or("view-add: bad name")?;
+                let n_src = c.u32().ok_or("view-add: short source count")? as usize;
+                let mut sources = Vec::with_capacity(n_src.min(1 << 20));
+                for _ in 0..n_src {
+                    let v = c.u32().ok_or("view-add: short source list")?;
+                    let w = f64::from_bits(c.u64().ok_or("view-add: short source list")?);
+                    sources.push((v, w));
+                }
+                WalRecord::ViewAdd {
+                    epoch,
+                    name,
+                    sources,
+                }
+            }
+            3 => {
+                let epoch = c.u64().ok_or("view-drop: short epoch")?;
+                let name = c.str16().ok_or("view-drop: bad name")?;
+                WalRecord::ViewDrop { epoch, name }
+            }
+            k => return Err(format!("unknown record kind {k}")),
+        };
+        if !c.done() {
+            return Err("trailing bytes inside record".into());
+        }
+        Ok(rec)
+    }
+}
+
+/// Appends framed records to a WAL file under a [`FsyncPolicy`].
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    bytes: u64,
+    unsynced: u32,
+}
+
+impl WalWriter {
+    /// Create (or truncate) the WAL at `path` and write the magic.
+    pub fn create<P: AsRef<Path>>(path: P, policy: FsyncPolicy) -> io::Result<WalWriter> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            path,
+            policy,
+            bytes: WAL_MAGIC.len() as u64,
+            unsynced: 0,
+        })
+    }
+
+    /// Reopen an existing WAL for appending, first truncating it to
+    /// `valid_len` — the intact prefix a [`read_wal`] replay reported —
+    /// so a torn tail is physically removed before new records follow
+    /// it. A missing or headerless file is recreated from scratch.
+    pub fn open_append<P: AsRef<Path>>(
+        path: P,
+        policy: FsyncPolicy,
+        valid_len: u64,
+    ) -> io::Result<WalWriter> {
+        if valid_len < WAL_MAGIC.len() as u64 {
+            return Self::create(path, policy);
+        }
+        let path = path.as_ref().to_path_buf();
+        let mut file = match OpenOptions::new().write(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Self::create(path, policy),
+            Err(e) => return Err(e),
+        };
+        let actual = file.metadata()?.len();
+        if actual < valid_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wal shrank below its valid prefix ({actual} < {valid_len})"),
+            ));
+        }
+        if actual > valid_len {
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            path,
+            policy,
+            bytes: valid_len,
+            unsynced: 0,
+        })
+    }
+
+    /// Append one record; returns the file length after the append.
+    /// Data reaches the kernel unconditionally (no userspace buffering);
+    /// whether it reaches the platter is the policy's call.
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<u64> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryK(k) if self.unsynced >= k => self.sync()?,
+            _ => {}
+        }
+        Ok(self.bytes)
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Current file length in bytes (magic included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The outcome of scanning a WAL file: every intact record in order,
+/// plus what (if anything) had to be abandoned at the tail.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Intact records with the byte offset their frame starts at.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Length of the intact prefix — truncate the file here before
+    /// appending again.
+    pub valid_len: u64,
+    /// Actual file length found on disk.
+    pub total_len: u64,
+    /// Why scanning stopped before `total_len`, when it did.
+    pub truncated: Option<String>,
+}
+
+impl WalReplay {
+    /// Bytes past the last intact record.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.total_len - self.valid_len
+    }
+}
+
+/// Scan a WAL file (via the mmap/block-read machinery the streaming
+/// loaders use) into its intact record prefix. Never fails on content:
+/// a bad header, torn frame, checksum mismatch, or undecodable payload
+/// stops the scan cleanly with the reason in `truncated`. I/O errors
+/// (missing file, unreadable) do surface as `Err`.
+pub fn read_wal<P: AsRef<Path>>(path: P) -> io::Result<WalReplay> {
+    let bytes = mmap::read_bytes(path)?;
+    let data: &[u8] = &bytes;
+    let total_len = data.len() as u64;
+    if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Ok(WalReplay {
+            records: Vec::new(),
+            valid_len: 0,
+            total_len,
+            truncated: Some("bad or missing wal header".into()),
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    let mut truncated = None;
+    while pos < data.len() {
+        let Some(head) = data.get(pos..pos + 8) else {
+            truncated = Some(format!("torn frame header at byte {pos}"));
+            break;
+        };
+        let len = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            truncated = Some(format!("implausible record length {len} at byte {pos}"));
+            break;
+        }
+        let Some(payload) = data.get(pos + 8..pos + 8 + len as usize) else {
+            truncated = Some(format!("torn record at byte {pos}"));
+            break;
+        };
+        if crc32(payload) != crc {
+            truncated = Some(format!("checksum mismatch at byte {pos}"));
+            break;
+        }
+        match WalRecord::decode(payload) {
+            Ok(rec) => records.push((pos as u64, rec)),
+            Err(e) => {
+                truncated = Some(format!("undecodable record at byte {pos}: {e}"));
+                break;
+            }
+        }
+        pos += 8 + len as usize;
+    }
+    Ok(WalReplay {
+        records,
+        valid_len: pos as u64,
+        total_len,
+        truncated,
+    })
+}
+
+/// A named view frozen into a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointView {
+    /// View name.
+    pub name: String,
+    /// Normalized personalized sources (empty = uniform restart).
+    pub sources: Vec<(u32, f64)>,
+    /// The view's rank vector at the checkpoint epoch.
+    pub ranks: Vec<f64>,
+    /// The view's last-step rank deltas as `(vertex, old, new)`.
+    pub deltas: Vec<(u32, f64, f64)>,
+}
+
+/// One whole committed epoch, serializable to a single file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The epoch this state belongs to.
+    pub epoch: u64,
+    /// Algorithm name (`Display` form, e.g. `DFLF`), parseable back.
+    pub algo: String,
+    /// Vertex count.
+    pub n: u32,
+    /// Every edge of the graph (self-loops included); sorted adjacency
+    /// is re-derived on load, so order does not matter.
+    pub edges: Vec<(u32, u32)>,
+    /// The default rank vector, bit-exact.
+    pub ranks: Vec<f64>,
+    /// Last-step rank deltas as `(vertex, old, new)` — restored so
+    /// `movers` answers survive a recovery landing exactly on the
+    /// checkpoint epoch.
+    pub deltas: Vec<(u32, f64, f64)>,
+    /// Named views in creation order.
+    pub views: Vec<CheckpointView>,
+}
+
+impl Checkpoint {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_u64(&mut b, self.epoch);
+        put_str16(&mut b, &self.algo);
+        put_u32(&mut b, self.n);
+        put_u64(&mut b, self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            put_u32(&mut b, u);
+            put_u32(&mut b, v);
+        }
+        put_ranks(&mut b, &self.ranks);
+        put_deltas(&mut b, &self.deltas);
+        put_u32(&mut b, self.views.len() as u32);
+        for view in &self.views {
+            put_str16(&mut b, &view.name);
+            put_u32(&mut b, view.sources.len() as u32);
+            for &(v, w) in &view.sources {
+                put_u32(&mut b, v);
+                put_u64(&mut b, w.to_bits());
+            }
+            put_ranks(&mut b, &view.ranks);
+            put_deltas(&mut b, &view.deltas);
+        }
+        b
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Checkpoint, String> {
+        let mut c = Cursor::new(body);
+        let epoch = c.u64().ok_or("short epoch")?;
+        let algo = c.str16().ok_or("bad algo string")?;
+        let n = c.u32().ok_or("short vertex count")?;
+        let m = c.u64().ok_or("short edge count")? as usize;
+        let mut edges = Vec::with_capacity(m.min(1 << 26));
+        for _ in 0..m {
+            let u = c.u32().ok_or("short edge list")?;
+            let v = c.u32().ok_or("short edge list")?;
+            edges.push((u, v));
+        }
+        let ranks = c.ranks().ok_or("short rank vector")?;
+        let deltas = c.deltas().ok_or("short delta list")?;
+        let n_views = c.u32().ok_or("short view count")? as usize;
+        let mut views = Vec::with_capacity(n_views.min(1 << 16));
+        for _ in 0..n_views {
+            let name = c.str16().ok_or("bad view name")?;
+            let n_src = c.u32().ok_or("short view source count")? as usize;
+            let mut sources = Vec::with_capacity(n_src.min(1 << 20));
+            for _ in 0..n_src {
+                let v = c.u32().ok_or("short view source list")?;
+                let w = f64::from_bits(c.u64().ok_or("short view source list")?);
+                sources.push((v, w));
+            }
+            let ranks = c.ranks().ok_or("short view rank vector")?;
+            let deltas = c.deltas().ok_or("short view delta list")?;
+            views.push(CheckpointView {
+                name,
+                sources,
+                ranks,
+                deltas,
+            });
+        }
+        if !c.done() {
+            return Err("trailing bytes after views".into());
+        }
+        Ok(Checkpoint {
+            epoch,
+            algo,
+            n,
+            edges,
+            ranks,
+            deltas,
+            views,
+        })
+    }
+}
+
+/// Write `ckpt` to `path` atomically: serialize with a trailing CRC
+/// into `<path>.tmp`, fsync, rename over the target, fsync the
+/// directory. A crash at any point leaves either the old checkpoint or
+/// the new one — never a hybrid.
+pub fn write_checkpoint<P: AsRef<Path>>(path: P, ckpt: &Checkpoint) -> io::Result<()> {
+    let path = path.as_ref();
+    let body = ckpt.encode_body();
+    let mut out = Vec::with_capacity(CKPT_MAGIC.len() + body.len() + 4);
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&body);
+    put_u32(&mut out, crc32(&body));
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(&out)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Load and validate a checkpoint. Content-level problems (bad magic,
+/// CRC mismatch, short body) come back as `Err(reason)` with a stable
+/// human-readable reason; so do I/O failures, with the OS error folded
+/// into the text.
+pub fn read_checkpoint<P: AsRef<Path>>(path: P) -> Result<Checkpoint, String> {
+    let bytes = mmap::read_bytes(&path).map_err(|e| format!("cannot read checkpoint: {e}"))?;
+    let data: &[u8] = &bytes;
+    if data.len() < CKPT_MAGIC.len() + 4 || &data[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err("bad or missing checkpoint header".into());
+    }
+    let body = &data[CKPT_MAGIC.len()..data.len() - 4];
+    let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32(body) != stored {
+        return Err("checkpoint checksum mismatch".into());
+    }
+    Checkpoint::decode_body(body).map_err(|e| format!("checkpoint corrupt: {e}"))
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_ranks(out: &mut Vec<u8>, ranks: &[f64]) {
+    put_u64(out, ranks.len() as u64);
+    for &r in ranks {
+        put_u64(out, r.to_bits());
+    }
+}
+
+fn put_deltas(out: &mut Vec<u8>, deltas: &[(u32, f64, f64)]) {
+    put_u32(out, deltas.len() as u32);
+    for &(v, old, new) in deltas {
+        put_u32(out, v);
+        put_u64(out, old.to_bits());
+        put_u64(out, new.to_bits());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.data.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn ranks(&mut self) -> Option<Vec<f64>> {
+        let len = self.u64()? as usize;
+        if len > self.data.len() - self.pos {
+            return None; // cheaper than 8x, but still an upper bound
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(f64::from_bits(self.u64()?));
+        }
+        Some(out)
+    }
+
+    fn deltas(&mut self) -> Option<Vec<(u32, f64, f64)>> {
+        let len = self.u32()? as usize;
+        if len > self.data.len() - self.pos {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = self.u32()?;
+            let old = f64::from_bits(self.u64()?);
+            let new = f64::from_bits(self.u64()?);
+            out.push((v, old, new));
+        }
+        Some(out)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lfpr-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Commit {
+                epoch: 1,
+                batch: BatchUpdate {
+                    deletions: vec![(3, 4)],
+                    insertions: vec![(0, 1), (5, 6)],
+                },
+            },
+            WalRecord::ViewAdd {
+                epoch: 1,
+                name: "ego".into(),
+                sources: vec![(2, 0.25), (7, 0.75)],
+            },
+            WalRecord::Commit {
+                epoch: 2,
+                batch: BatchUpdate::insert_only(vec![(9, 2)]),
+            },
+            WalRecord::ViewDrop {
+                epoch: 2,
+                name: "ego".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vectors (zlib crc32).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        for (s, p) in [
+            ("always", FsyncPolicy::Always),
+            ("never", FsyncPolicy::Never),
+            ("every-8", FsyncPolicy::EveryK(8)),
+            ("every-1", FsyncPolicy::EveryK(1)),
+        ] {
+            assert_eq!(s.parse::<FsyncPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), s);
+        }
+        for bad in ["", "sometimes", "every-0", "every-", "every-x"] {
+            assert!(bad.parse::<FsyncPolicy>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_a_file() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, FsyncPolicy::EveryK(2)).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        w.sync().unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.truncated.is_none(), "{:?}", replay.truncated);
+        assert_eq!(replay.valid_len, replay.total_len);
+        assert_eq!(replay.valid_len, w.bytes());
+        let got: Vec<WalRecord> = replay.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(got, sample_records());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_append_truncates_the_torn_tail_and_continues() {
+        let dir = tmpdir("append");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        w.append(&sample_records()[0]).unwrap();
+        let intact = w.bytes();
+        drop(w);
+        // Simulate a torn write: garbage tail past the intact record.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; 5]).unwrap();
+        drop(f);
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.valid_len, intact);
+        assert!(replay.truncated.is_some());
+        assert_eq!(replay.truncated_bytes(), 5);
+        // Reopen at the valid prefix; the torn bytes must be gone.
+        let mut w = WalWriter::open_append(&path, FsyncPolicy::Never, replay.valid_len).unwrap();
+        w.append(&sample_records()[2]).unwrap();
+        drop(w);
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.truncated.is_none());
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].1, sample_records()[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_recovers_a_record_prefix() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        let mut boundaries = vec![w.bytes()];
+        for rec in sample_records() {
+            boundaries.push(w.append(&rec).unwrap());
+        }
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        let cut_path = dir.join("cut.log");
+        for cut in 0..=full.len() {
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            let replay = read_wal(&cut_path).unwrap();
+            // The recovered records are exactly the whole frames below
+            // the cut — never a partial one, never a lost intact one.
+            let whole = boundaries
+                .iter()
+                .filter(|&&b| b <= cut as u64)
+                .count()
+                .saturating_sub(1);
+            assert_eq!(replay.records.len(), whole, "cut at {cut}");
+            let at_boundary = boundaries.contains(&(cut as u64));
+            assert_eq!(replay.truncated.is_some(), !at_boundary, "cut at {cut}");
+            for (rec, want) in replay.records.iter().zip(sample_records()) {
+                assert_eq!(rec.1, want, "cut at {cut}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught_or_harmless() {
+        // Flip each byte of a two-record log: replay must never panic,
+        // and the *data* of surviving records must be authentic — a
+        // record either comes back byte-identical or not at all.
+        // (A flip inside the epoch field still yields a valid-looking
+        // frame body only if the CRC also matched, which it cannot.)
+        let dir = tmpdir("bitflip");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        let recs = sample_records();
+        w.append(&recs[0]).unwrap();
+        w.append(&recs[2]).unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        let flip_path = dir.join("flip.log");
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&flip_path, &bad).unwrap();
+            let replay = read_wal(&flip_path).unwrap();
+            for (_, got) in &replay.records {
+                assert!(
+                    *got == recs[0] || *got == recs[2],
+                    "byte {i}: corrupted record slipped through: {got:?}"
+                );
+            }
+            if replay.records.len() < 2 {
+                assert!(replay.truncated.is_some(), "byte {i}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let dir = tmpdir("ckpt");
+        let path = dir.join("state.ckpt");
+        let ckpt = Checkpoint {
+            epoch: 42,
+            algo: "DFLF".into(),
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 0), (3, 3)],
+            ranks: vec![0.1, 0.2, 0.3, f64::from_bits(0.4f64.to_bits() + 1)],
+            deltas: vec![(1, 0.25, 0.2), (3, 0.35, 0.4)],
+            views: vec![CheckpointView {
+                name: "ego".into(),
+                sources: vec![(1, 1.0 / 3.0), (2, 2.0 / 3.0)],
+                ranks: vec![0.7, 0.1, 0.1, 0.1],
+                deltas: vec![(0, 0.6, 0.7)],
+            }],
+        };
+        write_checkpoint(&path, &ckpt).unwrap();
+        let got = read_checkpoint(&path).unwrap();
+        assert_eq!(got, ckpt);
+        for (a, b) in got.ranks.iter().zip(&ckpt.ranks) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(!path.with_extension("tmp").exists(), "tmp cleaned up");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_refused_with_stable_reasons() {
+        let dir = tmpdir("ckpt-bad");
+        let path = dir.join("state.ckpt");
+        assert!(read_checkpoint(&path)
+            .unwrap_err()
+            .starts_with("cannot read checkpoint"));
+        let ckpt = Checkpoint {
+            epoch: 1,
+            algo: "DFLF".into(),
+            n: 2,
+            edges: vec![(0, 1)],
+            ranks: vec![0.5, 0.5],
+            deltas: vec![],
+            views: vec![],
+        };
+        write_checkpoint(&path, &ckpt).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Flip a body byte: CRC mismatch.
+        let mut bad = good.clone();
+        bad[12] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(
+            read_checkpoint(&path).unwrap_err(),
+            "checkpoint checksum mismatch"
+        );
+        // Damage the magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(
+            read_checkpoint(&path).unwrap_err(),
+            "bad or missing checkpoint header"
+        );
+        // Truncate mid-body.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(read_checkpoint(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

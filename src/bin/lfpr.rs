@@ -6,6 +6,10 @@
 //! lfpr stats  <graph>
 //! lfpr serve  [--graph path | --gen n m seed] [--algo dflf] [--threads N]
 //!             [--tolerance T] [--tauf T] [--tcp addr:port] [--workers N]
+//!             [--wal dir] [--fsync always|every-k|never] [--checkpoint-every N]
+//!             [--recover] [--crash-after N]
+//! lfpr follow <leader-addr> [--tcp addr:port] [--threads N]
+//!             [--max-attempts N] [--sync-timeout secs]
 //! ```
 //!
 //! `serve` runs the streaming batch service: an incremental
@@ -17,6 +21,16 @@
 //! thread commits batches. Protocol replies go to stdout (stdin mode)
 //! or the socket; logs and per-batch timing go to stderr, so scripted
 //! sessions are diffable.
+//!
+//! `--wal <dir>` makes the service durable ([`lockfree_pagerank::durable`]):
+//! every committed batch and view change is appended to a write-ahead
+//! log before it is acknowledged, and a checkpoint truncates the log
+//! every `--checkpoint-every` commits. `--recover` restores the session
+//! from that directory (checkpoint + intact WAL tail) instead of
+//! loading a graph. `--crash-after N` is the fault-injection hook used
+//! by the CI recovery smoke: the process aborts right after the N-th
+//! commit hits the log. `follow` mirrors a `--tcp` leader over the
+//! replica feed and serves the mirrored ranks read-only.
 //!
 //! `<graph>` is a SNAP-style edge list (`u v` per line, `#` comments) or
 //! a MatrixMarket `.mtx` file, chosen by extension unless `--format
@@ -106,8 +120,10 @@ fn print_top(ranks: &[f64], k: usize) {
 }
 
 fn serve_main(args: &[String]) {
+    use lockfree_pagerank::durable::{Durability, DurabilityOptions};
+    use lockfree_pagerank::graph::io::wal::FsyncPolicy;
     use lockfree_pagerank::sched::{ChunkPolicy, ExecMode, Schedule};
-    use lockfree_pagerank::serve::serve_connection;
+    use lockfree_pagerank::serve::{serve_connection, serve_connection_durable};
     use lockfree_pagerank::UpdateSession;
 
     let mut algo = Algorithm::DfLF;
@@ -119,6 +135,11 @@ fn serve_main(args: &[String]) {
     let mut gen: Option<(usize, usize, u64)> = None;
     let mut tcp: Option<String> = None;
     let mut workers = 4usize;
+    let mut wal_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut checkpoint_every = 64u64;
+    let mut recover = false;
+    let mut crash_after: Option<u64> = None;
     let mut i = 0;
     let bad = |msg: &str| -> ! {
         eprintln!("{msg}");
@@ -188,18 +209,37 @@ fn serve_main(args: &[String]) {
                     .unwrap_or_else(|_| bad("usage: --workers <n>"));
                 i += 2;
             }
+            "--wal" => {
+                wal_dir = Some(value(i + 1, "--wal <dir>").clone());
+                i += 2;
+            }
+            "--fsync" => {
+                fsync = value(i + 1, "--fsync <always|every-k|never>")
+                    .parse()
+                    .unwrap_or_else(|e: String| bad(&e));
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = value(i + 1, "--checkpoint-every <n>")
+                    .parse()
+                    .unwrap_or_else(|_| bad("usage: --checkpoint-every <n> (0 disables)"));
+                i += 2;
+            }
+            "--recover" => {
+                recover = true;
+                i += 1;
+            }
+            "--crash-after" => {
+                crash_after = Some(
+                    value(i + 1, "--crash-after <n>")
+                        .parse()
+                        .unwrap_or_else(|_| bad("usage: --crash-after <n>")),
+                );
+                i += 2;
+            }
             other => bad(&format!("unknown flag: {other}")),
         }
     }
-    let g = match (&graph_path, gen) {
-        (Some(path), None) => load_graph(path, format),
-        (None, Some((n, m, seed))) => {
-            let mut g = lockfree_pagerank::graph::generators::erdos_renyi(n, m, seed);
-            add_self_loops(&mut g);
-            g
-        }
-        _ => bad("serve needs exactly one of --graph <path> or --gen <n> <m> <seed>"),
-    };
     // The persistent worker pool is the right executor for a process
     // that runs many updates (PR 2); stays deterministic at 1 thread.
     // τf defaults to τ, not the paper's τ/1000: each batch warm-starts
@@ -214,22 +254,69 @@ fn serve_main(args: &[String]) {
             policy: ChunkPolicy::Fixed(2048),
             executor: ExecMode::Pool,
         });
+    let dopts = DurabilityOptions {
+        fsync,
+        checkpoint_every,
+        crash_after,
+    };
+    let (mut session, durable) = if recover {
+        let dir = wal_dir
+            .as_deref()
+            .unwrap_or_else(|| bad("--recover needs --wal <dir>"));
+        if graph_path.is_some() || gen.is_some() {
+            bad("--recover restores the graph from the wal directory; drop --graph/--gen");
+        }
+        // The algorithm and graph come from the checkpoint; --algo is
+        // only the default for a fresh start.
+        match Durability::recover(std::path::Path::new(dir), opts, dopts) {
+            Ok((session, durable, report)) => {
+                eprintln!("# {report}");
+                (session, Some(durable))
+            }
+            // Stable text — the CI smoke greps for this prefix.
+            Err(e) => bad(&format!("recover failed: {e}")),
+        }
+    } else {
+        let g = match (&graph_path, gen) {
+            (Some(path), None) => load_graph(path, format),
+            (None, Some((n, m, seed))) => {
+                let mut g = lockfree_pagerank::graph::generators::erdos_renyi(n, m, seed);
+                add_self_loops(&mut g);
+                g
+            }
+            _ => bad("serve needs exactly one of --graph <path> or --gen <n> <m> <seed>"),
+        };
+        let mut session = UpdateSession::new(g, algo, opts);
+        // `movers` and subscriptions need per-batch deltas.
+        session.enable_delta_tracking();
+        let durable = wal_dir.as_deref().map(|dir| {
+            Durability::create(std::path::Path::new(dir), &mut session, dopts)
+                .unwrap_or_else(|e| bad(&format!("cannot start wal: {e}")))
+        });
+        (session, durable)
+    };
     eprintln!(
-        "# serving {} vertices / {} edges with {} on {} thread(s)",
-        g.num_vertices(),
-        g.num_edges(),
-        algo,
-        threads
+        "# serving {} vertices / {} edges with {} on {} thread(s){}",
+        session.graph().num_vertices(),
+        session.graph().num_edges(),
+        session.algorithm(),
+        threads,
+        match &durable {
+            Some(d) => format!(" (wal: {})", d.dir().display()),
+            None => String::new(),
+        }
     );
-    let mut session = UpdateSession::new(g, algo, opts);
-    // `movers` and subscriptions need per-batch deltas.
-    session.enable_delta_tracking();
     match tcp {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            let summary = serve_connection(&mut session, stdin.lock(), stdout.lock())
-                .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
+            let summary = match durable {
+                Some(mut d) => {
+                    serve_connection_durable(&mut session, &mut d, stdin.lock(), stdout.lock())
+                }
+                None => serve_connection(&mut session, stdin.lock(), stdout.lock()),
+            }
+            .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
             eprintln!(
                 "# session ended: {} commands, {} batches, {} edge updates, {} steps",
                 summary.commands,
@@ -241,8 +328,9 @@ fn serve_main(args: &[String]) {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
                 .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
-            let server = lockfree_pagerank::server::spawn(session, listener, workers)
-                .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
+            let server =
+                lockfree_pagerank::server::spawn_durable(session, listener, workers, durable)
+                    .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
             eprintln!(
                 "# listening on {} ({} workers, single-writer commits, epoch-published reads)",
                 server.addr(),
@@ -253,14 +341,147 @@ fn serve_main(args: &[String]) {
     }
 }
 
+/// `lfpr follow <leader>`: mirror a `--tcp` leader over the replica
+/// feed and serve the mirrored ranks read-only — over TCP when `--tcp`
+/// is given, over stdin/stdout otherwise. The follower reconnects with
+/// exponential backoff when the leader drops and resyncs automatically
+/// when it falls behind the leader's log.
+fn follow_main(args: &[String]) {
+    use lockfree_pagerank::replica::{Follower, FollowerOptions};
+    use lockfree_pagerank::serve::{serve_client, Backend};
+    use std::io::{BufReader, BufWriter};
+
+    let bad = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let value = |i: usize, usage: &str| -> &String {
+        args.get(i)
+            .unwrap_or_else(|| bad(&format!("usage: {usage}")))
+    };
+    let mut leader: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut threads = 1usize;
+    let mut max_attempts = 30u32;
+    let mut sync_timeout = 60u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => {
+                tcp = Some(value(i + 1, "--tcp <addr:port>").clone());
+                i += 2;
+            }
+            "--threads" => {
+                threads = value(i + 1, "--threads <n>")
+                    .parse()
+                    .unwrap_or_else(|_| bad("usage: --threads <n>"));
+                i += 2;
+            }
+            "--max-attempts" => {
+                max_attempts = value(i + 1, "--max-attempts <n>")
+                    .parse()
+                    .unwrap_or_else(|_| bad("usage: --max-attempts <n>"));
+                i += 2;
+            }
+            "--sync-timeout" => {
+                sync_timeout = value(i + 1, "--sync-timeout <secs>")
+                    .parse()
+                    .unwrap_or_else(|_| bad("usage: --sync-timeout <secs>"));
+                i += 2;
+            }
+            other if leader.is_none() && !other.starts_with('-') => {
+                leader = Some(other.to_string());
+                i += 1;
+            }
+            other => bad(&format!("unknown flag: {other}")),
+        }
+    }
+    let leader = leader.unwrap_or_else(|| bad("usage: lfpr follow <leader-addr> [flags]"));
+    let mut fopts = FollowerOptions::new(&leader);
+    fopts.runtime = fopts.runtime.with_threads(threads);
+    fopts.max_attempts = max_attempts;
+    let follower = Follower::spawn(fopts);
+    // The leader might still be coming up (the CI smoke starts both at
+    // once): the follower retries with backoff; we wait here for the
+    // first full sync before serving anything.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(sync_timeout);
+    while follower.reader().is_none() {
+        if std::time::Instant::now() > deadline {
+            eprintln!("follow failed: no sync from {leader} within {sync_timeout}s");
+            std::process::exit(1);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("# following {leader} from epoch {}", follower.epoch());
+    match tcp {
+        None => {
+            let (reader, algorithm) = follower.reader().expect("reader after sync");
+            let mut backend = Backend::Replica { reader, algorithm };
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let summary = serve_client(&mut backend, stdin.lock(), stdout.lock())
+                .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
+            eprintln!(
+                "# replica session ended: {} commands at epoch {}",
+                summary.commands,
+                follower.epoch()
+            );
+            match follower.stop() {
+                Ok(stats) => eprintln!(
+                    "# follower stopped: {} resyncs, {} deltas applied, {} reconnects",
+                    stats.resyncs, stats.deltas_applied, stats.reconnects
+                ),
+                Err(e) => eprintln!("# follower failed: {e}"),
+            }
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
+            eprintln!(
+                "# replica listening on {} (read-only)",
+                listener.local_addr().map(|a| a.to_string()).unwrap_or(addr)
+            );
+            loop {
+                let (conn, peer) = match listener.accept() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("# accept error: {e}");
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        continue;
+                    }
+                };
+                // Re-fetch per connection: a resync after a leader
+                // restart swaps in a fresh reader.
+                let Some((reader, algorithm)) = follower.reader() else {
+                    continue;
+                };
+                std::thread::spawn(move || {
+                    eprintln!("# replica connection from {peer}");
+                    let input = BufReader::new(conn.try_clone().expect("clone socket"));
+                    let output = BufWriter::new(conn);
+                    let mut backend = Backend::Replica { reader, algorithm };
+                    match serve_client(&mut backend, input, output) {
+                        Ok(s) => eprintln!("# replica connection closed: {} commands", s.commands),
+                        Err(e) => eprintln!("# replica client dropped: {e}"),
+                    }
+                });
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() >= 2 && args[1] == "serve" {
         serve_main(&args[2..]);
         return;
     }
+    if args.len() >= 2 && args[1] == "follow" {
+        follow_main(&args[2..]);
+        return;
+    }
     if args.len() < 3 {
-        eprintln!("usage: lfpr <rank|update|stats|serve> <graph> [batch] [flags]");
+        eprintln!("usage: lfpr <rank|update|stats|serve|follow> <graph> [batch] [flags]");
         std::process::exit(2);
     }
     match args[1].as_str() {

@@ -1,0 +1,685 @@
+//! Session durability: WAL appending, periodic checkpoints, and crash
+//! recovery for `lfpr serve`.
+//!
+//! [`Durability`] sits between the serve layer's single mutation path
+//! ([`crate::serve::apply_logged`]) and the on-disk primitives in
+//! [`lfpr_graph::io::wal`]. The contract:
+//!
+//! * **apply → log → ack.** A mutation is applied to the session first,
+//!   then appended to the WAL, and only then acknowledged to the
+//!   client. A crash between apply and append loses only un-acked work;
+//!   an acked commit is always recoverable (modulo the fsync policy).
+//! * **Checkpoint = truncate.** Every `checkpoint_every` logged commits
+//!   the full session state is serialized atomically and the WAL is
+//!   restarted empty, bounding both recovery time and log growth.
+//! * **Fail-stop on append errors.** If an append fails (disk full,
+//!   volume gone), the committed state is *ahead* of the log. The
+//!   manager wedges: the successful commit is still acked honestly,
+//!   but every subsequent mutation is refused with a stable error
+//!   until the operator restarts — never a silent durability gap.
+//!
+//! Recovery ([`Durability::recover`]) loads the checkpoint, rebuilds
+//! the session via [`UpdateSession::restore`] (exact rank bits, no
+//! recompute), replays the intact WAL tail through the ordinary
+//! [`UpdateSession::step`] path, truncates whatever the scan flagged as
+//! torn or corrupt, and reports what it did. At one thread the result
+//! is bit-identical to a session that never crashed.
+
+use lfpr_core::config::TeleportWeights;
+use lfpr_core::session::{RankDelta, UpdateSession};
+use lfpr_core::{Algorithm, PagerankOptions, Teleport};
+use lfpr_graph::io::wal::{
+    read_checkpoint, read_wal, write_checkpoint, Checkpoint, CheckpointView, FsyncPolicy,
+    WalRecord, WalWriter,
+};
+use lfpr_graph::{BatchUpdate, DynGraph};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// File names inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Checkpoint file name inside a durability directory.
+pub const CKPT_FILE: &str = "state.ckpt";
+
+/// Live WAL counters shared with serving workers, so `stats` can report
+/// durability lag without consulting the writer thread.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    epoch: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl WalStats {
+    /// Last epoch durably appended to the WAL.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Current WAL file length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Acquire)
+    }
+
+    fn set(&self, epoch: u64, bytes: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+        self.bytes.store(bytes, Ordering::Release);
+    }
+}
+
+/// Tunables for a durability manager.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// When appends reach the platter (default: `always`).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint (and truncate the WAL) every this many logged
+    /// commits; 0 disables periodic checkpoints.
+    pub checkpoint_every: u64,
+    /// Crash-injection hook for the CI recovery smoke: abort the whole
+    /// process immediately after the N-th commit append reaches the
+    /// kernel — after the state change, before the client ack.
+    pub crash_after: Option<u64>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 64,
+            crash_after: None,
+        }
+    }
+}
+
+/// What a recovery run found and did. `Display` renders the one-line
+/// operator summary the CLI prints on startup.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Epoch of the loaded checkpoint.
+    pub checkpoint_epoch: u64,
+    /// Epoch after WAL replay (== checkpoint epoch if the log was empty).
+    pub final_epoch: u64,
+    /// Commits replayed from the WAL.
+    pub replayed_commits: u64,
+    /// View add/drop records replayed from the WAL.
+    pub replayed_view_ops: u64,
+    /// Records skipped as stale (epoch at or below the session's —
+    /// duplicated tails, pre-checkpoint leftovers).
+    pub skipped_stale: u64,
+    /// Bytes cut off the WAL tail (torn/corrupt frames plus any records
+    /// abandoned after a replay fault).
+    pub truncated_bytes: u64,
+    /// Why the tail was cut, when it was.
+    pub truncated_reason: Option<String>,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovered epoch {} (checkpoint {}, {} commits + {} view ops replayed, {} stale skipped",
+            self.final_epoch,
+            self.checkpoint_epoch,
+            self.replayed_commits,
+            self.replayed_view_ops,
+            self.skipped_stale
+        )?;
+        match &self.truncated_reason {
+            Some(reason) => write!(f, ", truncated {} bytes: {reason})", self.truncated_bytes),
+            None => write!(f, ", clean tail)"),
+        }
+    }
+}
+
+/// The WAL + checkpoint manager owned by a session's writer (thread or
+/// stdin loop). All methods take the session by `&mut` alongside —
+/// durability never outlives or outraces the single writer.
+pub struct Durability {
+    dir: PathBuf,
+    writer: WalWriter,
+    opts: DurabilityOptions,
+    stats: Arc<WalStats>,
+    /// Commits appended since the last checkpoint.
+    since_checkpoint: u64,
+    /// Total commits appended this process lifetime (crash injection).
+    commits_logged: u64,
+    /// Set on the first append failure; commits are refused from then on.
+    wedged: Option<String>,
+}
+
+impl Durability {
+    /// Start durability fresh in `dir`: write a checkpoint of the
+    /// session's current state, then open an empty WAL. Call before
+    /// serving begins (the session must not change in between).
+    pub fn create(
+        dir: &Path,
+        session: &mut UpdateSession,
+        opts: DurabilityOptions,
+    ) -> Result<Durability, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create wal directory {}: {e}", dir.display()))?;
+        write_checkpoint(dir.join(CKPT_FILE), &checkpoint_of(session))
+            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+        let writer = WalWriter::create(dir.join(WAL_FILE), opts.fsync)
+            .map_err(|e| format!("cannot create wal: {e}"))?;
+        let stats = Arc::new(WalStats::default());
+        stats.set(session.steps(), writer.bytes());
+        Ok(Durability {
+            dir: dir.to_path_buf(),
+            writer,
+            opts,
+            stats,
+            since_checkpoint: 0,
+            commits_logged: 0,
+            wedged: None,
+        })
+    }
+
+    /// Rebuild a session from `dir`: load the checkpoint, restore the
+    /// session (exact bits, delta tracking on), replay the WAL tail,
+    /// truncate past the intact prefix, and reopen the log for
+    /// appending. `runtime` carries the non-persisted knobs (threads,
+    /// tolerance, executor); the algorithm and graph come from disk.
+    pub fn recover(
+        dir: &Path,
+        runtime: PagerankOptions,
+        opts: DurabilityOptions,
+    ) -> Result<(UpdateSession, Durability, RecoveryReport), String> {
+        let ckpt = read_checkpoint(dir.join(CKPT_FILE))?;
+        let algorithm: Algorithm = ckpt
+            .algo
+            .parse()
+            .map_err(|e| format!("checkpoint names unknown algorithm {}: {e}", ckpt.algo))?;
+        let graph = DynGraph::from_edges(ckpt.n as usize, ckpt.edges)
+            .map_err(|e| format!("checkpoint graph invalid: {e}"))?;
+        let mut session =
+            UpdateSession::restore(graph, algorithm, runtime, &ckpt.ranks, ckpt.epoch)?;
+        session.enable_delta_tracking();
+        session.restore_deltas(triples_to_deltas(&ckpt.deltas));
+        for view in ckpt.views {
+            let teleport = teleport_from_normalized(&view.sources)?;
+            session.restore_view(
+                &view.name,
+                teleport,
+                &view.ranks,
+                triples_to_deltas(&view.deltas),
+            )?;
+        }
+
+        let mut report = RecoveryReport {
+            checkpoint_epoch: ckpt.epoch,
+            ..RecoveryReport::default()
+        };
+        let wal_path = dir.join(WAL_FILE);
+        let mut valid_len = 0u64;
+        match read_wal(&wal_path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Crashed between checkpoint and WAL creation: the
+                // checkpoint alone is the complete state.
+            }
+            Err(e) => return Err(format!("cannot read wal: {e}")),
+            Ok(replay) => {
+                valid_len = replay.valid_len;
+                report.truncated_bytes = replay.truncated_bytes();
+                report.truncated_reason = replay.truncated.clone();
+                for (offset, rec) in replay.records {
+                    match replay_record(&mut session, rec, &mut report) {
+                        Ok(()) => {}
+                        Err(reason) => {
+                            // The log says this record committed, but the
+                            // rebuilt state rejects it: the prefix we
+                            // trusted diverged. Stop here and cut the
+                            // rest — serving a partially-applied tail
+                            // would be worse than losing it.
+                            report.truncated_bytes = replay.total_len - offset;
+                            report.truncated_reason = Some(reason);
+                            valid_len = offset;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        report.final_epoch = session.steps();
+        let writer = WalWriter::open_append(&wal_path, opts.fsync, valid_len)
+            .map_err(|e| format!("cannot reopen wal: {e}"))?;
+        let stats = Arc::new(WalStats::default());
+        stats.set(session.steps(), writer.bytes());
+        let durable = Durability {
+            dir: dir.to_path_buf(),
+            writer,
+            opts,
+            stats,
+            since_checkpoint: report.replayed_commits,
+            commits_logged: 0,
+            wedged: None,
+        };
+        Ok((session, durable, report))
+    }
+
+    /// The shared live counters (`stats` verb).
+    pub fn stats_handle(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Why this manager refuses mutations, if it does.
+    pub fn wedged_reason(&self) -> Option<&str> {
+        self.wedged.as_deref()
+    }
+
+    /// Append a just-applied commit (the session is already at the new
+    /// epoch). Runs the crash-injection hook, then checkpoints if the
+    /// period elapsed. On error the manager wedges and the caller must
+    /// surface the message — the commit itself already happened.
+    pub fn log_commit(
+        &mut self,
+        session: &mut UpdateSession,
+        batch: &BatchUpdate,
+    ) -> Result<(), String> {
+        self.append(
+            session.steps(),
+            &WalRecord::Commit {
+                epoch: session.steps(),
+                batch: batch.clone(),
+            },
+        )?;
+        self.commits_logged += 1;
+        self.since_checkpoint += 1;
+        if self.opts.crash_after == Some(self.commits_logged) {
+            // CI fault injection: die after the append reached the
+            // kernel but before the ack or any checkpoint — the
+            // worst-ordered crash recovery must handle.
+            eprintln!(
+                "# crash-after: aborting after commit {}",
+                self.commits_logged
+            );
+            std::process::abort();
+        }
+        if self.opts.checkpoint_every > 0 && self.since_checkpoint >= self.opts.checkpoint_every {
+            self.checkpoint(session)?;
+        }
+        Ok(())
+    }
+
+    /// Append a just-applied view creation.
+    pub fn log_view_add(
+        &mut self,
+        session: &UpdateSession,
+        name: &str,
+        teleport: &Teleport,
+    ) -> Result<(), String> {
+        let sources = teleport
+            .weights()
+            .map(|w| w.sources().to_vec())
+            .unwrap_or_default();
+        self.append(
+            session.steps(),
+            &WalRecord::ViewAdd {
+                epoch: session.steps(),
+                name: name.to_string(),
+                sources,
+            },
+        )
+    }
+
+    /// Append a just-applied view drop.
+    pub fn log_view_drop(&mut self, session: &UpdateSession, name: &str) -> Result<(), String> {
+        self.append(
+            session.steps(),
+            &WalRecord::ViewDrop {
+                epoch: session.steps(),
+                name: name.to_string(),
+            },
+        )
+    }
+
+    /// Serialize the session's full state and restart the WAL empty.
+    pub fn checkpoint(&mut self, session: &mut UpdateSession) -> Result<(), String> {
+        if let Some(msg) = &self.wedged {
+            return Err(format!("wal unavailable: {msg}"));
+        }
+        write_checkpoint(self.dir.join(CKPT_FILE), &checkpoint_of(session))
+            .map_err(|e| self.wedge(format!("checkpoint write failed: {e}")))?;
+        self.writer = WalWriter::create(self.dir.join(WAL_FILE), self.opts.fsync)
+            .map_err(|e| self.wedge(format!("wal restart failed: {e}")))?;
+        self.since_checkpoint = 0;
+        self.stats.set(session.steps(), self.writer.bytes());
+        Ok(())
+    }
+
+    /// Flush every appended record to stable storage (graceful
+    /// shutdown: TCP `stop()` and stdin EOF both end here).
+    pub fn flush_sync(&mut self) -> Result<(), String> {
+        self.writer
+            .sync()
+            .map_err(|e| format!("wal fsync failed: {e}"))
+    }
+
+    fn append(&mut self, epoch: u64, rec: &WalRecord) -> Result<(), String> {
+        if let Some(msg) = &self.wedged {
+            return Err(format!("wal unavailable: {msg}"));
+        }
+        match self.writer.append(rec) {
+            Ok(bytes) => {
+                self.stats.set(epoch, bytes);
+                Ok(())
+            }
+            Err(e) => Err(self.wedge(format!("wal append failed: {e}"))),
+        }
+    }
+
+    fn wedge(&mut self, msg: String) -> String {
+        eprintln!("# durability wedged: {msg}");
+        self.wedged = Some(msg.clone());
+        msg
+    }
+}
+
+/// Snapshot a session's full committed state into a checkpoint value.
+fn checkpoint_of(session: &mut UpdateSession) -> Checkpoint {
+    let snapshot = session.snapshot();
+    let views = session
+        .view_names()
+        .into_iter()
+        .map(|(name, _)| {
+            let sources = session
+                .view_teleport(&name)
+                .and_then(|t| t.weights().map(|w| w.sources().to_vec()))
+                .unwrap_or_default();
+            CheckpointView {
+                sources,
+                ranks: session.view_ranks(&name).expect("view listed").to_vec(),
+                deltas: deltas_to_triples(session.view_deltas(&name).expect("view listed")),
+                name,
+            }
+        })
+        .collect();
+    Checkpoint {
+        epoch: session.steps(),
+        algo: session.algorithm().to_string(),
+        n: snapshot.num_vertices() as u32,
+        edges: snapshot.edges().collect(),
+        ranks: session.ranks().to_vec(),
+        deltas: deltas_to_triples(session.last_deltas()),
+        views,
+    }
+}
+
+/// Apply one intact WAL record to the rebuilding session. Stale records
+/// (epoch at or below the session's) are skipped — they are duplicated
+/// tails or pre-checkpoint leftovers from a crash inside the
+/// checkpoint-then-truncate window. View ops are idempotent the same
+/// way: re-adding an existing view or dropping a missing one is a skip,
+/// not a fault. Only a commit the session itself rejects is an error.
+fn replay_record(
+    session: &mut UpdateSession,
+    rec: WalRecord,
+    report: &mut RecoveryReport,
+) -> Result<(), String> {
+    match rec {
+        WalRecord::Commit { epoch, batch } => {
+            if epoch <= session.steps() {
+                report.skipped_stale += 1;
+                return Ok(());
+            }
+            if epoch != session.steps() + 1 {
+                return Err(format!(
+                    "epoch gap in wal: have {}, next record is {epoch}",
+                    session.steps()
+                ));
+            }
+            session
+                .step(&batch)
+                .map_err(|e| format!("replay rejected commit {epoch}: {e}"))?;
+            report.replayed_commits += 1;
+            Ok(())
+        }
+        WalRecord::ViewAdd {
+            epoch,
+            name,
+            sources,
+        } => {
+            if epoch < session.steps() || session.has_view(&name) {
+                report.skipped_stale += 1;
+                return Ok(());
+            }
+            let teleport = teleport_from_normalized(&sources)?;
+            // Recomputed statically at the same graph state the leader
+            // had — deterministic at one thread, hence bit-equal.
+            session
+                .add_view(&name, teleport)
+                .map_err(|e| format!("replay rejected view {name}: {e}"))?;
+            report.replayed_view_ops += 1;
+            Ok(())
+        }
+        WalRecord::ViewDrop { epoch, name } => {
+            if epoch < session.steps() || !session.has_view(&name) {
+                report.skipped_stale += 1;
+                return Ok(());
+            }
+            session
+                .drop_view(&name)
+                .map_err(|e| format!("replay rejected view drop {name}: {e}"))?;
+            report.replayed_view_ops += 1;
+            Ok(())
+        }
+    }
+}
+
+/// Rebuild a teleport from shipped normalized pairs without
+/// re-normalizing (which would change the bits).
+pub fn teleport_from_normalized(sources: &[(u32, f64)]) -> Result<Teleport, String> {
+    if sources.is_empty() {
+        return Ok(Teleport::Uniform);
+    }
+    Ok(Teleport::Personalized(Arc::new(
+        TeleportWeights::from_normalized(sources.to_vec())?,
+    )))
+}
+
+fn deltas_to_triples(deltas: &[RankDelta]) -> Vec<(u32, f64, f64)> {
+    deltas.iter().map(|d| (d.vertex, d.old, d.new)).collect()
+}
+
+fn triples_to_deltas(triples: &[(u32, f64, f64)]) -> Vec<RankDelta> {
+    triples
+        .iter()
+        .map(|&(vertex, old, new)| RankDelta { vertex, old, new })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfpr_graph::generators::erdos_renyi;
+    use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::BatchSpec;
+
+    fn opts() -> PagerankOptions {
+        PagerankOptions::default()
+            .with_threads(1)
+            .with_chunk_size(64)
+    }
+
+    fn fresh_session(seed: u64) -> UpdateSession {
+        let mut g = erdos_renyi(80, 400, seed);
+        add_self_loops(&mut g);
+        let mut s = UpdateSession::new(g, Algorithm::DfLF, opts());
+        s.enable_delta_tracking();
+        s
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lfpr-dur-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_log_recover_is_bit_exact() {
+        let dir = tmpdir("basic");
+        let mut live = fresh_session(5);
+        let mut d = Durability::create(
+            &dir,
+            &mut live,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 0,
+                crash_after: None,
+            },
+        )
+        .unwrap();
+        for round in 0..4u64 {
+            let batch = BatchSpec::mixed(0.02, round).generate(live.graph());
+            live.step(&batch).unwrap();
+            d.log_commit(&mut live, &batch).unwrap();
+        }
+        assert_eq!(d.stats_handle().epoch(), 4);
+        // "Crash": drop everything, recover from disk.
+        drop(d);
+        let (rec, d2, report) =
+            Durability::recover(&dir, opts(), DurabilityOptions::default()).unwrap();
+        assert_eq!(report.checkpoint_epoch, 0);
+        assert_eq!(report.final_epoch, 4);
+        assert_eq!(report.replayed_commits, 4);
+        assert!(report.truncated_reason.is_none());
+        assert_eq!(rec.steps(), live.steps());
+        for (a, b) in live.ranks().iter().zip(rec.ranks()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(rec.movers(5), live.movers(5));
+        assert_eq!(d2.stats_handle().epoch(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn periodic_checkpoints_truncate_the_log() {
+        let dir = tmpdir("ckpt");
+        let mut live = fresh_session(6);
+        let mut d = Durability::create(
+            &dir,
+            &mut live,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 2,
+                crash_after: None,
+            },
+        )
+        .unwrap();
+        let mut wal_sizes = Vec::new();
+        for round in 0..5u64 {
+            let batch = BatchSpec::mixed(0.02, 50 + round).generate(live.graph());
+            live.step(&batch).unwrap();
+            d.log_commit(&mut live, &batch).unwrap();
+            wal_sizes.push(d.stats_handle().bytes());
+        }
+        // After commits 2 and 4 the WAL restarted at just the magic.
+        assert_eq!(wal_sizes[1], 8);
+        assert_eq!(wal_sizes[3], 8);
+        assert!(wal_sizes[4] > 8);
+        drop(d);
+        let (rec, _, report) =
+            Durability::recover(&dir, opts(), DurabilityOptions::default()).unwrap();
+        assert_eq!(report.checkpoint_epoch, 4);
+        assert_eq!(report.replayed_commits, 1);
+        assert_eq!(rec.steps(), 5);
+        for (a, b) in live.ranks().iter().zip(rec.ranks()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn view_ops_replay_and_deduplicate() {
+        let dir = tmpdir("views");
+        let mut live = fresh_session(7);
+        let mut d = Durability::create(
+            &dir,
+            &mut live,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 0,
+                crash_after: None,
+            },
+        )
+        .unwrap();
+        let t = Teleport::personalized([(2, 1.0), (9, 3.0)]).unwrap();
+        live.add_view("ego", t.clone()).unwrap();
+        d.log_view_add(&live, "ego", &t).unwrap();
+        let batch = BatchSpec::mixed(0.02, 70).generate(live.graph());
+        live.step(&batch).unwrap();
+        d.log_commit(&mut live, &batch).unwrap();
+        live.drop_view("ego").unwrap();
+        d.log_view_drop(&live, "ego").unwrap();
+        let t2 = Teleport::personalized([(4, 1.0)]).unwrap();
+        live.add_view("ego2", t2.clone()).unwrap();
+        d.log_view_add(&live, "ego2", &t2).unwrap();
+        drop(d);
+        let (rec, _, report) =
+            Durability::recover(&dir, opts(), DurabilityOptions::default()).unwrap();
+        assert_eq!(report.replayed_view_ops, 3);
+        assert!(!rec.has_view("ego"));
+        assert!(rec.has_view("ego2"));
+        for (a, b) in live
+            .view_ranks("ego2")
+            .unwrap()
+            .iter()
+            .zip(rec.view_ranks("ego2").unwrap())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_recover_dir_reports_stably() {
+        let err = Durability::recover(Path::new("/nonexistent/lfpr"), opts(), Default::default())
+            .err()
+            .unwrap();
+        assert!(err.starts_with("cannot read checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_wal_tail_is_truncated_and_reported() {
+        let dir = tmpdir("tail");
+        let mut live = fresh_session(8);
+        let mut d = Durability::create(
+            &dir,
+            &mut live,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 0,
+                crash_after: None,
+            },
+        )
+        .unwrap();
+        for round in 0..3u64 {
+            let batch = BatchSpec::mixed(0.02, 80 + round).generate(live.graph());
+            live.step(&batch).unwrap();
+            d.log_commit(&mut live, &batch).unwrap();
+        }
+        drop(d);
+        // Torn write: half a record of garbage at the tail.
+        let wal = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&[0x11, 0x22, 0x33]);
+        std::fs::write(&wal, &bytes).unwrap();
+        let (rec, d2, report) =
+            Durability::recover(&dir, opts(), DurabilityOptions::default()).unwrap();
+        assert_eq!(rec.steps(), 3, "all intact commits replayed");
+        assert_eq!(report.truncated_bytes, 3);
+        assert!(report.truncated_reason.is_some());
+        // The reopened WAL no longer carries the garbage.
+        drop(d2);
+        let replay = read_wal(&wal).unwrap();
+        assert!(replay.truncated.is_none());
+        assert_eq!(replay.records.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

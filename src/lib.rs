@@ -57,7 +57,9 @@ pub use lfpr_core::{
 };
 pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
 
+pub mod durable;
 pub mod protocol;
+pub mod replica;
 pub mod serve;
 pub mod server;
 

@@ -45,6 +45,7 @@ pub const VERBS: &[&str] = &[
     "poll",
     "view",
     "views",
+    "follow",
     "quit",
 ];
 
@@ -89,6 +90,12 @@ pub enum Request {
     ViewDrop { name: String },
     /// `views` — list the named views.
     Views,
+    /// `follow [epoch]` — switch this connection to the replication
+    /// feed. With an epoch the server answers `feed ok` when the
+    /// follower is already current, otherwise (and always without an
+    /// epoch) it streams a full resync; live delta frames follow either
+    /// way. The feed sub-protocol is documented in `docs/DURABILITY.md`.
+    Follow { since: Option<u64> },
     /// `quit` — end the session.
     Quit,
 }
@@ -154,7 +161,8 @@ pub enum Response {
         epoch: u64,
         view: Option<String>,
     },
-    /// `stats n=<n> m=<m> steps=<s> staged=<k> algo=<a> epoch=<e>`
+    /// `stats n=<n> m=<m> steps=<s> staged=<k> algo=<a> epoch=<e>` —
+    /// plus ` wal_epoch=<we> wal_bytes=<wb>` when durability is on.
     Stats {
         n: usize,
         m: usize,
@@ -162,6 +170,10 @@ pub enum Response {
         staged: usize,
         algo: String,
         epoch: u64,
+        /// `(wal_epoch, wal_bytes)` — present only when the server runs
+        /// with a write-ahead log, so non-durable transcripts keep
+        /// their historical bytes.
+        wal: Option<(u64, u64)>,
     },
     /// `subscribed <v> eps=<eps>`
     Subscribed { v: u32, eps: f64 },
@@ -233,6 +245,17 @@ pub enum ServeError {
     NotSubscribed(u32),
     /// `view add` rejected by the session (duplicate source, race, …).
     ViewRejected(String),
+    /// `follow` on a transport that cannot stream (the stdin loop).
+    FollowNeedsTcp,
+    /// A mutating verb sent to a replica, which only serves reads.
+    ReadOnlyReplica,
+    /// The write-ahead log is wedged (an append or fsync failed); the
+    /// server refuses further mutations rather than silently diverge
+    /// from its log.
+    WalUnavailable(String),
+    /// `--recover` could not load a usable checkpoint (missing path,
+    /// bad header, checksum mismatch).
+    RecoverFailed(String),
 }
 
 impl fmt::Display for ServeError {
@@ -261,6 +284,10 @@ impl fmt::Display for ServeError {
             ServeError::NoSources => write!(f, "view add needs at least one source vertex"),
             ServeError::NotSubscribed(v) => write!(f, "not subscribed to vertex {v}"),
             ServeError::ViewRejected(msg) => write!(f, "view rejected: {msg}"),
+            ServeError::FollowNeedsTcp => write!(f, "follow requires --tcp"),
+            ServeError::ReadOnlyReplica => write!(f, "read-only replica"),
+            ServeError::WalUnavailable(msg) => write!(f, "wal unavailable: {msg}"),
+            ServeError::RecoverFailed(msg) => write!(f, "recover failed: {msg}"),
         }
     }
 }
@@ -399,6 +426,13 @@ fn parse_request_tokens(tokens: &[&str]) -> Result<Request, ServeError> {
             name: parse_view_name(name)?,
         }),
         ["views"] => Ok(Request::Views),
+        ["follow"] => Ok(Request::Follow { since: None }),
+        ["follow", epoch] => {
+            let since = epoch
+                .parse()
+                .map_err(|_| ServeError::NeedsInteger("follow"))?;
+            Ok(Request::Follow { since: Some(since) })
+        }
         ["quit"] => Ok(Request::Quit),
         _ => Err(ServeError::UnknownCommand(tokens.join(" "))),
     }
@@ -438,6 +472,10 @@ pub fn encode_request(r: &Request) -> String {
         }
         Request::ViewDrop { name } => format!("view drop {name}"),
         Request::Views => "views".into(),
+        Request::Follow { since } => match since {
+            Some(epoch) => format!("follow {epoch}"),
+            None => "follow".into(),
+        },
         Request::Quit => "quit".into(),
     }
 }
@@ -520,7 +558,16 @@ pub fn encode_response(resp: &Response) -> String {
             staged,
             algo,
             epoch,
-        } => format!("stats n={n} m={m} steps={steps} staged={staged} algo={algo} epoch={epoch}"),
+            wal,
+        } => {
+            let mut out = format!(
+                "stats n={n} m={m} steps={steps} staged={staged} algo={algo} epoch={epoch}"
+            );
+            if let Some((we, wb)) = wal {
+                out.push_str(&format!(" wal_epoch={we} wal_bytes={wb}"));
+            }
+            out
+        }
         Response::Subscribed { v, eps } => format!("subscribed {v} eps={eps:e}"),
         Response::Unsubscribed { v } => format!("unsubscribed {v}"),
         Response::Push { entries, epoch } => {
@@ -657,6 +704,10 @@ pub fn parse_response(block: &str) -> Option<Response> {
             staged: field(head, "staged")? as usize,
             algo: field_str(head, "algo")?.to_string(),
             epoch: field(head, "epoch")?,
+            wal: match (field(head, "wal_epoch"), field(head, "wal_bytes")) {
+                (Some(we), Some(wb)) => Some((we, wb)),
+                _ => None,
+            },
         }),
         ["subscribed", v, ..] => Some(Response::Subscribed {
             v: v.parse().ok()?,
@@ -776,8 +827,21 @@ fn parse_error(msg: &str) -> Option<ServeError> {
         return Some(match what {
             "topk" => ServeError::NeedsInteger("topk"),
             "movers" => ServeError::NeedsInteger("movers"),
+            "follow" => ServeError::NeedsInteger("follow"),
             _ => return None,
         });
+    }
+    if msg == "follow requires --tcp" {
+        return Some(ServeError::FollowNeedsTcp);
+    }
+    if msg == "read-only replica" {
+        return Some(ServeError::ReadOnlyReplica);
+    }
+    if let Some(rest) = msg.strip_prefix("wal unavailable: ") {
+        return Some(ServeError::WalUnavailable(rest.to_string()));
+    }
+    if let Some(rest) = msg.strip_prefix("recover failed: ") {
+        return Some(ServeError::RecoverFailed(rest.to_string()));
     }
     None
 }
@@ -823,6 +887,43 @@ mod tests {
             Ok(r) => panic!("parsed {r:?}"),
         };
         assert_eq!(err.to_string(), "unknown command: frobnicate 12");
+    }
+
+    #[test]
+    fn durability_error_strings_are_stable() {
+        // Pinned by tests/data/recovery_smoke.expected and the recovery
+        // integration tests: recovery refusals must be bytes, not
+        // ad-hoc io::Error bubbles.
+        assert_eq!(
+            ServeError::FollowNeedsTcp.to_string(),
+            "follow requires --tcp"
+        );
+        assert_eq!(ServeError::ReadOnlyReplica.to_string(), "read-only replica");
+        assert_eq!(
+            ServeError::WalUnavailable("wal append failed: disk full".into()).to_string(),
+            "wal unavailable: wal append failed: disk full"
+        );
+        assert_eq!(
+            ServeError::RecoverFailed("checkpoint checksum mismatch".into()).to_string(),
+            "recover failed: checkpoint checksum mismatch"
+        );
+    }
+
+    #[test]
+    fn follow_parses_with_and_without_an_epoch() {
+        assert_eq!(
+            parse_request("follow").unwrap().unwrap(),
+            Request::Follow { since: None }
+        );
+        assert_eq!(
+            parse_request("follow 42").unwrap().unwrap(),
+            Request::Follow { since: Some(42) }
+        );
+        assert!(matches!(
+            parse_request("follow x").unwrap(),
+            Err(ServeError::NeedsInteger("follow"))
+        ));
+        assert!(VERBS.contains(&"follow"));
     }
 
     #[test]
@@ -987,6 +1088,16 @@ mod tests {
                 staged: 0,
                 algo: "DFLF".into(),
                 epoch: 0,
+                wal: None,
+            },
+            Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 3,
+                staged: 0,
+                algo: "DFLF".into(),
+                epoch: 3,
+                wal: Some((3, 1024)),
             },
             Response::Subscribed { v: 4, eps: 1e-7 },
             Response::Unsubscribed { v: 4 },
@@ -1034,8 +1145,21 @@ mod tests {
                 staged: 0,
                 algo: "DFLF".into(),
                 epoch: 0,
+                wal: None,
             }),
             "stats n=200 m=1000 steps=0 staged=0 algo=DFLF epoch=0"
+        );
+        assert_eq!(
+            encode_response(&Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 2,
+                staged: 0,
+                algo: "DFLF".into(),
+                epoch: 2,
+                wal: Some((2, 131)),
+            }),
+            "stats n=200 m=1000 steps=2 staged=0 algo=DFLF epoch=2 wal_epoch=2 wal_bytes=131"
         );
         assert_eq!(
             encode_response(&Response::BatchOk {

@@ -56,12 +56,15 @@
 //! insert/delete pair of the same edge cancels out, mirroring
 //! [`crate::MutGuard`].
 
+use crate::durable::{Durability, WalStats};
 use crate::protocol::{
     encode_response, parse_request, MoverEntry, Request, Response, ServeError, PROTOCOL_VERSION,
     VERBS,
 };
+use crate::replica::{self, FeedHub};
 use lfpr_core::session::{RankReader, RankView, UpdateSession};
 use lfpr_core::{Algorithm, RankDelta, RunStatus, Teleport};
+use lfpr_graph::io::wal::WalRecord;
 use lfpr_graph::BatchUpdate;
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -201,16 +204,109 @@ pub fn apply_on(session: &mut UpdateSession, op: WriterOp) -> Result<WriterOk, (
     }
 }
 
+/// [`apply_on`] with durability and replication: apply the op, append
+/// it to the WAL, hand it to the feed, then acknowledge — in that
+/// order, so an acked mutation is always on disk (per the fsync policy)
+/// and followers never see an epoch the leader could lose.
+///
+/// A *wedged* WAL (an earlier append failed) refuses the op up front:
+/// committed state is already ahead of the log and widening that gap
+/// would make recovery a lie. An append failure on this very op cannot
+/// un-apply it — the op is acked honestly and the manager wedges for
+/// everything after.
+pub fn apply_logged(
+    session: &mut UpdateSession,
+    mut durable: Option<&mut Durability>,
+    feed: Option<&FeedHub>,
+    op: WriterOp,
+) -> Result<WriterOk, (WriterOp, String)> {
+    if let Some(msg) = durable.as_ref().and_then(|d| d.wedged_reason()) {
+        let msg = format!("wal unavailable: {msg}");
+        return Err((op, msg));
+    }
+    match op {
+        WriterOp::Commit(batch) => match commit_on(session, &batch) {
+            Ok(outcome) => {
+                if let Some(d) = durable.as_deref_mut() {
+                    if let Err(e) = d.log_commit(session, &batch) {
+                        eprintln!("# commit {} applied but not logged: {e}", outcome.epoch);
+                    }
+                }
+                if let Some(f) = feed {
+                    f.publish(WalRecord::Commit {
+                        epoch: outcome.epoch,
+                        batch,
+                    });
+                }
+                Ok(WriterOk::Committed(outcome))
+            }
+            Err(msg) => Err((WriterOp::Commit(batch), msg)),
+        },
+        WriterOp::AddView { name, teleport } => match session.add_view(&name, teleport.clone()) {
+            Ok(()) => {
+                if let Some(d) = durable.as_deref_mut() {
+                    if let Err(e) = d.log_view_add(session, &name, &teleport) {
+                        eprintln!("# view {name} added but not logged: {e}");
+                    }
+                }
+                if let Some(f) = feed {
+                    let sources = teleport
+                        .weights()
+                        .map(|w| w.sources().to_vec())
+                        .unwrap_or_default();
+                    f.publish(WalRecord::ViewAdd {
+                        epoch: session.steps(),
+                        name: name.clone(),
+                        sources,
+                    });
+                }
+                Ok(WriterOk::ViewAdded {
+                    epoch: session.steps(),
+                })
+            }
+            Err(msg) => Err((WriterOp::AddView { name, teleport }, msg)),
+        },
+        WriterOp::DropView { name } => match session.drop_view(&name) {
+            Ok(()) => {
+                if let Some(d) = durable {
+                    if let Err(e) = d.log_view_drop(session, &name) {
+                        eprintln!("# view {name} dropped but not logged: {e}");
+                    }
+                }
+                if let Some(f) = feed {
+                    f.publish(WalRecord::ViewDrop {
+                        epoch: session.steps(),
+                        name: name.clone(),
+                    });
+                }
+                Ok(WriterOk::ViewDropped)
+            }
+            Err(msg) => Err((WriterOp::DropView { name }, msg)),
+        },
+    }
+}
+
 /// How a serve loop reaches session state.
 ///
 /// * [`Direct`](Backend::Direct) — exclusive access (stdin mode, tests):
 ///   reads and writes go straight to the owned session.
+/// * [`Durable`](Backend::Durable) — Direct plus a write-ahead log:
+///   every mutation is appended (and acked only after).
 /// * [`Concurrent`](Backend::Concurrent) — a TCP worker: reads come from
 ///   the epoch-published [`RankView`] (never blocking the writer),
 ///   writes are funneled through a channel to the single writer thread.
+/// * [`Replica`](Backend::Replica) — a follower's local server: reads
+///   come from the mirrored published view, mutations are refused.
 pub enum Backend<'a> {
     /// Exclusive access to the session (single-connection modes).
     Direct(&'a mut UpdateSession),
+    /// Exclusive access with durability (stdin mode under `--wal`).
+    Durable {
+        /// The owned session.
+        session: &'a mut UpdateSession,
+        /// Its WAL + checkpoint manager.
+        durable: &'a mut Durability,
+    },
     /// Shared access under the concurrent server.
     Concurrent {
         /// Handle onto the session's published views.
@@ -218,6 +314,17 @@ pub enum Backend<'a> {
         /// Funnel to the writer thread owning the session.
         writer: mpsc::Sender<WriterRequest>,
         /// The session's configured algorithm (for `stats`).
+        algorithm: Algorithm,
+        /// Fan-out point for `follow` connections.
+        feed: FeedHub,
+        /// Live WAL counters (`stats`), when the server is durable.
+        wal: Option<Arc<WalStats>>,
+    },
+    /// Read-only serving from a follower's mirrored state.
+    Replica {
+        /// Handle onto the mirrored published views.
+        reader: RankReader,
+        /// The leader's algorithm.
         algorithm: Algorithm,
     },
 }
@@ -322,15 +429,38 @@ impl Backend<'_> {
     fn view(&self) -> CmdView<'_> {
         match self {
             Backend::Direct(s) => CmdView::Direct(s),
-            Backend::Concurrent { reader, .. } => CmdView::Published(reader.view()),
+            Backend::Durable { session, .. } => CmdView::Direct(session),
+            Backend::Concurrent { reader, .. } | Backend::Replica { reader, .. } => {
+                CmdView::Published(reader.view())
+            }
         }
     }
 
     fn algorithm(&self) -> Algorithm {
         match self {
             Backend::Direct(s) => s.algorithm(),
-            Backend::Concurrent { algorithm, .. } => *algorithm,
+            Backend::Durable { session, .. } => session.algorithm(),
+            Backend::Concurrent { algorithm, .. } | Backend::Replica { algorithm, .. } => {
+                *algorithm
+            }
         }
+    }
+
+    /// `(wal_epoch, wal_bytes)` for `stats`, when this backend logs.
+    fn wal_stats(&self) -> Option<(u64, u64)> {
+        match self {
+            Backend::Direct(_) | Backend::Replica { .. } => None,
+            Backend::Durable { durable, .. } => {
+                let s = durable.stats_handle();
+                Some((s.epoch(), s.bytes()))
+            }
+            Backend::Concurrent { wal, .. } => wal.as_ref().map(|s| (s.epoch(), s.bytes())),
+        }
+    }
+
+    /// Does this backend refuse mutations outright?
+    fn read_only(&self) -> bool {
+        matches!(self, Backend::Replica { .. })
     }
 
     /// Commit a batch. Direct mode applies it in place; concurrent mode
@@ -340,6 +470,14 @@ impl Backend<'_> {
     fn commit(&mut self, batch: BatchUpdate) -> Result<CommitOutcome, (BatchUpdate, String)> {
         match self {
             Backend::Direct(session) => commit_on(session, &batch).map_err(|msg| (batch, msg)),
+            Backend::Durable { session, durable } => {
+                match apply_logged(session, Some(durable), None, WriterOp::Commit(batch)) {
+                    Ok(WriterOk::Committed(outcome)) => Ok(outcome),
+                    Ok(_) => unreachable!("commit answered with a non-commit outcome"),
+                    Err((WriterOp::Commit(batch), msg)) => Err((batch, msg)),
+                    Err((_, msg)) => Err((BatchUpdate::new(), msg)),
+                }
+            }
             Backend::Concurrent { writer, .. } => {
                 match send_writer(writer, WriterOp::Commit(batch)) {
                     Ok(WriterOk::Committed(outcome)) => Ok(outcome),
@@ -348,6 +486,7 @@ impl Backend<'_> {
                     Err((_, msg)) => Err((BatchUpdate::new(), msg)),
                 }
             }
+            Backend::Replica { .. } => Err((batch, "read-only replica".into())),
         }
     }
 
@@ -357,6 +496,17 @@ impl Backend<'_> {
             Backend::Direct(session) => {
                 session.add_view(name, teleport)?;
                 Ok(session.steps())
+            }
+            Backend::Durable { session, durable } => {
+                let op = WriterOp::AddView {
+                    name: name.to_string(),
+                    teleport,
+                };
+                match apply_logged(session, Some(durable), None, op) {
+                    Ok(WriterOk::ViewAdded { epoch }) => Ok(epoch),
+                    Ok(_) => unreachable!("view add answered with a non-view outcome"),
+                    Err((_, msg)) => Err(msg),
+                }
             }
             Backend::Concurrent { writer, .. } => {
                 let op = WriterOp::AddView {
@@ -369,6 +519,7 @@ impl Backend<'_> {
                     Err((_, msg)) => Err(msg),
                 }
             }
+            Backend::Replica { .. } => Err("read-only replica".into()),
         }
     }
 
@@ -376,6 +527,16 @@ impl Backend<'_> {
     fn drop_view(&mut self, name: &str) -> Result<(), String> {
         match self {
             Backend::Direct(session) => session.drop_view(name),
+            Backend::Durable { session, durable } => {
+                let op = WriterOp::DropView {
+                    name: name.to_string(),
+                };
+                match apply_logged(session, Some(durable), None, op) {
+                    Ok(WriterOk::ViewDropped) => Ok(()),
+                    Ok(_) => unreachable!("view drop answered with a non-view outcome"),
+                    Err((_, msg)) => Err(msg),
+                }
+            }
             Backend::Concurrent { writer, .. } => {
                 let op = WriterOp::DropView {
                     name: name.to_string(),
@@ -386,6 +547,7 @@ impl Backend<'_> {
                     Err((_, msg)) => Err(msg),
                 }
             }
+            Backend::Replica { .. } => Err("read-only replica".into()),
         }
     }
 }
@@ -461,6 +623,23 @@ pub fn serve_connection<R: BufRead, W: Write>(
     serve_client(&mut Backend::Direct(session), input, out)
 }
 
+/// [`serve_connection`] with a write-ahead log: mutations are appended
+/// and acked in order, and the WAL is flushed to stable storage when
+/// the input ends (EOF or `quit`) — the stdin half of graceful
+/// shutdown.
+pub fn serve_connection_durable<R: BufRead, W: Write>(
+    session: &mut UpdateSession,
+    durable: &mut Durability,
+    input: R,
+    out: W,
+) -> std::io::Result<ServeSummary> {
+    let summary = serve_client(&mut Backend::Durable { session, durable }, input, out)?;
+    if let Err(e) = durable.flush_sync() {
+        eprintln!("# shutdown flush failed: {e}");
+    }
+    Ok(summary)
+}
+
 /// Drive one client connection against `backend` until EOF or `quit`.
 pub fn serve_client<R: BufRead, W: Write>(
     backend: &mut Backend<'_>,
@@ -483,8 +662,24 @@ pub fn serve_client<R: BufRead, W: Write>(
             }
         };
         out.flush()?;
-        if matches!(flow, Flow::Quit) {
-            break;
+        match flow {
+            Flow::Continue => {}
+            Flow::Quit => break,
+            Flow::Follow { since } => {
+                // The connection becomes a one-way feed: stream until
+                // the client hangs up or the hub closes, then end it.
+                // Socket errors are ordinary disconnects here.
+                if let Backend::Concurrent {
+                    reader,
+                    feed,
+                    algorithm,
+                    ..
+                } = backend
+                {
+                    let _ = replica::stream_feed(reader, feed, *algorithm, since, &mut out);
+                }
+                break;
+            }
         }
     }
     Ok(summary)
@@ -493,6 +688,10 @@ pub fn serve_client<R: BufRead, W: Write>(
 enum Flow {
     Continue,
     Quit,
+    /// Switch this connection to the replication feed.
+    Follow {
+        since: Option<u64>,
+    },
 }
 
 fn reply<W: Write>(out: &mut W, resp: &Response) -> std::io::Result<()> {
@@ -526,6 +725,22 @@ fn handle<W: Write>(
         if is_poll {
             return Ok(Flow::Continue);
         }
+    }
+
+    // A replica serves reads only; refuse mutations with one stable
+    // error before touching any staging state.
+    if backend.read_only()
+        && matches!(
+            req,
+            Request::Insert { .. }
+                | Request::Delete { .. }
+                | Request::Batch
+                | Request::ViewAdd { .. }
+                | Request::ViewDrop { .. }
+        )
+    {
+        reply(out, &Response::Error(ServeError::ReadOnlyReplica))?;
+        return Ok(Flow::Continue);
     }
 
     let resp = match req {
@@ -570,7 +785,7 @@ fn handle<W: Write>(
                 // can be inspected or amended.
                 Err((batch, msg)) => {
                     state.staged = batch;
-                    Response::Error(ServeError::BatchRejected(msg))
+                    Response::Error(refusal_or(msg, ServeError::BatchRejected))
                 }
             }
         }
@@ -642,6 +857,7 @@ fn handle<W: Write>(
                 staged: state.staged.len(),
                 algo: backend.algorithm().to_string(),
                 epoch: view.epoch(),
+                wal: backend.wal_stats(),
             }
         }
         Request::Subscribe { v, eps } => {
@@ -678,7 +894,7 @@ fn handle<W: Write>(
                             sources: count,
                             epoch,
                         },
-                        Err(msg) => Response::Error(ServeError::ViewRejected(msg)),
+                        Err(msg) => Response::Error(refusal_or(msg, ServeError::ViewRejected)),
                     },
                 },
             }
@@ -687,8 +903,9 @@ fn handle<W: Write>(
             if backend.view().has_view(&name) {
                 match backend.drop_view(&name) {
                     Ok(()) => Response::ViewDropped { name },
-                    // Lost a race with another client dropping it.
-                    Err(_) => Response::Error(ServeError::UnknownView(name)),
+                    // A wedged WAL refuses; otherwise this client lost a
+                    // race with another dropping the same view.
+                    Err(msg) => Response::Error(refusal_or(msg, |_| ServeError::UnknownView(name))),
                 }
             } else {
                 Response::Error(ServeError::UnknownView(name))
@@ -696,6 +913,10 @@ fn handle<W: Write>(
         }
         Request::Views => Response::Views {
             entries: backend.view().view_names(),
+        },
+        Request::Follow { since } => match backend {
+            Backend::Concurrent { .. } => return Ok(Flow::Follow { since }),
+            _ => Response::Error(ServeError::FollowNeedsTcp),
         },
         Request::Quit => {
             reply(out, &Response::Bye)?;
@@ -764,6 +985,19 @@ fn stage_delete(view: &CmdView<'_>, staged: &mut BatchUpdate, u: u32, v: u32) ->
     Response::Staged {
         count: staged.len(),
     }
+}
+
+/// Map a mutation failure to its typed error: WAL refusals and the
+/// replica refusal have fixed texts of their own; anything else gets
+/// the site-specific wrapper.
+fn refusal_or(msg: String, wrap: impl FnOnce(String) -> ServeError) -> ServeError {
+    if let Some(rest) = msg.strip_prefix("wal unavailable: ") {
+        return ServeError::WalUnavailable(rest.to_string());
+    }
+    if msg == "read-only replica" {
+        return ServeError::ReadOnlyReplica;
+    }
+    wrap(msg)
 }
 
 fn status_str(status: RunStatus) -> &'static str {
@@ -1020,6 +1254,8 @@ mod tests {
             reader,
             writer: tx,
             algorithm: s.algorithm(),
+            feed: FeedHub::new(),
+            wal: None,
         };
         let mut out = Vec::new();
         // Reads before any commit: epoch 0.
@@ -1061,6 +1297,8 @@ mod tests {
             reader,
             writer: tx,
             algorithm: s.algorithm(),
+            feed: FeedHub::new(),
+            wal: None,
         };
         let writer_thread = std::thread::spawn(move || {
             while let Ok(req) = rx.recv() {

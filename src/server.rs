@@ -24,7 +24,9 @@
 //! connection (logged to stderr); the worker returns to `accept` and
 //! the server keeps running.
 
-use crate::serve::{apply_on, serve_client, Backend, ServeSummary, WriterRequest};
+use crate::durable::{Durability, WalStats};
+use crate::replica::FeedHub;
+use crate::serve::{apply_logged, serve_client, Backend, ServeSummary, WriterRequest};
 use lfpr_core::session::{RankReader, UpdateSession};
 use lfpr_core::Algorithm;
 use std::io::{BufReader, BufWriter};
@@ -43,6 +45,7 @@ pub struct TcpServer {
     workers: Vec<JoinHandle<()>>,
     writer: JoinHandle<UpdateSession>,
     totals: Arc<Mutex<ServeSummary>>,
+    feed: FeedHub,
 }
 
 impl TcpServer {
@@ -61,6 +64,10 @@ impl TcpServer {
     /// Workers mid-connection finish serving that client first.
     pub fn stop(self) -> (UpdateSession, ServeSummary) {
         self.stop.store(true, Ordering::Release);
+        // Close the feed hub first: a worker streaming the replica feed
+        // is blocked in `recv()` on a feed channel, not in `accept`, and
+        // only a closed hub unblocks it.
+        self.feed.close();
         // One wake-up connection per worker unblocks their `accept`.
         for _ in 0..self.workers.len() {
             let _ = TcpStream::connect(self.addr);
@@ -91,9 +98,23 @@ impl TcpServer {
 /// Start serving `listener` with `workers` concurrent connection
 /// handlers (at least 1) plus one writer thread owning `session`.
 pub fn spawn(
+    session: UpdateSession,
+    listener: TcpListener,
+    workers: usize,
+) -> std::io::Result<TcpServer> {
+    spawn_durable(session, listener, workers, None)
+}
+
+/// [`spawn`] with durability: when `durable` is given, the writer
+/// thread logs every committed op to its write-ahead log (and takes
+/// periodic checkpoints) before acknowledging, and `stats` reports the
+/// log position. With or without a log, committed ops are published to
+/// the replica feed so `follow` clients receive them live.
+pub fn spawn_durable(
     mut session: UpdateSession,
     listener: TcpListener,
     workers: usize,
+    durable: Option<Durability>,
 ) -> std::io::Result<TcpServer> {
     let addr = listener.local_addr()?;
     let algorithm = session.algorithm();
@@ -102,24 +123,28 @@ pub fn spawn(
     let reader = session.reader();
     let (tx, rx) = mpsc::channel::<WriterRequest>();
     let stop = Arc::new(AtomicBool::new(false));
+    let feed = FeedHub::new();
+    let wal: Option<Arc<WalStats>> = durable.as_ref().map(|d| d.stats_handle());
     let writer = {
         // If the writer dies (a kernel panic propagated out of
         // `session.step`), the server must not keep serving stale reads
         // while every commit fails — shut the workers down and let
         // `wait`/`stop` surface the panic instead.
         let stop = Arc::clone(&stop);
+        let feed = feed.clone();
         let n_workers = workers.max(1);
         std::thread::Builder::new()
             .name("lfpr-writer".into())
             .spawn(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    writer_loop(session, rx)
+                    writer_loop(session, rx, durable, &feed)
                 }));
                 match result {
                     Ok(session) => session,
                     Err(panic) => {
                         eprintln!("# writer thread panicked; stopping the server");
                         stop.store(true, Ordering::Release);
+                        feed.close();
                         for _ in 0..n_workers {
                             let _ = TcpStream::connect(addr);
                         }
@@ -139,6 +164,8 @@ pub fn spawn(
                 writer_tx: tx.clone(),
                 algorithm,
                 totals: Arc::clone(&totals),
+                feed: feed.clone(),
+                wal: wal.clone(),
                 id,
             };
             std::thread::Builder::new()
@@ -155,6 +182,7 @@ pub fn spawn(
         workers,
         writer,
         totals,
+        feed,
     })
 }
 
@@ -165,6 +193,8 @@ struct WorkerCtx {
     writer_tx: mpsc::Sender<WriterRequest>,
     algorithm: Algorithm,
     totals: Arc<Mutex<ServeSummary>>,
+    feed: FeedHub,
+    wal: Option<Arc<WalStats>>,
     id: usize,
 }
 
@@ -192,6 +222,8 @@ fn worker_loop(ctx: WorkerCtx) {
             reader: ctx.reader.clone(),
             writer: ctx.writer_tx.clone(),
             algorithm: ctx.algorithm,
+            feed: ctx.feed.clone(),
+            wal: ctx.wal.clone(),
         };
         let input = BufReader::new(&conn);
         // Buffer replies so each command's block is one write
@@ -214,14 +246,27 @@ fn worker_loop(ctx: WorkerCtx) {
 
 /// The single writer: applies every funneled op (batch commit, view
 /// add/drop) to the owned session — which republishes the read view
-/// after each mutation — and reports the outcome back to the requesting
-/// worker. A rejected op travels back with the error so e.g. a failed
-/// commit's staged edits survive on the client.
-fn writer_loop(mut session: UpdateSession, rx: mpsc::Receiver<WriterRequest>) -> UpdateSession {
+/// after each mutation, logs it to the WAL when one is configured, and
+/// publishes it on the replica feed — then reports the outcome back to
+/// the requesting worker. A rejected op travels back with the error so
+/// e.g. a failed commit's staged edits survive on the client. When the
+/// last worker hangs up, any log is flushed and fsynced before the
+/// session is handed back: a graceful stop never loses an acked commit.
+fn writer_loop(
+    mut session: UpdateSession,
+    rx: mpsc::Receiver<WriterRequest>,
+    mut durable: Option<Durability>,
+    feed: &FeedHub,
+) -> UpdateSession {
     while let Ok(req) = rx.recv() {
-        let outcome = apply_on(&mut session, req.op);
+        let outcome = apply_logged(&mut session, durable.as_mut(), Some(feed), req.op);
         // A worker gone mid-op (its client vanished) is fine.
         let _ = req.reply.send(outcome);
+    }
+    if let Some(d) = durable.as_mut() {
+        if let Err(e) = d.flush_sync() {
+            eprintln!("# shutdown: wal flush failed: {e}");
+        }
     }
     session
 }

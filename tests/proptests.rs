@@ -179,7 +179,7 @@ fn view_name(seed: u64, len: usize) -> String {
 /// floats (finite, eps ≥ 0, weights > 0).
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
-        (0usize..15, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
+        (0usize..16, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
         (0.0f64..1e3, 0u64..u64::MAX, 1usize..13, 0u32..2),
         prop::collection::vec((0u32..1_000_000, 1e-3f64..1e3), 1..5),
     )
@@ -201,6 +201,9 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 11 => Request::ViewAdd { name, sources },
                 12 => Request::ViewDrop { name },
                 13 => Request::Views,
+                14 => Request::Follow {
+                    since: (named == 1).then_some(nseed),
+                },
                 _ => Request::Quit,
             }
         })
@@ -266,6 +269,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                         staged: pick,
                         algo: algo.to_string(),
                         epoch,
+                        wal: (pick >= 2).then(|| (epoch, count as u64 * 7)),
                     },
                     7 => Response::Subscribed { v, eps: rank },
                     8 => Response::Unsubscribed { v },
@@ -295,7 +299,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
 /// wire texts embed them between fixed markers).
 fn error_strategy() -> impl Strategy<Value = ServeError> {
     (
-        (0usize..18, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
+        (0usize..22, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
         (0u64..u64::MAX, 1usize..13, 0u32..2),
     )
         .prop_map(|((variant, u, v, n), (nseed, nlen, flip))| {
@@ -321,7 +325,11 @@ fn error_strategy() -> impl Strategy<Value = ServeError> {
                 },
                 15 => ServeError::NoSources,
                 16 => ServeError::NotSubscribed(u),
-                _ => ServeError::ViewRejected(tok),
+                17 => ServeError::ViewRejected(tok),
+                18 => ServeError::FollowNeedsTcp,
+                19 => ServeError::ReadOnlyReplica,
+                20 => ServeError::WalUnavailable(tok),
+                _ => ServeError::RecoverFailed(tok),
             }
         })
 }
