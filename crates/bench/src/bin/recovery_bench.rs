@@ -249,8 +249,8 @@ fn main() {
         },
     )
     .expect("leader durability");
-    let server =
-        spawn_durable(leader_session, listener, 3, Some(leader_durable)).expect("spawn leader");
+    let server = spawn_durable(leader_session, listener, 3, Some(leader_durable), None)
+        .expect("spawn leader");
     let mut fopts = FollowerOptions::new(addr.to_string());
     fopts.backoff_base = Duration::from_millis(20);
     fopts.backoff_cap = Duration::from_millis(500);
@@ -295,7 +295,7 @@ fn main() {
     assert_eq!(rep.final_epoch, half, "leader lost acked commits");
     let listener = std::net::TcpListener::bind(addr).expect("rebind leader");
     let server =
-        spawn_durable(restored, listener, 3, Some(restored_durable)).expect("respawn leader");
+        spawn_durable(restored, listener, 3, Some(restored_durable), None).expect("respawn leader");
     let restart_s = t.elapsed().as_secs_f64();
 
     let mut post_staleness_s = Vec::new();

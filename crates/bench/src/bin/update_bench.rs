@@ -24,10 +24,10 @@
 //!
 //! Usage: `update_bench [--vertices n] [--degree d] [--batch k]
 //!   [--steps s] [--warmup w] [--algo a] [--threads t] [--seed x]
-//!   [--json path] [--require x]`
+//!   [--layout packed|gapped] [--json path] [--require x]`
 
 use lfpr_core::norm::linf_diff;
-use lfpr_core::{api, Algorithm, PagerankOptions, UpdateSession};
+use lfpr_core::{api, Algorithm, PagerankOptions, StorageLayout, UpdateSession};
 use lfpr_graph::generators::{erdos_renyi, grid_road, kmer_chain};
 use lfpr_graph::selfloops::add_self_loops;
 use lfpr_graph::BatchSpec;
@@ -45,6 +45,7 @@ struct Args {
     seed: u64,
     tolerance: f64,
     tauf: Option<f64>,
+    layout: StorageLayout,
     json_path: Option<String>,
     require: Option<f64>,
 }
@@ -62,6 +63,7 @@ fn parse_args() -> Args {
         seed: 42,
         tolerance: 1e-7,
         tauf: None,
+        layout: StorageLayout::Packed,
         json_path: None,
         require: None,
     };
@@ -81,6 +83,7 @@ fn parse_args() -> Args {
             "--seed" => a.seed = val.parse().expect("--seed x"),
             "--tolerance" => a.tolerance = val.parse().expect("--tolerance t"),
             "--tauf" => a.tauf = Some(val.parse().expect("--tauf t")),
+            "--layout" => a.layout = val.parse().unwrap_or_else(|e| panic!("{e}")),
             "--json" => a.json_path = Some(val.clone()),
             "--require" => a.require = Some(val.parse().expect("--require x")),
             other => panic!("unknown argument: {other}"),
@@ -125,9 +128,9 @@ fn main() {
     };
     add_self_loops(&mut g);
     println!(
-        "Update bench: {} on {} graph, {} vertices / {} edges, |Δ| = {}, {} steps (+{} warmup), {} thread(s)",
+        "Update bench: {} on {} graph, {} vertices / {} edges, |Δ| = {}, {} steps (+{} warmup), {} thread(s), {} layout",
         args.algo, args.topology, g.num_vertices(), g.num_edges(),
-        args.batch, args.steps, args.warmup, args.threads
+        args.batch, args.steps, args.warmup, args.threads, args.layout
     );
     // Steady-state serving configuration, applied to both pipelines:
     // * τ = 1e-7 — the repo's scale mapping (setup.rs::scaled_tolerance)
@@ -150,7 +153,7 @@ fn main() {
     // comparable (bit-identical at 1 thread).
     let mut g_full = g.clone(); // no cached snapshot: the seed path
     let t0 = Instant::now();
-    let mut session = UpdateSession::new(g, args.algo, opts.clone());
+    let mut session = UpdateSession::new_with_layout(g, args.algo, opts.clone(), args.layout);
     println!(
         "initial static ranks in {:?} ({} iterations)",
         t0.elapsed(),
@@ -261,6 +264,15 @@ fn main() {
     let reference = lfpr_core::reference::reference_default(&session.graph().snapshot());
     let final_err = linf_diff(session.ranks(), &reference);
     println!("final L∞ error vs reference: {final_err:.2e}");
+    if let Some(s) = session.slack_stats() {
+        println!(
+            "gapped store: {} edges in {} slots ({}‰ occupancy, {} granule rebuilds)",
+            s.edges,
+            s.slots,
+            s.occupancy_permille(),
+            s.rebuilds
+        );
+    }
     assert!(
         final_err < 1e-6,
         "accumulated error {final_err:.2e} out of tolerance regime"
@@ -292,6 +304,7 @@ fn render_json(
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"update_bench\",\n");
     s.push_str(&format!("  \"algo\": \"{}\",\n", args.algo));
+    s.push_str(&format!("  \"layout\": \"{}\",\n", args.layout));
     s.push_str(&format!("  \"vertices\": {},\n", args.vertices));
     s.push_str(&format!("  \"degree\": {},\n", args.degree));
     s.push_str(&format!("  \"batch\": {},\n", args.batch));

@@ -6,7 +6,7 @@
 
 use crate::config::PagerankOptions;
 use crate::result::PagerankResult;
-use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_graph::{BatchUpdate, NeighborRuns};
 
 /// The eight algorithm variants of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,7 +111,11 @@ impl std::str::FromStr for Algorithm {
 ///
 /// # Panics
 /// Panics if `algo` is a dynamic variant.
-pub fn run_static(algo: Algorithm, g: &Snapshot, opts: &PagerankOptions) -> PagerankResult {
+pub fn run_static<G: NeighborRuns>(
+    algo: Algorithm,
+    g: &G,
+    opts: &PagerankOptions,
+) -> PagerankResult {
     match algo {
         Algorithm::StaticBB => crate::static_bb::static_bb(g, opts),
         Algorithm::StaticLF => crate::static_lf::static_lf(g, opts),
@@ -122,10 +126,10 @@ pub fn run_static(algo: Algorithm, g: &Snapshot, opts: &PagerankOptions) -> Page
 /// Run a **dynamic** update with any variant. Static variants ignore the
 /// previous state and recompute from scratch on `curr` (that is exactly
 /// how the paper uses them as dynamic baselines).
-pub fn run_dynamic(
+pub fn run_dynamic<P: NeighborRuns, C: NeighborRuns>(
     algo: Algorithm,
-    prev: &Snapshot,
-    curr: &Snapshot,
+    prev: &P,
+    curr: &C,
     batch: &BatchUpdate,
     prev_ranks: &[f64],
     opts: &PagerankOptions,
@@ -150,6 +154,7 @@ mod tests {
     use lfpr_graph::generators::erdos_renyi;
     use lfpr_graph::selfloops::add_self_loops;
     use lfpr_graph::BatchSpec;
+    use lfpr_graph::Snapshot;
 
     #[test]
     fn names_and_parsing_roundtrip() {

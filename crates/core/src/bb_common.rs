@@ -31,7 +31,7 @@ use crate::config::PagerankOptions;
 use crate::kernel::{rank_of_from_atomic_with, TeleportBase};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::{PagerankResult, RunStatus};
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 use lfpr_sched::barrier::{BarrierOutcome, InstrumentedBarrier};
 use lfpr_sched::fault::ThreadFaults;
 use lfpr_sched::rounds::RoundCursors;
@@ -66,8 +66,8 @@ const DECIDE_BREAK: u8 = 2;
 
 /// Run the barrier-based engine. `init` seeds both rank buffers (1/n for
 /// static runs, the previous snapshot's ranks for dynamic runs).
-pub(crate) fn run_bb_engine(
-    g: &Snapshot,
+pub(crate) fn run_bb_engine<G: NeighborRuns>(
+    g: &G,
     init: &[f64],
     mode: BbMode<'_>,
     opts: &PagerankOptions,

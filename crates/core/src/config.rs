@@ -1,6 +1,6 @@
 //! Algorithm configuration with the paper's defaults (§5.1.2).
 
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 use lfpr_sched::chunks::{ChunkPlan, ChunkPolicy};
 use lfpr_sched::fault::FaultPlan;
 use lfpr_sched::pool::ExecMode;
@@ -333,7 +333,7 @@ impl PagerankOptions {
     /// is reused instead of re-walking the O(n) degree prefix — sweeps
     /// rerun the same instance many times and the compile cost rivals a
     /// small dynamic update.
-    pub fn vertex_plan(&self, g: &Snapshot) -> ChunkPlan {
+    pub fn vertex_plan<G: NeighborRuns>(&self, g: &G) -> ChunkPlan {
         if matches!(self.convergence, ConvergenceMode::PerChunk) {
             return ChunkPolicy::Fixed(self.chunk_size).plan(g.num_vertices(), self.num_threads);
         }
@@ -347,7 +347,7 @@ impl PagerankOptions {
 
     /// Compile the policy plan (the PerChunk pin lives solely in
     /// [`Self::vertex_plan`], which also short-circuits the cache there).
-    fn compute_vertex_plan(&self, g: &Snapshot) -> ChunkPlan {
+    fn compute_vertex_plan<G: NeighborRuns>(&self, g: &G) -> ChunkPlan {
         let n = g.num_vertices();
         self.schedule
             .policy
@@ -365,7 +365,7 @@ impl PagerankOptions {
     /// [`Self::with_convergence`]) drops the cache so it can never
     /// describe a stale policy.
     #[must_use]
-    pub fn precompile_vertex_plan(mut self, g: &Snapshot) -> Self {
+    pub fn precompile_vertex_plan<G: NeighborRuns>(mut self, g: &G) -> Self {
         self.vertex_plan_cache = Some(self.compute_vertex_plan(g));
         self
     }
@@ -452,6 +452,7 @@ impl PagerankOptions {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lfpr_graph::Snapshot;
 
     #[test]
     fn defaults_match_paper() {

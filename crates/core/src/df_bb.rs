@@ -18,14 +18,14 @@ use crate::config::PagerankOptions;
 use crate::frontier::df_initial_affected;
 use crate::rank::Flags;
 use crate::result::PagerankResult;
-use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_graph::{BatchUpdate, NeighborRuns};
 use lfpr_sched::chunks::ChunkCursor;
 
 /// Update PageRank after `batch` with the Dynamic Frontier approach,
 /// barrier-based.
-pub fn df_bb(
-    prev: &Snapshot,
-    curr: &Snapshot,
+pub fn df_bb<P: NeighborRuns, C: NeighborRuns>(
+    prev: &P,
+    curr: &C,
     batch: &BatchUpdate,
     prev_ranks: &[f64],
     opts: &PagerankOptions,
@@ -75,6 +75,7 @@ mod tests {
     use lfpr_graph::generators::erdos_renyi;
     use lfpr_graph::selfloops::add_self_loops;
     use lfpr_graph::BatchSpec;
+    use lfpr_graph::Snapshot;
     use lfpr_sched::fault::FaultPlan;
 
     fn opts() -> PagerankOptions {

@@ -28,14 +28,14 @@ use crate::frontier::df_initial_affected;
 use crate::lf_common::{helping_mark_phase, rc_flags_len, run_lf_engine, LfMode, Phase1Fn, RcView};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::PagerankResult;
-use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_graph::{BatchUpdate, NeighborRuns};
 use lfpr_sched::chunks::ChunkCursor;
 
 /// Update PageRank after `batch` with the lock-free Dynamic Frontier
 /// algorithm.
-pub fn df_lf(
-    prev: &Snapshot,
-    curr: &Snapshot,
+pub fn df_lf<P: NeighborRuns, C: NeighborRuns>(
+    prev: &P,
+    curr: &C,
     batch: &BatchUpdate,
     prev_ranks: &[f64],
     opts: &PagerankOptions,
@@ -91,6 +91,7 @@ mod tests {
     use crate::static_lf::static_lf;
     use lfpr_graph::generators::{erdos_renyi, rmat, RmatParams};
     use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::Snapshot;
     use lfpr_graph::{BatchSpec, DynGraph};
     use lfpr_sched::fault::FaultPlan;
     use std::time::Duration;

@@ -12,14 +12,14 @@ use crate::config::PagerankOptions;
 use crate::frontier::{dfs_mark_atomic, dt_initial_affected};
 use crate::rank::Flags;
 use crate::result::PagerankResult;
-use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_graph::{BatchUpdate, NeighborRuns};
 use lfpr_sched::chunks::ChunkCursor;
 
 /// Update PageRank after `batch`, processing only vertices reachable
 /// from the updated region (barrier-based).
-pub fn dt_bb(
-    prev: &Snapshot,
-    curr: &Snapshot,
+pub fn dt_bb<P: NeighborRuns, C: NeighborRuns>(
+    prev: &P,
+    curr: &C,
     batch: &BatchUpdate,
     prev_ranks: &[f64],
     opts: &PagerankOptions,

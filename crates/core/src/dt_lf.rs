@@ -18,14 +18,14 @@ use crate::frontier::{dfs_mark_atomic, dt_initial_affected};
 use crate::lf_common::{helping_mark_phase, rc_flags_len, run_lf_engine, LfMode, Phase1Fn, RcView};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::PagerankResult;
-use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_graph::{BatchUpdate, NeighborRuns};
 use lfpr_sched::chunks::ChunkCursor;
 
 /// Update PageRank after `batch`, lock-free, processing only vertices
 /// reachable from the updated region.
-pub fn dt_lf(
-    prev: &Snapshot,
-    curr: &Snapshot,
+pub fn dt_lf<P: NeighborRuns, C: NeighborRuns>(
+    prev: &P,
+    curr: &C,
     batch: &BatchUpdate,
     prev_ranks: &[f64],
     opts: &PagerankOptions,
@@ -83,6 +83,7 @@ mod tests {
     use lfpr_graph::generators::erdos_renyi;
     use lfpr_graph::selfloops::add_self_loops;
     use lfpr_graph::BatchSpec;
+    use lfpr_graph::Snapshot;
     use lfpr_sched::fault::FaultPlan;
 
     fn opts() -> PagerankOptions {

@@ -10,13 +10,13 @@
 //!   set whose traversal overhead is why the paper discards DT.
 
 use crate::rank::{FlagOps, Flags};
-use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_graph::{BatchUpdate, NeighborRuns};
 
 /// Iterative DFS over `g`'s out-edges from `start`, marking visited
 /// vertices in `va` (atomic test-and-set keeps concurrent traversals
 /// idempotent). Calls `on_new` for every newly marked vertex.
-pub(crate) fn dfs_mark_atomic(
-    g: &Snapshot,
+pub(crate) fn dfs_mark_atomic<G: NeighborRuns>(
+    g: &G,
     start: u32,
     va: &impl FlagOps,
     on_new: &mut impl FnMut(u32),
@@ -39,7 +39,11 @@ pub(crate) fn dfs_mark_atomic(
 /// The distinct vertices DF's initial marking touches: out-neighbors of
 /// every batch source in Gt−1 ∪ Gt. Sequential; used for diagnostics
 /// (`PagerankResult::initially_affected`) outside the timed region.
-pub fn df_initial_affected(prev: &Snapshot, curr: &Snapshot, batch: &BatchUpdate) -> Vec<u32> {
+pub fn df_initial_affected<P: NeighborRuns, C: NeighborRuns>(
+    prev: &P,
+    curr: &C,
+    batch: &BatchUpdate,
+) -> Vec<u32> {
     let mut out: Vec<u32> = Vec::new();
     for u in batch.sources() {
         out.extend_from_slice(prev.out(u));
@@ -53,7 +57,11 @@ pub fn df_initial_affected(prev: &Snapshot, curr: &Snapshot, batch: &BatchUpdate
 /// The number of vertices DT's initial marking touches: everything
 /// reachable in Gt from any out-neighbor of any batch source.
 /// Sequential; diagnostics only.
-pub fn dt_initial_affected(prev: &Snapshot, curr: &Snapshot, batch: &BatchUpdate) -> usize {
+pub fn dt_initial_affected<P: NeighborRuns, C: NeighborRuns>(
+    prev: &P,
+    curr: &C,
+    batch: &BatchUpdate,
+) -> usize {
     let n = curr.num_vertices();
     let va = Flags::new(n, 0);
     let mut count = 0usize;

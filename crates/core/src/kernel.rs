@@ -11,7 +11,7 @@
 
 use crate::config::Teleport;
 use crate::rank::AtomicRanks;
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 use std::sync::Arc;
 
 /// The precomputed per-vertex teleport term `(1-α)·t(v)` an engine run
@@ -73,7 +73,7 @@ impl TeleportBase {
 /// (synchronous/Jacobi style — barrier-based variants read the previous
 /// iteration's vector).
 #[inline]
-pub fn rank_of_from_slice(g: &Snapshot, ranks: &[f64], v: u32, alpha: f64) -> f64 {
+pub fn rank_of_from_slice<G: NeighborRuns>(g: &G, ranks: &[f64], v: u32, alpha: f64) -> f64 {
     let n = g.num_vertices() as f64;
     let mut r = (1.0 - alpha) / n;
     for &u in g.in_(v) {
@@ -89,7 +89,7 @@ pub fn rank_of_from_slice(g: &Snapshot, ranks: &[f64], v: u32, alpha: f64) -> f6
 /// mix of current- and previous-iteration neighbor ranks, which is
 /// exactly the in-place scheme of §3.3.2).
 #[inline]
-pub fn rank_of_from_atomic(g: &Snapshot, ranks: &AtomicRanks, v: u32, alpha: f64) -> f64 {
+pub fn rank_of_from_atomic<G: NeighborRuns>(g: &G, ranks: &AtomicRanks, v: u32, alpha: f64) -> f64 {
     let n = g.num_vertices() as f64;
     let mut r = (1.0 - alpha) / n;
     for &u in g.in_(v) {
@@ -103,8 +103,8 @@ pub fn rank_of_from_atomic(g: &Snapshot, ranks: &AtomicRanks, v: u32, alpha: f64
 /// [`TeleportBase::Const`] built from [`Teleport::Uniform`] this is
 /// bit-identical to the plain kernel (asserted in tests).
 #[inline]
-pub fn rank_of_from_slice_with(
-    g: &Snapshot,
+pub fn rank_of_from_slice_with<G: NeighborRuns>(
+    g: &G,
     ranks: &[f64],
     v: u32,
     alpha: f64,
@@ -122,8 +122,8 @@ pub fn rank_of_from_slice_with(
 /// [`TeleportBase::Const`] built from [`Teleport::Uniform`] this is
 /// bit-identical to the plain kernel (asserted in tests).
 #[inline]
-pub fn rank_of_from_atomic_with(
-    g: &Snapshot,
+pub fn rank_of_from_atomic_with<G: NeighborRuns>(
+    g: &G,
     ranks: &AtomicRanks,
     v: u32,
     alpha: f64,

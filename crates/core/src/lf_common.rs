@@ -32,7 +32,7 @@ use crate::config::{ConvergenceMode, PagerankOptions};
 use crate::kernel::{rank_of_from_atomic_with, TeleportBase};
 use crate::rank::{AtomicRanks, FlagOps};
 use crate::result::{PagerankResult, RunStatus};
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 use lfpr_sched::chunks::ChunkCursor;
 use lfpr_sched::fault::ThreadFaults;
 use lfpr_sched::rounds::RoundCursors;
@@ -239,8 +239,8 @@ pub(crate) struct EngineStats {
 /// owns initialization:
 /// * `ranks` — 1/n (static) or previous ranks (dynamic),
 /// * `rc` — all ones for All mode; zeros + marking for Affected/Frontier.
-pub(crate) fn run_lf_engine<RC: FlagOps, VA: FlagOps>(
-    g: &Snapshot,
+pub(crate) fn run_lf_engine<G: NeighborRuns, RC: FlagOps, VA: FlagOps>(
+    g: &G,
     ranks: &AtomicRanks,
     rc: &RC,
     mode: LfMode<'_, VA>,
@@ -248,7 +248,7 @@ pub(crate) fn run_lf_engine<RC: FlagOps, VA: FlagOps>(
     phase1: Option<&Phase1Fn<'_>>,
 ) -> PagerankResult {
     let rounds = RoundCursors::new(opts.vertex_plan(g), opts.max_iterations);
-    let s = run_lf_engine_on::<RC, VA, RC>(g, ranks, rc, mode, opts, phase1, &rounds, None);
+    let s = run_lf_engine_on::<G, RC, VA, RC>(g, ranks, rc, mode, opts, phase1, &rounds, None);
     PagerankResult {
         ranks: ranks.to_vec(),
         iterations: s.iterations,
@@ -267,8 +267,8 @@ pub(crate) fn run_lf_engine<RC: FlagOps, VA: FlagOps>(
 /// only — the final ranks live in `ranks`, which the session exposes by
 /// reference instead of cloning out.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_lf_engine_on<RC: FlagOps, VA: FlagOps, AC: FlagOps>(
-    g: &Snapshot,
+pub(crate) fn run_lf_engine_on<G: NeighborRuns, RC: FlagOps, VA: FlagOps, AC: FlagOps>(
+    g: &G,
     ranks: &AtomicRanks,
     rc: &RC,
     mode: LfMode<'_, VA>,

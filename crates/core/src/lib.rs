@@ -71,4 +71,4 @@ pub use api::Algorithm;
 pub use config::{ConvergenceMode, PagerankOptions, Teleport, TeleportWeights};
 pub use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
 pub use result::{PagerankResult, RunStatus};
-pub use session::{RankDelta, RankReader, RankView, StepStats, UpdateSession};
+pub use session::{RankDelta, RankReader, RankView, StepStats, StorageLayout, UpdateSession};

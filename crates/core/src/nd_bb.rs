@@ -8,11 +8,15 @@
 use crate::bb_common::{run_bb_engine, BbMode};
 use crate::config::PagerankOptions;
 use crate::result::PagerankResult;
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 
 /// Update PageRank on the current graph `curr`, warm-starting from
 /// `prev_ranks` (the previous snapshot's rank vector).
-pub fn nd_bb(curr: &Snapshot, prev_ranks: &[f64], opts: &PagerankOptions) -> PagerankResult {
+pub fn nd_bb<G: NeighborRuns>(
+    curr: &G,
+    prev_ranks: &[f64],
+    opts: &PagerankOptions,
+) -> PagerankResult {
     assert_eq!(
         prev_ranks.len(),
         curr.num_vertices(),
@@ -31,6 +35,7 @@ mod tests {
     use lfpr_graph::generators::erdos_renyi;
     use lfpr_graph::selfloops::add_self_loops;
     use lfpr_graph::BatchSpec;
+    use lfpr_graph::Snapshot;
 
     fn opts() -> PagerankOptions {
         PagerankOptions::default()

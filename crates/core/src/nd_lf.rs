@@ -14,10 +14,14 @@ use crate::config::PagerankOptions;
 use crate::lf_common::{rc_flags_len, run_lf_engine, LfMode};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::PagerankResult;
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 
 /// Update PageRank on `curr`, warm-starting from `prev_ranks`, lock-free.
-pub fn nd_lf(curr: &Snapshot, prev_ranks: &[f64], opts: &PagerankOptions) -> PagerankResult {
+pub fn nd_lf<G: NeighborRuns>(
+    curr: &G,
+    prev_ranks: &[f64],
+    opts: &PagerankOptions,
+) -> PagerankResult {
     assert_eq!(
         prev_ranks.len(),
         curr.num_vertices(),
@@ -39,6 +43,7 @@ mod tests {
     use lfpr_graph::generators::erdos_renyi;
     use lfpr_graph::selfloops::add_self_loops;
     use lfpr_graph::BatchSpec;
+    use lfpr_graph::Snapshot;
     use lfpr_sched::fault::FaultPlan;
 
     fn opts() -> PagerankOptions {

@@ -11,11 +11,11 @@
 use crate::config::Teleport;
 use crate::kernel::{rank_of_from_slice, rank_of_from_slice_with, TeleportBase};
 use crate::norm::linf_diff;
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 
 /// Run the reference power iteration: synchronous (Jacobi) updates, up to
 /// `max_iterations`, stopping early only at the exact f64 fixpoint.
-pub fn reference_pagerank(g: &Snapshot, alpha: f64, max_iterations: usize) -> Vec<f64> {
+pub fn reference_pagerank<G: NeighborRuns>(g: &G, alpha: f64, max_iterations: usize) -> Vec<f64> {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -38,8 +38,8 @@ pub fn reference_pagerank(g: &Snapshot, alpha: f64, max_iterations: usize) -> Ve
 /// [`reference_pagerank`] with an explicit restart distribution — the
 /// oracle for personalized-PageRank runs. With [`Teleport::Uniform`]
 /// it returns exactly what [`reference_pagerank`] does.
-pub fn reference_pagerank_with(
-    g: &Snapshot,
+pub fn reference_pagerank_with<G: NeighborRuns>(
+    g: &G,
     alpha: f64,
     max_iterations: usize,
     teleport: &Teleport,
@@ -65,7 +65,7 @@ pub fn reference_pagerank_with(
 }
 
 /// Reference run with the paper's configuration (α = 0.85, 500 iters).
-pub fn reference_default(g: &Snapshot) -> Vec<f64> {
+pub fn reference_default<G: NeighborRuns>(g: &G) -> Vec<f64> {
     reference_pagerank(g, 0.85, 500)
 }
 

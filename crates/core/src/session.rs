@@ -54,7 +54,9 @@ use crate::lf_common::{
 use crate::rank::{AtomicRanks, EpochFlags, FlagOps};
 use crate::result::RunStatus;
 use lfpr_graph::types::Result as GraphResult;
-use lfpr_graph::{BatchUpdate, DynGraph, Snapshot};
+use lfpr_graph::{
+    BatchUpdate, DynGraph, GappedGraph, NeighborRuns, PrevRuns, SlackStats, Snapshot,
+};
 use lfpr_sched::chunks::ChunkCursor;
 use lfpr_sched::rounds::RoundCursors;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -375,6 +377,11 @@ struct SecondaryView {
 /// ```
 pub struct UpdateSession {
     graph: DynGraph,
+    /// Which mutable representation commits run against.
+    layout: StorageLayout,
+    /// The gap-aware store (present iff `layout == Gapped`), kept in
+    /// lockstep with `graph`'s adjacency by every committed batch.
+    gapped: Option<GappedGraph>,
     algorithm: Algorithm,
     opts: PagerankOptions,
     ws: Workspace,
@@ -405,6 +412,48 @@ pub struct UpdateSession {
     /// Named secondary ranking views sharing this session's graph and
     /// flag workspace.
     views: Vec<SecondaryView>,
+}
+
+/// Which mutable representation an [`UpdateSession`] commits batches
+/// against.
+///
+/// `Packed` is the seed behavior: every batch splices the cached packed
+/// CSR (O(n + m) bulk copy per commit) and the kernels run on packed
+/// snapshots. `Gapped` commits into a [`GappedGraph`] with run-local
+/// O(deg) mutations, the kernels iterate the gapped runs directly, and a
+/// packed snapshot is only materialized when a reader actually needs one
+/// (publication, checkpointing) — one splice settling any number of
+/// deferred batches. Single-thread runs are bit-identical across layouts
+/// for all eight variants (the gapped runs preserve neighbor order, hence
+/// float accumulation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageLayout {
+    /// Packed CSR spliced per batch (the proptested oracle).
+    #[default]
+    Packed,
+    /// Gap-aware runs with per-vertex slack (O(|Δ|) commits).
+    Gapped,
+}
+
+impl std::str::FromStr for StorageLayout {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packed" => Ok(StorageLayout::Packed),
+            "gapped" => Ok(StorageLayout::Gapped),
+            other => Err(format!("unknown layout '{other}' (expected packed|gapped)")),
+        }
+    }
+}
+
+impl std::fmt::Display for StorageLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StorageLayout::Packed => "packed",
+            StorageLayout::Gapped => "gapped",
+        })
+    }
 }
 
 impl UpdateSession {
@@ -453,6 +502,8 @@ impl UpdateSession {
         };
         UpdateSession {
             graph,
+            layout: StorageLayout::Packed,
+            gapped: None,
             algorithm,
             opts,
             ws,
@@ -467,6 +518,52 @@ impl UpdateSession {
             last_deltas: Arc::from(Vec::new()),
             views: Vec::new(),
         }
+    }
+
+    /// [`new`](Self::new) with an explicit storage layout.
+    pub fn new_with_layout(
+        graph: DynGraph,
+        algorithm: Algorithm,
+        opts: PagerankOptions,
+        layout: StorageLayout,
+    ) -> Self {
+        let mut session = Self::new(graph, algorithm, opts);
+        session.set_storage_layout(layout);
+        session
+    }
+
+    /// Switch the mutable storage layout. Entering `Gapped` mirrors the
+    /// current snapshot into the gap-aware store (O(n + m), once) and
+    /// turns on lazy packed-snapshot maintenance; returning to `Packed`
+    /// settles any deferred delta and drops the store. Ranks and epoch
+    /// are untouched — the layout only changes how commits are applied.
+    pub fn set_storage_layout(&mut self, layout: StorageLayout) {
+        if layout == self.layout {
+            return;
+        }
+        match layout {
+            StorageLayout::Gapped => {
+                let snapshot = self.graph.snapshot_shared();
+                self.gapped = Some(GappedGraph::from_snapshot(&snapshot));
+                self.graph.set_lazy(true);
+            }
+            StorageLayout::Packed => {
+                self.gapped = None;
+                self.graph.set_lazy(false);
+                let _ = self.graph.snapshot_shared(); // settle pending delta
+            }
+        }
+        self.layout = layout;
+    }
+
+    /// The active storage layout.
+    pub fn storage_layout(&self) -> StorageLayout {
+        self.layout
+    }
+
+    /// Occupancy of the gapped store's buffers (`None` under `Packed`).
+    pub fn slack_stats(&self) -> Option<SlackStats> {
+        self.gapped.as_ref().map(|g| g.slack_stats())
     }
 
     /// Rebuild a session from externally persisted committed state —
@@ -512,6 +609,8 @@ impl UpdateSession {
         };
         Ok(UpdateSession {
             graph,
+            layout: StorageLayout::Packed,
+            gapped: None,
             algorithm,
             opts,
             ws,
@@ -851,6 +950,9 @@ impl UpdateSession {
     /// Apply `batch` to the graph (all-or-nothing; the graph and ranks
     /// are untouched on error) and refresh the ranks incrementally.
     pub fn step(&mut self, batch: &BatchUpdate) -> GraphResult<StepStats> {
+        if self.layout == StorageLayout::Gapped {
+            return self.step_gapped(batch);
+        }
         let t_total = Instant::now();
         let prev = self.graph.snapshot_shared();
         let t_snap = Instant::now();
@@ -876,6 +978,35 @@ impl UpdateSession {
         Ok(stats)
     }
 
+    /// The gapped commit path: no packed snapshot is taken or spliced.
+    /// "prev" is just the recorded pre-batch out-runs of the batch's
+    /// sources ([`PrevRuns`]) — the only pre-batch state the dynamic
+    /// kernels consult — and the kernels iterate the gapped store
+    /// directly, so the whole commit is O(|Δ|) + affected-proportional
+    /// kernel work. The packed cache accrues the delta lazily and is
+    /// spliced once per publication (and only if a reader exists).
+    fn step_gapped(&mut self, batch: &BatchUpdate) -> GraphResult<StepStats> {
+        let t_total = Instant::now();
+        let t_snap = Instant::now();
+        let gapped_ref = self.gapped.as_ref().expect("layout is Gapped");
+        let prev = PrevRuns::record(gapped_ref, batch.sources());
+        self.graph.apply_batch(batch)?; // validates; lazy mode skips the splice
+        self.gapped
+            .as_mut()
+            .expect("layout is Gapped")
+            .apply_batch(batch)
+            .expect("batch validated against the authoritative adjacency");
+        let snapshot_time = t_snap.elapsed();
+        // Move the store out for the kernel borrow; `run_kernel` needs
+        // `&mut self` for the workspace while reading the graph.
+        let gapped = self.gapped.take().expect("layout is Gapped");
+        let (engine, affected) = self.run_kernel(&prev, &gapped, batch);
+        self.gapped = Some(gapped);
+        let stats = self.finish(engine, affected, batch.len(), snapshot_time, true, t_total);
+        self.maybe_publish();
+        Ok(stats)
+    }
+
     /// Mutate the graph through `mutate` (which must return the batch of
     /// every recorded insertion/deletion it performed) and refresh the
     /// ranks. The snapshot is re-derived incrementally from the recorded
@@ -890,6 +1021,11 @@ impl UpdateSession {
         let curr = self.graph.snapshot_shared();
         let snapshot_time = t_snap.elapsed();
         let (engine, affected) = self.run_kernel(&prev, &curr, &batch);
+        if self.layout == StorageLayout::Gapped {
+            // Ad-hoc mutations (grow, isolate) bypass the gapped store;
+            // re-mirror it from the settled snapshot.
+            self.gapped = Some(GappedGraph::from_snapshot(&curr));
+        }
         drop(curr);
         self.graph.recycle_snapshot(prev);
         let stats = self.finish(
@@ -932,7 +1068,7 @@ impl UpdateSession {
 
     /// Grow/rebuild the workspace when the vertex set changed (ad-hoc
     /// `grow()` inside a mutate closure) and rewind the round cursors.
-    fn prepare_workspace(&mut self, curr: &Snapshot) {
+    fn prepare_workspace<C: NeighborRuns>(&mut self, curr: &C) {
         let n = curr.num_vertices();
         if self.ws.ranks.len() != n {
             // Vertex growth: keep existing ranks, seed newcomers at 1/n
@@ -985,10 +1121,10 @@ impl UpdateSession {
     /// view's own ranks + teleport). Returns the default pass's engine
     /// stats plus its initially-affected count; when delta tracking is
     /// on, each pass's rank movements are diffed and recorded.
-    fn run_kernel(
+    fn run_kernel<P: NeighborRuns, C: NeighborRuns>(
         &mut self,
-        prev: &Snapshot,
-        curr: &Snapshot,
+        prev: &P,
+        curr: &C,
         batch: &BatchUpdate,
     ) -> (EngineStats, usize) {
         self.prepare_workspace(curr);
@@ -1042,13 +1178,13 @@ impl UpdateSession {
     /// One kernel pass over the shared workspace. `ranks_override`
     /// selects a named view's rank vector (with `opts` carrying that
     /// view's teleport); `None` runs the session's default ranking.
-    fn kernel_pass(
+    fn kernel_pass<P: NeighborRuns, C: NeighborRuns>(
         algorithm: Algorithm,
         opts: &PagerankOptions,
         ws: &mut Workspace,
         ranks_override: Option<&mut AtomicRanks>,
-        prev: &Snapshot,
-        curr: &Snapshot,
+        prev: &P,
+        curr: &C,
         batch: &BatchUpdate,
     ) -> (EngineStats, usize) {
         let Workspace {
@@ -1100,7 +1236,7 @@ impl UpdateSession {
                 // vertices (the workspace still saves the allocations).
                 ranks.fill(1.0 / n.max(1) as f64);
                 rc.fill_set();
-                let s = run_lf_engine_on::<EpochFlags, EpochFlags, EpochFlags>(
+                let s = run_lf_engine_on::<_, EpochFlags, EpochFlags, EpochFlags>(
                     curr,
                     ranks,
                     &*rc,
@@ -1115,7 +1251,7 @@ impl UpdateSession {
             Algorithm::NdLF => {
                 // Naive-dynamic: warm ranks are already in place.
                 rc.fill_set();
-                let s = run_lf_engine_on::<EpochFlags, EpochFlags, EpochFlags>(
+                let s = run_lf_engine_on::<_, EpochFlags, EpochFlags, EpochFlags>(
                     curr,
                     ranks,
                     &*rc,
@@ -1231,6 +1367,103 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-7, "sum = {sum}");
         assert_eq!(s.steps(), 0);
         assert!(s.last_stats().is_some());
+    }
+
+    #[test]
+    fn gapped_layout_is_bit_identical_to_packed_for_every_algorithm() {
+        // The tentpole invariant: at one thread, a gapped-storage session
+        // reproduces the packed session's ranks bit-for-bit for all 8
+        // variants across a chain of mixed batches.
+        let o = PagerankOptions::default()
+            .with_threads(1)
+            .with_chunk_size(32);
+        for algo in Algorithm::ALL {
+            let mut g = erdos_renyi(120, 700, 91);
+            add_self_loops(&mut g);
+            let mut packed = UpdateSession::new(g.clone(), algo, o.clone());
+            let mut gapped =
+                UpdateSession::new_with_layout(g, algo, o.clone(), StorageLayout::Gapped);
+            assert_eq!(gapped.storage_layout(), StorageLayout::Gapped);
+            assert_eq!(packed.ranks(), gapped.ranks(), "{algo}: initial");
+            for round in 0..4u64 {
+                let batch = BatchSpec::mixed(0.02, 500 + round).generate(packed.graph());
+                let ps = packed
+                    .step(&batch)
+                    .unwrap_or_else(|e| panic!("{algo}: {e}"));
+                let gs = gapped
+                    .step(&batch)
+                    .unwrap_or_else(|e| panic!("{algo}: {e}"));
+                assert!(gs.status.is_success(), "{algo}");
+                assert!(
+                    gs.incremental,
+                    "{algo}: gapped commits are always incremental"
+                );
+                let pr = packed.ranks();
+                let gr = gapped.ranks();
+                for v in 0..pr.len() {
+                    assert_eq!(
+                        pr[v].to_bits(),
+                        gr[v].to_bits(),
+                        "{algo} round {round}: vertex {v} diverged"
+                    );
+                }
+                assert_eq!(ps.initially_affected, gs.initially_affected, "{algo}");
+                assert_eq!(*packed.graph(), *gapped.graph(), "{algo}: graphs diverged");
+            }
+            let slack = gapped.slack_stats().expect("gapped layout reports slack");
+            assert!(slack.edges > 0 && slack.slots >= slack.edges);
+            assert!(packed.slack_stats().is_none());
+        }
+    }
+
+    #[test]
+    fn gapped_session_publishes_correct_packed_views() {
+        // Publication must settle the lazy delta: the RankView snapshot a
+        // reader sees matches a full rebuild of the current graph.
+        let mut s = session(Algorithm::DfLF);
+        s.set_storage_layout(StorageLayout::Gapped);
+        let reader = s.reader();
+        for round in 0..3u64 {
+            let batch = BatchSpec::mixed(0.02, 300 + round).generate(s.graph());
+            s.step(&batch).unwrap();
+            let view = reader.view();
+            assert_eq!(view.epoch(), round + 1);
+            assert_eq!(*view.snapshot().as_ref(), s.graph().snapshot());
+            assert_eq!(view.ranks(), s.ranks());
+        }
+    }
+
+    #[test]
+    fn gapped_layout_survives_grow_and_invalid_batches() {
+        let mut s = session(Algorithm::DfLF);
+        s.set_storage_layout(StorageLayout::Gapped);
+        let before = s.ranks().to_vec();
+        let g_before = s.graph().clone();
+        // Invalid batch: all-or-nothing, gapped store untouched.
+        assert!(s.step(&BatchUpdate::insert_only(vec![(0, 0)])).is_err());
+        assert_eq!(s.ranks(), &before[..]);
+        assert_eq!(*s.graph(), g_before);
+        // Ad-hoc growth re-mirrors the gapped store; later gapped commits
+        // still work and track the reference.
+        let n0 = s.graph().num_vertices();
+        s.step_mutated(|g| {
+            g.grow(n0 + 2);
+            let mut b = BatchUpdate::new();
+            for v in [n0 as u32, n0 as u32 + 1] {
+                g.insert_edge(v, v).unwrap();
+                b.insertions.push((v, v));
+                g.insert_edge(v, 0).unwrap();
+                b.insertions.push((v, 0));
+            }
+            b
+        });
+        assert_eq!(s.graph().num_vertices(), n0 + 2);
+        let batch = BatchSpec::mixed(0.02, 999).generate(s.graph());
+        let stats = s.step(&batch).unwrap();
+        assert!(stats.status.is_success() && stats.incremental);
+        let reference = reference_default(&s.graph().snapshot());
+        let err = linf_diff(s.ranks(), &reference);
+        assert!(err < 1e-6, "err = {err:.2e}");
     }
 
     #[test]

@@ -8,10 +8,10 @@
 use crate::bb_common::{run_bb_engine, BbMode};
 use crate::config::PagerankOptions;
 use crate::result::PagerankResult;
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 
 /// Compute PageRank from scratch on `g` (ranks initialized to 1/|V|).
-pub fn static_bb(g: &Snapshot, opts: &PagerankOptions) -> PagerankResult {
+pub fn static_bb<G: NeighborRuns>(g: &G, opts: &PagerankOptions) -> PagerankResult {
     let n = g.num_vertices();
     let init = vec![1.0 / n.max(1) as f64; n];
     run_bb_engine(g, &init, BbMode::All, opts, None)
@@ -25,6 +25,7 @@ mod tests {
     use crate::result::RunStatus;
     use lfpr_graph::generators::erdos_renyi;
     use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::Snapshot;
 
     fn graph(n: usize, m: usize, seed: u64) -> Snapshot {
         let mut g = erdos_renyi(n, m, seed);

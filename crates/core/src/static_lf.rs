@@ -20,10 +20,10 @@ use crate::config::PagerankOptions;
 use crate::lf_common::{rc_flags_len, run_lf_engine, LfMode};
 use crate::rank::{AtomicRanks, Flags};
 use crate::result::PagerankResult;
-use lfpr_graph::Snapshot;
+use lfpr_graph::NeighborRuns;
 
 /// Compute PageRank from scratch on `g`, lock-free.
-pub fn static_lf(g: &Snapshot, opts: &PagerankOptions) -> PagerankResult {
+pub fn static_lf<G: NeighborRuns>(g: &G, opts: &PagerankOptions) -> PagerankResult {
     let n = g.num_vertices();
     let ranks = AtomicRanks::uniform(n, 1.0 / n.max(1) as f64);
     let rc = Flags::new(rc_flags_len(n, opts.convergence, opts.chunk_size), 1);
@@ -38,6 +38,7 @@ mod tests {
     use crate::result::RunStatus;
     use lfpr_graph::generators::{erdos_renyi, rmat, RmatParams};
     use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::Snapshot;
     use lfpr_sched::fault::FaultPlan;
     use std::time::Duration;
 

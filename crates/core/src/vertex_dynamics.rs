@@ -21,7 +21,7 @@ use crate::config::{PagerankOptions, Teleport};
 use crate::df_lf::df_lf;
 use crate::kernel::TeleportBase;
 use crate::result::PagerankResult;
-use lfpr_graph::{BatchUpdate, Snapshot};
+use lfpr_graph::{BatchUpdate, NeighborRuns};
 
 /// Scale an existing rank vector for a vertex-set growth from
 /// `ranks.len()` to `new_n` (§6). New vertices get the teleport floor
@@ -140,9 +140,9 @@ pub fn scale_ranks_for_removal_with(
 /// previous ranks are scaled per §6 and the batch (which must contain
 /// the new vertices' incident edges) drives the frontier. Respects
 /// `opts.teleport` for both the scaling floors and the kernel.
-pub fn df_lf_with_growth(
-    prev_padded: &Snapshot,
-    curr: &Snapshot,
+pub fn df_lf_with_growth<P: NeighborRuns, C: NeighborRuns>(
+    prev_padded: &P,
+    curr: &C,
     batch: &BatchUpdate,
     prev_ranks: &[f64],
     opts: &PagerankOptions,

@@ -12,6 +12,7 @@
 use crate::batch::BatchUpdate;
 use crate::snapshot::Snapshot;
 use crate::types::{Edge, GraphError, Result, VertexId};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// A mutable directed graph over a fixed vertex set `0..n`.
@@ -36,6 +37,17 @@ pub struct DynGraph {
     /// Buffers of a retired snapshot, recycled as the patch destination
     /// of the next incremental batch (steady-state: zero allocation).
     retired: Option<Snapshot>,
+    /// Lazy snapshot maintenance: instead of splicing the cached CSR on
+    /// every batch (O(n + m) bulk copy), accumulate the composed delta
+    /// since the cache was valid and splice once when a snapshot is
+    /// actually requested. This is what makes gapped-store sessions
+    /// O(|Δ|) per commit: with no reader attached, nothing packed is
+    /// rebuilt at all.
+    lazy: bool,
+    /// Composed pending delta relative to `cached` (disjoint sets; a
+    /// deletion cancels a pending insertion and vice versa).
+    pending_del: HashSet<Edge>,
+    pending_ins: HashSet<Edge>,
 }
 
 /// Equality is over the graph itself (adjacency + edge count); the
@@ -56,6 +68,9 @@ impl DynGraph {
             m: 0,
             cached: None,
             retired: None,
+            lazy: false,
+            pending_del: HashSet::new(),
+            pending_ins: HashSet::new(),
         }
     }
 
@@ -70,6 +85,9 @@ impl DynGraph {
             m: edges.len(),
             cached: None,
             retired: None,
+            lazy: false,
+            pending_del: HashSet::new(),
+            pending_ins: HashSet::new(),
         }
     }
 
@@ -77,19 +95,22 @@ impl DynGraph {
     /// `n`, then sorts and deduplicates. This is the single merge point
     /// for every loader (streaming and buffered) and the builder.
     pub fn from_edges(n: usize, mut edges: Vec<Edge>) -> Result<Self> {
-        for &(u, v) in &edges {
-            let bad = if (u as usize) >= n {
-                Some(u)
-            } else if (v as usize) >= n {
-                Some(v)
-            } else {
-                None
-            };
-            if let Some(vertex) = bad {
-                return Err(GraphError::VertexOutOfRange { vertex, n });
-            }
-        }
+        validate_edge_ids(n, &edges)?;
         sort_dedup(&mut edges);
+        Ok(DynGraph::from_sorted_edges(n, &edges))
+    }
+
+    /// Build from an edge list the caller already sorted and
+    /// deduplicated (the streaming loader's parallel bucket sort ends
+    /// here). Ids are validated exactly like
+    /// [`from_edges`](Self::from_edges); sortedness is the caller's
+    /// contract, checked in debug builds only.
+    pub fn from_presorted_edges(n: usize, edges: Vec<Edge>) -> Result<Self> {
+        validate_edge_ids(n, &edges)?;
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "from_presorted_edges given unsorted or duplicated edges"
+        );
         Ok(DynGraph::from_sorted_edges(n, &edges))
     }
 
@@ -123,6 +144,27 @@ impl DynGraph {
         self.out[u as usize].binary_search(&v).is_ok()
     }
 
+    /// Switch lazy snapshot maintenance on or off. Turning it on defers
+    /// cached-CSR splicing to the next [`snapshot_shared`](Self::snapshot_shared);
+    /// turning it off flushes nothing — the next snapshot request settles
+    /// any pending delta either way.
+    pub fn set_lazy(&mut self, lazy: bool) {
+        self.lazy = lazy;
+    }
+
+    /// Number of composed pending edge changes awaiting the next flush.
+    pub fn pending_len(&self) -> usize {
+        self.pending_del.len() + self.pending_ins.len()
+    }
+
+    /// Drop the cached snapshot and any pending delta (the delta is
+    /// meaningless without the cache it is relative to).
+    fn invalidate(&mut self) {
+        self.cached = None;
+        self.pending_del.clear();
+        self.pending_ins.clear();
+    }
+
     fn check_vertex(&self, v: VertexId) -> Result<()> {
         if (v as usize) < self.out.len() {
             Ok(())
@@ -145,7 +187,7 @@ impl DynGraph {
             Err(pos) => {
                 self.out[u as usize].insert(pos, v);
                 self.m += 1;
-                self.cached = None;
+                self.invalidate();
                 Ok(())
             }
         }
@@ -170,7 +212,7 @@ impl DynGraph {
             Ok(pos) => {
                 self.out[u as usize].remove(pos);
                 self.m -= 1;
-                self.cached = None;
+                self.invalidate();
                 Ok(())
             }
             Err(_) => Err(GraphError::MissingEdge((u, v))),
@@ -211,10 +253,27 @@ impl DynGraph {
     /// incrementally (cost ∝ |Δ| plus a bulk copy) rather than dropped.
     pub fn apply_batch(&mut self, batch: &BatchUpdate) -> Result<()> {
         self.validate_batch(batch)?;
-        // Patch the coherent snapshot first — it describes the pre-batch
-        // graph. Validation guarantees the patch cannot fail; the
-        // defensive arm drops the cache so the next reader rebuilds.
-        if let Some(prev) = self.cached.take() {
+        if self.lazy && self.cached.is_some() {
+            // Lazy mode: compose the batch into the pending delta instead
+            // of splicing the cached CSR. Validation against the current
+            // adjacency guarantees the composition is consistent: a
+            // deleted edge is either pending-inserted (cancel) or present
+            // in the cache (record), and symmetrically for insertions.
+            for &e in &batch.deletions {
+                if !self.pending_ins.remove(&e) {
+                    self.pending_del.insert(e);
+                }
+            }
+            for &e in &batch.insertions {
+                if !self.pending_del.remove(&e) {
+                    self.pending_ins.insert(e);
+                }
+            }
+        } else if let Some(prev) = self.cached.take() {
+            // Patch the coherent snapshot first — it describes the
+            // pre-batch graph. Validation guarantees the patch cannot
+            // fail; the defensive arm drops the cache so the next reader
+            // rebuilds.
             let mut dst = self.retired.take().unwrap_or_default();
             if prev.apply_batch_into(batch, &mut dst).is_ok() {
                 self.cached = Some(Arc::new(dst));
@@ -234,9 +293,11 @@ impl DynGraph {
             self.out[u as usize].insert(pos, v);
             self.m += 1;
         }
-        if let Some(s) = &self.cached {
-            debug_assert_eq!(s.num_edges(), self.m);
-            debug_assert_eq!(*s.as_ref(), Snapshot::from_adjacency(&self.out));
+        if self.pending_len() == 0 {
+            if let Some(s) = &self.cached {
+                debug_assert_eq!(s.num_edges(), self.m);
+                debug_assert_eq!(*s.as_ref(), Snapshot::from_adjacency(&self.out));
+            }
         }
         Ok(())
     }
@@ -256,7 +317,7 @@ impl DynGraph {
     pub fn grow(&mut self, new_n: usize) {
         if new_n > self.out.len() {
             self.out.resize(new_n, Vec::new());
-            self.cached = None;
+            self.invalidate();
         }
     }
 
@@ -264,7 +325,7 @@ impl DynGraph {
     /// Returns the removed edges as a batch-compatible list. `O(|E|)` —
     /// intended for the vertex-removal extension, not hot paths.
     pub fn isolate_vertex(&mut self, v: VertexId) -> Vec<Edge> {
-        self.cached = None;
+        self.invalidate();
         let mut removed: Vec<Edge> = Vec::new();
         // Outgoing edges.
         let outs = std::mem::take(&mut self.out[v as usize]);
@@ -309,6 +370,9 @@ impl DynGraph {
     /// caches. Subsequent [`apply_batch`](Self::apply_batch) calls keep
     /// it up to date incrementally.
     pub fn snapshot_shared(&mut self) -> Arc<Snapshot> {
+        if self.pending_len() > 0 {
+            self.flush_pending();
+        }
         if let Some(s) = &self.cached {
             return Arc::clone(s);
         }
@@ -317,9 +381,39 @@ impl DynGraph {
         s
     }
 
-    /// The cached coherent snapshot, if one is currently valid.
+    /// Settle the composed pending delta into the cached snapshot with a
+    /// single splice (one O(n + m) copy for any number of deferred
+    /// batches). Falls back to a full rebuild if the patch fails.
+    fn flush_pending(&mut self) {
+        let Some(prev) = self.cached.take() else {
+            self.pending_del.clear();
+            self.pending_ins.clear();
+            return; // no base: next snapshot_shared rebuilds in full
+        };
+        let mut batch = BatchUpdate {
+            deletions: self.pending_del.drain().collect(),
+            insertions: self.pending_ins.drain().collect(),
+        };
+        // HashSet iteration order is arbitrary; sort for a deterministic
+        // splice (apply_batch_into sorts its scratch views anyway, but
+        // determinism here keeps behavior reproducible under debugging).
+        batch.deletions.sort_unstable();
+        batch.insertions.sort_unstable();
+        let mut dst = self.retired.take().unwrap_or_default();
+        if prev.apply_batch_into(&batch, &mut dst).is_ok() {
+            debug_assert_eq!(dst, Snapshot::from_adjacency(&self.out));
+            self.cached = Some(Arc::new(dst));
+        }
+    }
+
+    /// The cached coherent snapshot, if one is currently valid (a lazy
+    /// pending delta makes the cache stale until the next flush).
     pub fn cached_snapshot(&self) -> Option<&Arc<Snapshot>> {
-        self.cached.as_ref()
+        if self.pending_len() > 0 {
+            None
+        } else {
+            self.cached.as_ref()
+        }
     }
 
     /// Restore the coherent cache after ad-hoc mutations by patching
@@ -329,6 +423,8 @@ impl DynGraph {
     /// `false` the cache stays invalid and the next
     /// [`snapshot_shared`](Self::snapshot_shared) rebuilds in full.
     pub fn reprime_snapshot(&mut self, prev: &Snapshot, batch: &BatchUpdate) -> bool {
+        self.pending_del.clear();
+        self.pending_ins.clear();
         let mut dst = self.retired.take().unwrap_or_default();
         if prev.apply_batch_into(batch, &mut dst).is_err() {
             return false; // dst is garbage; drop it
@@ -361,6 +457,24 @@ impl DynGraph {
 pub(crate) fn sort_dedup(edges: &mut Vec<Edge>) {
     edges.sort_unstable();
     edges.dedup();
+}
+
+/// Check every endpoint against the vertex count, reporting the first
+/// offender (shared by the sorted and unsorted constructors).
+fn validate_edge_ids(n: usize, edges: &[Edge]) -> Result<()> {
+    for &(u, v) in edges {
+        let bad = if (u as usize) >= n {
+            Some(u)
+        } else if (v as usize) >= n {
+            Some(v)
+        } else {
+            None
+        };
+        if let Some(vertex) = bad {
+            return Err(GraphError::VertexOutOfRange { vertex, n });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -572,6 +686,51 @@ mod tests {
         g.apply_batch(&BatchUpdate::delete_only(vec![(0, 2)]))
             .unwrap();
         assert!(g.retired.is_none(), "scratch consumed by the next patch");
+        assert_eq!(*g.snapshot_shared(), g.snapshot());
+    }
+
+    #[test]
+    fn lazy_mode_defers_splices_and_flushes_once() {
+        let mut g = triangle();
+        g.set_lazy(true);
+        let s0 = g.snapshot_shared();
+        // Two batches, including a cancel pair: delete (2,0) then
+        // reinsert it — the composed delta is insert-only.
+        g.apply_batch(&BatchUpdate::delete_only(vec![(2, 0)]))
+            .unwrap();
+        assert!(g.cached_snapshot().is_none(), "cache stale while pending");
+        assert_eq!(g.pending_len(), 1);
+        g.apply_batch(&BatchUpdate {
+            deletions: vec![(0, 1)],
+            insertions: vec![(2, 0), (0, 2)],
+        })
+        .unwrap();
+        assert_eq!(g.pending_len(), 2, "delete/reinsert of (2,0) cancelled");
+        let s1 = g.snapshot_shared();
+        assert!(!Arc::ptr_eq(&s0, &s1));
+        assert_eq!(*s1, g.snapshot(), "flushed snapshot ≡ full rebuild");
+        assert_eq!(g.pending_len(), 0);
+        assert!(g.cached_snapshot().is_some());
+    }
+
+    #[test]
+    fn lazy_pending_survives_failed_batches_and_adhoc_invalidation() {
+        let mut g = triangle();
+        g.set_lazy(true);
+        let _s0 = g.snapshot_shared();
+        g.apply_batch(&BatchUpdate::insert_only(vec![(0, 2)]))
+            .unwrap();
+        let before = g.clone();
+        // Invalid batch: all-or-nothing, pending delta untouched.
+        assert!(g
+            .apply_batch(&BatchUpdate::insert_only(vec![(0, 2)]))
+            .is_err());
+        assert_eq!(g, before);
+        assert_eq!(g.pending_len(), 1);
+        // Ad-hoc mutation drops cache and pending together.
+        g.insert_edge(1, 0).unwrap();
+        assert_eq!(g.pending_len(), 0);
+        assert!(g.cached_snapshot().is_none());
         assert_eq!(*g.snapshot_shared(), g.snapshot());
     }
 

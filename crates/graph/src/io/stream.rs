@@ -129,7 +129,8 @@ pub fn load_graph_with<P: AsRef<Path>>(
         GraphFormat::Snap => parse_snap_bytes(&bytes, opts)?,
         GraphFormat::Mtx => parse_mtx_bytes(&bytes, opts)?,
     };
-    DynGraph::from_edges(n, edges)
+    let edges = par_sort_dedup(edges, n, opts.threads);
+    DynGraph::from_presorted_edges(n, edges)
 }
 
 /// Parse SNAP edge-list bytes. Returns `(n, edges)` with `n = max(N
@@ -337,6 +338,78 @@ where
         entries += shard.entries;
     }
     Ok((edges, max_id, entries))
+}
+
+// ---------------------------------------------------------------------
+// Parallel sort/dedup (radix bucketing by source id)
+// ---------------------------------------------------------------------
+
+/// Buckets per worker for the parallel sort: enough to smooth skewed
+/// source distributions without drowning in per-bucket overhead.
+const SORT_BUCKETS_PER_THREAD: usize = 4;
+
+/// Edge count below which the sequential sort wins outright.
+const PAR_SORT_MIN_EDGES: usize = 1 << 15;
+
+/// Sort and deduplicate a parsed edge list in parallel. Each worker
+/// scatters a slice of the input into source-id-range buckets — the
+/// bucket index is monotone in the source id, so the buckets partition
+/// the sorted order — then the buckets are merged, sorted, and
+/// deduplicated independently and concatenated. Duplicates share a
+/// source id and therefore a bucket, so per-bucket `dedup` is global
+/// dedup. Falls back to the sequential path for small inputs or one
+/// thread; the result is identical either way.
+pub(crate) fn par_sort_dedup(mut edges: Vec<Edge>, n: usize, threads: usize) -> Vec<Edge> {
+    let threads = threads.max(1);
+    if threads == 1 || n == 0 || edges.len() < PAR_SORT_MIN_EDGES {
+        crate::digraph::sort_dedup(&mut edges);
+        return edges;
+    }
+    let buckets = threads * SORT_BUCKETS_PER_THREAD;
+    let chunk = edges.len().div_ceil(threads);
+    // Phase 1: per-worker scatter into bucket-local buffers. Ids at or
+    // above `n` (rejected later by the constructor) clamp into the last
+    // bucket, which keeps the indexing safe and the order monotone.
+    let parts = global_pool().run(threads, |t| {
+        let lo = (t * chunk).min(edges.len());
+        let hi = ((t + 1) * chunk).min(edges.len());
+        let mut local: Vec<Vec<Edge>> = std::iter::repeat_with(Vec::new).take(buckets).collect();
+        for &(u, v) in &edges[lo..hi] {
+            let b = ((u as u64 * buckets as u64) / n as u64) as usize;
+            local[b.min(buckets - 1)].push((u, v));
+        }
+        local
+    });
+    // Phase 2: each bucket's shards merge and sort independently;
+    // workers claim buckets wait-free off a cursor.
+    let cursor = ChunkCursor::new(buckets);
+    let sorted = global_pool().run(threads, |_t| {
+        let mut mine = Vec::new();
+        while let Some(r) = cursor.next_chunk(1) {
+            for b in r {
+                let mut merged: Vec<Edge> =
+                    Vec::with_capacity(parts.iter().map(|p| p[b].len()).sum());
+                for p in &parts {
+                    merged.extend_from_slice(&p[b]);
+                }
+                merged.sort_unstable();
+                merged.dedup();
+                mine.push((b, merged));
+            }
+        }
+        mine
+    });
+    let mut by_bucket: Vec<Vec<Edge>> = vec![Vec::new(); buckets];
+    for worker in sorted {
+        for (b, v) in worker {
+            by_bucket[b] = v;
+        }
+    }
+    let mut out = Vec::with_capacity(by_bucket.iter().map(Vec::len).sum());
+    for b in by_bucket {
+        out.extend_from_slice(&b);
+    }
+    out
 }
 
 /// Chunks per thread: oversplit so a worker stuck on a dense chunk
@@ -697,6 +770,58 @@ mod tests {
         assert_eq!(parse_digits(b"4294967296", u32::MAX as u64), None);
         assert_eq!(parse_digits(b"", u32::MAX as u64), None);
         assert_eq!(parse_digits(b"12x", u32::MAX as u64), None);
+    }
+
+    /// Deterministic pseudo-random edges with duplicates mixed in.
+    fn churned_edges(n: u64, count: usize) -> Vec<Edge> {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut edges = Vec::with_capacity(count + count / 5);
+        for _ in 0..count {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % n) as u32;
+            let v = ((x >> 13) % n) as u32;
+            edges.push((u, v));
+            if x % 5 == 0 {
+                edges.push((u, v));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn parallel_sort_dedup_matches_sequential() {
+        let n = 997u64;
+        let edges = churned_edges(n, 40_000);
+        let mut seq = edges.clone();
+        crate::digraph::sort_dedup(&mut seq);
+        let par = par_sort_dedup(edges, n as usize, 4);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_sort_dedup_survives_skew_and_small_inputs() {
+        // Every edge shares one source: all land in a single bucket.
+        let skew: Vec<Edge> = (0..40_000u32).map(|i| (3, i % 500)).collect();
+        let mut seq = skew.clone();
+        crate::digraph::sort_dedup(&mut seq);
+        assert_eq!(par_sort_dedup(skew, 600, 4), seq);
+        // Below the parallel threshold: the sequential fallback.
+        let small = vec![(2, 0), (0, 1), (2, 0), (1, 2)];
+        assert_eq!(par_sort_dedup(small, 3, 4), vec![(0, 1), (1, 2), (2, 0)]);
+        // Degenerate shapes.
+        assert!(par_sort_dedup(Vec::new(), 0, 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_sort_dedup_feeds_the_sorted_constructor() {
+        let n = 997usize;
+        let edges = churned_edges(n as u64, 40_000);
+        let via_par =
+            DynGraph::from_presorted_edges(n, par_sort_dedup(edges.clone(), n, 4)).unwrap();
+        let via_seq = DynGraph::from_edges(n, edges).unwrap();
+        assert_eq!(via_par, via_seq);
     }
 
     #[test]

@@ -457,6 +457,12 @@ pub struct Checkpoint {
     pub deltas: Vec<(u32, f64, f64)>,
     /// Named views in creation order.
     pub views: Vec<CheckpointView>,
+    /// The load-time vertex permutation (`perm[external] = internal`)
+    /// when the session renumbered its vertices; `None` writes nothing,
+    /// so unreordered checkpoints stay byte-identical to the original
+    /// format and old checkpoints (which end after the views) still
+    /// decode.
+    pub perm: Option<Vec<u32>>,
 }
 
 impl Checkpoint {
@@ -482,6 +488,17 @@ impl Checkpoint {
             }
             put_ranks(&mut b, &view.ranks);
             put_deltas(&mut b, &view.deltas);
+        }
+        // Optional trailers, each tagged with a kind byte. Introduced
+        // after v1 shipped: a reader at the old format rejects a
+        // checkpoint carrying one (clean refusal, not silent id
+        // garbage), while this reader accepts trailer-less bodies.
+        if let Some(perm) = &self.perm {
+            b.push(1u8);
+            put_u32(&mut b, perm.len() as u32);
+            for &p in perm {
+                put_u32(&mut b, p);
+            }
         }
         b
     }
@@ -520,6 +537,25 @@ impl Checkpoint {
                 deltas,
             });
         }
+        let perm = if c.done() {
+            None
+        } else {
+            match c.u8() {
+                Some(1) => {
+                    let len = c.u32().ok_or("short permutation length")? as usize;
+                    if len > body.len() / 4 {
+                        return Err("implausible permutation length".into());
+                    }
+                    let mut p = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        p.push(c.u32().ok_or("short permutation")?);
+                    }
+                    Some(p)
+                }
+                Some(k) => return Err(format!("unknown checkpoint trailer kind {k}")),
+                None => return Err("trailing bytes after views".into()),
+            }
+        };
         if !c.done() {
             return Err("trailing bytes after views".into());
         }
@@ -531,6 +567,7 @@ impl Checkpoint {
             ranks,
             deltas,
             views,
+            perm,
         })
     }
 }
@@ -871,6 +908,7 @@ mod tests {
                 ranks: vec![0.7, 0.1, 0.1, 0.1],
                 deltas: vec![(0, 0.6, 0.7)],
             }],
+            perm: None,
         };
         write_checkpoint(&path, &ckpt).unwrap();
         let got = read_checkpoint(&path).unwrap();
@@ -879,6 +917,54 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert!(!path.with_extension("tmp").exists(), "tmp cleaned up");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn permutation_trailer_round_trips_and_stays_optional() {
+        let dir = tmpdir("ckpt-perm");
+        let path = dir.join("state.ckpt");
+        let mut ckpt = Checkpoint {
+            epoch: 7,
+            algo: "DFLF".into(),
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            ranks: vec![0.25; 4],
+            deltas: vec![],
+            views: vec![],
+            perm: None,
+        };
+        // Without a permutation, the body ends after the views — the
+        // original format, byte for byte.
+        write_checkpoint(&path, &ckpt).unwrap();
+        let plain = std::fs::read(&path).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap().perm, None);
+        // With one, the trailer round-trips exactly.
+        ckpt.perm = Some(vec![2, 0, 3, 1]);
+        write_checkpoint(&path, &ckpt).unwrap();
+        let got = read_checkpoint(&path).unwrap();
+        assert_eq!(got.perm.as_deref(), Some(&[2, 0, 3, 1][..]));
+        assert_eq!(got, ckpt);
+        let with_perm = std::fs::read(&path).unwrap();
+        assert_eq!(
+            with_perm.len(),
+            plain.len() + 1 + 4 + 4 * 4,
+            "trailer adds exactly tag + len + entries"
+        );
+        // An unknown trailer kind is refused, not skipped: ids are not
+        // something to guess about.
+        let mut bad = plain.clone();
+        let crc_at = bad.len() - 4;
+        bad.insert(crc_at, 9u8); // unknown tag before the crc
+        let body_start = CKPT_MAGIC.len();
+        let crc = crc32(&bad[body_start..bad.len() - 4]);
+        let at = bad.len() - 4;
+        bad[at..].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(
+            read_checkpoint(&path).unwrap_err(),
+            "checkpoint corrupt: unknown checkpoint trailer kind 9"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -897,6 +983,7 @@ mod tests {
             ranks: vec![0.5, 0.5],
             deltas: vec![],
             views: vec![],
+            perm: None,
         };
         write_checkpoint(&path, &ckpt).unwrap();
         let good = std::fs::read(&path).unwrap();

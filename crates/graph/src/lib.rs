@@ -33,8 +33,11 @@ pub mod batch;
 pub mod builder;
 pub mod csr;
 pub mod digraph;
+pub mod gapped;
 pub mod generators;
 pub mod io;
+pub mod reorder;
+pub mod runs;
 pub mod scc;
 pub mod selfloops;
 pub mod snapshot;
@@ -44,6 +47,9 @@ pub use batch::{BatchSpec, BatchUpdate};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use digraph::DynGraph;
+pub use gapped::{GappedGraph, PrevRuns, SlackStats};
 pub use io::GraphFormat;
+pub use reorder::{ReorderStrategy, Reordering};
+pub use runs::NeighborRuns;
 pub use snapshot::Snapshot;
 pub use types::{Edge, VertexId};

@@ -1,0 +1,105 @@
+//! Property tests pinning the gap-aware store to the packed-snapshot
+//! oracle.
+//!
+//! The invariant the gapped storage engine lives or dies by: after any
+//! sequence of valid batches, [`GappedGraph`] is **extensionally
+//! identical** to the packed [`Snapshot`] maintained by CSR splicing —
+//! the same out-runs, in-runs, and out-degrees, in the same order (the
+//! kernels' float accumulation order rides on neighbor order, so "same
+//! set" is not enough). `to_snapshot` must round-trip into an equal
+//! packed snapshot, and the slack accounting must track the true edge
+//! count across granule rebuilds.
+
+use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, GappedGraph, NeighborRuns};
+use proptest::prelude::*;
+
+/// Build a valid graph from arbitrary drawn data: ids clamped into
+/// `0..n`, duplicates removed by `from_edges`.
+fn graph_from(n: usize, raw: &[(u32, u32)]) -> DynGraph {
+    let edges: Vec<(u32, u32)> = raw
+        .iter()
+        .map(|&(u, v)| (u % n as u32, v % n as u32))
+        .collect();
+    DynGraph::from_edges(n, edges).expect("clamped ids are in range")
+}
+
+proptest! {
+    /// Gapped store ≡ packed oracle across a chain of random churn
+    /// batches: runs, degrees, materialization, and slack accounting.
+    #[test]
+    fn gapped_store_tracks_packed_oracle_under_churn(
+        n in 2usize..60,
+        raw in proptest::collection::vec((0u32..80, 0u32..80), 0..250),
+        seeds in proptest::collection::vec(0u64..1000, 1..8),
+        fraction in 0.02f64..0.3,
+    ) {
+        let mut g = graph_from(n, &raw);
+        let mut oracle = g.snapshot();
+        let mut gapped = GappedGraph::from_snapshot(&oracle);
+        for seed in seeds {
+            let batch = BatchSpec::mixed(fraction, seed).generate(&g);
+            g.apply_batch(&batch).expect("generated batch is valid");
+            oracle = oracle.apply_batch(&batch).expect("generated batch is valid");
+            gapped.apply_batch(&batch).expect("valid on the oracle");
+            // Run-level equality in both directions, plus degrees.
+            for v in 0..n as u32 {
+                prop_assert_eq!(gapped.out(v), oracle.out(v));
+                prop_assert_eq!(gapped.in_(v), oracle.in_(v));
+                prop_assert_eq!(
+                    NeighborRuns::out_degree(&gapped, v),
+                    oracle.out_degree(v)
+                );
+            }
+            prop_assert_eq!(gapped.num_edges(), oracle.num_edges());
+            // Materialized equality: the packed round-trip of the
+            // gapped runs is the oracle, byte for byte.
+            prop_assert_eq!(&gapped.to_snapshot(), &oracle);
+            // Slack accounting: both directions stored, never
+            // overfull.
+            let s = gapped.slack_stats();
+            prop_assert_eq!(s.edges as usize, 2 * oracle.num_edges());
+            prop_assert!(s.edges <= s.slots);
+            prop_assert!(s.occupancy_permille() <= 1000);
+        }
+    }
+
+    /// Delete-then-reinsert of one edge inside a batch nets to
+    /// "present" on the gapped path exactly as on the packed path.
+    #[test]
+    fn gapped_delete_reinsert_is_net_noop(
+        n in 2usize..40,
+        raw in proptest::collection::vec((0u32..50, 0u32..50), 1..120),
+    ) {
+        let g = graph_from(n, &raw);
+        let oracle = g.snapshot();
+        if oracle.num_edges() > 0 {
+            let mut gapped = GappedGraph::from_snapshot(&oracle);
+            let (u, v) = g.edges().next().unwrap();
+            let batch = BatchUpdate {
+                deletions: vec![(u, v)],
+                insertions: vec![(u, v)],
+            };
+            gapped.apply_batch(&batch).expect("net no-op batch is valid");
+            prop_assert_eq!(&gapped.to_snapshot(), &oracle);
+        }
+    }
+}
+
+#[test]
+fn heavy_single_vertex_growth_rebuilds_and_stays_exact() {
+    // Pour edges into one vertex until its granule's slack is gone:
+    // rebuilds must fire and the runs must stay equal to the oracle.
+    let g = DynGraph::from_edges(300, vec![(0, 1)]).unwrap();
+    let mut oracle = g.snapshot();
+    let mut gapped = GappedGraph::from_snapshot(&oracle);
+    let batch = BatchUpdate {
+        deletions: vec![],
+        insertions: (2..250u32).map(|v| (0, v)).collect(),
+    };
+    oracle = oracle.apply_batch(&batch).unwrap();
+    gapped.apply_batch(&batch).unwrap();
+    assert_eq!(gapped.to_snapshot(), oracle);
+    let s = gapped.slack_stats();
+    assert!(s.rebuilds > 0, "249 inserts into one run must rebalance");
+    assert_eq!(s.edges as usize, 2 * oracle.num_edges());
+}

@@ -123,8 +123,11 @@ fn serve_main(args: &[String]) {
     use lockfree_pagerank::durable::{Durability, DurabilityOptions};
     use lockfree_pagerank::graph::io::wal::FsyncPolicy;
     use lockfree_pagerank::sched::{ChunkPolicy, ExecMode, Schedule};
-    use lockfree_pagerank::serve::{serve_connection, serve_connection_durable};
-    use lockfree_pagerank::UpdateSession;
+    use lockfree_pagerank::serve::{
+        serve_connection_durable_reordered, serve_connection_reordered,
+    };
+    use lockfree_pagerank::{ReorderStrategy, Reordering, StorageLayout, UpdateSession};
+    use std::sync::Arc;
 
     let mut algo = Algorithm::DfLF;
     let mut threads = 1usize;
@@ -140,6 +143,8 @@ fn serve_main(args: &[String]) {
     let mut checkpoint_every = 64u64;
     let mut recover = false;
     let mut crash_after: Option<u64> = None;
+    let mut layout = StorageLayout::Packed;
+    let mut reorder_strategy = ReorderStrategy::None;
     let mut i = 0;
     let bad = |msg: &str| -> ! {
         eprintln!("{msg}");
@@ -237,6 +242,18 @@ fn serve_main(args: &[String]) {
                 );
                 i += 2;
             }
+            "--layout" => {
+                layout = value(i + 1, "--layout <packed|gapped>")
+                    .parse()
+                    .unwrap_or_else(|e: String| bad(&e));
+                i += 2;
+            }
+            "--reorder" => {
+                reorder_strategy = value(i + 1, "--reorder <none|degree|bfs>")
+                    .parse()
+                    .unwrap_or_else(|e: String| bad(&e));
+                i += 2;
+            }
             other => bad(&format!("unknown flag: {other}")),
         }
     }
@@ -259,19 +276,25 @@ fn serve_main(args: &[String]) {
         checkpoint_every,
         crash_after,
     };
-    let (mut session, durable) = if recover {
+    let (mut session, durable, reorder) = if recover {
         let dir = wal_dir
             .as_deref()
             .unwrap_or_else(|| bad("--recover needs --wal <dir>"));
         if graph_path.is_some() || gen.is_some() {
             bad("--recover restores the graph from the wal directory; drop --graph/--gen");
         }
+        if reorder_strategy != ReorderStrategy::None {
+            bad("--recover restores the vertex order from the checkpoint; drop --reorder");
+        }
         // The algorithm and graph come from the checkpoint; --algo is
-        // only the default for a fresh start.
+        // only the default for a fresh start. The vertex permutation
+        // (if the original session was reordered) rides along too.
         match Durability::recover(std::path::Path::new(dir), opts, dopts) {
-            Ok((session, durable, report)) => {
+            Ok((mut session, durable, report)) => {
                 eprintln!("# {report}");
-                (session, Some(durable))
+                session.set_storage_layout(layout);
+                let reorder = durable.reordering().clone();
+                (session, Some(durable), reorder)
             }
             // Stable text — the CI smoke greps for this prefix.
             Err(e) => bad(&format!("recover failed: {e}")),
@@ -286,21 +309,38 @@ fn serve_main(args: &[String]) {
             }
             _ => bad("serve needs exactly one of --graph <path> or --gen <n> <m> <seed>"),
         };
-        let mut session = UpdateSession::new(g, algo, opts);
+        // Renumber for batch locality before the session computes its
+        // initial ranks; the serve boundary keeps speaking external ids.
+        let reorder = Reordering::compute(reorder_strategy, &g).map(Arc::new);
+        let g = match &reorder {
+            Some(r) => r.apply(&g),
+            None => g,
+        };
+        let mut session = UpdateSession::new_with_layout(g, algo, opts, layout);
         // `movers` and subscriptions need per-batch deltas.
         session.enable_delta_tracking();
         let durable = wal_dir.as_deref().map(|dir| {
-            Durability::create(std::path::Path::new(dir), &mut session, dopts)
-                .unwrap_or_else(|e| bad(&format!("cannot start wal: {e}")))
+            Durability::create_reordered(
+                std::path::Path::new(dir),
+                &mut session,
+                dopts,
+                reorder.clone(),
+            )
+            .unwrap_or_else(|e| bad(&format!("cannot start wal: {e}")))
         });
-        (session, durable)
+        (session, durable, reorder)
     };
     eprintln!(
-        "# serving {} vertices / {} edges with {} on {} thread(s){}",
+        "# serving {} vertices / {} edges with {} on {} thread(s), {} layout{}{}",
         session.graph().num_vertices(),
         session.graph().num_edges(),
         session.algorithm(),
         threads,
+        session.storage_layout(),
+        match &reorder {
+            Some(_) => " (reordered)",
+            None => "",
+        },
         match &durable {
             Some(d) => format!(" (wal: {})", d.dir().display()),
             None => String::new(),
@@ -311,10 +351,16 @@ fn serve_main(args: &[String]) {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let summary = match durable {
-                Some(mut d) => {
-                    serve_connection_durable(&mut session, &mut d, stdin.lock(), stdout.lock())
+                Some(mut d) => serve_connection_durable_reordered(
+                    &mut session,
+                    &mut d,
+                    &reorder,
+                    stdin.lock(),
+                    stdout.lock(),
+                ),
+                None => {
+                    serve_connection_reordered(&mut session, &reorder, stdin.lock(), stdout.lock())
                 }
-                None => serve_connection(&mut session, stdin.lock(), stdout.lock()),
             }
             .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
             eprintln!(
@@ -328,9 +374,10 @@ fn serve_main(args: &[String]) {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
                 .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
-            let server =
-                lockfree_pagerank::server::spawn_durable(session, listener, workers, durable)
-                    .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
+            let server = lockfree_pagerank::server::spawn_durable(
+                session, listener, workers, durable, reorder,
+            )
+            .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
             eprintln!(
                 "# listening on {} ({} workers, single-writer commits, epoch-published reads)",
                 server.addr(),

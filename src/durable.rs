@@ -32,7 +32,8 @@ use lfpr_graph::io::wal::{
     read_checkpoint, read_wal, write_checkpoint, Checkpoint, CheckpointView, FsyncPolicy,
     WalRecord, WalWriter,
 };
-use lfpr_graph::{BatchUpdate, DynGraph};
+use lfpr_graph::reorder::SharedReordering;
+use lfpr_graph::{BatchUpdate, DynGraph, Reordering};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,6 +147,9 @@ pub struct Durability {
     commits_logged: u64,
     /// Set on the first append failure; commits are refused from then on.
     wedged: Option<String>,
+    /// Load-time vertex permutation, persisted in every checkpoint so
+    /// `--recover` restores the renumbered session exactly.
+    reorder: SharedReordering,
 }
 
 impl Durability {
@@ -157,9 +161,22 @@ impl Durability {
         session: &mut UpdateSession,
         opts: DurabilityOptions,
     ) -> Result<Durability, String> {
+        Self::create_reordered(dir, session, opts, None)
+    }
+
+    /// Like [`Durability::create`], for a session whose vertices were
+    /// renumbered at load time: the permutation rides along in every
+    /// checkpoint, so recovery rebuilds the same internal numbering and
+    /// keeps serving the original external ids.
+    pub fn create_reordered(
+        dir: &Path,
+        session: &mut UpdateSession,
+        opts: DurabilityOptions,
+        reorder: SharedReordering,
+    ) -> Result<Durability, String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create wal directory {}: {e}", dir.display()))?;
-        write_checkpoint(dir.join(CKPT_FILE), &checkpoint_of(session))
+        write_checkpoint(dir.join(CKPT_FILE), &checkpoint_of(session, &reorder))
             .map_err(|e| format!("cannot write checkpoint: {e}"))?;
         let writer = WalWriter::create(dir.join(WAL_FILE), opts.fsync)
             .map_err(|e| format!("cannot create wal: {e}"))?;
@@ -173,6 +190,7 @@ impl Durability {
             since_checkpoint: 0,
             commits_logged: 0,
             wedged: None,
+            reorder,
         })
     }
 
@@ -187,6 +205,13 @@ impl Durability {
         opts: DurabilityOptions,
     ) -> Result<(UpdateSession, Durability, RecoveryReport), String> {
         let ckpt = read_checkpoint(dir.join(CKPT_FILE))?;
+        let reorder: SharedReordering = match &ckpt.perm {
+            Some(perm) => Some(Arc::new(
+                Reordering::from_perm(perm.clone())
+                    .map_err(|e| format!("checkpoint permutation invalid: {e}"))?,
+            )),
+            None => None,
+        };
         let algorithm: Algorithm = ckpt
             .algo
             .parse()
@@ -254,6 +279,7 @@ impl Durability {
             since_checkpoint: report.replayed_commits,
             commits_logged: 0,
             wedged: None,
+            reorder,
         };
         Ok((session, durable, report))
     }
@@ -266,6 +292,12 @@ impl Durability {
     /// The durability directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The vertex permutation persisted with this directory's
+    /// checkpoints (`None` for an unreordered session).
+    pub fn reordering(&self) -> &SharedReordering {
+        &self.reorder
     }
 
     /// Why this manager refuses mutations, if it does.
@@ -344,8 +376,11 @@ impl Durability {
         if let Some(msg) = &self.wedged {
             return Err(format!("wal unavailable: {msg}"));
         }
-        write_checkpoint(self.dir.join(CKPT_FILE), &checkpoint_of(session))
-            .map_err(|e| self.wedge(format!("checkpoint write failed: {e}")))?;
+        write_checkpoint(
+            self.dir.join(CKPT_FILE),
+            &checkpoint_of(session, &self.reorder),
+        )
+        .map_err(|e| self.wedge(format!("checkpoint write failed: {e}")))?;
         self.writer = WalWriter::create(self.dir.join(WAL_FILE), self.opts.fsync)
             .map_err(|e| self.wedge(format!("wal restart failed: {e}")))?;
         self.since_checkpoint = 0;
@@ -382,7 +417,7 @@ impl Durability {
 }
 
 /// Snapshot a session's full committed state into a checkpoint value.
-fn checkpoint_of(session: &mut UpdateSession) -> Checkpoint {
+fn checkpoint_of(session: &mut UpdateSession, reorder: &SharedReordering) -> Checkpoint {
     let snapshot = session.snapshot();
     let views = session
         .view_names()
@@ -408,6 +443,7 @@ fn checkpoint_of(session: &mut UpdateSession) -> Checkpoint {
         ranks: session.ranks().to_vec(),
         deltas: deltas_to_triples(session.last_deltas()),
         views,
+        perm: reorder.as_ref().map(|r| r.perm().to_vec()),
     }
 }
 
@@ -632,6 +668,46 @@ mod tests {
             .iter()
             .zip(rec.view_ranks("ego2").unwrap())
         {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reordered_checkpoints_persist_the_permutation() {
+        let dir = tmpdir("perm");
+        let mut g = erdos_renyi(80, 400, 9);
+        add_self_loops(&mut g);
+        let r = Reordering::compute(lfpr_graph::ReorderStrategy::Degree, &g).unwrap();
+        let mut live = UpdateSession::new(r.apply(&g), Algorithm::DfLF, opts());
+        live.enable_delta_tracking();
+        let reorder: SharedReordering = Some(Arc::new(r));
+        let mut d = Durability::create_reordered(
+            &dir,
+            &mut live,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 2,
+                crash_after: None,
+            },
+            reorder.clone(),
+        )
+        .unwrap();
+        for round in 0..3u64 {
+            let batch = BatchSpec::mixed(0.02, 90 + round).generate(live.graph());
+            live.step(&batch).unwrap();
+            d.log_commit(&mut live, &batch).unwrap();
+        }
+        drop(d);
+        // The last checkpoint (epoch 2) carried the permutation; the
+        // recovered manager must hand back the same mapping and the
+        // replayed session the same bits.
+        let (rec, d2, report) =
+            Durability::recover(&dir, opts(), DurabilityOptions::default()).unwrap();
+        assert_eq!(report.checkpoint_epoch, 2);
+        let restored = d2.reordering().as_ref().expect("permutation persisted");
+        assert_eq!(restored.perm(), reorder.as_ref().unwrap().perm());
+        for (a, b) in live.ranks().iter().zip(rec.ranks()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         std::fs::remove_dir_all(&dir).unwrap();

@@ -53,9 +53,9 @@ pub use lfpr_sched as sched;
 
 pub use lfpr_core::{
     api, Algorithm, ConvergenceMode, PagerankOptions, PagerankResult, RankDelta, RankReader,
-    RankView, RunStatus, StepStats, Teleport, TeleportWeights, UpdateSession,
+    RankView, RunStatus, StepStats, StorageLayout, Teleport, TeleportWeights, UpdateSession,
 };
-pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, Snapshot};
+pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, ReorderStrategy, Reordering, Snapshot};
 
 pub mod durable;
 pub mod protocol;

@@ -162,7 +162,8 @@ pub enum Response {
         view: Option<String>,
     },
     /// `stats n=<n> m=<m> steps=<s> staged=<k> algo=<a> epoch=<e>` —
-    /// plus ` wal_epoch=<we> wal_bytes=<wb>` when durability is on.
+    /// plus ` wal_epoch=<we> wal_bytes=<wb>` when durability is on and
+    /// ` slack=<permille>` when the session runs the gapped store.
     Stats {
         n: usize,
         m: usize,
@@ -174,6 +175,10 @@ pub enum Response {
         /// with a write-ahead log, so non-durable transcripts keep
         /// their historical bytes.
         wal: Option<(u64, u64)>,
+        /// Gapped-store slot occupancy in permille (edges per reserved
+        /// slot) — present only when the session commits through the
+        /// gap-aware CSR, so packed transcripts keep their bytes.
+        slack: Option<u64>,
     },
     /// `subscribed <v> eps=<eps>`
     Subscribed { v: u32, eps: f64 },
@@ -247,6 +252,10 @@ pub enum ServeError {
     ViewRejected(String),
     /// `follow` on a transport that cannot stream (the stdin loop).
     FollowNeedsTcp,
+    /// `follow` on a server that renumbered its vertices at load time.
+    /// The feed carries internal ids a follower cannot translate, so
+    /// replication is refused rather than silently diverging.
+    FollowReordered,
     /// A mutating verb sent to a replica, which only serves reads.
     ReadOnlyReplica,
     /// The write-ahead log is wedged (an append or fsync failed); the
@@ -285,6 +294,9 @@ impl fmt::Display for ServeError {
             ServeError::NotSubscribed(v) => write!(f, "not subscribed to vertex {v}"),
             ServeError::ViewRejected(msg) => write!(f, "view rejected: {msg}"),
             ServeError::FollowNeedsTcp => write!(f, "follow requires --tcp"),
+            ServeError::FollowReordered => {
+                write!(f, "follow unavailable: server reorders vertex ids")
+            }
             ServeError::ReadOnlyReplica => write!(f, "read-only replica"),
             ServeError::WalUnavailable(msg) => write!(f, "wal unavailable: {msg}"),
             ServeError::RecoverFailed(msg) => write!(f, "recover failed: {msg}"),
@@ -559,12 +571,16 @@ pub fn encode_response(resp: &Response) -> String {
             algo,
             epoch,
             wal,
+            slack,
         } => {
             let mut out = format!(
                 "stats n={n} m={m} steps={steps} staged={staged} algo={algo} epoch={epoch}"
             );
             if let Some((we, wb)) = wal {
                 out.push_str(&format!(" wal_epoch={we} wal_bytes={wb}"));
+            }
+            if let Some(s) = slack {
+                out.push_str(&format!(" slack={s}"));
             }
             out
         }
@@ -708,6 +724,7 @@ pub fn parse_response(block: &str) -> Option<Response> {
                 (Some(we), Some(wb)) => Some((we, wb)),
                 _ => None,
             },
+            slack: field(head, "slack"),
         }),
         ["subscribed", v, ..] => Some(Response::Subscribed {
             v: v.parse().ok()?,
@@ -834,6 +851,9 @@ fn parse_error(msg: &str) -> Option<ServeError> {
     if msg == "follow requires --tcp" {
         return Some(ServeError::FollowNeedsTcp);
     }
+    if msg == "follow unavailable: server reorders vertex ids" {
+        return Some(ServeError::FollowReordered);
+    }
     if msg == "read-only replica" {
         return Some(ServeError::ReadOnlyReplica);
     }
@@ -899,6 +919,10 @@ mod tests {
             "follow requires --tcp"
         );
         assert_eq!(ServeError::ReadOnlyReplica.to_string(), "read-only replica");
+        assert_eq!(
+            ServeError::FollowReordered.to_string(),
+            "follow unavailable: server reorders vertex ids"
+        );
         assert_eq!(
             ServeError::WalUnavailable("wal append failed: disk full".into()).to_string(),
             "wal unavailable: wal append failed: disk full"
@@ -1089,6 +1113,7 @@ mod tests {
                 algo: "DFLF".into(),
                 epoch: 0,
                 wal: None,
+                slack: None,
             },
             Response::Stats {
                 n: 200,
@@ -1098,6 +1123,27 @@ mod tests {
                 algo: "DFLF".into(),
                 epoch: 3,
                 wal: Some((3, 1024)),
+                slack: None,
+            },
+            Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 3,
+                staged: 0,
+                algo: "DFLF".into(),
+                epoch: 3,
+                wal: Some((3, 1024)),
+                slack: Some(812),
+            },
+            Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 1,
+                staged: 0,
+                algo: "DFLF".into(),
+                epoch: 1,
+                wal: None,
+                slack: Some(790),
             },
             Response::Subscribed { v: 4, eps: 1e-7 },
             Response::Unsubscribed { v: 4 },
@@ -1121,6 +1167,7 @@ mod tests {
             Response::Bye,
             Response::Error(ServeError::EdgeExists(1, 2)),
             Response::Error(ServeError::BatchRejected("boom".into())),
+            Response::Error(ServeError::FollowReordered),
         ];
         for resp in samples {
             let wire = encode_response(&resp);
@@ -1146,6 +1193,7 @@ mod tests {
                 algo: "DFLF".into(),
                 epoch: 0,
                 wal: None,
+                slack: None,
             }),
             "stats n=200 m=1000 steps=0 staged=0 algo=DFLF epoch=0"
         );
@@ -1158,8 +1206,22 @@ mod tests {
                 algo: "DFLF".into(),
                 epoch: 2,
                 wal: Some((2, 131)),
+                slack: None,
             }),
             "stats n=200 m=1000 steps=2 staged=0 algo=DFLF epoch=2 wal_epoch=2 wal_bytes=131"
+        );
+        assert_eq!(
+            encode_response(&Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 0,
+                staged: 0,
+                algo: "DFLF".into(),
+                epoch: 0,
+                wal: None,
+                slack: Some(812),
+            }),
+            "stats n=200 m=1000 steps=0 staged=0 algo=DFLF epoch=0 slack=812"
         );
         assert_eq!(
             encode_response(&Response::BatchOk {

@@ -65,7 +65,8 @@ use crate::replica::{self, FeedHub};
 use lfpr_core::session::{RankReader, RankView, UpdateSession};
 use lfpr_core::{Algorithm, RankDelta, RunStatus, Teleport};
 use lfpr_graph::io::wal::WalRecord;
-use lfpr_graph::BatchUpdate;
+use lfpr_graph::reorder::SharedReordering;
+use lfpr_graph::{BatchUpdate, Reordering};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::sync::{mpsc, Arc};
@@ -458,6 +459,20 @@ impl Backend<'_> {
         }
     }
 
+    /// Gapped-store slot occupancy (permille) for `stats`, when this
+    /// backend owns a session committing through the gap-aware CSR.
+    /// Published views carry no storage detail, so concurrent workers
+    /// and replicas report nothing.
+    fn slack_stats(&self) -> Option<u64> {
+        match self {
+            Backend::Direct(s) => s.slack_stats().map(|s| s.occupancy_permille()),
+            Backend::Durable { session, .. } => {
+                session.slack_stats().map(|s| s.occupancy_permille())
+            }
+            Backend::Concurrent { .. } | Backend::Replica { .. } => None,
+        }
+    }
+
     /// Does this backend refuse mutations outright?
     fn read_only(&self) -> bool {
         matches!(self, Backend::Replica { .. })
@@ -623,6 +638,17 @@ pub fn serve_connection<R: BufRead, W: Write>(
     serve_client(&mut Backend::Direct(session), input, out)
 }
 
+/// [`serve_connection`] over a renumbered session: client-facing ids
+/// are translated through `reorder` at the protocol boundary.
+pub fn serve_connection_reordered<R: BufRead, W: Write>(
+    session: &mut UpdateSession,
+    reorder: &SharedReordering,
+    input: R,
+    out: W,
+) -> std::io::Result<ServeSummary> {
+    serve_client_reordered(&mut Backend::Direct(session), reorder, input, out)
+}
+
 /// [`serve_connection`] with a write-ahead log: mutations are appended
 /// and acked in order, and the WAL is flushed to stable storage when
 /// the input ends (EOF or `quit`) — the stdin half of graceful
@@ -633,7 +659,23 @@ pub fn serve_connection_durable<R: BufRead, W: Write>(
     input: R,
     out: W,
 ) -> std::io::Result<ServeSummary> {
-    let summary = serve_client(&mut Backend::Durable { session, durable }, input, out)?;
+    serve_connection_durable_reordered(session, durable, &None, input, out)
+}
+
+/// [`serve_connection_durable`] over a renumbered session.
+pub fn serve_connection_durable_reordered<R: BufRead, W: Write>(
+    session: &mut UpdateSession,
+    durable: &mut Durability,
+    reorder: &SharedReordering,
+    input: R,
+    out: W,
+) -> std::io::Result<ServeSummary> {
+    let summary = serve_client_reordered(
+        &mut Backend::Durable { session, durable },
+        reorder,
+        input,
+        out,
+    )?;
     if let Err(e) = durable.flush_sync() {
         eprintln!("# shutdown flush failed: {e}");
     }
@@ -643,6 +685,20 @@ pub fn serve_connection_durable<R: BufRead, W: Write>(
 /// Drive one client connection against `backend` until EOF or `quit`.
 pub fn serve_client<R: BufRead, W: Write>(
     backend: &mut Backend<'_>,
+    input: R,
+    out: W,
+) -> std::io::Result<ServeSummary> {
+    serve_client_reordered(backend, &None, input, out)
+}
+
+/// [`serve_client`] with id translation: requests are mapped external →
+/// internal before they touch the backend and every vertex id in a
+/// reply is mapped back, so clients keep speaking the dataset's
+/// original ids no matter how the session renumbered them. With
+/// `reorder = None` this is exactly [`serve_client`].
+pub fn serve_client_reordered<R: BufRead, W: Write>(
+    backend: &mut Backend<'_>,
+    reorder: &SharedReordering,
     input: R,
     mut out: W,
 ) -> std::io::Result<ServeSummary> {
@@ -655,9 +711,15 @@ pub fn serve_client<R: BufRead, W: Write>(
         };
         summary.commands += 1;
         let flow = match parsed {
-            Ok(req) => handle(backend, &mut state, &mut summary, req, &mut out)?,
+            Ok(req) => {
+                let req = match reorder {
+                    Some(r) => translate_request(req, r),
+                    None => req,
+                };
+                handle(backend, reorder, &mut state, &mut summary, req, &mut out)?
+            }
             Err(e) => {
-                reply(&mut out, &Response::Error(e))?;
+                reply(&mut out, reorder, &Response::Error(e))?;
                 Flow::Continue
             }
         };
@@ -694,12 +756,145 @@ enum Flow {
     },
 }
 
-fn reply<W: Write>(out: &mut W, resp: &Response) -> std::io::Result<()> {
-    writeln!(out, "{}", encode_response(resp))
+fn reply<W: Write>(
+    out: &mut W,
+    reorder: &SharedReordering,
+    resp: &Response,
+) -> std::io::Result<()> {
+    match reorder {
+        None => writeln!(out, "{}", encode_response(resp)),
+        Some(r) => writeln!(
+            out,
+            "{}",
+            encode_response(&translate_response(resp.clone(), r))
+        ),
+    }
+}
+
+/// Map every vertex id in an incoming request from the client's
+/// external space to the session's internal space. Out-of-range ids
+/// pass through untouched (see [`Reordering::to_internal`]), so range
+/// errors keep naming the id the client sent.
+fn translate_request(req: Request, r: &Reordering) -> Request {
+    match req {
+        Request::Insert { u, v } => Request::Insert {
+            u: r.to_internal(u),
+            v: r.to_internal(v),
+        },
+        Request::Delete { u, v } => Request::Delete {
+            u: r.to_internal(u),
+            v: r.to_internal(v),
+        },
+        Request::Rank { v, view } => Request::Rank {
+            v: r.to_internal(v),
+            view,
+        },
+        Request::Subscribe { v, eps } => Request::Subscribe {
+            v: r.to_internal(v),
+            eps,
+        },
+        Request::Unsubscribe { v } => Request::Unsubscribe {
+            v: r.to_internal(v),
+        },
+        Request::ViewAdd { name, sources } => Request::ViewAdd {
+            name,
+            sources: sources
+                .into_iter()
+                .map(|(v, w)| (r.to_internal(v), w))
+                .collect(),
+        },
+        other => other,
+    }
+}
+
+/// Map every vertex id in an outgoing reply back to external space.
+fn translate_response(resp: Response, r: &Reordering) -> Response {
+    let map_entries =
+        |es: Vec<(u32, f64)>| es.into_iter().map(|(v, x)| (r.to_external(v), x)).collect();
+    match resp {
+        Response::Rank {
+            v,
+            rank,
+            epoch,
+            view,
+        } => Response::Rank {
+            v: r.to_external(v),
+            rank,
+            epoch,
+            view,
+        },
+        Response::TopK {
+            entries,
+            epoch,
+            view,
+        } => Response::TopK {
+            entries: map_entries(entries),
+            epoch,
+            view,
+        },
+        Response::Movers {
+            entries,
+            epoch,
+            view,
+        } => Response::Movers {
+            entries: entries
+                .into_iter()
+                .map(|e| MoverEntry {
+                    v: r.to_external(e.v),
+                    ..e
+                })
+                .collect(),
+            epoch,
+            view,
+        },
+        Response::Push { entries, epoch } => Response::Push {
+            entries: map_entries(entries),
+            epoch,
+        },
+        Response::Subscribed { v, eps } => Response::Subscribed {
+            v: r.to_external(v),
+            eps,
+        },
+        Response::Unsubscribed { v } => Response::Unsubscribed {
+            v: r.to_external(v),
+        },
+        Response::Error(e) => Response::Error(translate_error(e, r)),
+        other => other,
+    }
+}
+
+/// Map the vertex ids inside a typed error back to external space.
+/// `UnknownVertex` carries the offending token as text: a numeric token
+/// is an internal id from the range fallthrough and translates; a
+/// non-numeric token is the client's own garbage and stays verbatim.
+fn translate_error(e: ServeError, r: &Reordering) -> ServeError {
+    match e {
+        ServeError::VertexOutOfRange { id, n } => ServeError::VertexOutOfRange {
+            id: r.to_external(id),
+            n,
+        },
+        ServeError::UnknownVertex(s) => ServeError::UnknownVertex(match s.parse::<u32>() {
+            Ok(v) => r.to_external(v).to_string(),
+            Err(_) => s,
+        }),
+        ServeError::EdgeExists(u, v) => ServeError::EdgeExists(r.to_external(u), r.to_external(v)),
+        ServeError::EdgeAlreadyStaged(u, v) => {
+            ServeError::EdgeAlreadyStaged(r.to_external(u), r.to_external(v))
+        }
+        ServeError::EdgeMissing(u, v) => {
+            ServeError::EdgeMissing(r.to_external(u), r.to_external(v))
+        }
+        ServeError::SelfLoopDelete(u, v) => {
+            ServeError::SelfLoopDelete(r.to_external(u), r.to_external(v))
+        }
+        ServeError::NotSubscribed(v) => ServeError::NotSubscribed(r.to_external(v)),
+        other => other,
+    }
 }
 
 fn handle<W: Write>(
     backend: &mut Backend<'_>,
+    reorder: &SharedReordering,
     state: &mut ConnState,
     summary: &mut ServeSummary,
     req: Request,
@@ -716,6 +911,7 @@ fn handle<W: Write>(
             summary.pushes += 1;
             reply(
                 out,
+                reorder,
                 &Response::Push {
                     entries: pushed,
                     epoch: view.epoch(),
@@ -739,7 +935,7 @@ fn handle<W: Write>(
                 | Request::ViewDrop { .. }
         )
     {
-        reply(out, &Response::Error(ServeError::ReadOnlyReplica))?;
+        reply(out, reorder, &Response::Error(ServeError::ReadOnlyReplica))?;
         return Ok(Flow::Continue);
     }
 
@@ -858,6 +1054,7 @@ fn handle<W: Write>(
                 algo: backend.algorithm().to_string(),
                 epoch: view.epoch(),
                 wal: backend.wal_stats(),
+                slack: backend.slack_stats(),
             }
         }
         Request::Subscribe { v, eps } => {
@@ -914,16 +1111,20 @@ fn handle<W: Write>(
         Request::Views => Response::Views {
             entries: backend.view().view_names(),
         },
+        // The feed streams internal ids a follower cannot translate, so
+        // a reordered leader refuses replication outright rather than
+        // let a follower diverge bit by bit.
+        Request::Follow { .. } if reorder.is_some() => Response::Error(ServeError::FollowReordered),
         Request::Follow { since } => match backend {
             Backend::Concurrent { .. } => return Ok(Flow::Follow { since }),
             _ => Response::Error(ServeError::FollowNeedsTcp),
         },
         Request::Quit => {
-            reply(out, &Response::Bye)?;
+            reply(out, reorder, &Response::Bye)?;
             return Ok(Flow::Quit);
         }
     };
-    reply(out, &resp)?;
+    reply(out, reorder, &resp)?;
     Ok(Flow::Continue)
 }
 
@@ -1322,5 +1523,95 @@ mod tests {
         assert_eq!(lines[2], "ego sources=1");
         assert!(lines[3].ends_with("view=ego"), "{}", lines[3]);
         assert_eq!(lines[4], "ok dropped view ego");
+    }
+
+    #[test]
+    fn gapped_sessions_report_slack_in_stats() {
+        use lfpr_core::session::StorageLayout;
+        let mut s = session();
+        s.set_storage_layout(StorageLayout::Gapped);
+        let mut out = Vec::new();
+        serve_connection(
+            &mut s,
+            "stats\ninsert 4 1\nbatch\nstats\nquit\n".as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let stats: Vec<&str> = text.lines().filter(|l| l.starts_with("stats ")).collect();
+        assert_eq!(stats.len(), 2);
+        for line in stats {
+            let slack = crate::protocol::field(line, "slack");
+            assert!(slack.is_some(), "{line}");
+            assert!(slack.unwrap() <= 1000, "{line}");
+        }
+        // Packed sessions keep their historical stats bytes.
+        let (out, _) = run("stats\nquit\n");
+        assert!(!out.contains("slack="), "{out}");
+    }
+
+    #[test]
+    fn reordered_sessions_translate_ids_at_the_boundary() {
+        use lfpr_graph::reorder::ReorderStrategy;
+        // Renumber the test graph, run the session in internal id
+        // space, and serve through the translation boundary: the
+        // transcript must speak external (original) ids throughout.
+        let mut g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0)])
+            .build_dyn()
+            .unwrap();
+        add_self_loops(&mut g);
+        let r = Arc::new(Reordering::compute(ReorderStrategy::Degree, &g).unwrap());
+        let mut s = UpdateSession::new(
+            r.apply(&g),
+            Algorithm::DfLF,
+            PagerankOptions::default().with_threads(1),
+        );
+        s.enable_delta_tracking();
+        let reorder: SharedReordering = Some(Arc::clone(&r));
+        let mut out = Vec::new();
+        serve_connection_reordered(
+            &mut s,
+            &reorder,
+            "rank 1\n\
+             insert 0 1\n\
+             delete 0 1\n\
+             subscribe 3 0\n\
+             topk 5\n\
+             rank 99\n\
+             follow\n\
+             quit\n"
+                .as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // The reply names external vertex 1 but carries the rank the
+        // session computed for its internal image.
+        assert_eq!(
+            lines[0],
+            format!("rank 1 {:.6e} epoch=0", s.rank(r.to_internal(1)))
+        );
+        // Edge errors come back in external ids.
+        assert_eq!(lines[1], "err edge (0, 1) already exists");
+        assert_eq!(lines[2], "staged 1");
+        assert_eq!(lines[3], "subscribed 3 eps=0e0");
+        // topk over the whole graph names every external id exactly once.
+        assert_eq!(lines[4], "topk 5 epoch=0");
+        let mut topk_ids: Vec<u32> = lines[5..10]
+            .iter()
+            .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
+            .collect();
+        topk_ids.sort_unstable();
+        assert_eq!(topk_ids, vec![0, 1, 2, 3, 4]);
+        // Out-of-range ids pass through untranslated.
+        assert_eq!(lines[10], "err unknown vertex 99");
+        // Replication is refused: the feed would leak internal ids.
+        assert_eq!(
+            lines[11],
+            "err follow unavailable: server reorders vertex ids"
+        );
+        assert_eq!(lines[12], "bye");
     }
 }

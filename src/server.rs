@@ -26,9 +26,10 @@
 
 use crate::durable::{Durability, WalStats};
 use crate::replica::FeedHub;
-use crate::serve::{apply_logged, serve_client, Backend, ServeSummary, WriterRequest};
+use crate::serve::{apply_logged, serve_client_reordered, Backend, ServeSummary, WriterRequest};
 use lfpr_core::session::{RankReader, UpdateSession};
 use lfpr_core::Algorithm;
+use lfpr_graph::reorder::SharedReordering;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -102,19 +103,23 @@ pub fn spawn(
     listener: TcpListener,
     workers: usize,
 ) -> std::io::Result<TcpServer> {
-    spawn_durable(session, listener, workers, None)
+    spawn_durable(session, listener, workers, None, None)
 }
 
 /// [`spawn`] with durability: when `durable` is given, the writer
 /// thread logs every committed op to its write-ahead log (and takes
 /// periodic checkpoints) before acknowledging, and `stats` reports the
 /// log position. With or without a log, committed ops are published to
-/// the replica feed so `follow` clients receive them live.
+/// the replica feed so `follow` clients receive them live. When
+/// `reorder` is given, every worker translates client-facing vertex
+/// ids through it at the protocol boundary (and `follow` is refused —
+/// the feed would leak internal ids).
 pub fn spawn_durable(
     mut session: UpdateSession,
     listener: TcpListener,
     workers: usize,
     durable: Option<Durability>,
+    reorder: SharedReordering,
 ) -> std::io::Result<TcpServer> {
     let addr = listener.local_addr()?;
     let algorithm = session.algorithm();
@@ -166,6 +171,7 @@ pub fn spawn_durable(
                 totals: Arc::clone(&totals),
                 feed: feed.clone(),
                 wal: wal.clone(),
+                reorder: reorder.clone(),
                 id,
             };
             std::thread::Builder::new()
@@ -195,6 +201,7 @@ struct WorkerCtx {
     totals: Arc<Mutex<ServeSummary>>,
     feed: FeedHub,
     wal: Option<Arc<WalStats>>,
+    reorder: SharedReordering,
     id: usize,
 }
 
@@ -229,7 +236,7 @@ fn worker_loop(ctx: WorkerCtx) {
         // Buffer replies so each command's block is one write
         // (serve_client flushes once per command).
         let output = BufWriter::new(&conn);
-        match serve_client(&mut backend, input, output) {
+        match serve_client_reordered(&mut backend, &ctx.reorder, input, output) {
             Ok(s) => {
                 eprintln!(
                     "# worker {}: connection closed: {} commands, {} batches",

@@ -270,6 +270,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                         algo: algo.to_string(),
                         epoch,
                         wal: (pick >= 2).then(|| (epoch, count as u64 * 7)),
+                        slack: (pick % 2 == 1).then_some(u64::from(v) % 1001),
                     },
                     7 => Response::Subscribed { v, eps: rank },
                     8 => Response::Unsubscribed { v },
@@ -299,7 +300,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
 /// wire texts embed them between fixed markers).
 fn error_strategy() -> impl Strategy<Value = ServeError> {
     (
-        (0usize..22, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
+        (0usize..23, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
         (0u64..u64::MAX, 1usize..13, 0u32..2),
     )
         .prop_map(|((variant, u, v, n), (nseed, nlen, flip))| {
@@ -329,6 +330,7 @@ fn error_strategy() -> impl Strategy<Value = ServeError> {
                 18 => ServeError::FollowNeedsTcp,
                 19 => ServeError::ReadOnlyReplica,
                 20 => ServeError::WalUnavailable(tok),
+                21 => ServeError::FollowReordered,
                 _ => ServeError::RecoverFailed(tok),
             }
         })

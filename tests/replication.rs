@@ -138,7 +138,7 @@ fn durable_leader(dir: &std::path::Path, addr: Option<SocketAddr>) -> TcpServer 
     // One worker is pinned by the follower's feed stream and another by
     // the test's own long-lived client: four keeps a spare for the
     // throwaway connections `assert_mirrored` makes.
-    spawn_durable(s, listener, 4, Some(durable)).expect("spawn leader")
+    spawn_durable(s, listener, 4, Some(durable), None).expect("spawn leader")
 }
 
 #[test]
