@@ -32,10 +32,34 @@
 //! the bench never has to guess which edges exist; after the run the
 //! server's final epoch and edge count are checked against the replica.
 //!
+//! 4. **connection sweep** — the same server holds a growing crowd of
+//!    mostly-idle connections (`--connections 4,64,256,1024`) while a
+//!    fixed set of active readers keeps hammering; read p99 at the
+//!    largest crowd over p99 at the smallest is the `idle_p99_factor`.
+//!    The event-loop engine serves every crowd size with the same
+//!    `--workers` threads, so the factor must stay small —
+//!    `--require-idle-factor x` makes it a CI floor.
+//!
+//! 5. **coalescing A/B** — a fresh pair of servers (writer-side commit
+//!    coalescing on, then off) each absorb the same multi-client commit
+//!    storm of pipelined small batches; `coalesce_throughput_ratio` =
+//!    commits/s with merging over commits/s without. Coalescing
+//!    amortizes per-commit fixed costs (the O(n+m) CSR splice, the
+//!    view publication, the WAL fsync when durable) across queued
+//!    commits, so the storm runs in the regime where those dominate:
+//!    `--storm-batch 10`-edge commits on a `--storm-vertices 400000`
+//!    graph (each 0 = inherit the main phases' value). Large batches
+//!    are refresh-bound — per-edge work is additive across a merge —
+//!    and would measure the kernel, not the server.
+//!    `--require-coalesce x` floors the ratio.
+//!
 //! Usage: `serve_bench [--vertices n] [--batch k] [--batches b]
 //!   [--clients c] [--workers w] [--reads r] [--threads t] [--seed x]
-//!   [--topology grid|kmer|er] [--notify-batches nb] [--json path]
-//!   [--require x] [--require-notify x]`
+//!   [--topology grid|kmer|er] [--notify-batches nb]
+//!   [--connections list] [--storm-clients c] [--storm-commits k]
+//!   [--storm-batch e] [--storm-vertices n] [--json path] [--require x]
+//!   [--require-notify x] [--require-idle-factor x]
+//!   [--require-coalesce x]`
 
 use lfpr_bench::client::{field, Client};
 use lfpr_core::{Algorithm, PagerankOptions, UpdateSession};
@@ -59,9 +83,16 @@ struct Args {
     seed: u64,
     tolerance: f64,
     notify_batches: usize,
+    connections: Vec<usize>,
+    storm_clients: usize,
+    storm_commits: usize,
+    storm_batch: usize,
+    storm_vertices: usize,
     json_path: Option<String>,
     require: Option<f64>,
     require_notify: Option<f64>,
+    require_idle_factor: Option<f64>,
+    require_coalesce: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -77,9 +108,23 @@ fn parse_args() -> Args {
         seed: 42,
         tolerance: 1e-7,
         notify_batches: 6,
+        connections: vec![4, 64, 256, 1024],
+        storm_clients: 4,
+        storm_commits: 50,
+        // Coalescing amortizes the per-commit fixed costs — the O(n+m)
+        // packed-CSR splice and the view publication — across queued
+        // commits, so the storm measures the regime where those costs
+        // exist: many small concurrent commits on a large graph. Big
+        // batches are refresh-bound (per-edge work is additive across a
+        // merge) and would measure the kernel, not the server. 0 = use
+        // the main phases' |Δ| / vertex count instead.
+        storm_batch: 10,
+        storm_vertices: 400_000,
         json_path: None,
         require: None,
         require_notify: None,
+        require_idle_factor: None,
+        require_coalesce: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -97,9 +142,29 @@ fn parse_args() -> Args {
             "--seed" => a.seed = val.parse().expect("--seed x"),
             "--tolerance" => a.tolerance = val.parse().expect("--tolerance t"),
             "--notify-batches" => a.notify_batches = val.parse().expect("--notify-batches nb"),
+            "--connections" => {
+                a.connections = val
+                    .split(',')
+                    .map(|c| c.trim().parse().expect("--connections c1,c2,..."))
+                    .collect();
+                assert!(
+                    !a.connections.is_empty(),
+                    "--connections needs at least one size"
+                );
+            }
+            "--storm-clients" => a.storm_clients = val.parse().expect("--storm-clients c"),
+            "--storm-commits" => a.storm_commits = val.parse().expect("--storm-commits k"),
+            "--storm-batch" => a.storm_batch = val.parse().expect("--storm-batch e"),
+            "--storm-vertices" => a.storm_vertices = val.parse().expect("--storm-vertices n"),
             "--json" => a.json_path = Some(val.clone()),
             "--require" => a.require = Some(val.parse().expect("--require x")),
             "--require-notify" => a.require_notify = Some(val.parse().expect("--require-notify x")),
+            "--require-idle-factor" => {
+                a.require_idle_factor = Some(val.parse().expect("--require-idle-factor x"))
+            }
+            "--require-coalesce" => {
+                a.require_coalesce = Some(val.parse().expect("--require-coalesce x"))
+            }
             other => panic!("unknown argument: {other}"),
         }
         i += 2;
@@ -186,6 +251,140 @@ fn read_phase(
     summarize(lat, t0.elapsed().as_secs_f64())
 }
 
+fn build_graph(args: &Args, vertices: usize, seed: u64) -> lfpr_graph::DynGraph {
+    match args.topology.as_str() {
+        "grid" => grid_road(vertices, seed),
+        "kmer" => kmer_chain(vertices, seed),
+        "er" => erdos_renyi(vertices, vertices * 10, seed),
+        other => panic!("unknown topology {other} (grid|kmer|er)"),
+    }
+}
+
+/// One commit storm against a fresh server: `storm_clients` threads
+/// each stage-and-commit `storm_commits` batches of `storm_batch`
+/// pre-validated fresh edges (disjoint across clients, so every commit
+/// succeeds no matter how the writer groups them). Returns commits/s.
+fn storm_throughput(args: &Args, coalesce: bool) -> f64 {
+    let storm_vertices = if args.storm_vertices == 0 {
+        args.vertices
+    } else {
+        args.storm_vertices
+    };
+    let mut g = build_graph(args, storm_vertices, args.seed + 7);
+    add_self_loops(&mut g);
+    let n = g.num_vertices();
+    let base_edges = g.num_edges();
+    let storm_batch = if args.storm_batch == 0 {
+        args.batch
+    } else {
+        args.storm_batch
+    };
+    // Deterministically pick enough absent, pairwise-distinct edges.
+    // The offset term varies with i / n, so the candidate space is ~n²
+    // pairs — a storm needing ≥ n edges cannot exhaust it.
+    let total = args.storm_clients * args.storm_commits * storm_batch;
+    assert!(
+        (total as u64) < (n as u64) * (n as u64) / 4,
+        "storm wants {total} fresh edges on {n} vertices"
+    );
+    let mut fresh: Vec<(u32, u32)> = Vec::with_capacity(total);
+    let mut taken = std::collections::HashSet::new();
+    let mut i = 0u64;
+    while fresh.len() < total {
+        let hop = (i / n as u64) * 104_729 + 13;
+        let u = (i % n as u64) as u32;
+        let v = ((i * 7919 + hop) % n as u64) as u32;
+        i += 1;
+        if u != v && !g.has_edge(u, v) && taken.insert((u, v)) {
+            fresh.push((u, v));
+        }
+    }
+    let opts = PagerankOptions::default()
+        .with_threads(args.threads)
+        .with_tolerance(args.tolerance)
+        .with_frontier_tolerance(args.tolerance);
+    let session = UpdateSession::new(g, Algorithm::DfLF, opts);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    // One event loop on purpose: between writer rounds it resumes every
+    // pipelined client in one pass, so all queued batches reach the
+    // writer together and the measured ratio reflects coalescing depth,
+    // not how clients happened to spread across loops.
+    let srv = server::spawn_with(
+        session,
+        listener,
+        server::ServerOptions {
+            workers: 1,
+            durable: None,
+            reorder: None,
+            coalesce,
+        },
+    )
+    .expect("spawn storm server");
+    let addr = srv.addr();
+    let per_client = args.storm_commits * storm_batch;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.storm_clients)
+            .map(|c| {
+                let edges = &fresh[c * per_client..(c + 1) * per_client];
+                s.spawn(move || {
+                    // Pipeline the whole script: the server executes the
+                    // next stage lines the moment the previous commit
+                    // acks, so the writer is never idle waiting on a
+                    // client round trip — the storm measures commit
+                    // throughput, not socket latency.
+                    let mut w = Client::connect(addr);
+                    let mut script = String::new();
+                    for chunk in edges.chunks(storm_batch) {
+                        for &(u, v) in chunk {
+                            script.push_str(&format!("insert {u} {v}\n"));
+                        }
+                        script.push_str("batch\n");
+                    }
+                    w.send_raw(&script);
+                    for _ in edges.chunks(storm_batch) {
+                        for _ in 0..storm_batch {
+                            let reply = w.recv_line();
+                            assert!(reply.starts_with("staged"), "{reply}");
+                        }
+                        let reply = w.recv_line();
+                        assert!(
+                            reply.starts_with("ok batch="),
+                            "storm commit failed: {reply}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let commits = (args.storm_clients * args.storm_commits) as f64;
+    let (session, totals) = srv.stop();
+    assert_eq!(totals.batches as f64, commits, "storm lost commits");
+    assert_eq!(session.graph().num_edges(), base_edges + total);
+    if !coalesce {
+        // Without merging, every commit is its own epoch.
+        assert_eq!(session.steps() as f64, commits);
+    }
+    eprintln!(
+        "  storm coalesce={}: {commits} commits in {} rounds, {:.2} commits/s",
+        coalesce,
+        session.steps(),
+        commits / wall.max(1e-12)
+    );
+    commits / wall.max(1e-12)
+}
+
+/// Coalescing on vs off under the same storm → (on, off) commits/s.
+fn coalesce_storm(args: &Args) -> (f64, f64) {
+    let on = storm_throughput(args, true);
+    let off = storm_throughput(args, false);
+    (on, off)
+}
+
 fn main() {
     let args = parse_args();
     let workers = if args.workers == 0 {
@@ -193,12 +392,10 @@ fn main() {
     } else {
         args.workers
     };
-    let mut g = match args.topology.as_str() {
-        "grid" => grid_road(args.vertices, args.seed),
-        "kmer" => kmer_chain(args.vertices, args.seed),
-        "er" => erdos_renyi(args.vertices, args.vertices * 10, args.seed),
-        other => panic!("unknown topology {other} (grid|kmer|er)"),
-    };
+    // The sweep holds ~1k client sockets in this process on top of the
+    // in-process server's own ~1k: ask for headroom once, up front.
+    lockfree_pagerank::net::raise_nofile_limit(4096);
+    let mut g = build_graph(&args, args.vertices, args.seed);
     add_self_loops(&mut g);
     let n = g.num_vertices();
 
@@ -421,7 +618,46 @@ fn main() {
     );
     drop(check);
     drop(sub);
+
+    // Phase 4: connection sweep. Grow a crowd of idle connections while
+    // the same small set of active readers keeps hammering: the event
+    // loops must serve every crowd size with the same threads, so read
+    // tail latency should barely move.
+    let mut sweep: Vec<(usize, Phase)> = Vec::new();
+    for &conns in &args.connections {
+        let idle_count = conns.saturating_sub(args.clients);
+        let parked: Vec<Client> = (0..idle_count).map(|_| Client::connect(addr)).collect();
+        let phase = read_phase(addr, args.clients, args.reads, n, None);
+        println!(
+            "sweep {:>5} conns  reads {:>6}  {:>9.0} req/s  p50 {:>9.6}s  p99 {:>9.6}s  max {:>9.6}s",
+            conns,
+            phase.reads,
+            phase.reads as f64 / phase.wall_s.max(1e-12),
+            phase.p50_s,
+            phase.p99_s,
+            phase.max_s
+        );
+        drop(parked);
+        sweep.push((conns, phase));
+    }
+    let idle_factor = match (sweep.first(), sweep.last()) {
+        (Some((_, small)), Some((_, big))) if sweep.len() > 1 => big.p99_s / small.p99_s.max(1e-12),
+        _ => 1.0,
+    };
+    println!(
+        "idle-connection factor: p99 at {} conns ≈ {idle_factor:.2}× p99 at {} conns",
+        sweep.last().map(|s| s.0).unwrap_or(0),
+        sweep.first().map(|s| s.0).unwrap_or(0)
+    );
     srv.stop();
+
+    // Phase 5: coalescing A/B. A fresh server pair absorbs the same
+    // multi-client commit storm with writer-side merging on, then off.
+    let (on_cps, off_cps) = coalesce_storm(&args);
+    let coalesce_ratio = on_cps / off_cps.max(1e-12);
+    println!(
+        "coalescing: {on_cps:.1} commits/s merged vs {off_cps:.1} sequential → {coalesce_ratio:.2}×"
+    );
 
     let ratio = mean_commit / concurrent.p99_s.max(1e-12);
     println!(
@@ -446,6 +682,11 @@ fn main() {
         &notify,
         notify_commit_mean,
         notify_ratio,
+        &sweep,
+        idle_factor,
+        on_cps,
+        off_cps,
+        coalesce_ratio,
     );
     if let Some(path) = &args.json_path {
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -469,6 +710,22 @@ fn main() {
         );
         println!("notify ratio target ≥ {required:.2} met");
     }
+    if let Some(allowed) = args.require_idle_factor {
+        assert!(
+            idle_factor <= allowed,
+            "idle-connection p99 factor {idle_factor:.2} above allowed {allowed:.2} — \
+             parked connections are degrading active readers"
+        );
+        println!("idle factor target ≤ {allowed:.2} met");
+    }
+    if let Some(required) = args.require_coalesce {
+        assert!(
+            coalesce_ratio >= required,
+            "coalescing throughput ratio {coalesce_ratio:.2} below required {required:.2} — \
+             merged commits are not beating sequential ones"
+        );
+        println!("coalescing ratio target ≥ {required:.2} met");
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -482,6 +739,11 @@ fn render_json(
     notify: &Phase,
     notify_commit_mean: f64,
     notify_ratio: f64,
+    sweep: &[(usize, Phase)],
+    idle_factor: f64,
+    on_cps: f64,
+    off_cps: f64,
+    coalesce_ratio: f64,
 ) -> String {
     let phase = |name: &str, p: &Phase| {
         format!(
@@ -524,7 +786,30 @@ fn render_json(
         "  \"notify_commit_mean_s\": {notify_commit_mean:.9},\n"
     ));
     s.push_str(&format!(
-        "  \"commit_to_notify_p99_ratio\": {notify_ratio:.4}\n}}"
+        "  \"commit_to_notify_p99_ratio\": {notify_ratio:.4},\n"
+    ));
+    let sweep_rows: Vec<String> = sweep
+        .iter()
+        .map(|(conns, p)| {
+            format!(
+                "    {{\"connections\": {conns}, \"p50_s\": {:.9}, \"p99_s\": {:.9}, \
+                 \"throughput_rps\": {:.1}}}",
+                p.p50_s,
+                p.p99_s,
+                p.reads as f64 / p.wall_s.max(1e-12)
+            )
+        })
+        .collect();
+    s.push_str(&format!(
+        "  \"connection_sweep\": [\n{}\n  ],\n",
+        sweep_rows.join(",\n")
+    ));
+    s.push_str(&format!("  \"idle_p99_factor\": {idle_factor:.4},\n"));
+    s.push_str(&format!(
+        "  \"coalesce\": {{\"storm_clients\": {}, \"storm_commits\": {}, \"storm_batch\": {}, \
+         \"storm_vertices\": {}, \"on_commits_per_s\": {on_cps:.2}, \
+         \"off_commits_per_s\": {off_cps:.2}, \"throughput_ratio\": {coalesce_ratio:.4}}}\n}}",
+        args.storm_clients, args.storm_commits, args.storm_batch, args.storm_vertices
     ));
     s
 }

@@ -23,11 +23,13 @@
 //!    recorded block matches the pre- or post-batch capture
 //!    byte-for-byte, keyed by the epoch the reply itself reports, and
 //!    that both epochs were actually observed;
-//! 6. polls the subscriber and asserts the push block is exactly the
-//!    subscribed vertices whose visible rank string changed across the
-//!    commit (pushed ⊇ string-diff; pushed values byte-equal the
-//!    post-batch `rank` replies; the huge-eps vertex absent; a second
-//!    poll comes back empty).
+//! 6. reads the subscriber's **proactive** push — the event-loop server
+//!    delivers the block on the writer's wakeup without the subscriber
+//!    sending anything — and asserts it is exactly the subscribed
+//!    vertices whose visible rank string changed across the commit
+//!    (pushed ⊇ string-diff; pushed values byte-equal the post-batch
+//!    `rank` replies; the huge-eps vertex absent; a follow-up poll
+//!    comes back empty because the push already advanced baselines).
 //!
 //! Any torn read — a reply mixing two epochs' data, a malformed block,
 //! an epoch that is neither `e0` nor `e1`, a push for an unsubscribed
@@ -258,9 +260,11 @@ fn main() {
         "every reader must complete a post-commit probe round"
     );
 
-    // The subscriber drains its pushes: the pushed set must be exactly
-    // the subscribed vertices whose rank moved across the commit.
-    let push = sub.reply_block("poll");
+    // The event-loop server pushes proactively: the writer's wakeup
+    // delivers the block to the idle subscriber without it sending
+    // anything. Read it bare — the pushed set must be exactly the
+    // subscribed vertices whose rank moved across the commit.
+    let push = sub.recv_block();
     assert_eq!(epoch_of(&push), e1, "push from the wrong epoch: {push}");
     let pushed: HashMap<u32, String> = push
         .lines()

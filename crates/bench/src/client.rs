@@ -119,6 +119,14 @@ impl Client {
             .expect("send command");
     }
 
+    /// Send a pre-built multi-line script verbatim (pipelining: the
+    /// caller reads the replies afterwards, in order).
+    pub fn send_raw(&mut self, script: &str) {
+        self.conn
+            .write_all(script.as_bytes())
+            .expect("send pipelined script");
+    }
+
     /// Read one reply line (newline stripped).
     pub fn recv_line(&mut self) -> String {
         let mut line = String::new();

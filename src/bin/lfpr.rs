@@ -138,6 +138,7 @@ fn serve_main(args: &[String]) {
     let mut gen: Option<(usize, usize, u64)> = None;
     let mut tcp: Option<String> = None;
     let mut workers = 4usize;
+    let mut coalesce = true;
     let mut wal_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut checkpoint_every = 64u64;
@@ -213,6 +214,10 @@ fn serve_main(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| bad("usage: --workers <n>"));
                 i += 2;
+            }
+            "--no-coalesce" => {
+                coalesce = false;
+                i += 1;
             }
             "--wal" => {
                 wal_dir = Some(value(i + 1, "--wal <dir>").clone());
@@ -374,14 +379,22 @@ fn serve_main(args: &[String]) {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
                 .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
-            let server = lockfree_pagerank::server::spawn_durable(
-                session, listener, workers, durable, reorder,
+            let server = lockfree_pagerank::server::spawn_with(
+                session,
+                listener,
+                lockfree_pagerank::server::ServerOptions {
+                    workers,
+                    durable,
+                    reorder,
+                    coalesce,
+                },
             )
             .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
             eprintln!(
-                "# listening on {} ({} workers, single-writer commits, epoch-published reads)",
+                "# listening on {} ({} event loops, single-writer {} commits, epoch-published reads)",
                 server.addr(),
-                workers
+                workers,
+                if coalesce { "coalesced" } else { "sequential" }
             );
             server.wait();
         }
@@ -395,7 +408,7 @@ fn serve_main(args: &[String]) {
 /// when it falls behind the leader's log.
 fn follow_main(args: &[String]) {
     use lockfree_pagerank::replica::{Follower, FollowerOptions};
-    use lockfree_pagerank::serve::{serve_client, Backend};
+    use lockfree_pagerank::serve::{serve_client_reordered, Backend};
     use std::io::{BufReader, BufWriter};
 
     let bad = |msg: &str| -> ! {
@@ -462,12 +475,13 @@ fn follow_main(args: &[String]) {
     eprintln!("# following {leader} from epoch {}", follower.epoch());
     match tcp {
         None => {
-            let (reader, algorithm) = follower.reader().expect("reader after sync");
+            let (reader, algorithm, reorder) = follower.reader().expect("reader after sync");
             let mut backend = Backend::Replica { reader, algorithm };
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            let summary = serve_client(&mut backend, stdin.lock(), stdout.lock())
-                .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
+            let summary =
+                serve_client_reordered(&mut backend, &reorder, stdin.lock(), stdout.lock())
+                    .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
             eprintln!(
                 "# replica session ended: {} commands at epoch {}",
                 summary.commands,
@@ -499,7 +513,7 @@ fn follow_main(args: &[String]) {
                 };
                 // Re-fetch per connection: a resync after a leader
                 // restart swaps in a fresh reader.
-                let Some((reader, algorithm)) = follower.reader() else {
+                let Some((reader, algorithm, reorder)) = follower.reader() else {
                     continue;
                 };
                 std::thread::spawn(move || {
@@ -507,7 +521,7 @@ fn follow_main(args: &[String]) {
                     let input = BufReader::new(conn.try_clone().expect("clone socket"));
                     let output = BufWriter::new(conn);
                     let mut backend = Backend::Replica { reader, algorithm };
-                    match serve_client(&mut backend, input, output) {
+                    match serve_client_reordered(&mut backend, &reorder, input, output) {
                         Ok(s) => eprintln!("# replica connection closed: {} commands", s.commands),
                         Err(e) => eprintln!("# replica client dropped: {e}"),
                     }

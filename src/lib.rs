@@ -58,6 +58,7 @@ pub use lfpr_core::{
 pub use lfpr_graph::{BatchSpec, BatchUpdate, DynGraph, ReorderStrategy, Reordering, Snapshot};
 
 pub mod durable;
+pub mod net;
 pub mod protocol;
 pub mod replica;
 pub mod serve;

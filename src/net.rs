@@ -1,0 +1,709 @@
+//! Readiness polling and cross-thread wakeups for the event-driven TCP
+//! server core, declared directly against libc — no new crates, the same
+//! pattern `crates/graph/src/io/mmap.rs` uses for `mmap(2)`.
+//!
+//! Three primitives:
+//!
+//! * [`Poller`] — a level-triggered readiness queue over raw fds. On
+//!   Linux it is `epoll(7)` (one fd per idle connection, O(ready) wait);
+//!   on other Unixes it degrades to `poll(2)` over a registration list
+//!   (O(n) wait, same semantics); elsewhere every call errors with
+//!   [`std::io::ErrorKind::Unsupported`] so the workspace still builds.
+//! * [`Waker`] — an fd another thread can nudge to interrupt a
+//!   [`Poller::wait`]. Linux uses `eventfd(2)` (one fd, counter
+//!   semantics); other Unixes use a nonblocking pipe pair.
+//! * [`raise_nofile_limit`] — best-effort `RLIMIT_NOFILE` soft-limit
+//!   bump so connection sweeps (1024+ sockets, both ends in-process)
+//!   don't trip the conservative default of 1024.
+//!
+//! Registration is keyed by caller-chosen `u64` tokens. The server layer
+//! never reuses a token for a new connection, which makes stale events
+//! for a recycled fd harmlessly unroutable instead of an ABA hazard.
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Reading will not block (includes EOF and pending errors).
+    pub readable: bool,
+    /// Writing will not block.
+    pub writable: bool,
+    /// Peer hung up or the fd errored; the owner should read to EOF /
+    /// observe the error and drop the connection.
+    pub hangup: bool,
+}
+
+/// Interest set for a registered fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! `epoll(7)` + `eventfd(2)`, hand-declared.
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// Kernel ABI struct for `epoll_ctl`/`epoll_wait`. On x86/x86-64 the
+    /// kernel packs it (no padding between `events` and `data`); other
+    /// architectures use natural alignment.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+    }
+
+    pub fn create() -> io::Result<RawFd> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let arg = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        if unsafe { epoll_ctl(epfd, op, fd, arg) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn wait(epfd: RawFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn new_eventfd() -> io::Result<RawFd> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! `poll(2)` fallback for non-Linux Unixes: same level-triggered
+    //! semantics over a registration list the [`super::Poller`] keeps.
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub const POLLIN: i16 = 0x1;
+    pub const POLLOUT: i16 = 0x4;
+    pub const POLLERR: i16 = 0x8;
+    pub const POLLHUP: i16 = 0x10;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+        fn pipe(fds: *mut RawFd) -> i32;
+        fn fcntl(fd: RawFd, cmd: i32, arg: i32) -> i32;
+    }
+
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o4;
+
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// A nonblocking pipe pair `(read_end, write_end)`.
+    pub fn nonblocking_pipe() -> io::Result<(RawFd, RawFd)> {
+        let mut fds: [RawFd; 2] = [-1, -1];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for &fd in &fds {
+            let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+            if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok((fds[0], fds[1]))
+    }
+}
+
+#[cfg(unix)]
+mod rlimit {
+    use std::io;
+
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+
+    /// Raise the soft fd limit toward `want` (capped at the hard limit).
+    /// Returns the soft limit actually in effect afterwards.
+    pub fn raise(want: u64) -> io::Result<u64> {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.cur >= want {
+            return Ok(lim.cur);
+        }
+        let target = want.min(lim.max);
+        let new = Rlimit {
+            cur: target,
+            max: lim.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &new) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(target)
+    }
+}
+
+/// Best-effort `RLIMIT_NOFILE` soft-limit raise toward `want`. Returns
+/// the soft limit now in effect; on non-Unix (or if the syscalls fail)
+/// it just reports `want` back and lets later socket calls surface any
+/// real exhaustion.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    #[cfg(unix)]
+    {
+        rlimit::raise(want).unwrap_or(want)
+    }
+    #[cfg(not(unix))]
+    {
+        want
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+pub use linux_poller::Poller;
+
+#[cfg(target_os = "linux")]
+mod linux_poller {
+    use super::{sys, Event, Interest};
+    use std::io;
+    use std::os::unix::io::{FromRawFd, OwnedFd, RawFd};
+
+    /// Level-triggered `epoll(7)` readiness queue.
+    pub struct Poller {
+        epfd: OwnedFd,
+        buf: Vec<sys::EpollEvent>,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = sys::EPOLLRDHUP;
+        if interest.readable {
+            m |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let raw = sys::create()?;
+            Ok(Poller {
+                // SAFETY: `epoll_create1` returned a fresh fd we own.
+                epfd: unsafe { OwnedFd::from_raw_fd(raw) },
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let epfd = std::os::unix::io::AsRawFd::as_raw_fd(&self.epfd);
+            sys::ctl(epfd, sys::EPOLL_CTL_ADD, fd, mask(interest), token)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let epfd = std::os::unix::io::AsRawFd::as_raw_fd(&self.epfd);
+            sys::ctl(epfd, sys::EPOLL_CTL_MOD, fd, mask(interest), token)
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            let epfd = std::os::unix::io::AsRawFd::as_raw_fd(&self.epfd);
+            sys::ctl(epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Wait up to `timeout_ms` (`-1` = forever) and append ready
+        /// events to `out`. Returns how many were appended.
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let epfd = std::os::unix::io::AsRawFd::as_raw_fd(&self.epfd);
+            let n = sys::wait(epfd, &mut self.buf, timeout_ms)?;
+            for ev in &self.buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    hangup: bits & (sys::EPOLLHUP | sys::EPOLLERR | sys::EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use poll_poller::Poller;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod poll_poller {
+    use super::{sys, Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    /// `poll(2)`-backed fallback: keeps the registration list itself and
+    /// rebuilds the pollfd array per wait. O(n) per wait, which is fine
+    /// for the fallback tier — Linux gets epoll.
+    pub struct Poller {
+        regs: Vec<(RawFd, u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { regs: Vec::new() })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.regs.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.regs.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for reg in &mut self.regs {
+                if reg.0 == fd {
+                    reg.1 = token;
+                    reg.2 = interest;
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.regs.len();
+            self.regs.retain(|&(f, _, _)| f != fd);
+            if self.regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let mut fds: Vec<sys::PollFd> = self
+                .regs
+                .iter()
+                .map(|&(fd, _, interest)| sys::PollFd {
+                    fd,
+                    events: if interest.readable { sys::POLLIN } else { 0 }
+                        | if interest.writable { sys::POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            if fds.is_empty() {
+                // Nothing registered; honor the timeout so callers
+                // don't spin.
+                if timeout_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+                }
+                return Ok(0);
+            }
+            sys::poll_fds(&mut fds, timeout_ms)?;
+            let mut appended = 0;
+            for (pfd, &(_, token, _)) in fds.iter().zip(self.regs.iter()) {
+                let r = pfd.revents;
+                if r == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: r & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0,
+                    writable: r & sys::POLLOUT != 0,
+                    hangup: r & (sys::POLLHUP | sys::POLLERR) != 0,
+                });
+                appended += 1;
+            }
+            Ok(appended)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub use stub_poller::Poller;
+
+#[cfg(not(unix))]
+mod stub_poller {
+    use super::{Event, Interest};
+    use std::io;
+
+    /// Non-Unix stub: construction fails with `Unsupported`, so the TCP
+    /// event loop reports a clear runtime error while the rest of the
+    /// workspace (stdin serving, algorithms, benches) still builds.
+    pub struct Poller {}
+
+    #[allow(dead_code)]
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "event-driven serving requires a Unix platform",
+            ))
+        }
+
+        pub fn add(&mut self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn modify(&mut self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn delete(&mut self, _fd: i32) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn wait(&mut self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waker
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+pub use linux_waker::Waker;
+
+#[cfg(target_os = "linux")]
+mod linux_waker {
+    use super::sys;
+    use std::fs::File;
+    use std::io::{self, Read, Write};
+    use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+
+    /// `eventfd(2)`-backed wakeup: one fd, counter semantics. `wake`
+    /// makes the fd readable; `drain` resets it. Both are nonblocking.
+    pub struct Waker {
+        file: File,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let raw = sys::new_eventfd()?;
+            // SAFETY: `eventfd` returned a fresh fd we own; File closes
+            // it on drop.
+            Ok(Waker {
+                file: unsafe { File::from_raw_fd(raw) },
+            })
+        }
+
+        /// The fd to register for read interest in a `Poller`.
+        pub fn fd(&self) -> RawFd {
+            self.file.as_raw_fd()
+        }
+
+        /// Make the fd readable. Saturated counters (EAGAIN) already
+        /// mean "wakeup pending", so that error is ignored.
+        pub fn wake(&self) {
+            let one: [u8; 8] = 1u64.to_ne_bytes();
+            let _ = (&self.file).write(&one);
+        }
+
+        /// Consume pending wakeups so level-triggered polling settles.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            while (&self.file).read(&mut buf).is_ok() {}
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use pipe_waker::Waker;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod pipe_waker {
+    use super::sys;
+    use std::fs::File;
+    use std::io::{self, Read, Write};
+    use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+
+    /// Nonblocking-pipe wakeup for non-Linux Unixes.
+    pub struct Waker {
+        read_end: File,
+        write_end: File,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let (r, w) = sys::nonblocking_pipe()?;
+            // SAFETY: `pipe` returned two fresh fds we own.
+            Ok(Waker {
+                read_end: unsafe { File::from_raw_fd(r) },
+                write_end: unsafe { File::from_raw_fd(w) },
+            })
+        }
+
+        pub fn fd(&self) -> RawFd {
+            self.read_end.as_raw_fd()
+        }
+
+        /// A full pipe (EAGAIN) already means "wakeup pending".
+        pub fn wake(&self) {
+            let _ = (&self.write_end).write(&[1u8]);
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while matches!((&self.read_end).read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub use stub_waker::Waker;
+
+#[cfg(not(unix))]
+mod stub_waker {
+    use std::io;
+
+    /// Non-Unix stub; see the stub `Poller`.
+    pub struct Waker {}
+
+    #[allow(dead_code)]
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "event-driven serving requires a Unix platform",
+            ))
+        }
+
+        pub fn fd(&self) -> i32 {
+            unreachable!("stub Waker cannot be constructed")
+        }
+
+        pub fn wake(&self) {}
+
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn poller_reports_tcp_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        // Idle socket: no events within a short timeout.
+        let mut events = Vec::new();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "no data yet, no events");
+
+        a.write_all(b"hello\n").unwrap();
+        let n = poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: the event repeats until the bytes are read.
+        events.clear();
+        poller.wait(&mut events, 100).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        let mut buf = [0u8; 16];
+        let got = (&b).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"hello\n");
+
+        events.clear();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "drained socket settles");
+
+        poller.delete(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn poller_reports_peer_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(a);
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 2000).unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.token == 9)
+            .expect("hangup surfaces");
+        assert!(ev.readable, "EOF reads as readable (read returns 0)");
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_drains() {
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        let mut poller = Poller::new().unwrap();
+        poller.add(waker.fd(), 1, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "fresh waker is quiet");
+
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+            remote.wake(); // double wake coalesces
+        });
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        t.join().unwrap();
+
+        waker.drain();
+        events.clear();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "drained waker settles");
+    }
+
+    #[test]
+    fn write_interest_toggles_via_modify() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty());
+
+        // An idle healthy socket is immediately writable once we ask.
+        poller.modify(b.as_raw_fd(), 3, Interest::BOTH).unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        poller.modify(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        events.clear();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "write interest dropped");
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_usable_value() {
+        let got = raise_nofile_limit(256);
+        assert!(got >= 256 || got > 0);
+    }
+}

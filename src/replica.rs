@@ -41,7 +41,8 @@ use crate::protocol::field;
 use lfpr_core::session::UpdateSession;
 use lfpr_core::{Algorithm, PagerankOptions, RankDelta, RankReader, RankView};
 use lfpr_graph::io::wal::WalRecord;
-use lfpr_graph::{BatchUpdate, DynGraph};
+use lfpr_graph::reorder::SharedReordering;
+use lfpr_graph::{BatchUpdate, DynGraph, Reordering};
 use std::io::{self, BufRead, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -123,6 +124,7 @@ pub fn stream_feed<W: Write>(
     hub: &FeedHub,
     algorithm: Algorithm,
     since: Option<u64>,
+    reorder: &SharedReordering,
     out: &mut W,
 ) -> io::Result<u64> {
     let rx = hub.subscribe();
@@ -131,23 +133,12 @@ pub fn stream_feed<W: Write>(
     if since == Some(epoch) {
         writeln!(out, "feed ok epoch={epoch}")?;
     } else {
-        write_resync(out, &pinned, algorithm)?;
+        write_resync(out, &pinned, algorithm, reorder)?;
     }
     out.flush()?;
     let mut sent = 0u64;
     while let Ok(rec) = rx.recv() {
-        let fresh = match &*rec {
-            // A commit the pinned view already reflects was queued
-            // between subscribe and pin.
-            WalRecord::Commit { epoch, .. } => *epoch > pinned.epoch(),
-            // View ops do not bump the epoch; membership in the pinned
-            // view is the tie-breaker for frames at the pin epoch.
-            WalRecord::ViewAdd { epoch, name, .. } => {
-                *epoch > pinned.epoch() || !pinned.has_view(name)
-            }
-            WalRecord::ViewDrop { epoch, name } => *epoch > pinned.epoch() || pinned.has_view(name),
-        };
-        if !fresh {
+        if !record_is_fresh(&rec, &pinned) {
             continue;
         }
         write_feed_event(out, &rec)?;
@@ -155,6 +146,21 @@ pub fn stream_feed<W: Write>(
         sent += 1;
     }
     Ok(sent)
+}
+
+/// Whether a published record post-dates `pinned` — the overlap filter
+/// between subscribing to the hub and pinning the view. Shared by
+/// [`stream_feed`] and the event-driven server's follower connections.
+pub(crate) fn record_is_fresh(rec: &WalRecord, pinned: &RankView) -> bool {
+    match rec {
+        // A commit the pinned view already reflects was queued between
+        // subscribe and pin.
+        WalRecord::Commit { epoch, .. } => *epoch > pinned.epoch(),
+        // View ops do not bump the epoch; membership in the pinned view
+        // is the tie-breaker for frames at the pin epoch.
+        WalRecord::ViewAdd { epoch, name, .. } => *epoch > pinned.epoch() || !pinned.has_view(name),
+        WalRecord::ViewDrop { epoch, name } => *epoch > pinned.epoch() || pinned.has_view(name),
+    }
 }
 
 /// Encode one live feed frame.
@@ -195,14 +201,22 @@ pub fn write_feed_event<W: Write>(out: &mut W, rec: &WalRecord) -> io::Result<()
 /// Encode a full state transfer from a pinned view: everything a
 /// follower needs to [`UpdateSession::restore`] the leader's exact
 /// state at this epoch.
+///
+/// A reordered leader appends ` perm=<n>` to the head and ships its
+/// external→internal permutation (one internal id per line, in external
+/// order) right after it, so the follower can translate client-facing
+/// ids at its own serve boundary; everything else in the block — and
+/// every live frame — stays in internal id space. Unreordered leaders
+/// emit the exact historical byte layout.
 pub fn write_resync<W: Write>(
     out: &mut W,
     view: &RankView,
     algorithm: Algorithm,
+    reorder: &SharedReordering,
 ) -> io::Result<()> {
     let snapshot = view.snapshot();
     let names = view.view_names();
-    writeln!(
+    write!(
         out,
         "feed resync epoch={} algo={algorithm} n={} m={} deltas={} views={}",
         view.epoch(),
@@ -211,6 +225,15 @@ pub fn write_resync<W: Write>(
         view.deltas().len(),
         names.len()
     )?;
+    match reorder {
+        None => writeln!(out)?,
+        Some(r) => {
+            writeln!(out, " perm={}", r.len())?;
+            for &int in r.perm() {
+                writeln!(out, "{int}")?;
+            }
+        }
+    }
     for (u, v) in snapshot.edges() {
         writeln!(out, "{u} {v}")?;
     }
@@ -313,12 +336,15 @@ where
 use std::fmt;
 
 /// Parse a full `feed resync` block (head already read) into a live
-/// session, reading payload lines from `next`.
+/// session, reading payload lines from `next`. The second element is
+/// the leader's id permutation when the head carries `perm=` (a
+/// reordered leader) — the follower installs it at its own serve
+/// boundary; the session itself stays in internal id space.
 pub fn read_resync<E: fmt::Display>(
     head: &str,
     runtime: PagerankOptions,
     mut next: impl FnMut() -> Result<Option<String>, E>,
-) -> Result<UpdateSession, String> {
+) -> Result<(UpdateSession, Option<Reordering>), String> {
     let bad = |what: &str| format!("bad resync head ({what}): {head:?}");
     let epoch = field(head, "epoch").ok_or_else(|| bad("epoch"))?;
     let algorithm: Algorithm = field_str(head, "algo")
@@ -329,6 +355,24 @@ pub fn read_resync<E: fmt::Display>(
     let m = field(head, "m").ok_or_else(|| bad("m"))? as usize;
     let n_deltas = field(head, "deltas").ok_or_else(|| bad("deltas"))? as usize;
     let n_views = field(head, "views").ok_or_else(|| bad("views"))? as usize;
+
+    let reorder = match field(head, "perm") {
+        None => None,
+        Some(p) => {
+            let perm = take_lines(&mut next, p as usize, "permutation")?
+                .iter()
+                .map(|l| {
+                    l.trim()
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad permutation line {l:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Some(
+                Reordering::from_perm(perm)
+                    .map_err(|e| format!("resync permutation invalid: {e}"))?,
+            )
+        }
+    };
 
     let edges = take_lines(&mut next, m, "edge list")?
         .iter()
@@ -369,7 +413,7 @@ pub fn read_resync<E: fmt::Display>(
             .collect::<Result<Vec<_>, _>>()?;
         session.restore_view(&name, teleport_from_normalized(&sources)?, &vranks, vdeltas)?;
     }
-    Ok(session)
+    Ok((session, reorder))
 }
 
 fn parse_rank_lines(lines: Vec<String>) -> Result<Vec<f64>, String> {
@@ -565,7 +609,7 @@ pub struct Follower {
     stop: Arc<AtomicBool>,
     epoch: Arc<AtomicU64>,
     reconnects: Arc<AtomicU64>,
-    shared: Arc<Mutex<Option<(RankReader, Algorithm)>>>,
+    shared: Arc<Mutex<Option<(RankReader, Algorithm, SharedReordering)>>>,
     handle: JoinHandle<Result<FollowerStats, String>>,
 }
 
@@ -576,7 +620,8 @@ impl Follower {
         let stop = Arc::new(AtomicBool::new(false));
         let epoch = Arc::new(AtomicU64::new(0));
         let reconnects = Arc::new(AtomicU64::new(0));
-        let shared: Arc<Mutex<Option<(RankReader, Algorithm)>>> = Arc::new(Mutex::new(None));
+        let shared: Arc<Mutex<Option<(RankReader, Algorithm, SharedReordering)>>> =
+            Arc::new(Mutex::new(None));
         let handle = {
             let (stop, epoch, reconnects, shared) = (
                 Arc::clone(&stop),
@@ -608,10 +653,11 @@ impl Follower {
         self.reconnects.load(Ordering::Acquire)
     }
 
-    /// A reader over the mirrored state plus the leader's algorithm —
-    /// `None` until the first resync completes. The reader stays live
-    /// across reconnects and resyncs within one spawn.
-    pub fn reader(&self) -> Option<(RankReader, Algorithm)> {
+    /// A reader over the mirrored state plus the leader's algorithm
+    /// and id permutation (if the leader reorders) — `None` until the
+    /// first resync completes. The reader stays live across reconnects
+    /// and resyncs within one spawn.
+    pub fn reader(&self) -> Option<(RankReader, Algorithm, SharedReordering)> {
         self.shared.lock().expect("follower slot poisoned").clone()
     }
 
@@ -643,7 +689,7 @@ fn follower_loop(
     stop: &AtomicBool,
     epoch_out: &AtomicU64,
     reconnects_out: &AtomicU64,
-    shared: &Mutex<Option<(RankReader, Algorithm)>>,
+    shared: &Mutex<Option<(RankReader, Algorithm, SharedReordering)>>,
 ) -> Result<FollowerStats, String> {
     let mut session: Option<UpdateSession> = None;
     let mut stats = FollowerStats::default();
@@ -736,7 +782,7 @@ fn run_stream(
     stats: &mut FollowerStats,
     stop: &AtomicBool,
     epoch_out: &AtomicU64,
-    shared: &Mutex<Option<(RankReader, Algorithm)>>,
+    shared: &Mutex<Option<(RankReader, Algorithm, SharedReordering)>>,
 ) -> StreamEnd {
     let mut writer = match conn.try_clone() {
         Ok(w) => w,
@@ -769,9 +815,10 @@ fn run_stream(
             }
         };
         match read_resync(&head, opts.runtime.clone(), next) {
-            Ok(mut fresh) => {
+            Ok((mut fresh, reorder)) => {
                 let reader = fresh.reader();
-                *shared.lock().expect("follower slot poisoned") = Some((reader, fresh.algorithm()));
+                *shared.lock().expect("follower slot poisoned") =
+                    Some((reader, fresh.algorithm(), reorder.map(Arc::new)));
                 epoch_out.store(fresh.steps(), Ordering::Release);
                 *session = Some(fresh);
                 stats.resyncs += 1;
@@ -912,7 +959,7 @@ mod tests {
         }
         let view = leader.reader().view();
         let mut wire = Vec::new();
-        write_resync(&mut wire, &view, leader.algorithm()).unwrap();
+        write_resync(&mut wire, &view, leader.algorithm(), &None).unwrap();
         let text = String::from_utf8(wire).unwrap();
         let mut lines = text.lines();
         let head = lines.next().unwrap().to_string();
@@ -920,7 +967,8 @@ mod tests {
             let mut it = lines;
             move || -> Result<Option<String>, &'static str> { Ok(it.next().map(str::to_string)) }
         };
-        let follower = read_resync(&head, opts1(), &mut next).unwrap();
+        let (follower, reorder) = read_resync(&head, opts1(), &mut next).unwrap();
+        assert!(reorder.is_none(), "unreordered leader ships no perm");
         assert_eq!(follower.steps(), leader.steps());
         for (a, b) in leader.ranks().iter().zip(follower.ranks()) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -939,16 +987,52 @@ mod tests {
     }
 
     #[test]
+    fn resync_ships_the_leader_permutation() {
+        let mut leader = leader_session(14);
+        for round in 0..2u64 {
+            let batch = BatchSpec::mixed(0.03, 40 + round).generate(leader.graph());
+            leader.step(&batch).unwrap();
+        }
+        let n = leader.graph().num_vertices() as u32;
+        // An arbitrary (reversing) bijection stands in for a real
+        // locality reorder — the feed only transports it.
+        let perm: Vec<u32> = (0..n).rev().collect();
+        let reorder = Some(Arc::new(Reordering::from_perm(perm.clone()).unwrap()));
+        let view = leader.reader().view();
+        let mut wire = Vec::new();
+        write_resync(&mut wire, &view, leader.algorithm(), &reorder).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            text.lines().next().unwrap().contains(" perm="),
+            "head advertises the permutation"
+        );
+        let mut lines = text.lines();
+        let head = lines.next().unwrap().to_string();
+        let mut next = {
+            let mut it = lines;
+            move || -> Result<Option<String>, &'static str> { Ok(it.next().map(str::to_string)) }
+        };
+        let (follower, got) = read_resync(&head, opts1(), &mut next).unwrap();
+        let got = got.expect("permutation survives the wire");
+        assert_eq!(got.perm(), &perm[..]);
+        assert_eq!(follower.steps(), leader.steps());
+        for (a, b) in leader.ranks().iter().zip(follower.ranks()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(next().unwrap().is_none(), "resync consumed exactly");
+    }
+
+    #[test]
     fn frames_round_trip_and_apply_bit_exactly() {
         let mut leader = leader_session(12);
         let view = leader.reader().view();
         // Build the follower from an initial resync.
         let mut wire = Vec::new();
-        write_resync(&mut wire, &view, leader.algorithm()).unwrap();
+        write_resync(&mut wire, &view, leader.algorithm(), &None).unwrap();
         let text = String::from_utf8(wire).unwrap();
         let mut lines = text.lines();
         let head = lines.next().unwrap().to_string();
-        let mut follower = read_resync(&head, opts1(), {
+        let (mut follower, _) = read_resync(&head, opts1(), {
             let mut it = lines;
             move || -> Result<Option<String>, &'static str> { Ok(it.next().map(str::to_string)) }
         })
@@ -1006,11 +1090,11 @@ mod tests {
         let mut leader = leader_session(13);
         let view = leader.reader().view();
         let mut wire = Vec::new();
-        write_resync(&mut wire, &view, leader.algorithm()).unwrap();
+        write_resync(&mut wire, &view, leader.algorithm(), &None).unwrap();
         let text = String::from_utf8(wire).unwrap();
         let mut lines = text.lines();
         let head = lines.next().unwrap().to_string();
-        let mut follower = read_resync(&head, opts1(), {
+        let (mut follower, _) = read_resync(&head, opts1(), {
             let mut it = lines;
             move || -> Result<Option<String>, &'static str> { Ok(it.next().map(str::to_string)) }
         })

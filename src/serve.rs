@@ -143,16 +143,47 @@ pub enum WriterOk {
     ViewDropped,
 }
 
+/// Outcome of a [`WriterOp`]: success, or the op handed back with the
+/// error message (a failed commit returns the batch so the client's
+/// staged edits survive for inspection).
+pub type WriterOutcome = Result<WriterOk, (WriterOp, String)>;
+
+/// Where a [`WriterRequest`]'s outcome goes.
+///
+/// Blocking callers wait on a bounded channel
+/// ([`Sync`](WriterReply::Sync)); the event-driven server must not
+/// block its loops, so it hands the writer a closure that files the
+/// outcome as a completion and wakes the owning loop
+/// ([`Callback`](WriterReply::Callback)).
+pub enum WriterReply {
+    /// Deliver over a channel the requester is blocked on.
+    Sync(mpsc::SyncSender<WriterOutcome>),
+    /// Deliver by invoking a closure on the writer thread.
+    Callback(Box<dyn FnOnce(WriterOutcome) + Send>),
+}
+
+impl WriterReply {
+    /// Hand the outcome to the requester. A failed delivery means the
+    /// requester is gone (connection dropped mid-commit); the op has
+    /// still been applied — the outcome is simply unobserved.
+    pub fn deliver(self, outcome: WriterOutcome) {
+        match self {
+            WriterReply::Sync(tx) => {
+                let _ = tx.send(outcome);
+            }
+            WriterReply::Callback(f) => f(outcome),
+        }
+    }
+}
+
 /// An operation funneled from a serving worker to the single session
-/// writer. The worker blocks on `reply` until the writer has applied
-/// the op (or rejected it — a rejection hands the op back, so e.g. a
-/// failed commit returns the batch for the client's staged edits to
-/// survive inspection).
+/// writer, with the reply path the writer acknowledges through once the
+/// op has been applied (or rejected).
 pub struct WriterRequest {
     /// The operation to apply.
     pub op: WriterOp,
     /// Where the writer sends the outcome.
-    pub reply: mpsc::SyncSender<Result<WriterOk, (WriterOp, String)>>,
+    pub reply: WriterReply,
 }
 
 /// Apply `batch` to `session` and report the outcome — the one commit
@@ -477,103 +508,28 @@ impl Backend<'_> {
     fn read_only(&self) -> bool {
         matches!(self, Backend::Replica { .. })
     }
+}
 
-    /// Commit a batch. Direct mode applies it in place; concurrent mode
-    /// funnels it to the writer thread and blocks for the outcome. On
-    /// rejection the batch travels back with the error so the caller
-    /// can restore the client's staged edits.
-    fn commit(&mut self, batch: BatchUpdate) -> Result<CommitOutcome, (BatchUpdate, String)> {
-        match self {
-            Backend::Direct(session) => commit_on(session, &batch).map_err(|msg| (batch, msg)),
-            Backend::Durable { session, durable } => {
-                match apply_logged(session, Some(durable), None, WriterOp::Commit(batch)) {
-                    Ok(WriterOk::Committed(outcome)) => Ok(outcome),
-                    Ok(_) => unreachable!("commit answered with a non-commit outcome"),
-                    Err((WriterOp::Commit(batch), msg)) => Err((batch, msg)),
-                    Err((_, msg)) => Err((BatchUpdate::new(), msg)),
-                }
-            }
-            Backend::Concurrent { writer, .. } => {
-                match send_writer(writer, WriterOp::Commit(batch)) {
-                    Ok(WriterOk::Committed(outcome)) => Ok(outcome),
-                    Ok(_) => unreachable!("commit answered with a non-commit outcome"),
-                    Err((WriterOp::Commit(batch), msg)) => Err((batch, msg)),
-                    Err((_, msg)) => Err((BatchUpdate::new(), msg)),
-                }
-            }
-            Backend::Replica { .. } => Err((batch, "read-only replica".into())),
-        }
-    }
-
-    /// Add a personalized view; returns the epoch its ranks belong to.
-    fn add_view(&mut self, name: &str, teleport: Teleport) -> Result<u64, String> {
-        match self {
-            Backend::Direct(session) => {
-                session.add_view(name, teleport)?;
-                Ok(session.steps())
-            }
-            Backend::Durable { session, durable } => {
-                let op = WriterOp::AddView {
-                    name: name.to_string(),
-                    teleport,
-                };
-                match apply_logged(session, Some(durable), None, op) {
-                    Ok(WriterOk::ViewAdded { epoch }) => Ok(epoch),
-                    Ok(_) => unreachable!("view add answered with a non-view outcome"),
-                    Err((_, msg)) => Err(msg),
-                }
-            }
-            Backend::Concurrent { writer, .. } => {
-                let op = WriterOp::AddView {
-                    name: name.to_string(),
-                    teleport,
-                };
-                match send_writer(writer, op) {
-                    Ok(WriterOk::ViewAdded { epoch }) => Ok(epoch),
-                    Ok(_) => unreachable!("view add answered with a non-view outcome"),
-                    Err((_, msg)) => Err(msg),
-                }
-            }
-            Backend::Replica { .. } => Err("read-only replica".into()),
-        }
-    }
-
-    /// Drop a personalized view.
-    fn drop_view(&mut self, name: &str) -> Result<(), String> {
-        match self {
-            Backend::Direct(session) => session.drop_view(name),
-            Backend::Durable { session, durable } => {
-                let op = WriterOp::DropView {
-                    name: name.to_string(),
-                };
-                match apply_logged(session, Some(durable), None, op) {
-                    Ok(WriterOk::ViewDropped) => Ok(()),
-                    Ok(_) => unreachable!("view drop answered with a non-view outcome"),
-                    Err((_, msg)) => Err(msg),
-                }
-            }
-            Backend::Concurrent { writer, .. } => {
-                let op = WriterOp::DropView {
-                    name: name.to_string(),
-                };
-                match send_writer(writer, op) {
-                    Ok(WriterOk::ViewDropped) => Ok(()),
-                    Ok(_) => unreachable!("view drop answered with a non-view outcome"),
-                    Err((_, msg)) => Err(msg),
-                }
-            }
-            Backend::Replica { .. } => Err("read-only replica".into()),
-        }
+/// Apply one writer op through `backend` — the mutation funnel shared
+/// by the blocking serve loop and the event-driven server. Direct and
+/// Durable backends apply in place; Concurrent funnels the op to the
+/// writer thread and blocks for the outcome.
+pub(crate) fn apply_writer_op(backend: &mut Backend<'_>, op: WriterOp) -> WriterOutcome {
+    match backend {
+        Backend::Direct(session) => apply_on(session, op),
+        Backend::Durable { session, durable } => apply_logged(session, Some(durable), None, op),
+        Backend::Concurrent { writer, .. } => send_writer(writer, op),
+        Backend::Replica { .. } => Err((op, "read-only replica".into())),
     }
 }
 
 /// Send one op to the writer thread and block for its outcome.
-fn send_writer(
-    writer: &mpsc::Sender<WriterRequest>,
-    op: WriterOp,
-) -> Result<WriterOk, (WriterOp, String)> {
+fn send_writer(writer: &mpsc::Sender<WriterRequest>, op: WriterOp) -> WriterOutcome {
     let (tx, rx) = mpsc::sync_channel(1);
-    match writer.send(WriterRequest { op, reply: tx }) {
+    match writer.send(WriterRequest {
+        op,
+        reply: WriterReply::Sync(tx),
+    }) {
         Ok(()) => match rx.recv() {
             Ok(outcome) => outcome,
             // The writer died mid-op; the op is gone with it, and so is
@@ -597,7 +553,7 @@ struct SubEntry {
 
 /// Per-connection protocol state.
 #[derive(Default)]
-struct ConnState {
+pub(crate) struct ConnState {
     staged: BatchUpdate,
     /// Subscriptions, keyed by vertex — BTreeMap so push blocks list
     /// vertices in ascending order, deterministically.
@@ -605,6 +561,12 @@ struct ConnState {
 }
 
 impl ConnState {
+    /// Whether this connection holds any subscriptions (the event loop
+    /// skips the proactive-push scan for connections without them).
+    pub(crate) fn has_subs(&self) -> bool {
+        !self.subs.is_empty()
+    }
+
     /// Collect the subscribed vertices that drifted past eps since
     /// their baseline, against the pinned view, updating baselines for
     /// the collected ones. `eps` = 0 means "any bitwise change".
@@ -624,6 +586,39 @@ impl ConnState {
         }
         pushed
     }
+}
+
+/// Write an unsolicited `push` block for `state`'s drifted
+/// subscriptions against `view`, if any drifted. The event-driven
+/// server calls this when the writer publishes a new epoch, so
+/// subscribers hear about rank changes without polling; the next
+/// command's piggyback preamble then finds nothing left to push.
+/// Returns whether a block was written.
+pub(crate) fn proactive_push<W: Write>(
+    state: &mut ConnState,
+    reorder: &SharedReordering,
+    view: Arc<RankView>,
+    summary: &mut ServeSummary,
+    out: &mut W,
+) -> std::io::Result<bool> {
+    if !state.has_subs() {
+        return Ok(false);
+    }
+    let view = CmdView::Published(view);
+    let pushed = state.drain_pushes(&view);
+    if pushed.is_empty() {
+        return Ok(false);
+    }
+    summary.pushes += 1;
+    reply(
+        out,
+        reorder,
+        &Response::Push {
+            entries: pushed,
+            epoch: view.epoch(),
+        },
+    )?;
+    Ok(true)
 }
 
 /// Drive `session` exclusively with the line protocol from `input`,
@@ -716,7 +711,21 @@ pub fn serve_client_reordered<R: BufRead, W: Write>(
                     Some(r) => translate_request(req, r),
                     None => req,
                 };
-                handle(backend, reorder, &mut state, &mut summary, req, &mut out)?
+                match process(backend, reorder, &mut state, &mut summary, req, &mut out)? {
+                    Action::Done => Flow::Continue,
+                    Action::Mutate { op, kind } => {
+                        // The blocking path applies the op inline (for
+                        // Concurrent backends this blocks on the writer
+                        // thread); the event loop instead parks the
+                        // connection and finishes on the completion.
+                        let outcome = apply_writer_op(backend, op);
+                        let resp = finish_mutation(kind, outcome, &mut state, &mut summary);
+                        reply(&mut out, reorder, &resp)?;
+                        Flow::Continue
+                    }
+                    Action::Follow { since } => Flow::Follow { since },
+                    Action::Quit => Flow::Quit,
+                }
             }
             Err(e) => {
                 reply(&mut out, reorder, &Response::Error(e))?;
@@ -738,7 +747,8 @@ pub fn serve_client_reordered<R: BufRead, W: Write>(
                     ..
                 } = backend
                 {
-                    let _ = replica::stream_feed(reader, feed, *algorithm, since, &mut out);
+                    let _ =
+                        replica::stream_feed(reader, feed, *algorithm, since, reorder, &mut out);
                 }
                 break;
             }
@@ -756,7 +766,56 @@ enum Flow {
     },
 }
 
-fn reply<W: Write>(
+/// What [`process`] tells its driver to do after one command.
+///
+/// Reads and staging are answered inside `process`; mutations come back
+/// as [`Mutate`](Action::Mutate) so the driver chooses how to apply
+/// them — inline (blocking loop) or asynchronously via a
+/// [`WriterReply::Callback`] completion (event loop), finishing with
+/// [`finish_mutation`] either way.
+pub(crate) enum Action {
+    /// The command was fully answered.
+    Done,
+    /// A mutation is ready for the writer; reply after it resolves.
+    Mutate {
+        /// The writer op to apply.
+        op: WriterOp,
+        /// What the pending reply needs to know about the request.
+        kind: MutKind,
+    },
+    /// Switch this connection to the replication feed.
+    Follow {
+        /// Resume epoch (`follow <epoch>`), if the client has state.
+        since: Option<u64>,
+    },
+    /// The client said `quit`; `bye` is already written.
+    Quit,
+}
+
+/// Request-side context carried from [`process`] to [`finish_mutation`]
+/// across a writer round trip.
+pub(crate) enum MutKind {
+    /// A `batch` commit; `k` = the client's own staged size (its reply
+    /// reports that, not the merged batch the writer may have applied).
+    Batch {
+        /// Staged-op count taken from this client.
+        k: usize,
+    },
+    /// A `view add`; the reply names the view and its source count.
+    ViewAdd {
+        /// View name.
+        name: String,
+        /// Source count of the teleport set.
+        sources: usize,
+    },
+    /// A `view drop`; the reply names the view.
+    ViewDrop {
+        /// View name.
+        name: String,
+    },
+}
+
+pub(crate) fn reply<W: Write>(
     out: &mut W,
     reorder: &SharedReordering,
     resp: &Response,
@@ -775,7 +834,7 @@ fn reply<W: Write>(
 /// external space to the session's internal space. Out-of-range ids
 /// pass through untouched (see [`Reordering::to_internal`]), so range
 /// errors keep naming the id the client sent.
-fn translate_request(req: Request, r: &Reordering) -> Request {
+pub(crate) fn translate_request(req: Request, r: &Reordering) -> Request {
     match req {
         Request::Insert { u, v } => Request::Insert {
             u: r.to_internal(u),
@@ -892,14 +951,14 @@ fn translate_error(e: ServeError, r: &Reordering) -> ServeError {
     }
 }
 
-fn handle<W: Write>(
+pub(crate) fn process<W: Write>(
     backend: &mut Backend<'_>,
     reorder: &SharedReordering,
     state: &mut ConnState,
     summary: &mut ServeSummary,
     req: Request,
     out: &mut W,
-) -> std::io::Result<Flow> {
+) -> std::io::Result<Action> {
     // Pin the committed state this command answers from, and piggyback
     // any pending subscription pushes before the reply. `batch` pins
     // before committing, so its own pushes arrive on the next command.
@@ -919,7 +978,7 @@ fn handle<W: Write>(
             )?;
         }
         if is_poll {
-            return Ok(Flow::Continue);
+            return Ok(Action::Done);
         }
     }
 
@@ -936,7 +995,7 @@ fn handle<W: Write>(
         )
     {
         reply(out, reorder, &Response::Error(ServeError::ReadOnlyReplica))?;
-        return Ok(Flow::Continue);
+        return Ok(Action::Done);
     }
 
     let resp = match req {
@@ -963,27 +1022,10 @@ fn handle<W: Write>(
         Request::Batch => {
             let batch = std::mem::take(&mut state.staged);
             let k = batch.len();
-            match backend.commit(batch) {
-                Ok(o) => {
-                    summary.batches += 1;
-                    summary.updates += k as u64;
-                    Response::BatchOk {
-                        batch: k,
-                        m: o.edges,
-                        status: status_str(o.status).to_string(),
-                        iters: o.iterations,
-                        epoch: o.epoch,
-                    }
-                }
-                // Reachable under concurrent clients: another commit can
-                // land between staging and this batch. Never die on
-                // input — and restore the client's staged edits so they
-                // can be inspected or amended.
-                Err((batch, msg)) => {
-                    state.staged = batch;
-                    Response::Error(refusal_or(msg, ServeError::BatchRejected))
-                }
-            }
+            return Ok(Action::Mutate {
+                op: WriterOp::Commit(batch),
+                kind: MutKind::Batch { k },
+            });
         }
         Request::Rank { v, view: name } => {
             let view = backend.view();
@@ -1085,47 +1127,103 @@ fn handle<W: Write>(
                     // Parse-level validation already passed; remaining
                     // failures (e.g. duplicate sources) surface here.
                     Err(msg) => Response::Error(ServeError::ViewRejected(msg)),
-                    Ok(teleport) => match backend.add_view(&name, teleport) {
-                        Ok(epoch) => Response::ViewAdded {
-                            name,
-                            sources: count,
-                            epoch,
-                        },
-                        Err(msg) => Response::Error(refusal_or(msg, ServeError::ViewRejected)),
-                    },
+                    Ok(teleport) => {
+                        return Ok(Action::Mutate {
+                            op: WriterOp::AddView {
+                                name: name.clone(),
+                                teleport,
+                            },
+                            kind: MutKind::ViewAdd {
+                                name,
+                                sources: count,
+                            },
+                        });
+                    }
                 },
             }
         }
         Request::ViewDrop { name } => {
             if backend.view().has_view(&name) {
-                match backend.drop_view(&name) {
-                    Ok(()) => Response::ViewDropped { name },
-                    // A wedged WAL refuses; otherwise this client lost a
-                    // race with another dropping the same view.
-                    Err(msg) => Response::Error(refusal_or(msg, |_| ServeError::UnknownView(name))),
-                }
-            } else {
-                Response::Error(ServeError::UnknownView(name))
+                return Ok(Action::Mutate {
+                    op: WriterOp::DropView { name: name.clone() },
+                    kind: MutKind::ViewDrop { name },
+                });
             }
+            Response::Error(ServeError::UnknownView(name))
         }
         Request::Views => Response::Views {
             entries: backend.view().view_names(),
         },
-        // The feed streams internal ids a follower cannot translate, so
-        // a reordered leader refuses replication outright rather than
-        // let a follower diverge bit by bit.
-        Request::Follow { .. } if reorder.is_some() => Response::Error(ServeError::FollowReordered),
+        // A reordered leader ships its permutation in the resync head,
+        // so followers translate ids locally — no refusal needed.
         Request::Follow { since } => match backend {
-            Backend::Concurrent { .. } => return Ok(Flow::Follow { since }),
+            Backend::Concurrent { .. } => return Ok(Action::Follow { since }),
             _ => Response::Error(ServeError::FollowNeedsTcp),
         },
         Request::Quit => {
             reply(out, reorder, &Response::Bye)?;
-            return Ok(Flow::Quit);
+            return Ok(Action::Quit);
         }
     };
     reply(out, reorder, &resp)?;
-    Ok(Flow::Continue)
+    Ok(Action::Done)
+}
+
+/// Turn a writer outcome into the pending command's reply, updating the
+/// connection counters and (for a rejected commit) restoring the
+/// client's staged edits. The paired entry point to [`process`]'s
+/// [`Action::Mutate`]: the blocking loop calls it right after
+/// [`apply_writer_op`]; the event loop calls it when the writer's
+/// completion arrives.
+pub(crate) fn finish_mutation(
+    kind: MutKind,
+    outcome: WriterOutcome,
+    state: &mut ConnState,
+    summary: &mut ServeSummary,
+) -> Response {
+    match kind {
+        MutKind::Batch { k } => match outcome {
+            Ok(WriterOk::Committed(o)) => {
+                summary.batches += 1;
+                summary.updates += k as u64;
+                Response::BatchOk {
+                    batch: k,
+                    m: o.edges,
+                    status: status_str(o.status).to_string(),
+                    iters: o.iterations,
+                    epoch: o.epoch,
+                }
+            }
+            Ok(_) => unreachable!("commit answered with a non-commit outcome"),
+            // Reachable under concurrent clients: another commit can
+            // land between staging and this batch. Never die on
+            // input — and restore the client's staged edits so they can
+            // be inspected or amended.
+            Err((op, msg)) => {
+                state.staged = match op {
+                    WriterOp::Commit(batch) => batch,
+                    _ => BatchUpdate::new(),
+                };
+                Response::Error(refusal_or(msg, ServeError::BatchRejected))
+            }
+        },
+        MutKind::ViewAdd { name, sources } => match outcome {
+            Ok(WriterOk::ViewAdded { epoch }) => Response::ViewAdded {
+                name,
+                sources,
+                epoch,
+            },
+            Ok(_) => unreachable!("view add answered with a non-view outcome"),
+            Err((_, msg)) => Response::Error(refusal_or(msg, ServeError::ViewRejected)),
+        },
+        MutKind::ViewDrop { name } => match outcome {
+            Ok(WriterOk::ViewDropped) => Response::ViewDropped { name },
+            Ok(_) => unreachable!("view drop answered with a non-view outcome"),
+            // A wedged WAL refuses; otherwise this client lost a race
+            // with another dropping the same view.
+            Err((_, msg)) => Response::Error(refusal_or(msg, |_| ServeError::UnknownView(name))),
+        },
+    }
 }
 
 fn checked_edge(view: &CmdView<'_>, u: u32, v: u32) -> Result<(), ServeError> {
@@ -1473,12 +1571,12 @@ mod tests {
         writer
             .send(WriterRequest {
                 op: WriterOp::Commit(BatchUpdate::insert_only(vec![(4, 1)])),
-                reply: rtx,
+                reply: WriterReply::Sync(rtx),
             })
             .unwrap();
         let req = rx.recv().unwrap();
         let outcome = apply_on(&mut s, req.op);
-        req.reply.send(outcome).unwrap();
+        req.reply.deliver(outcome);
         assert!(rrx.recv().unwrap().is_ok());
         // The published view caught up.
         let mut out = Vec::new();
@@ -1504,7 +1602,7 @@ mod tests {
         let writer_thread = std::thread::spawn(move || {
             while let Ok(req) = rx.recv() {
                 let outcome = apply_on(&mut s, req.op);
-                let _ = req.reply.send(outcome);
+                req.reply.deliver(outcome);
             }
         });
         let mut out = Vec::new();
@@ -1607,11 +1705,9 @@ mod tests {
         assert_eq!(topk_ids, vec![0, 1, 2, 3, 4]);
         // Out-of-range ids pass through untranslated.
         assert_eq!(lines[10], "err unknown vertex 99");
-        // Replication is refused: the feed would leak internal ids.
-        assert_eq!(
-            lines[11],
-            "err follow unavailable: server reorders vertex ids"
-        );
+        // Reordered sessions may be followed (the resync ships the
+        // permutation), but follow still needs the TCP server.
+        assert_eq!(lines[11], "err follow requires --tcp");
         assert_eq!(lines[12], "bye");
     }
 }

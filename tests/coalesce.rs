@@ -1,0 +1,280 @@
+//! Writer-side commit coalescing, end to end: a merged multi-client
+//! round must be indistinguishable from one ordinary batch commit —
+//! bit-identical ranks for every one of the paper's eight variants —
+//! with each client acked at the merged epoch and a rejected sub-batch
+//! erred back to its own client without poisoning the rest.
+
+use lockfree_pagerank::graph::selfloops::add_self_loops;
+use lockfree_pagerank::graph::{BatchUpdate, Edge};
+use lockfree_pagerank::server::{apply_coalesced, coalesce_batches, spawn_with, ServerOptions};
+use lockfree_pagerank::{Algorithm, PagerankOptions, UpdateSession};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+fn session(algo: Algorithm) -> UpdateSession {
+    let mut g = lockfree_pagerank::graph::generators::erdos_renyi(300, 1500, 11);
+    add_self_loops(&mut g);
+    let mut s = UpdateSession::new(g, algo, PagerankOptions::default().with_threads(1));
+    s.enable_delta_tracking();
+    s
+}
+
+fn batch(dels: &[Edge], inss: &[Edge]) -> BatchUpdate {
+    BatchUpdate {
+        deletions: dels.to_vec(),
+        insertions: inss.to_vec(),
+    }
+}
+
+/// Four clients' worth of edits, disjoint except for one cancelling
+/// pair across clients (client 2 deletes what client 3 re-inserts —
+/// wait, the other way: 2 deletes a real edge, 3 inserts it back).
+fn storm_batches(s: &UpdateSession) -> Vec<BatchUpdate> {
+    let g = s.graph();
+    // A real edge to delete-and-reinsert across two clients, plus
+    // fresh edges nobody has. Self-loops exist, so (v, v+1) style
+    // probes find genuinely absent edges.
+    let existing = (0..300u32)
+        .flat_map(|u| (0..300u32).map(move |v| (u, v)))
+        .find(|&(u, v)| u != v && g.has_edge(u, v))
+        .expect("generator made at least one non-loop edge");
+    let mut fresh = Vec::new();
+    'outer: for u in 0..300u32 {
+        for v in 0..300u32 {
+            if u != v && !g.has_edge(u, v) {
+                fresh.push((u, v));
+                if fresh.len() == 4 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    vec![
+        batch(&[], &[fresh[0], fresh[1]]),
+        batch(&[existing], &[fresh[2]]),
+        batch(&[], &[existing]), // cancels client 2's deletion
+        batch(&[], &[fresh[3]]),
+    ]
+}
+
+#[test]
+fn merged_round_is_bit_identical_to_one_batch_for_every_variant() {
+    for algo in Algorithm::ALL {
+        // The server path: one coalesced round over four client batches.
+        let mut coalesced = session(algo);
+        let batches = storm_batches(&coalesced);
+        let (net, verdicts) = coalesce_batches(coalesced.graph(), batches.iter());
+        assert!(verdicts.iter().all(|v| v.is_ok()), "{algo:?}: {verdicts:?}");
+        // The cancelling pair annihilated: net is insert-only.
+        assert!(net.deletions.is_empty(), "{algo:?}: {:?}", net.deletions);
+        assert_eq!(net.insertions.len(), 4, "{algo:?}");
+        let outcomes = apply_coalesced(&mut coalesced, &mut None, None, batches.clone());
+
+        // The reference path: the same net batch as one plain commit.
+        let mut reference = session(algo);
+        let ref_out = apply_coalesced(&mut reference, &mut None, None, vec![net.clone()]);
+        assert_eq!(ref_out.len(), 1);
+        let reference_outcome = *ref_out[0].as_ref().expect("net batch applies");
+        let ref_epoch = reference_outcome.epoch;
+
+        // Every client acked Ok at the merged epoch, which is the
+        // reference's epoch: exactly one commit happened.
+        for (i, o) in outcomes.iter().enumerate() {
+            let o = o
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{algo:?} client {i}: {e}"));
+            assert_eq!(o.epoch, ref_epoch, "{algo:?} client {i}");
+            assert_eq!(o.edges, reference_outcome.edges, "{algo:?} client {i}");
+        }
+        assert_eq!(coalesced.steps(), 1, "{algo:?}");
+        assert_eq!(reference.steps(), 1, "{algo:?}");
+
+        // Same graph...
+        assert_eq!(
+            coalesced.graph().num_edges(),
+            reference.graph().num_edges(),
+            "{algo:?}"
+        );
+        for &(u, v) in net.insertions.iter() {
+            assert!(coalesced.graph().has_edge(u, v), "{algo:?} ({u}, {v})");
+        }
+        // ...and the same rank bits: the merged apply IS one batch apply.
+        let a = coalesced.reader().view();
+        let b = reference.reader().view();
+        for (v, (x, y)) in a.ranks().iter().zip(b.ranks()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{algo:?} vertex {v}");
+        }
+
+        // Sequential application of the same four batches reaches the
+        // same edge set (through four epochs instead of one).
+        let mut sequential = session(algo);
+        for b in &batches {
+            let out = apply_coalesced(&mut sequential, &mut None, None, vec![b.clone()]);
+            out[0].as_ref().unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        }
+        assert_eq!(sequential.steps(), 4, "{algo:?}");
+        assert_eq!(
+            sequential.graph().num_edges(),
+            coalesced.graph().num_edges(),
+            "{algo:?}"
+        );
+        for &(u, v) in net.insertions.iter() {
+            assert!(sequential.graph().has_edge(u, v), "{algo:?} ({u}, {v})");
+        }
+    }
+}
+
+#[test]
+fn rejected_sub_batch_errs_alone_without_poisoning_the_round() {
+    let mut s = session(Algorithm::DfLF);
+    let g = s.graph();
+    let mut fresh = Vec::new();
+    'outer: for u in 0..300u32 {
+        for v in 0..300u32 {
+            if u != v && !g.has_edge(u, v) {
+                fresh.push((u, v));
+                if fresh.len() == 2 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let (a, b) = (fresh[0], fresh[1]);
+    // The middle client deletes an edge that does not exist: rejected,
+    // while the clients before and after it commit in the same round.
+    let m0 = g.num_edges();
+    let outcomes = apply_coalesced(
+        &mut s,
+        &mut None,
+        None,
+        vec![batch(&[], &[a]), batch(&[b], &[]), batch(&[], &[b])],
+    );
+    let ok0 = outcomes[0].as_ref().expect("first client commits");
+    assert_eq!(
+        outcomes[1].as_ref().unwrap_err(),
+        &format!("edge ({}, {}) does not exist", b.0, b.1)
+    );
+    let ok2 = outcomes[2].as_ref().expect("third client commits");
+    // Both survivors share the merged epoch; exactly one commit ran.
+    assert_eq!(ok0.epoch, ok2.epoch);
+    assert_eq!(s.steps(), 1);
+    assert_eq!(s.graph().num_edges(), m0 + 2);
+    assert!(s.graph().has_edge(a.0, a.1));
+    assert!(s.graph().has_edge(b.0, b.1), "third client's insert landed");
+}
+
+#[test]
+fn all_rejected_round_commits_nothing() {
+    let mut s = session(Algorithm::DfLF);
+    let absent = (0..300u32)
+        .flat_map(|u| (0..300u32).map(move |v| (u, v)))
+        .find(|&(u, v)| u != v && !s.graph().has_edge(u, v))
+        .unwrap();
+    let outcomes = apply_coalesced(
+        &mut s,
+        &mut None,
+        None,
+        vec![batch(&[absent], &[]), batch(&[], &[(5, 1000)])],
+    );
+    assert!(outcomes.iter().all(|o| o.is_err()));
+    assert_eq!(
+        outcomes[1].as_ref().unwrap_err(),
+        "vertex 1000 out of range (n = 300)"
+    );
+    // No accepted sub-batch, no commit: the epoch did not move.
+    assert_eq!(s.steps(), 0);
+}
+
+struct Client {
+    conn: TcpStream,
+    input: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        let input = BufReader::new(conn.try_clone().unwrap());
+        Client { conn, input }
+    }
+
+    fn send(&mut self, cmd: &str) {
+        writeln!(self.conn, "{cmd}").unwrap();
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        self.input.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    fn roundtrip(&mut self, cmd: &str) -> String {
+        self.send(cmd);
+        self.recv_line()
+    }
+}
+
+/// A real commit storm over TCP: with coalescing on, concurrent
+/// commits land in far fewer epochs than commits (and every ack is
+/// still individually correct). This is timing-dependent grouping, so
+/// the assertions are invariants, not an exact round count.
+#[test]
+fn tcp_commit_storm_coalesces_and_acks_each_client() {
+    let mut g = lockfree_pagerank::graph::generators::erdos_renyi(2000, 10000, 3);
+    add_self_loops(&mut g);
+    let mut s = UpdateSession::new(
+        g,
+        Algorithm::DfLF,
+        PagerankOptions::default().with_threads(1),
+    );
+    s.enable_delta_tracking();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = spawn_with(s, listener, ServerOptions::new(2)).unwrap();
+    let addr = server.addr();
+
+    const CLIENTS: usize = 4;
+    const COMMITS: usize = 8;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut cl = Client::connect(addr);
+                let mut epochs = Vec::new();
+                for k in 0..COMMITS {
+                    // Disjoint per-client edges: (2000 - 1 - c, k) is
+                    // absent in the generator's id range with self
+                    // loops only on the diagonal.
+                    let u = 1999 - c;
+                    let reply = cl.roundtrip(&format!("insert {u} {k}"));
+                    assert!(reply.starts_with("staged"), "{reply}");
+                    let ok = cl.roundtrip("batch");
+                    assert!(ok.starts_with("ok batch="), "{ok}");
+                    let epoch: u64 = ok.rsplit("epoch=").next().unwrap().parse().unwrap();
+                    epochs.push(epoch);
+                }
+                cl.roundtrip("quit");
+                epochs
+            })
+        })
+        .collect();
+    let mut all_epochs = Vec::new();
+    for h in handles {
+        let epochs = h.join().unwrap();
+        // Each client's own acks are strictly increasing: no commit
+        // was acked against a stale epoch.
+        assert!(epochs.windows(2).all(|w| w[0] < w[1]), "{epochs:?}");
+        all_epochs.extend(epochs);
+    }
+    let (session, totals) = server.stop();
+    // Every commit landed...
+    assert_eq!(totals.batches as usize, CLIENTS * COMMITS);
+    let m_new = (0..CLIENTS as u32)
+        .map(|c| (0..COMMITS as u32).filter(|&k| 1999 - c != k).count())
+        .sum::<usize>();
+    assert_eq!(session.graph().num_edges(), 10000 + 2000 + m_new);
+    // ...in at most as many epochs as commits, and the final epoch is
+    // the highest ack anyone saw.
+    let max_epoch = *all_epochs.iter().max().unwrap();
+    assert_eq!(session.steps(), max_epoch);
+    assert!(max_epoch as usize <= CLIENTS * COMMITS);
+}

@@ -88,7 +88,7 @@ fn assert_mirrored(server: &TcpServer, follower: &Follower, epoch: u64) {
     let mut c = Client::connect(server.addr());
     let stats = c.roundtrip("stats");
     assert!(stats.contains(&format!("epoch={epoch}")), "leader: {stats}");
-    let (reader, _algo) = follower.reader().expect("follower synced");
+    let (reader, _algo, _reorder) = follower.reader().expect("follower synced");
     let view = reader.view();
     assert_eq!(view.epoch(), epoch, "follower epoch");
     // Bit-equality spot-check over the wire: every vertex's rank as the
@@ -161,7 +161,7 @@ fn follower_mirrors_commits_and_views_live() {
     // The named view is mirrored too (recomputed follower-side from
     // the same teleport at the same graph — identical bits at 1
     // thread), and its personalized ranks answer locally.
-    let (reader, _) = follower.reader().unwrap();
+    let (reader, _, _) = follower.reader().unwrap();
     let deadline = Instant::now() + Duration::from_secs(5);
     while reader.view().ranks_in("seeds").is_none() {
         assert!(Instant::now() < deadline, "view never reached follower");
