@@ -53,13 +53,28 @@
 //!    and would measure the kernel, not the server.
 //!    `--require-coalesce x` floors the ratio.
 //!
+//! 6. **shard scaling** — a fixed fleet of four writer threads, each
+//!    committing durable batches against its own quarter of a
+//!    block-local graph, replays the same edge stream against a
+//!    [`lockfree_pagerank::shard::ShardRouter`] at `--shards 1,2,4`
+//!    with `fsync = always`. At one shard the four clients serialize
+//!    their fsyncs through the single writer; at four shards each
+//!    client owns a writer (and its own WAL), so the fsyncs overlap —
+//!    which is why the stream must stay fsync-dominated: the graph is
+//!    block-local (zero crossing edges, so the exchange pass is a
+//!    no-op) and the batches are small. `shard_scale_ratio` =
+//!    commits/s at the largest shard count over commits/s at one
+//!    shard; `--require-shard-scale x` floors it for CI. This holds on
+//!    a 1-core box because the win is overlapped *IO waits*, not CPU.
+//!
 //! Usage: `serve_bench [--vertices n] [--batch k] [--batches b]
 //!   [--clients c] [--workers w] [--reads r] [--threads t] [--seed x]
 //!   [--topology grid|kmer|er] [--notify-batches nb]
 //!   [--connections list] [--storm-clients c] [--storm-commits k]
-//!   [--storm-batch e] [--storm-vertices n] [--json path] [--require x]
+//!   [--storm-batch e] [--storm-vertices n] [--shards list]
+//!   [--shard-commits k] [--shard-batch e] [--json path] [--require x]
 //!   [--require-notify x] [--require-idle-factor x]
-//!   [--require-coalesce x]`
+//!   [--require-coalesce x] [--require-shard-scale x]`
 
 use lfpr_bench::client::{field, Client};
 use lfpr_core::{Algorithm, PagerankOptions, UpdateSession};
@@ -88,11 +103,15 @@ struct Args {
     storm_commits: usize,
     storm_batch: usize,
     storm_vertices: usize,
+    shards: Vec<usize>,
+    shard_commits: usize,
+    shard_batch: usize,
     json_path: Option<String>,
     require: Option<f64>,
     require_notify: Option<f64>,
     require_idle_factor: Option<f64>,
     require_coalesce: Option<f64>,
+    require_shard_scale: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -120,11 +139,19 @@ fn parse_args() -> Args {
         // the main phases' |Δ| / vertex count instead.
         storm_batch: 10,
         storm_vertices: 400_000,
+        // Shard scaling measures overlapped fsync waits, so the graph
+        // is deliberately tiny (kernel cost ≈ 0) and the batches small
+        // — at 4 writer clients × 100 commits × 4 edges the phase is a
+        // pure stream of WAL appends.
+        shards: vec![1, 2, 4],
+        shard_commits: 100,
+        shard_batch: 4,
         json_path: None,
         require: None,
         require_notify: None,
         require_idle_factor: None,
         require_coalesce: None,
+        require_shard_scale: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -156,6 +183,15 @@ fn parse_args() -> Args {
             "--storm-commits" => a.storm_commits = val.parse().expect("--storm-commits k"),
             "--storm-batch" => a.storm_batch = val.parse().expect("--storm-batch e"),
             "--storm-vertices" => a.storm_vertices = val.parse().expect("--storm-vertices n"),
+            "--shards" => {
+                a.shards = val
+                    .split(',')
+                    .map(|c| c.trim().parse().expect("--shards s1,s2,..."))
+                    .collect();
+                assert!(!a.shards.is_empty(), "--shards needs at least one count");
+            }
+            "--shard-commits" => a.shard_commits = val.parse().expect("--shard-commits k"),
+            "--shard-batch" => a.shard_batch = val.parse().expect("--shard-batch e"),
             "--json" => a.json_path = Some(val.clone()),
             "--require" => a.require = Some(val.parse().expect("--require x")),
             "--require-notify" => a.require_notify = Some(val.parse().expect("--require-notify x")),
@@ -164,6 +200,9 @@ fn parse_args() -> Args {
             }
             "--require-coalesce" => {
                 a.require_coalesce = Some(val.parse().expect("--require-coalesce x"))
+            }
+            "--require-shard-scale" => {
+                a.require_shard_scale = Some(val.parse().expect("--require-shard-scale x"))
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -383,6 +422,136 @@ fn coalesce_storm(args: &Args) -> (f64, f64) {
     let on = storm_throughput(args, true);
     let off = storm_throughput(args, false);
     (on, off)
+}
+
+/// Writer clients in the shard-scaling fleet. Fixed (rather than tied
+/// to `--clients`) so the offered commit concurrency is identical at
+/// every shard count and divides the 4-way quarter layout evenly.
+const SHARD_FLEET: usize = 4;
+
+/// Phase 6: fsync-dominated commit throughput vs shard count.
+///
+/// The same four writer threads replay the same per-quarter edge
+/// streams against a fresh durable `ShardRouter` at each requested
+/// shard count. The graph's edges stay inside `n/4`-vertex quarters,
+/// so every block partition of 1/2/4 shards has zero crossing edges:
+/// the exchange pass is a no-op, each commit costs one small kernel
+/// refresh plus one `fsync`, and the only thing that changes between
+/// runs is how many WAL writers those fsyncs can overlap on.
+/// Returns `(shards, commits_per_s)` per requested count.
+fn shard_scaling(args: &Args) -> Vec<(usize, f64)> {
+    use lfpr_graph::io::wal::FsyncPolicy;
+    use lfpr_graph::{BatchUpdate, GraphBuilder};
+    use lockfree_pagerank::durable::DurabilityOptions;
+    use lockfree_pagerank::shard::{ShardRouter, ShardSpec};
+
+    // Tiny on purpose: the phase measures IO waits, not kernel work.
+    // On the 1-core CI box only IO waits overlap across shard writers —
+    // CPU work serializes at any shard count — so the per-commit CPU
+    // share (kernel refresh + scatter bookkeeping) must stay well under
+    // one fsync for the scaling floor to be meaningful.
+    let quarter = 256usize;
+    let n = SHARD_FLEET * quarter;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for q in 0..SHARD_FLEET as u32 {
+        let base = q * quarter as u32;
+        for i in 0..quarter as u32 {
+            edges.push((base + i, base + (i + 1) % quarter as u32));
+        }
+    }
+    let mut g = GraphBuilder::new(n)
+        .edges(edges)
+        .build_dyn()
+        .expect("fleet graph");
+    add_self_loops(&mut g);
+    // Disjoint fresh quarter-local edges, `shard_commits` batches of
+    // `shard_batch` per client, precomputed so every commit succeeds.
+    let per_client = args.shard_commits * args.shard_batch;
+    let batches: Vec<Vec<BatchUpdate>> = (0..SHARD_FLEET)
+        .map(|q| {
+            let base = (q * quarter) as u32;
+            let mut fresh = Vec::with_capacity(per_client);
+            let mut i = 0u64;
+            while fresh.len() < per_client {
+                let u = base + (i % quarter as u64) as u32;
+                let v =
+                    base + ((i * 7919 + i / quarter as u64 * 104_729 + 2) % quarter as u64) as u32;
+                i += 1;
+                if u != v && !g.has_edge(u, v) && !fresh.contains(&(u, v)) {
+                    fresh.push((u, v));
+                }
+            }
+            fresh
+                .chunks(args.shard_batch)
+                .map(|c| {
+                    let mut b = BatchUpdate::new();
+                    b.insertions.extend_from_slice(c);
+                    b
+                })
+                .collect()
+        })
+        .collect();
+    // Coarse tolerance for the same reason: the refresh after each
+    // 4-edge commit should touch a handful of vertices, not chase a
+    // 1e-7 residual around the quarter rings. Rank quality is not what
+    // this phase measures; the kernel work is identical at every shard
+    // count either way.
+    let opts = PagerankOptions::default()
+        .with_threads(args.threads)
+        .with_tolerance(1e-4)
+        .with_frontier_tolerance(1e-4);
+    let mut out = Vec::new();
+    for &shards in &args.shards {
+        assert!(
+            shards >= 1 && SHARD_FLEET % shards.min(SHARD_FLEET) == 0,
+            "--shards counts must divide the {SHARD_FLEET}-quarter layout"
+        );
+        let wal = std::env::temp_dir().join(format!(
+            "lfpr_serve_bench_shards_{}_{shards}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&wal);
+        let spec = ShardSpec {
+            wal_dir: Some(wal.clone()),
+            durability: DurabilityOptions {
+                fsync: FsyncPolicy::Always,
+                checkpoint_every: 0, // pure append stream, no checkpoint fsyncs
+                crash_after: None,
+            },
+            ..ShardSpec::new(shards)
+        };
+        let router =
+            ShardRouter::new(g.clone(), Algorithm::DfLF, opts.clone(), spec).expect("router");
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for client in batches.iter() {
+                let router = &router;
+                s.spawn(move || {
+                    for b in client {
+                        let c = router.commit(b.clone()).expect("shard commit");
+                        debug_assert_eq!(c.rounds, 0, "fleet graph must not cross shards");
+                    }
+                });
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let commits = (SHARD_FLEET * args.shard_commits) as f64;
+        let epochs = router.pin().epochs();
+        assert_eq!(
+            epochs.iter().sum::<u64>(),
+            commits as u64,
+            "every commit must land as exactly one shard epoch"
+        );
+        router.shutdown();
+        let _ = std::fs::remove_dir_all(&wal);
+        let cps = commits / wall.max(1e-12);
+        eprintln!(
+            "  shards={shards}: {commits} durable commits ({} clients) in {wall:.3}s, {cps:.1} commits/s",
+            SHARD_FLEET
+        );
+        out.push((shards, cps));
+    }
+    out
 }
 
 fn main() {
@@ -659,6 +828,21 @@ fn main() {
         "coalescing: {on_cps:.1} commits/s merged vs {off_cps:.1} sequential → {coalesce_ratio:.2}×"
     );
 
+    // Phase 6: sharded commit throughput under an fsync-dominated
+    // stream, swept over shard counts.
+    let shard_rows = shard_scaling(&args);
+    let shard_scale_ratio = match (shard_rows.first(), shard_rows.last()) {
+        (Some(&(s1, base)), Some(&(sn, top))) if shard_rows.len() > 1 => {
+            let r = top / base.max(1e-12);
+            println!(
+                "shard scaling: {top:.1} commits/s at {sn} shards ≈ {r:.2}× \
+                 {base:.1} commits/s at {s1} shard(s)"
+            );
+            r
+        }
+        _ => 1.0,
+    };
+
     let ratio = mean_commit / concurrent.p99_s.max(1e-12);
     println!(
         "\ncommit-to-read ratio: one batch commit ({mean_commit:.6}s) ≈ {ratio:.1}× \
@@ -687,6 +871,8 @@ fn main() {
         on_cps,
         off_cps,
         coalesce_ratio,
+        &shard_rows,
+        shard_scale_ratio,
     );
     if let Some(path) = &args.json_path {
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -726,6 +912,14 @@ fn main() {
         );
         println!("coalescing ratio target ≥ {required:.2} met");
     }
+    if let Some(required) = args.require_shard_scale {
+        assert!(
+            shard_scale_ratio >= required,
+            "shard-scaling throughput ratio {shard_scale_ratio:.2} below required {required:.2} — \
+             per-shard writers are not overlapping fsync-dominated commits"
+        );
+        println!("shard scaling target ≥ {required:.2} met");
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -744,6 +938,8 @@ fn render_json(
     on_cps: f64,
     off_cps: f64,
     coalesce_ratio: f64,
+    shard_rows: &[(usize, f64)],
+    shard_scale_ratio: f64,
 ) -> String {
     let phase = |name: &str, p: &Phase| {
         format!(
@@ -808,8 +1004,19 @@ fn render_json(
     s.push_str(&format!(
         "  \"coalesce\": {{\"storm_clients\": {}, \"storm_commits\": {}, \"storm_batch\": {}, \
          \"storm_vertices\": {}, \"on_commits_per_s\": {on_cps:.2}, \
-         \"off_commits_per_s\": {off_cps:.2}, \"throughput_ratio\": {coalesce_ratio:.4}}}\n}}",
+         \"off_commits_per_s\": {off_cps:.2}, \"throughput_ratio\": {coalesce_ratio:.4}}},\n",
         args.storm_clients, args.storm_commits, args.storm_batch, args.storm_vertices
+    ));
+    let shard_cells: Vec<String> = shard_rows
+        .iter()
+        .map(|(shards, cps)| format!("    {{\"shards\": {shards}, \"commits_per_s\": {cps:.2}}}"))
+        .collect();
+    s.push_str(&format!(
+        "  \"shard_scaling\": {{\"fleet\": 4, \"commits_per_client\": {}, \"batch\": {}, \
+         \"fsync\": \"always\", \"rows\": [\n{}\n  ], \"scale_ratio\": {shard_scale_ratio:.4}}}\n}}",
+        args.shard_commits,
+        args.shard_batch,
+        shard_cells.join(",\n")
     ));
     s
 }

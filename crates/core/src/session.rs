@@ -202,6 +202,14 @@ impl RankView {
         top_k_of(&self.ranks, k)
     }
 
+    /// [`top_k`](Self::top_k) restricted to vertex ids in `range`. The
+    /// sharded serving tier merges per-shard top-k lists, and each
+    /// shard's candidates must come from its owned id range only — the
+    /// shard-local ranks of vertices it does not own are partial sums.
+    pub fn top_k_range(&self, k: usize, range: std::ops::Range<u32>) -> Vec<(u32, f64)> {
+        top_k_range_of(&self.ranks, k, range)
+    }
+
     /// Every vertex whose rank moved across the step that produced this
     /// epoch (empty unless the session tracks deltas).
     pub fn deltas(&self) -> &[RankDelta] {
@@ -294,7 +302,16 @@ impl RankReader {
 
 /// Shared `O(n + k log k)` partial top-k selection (session + views).
 fn top_k_of(ranks: &[f64], k: usize) -> Vec<(u32, f64)> {
-    let k = k.min(ranks.len());
+    top_k_range_of(ranks, k, 0..ranks.len() as u32)
+}
+
+/// [`top_k_of`] over an id sub-range (the sharded router's per-shard
+/// candidate selection). Same comparator, so merging range results
+/// reproduces the whole-vector ordering exactly.
+fn top_k_range_of(ranks: &[f64], k: usize, range: std::ops::Range<u32>) -> Vec<(u32, f64)> {
+    let hi = (ranks.len() as u32).min(range.end);
+    let lo = range.start.min(hi);
+    let k = k.min((hi - lo) as usize);
     if k == 0 {
         return Vec::new();
     }
@@ -304,7 +321,7 @@ fn top_k_of(ranks: &[f64], k: usize) -> Vec<(u32, f64)> {
             .unwrap()
             .then(a.cmp(b))
     };
-    let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
+    let mut idx: Vec<u32> = (lo..hi).collect();
     if k < idx.len() {
         idx.select_nth_unstable_by(k - 1, cmp);
         idx.truncate(k);

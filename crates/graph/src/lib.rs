@@ -36,6 +36,7 @@ pub mod digraph;
 pub mod gapped;
 pub mod generators;
 pub mod io;
+pub mod partition;
 pub mod reorder;
 pub mod runs;
 pub mod scc;
@@ -49,6 +50,7 @@ pub use csr::Csr;
 pub use digraph::DynGraph;
 pub use gapped::{GappedGraph, PrevRuns, SlackStats};
 pub use io::GraphFormat;
+pub use partition::{Partition, PartitionStrategy};
 pub use reorder::{ReorderStrategy, Reordering};
 pub use runs::NeighborRuns;
 pub use snapshot::Snapshot;

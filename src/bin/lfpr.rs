@@ -7,7 +7,8 @@
 //! lfpr serve  [--graph path | --gen n m seed] [--algo dflf] [--threads N]
 //!             [--tolerance T] [--tauf T] [--tcp addr:port] [--workers N]
 //!             [--wal dir] [--fsync always|every-k|never] [--checkpoint-every N]
-//!             [--recover] [--crash-after N]
+//!             [--recover] [--crash-after N] [--layout packed|gapped]
+//!             [--reorder none|degree|bfs] [--shards N]
 //! lfpr follow <leader-addr> [--tcp addr:port] [--threads N]
 //!             [--max-attempts N] [--sync-timeout secs]
 //! ```
@@ -31,6 +32,15 @@
 //! by the CI recovery smoke: the process aborts right after the N-th
 //! commit hits the log. `follow` mirrors a `--tcp` leader over the
 //! replica feed and serves the mirrored ranks read-only.
+//!
+//! `--shards N` (N ≥ 2) serves the sharded tier
+//! ([`lockfree_pagerank::shard`]): vertices are block-partitioned
+//! across N independent session shards, each with its own writer
+//! thread, epoch counter, and (with `--wal`) its own log under
+//! `dir/shard-NN/`; commits scatter into per-shard sub-batches and
+//! replies carry per-shard epoch vectors (`epochs=a,b,…`). `--shards 1`
+//! (the default) is the ordinary single-session server and keeps the
+//! v1 wire format byte-for-byte.
 //!
 //! `<graph>` is a SNAP-style edge list (`u v` per line, `#` comments) or
 //! a MatrixMarket `.mtx` file, chosen by extension unless `--format
@@ -120,227 +130,69 @@ fn print_top(ranks: &[f64], k: usize) {
 }
 
 fn serve_main(args: &[String]) {
-    use lockfree_pagerank::durable::{Durability, DurabilityOptions};
-    use lockfree_pagerank::graph::io::wal::FsyncPolicy;
-    use lockfree_pagerank::sched::{ChunkPolicy, ExecMode, Schedule};
+    use lockfree_pagerank::durable::Durability;
     use lockfree_pagerank::serve::{
         serve_connection_durable_reordered, serve_connection_reordered,
     };
-    use lockfree_pagerank::{ReorderStrategy, Reordering, StorageLayout, UpdateSession};
+    use lockfree_pagerank::{GraphSource, Reordering, ServeConfig, UpdateSession};
     use std::sync::Arc;
 
-    let mut algo = Algorithm::DfLF;
-    let mut threads = 1usize;
-    let mut tolerance = 1e-10f64;
-    let mut tauf: Option<f64> = None;
-    let mut format: Option<GraphFormat> = None;
-    let mut graph_path: Option<String> = None;
-    let mut gen: Option<(usize, usize, u64)> = None;
-    let mut tcp: Option<String> = None;
-    let mut workers = 4usize;
-    let mut coalesce = true;
-    let mut wal_dir: Option<String> = None;
-    let mut fsync = FsyncPolicy::Always;
-    let mut checkpoint_every = 64u64;
-    let mut recover = false;
-    let mut crash_after: Option<u64> = None;
-    let mut layout = StorageLayout::Packed;
-    let mut reorder_strategy = ReorderStrategy::None;
-    let mut i = 0;
     let bad = |msg: &str| -> ! {
         eprintln!("{msg}");
         std::process::exit(2);
     };
-    // Missing values exit with a usage message, not an index panic.
-    let value = |i: usize, usage: &str| -> &String {
-        args.get(i)
-            .unwrap_or_else(|| bad(&format!("usage: {usage}")))
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--algo" => {
-                algo = value(i + 1, "--algo <name>")
-                    .parse()
-                    .unwrap_or_else(|e: String| bad(&e));
-                i += 2;
-            }
-            "--threads" => {
-                threads = value(i + 1, "--threads <n>")
-                    .parse()
-                    .unwrap_or_else(|_| bad("usage: --threads <n>"));
-                i += 2;
-            }
-            "--tolerance" => {
-                tolerance = value(i + 1, "--tolerance <t>")
-                    .parse()
-                    .unwrap_or_else(|_| bad("usage: --tolerance <t>"));
-                i += 2;
-            }
-            "--tauf" => {
-                tauf = Some(
-                    value(i + 1, "--tauf <t>")
-                        .parse()
-                        .unwrap_or_else(|_| bad("usage: --tauf <t>")),
-                );
-                i += 2;
-            }
-            "--format" => {
-                format = Some(
-                    value(i + 1, "--format <snap|mtx>")
-                        .parse()
-                        .unwrap_or_else(|e: String| bad(&e)),
-                );
-                i += 2;
-            }
-            "--graph" => {
-                graph_path = Some(value(i + 1, "--graph <path>").clone());
-                i += 2;
-            }
-            "--gen" => {
-                let usage = "--gen <n> <m> <seed>";
-                gen = Some((
-                    value(i + 1, usage).parse().unwrap_or_else(|_| bad(usage)),
-                    value(i + 2, usage).parse().unwrap_or_else(|_| bad(usage)),
-                    value(i + 3, usage).parse().unwrap_or_else(|_| bad(usage)),
-                ));
-                i += 4;
-            }
-            "--tcp" => {
-                tcp = Some(value(i + 1, "--tcp <addr:port>").clone());
-                i += 2;
-            }
-            "--workers" => {
-                workers = value(i + 1, "--workers <n>")
-                    .parse()
-                    .unwrap_or_else(|_| bad("usage: --workers <n>"));
-                i += 2;
-            }
-            "--no-coalesce" => {
-                coalesce = false;
-                i += 1;
-            }
-            "--wal" => {
-                wal_dir = Some(value(i + 1, "--wal <dir>").clone());
-                i += 2;
-            }
-            "--fsync" => {
-                fsync = value(i + 1, "--fsync <always|every-k|never>")
-                    .parse()
-                    .unwrap_or_else(|e: String| bad(&e));
-                i += 2;
-            }
-            "--checkpoint-every" => {
-                checkpoint_every = value(i + 1, "--checkpoint-every <n>")
-                    .parse()
-                    .unwrap_or_else(|_| bad("usage: --checkpoint-every <n> (0 disables)"));
-                i += 2;
-            }
-            "--recover" => {
-                recover = true;
-                i += 1;
-            }
-            "--crash-after" => {
-                crash_after = Some(
-                    value(i + 1, "--crash-after <n>")
-                        .parse()
-                        .unwrap_or_else(|_| bad("usage: --crash-after <n>")),
-                );
-                i += 2;
-            }
-            "--layout" => {
-                layout = value(i + 1, "--layout <packed|gapped>")
-                    .parse()
-                    .unwrap_or_else(|e: String| bad(&e));
-                i += 2;
-            }
-            "--reorder" => {
-                reorder_strategy = value(i + 1, "--reorder <none|degree|bfs>")
-                    .parse()
-                    .unwrap_or_else(|e: String| bad(&e));
-                i += 2;
-            }
-            other => bad(&format!("unknown flag: {other}")),
-        }
+    // One typed config carries the whole flag set; every flag
+    // interaction (recover×reorder, recover×shards, …) is checked by
+    // ServeConfig::validate in one place, not scattered through the
+    // argument loop.
+    let cfg = ServeConfig::from_args(args).unwrap_or_else(|e| bad(&e));
+    let opts = cfg.pagerank_options();
+    let dopts = cfg.durability_options();
+    if cfg.shards > 1 {
+        return serve_sharded(&cfg, opts);
     }
-    // The persistent worker pool is the right executor for a process
-    // that runs many updates (PR 2); stays deterministic at 1 thread.
-    // τf defaults to τ, not the paper's τ/1000: each batch warm-starts
-    // from the previous τ-converged output, whose residuals would flood
-    // the frontier at τ/1000 (see update_bench); τf = τ bounds the
-    // affected ball by genuine rank movement. `--tauf` overrides.
-    let opts = PagerankOptions::default()
-        .with_threads(threads)
-        .with_tolerance(tolerance)
-        .with_frontier_tolerance(tauf.unwrap_or(tolerance))
-        .with_schedule(Schedule {
-            policy: ChunkPolicy::Fixed(2048),
-            executor: ExecMode::Pool,
-        });
-    let dopts = DurabilityOptions {
-        fsync,
-        checkpoint_every,
-        crash_after,
-    };
-    let (mut session, durable, reorder) = if recover {
-        let dir = wal_dir
-            .as_deref()
-            .unwrap_or_else(|| bad("--recover needs --wal <dir>"));
-        if graph_path.is_some() || gen.is_some() {
-            bad("--recover restores the graph from the wal directory; drop --graph/--gen");
-        }
-        if reorder_strategy != ReorderStrategy::None {
-            bad("--recover restores the vertex order from the checkpoint; drop --reorder");
-        }
-        // The algorithm and graph come from the checkpoint; --algo is
-        // only the default for a fresh start. The vertex permutation
-        // (if the original session was reordered) rides along too.
-        match Durability::recover(std::path::Path::new(dir), opts, dopts) {
-            Ok((mut session, durable, report)) => {
-                eprintln!("# {report}");
-                session.set_storage_layout(layout);
-                let reorder = durable.reordering().clone();
-                (session, Some(durable), reorder)
+    let (mut session, durable, reorder) = match &cfg.source {
+        GraphSource::Recovered => {
+            let dir = cfg.wal_dir.as_deref().expect("validate: recover needs wal");
+            // The algorithm and graph come from the checkpoint; --algo is
+            // only the default for a fresh start. The vertex permutation
+            // (if the original session was reordered) rides along too.
+            match Durability::recover(dir, opts, dopts) {
+                Ok((mut session, durable, report)) => {
+                    eprintln!("# {report}");
+                    session.set_storage_layout(cfg.layout);
+                    let reorder = durable.reordering().clone();
+                    (session, Some(durable), reorder)
+                }
+                // Stable text — the CI smoke greps for this prefix.
+                Err(e) => bad(&format!("recover failed: {e}")),
             }
-            // Stable text — the CI smoke greps for this prefix.
-            Err(e) => bad(&format!("recover failed: {e}")),
         }
-    } else {
-        let g = match (&graph_path, gen) {
-            (Some(path), None) => load_graph(path, format),
-            (None, Some((n, m, seed))) => {
-                let mut g = lockfree_pagerank::graph::generators::erdos_renyi(n, m, seed);
-                add_self_loops(&mut g);
-                g
-            }
-            _ => bad("serve needs exactly one of --graph <path> or --gen <n> <m> <seed>"),
-        };
-        // Renumber for batch locality before the session computes its
-        // initial ranks; the serve boundary keeps speaking external ids.
-        let reorder = Reordering::compute(reorder_strategy, &g).map(Arc::new);
-        let g = match &reorder {
-            Some(r) => r.apply(&g),
-            None => g,
-        };
-        let mut session = UpdateSession::new_with_layout(g, algo, opts, layout);
-        // `movers` and subscriptions need per-batch deltas.
-        session.enable_delta_tracking();
-        let durable = wal_dir.as_deref().map(|dir| {
-            Durability::create_reordered(
-                std::path::Path::new(dir),
-                &mut session,
-                dopts,
-                reorder.clone(),
-            )
-            .unwrap_or_else(|e| bad(&format!("cannot start wal: {e}")))
-        });
-        (session, durable, reorder)
+        _ => {
+            let g = load_source(&cfg.source);
+            // Renumber for batch locality before the session computes its
+            // initial ranks; the serve boundary keeps speaking external ids.
+            let reorder = Reordering::compute(cfg.reorder, &g).map(Arc::new);
+            let g = match &reorder {
+                Some(r) => r.apply(&g),
+                None => g,
+            };
+            let mut session = UpdateSession::new_with_layout(g, cfg.algo, opts, cfg.layout);
+            // `movers` and subscriptions need per-batch deltas.
+            session.enable_delta_tracking();
+            let durable = cfg.wal_dir.as_deref().map(|dir| {
+                Durability::create_reordered(dir, &mut session, dopts, reorder.clone())
+                    .unwrap_or_else(|e| bad(&format!("cannot start wal: {e}")))
+            });
+            (session, durable, reorder)
+        }
     };
     eprintln!(
         "# serving {} vertices / {} edges with {} on {} thread(s), {} layout{}{}",
         session.graph().num_vertices(),
         session.graph().num_edges(),
         session.algorithm(),
-        threads,
+        cfg.threads,
         session.storage_layout(),
         match &reorder {
             Some(_) => " (reordered)",
@@ -351,7 +203,7 @@ fn serve_main(args: &[String]) {
             None => String::new(),
         }
     );
-    match tcp {
+    match &cfg.tcp {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
@@ -377,24 +229,113 @@ fn serve_main(args: &[String]) {
             );
         }
         Some(addr) => {
-            let listener = std::net::TcpListener::bind(&addr)
+            let listener = std::net::TcpListener::bind(addr)
                 .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
             let server = lockfree_pagerank::server::spawn_with(
                 session,
                 listener,
                 lockfree_pagerank::server::ServerOptions {
-                    workers,
+                    workers: cfg.workers,
                     durable,
                     reorder,
-                    coalesce,
+                    coalesce: cfg.coalesce,
                 },
             )
             .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
             eprintln!(
                 "# listening on {} ({} event loops, single-writer {} commits, epoch-published reads)",
                 server.addr(),
-                workers,
-                if coalesce { "coalesced" } else { "sequential" }
+                cfg.workers,
+                if cfg.coalesce { "coalesced" } else { "sequential" }
+            );
+            server.wait();
+        }
+    }
+}
+
+/// Materialize a non-`Recovered` graph source.
+fn load_source(source: &lockfree_pagerank::GraphSource) -> DynGraph {
+    use lockfree_pagerank::GraphSource;
+    match source {
+        GraphSource::File { path, format } => load_graph(path, *format),
+        GraphSource::Generated { n, m, seed } => {
+            let mut g = lockfree_pagerank::graph::generators::erdos_renyi(*n, *m, *seed);
+            add_self_loops(&mut g);
+            g
+        }
+        GraphSource::Recovered => unreachable!("recover is handled before loading"),
+    }
+}
+
+/// `lfpr serve --shards N` (N ≥ 2): the sharded serving tier. The
+/// vertex partition is computed jointly with the load-time reordering,
+/// then a [`lockfree_pagerank::shard::ShardRouter`] runs one session +
+/// writer thread per shard; clients speak the v2 handshake and see
+/// per-shard epoch vectors.
+fn serve_sharded(cfg: &lockfree_pagerank::ServeConfig, opts: PagerankOptions) {
+    use lockfree_pagerank::graph::Partition;
+    use lockfree_pagerank::shard::{serve_shard_client_reordered, ShardRouter, ShardSpec};
+    use std::sync::Arc;
+
+    let bad = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let g = load_source(&cfg.source);
+    let (reorder, part) =
+        Partition::compute_joint(cfg.reorder, cfg.shards, &g).unwrap_or_else(|e| bad(&e));
+    let reorder = reorder.map(Arc::new);
+    let g = match &reorder {
+        Some(r) => r.apply(&g),
+        None => g,
+    };
+    let spec = ShardSpec {
+        wal_dir: cfg.wal_dir.clone(),
+        durability: cfg.durability_options(),
+        ..ShardSpec::new(cfg.shards)
+    };
+    let durable = spec.wal_dir.is_some();
+    let router =
+        ShardRouter::with_partition(g, part, cfg.algo, opts, spec).unwrap_or_else(|e| bad(&e));
+    eprintln!(
+        "# serving {} vertices / {} edges with {} on {} shard(s) ({} partition){}{}",
+        router.num_vertices(),
+        router.pin().num_edges(),
+        router.algorithm(),
+        router.shards(),
+        router.partition().strategy(),
+        match &reorder {
+            Some(_) => " (reordered)",
+            None => "",
+        },
+        match &cfg.wal_dir {
+            Some(d) if durable => format!(" (wal: {})", d.display()),
+            _ => String::new(),
+        }
+    );
+    match &cfg.tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let summary =
+                serve_shard_client_reordered(&router, &reorder, stdin.lock(), stdout.lock())
+                    .unwrap_or_else(|e| bad(&format!("serve failed: {e}")));
+            let steps: u64 = router.pin().epochs().iter().sum();
+            eprintln!(
+                "# session ended: {} commands, {} batches, {} edge updates, {} steps",
+                summary.commands, summary.batches, summary.updates, steps
+            );
+            router.shutdown();
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .unwrap_or_else(|e| bad(&format!("cannot bind {addr}: {e}")));
+            let server = lockfree_pagerank::server::spawn_sharded(router, reorder, listener)
+                .unwrap_or_else(|e| bad(&format!("cannot start server: {e}")));
+            eprintln!(
+                "# listening on {} ({} shards, scatter/gather commits, epoch-published reads)",
+                server.addr(),
+                cfg.shards,
             );
             server.wait();
         }

@@ -152,6 +152,15 @@ pub struct Durability {
     reorder: SharedReordering,
 }
 
+/// The WAL directory of shard `s` under a sharded server's `--wal`
+/// root. Each shard logs and checkpoints independently in its own
+/// subdirectory (`shard-00/`, `shard-01/`, …); this is the single
+/// naming authority, shared by the [`crate::shard`] router and any
+/// tooling that inspects a sharded log tree.
+pub fn shard_dir(root: &Path, s: usize) -> PathBuf {
+    root.join(format!("shard-{s:02}"))
+}
+
 impl Durability {
     /// Start durability fresh in `dir`: write a checkpoint of the
     /// session's current state, then open an empty WAL. Call before

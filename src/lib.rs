@@ -63,8 +63,305 @@ pub mod protocol;
 pub mod replica;
 pub mod serve;
 pub mod server;
+pub mod shard;
 
 use lfpr_graph::types::{Edge, GraphError};
+
+/// Where `lfpr serve` gets its graph from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSource {
+    /// Load an edge-list / MatrixMarket file (`--graph`, `--format`).
+    File {
+        /// Path on disk.
+        path: String,
+        /// Explicit format; `None` detects by extension.
+        format: Option<graph::GraphFormat>,
+    },
+    /// Erdős–Rényi generator (`--gen <n> <m> <seed>`).
+    Generated {
+        /// Vertex count.
+        n: usize,
+        /// Edge count.
+        m: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Restore checkpoint + WAL tail from the `--wal` directory
+    /// (`--recover`).
+    Recovered,
+}
+
+/// The full `lfpr serve` configuration: every CLI flag as one typed
+/// struct, with the flag interactions validated in **one place**
+/// ([`validate`](Self::validate)) instead of scattered through the
+/// argument loop. The CLI parses into it via
+/// [`from_args`](Self::from_args); tests construct it directly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Graph source (`--graph` / `--gen` / `--recover`).
+    pub source: GraphSource,
+    /// Rank algorithm (`--algo`, default DF-LF).
+    pub algo: Algorithm,
+    /// Kernel threads (`--threads`, default 1 — deterministic).
+    pub threads: usize,
+    /// Iteration tolerance τ (`--tolerance`).
+    pub tolerance: f64,
+    /// Frontier tolerance τf (`--tauf`; defaults to τ — see the CLI
+    /// docs for why serve does not use the paper's τ/1000).
+    pub tauf: Option<f64>,
+    /// TCP listen address (`--tcp`); `None` serves stdin/stdout.
+    pub tcp: Option<String>,
+    /// Event loops for the unsharded TCP server (`--workers`).
+    pub workers: usize,
+    /// Writer-side commit coalescing (`--no-coalesce` turns it off).
+    pub coalesce: bool,
+    /// Write-ahead-log directory (`--wal`); enables durability.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// WAL fsync policy (`--fsync`).
+    pub fsync: graph::io::wal::FsyncPolicy,
+    /// Checkpoint cadence in commits (`--checkpoint-every`, 0 = never).
+    pub checkpoint_every: u64,
+    /// Crash-injection hook for the CI recovery smoke
+    /// (`--crash-after`).
+    pub crash_after: Option<u64>,
+    /// Session storage layout (`--layout packed|gapped`).
+    pub layout: StorageLayout,
+    /// Load-time vertex renumbering (`--reorder`). With `--shards` the
+    /// partition is computed jointly with it
+    /// ([`graph::Partition::compute_joint`]).
+    pub reorder: ReorderStrategy,
+    /// Session shards (`--shards`, default 1). Values ≥ 2 serve the
+    /// sharded tier ([`shard::ShardRouter`]) and speak the v2
+    /// handshake.
+    pub shards: usize,
+}
+
+impl ServeConfig {
+    /// A config with the CLI's historical defaults.
+    pub fn new(source: GraphSource) -> Self {
+        ServeConfig {
+            source,
+            algo: Algorithm::DfLF,
+            threads: 1,
+            tolerance: 1e-10,
+            tauf: None,
+            tcp: None,
+            workers: 4,
+            coalesce: true,
+            wal_dir: None,
+            fsync: graph::io::wal::FsyncPolicy::Always,
+            checkpoint_every: 64,
+            crash_after: None,
+            layout: StorageLayout::Packed,
+            reorder: ReorderStrategy::None,
+            shards: 1,
+        }
+    }
+
+    /// Parse the `lfpr serve` flag set into a validated config.
+    pub fn from_args(args: &[String]) -> Result<ServeConfig, String> {
+        let mut cfg = ServeConfig::new(GraphSource::Recovered);
+        let mut graph_path: Option<String> = None;
+        let mut format: Option<graph::GraphFormat> = None;
+        let mut gen: Option<(usize, usize, u64)> = None;
+        let mut recover = false;
+        let value = |i: usize, usage: &str| -> Result<&String, String> {
+            args.get(i).ok_or_else(|| format!("usage: {usage}"))
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--algo" => {
+                    cfg.algo = value(i + 1, "--algo <name>")?.parse()?;
+                    i += 2;
+                }
+                "--threads" => {
+                    cfg.threads = value(i + 1, "--threads <n>")?
+                        .parse()
+                        .map_err(|_| "usage: --threads <n>".to_string())?;
+                    i += 2;
+                }
+                "--tolerance" => {
+                    cfg.tolerance = value(i + 1, "--tolerance <t>")?
+                        .parse()
+                        .map_err(|_| "usage: --tolerance <t>".to_string())?;
+                    i += 2;
+                }
+                "--tauf" => {
+                    cfg.tauf = Some(
+                        value(i + 1, "--tauf <t>")?
+                            .parse()
+                            .map_err(|_| "usage: --tauf <t>".to_string())?,
+                    );
+                    i += 2;
+                }
+                "--format" => {
+                    format = Some(value(i + 1, "--format <snap|mtx>")?.parse()?);
+                    i += 2;
+                }
+                "--graph" => {
+                    graph_path = Some(value(i + 1, "--graph <path>")?.clone());
+                    i += 2;
+                }
+                "--gen" => {
+                    let usage = "--gen <n> <m> <seed>";
+                    let parse_at = |j: usize| -> Result<usize, String> {
+                        value(j, usage)?
+                            .parse()
+                            .map_err(|_| format!("usage: {usage}"))
+                    };
+                    let seed: u64 = value(i + 3, usage)?
+                        .parse()
+                        .map_err(|_| format!("usage: {usage}"))?;
+                    gen = Some((parse_at(i + 1)?, parse_at(i + 2)?, seed));
+                    i += 4;
+                }
+                "--tcp" => {
+                    cfg.tcp = Some(value(i + 1, "--tcp <addr:port>")?.clone());
+                    i += 2;
+                }
+                "--workers" => {
+                    cfg.workers = value(i + 1, "--workers <n>")?
+                        .parse()
+                        .map_err(|_| "usage: --workers <n>".to_string())?;
+                    i += 2;
+                }
+                "--no-coalesce" => {
+                    cfg.coalesce = false;
+                    i += 1;
+                }
+                "--wal" => {
+                    cfg.wal_dir = Some(value(i + 1, "--wal <dir>")?.into());
+                    i += 2;
+                }
+                "--fsync" => {
+                    cfg.fsync = value(i + 1, "--fsync <always|every-k|never>")?.parse()?;
+                    i += 2;
+                }
+                "--checkpoint-every" => {
+                    cfg.checkpoint_every = value(i + 1, "--checkpoint-every <n>")?
+                        .parse()
+                        .map_err(|_| "usage: --checkpoint-every <n> (0 disables)".to_string())?;
+                    i += 2;
+                }
+                "--recover" => {
+                    recover = true;
+                    i += 1;
+                }
+                "--crash-after" => {
+                    cfg.crash_after = Some(
+                        value(i + 1, "--crash-after <n>")?
+                            .parse()
+                            .map_err(|_| "usage: --crash-after <n>".to_string())?,
+                    );
+                    i += 2;
+                }
+                "--layout" => {
+                    cfg.layout = value(i + 1, "--layout <packed|gapped>")?.parse()?;
+                    i += 2;
+                }
+                "--reorder" => {
+                    cfg.reorder = value(i + 1, "--reorder <none|degree|bfs>")?.parse()?;
+                    i += 2;
+                }
+                "--shards" => {
+                    cfg.shards = value(i + 1, "--shards <n>")?
+                        .parse()
+                        .map_err(|_| "usage: --shards <n>".to_string())?;
+                    i += 2;
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        cfg.source = match (graph_path, gen, recover) {
+            (Some(path), None, false) => GraphSource::File { path, format },
+            (None, Some((n, m, seed)), false) => GraphSource::Generated { n, m, seed },
+            (None, None, true) => GraphSource::Recovered,
+            (Some(_), _, true) | (_, Some(_), true) => {
+                return Err(
+                    "--recover restores the graph from the wal directory; drop --graph/--gen"
+                        .into(),
+                )
+            }
+            (Some(_), Some(_), false) => {
+                return Err(
+                    "serve needs exactly one of --graph <path> or --gen <n> <m> <seed>".into(),
+                )
+            }
+            (None, None, false) => {
+                return Err(
+                    "serve needs exactly one of --graph <path> or --gen <n> <m> <seed>".into(),
+                )
+            }
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Every flag-interaction rule, in one place.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("--shards needs at least one shard".into());
+        }
+        if self.threads == 0 {
+            return Err("--threads needs at least one thread".into());
+        }
+        if self.source == GraphSource::Recovered {
+            if self.wal_dir.is_none() {
+                return Err("--recover needs --wal <dir>".into());
+            }
+            if self.reorder != ReorderStrategy::None {
+                return Err(
+                    "--recover restores the vertex order from the checkpoint; drop --reorder"
+                        .into(),
+                );
+            }
+            if self.shards > 1 {
+                return Err(
+                    "--recover restores a single-session checkpoint; sharded recovery is not \
+                     supported — drop --shards"
+                        .into(),
+                );
+            }
+        }
+        if self.crash_after.is_some() && self.wal_dir.is_none() {
+            return Err("--crash-after injects a crash after a WAL append; it needs --wal".into());
+        }
+        if self.shards > 1 && self.layout != StorageLayout::Packed {
+            return Err(
+                "--layout gapped applies to the single-session server; drop it with --shards"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// The kernel options this config describes. τf defaults to τ, not
+    /// the paper's τ/1000: each serve batch warm-starts from the
+    /// previous τ-converged output, whose residuals would flood the
+    /// frontier at τ/1000 (see `update_bench`).
+    pub fn pagerank_options(&self) -> PagerankOptions {
+        use lfpr_sched::{ChunkPolicy, ExecMode, Schedule};
+        PagerankOptions::default()
+            .with_threads(self.threads)
+            .with_tolerance(self.tolerance)
+            .with_frontier_tolerance(self.tauf.unwrap_or(self.tolerance))
+            .with_schedule(Schedule {
+                policy: ChunkPolicy::Fixed(2048),
+                executor: ExecMode::Pool,
+            })
+    }
+
+    /// The durability tunables this config describes (meaningful only
+    /// with [`wal_dir`](Self::wal_dir) set).
+    pub fn durability_options(&self) -> durable::DurabilityOptions {
+        durable::DurabilityOptions {
+            fsync: self.fsync,
+            checkpoint_every: self.checkpoint_every,
+            crash_after: self.crash_after,
+        }
+    }
+}
 
 /// Owns an evolving graph and keeps its PageRank vector current across
 /// batch updates, using any of the paper's dynamic algorithms.
@@ -409,5 +706,96 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         assert!(max_diff < 1e-6, "stability violated: {max_diff}");
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn serve_config_parses_the_full_flag_set() {
+        let cfg = ServeConfig::from_args(&argv(
+            "--gen 100 400 7 --algo dflf --threads 2 --tolerance 1e-9 --tauf 1e-9 \
+             --tcp 127.0.0.1:0 --workers 2 --no-coalesce --wal /tmp/w --fsync every-8 \
+             --checkpoint-every 16 --shards 4",
+        ))
+        .unwrap();
+        assert_eq!(
+            cfg.source,
+            GraphSource::Generated {
+                n: 100,
+                m: 400,
+                seed: 7
+            }
+        );
+        assert_eq!(cfg.threads, 2);
+        assert!(!cfg.coalesce);
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.checkpoint_every, 16);
+        assert_eq!(cfg.wal_dir.as_deref(), Some(std::path::Path::new("/tmp/w")));
+    }
+
+    #[test]
+    fn serve_config_rejects_conflicting_flags_in_one_place() {
+        // Every rule lives in validate(); from_args only adds the
+        // graph-source arity checks.
+        let recover_reorder = ServeConfig {
+            reorder: ReorderStrategy::Degree,
+            wal_dir: Some("/tmp/w".into()),
+            ..ServeConfig::new(GraphSource::Recovered)
+        };
+        assert_eq!(
+            recover_reorder.validate().unwrap_err(),
+            "--recover restores the vertex order from the checkpoint; drop --reorder"
+        );
+        assert_eq!(
+            ServeConfig::new(GraphSource::Recovered)
+                .validate()
+                .unwrap_err(),
+            "--recover needs --wal <dir>"
+        );
+        let sharded_recover = ServeConfig {
+            shards: 4,
+            wal_dir: Some("/tmp/w".into()),
+            ..ServeConfig::new(GraphSource::Recovered)
+        };
+        assert!(sharded_recover
+            .validate()
+            .unwrap_err()
+            .contains("drop --shards"));
+        let zero = ServeConfig {
+            shards: 0,
+            ..ServeConfig::new(GraphSource::Generated {
+                n: 1,
+                m: 0,
+                seed: 0,
+            })
+        };
+        assert_eq!(
+            zero.validate().unwrap_err(),
+            "--shards needs at least one shard"
+        );
+        assert!(
+            ServeConfig::from_args(&argv("--recover --reorder degree --wal /tmp/w"))
+                .unwrap_err()
+                .contains("drop --reorder")
+        );
+        assert!(ServeConfig::from_args(&argv("--graph a.txt --gen 1 0 0"))
+            .unwrap_err()
+            .contains("exactly one of"));
+        assert!(ServeConfig::from_args(&argv("--recover --graph a.txt"))
+            .unwrap_err()
+            .contains("drop --graph/--gen"));
+    }
+
+    #[test]
+    fn serve_config_tauf_defaults_to_tolerance() {
+        let cfg = ServeConfig::new(GraphSource::Generated {
+            n: 10,
+            m: 20,
+            seed: 1,
+        });
+        let opts = cfg.pagerank_options();
+        assert_eq!(opts.frontier_tolerance, opts.tolerance);
     }
 }

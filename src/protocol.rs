@@ -28,7 +28,18 @@ use lfpr_core::RankDelta;
 use std::fmt;
 
 /// Version of the wire grammar, negotiated via the `hello` verb.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// **Version 2** (the sharded serving tier) is a strict superset of
+/// version 1: it adds the [`Handshake::V2`] hello form (shard topology
+/// and capability tokens instead of a bare verb list), the multi-epoch
+/// `epochs=<e0>,<e1>,…` field on aggregated replies ([`ShardEpochs`]),
+/// and the ` queues=<q0>,<q1>,…` stats field. Servers fronting a single
+/// unsharded session keep answering with the version-1 forms —
+/// `hello lfpr/1 … verbs=…` and scalar `epoch=<e>` — so every v1
+/// transcript (the PR 6 `serve_smoke*.expected` fixtures included)
+/// remains byte-identical. Only a sharded server (`--shards ≥ 2`)
+/// speaks the v2 forms.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Every verb the grammar understands, in documentation order.
 pub const VERBS: &[&str] = &[
@@ -122,63 +133,191 @@ impl From<RankDelta> for MoverEntry {
     }
 }
 
+/// The epoch stamp on an aggregated reply: a single session answers
+/// from one commit counter, a sharded server from one per shard.
+///
+/// Wire forms:
+///
+/// * [`Single`](ShardEpochs::Single)`(e)` → `epoch=<e>` — byte-identical
+///   to the scalar field of protocol v1, so unsharded replies are
+///   unchanged;
+/// * [`Sharded`](ShardEpochs::Sharded)`(v)` → `epochs=<e0>,<e1>,…` —
+///   one entry per shard, in shard order. A sharded reply is *coherent
+///   per shard*: every value attributed to shard `s` was read at
+///   `epochs[s]`, but different shards may sit at different commits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardEpochs {
+    /// One session, one commit counter (protocol v1 byte form).
+    Single(u64),
+    /// One epoch per shard, indexed by shard id.
+    Sharded(Vec<u64>),
+}
+
+impl ShardEpochs {
+    /// The scalar epoch, when this is an unsharded stamp.
+    pub fn scalar(&self) -> Option<u64> {
+        match self {
+            ShardEpochs::Single(e) => Some(*e),
+            ShardEpochs::Sharded(_) => None,
+        }
+    }
+
+    /// The newest epoch across shards (the scalar itself when single).
+    pub fn newest(&self) -> u64 {
+        match self {
+            ShardEpochs::Single(e) => *e,
+            ShardEpochs::Sharded(v) => v.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// The wire field: `epoch=<e>` or `epochs=<e0>,<e1>,…`.
+    fn encode(&self) -> String {
+        match self {
+            ShardEpochs::Single(e) => format!("epoch={e}"),
+            ShardEpochs::Sharded(v) => format!("epochs={}", join_u64(v)),
+        }
+    }
+
+    /// Recover the stamp from a reply head line.
+    fn from_head(head: &str) -> Option<ShardEpochs> {
+        if let Some(e) = field(head, "epoch") {
+            return Some(ShardEpochs::Single(e));
+        }
+        let v = parse_u64_csv(field_str(head, "epochs")?)?;
+        Some(ShardEpochs::Sharded(v))
+    }
+}
+
+fn join_u64(v: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, e) in v.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e.to_string());
+    }
+    out
+}
+
+fn parse_u64_csv(s: &str) -> Option<Vec<u64>> {
+    let mut v = Vec::new();
+    for tok in s.split(',') {
+        v.push(tok.parse().ok()?);
+    }
+    (!v.is_empty()).then_some(v)
+}
+
+/// Capability tokens a v2 handshake advertises — coarse feature groups
+/// instead of v1's bare verb list, so a client checks what the server
+/// *supports* rather than string-matching verbs.
+pub mod caps {
+    /// Staging, commits and reads: `insert`/`delete`/`batch`/`rank`/
+    /// `topk`/`movers`/`stats`.
+    pub const CORE: &str = "core";
+    /// Rank subscriptions: `subscribe`/`unsubscribe`/`poll` + pushes.
+    pub const SUBS: &str = "subs";
+    /// Personalized ranking views: `view add`/`view drop`/`views`.
+    pub const VIEWS: &str = "views";
+    /// The replication feed: `follow`.
+    pub const FOLLOW: &str = "follow";
+    /// Mutations are write-ahead logged before they are acknowledged.
+    pub const WAL: &str = "wal";
+}
+
+/// The `hello` reply, in its two wire generations.
+///
+/// [`V1`](Handshake::V1) always encodes as `hello lfpr/1 …` regardless
+/// of [`PROTOCOL_VERSION`]: it *is* the version-1 grammar, and single-
+/// session servers keep speaking it so historical transcripts stay
+/// byte-identical. [`V2`](Handshake::V2) is the sharded form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Handshake {
+    /// `hello lfpr/1 algo=<algo> verbs=<v1,v2,...>`
+    V1 {
+        /// The serving algorithm (e.g. `DFLF`).
+        algorithm: String,
+        /// Every verb the grammar understands.
+        verbs: Vec<String>,
+    },
+    /// `hello lfpr/2 algo=<algo> shards=<n> strategy=<s> caps=<c1,c2,...>`
+    V2 {
+        /// The serving algorithm (uniform across shards).
+        algorithm: String,
+        /// Number of session shards behind this server.
+        shards: usize,
+        /// Vertex-partitioning strategy (e.g. `block`).
+        strategy: String,
+        /// Capability tokens (see [`caps`]), in advertised order.
+        caps: Vec<String>,
+    },
+}
+
 /// A server reply (one line, or a head line plus
 /// [`continuation_lines`] continuation lines).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// `hello lfpr/<version> algo=<algo> verbs=<v1,v2,...>`
-    Hello {
-        version: u32,
-        algorithm: String,
-        verbs: Vec<String>,
-    },
+    /// The handshake — see [`Handshake`] for both wire forms.
+    Hello(Handshake),
     /// `staged <count>`
     Staged { count: usize },
-    /// `ok batch=<k> m=<m> status=<s> iters=<i> epoch=<e>`
+    /// `ok batch=<k> m=<m> status=<s> iters=<i> epoch=<e>` — a sharded
+    /// commit carries `epochs=<e0>,…` instead (the per-shard epochs the
+    /// scattered sub-batches landed at).
     BatchOk {
         batch: usize,
         m: usize,
         status: String,
         iters: usize,
-        epoch: u64,
+        epochs: ShardEpochs,
     },
-    /// `rank <v> <rank> epoch=<e>[ view=<name>]`
+    /// `rank <v> <rank> epoch=<e>[ view=<name>]` — always scalar: one
+    /// vertex lives on exactly one shard.
     Rank {
         v: u32,
         rank: f64,
         epoch: u64,
         view: Option<String>,
     },
-    /// `topk <len> epoch=<e>[ view=<name>]` + `<v> <rank>` lines
+    /// `topk <len> epoch=<e>[ view=<name>]` + `<v> <rank>` lines —
+    /// merged across shards under `epochs=…` on a sharded server.
     TopK {
         entries: Vec<(u32, f64)>,
-        epoch: u64,
+        epochs: ShardEpochs,
         view: Option<String>,
     },
-    /// `movers <len> epoch=<e>[ view=<name>]` + `<v> <rank> <delta>` lines
+    /// `movers <len> epoch=<e>[ view=<name>]` + `<v> <rank> <delta>`
+    /// lines — merged across shards under `epochs=…` on a sharded
+    /// server.
     Movers {
         entries: Vec<MoverEntry>,
-        epoch: u64,
+        epochs: ShardEpochs,
         view: Option<String>,
     },
     /// `stats n=<n> m=<m> steps=<s> staged=<k> algo=<a> epoch=<e>` —
-    /// plus ` wal_epoch=<we> wal_bytes=<wb>` when durability is on and
-    /// ` slack=<permille>` when the session runs the gapped store.
+    /// plus ` wal_epoch=<we> wal_bytes=<wb>` when durability is on,
+    /// ` slack=<permille>` when the session runs the gapped store, and
+    /// ` queues=<q0>,<q1>,…` (per-shard writer queue depth) on a
+    /// sharded server.
     Stats {
         n: usize,
         m: usize,
         steps: u64,
         staged: usize,
         algo: String,
-        epoch: u64,
+        epochs: ShardEpochs,
         /// `(wal_epoch, wal_bytes)` — present only when the server runs
         /// with a write-ahead log, so non-durable transcripts keep
-        /// their historical bytes.
+        /// their historical bytes. A sharded server reports the oldest
+        /// shard WAL epoch and the summed bytes.
         wal: Option<(u64, u64)>,
         /// Gapped-store slot occupancy in permille (edges per reserved
         /// slot) — present only when the session commits through the
         /// gap-aware CSR, so packed transcripts keep their bytes.
         slack: Option<u64>,
+        /// Writer queue depth per shard (requests accepted but not yet
+        /// applied), indexed by shard id — present only on a sharded
+        /// server, so clients can back off under commit pressure.
+        queues: Option<Vec<u64>>,
     },
     /// `subscribed <v> eps=<eps>`
     Subscribed { v: u32, eps: f64 },
@@ -265,6 +404,11 @@ pub enum ServeError {
     /// `--recover` could not load a usable checkpoint (missing path,
     /// bad header, checksum mismatch).
     RecoverFailed(String),
+    /// A verb the sharded server does not implement (`views`, `follow`):
+    /// the capability tokens in the v2 handshake advertise exactly what
+    /// is served, and anything outside that surface is refused by name
+    /// rather than answered incoherently across shards.
+    ShardedUnavailable(String),
 }
 
 impl fmt::Display for ServeError {
@@ -300,6 +444,9 @@ impl fmt::Display for ServeError {
             ServeError::ReadOnlyReplica => write!(f, "read-only replica"),
             ServeError::WalUnavailable(msg) => write!(f, "wal unavailable: {msg}"),
             ServeError::RecoverFailed(msg) => write!(f, "recover failed: {msg}"),
+            ServeError::ShardedUnavailable(verb) => {
+                write!(f, "{verb} unavailable on a sharded server")
+            }
         }
     }
 }
@@ -506,13 +653,18 @@ pub fn encode_response(resp: &Response) -> String {
         None => String::new(),
     };
     match resp {
-        Response::Hello {
-            version,
-            algorithm,
-            verbs,
-        } => format!(
-            "hello lfpr/{version} algo={algorithm} verbs={}",
+        Response::Hello(Handshake::V1 { algorithm, verbs }) => format!(
+            "hello lfpr/1 algo={algorithm} verbs={}",
             verbs.join(",")
+        ),
+        Response::Hello(Handshake::V2 {
+            algorithm,
+            shards,
+            strategy,
+            caps,
+        }) => format!(
+            "hello lfpr/{PROTOCOL_VERSION} algo={algorithm} shards={shards} strategy={strategy} caps={}",
+            caps.join(",")
         ),
         Response::Staged { count } => format!("staged {count}"),
         Response::BatchOk {
@@ -520,8 +672,11 @@ pub fn encode_response(resp: &Response) -> String {
             m,
             status,
             iters,
-            epoch,
-        } => format!("ok batch={batch} m={m} status={status} iters={iters} epoch={epoch}"),
+            epochs,
+        } => format!(
+            "ok batch={batch} m={m} status={status} iters={iters} {}",
+            epochs.encode()
+        ),
         Response::Rank {
             v,
             rank,
@@ -534,10 +689,15 @@ pub fn encode_response(resp: &Response) -> String {
         ),
         Response::TopK {
             entries,
-            epoch,
+            epochs,
             view,
         } => {
-            let mut out = format!("topk {} epoch={epoch}{}", entries.len(), view_suffix(view));
+            let mut out = format!(
+                "topk {} {}{}",
+                entries.len(),
+                epochs.encode(),
+                view_suffix(view)
+            );
             for (v, r) in entries {
                 out.push_str(&format!("\n{v} {}", fmt_rank(*r)));
             }
@@ -545,12 +705,13 @@ pub fn encode_response(resp: &Response) -> String {
         }
         Response::Movers {
             entries,
-            epoch,
+            epochs,
             view,
         } => {
             let mut out = format!(
-                "movers {} epoch={epoch}{}",
+                "movers {} {}{}",
                 entries.len(),
+                epochs.encode(),
                 view_suffix(view)
             );
             for e in entries {
@@ -569,18 +730,23 @@ pub fn encode_response(resp: &Response) -> String {
             steps,
             staged,
             algo,
-            epoch,
+            epochs,
             wal,
             slack,
+            queues,
         } => {
             let mut out = format!(
-                "stats n={n} m={m} steps={steps} staged={staged} algo={algo} epoch={epoch}"
+                "stats n={n} m={m} steps={steps} staged={staged} algo={algo} {}",
+                epochs.encode()
             );
             if let Some((we, wb)) = wal {
                 out.push_str(&format!(" wal_epoch={we} wal_bytes={wb}"));
             }
             if let Some(s) = slack {
                 out.push_str(&format!(" slack={s}"));
+            }
+            if let Some(q) = queues {
+                out.push_str(&format!(" queues={}", join_u64(q)));
             }
             out
         }
@@ -655,15 +821,26 @@ pub fn parse_response(block: &str) -> Option<Response> {
     let view_of = |head: &str| field_str(head, "view").map(str::to_string);
     match tokens.as_slice() {
         ["hello", ident, ..] => {
-            let version = ident.strip_prefix("lfpr/")?.parse().ok()?;
-            Some(Response::Hello {
-                version,
-                algorithm: field_str(head, "algo")?.to_string(),
-                verbs: field_str(head, "verbs")?
-                    .split(',')
-                    .map(str::to_string)
-                    .collect(),
-            })
+            let _version: u32 = ident.strip_prefix("lfpr/")?.parse().ok()?;
+            let algorithm = field_str(head, "algo")?.to_string();
+            // The field set, not the version number, selects the form:
+            // v1 carries `verbs=`, v2 carries `shards=`/`caps=`.
+            if let Some(verbs) = field_str(head, "verbs") {
+                Some(Response::Hello(Handshake::V1 {
+                    algorithm,
+                    verbs: verbs.split(',').map(str::to_string).collect(),
+                }))
+            } else {
+                Some(Response::Hello(Handshake::V2 {
+                    algorithm,
+                    shards: field(head, "shards")? as usize,
+                    strategy: field_str(head, "strategy")?.to_string(),
+                    caps: field_str(head, "caps")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                }))
+            }
         }
         ["staged", count] => Some(Response::Staged {
             count: count.parse().ok()?,
@@ -681,7 +858,7 @@ pub fn parse_response(block: &str) -> Option<Response> {
             m: field(head, "m")? as usize,
             status: field_str(head, "status")?.to_string(),
             iters: field(head, "iters")? as usize,
-            epoch: field(head, "epoch")?,
+            epochs: ShardEpochs::from_head(head)?,
         }),
         ["rank", v, rank, ..] => Some(Response::Rank {
             v: v.parse().ok()?,
@@ -691,7 +868,7 @@ pub fn parse_response(block: &str) -> Option<Response> {
         }),
         ["topk", ..] => Some(Response::TopK {
             entries: parse_rank_lines(&tail)?,
-            epoch: field(head, "epoch")?,
+            epochs: ShardEpochs::from_head(head)?,
             view: view_of(head),
         }),
         ["movers", ..] => {
@@ -709,7 +886,7 @@ pub fn parse_response(block: &str) -> Option<Response> {
             }
             Some(Response::Movers {
                 entries,
-                epoch: field(head, "epoch")?,
+                epochs: ShardEpochs::from_head(head)?,
                 view: view_of(head),
             })
         }
@@ -719,12 +896,13 @@ pub fn parse_response(block: &str) -> Option<Response> {
             steps: field(head, "steps")?,
             staged: field(head, "staged")? as usize,
             algo: field_str(head, "algo")?.to_string(),
-            epoch: field(head, "epoch")?,
+            epochs: ShardEpochs::from_head(head)?,
             wal: match (field(head, "wal_epoch"), field(head, "wal_bytes")) {
                 (Some(we), Some(wb)) => Some((we, wb)),
                 _ => None,
             },
             slack: field(head, "slack"),
+            queues: field_str(head, "queues").and_then(parse_u64_csv),
         }),
         ["subscribed", v, ..] => Some(Response::Subscribed {
             v: v.parse().ok()?,
@@ -863,6 +1041,9 @@ fn parse_error(msg: &str) -> Option<ServeError> {
     if let Some(rest) = msg.strip_prefix("recover failed: ") {
         return Some(ServeError::RecoverFailed(rest.to_string()));
     }
+    if let Some(verb) = msg.strip_suffix(" unavailable on a sharded server") {
+        return Some(ServeError::ShardedUnavailable(verb.to_string()));
+    }
     None
 }
 
@@ -930,6 +1111,10 @@ mod tests {
         assert_eq!(
             ServeError::RecoverFailed("checkpoint checksum mismatch".into()).to_string(),
             "recover failed: checkpoint checksum mismatch"
+        );
+        assert_eq!(
+            ServeError::ShardedUnavailable("views".into()).to_string(),
+            "views unavailable on a sharded server"
         );
     }
 
@@ -1066,18 +1251,30 @@ mod tests {
     #[test]
     fn response_roundtrip_spot_checks() {
         let samples = vec![
-            Response::Hello {
-                version: 1,
+            Response::Hello(Handshake::V1 {
                 algorithm: "DFLF".into(),
                 verbs: VERBS.iter().map(|s| s.to_string()).collect(),
-            },
+            }),
+            Response::Hello(Handshake::V2 {
+                algorithm: "DFLF".into(),
+                shards: 4,
+                strategy: "block".into(),
+                caps: vec![caps::CORE.into(), caps::SUBS.into(), caps::WAL.into()],
+            }),
             Response::Staged { count: 2 },
             Response::BatchOk {
                 batch: 2,
                 m: 1002,
                 status: "converged".into(),
                 iters: 77,
-                epoch: 1,
+                epochs: ShardEpochs::Single(1),
+            },
+            Response::BatchOk {
+                batch: 5,
+                m: 2004,
+                status: "converged".into(),
+                iters: 12,
+                epochs: ShardEpochs::Sharded(vec![3, 2, 3, 3]),
             },
             Response::Rank {
                 v: 0,
@@ -1093,7 +1290,12 @@ mod tests {
             },
             Response::TopK {
                 entries: vec![(53, 2.587890e-2), (171, 2.346116e-2)],
-                epoch: 1,
+                epochs: ShardEpochs::Single(1),
+                view: None,
+            },
+            Response::TopK {
+                entries: vec![(53, 2.587890e-2)],
+                epochs: ShardEpochs::Sharded(vec![1, 0]),
                 view: None,
             },
             Response::Movers {
@@ -1102,7 +1304,7 @@ mod tests {
                     rank: 1.5e-3,
                     delta: -2.5e-4,
                 }],
-                epoch: 3,
+                epochs: ShardEpochs::Single(3),
                 view: Some("ego".into()),
             },
             Response::Stats {
@@ -1111,9 +1313,10 @@ mod tests {
                 steps: 0,
                 staged: 0,
                 algo: "DFLF".into(),
-                epoch: 0,
+                epochs: ShardEpochs::Single(0),
                 wal: None,
                 slack: None,
+                queues: None,
             },
             Response::Stats {
                 n: 200,
@@ -1121,9 +1324,10 @@ mod tests {
                 steps: 3,
                 staged: 0,
                 algo: "DFLF".into(),
-                epoch: 3,
+                epochs: ShardEpochs::Single(3),
                 wal: Some((3, 1024)),
                 slack: None,
+                queues: None,
             },
             Response::Stats {
                 n: 200,
@@ -1131,9 +1335,10 @@ mod tests {
                 steps: 3,
                 staged: 0,
                 algo: "DFLF".into(),
-                epoch: 3,
+                epochs: ShardEpochs::Single(3),
                 wal: Some((3, 1024)),
                 slack: Some(812),
+                queues: None,
             },
             Response::Stats {
                 n: 200,
@@ -1141,9 +1346,21 @@ mod tests {
                 steps: 1,
                 staged: 0,
                 algo: "DFLF".into(),
-                epoch: 1,
+                epochs: ShardEpochs::Single(1),
                 wal: None,
                 slack: Some(790),
+                queues: None,
+            },
+            Response::Stats {
+                n: 200,
+                m: 1000,
+                steps: 7,
+                staged: 0,
+                algo: "DFLF".into(),
+                epochs: ShardEpochs::Sharded(vec![2, 1, 2, 2]),
+                wal: Some((1, 4096)),
+                slack: None,
+                queues: Some(vec![0, 3, 0, 1]),
             },
             Response::Subscribed { v: 4, eps: 1e-7 },
             Response::Unsubscribed { v: 4 },
@@ -1191,9 +1408,10 @@ mod tests {
                 steps: 0,
                 staged: 0,
                 algo: "DFLF".into(),
-                epoch: 0,
+                epochs: ShardEpochs::Single(0),
                 wal: None,
                 slack: None,
+                queues: None,
             }),
             "stats n=200 m=1000 steps=0 staged=0 algo=DFLF epoch=0"
         );
@@ -1204,9 +1422,10 @@ mod tests {
                 steps: 2,
                 staged: 0,
                 algo: "DFLF".into(),
-                epoch: 2,
+                epochs: ShardEpochs::Single(2),
                 wal: Some((2, 131)),
                 slack: None,
+                queues: None,
             }),
             "stats n=200 m=1000 steps=2 staged=0 algo=DFLF epoch=2 wal_epoch=2 wal_bytes=131"
         );
@@ -1217,9 +1436,10 @@ mod tests {
                 steps: 0,
                 staged: 0,
                 algo: "DFLF".into(),
-                epoch: 0,
+                epochs: ShardEpochs::Single(0),
                 wal: None,
                 slack: Some(812),
+                queues: None,
             }),
             "stats n=200 m=1000 steps=0 staged=0 algo=DFLF epoch=0 slack=812"
         );
@@ -1229,7 +1449,7 @@ mod tests {
                 m: 1002,
                 status: "converged".into(),
                 iters: 77,
-                epoch: 1,
+                epochs: ShardEpochs::Single(1),
             }),
             "ok batch=2 m=1002 status=converged iters=77 epoch=1"
         );
@@ -1246,6 +1466,64 @@ mod tests {
             encode_response(&Response::Error(ServeError::EdgeAlreadyStaged(10, 20))),
             "err edge (10, 20) already staged"
         );
+    }
+
+    #[test]
+    fn sharded_wire_forms_are_pinned() {
+        // The v1 hello keeps its literal version even though
+        // PROTOCOL_VERSION moved on — single-shard transcripts are
+        // byte-frozen.
+        assert_eq!(
+            encode_response(&Response::Hello(Handshake::V1 {
+                algorithm: "DFLF".into(),
+                verbs: vec!["hello".into(), "quit".into()],
+            })),
+            "hello lfpr/1 algo=DFLF verbs=hello,quit"
+        );
+        assert_eq!(
+            encode_response(&Response::Hello(Handshake::V2 {
+                algorithm: "DFLF".into(),
+                shards: 4,
+                strategy: "block".into(),
+                caps: vec![caps::CORE.into(), caps::SUBS.into()],
+            })),
+            "hello lfpr/2 algo=DFLF shards=4 strategy=block caps=core,subs"
+        );
+        assert_eq!(
+            encode_response(&Response::BatchOk {
+                batch: 3,
+                m: 14,
+                status: "converged".into(),
+                iters: 9,
+                epochs: ShardEpochs::Sharded(vec![1, 1, 0, 1]),
+            }),
+            "ok batch=3 m=14 status=converged iters=9 epochs=1,1,0,1"
+        );
+        assert_eq!(
+            encode_response(&Response::Stats {
+                n: 6,
+                m: 13,
+                steps: 2,
+                staged: 0,
+                algo: "DFLF".into(),
+                epochs: ShardEpochs::Sharded(vec![1, 1]),
+                wal: None,
+                slack: None,
+                queues: Some(vec![0, 2]),
+            }),
+            "stats n=6 m=13 steps=2 staged=0 algo=DFLF epochs=1,1 queues=0,2"
+        );
+        assert_eq!(
+            encode_response(&Response::TopK {
+                entries: vec![(3, 0.25)],
+                epochs: ShardEpochs::Sharded(vec![2, 2]),
+                view: None,
+            }),
+            "topk 1 epochs=2,2\n3 2.500000e-1"
+        );
+        assert_eq!(ShardEpochs::Sharded(vec![3, 5, 4]).newest(), 5);
+        assert_eq!(ShardEpochs::Single(7).scalar(), Some(7));
+        assert_eq!(ShardEpochs::Sharded(vec![1]).scalar(), None);
     }
 
     #[test]

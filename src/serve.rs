@@ -58,8 +58,8 @@
 
 use crate::durable::{Durability, WalStats};
 use crate::protocol::{
-    encode_response, parse_request, MoverEntry, Request, Response, ServeError, PROTOCOL_VERSION,
-    VERBS,
+    encode_response, parse_request, Handshake, MoverEntry, Request, Response, ServeError,
+    ShardEpochs, VERBS,
 };
 use crate::replica::{self, FeedHub};
 use lfpr_core::session::{RankReader, RankView, UpdateSession};
@@ -884,16 +884,16 @@ fn translate_response(resp: Response, r: &Reordering) -> Response {
         },
         Response::TopK {
             entries,
-            epoch,
+            epochs,
             view,
         } => Response::TopK {
             entries: map_entries(entries),
-            epoch,
+            epochs,
             view,
         },
         Response::Movers {
             entries,
-            epoch,
+            epochs,
             view,
         } => Response::Movers {
             entries: entries
@@ -903,7 +903,7 @@ fn translate_response(resp: Response, r: &Reordering) -> Response {
                     ..e
                 })
                 .collect(),
-            epoch,
+            epochs,
             view,
         },
         Response::Push { entries, epoch } => Response::Push {
@@ -1000,22 +1000,24 @@ pub(crate) fn process<W: Write>(
 
     let resp = match req {
         Request::Poll => unreachable!("handled by the push preamble"),
-        Request::Hello => Response::Hello {
-            version: PROTOCOL_VERSION,
+        // Single-session servers speak the v1 handshake so historical
+        // transcripts stay byte-identical; only the sharded server
+        // (`crate::shard`) answers with `Handshake::V2`.
+        Request::Hello => Response::Hello(Handshake::V1 {
             algorithm: backend.algorithm().to_string(),
             verbs: VERBS.iter().map(|s| s.to_string()).collect(),
-        },
+        }),
         Request::Insert { u, v } => {
             let view = backend.view();
             match checked_edge(&view, u, v) {
-                Ok(()) => stage_insert(&view, &mut state.staged, u, v),
+                Ok(()) => stage_insert(|u, v| view.has_edge(u, v), &mut state.staged, u, v),
                 Err(e) => Response::Error(e),
             }
         }
         Request::Delete { u, v } => {
             let view = backend.view();
             match checked_edge(&view, u, v) {
-                Ok(()) => stage_delete(&view, &mut state.staged, u, v),
+                Ok(()) => stage_delete(|u, v| view.has_edge(u, v), &mut state.staged, u, v),
                 Err(e) => Response::Error(e),
             }
         }
@@ -1054,13 +1056,13 @@ pub(crate) fn process<W: Write>(
             match name {
                 None => Response::TopK {
                     entries: view.top_k(k),
-                    epoch: view.epoch(),
+                    epochs: ShardEpochs::Single(view.epoch()),
                     view: None,
                 },
                 Some(name) => match view.top_k_in(&name, k) {
                     Some(entries) => Response::TopK {
                         entries,
-                        epoch: view.epoch(),
+                        epochs: ShardEpochs::Single(view.epoch()),
                         view: Some(name),
                     },
                     None => Response::Error(ServeError::UnknownView(name)),
@@ -1073,13 +1075,13 @@ pub(crate) fn process<W: Write>(
             match name {
                 None => Response::Movers {
                     entries: to_entries(view.movers(k)),
-                    epoch: view.epoch(),
+                    epochs: ShardEpochs::Single(view.epoch()),
                     view: None,
                 },
                 Some(name) => match view.movers_in(&name, k) {
                     Some(ds) => Response::Movers {
                         entries: to_entries(ds),
-                        epoch: view.epoch(),
+                        epochs: ShardEpochs::Single(view.epoch()),
                         view: Some(name),
                     },
                     None => Response::Error(ServeError::UnknownView(name)),
@@ -1094,9 +1096,10 @@ pub(crate) fn process<W: Write>(
                 steps: view.epoch(),
                 staged: state.staged.len(),
                 algo: backend.algorithm().to_string(),
-                epoch: view.epoch(),
+                epochs: ShardEpochs::Single(view.epoch()),
                 wal: backend.wal_stats(),
                 slack: backend.slack_stats(),
+                queues: None,
             }
         }
         Request::Subscribe { v, eps } => {
@@ -1191,7 +1194,7 @@ pub(crate) fn finish_mutation(
                     m: o.edges,
                     status: status_str(o.status).to_string(),
                     iters: o.iterations,
-                    epoch: o.epoch,
+                    epochs: ShardEpochs::Single(o.epoch),
                 }
             }
             Ok(_) => unreachable!("commit answered with a non-commit outcome"),
@@ -1253,10 +1256,19 @@ fn view_add_precheck(
     Ok(())
 }
 
-fn stage_insert(view: &CmdView<'_>, staged: &mut BatchUpdate, u: u32, v: u32) -> Response {
+/// Stage an insertion against the committed graph (`has_edge`) plus the
+/// staged set. Generic over the edge lookup so the sharded router
+/// (whose committed state is a per-shard pin) shares the exact staging
+/// rules — including insert/delete cancellation.
+pub(crate) fn stage_insert(
+    has_edge: impl Fn(u32, u32) -> bool,
+    staged: &mut BatchUpdate,
+    u: u32,
+    v: u32,
+) -> Response {
     if let Some(pos) = staged.deletions.iter().position(|&e| e == (u, v)) {
         staged.deletions.swap_remove(pos); // reinstate a staged delete
-    } else if view.has_edge(u, v) {
+    } else if has_edge(u, v) {
         return Response::Error(ServeError::EdgeExists(u, v));
     } else if staged.insertions.contains(&(u, v)) {
         return Response::Error(ServeError::EdgeAlreadyStaged(u, v));
@@ -1268,13 +1280,19 @@ fn stage_insert(view: &CmdView<'_>, staged: &mut BatchUpdate, u: u32, v: u32) ->
     }
 }
 
-fn stage_delete(view: &CmdView<'_>, staged: &mut BatchUpdate, u: u32, v: u32) -> Response {
+/// [`stage_insert`]'s deletion counterpart; same sharing rationale.
+pub(crate) fn stage_delete(
+    has_edge: impl Fn(u32, u32) -> bool,
+    staged: &mut BatchUpdate,
+    u: u32,
+    v: u32,
+) -> Response {
     if u == v {
         return Response::Error(ServeError::SelfLoopDelete(u, v));
     }
     if let Some(pos) = staged.insertions.iter().position(|&e| e == (u, v)) {
         staged.insertions.swap_remove(pos); // cancel a staged insert
-    } else if !view.has_edge(u, v) {
+    } else if !has_edge(u, v) {
         return Response::Error(ServeError::EdgeMissing(u, v));
     } else if staged.deletions.contains(&(u, v)) {
         return Response::Error(ServeError::EdgeAlreadyStaged(u, v));
@@ -1299,7 +1317,7 @@ fn refusal_or(msg: String, wrap: impl FnOnce(String) -> ServeError) -> ServeErro
     wrap(msg)
 }
 
-fn status_str(status: RunStatus) -> &'static str {
+pub(crate) fn status_str(status: RunStatus) -> &'static str {
     match status {
         RunStatus::Converged => "converged",
         RunStatus::MaxIterations => "max-iterations",

@@ -47,6 +47,7 @@ use crate::serve::{
     Backend, CommitOutcome, ConnState, MutKind, ServeSummary, WriterOk, WriterOp, WriterOutcome,
     WriterReply, WriterRequest,
 };
+use crate::shard::{serve_shard_client_reordered, ShardRouter};
 use lfpr_core::session::{RankReader, RankView, UpdateSession};
 use lfpr_core::Algorithm;
 use lfpr_graph::io::wal::WalRecord;
@@ -937,7 +938,7 @@ pub fn coalesce_batches<'a>(
 }
 
 /// Apply one coalesced writer round outside a running server — exactly
-/// the writer thread's commit path ([`flush_commits`]), with each
+/// the writer thread's commit path (`flush_commits`), with each
 /// outcome collected in input order. `batches` of length 1 take the
 /// uncoalesced singleton path; more merge through [`coalesce_batches`]
 /// into one apply (one WAL append + fsync when `durable` is live, one
@@ -1111,6 +1112,125 @@ fn flush_commits(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded TCP serving
+// ---------------------------------------------------------------------------
+
+/// A running sharded TCP server: a [`ShardRouter`] behind a
+/// thread-per-connection accept loop.
+///
+/// The sharded tier keeps the simple blocking model rather than the
+/// event engine above: a scatter/gather commit blocks its connection on
+/// N writer round trips anyway, and the sharded surface targets
+/// few-client/high-commit-pressure workloads where per-connection
+/// threads cost nothing. The event loops' single `writer` channel has
+/// no sharded analogue — each shard owns its own writer inside the
+/// router.
+pub struct ShardServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+    router: Arc<ShardRouter>,
+    totals: Arc<Mutex<ServeSummary>>,
+}
+
+impl ShardServer {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, wait for the open
+    /// connections to drain, stop every shard writer, and hand back
+    /// the shard sessions plus aggregate counters.
+    pub fn stop(self) -> (Vec<UpdateSession>, ServeSummary) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.accept.join();
+        let totals = *self.totals.lock().expect("totals poisoned");
+        let router = Arc::try_unwrap(self.router)
+            .ok()
+            .expect("a connection thread still holds the router");
+        (router.shutdown(), totals)
+    }
+
+    /// Serve until the accept loop exits — effectively forever. Used
+    /// by the CLI.
+    pub fn wait(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Start serving `listener` with one connection thread per client, all
+/// routing through `router`. A reordered router (partition computed
+/// jointly with the load-time renumbering) passes its `reorder` so the
+/// wire keeps speaking external ids.
+pub fn spawn_sharded(
+    router: ShardRouter,
+    reorder: SharedReordering,
+    listener: TcpListener,
+) -> std::io::Result<ShardServer> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let router = Arc::new(router);
+    let stop = Arc::new(AtomicBool::new(false));
+    let totals = Arc::new(Mutex::new(ServeSummary::default()));
+    let accept = {
+        let router = Arc::clone(&router);
+        let stop = Arc::clone(&stop);
+        let totals = Arc::clone(&totals);
+        std::thread::Builder::new()
+            .name("shard-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_nonblocking(false);
+                            let router = Arc::clone(&router);
+                            let totals = Arc::clone(&totals);
+                            let reorder = reorder.clone();
+                            let conn = std::thread::spawn(move || {
+                                let Ok(rd) = stream.try_clone() else {
+                                    return;
+                                };
+                                let rd = std::io::BufReader::new(rd);
+                                let wr = std::io::BufWriter::new(stream);
+                                if let Ok(sum) =
+                                    serve_shard_client_reordered(&router, &reorder, rd, wr)
+                                {
+                                    totals.lock().expect("totals poisoned").absorb(sum);
+                                }
+                            });
+                            conns.push(conn);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            // Finished connections are reaped here so a
+                            // long-lived server does not accumulate
+                            // handles; a finished thread's handle can be
+                            // dropped without joining.
+                            conns.retain(|h| !h.is_finished());
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Drain: connected clients finish their sessions before
+                // the router (and its Arc references) are released.
+                for h in conns {
+                    let _ = h.join();
+                }
+            })?
+    };
+    Ok(ShardServer {
+        addr,
+        stop,
+        accept,
+        router,
+        totals,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,1067 @@
+//! # Sharded serving tier — vertex-partitioned session shards
+//!
+//! A [`ShardRouter`] splits one logical graph across `N` independent
+//! [`UpdateSession`]s by **source ownership**: a block [`Partition`]
+//! assigns every vertex an owner shard, and shard `s`'s session holds
+//! the full vertex space but *only* the edges whose source it owns.
+//! Owned vertices therefore keep their exact global out-degrees, ids
+//! need no translation, and shard `s`'s published ranks are exact for
+//! the subsystem of intra-shard edges. Each shard runs its own writer
+//! thread, epoch counter, optional write-ahead log (under
+//! `DIR/shard-NN/`), and [`RankView`] publication.
+//!
+//! ## Routing
+//!
+//! * `insert`/`delete` stage locally and validate against the **owner
+//!   shard's** pinned snapshot (vertex `u`'s out-edges all live on
+//!   `owner(u)`).
+//! * `batch` **scatters**: the staged set is split by source owner and
+//!   the non-empty sub-batches are committed concurrently, one per
+//!   writer thread; the reply **gathers** the per-shard outcomes under
+//!   one multi-epoch `epochs=<e0>,…` stamp ([`ShardEpochs::Sharded`]).
+//!   Shards a batch never touched keep their epoch — that is why the
+//!   stamp is a vector.
+//! * `rank`/`subscribe` route to `owner(v)`; `topk`/`movers`/`stats`
+//!   merge across shards (per-shard candidates, then one global order).
+//!
+//! ## Cross-shard edges: the exchange round
+//!
+//! Intra-shard ranks miss the contributions flowing along crossing
+//! edges (`owner(u) ≠ owner(v)`). After every scatter/gather commit the
+//! router runs **boundary rank-exchange rounds**: each shard exports
+//! `α·r(u)/d(u)` along every crossing edge `u→v` (the post-commit ranks
+//! of its boundary vertices), the router deposits those as residuals on
+//! the owning shards, and each round forward-pushes the residuals
+//! through intra-shard edges only — accumulating an additive
+//! *correction* vector — while pushes along crossing edges become the
+//! next round's residuals. Served ranks are always
+//! `shard rank + correction`.
+//!
+//! **Staleness bound.** One round attenuates the un-delivered residual
+//! mass by at least `α` (every edge traversal, local or crossing, costs
+//! a factor `α/d · d = α` in total mass, so re-circulating locally can
+//! only shrink what is left to export). After `K` rounds the L1 error
+//! of the served ranks is at most `α^(K+1)/(1−α)` — with the default
+//! `K = 128` and `α = 0.85` that is ≈ `5·10⁻⁹`, and the rounds
+//! early-exit long before the cap once the exported mass falls under
+//! `10⁻¹³`. When the partition has **no crossing edges** the exchange
+//! is a no-op and served ranks are bit-identical to each shard's
+//! session — and, at `threads = 1`, to an unsharded session over the
+//! same graph for any run whose commits each touch a single shard
+//! (`tests/shard_oracle.rs` pins this bitwise). A commit spanning
+//! shards converges every affected region against one shared stopping
+//! gate in the unsharded kernel — early-converging regions keep
+//! getting swept — so such histories agree to the τ neighbourhood
+//! instead of the bit.
+//!
+//! Movers are reported from per-shard session deltas (filtered to the
+//! shard's owned range); their `rank` column is correction-adjusted so
+//! it always matches what `rank` would answer. Note the per-shard
+//! deltas date from each shard's **own** latest commit: after a commit
+//! that touched only shard `s`, the merged `movers` still surfaces
+//! other shards' older movement — the reply's epoch vector says
+//! exactly which commit each shard's contribution reflects.
+
+use crate::durable::{Durability, DurabilityOptions, WalStats};
+use crate::protocol::{
+    caps, parse_request, Handshake, MoverEntry, Request, Response, ServeError, ShardEpochs,
+};
+use crate::serve::{
+    apply_logged, reply, stage_delete, stage_insert, status_str, translate_request, ServeSummary,
+    WriterOk, WriterOp, WriterReply, WriterRequest,
+};
+use lfpr_core::session::{RankReader, RankView, UpdateSession};
+use lfpr_core::{Algorithm, PagerankOptions, RunStatus};
+use lfpr_graph::reorder::SharedReordering;
+use lfpr_graph::{BatchUpdate, DynGraph, Partition};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+
+/// Default cap on exchange rounds per commit (`K`). Residual mass
+/// contracts by at least `α` per round, so the served-rank L1 error is
+/// bounded by `α^(K+1)/(1−α)` — ≈ `5·10⁻⁹` at the default `α = 0.85`.
+pub const DEFAULT_EXCHANGE_ROUNDS: usize = 128;
+
+/// Exchange rounds stop early once the total exported residual mass
+/// falls below this (the remaining correction is smaller still).
+const EXCHANGE_MASS_TOL: f64 = 1e-13;
+
+/// Residuals below this are left in place rather than re-queued during
+/// a local forward-push (they can never move a served rank digit).
+const PUSH_TOL: f64 = 1e-16;
+
+/// Construction-time knobs for a [`ShardRouter`].
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Cap on exchange rounds per commit (`K` in the staleness bound).
+    pub exchange_rounds: usize,
+    /// When set, every shard logs to `dir/shard-NN/` with `durability`.
+    pub wal_dir: Option<PathBuf>,
+    /// Per-shard durability tunables (ignored without `wal_dir`).
+    pub durability: DurabilityOptions,
+}
+
+impl ShardSpec {
+    /// A spec with default exchange depth and no durability.
+    pub fn new(shards: usize) -> Self {
+        ShardSpec {
+            shards,
+            exchange_rounds: DEFAULT_EXCHANGE_ROUNDS,
+            wal_dir: None,
+            durability: DurabilityOptions::default(),
+        }
+    }
+}
+
+/// One shard as the router sees it: the channel into its writer
+/// thread, its queue-depth gauge, and its read-side publication.
+struct ShardHandle {
+    tx: mpsc::Sender<WriterRequest>,
+    /// Writer requests accepted but not yet applied — the `stats`
+    /// back-pressure signal (`queues=`).
+    queue: Arc<AtomicU64>,
+    reader: RankReader,
+    wal: Option<Arc<WalStats>>,
+}
+
+/// The merged outcome of one scatter/gather commit.
+#[derive(Debug, Clone)]
+pub struct ShardCommit {
+    /// The client's staged size (what its reply reports).
+    pub batch: usize,
+    /// Global edge count after the commit (summed across shards).
+    pub m: usize,
+    /// Worst per-shard refresh status (`stalled` > `max-iterations` >
+    /// `converged`).
+    pub status: String,
+    /// Largest per-shard iteration count.
+    pub iters: usize,
+    /// Post-commit epoch of every shard, in shard order.
+    pub epochs: Vec<u64>,
+    /// Exchange rounds the post-commit correction pass used.
+    pub rounds: usize,
+}
+
+/// The sharded serving core: N session shards behind one routing
+/// surface. See the module docs for the partitioning and exchange
+/// semantics. All methods take `&self`; one router is shared by every
+/// connection of the sharded TCP server.
+pub struct ShardRouter {
+    part: Partition,
+    algorithm: Algorithm,
+    alpha: f64,
+    n: usize,
+    max_rounds: usize,
+    shards: Vec<ShardHandle>,
+    handles: Vec<JoinHandle<UpdateSession>>,
+    /// Correction overlay from the latest exchange: `None` means all
+    /// zero (no crossing edges — the bit-identity fast path).
+    corr: RwLock<Option<Arc<Vec<f64>>>>,
+    /// Serializes exchange passes (each pins its own views).
+    exchange_lock: Mutex<()>,
+    /// Live count of edges crossing the partition, maintained from the
+    /// committed sub-batches. While it is zero the exchange pass skips
+    /// its O(n + m) boundary scan entirely — on a partition the
+    /// workload never crosses, commits stay pure writer work (this is
+    /// what keeps the fsync-dominated shard-scaling bench honest).
+    crossing: AtomicI64,
+}
+
+impl ShardRouter {
+    /// Partition `graph` into `spec.shards` block shards and start one
+    /// session + writer thread per shard. Runs one exchange pass so
+    /// epoch-0 reads are already corrected.
+    pub fn new(
+        graph: DynGraph,
+        algorithm: Algorithm,
+        opts: PagerankOptions,
+        spec: ShardSpec,
+    ) -> Result<ShardRouter, String> {
+        let part = Partition::block(graph.num_vertices(), spec.shards)?;
+        Self::with_partition(graph, part, algorithm, opts, spec)
+    }
+
+    /// [`new`](Self::new) with a caller-computed partition (the CLI
+    /// computes it jointly with the load-time reordering).
+    pub fn with_partition(
+        graph: DynGraph,
+        part: Partition,
+        algorithm: Algorithm,
+        opts: PagerankOptions,
+        spec: ShardSpec,
+    ) -> Result<ShardRouter, String> {
+        if part.num_vertices() != graph.num_vertices() {
+            return Err(format!(
+                "partition covers {} vertices but the graph has {}",
+                part.num_vertices(),
+                graph.num_vertices()
+            ));
+        }
+        let n = graph.num_vertices();
+        let alpha = opts.alpha;
+        let mut shards = Vec::with_capacity(part.shards());
+        let mut handles = Vec::with_capacity(part.shards());
+        for s in 0..part.shards() {
+            let mut session =
+                UpdateSession::new(part.shard_graph(&graph, s), algorithm, opts.clone());
+            session.enable_delta_tracking();
+            let durable = match &spec.wal_dir {
+                Some(dir) => Some(Durability::create(
+                    &crate::durable::shard_dir(dir, s),
+                    &mut session,
+                    spec.durability.clone(),
+                )?),
+                None => None,
+            };
+            let reader = session.reader();
+            let wal = durable.as_ref().map(|d| d.stats_handle());
+            let queue = Arc::new(AtomicU64::new(0));
+            let (tx, rx) = mpsc::channel::<WriterRequest>();
+            let gauge = Arc::clone(&queue);
+            let handle = thread::Builder::new()
+                .name(format!("shard-{s}"))
+                .spawn(move || shard_writer(session, durable, rx, gauge))
+                .map_err(|e| format!("cannot spawn shard {s} writer: {e}"))?;
+            shards.push(ShardHandle {
+                tx,
+                queue,
+                reader,
+                wal,
+            });
+            handles.push(handle);
+        }
+        let crossing = part.crossing_edges(&graph).len() as i64;
+        let router = ShardRouter {
+            part,
+            algorithm,
+            alpha,
+            n,
+            max_rounds: spec.exchange_rounds.max(1),
+            shards,
+            handles,
+            corr: RwLock::new(None),
+            exchange_lock: Mutex::new(()),
+            crossing: AtomicI64::new(crossing),
+        };
+        router.exchange();
+        Ok(router)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Vertex count of the logical graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The vertex partition.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// The algorithm every shard runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Whether the shards log to write-ahead logs.
+    pub fn durable(&self) -> bool {
+        self.shards.iter().any(|s| s.wal.is_some())
+    }
+
+    /// Current writer queue depth per shard.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.queue.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// The v2 handshake advertising the shard topology and exactly the
+    /// capabilities this surface serves (no `views`, no `follow`).
+    pub fn handshake(&self) -> Handshake {
+        let mut c = vec![caps::CORE.to_string(), caps::SUBS.to_string()];
+        if self.durable() {
+            c.push(caps::WAL.to_string());
+        }
+        Handshake::V2 {
+            algorithm: self.algorithm.to_string(),
+            shards: self.shards.len(),
+            strategy: self.part.strategy().to_string(),
+            caps: c,
+        }
+    }
+
+    /// Pin a coherent read: every shard's latest view plus the current
+    /// correction overlay.
+    pub fn pin(&self) -> ShardPin<'_> {
+        ShardPin {
+            router: self,
+            views: self.pin_views(),
+            corr: self.corr.read().expect("correction slot poisoned").clone(),
+        }
+    }
+
+    fn pin_views(&self) -> Vec<Arc<RankView>> {
+        self.shards.iter().map(|s| s.reader.view()).collect()
+    }
+
+    /// Merged WAL position: the *oldest* shard epoch on stable storage
+    /// and the summed log bytes. `None` without durability.
+    pub fn wal_stats(&self) -> Option<(u64, u64)> {
+        let mut epoch = u64::MAX;
+        let mut bytes = 0u64;
+        let mut any = false;
+        for s in &self.shards {
+            let w = s.wal.as_ref()?;
+            any = true;
+            epoch = epoch.min(w.epoch());
+            bytes += w.bytes();
+        }
+        if any {
+            Some((epoch, bytes))
+        } else {
+            None
+        }
+    }
+
+    /// Scatter `batch` by source owner, commit the non-empty
+    /// sub-batches concurrently, gather the outcomes, then run the
+    /// exchange pass. On any sub-batch rejection the *rejected* edits
+    /// come back for re-staging with a shard-tagged message — the other
+    /// sub-batches have already committed (the scatter is not atomic
+    /// across shards; `docs/SHARDING.md` spells this out).
+    pub fn commit(&self, batch: BatchUpdate) -> Result<ShardCommit, (BatchUpdate, String)> {
+        let k = batch.len();
+        let mut pending = Vec::new();
+        let mut failed: Vec<BatchUpdate> = Vec::new();
+        let mut first_err: Option<String> = None;
+        for (s, sub) in self.part.split_batch(&batch).into_iter().enumerate() {
+            if sub.is_empty() {
+                continue; // untouched shards keep their epoch
+            }
+            // Net crossing edges this sub-batch would add, charged to
+            // the live count only if the shard accepts it (a shard
+            // session applies all-or-nothing).
+            let cross = |edges: &[(u32, u32)]| {
+                edges
+                    .iter()
+                    .filter(|&&(u, v)| self.part.owner(u) != self.part.owner(v))
+                    .count() as i64
+            };
+            let crossing_delta = cross(&sub.insertions) - cross(&sub.deletions);
+            let (otx, orx) = mpsc::sync_channel(1);
+            self.shards[s].queue.fetch_add(1, Ordering::AcqRel);
+            let req = WriterRequest {
+                op: WriterOp::Commit(sub),
+                reply: WriterReply::Sync(otx),
+            };
+            match self.shards[s].tx.send(req) {
+                Ok(()) => pending.push((s, orx, crossing_delta)),
+                Err(mpsc::SendError(req)) => {
+                    self.shards[s].queue.fetch_sub(1, Ordering::AcqRel);
+                    if let WriterOp::Commit(sub) = req.op {
+                        failed.push(sub);
+                    }
+                    first_err.get_or_insert(format!("shard {s}: server shutting down"));
+                }
+            }
+        }
+        let mut status = RunStatus::Converged;
+        let mut iters = 0usize;
+        for (s, orx, crossing_delta) in pending {
+            match orx.recv() {
+                Ok(Ok(WriterOk::Committed(o))) => {
+                    iters = iters.max(o.iterations);
+                    status = worse_of(status, o.status);
+                    self.crossing.fetch_add(crossing_delta, Ordering::AcqRel);
+                }
+                Ok(Ok(_)) => unreachable!("commit answered with a non-commit outcome"),
+                Ok(Err((op, msg))) => {
+                    if let WriterOp::Commit(sub) = op {
+                        failed.push(sub);
+                    }
+                    first_err.get_or_insert(format!("shard {s}: {msg}"));
+                }
+                Err(_) => {
+                    first_err.get_or_insert(format!("shard {s}: writer thread died"));
+                }
+            }
+        }
+        // Shards that accepted their sub-batch have moved whether or
+        // not a sibling refused — refresh the corrections either way.
+        let rounds = self.exchange();
+        if let Some(msg) = first_err {
+            let mut rest = BatchUpdate::new();
+            for f in failed {
+                rest.insertions.extend(f.insertions);
+                rest.deletions.extend(f.deletions);
+            }
+            return Err((rest, msg));
+        }
+        let views = self.pin_views();
+        Ok(ShardCommit {
+            batch: k,
+            m: views.iter().map(|v| v.snapshot().num_edges()).sum(),
+            status: status_str(status).to_string(),
+            iters,
+            epochs: views.iter().map(|v| v.epoch()).collect(),
+            rounds,
+        })
+    }
+
+    /// One full exchange pass against the current published views:
+    /// seed residuals from every crossing edge, then run ≤ `K` rounds
+    /// of intra-shard forward-push with cross-edge exports (module
+    /// docs). Publishes the new correction overlay and returns the
+    /// number of rounds used (0 when the partition has no crossing
+    /// edges — the overlay is then dropped entirely, which is what
+    /// makes the no-crossing case bit-identical).
+    pub fn exchange(&self) -> usize {
+        // Fast path: while the committed graph has no crossing edges
+        // there is nothing to exchange — don't pay the boundary scan.
+        if self.crossing.load(Ordering::Acquire) == 0 {
+            *self.corr.write().expect("correction slot poisoned") = None;
+            return 0;
+        }
+        let _serialize = self.exchange_lock.lock().expect("exchange lock poisoned");
+        let views = self.pin_views();
+        let n = self.n;
+        let mut res = vec![0.0f64; n];
+        let mut active: Vec<u32> = Vec::new();
+        for (s, view) in views.iter().enumerate() {
+            let snap = view.snapshot();
+            let ranks = view.ranks();
+            for u in self.part.owned_range(s) {
+                let outs = snap.out(u);
+                if outs.is_empty() {
+                    continue;
+                }
+                let w = self.alpha * ranks[u as usize] / outs.len() as f64;
+                for &v in outs {
+                    if self.part.owner(v) != s {
+                        if res[v as usize] == 0.0 {
+                            active.push(v);
+                        }
+                        res[v as usize] += w;
+                    }
+                }
+            }
+        }
+        if active.is_empty() {
+            *self.corr.write().expect("correction slot poisoned") = None;
+            return 0;
+        }
+        let mut corr = vec![0.0f64; n];
+        let mut in_queue = vec![false; n];
+        let mut rounds = 0usize;
+        while rounds < self.max_rounds && !active.is_empty() {
+            rounds += 1;
+            // Local solve: drain this round's residuals through
+            // intra-shard edges; crossing pushes become next round's
+            // residuals ("boundary export").
+            let mut queue: VecDeque<u32> = VecDeque::with_capacity(active.len());
+            for v in active.drain(..) {
+                if !in_queue[v as usize] {
+                    in_queue[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+            let mut exported = vec![0.0f64; n];
+            let mut exported_mass = 0.0f64;
+            while let Some(v) = queue.pop_front() {
+                in_queue[v as usize] = false;
+                let r = std::mem::replace(&mut res[v as usize], 0.0);
+                if r == 0.0 {
+                    continue;
+                }
+                corr[v as usize] += r;
+                let s = self.part.owner(v);
+                let snap = views[s].snapshot();
+                let outs = snap.out(v);
+                if outs.is_empty() {
+                    continue;
+                }
+                let w = self.alpha * r / outs.len() as f64;
+                for &x in outs {
+                    if self.part.owner(x) == s {
+                        res[x as usize] += w;
+                        if !in_queue[x as usize] && res[x as usize].abs() > PUSH_TOL {
+                            in_queue[x as usize] = true;
+                            queue.push_back(x);
+                        }
+                    } else {
+                        if exported[x as usize] == 0.0 {
+                            active.push(x);
+                        }
+                        exported[x as usize] += w;
+                        exported_mass += w.abs();
+                    }
+                }
+            }
+            if exported_mass <= EXCHANGE_MASS_TOL {
+                active.clear();
+                break;
+            }
+            res = exported;
+        }
+        if !active.is_empty() {
+            eprintln!(
+                "# exchange hit the {}-round cap with residual mass still in flight \
+                 (staleness within the documented bound)",
+                self.max_rounds
+            );
+        }
+        *self.corr.write().expect("correction slot poisoned") = Some(Arc::new(corr));
+        rounds
+    }
+
+    /// Stop every writer thread and hand back the shard sessions (in
+    /// shard order) for inspection or checkpointing.
+    pub fn shutdown(self) -> Vec<UpdateSession> {
+        drop(self.shards); // the writers' only senders
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("shard writer panicked"))
+            .collect()
+    }
+}
+
+/// One shard's writer loop: apply every request in order (logging to
+/// the shard WAL first when durable), decrement the queue gauge, ack.
+/// Ends when the router drops the senders; flushes the WAL on the way
+/// out so graceful shutdown leaves the log clean.
+fn shard_writer(
+    mut session: UpdateSession,
+    mut durable: Option<Durability>,
+    rx: mpsc::Receiver<WriterRequest>,
+    queue: Arc<AtomicU64>,
+) -> UpdateSession {
+    while let Ok(req) = rx.recv() {
+        let outcome = apply_logged(&mut session, durable.as_mut(), None, req.op);
+        queue.fetch_sub(1, Ordering::AcqRel);
+        req.reply.deliver(outcome);
+    }
+    if let Some(d) = durable.as_mut() {
+        if let Err(e) = d.flush_sync() {
+            eprintln!("# shard wal flush on shutdown failed: {e}");
+        }
+    }
+    session
+}
+
+/// Severity order for merging per-shard refresh statuses.
+fn worse_of(a: RunStatus, b: RunStatus) -> RunStatus {
+    let sev = |s: RunStatus| match s {
+        RunStatus::Converged => 0,
+        RunStatus::MaxIterations => 1,
+        RunStatus::Stalled => 2,
+    };
+    if sev(b) > sev(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// A coherent sharded read: every shard's pinned view plus the
+/// correction overlay in force when the pin was taken. All served
+/// values come through here so a reply never mixes epochs mid-command.
+pub struct ShardPin<'a> {
+    router: &'a ShardRouter,
+    views: Vec<Arc<RankView>>,
+    corr: Option<Arc<Vec<f64>>>,
+}
+
+impl ShardPin<'_> {
+    /// Corrected rank of `v` (owner shard's rank + overlay).
+    pub fn rank(&self, v: u32) -> f64 {
+        let s = self.router.part.owner(v);
+        let base = self.views[s].ranks()[v as usize];
+        match &self.corr {
+            Some(c) => base + c[v as usize],
+            None => base,
+        }
+    }
+
+    /// Epoch of the shard owning `v` (the scalar stamp on `rank`).
+    pub fn owner_epoch(&self, v: u32) -> u64 {
+        self.views[self.router.part.owner(v)].epoch()
+    }
+
+    /// Every shard's pinned epoch, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.views.iter().map(|v| v.epoch()).collect()
+    }
+
+    /// The newest pinned epoch (the scalar stamp on `push` blocks).
+    pub fn newest_epoch(&self) -> u64 {
+        self.views.iter().map(|v| v.epoch()).max().unwrap_or(0)
+    }
+
+    /// Vertex count of the logical graph.
+    pub fn num_vertices(&self) -> usize {
+        self.router.n
+    }
+
+    /// Global edge count (summed shard-local counts — source ownership
+    /// makes the shard edge sets disjoint and exhaustive).
+    pub fn num_edges(&self) -> usize {
+        self.views.iter().map(|v| v.snapshot().num_edges()).sum()
+    }
+
+    /// Whether edge `(u, v)` exists, answered by `owner(u)`.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.views[self.router.part.owner(u)]
+            .snapshot()
+            .has_edge(u, v)
+    }
+
+    /// Merged top-k over corrected ranks: per-shard candidates from
+    /// each owned range, then one global ordering (rank descending,
+    /// ties by id — the session's own comparator, so the no-crossing
+    /// case reproduces the unsharded list exactly).
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        let mut cand: Vec<(u32, f64)> = Vec::new();
+        for (s, view) in self.views.iter().enumerate() {
+            let range = self.router.part.owned_range(s);
+            match &self.corr {
+                None => cand.extend(view.top_k_range(k, range)),
+                Some(c) => {
+                    let mut owned: Vec<(u32, f64)> = range
+                        .map(|v| (v, view.ranks()[v as usize] + c[v as usize]))
+                        .collect();
+                    owned.sort_unstable_by(|a, b| {
+                        b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+                    });
+                    owned.truncate(k);
+                    cand.extend(owned);
+                }
+            }
+        }
+        cand.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        cand.truncate(k);
+        cand
+    }
+
+    /// Merged movers: per-shard session deltas filtered to each owned
+    /// range, ordered by |Δ| descending (ties by id). The `rank` column
+    /// is correction-adjusted so it agrees with [`rank`](Self::rank);
+    /// the deltas themselves are the shards' own epoch-over-epoch
+    /// changes.
+    pub fn movers(&self, k: usize) -> Vec<MoverEntry> {
+        let mut all: Vec<MoverEntry> = Vec::new();
+        for (s, view) in self.views.iter().enumerate() {
+            let range = self.router.part.owned_range(s);
+            for d in view.deltas() {
+                if range.contains(&d.vertex) {
+                    let mut e = MoverEntry::from(*d);
+                    if let Some(c) = &self.corr {
+                        e.rank += c[d.vertex as usize];
+                    }
+                    all.push(e);
+                }
+            }
+        }
+        all.sort_unstable_by(|a, b| {
+            b.delta
+                .abs()
+                .partial_cmp(&a.delta.abs())
+                .unwrap()
+                .then(a.v.cmp(&b.v))
+        });
+        all.truncate(k);
+        all
+    }
+}
+
+/// One sharded client's subscription to a vertex's corrected rank.
+struct ShardSub {
+    eps: f64,
+    baseline: f64,
+}
+
+/// Per-connection protocol state of the sharded surface (the sharded
+/// sibling of `serve::ConnState`).
+#[derive(Default)]
+struct ShardConnState {
+    staged: BatchUpdate,
+    subs: BTreeMap<u32, ShardSub>,
+}
+
+impl ShardConnState {
+    /// Subscribed vertices whose *corrected* rank drifted past eps
+    /// since their baseline (eps 0 = any bitwise change), baselines
+    /// updated for the collected ones.
+    fn drain_pushes(&mut self, pin: &ShardPin<'_>) -> Vec<(u32, f64)> {
+        let mut pushed = Vec::new();
+        for (&v, sub) in self.subs.iter_mut() {
+            let r = pin.rank(v);
+            let drifted = if sub.eps == 0.0 {
+                r.to_bits() != sub.baseline.to_bits()
+            } else {
+                (r - sub.baseline).abs() > sub.eps
+            };
+            if drifted {
+                sub.baseline = r;
+                pushed.push((v, r));
+            }
+        }
+        pushed
+    }
+}
+
+/// Drive one client of the sharded surface with the line protocol from
+/// `input` until EOF or `quit` — the sharded counterpart of
+/// `serve::serve_client`, shared by the stdin mode and every TCP
+/// connection thread.
+pub fn serve_shard_client<R: BufRead, W: Write>(
+    router: &ShardRouter,
+    input: R,
+    out: W,
+) -> std::io::Result<ServeSummary> {
+    serve_shard_client_reordered(router, &None, input, out)
+}
+
+/// [`serve_shard_client`] for a router whose graph was renumbered at
+/// load time (the partition is computed jointly with the reordering):
+/// requests translate external→internal ids on the way in, replies
+/// translate back on the way out, exactly like the single-session
+/// server's reordered paths.
+pub fn serve_shard_client_reordered<R: BufRead, W: Write>(
+    router: &ShardRouter,
+    reorder: &SharedReordering,
+    input: R,
+    mut out: W,
+) -> std::io::Result<ServeSummary> {
+    let mut state = ShardConnState::default();
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        let Some(parsed) = parse_request(&line) else {
+            continue; // blank or comment: no command, no reply
+        };
+        summary.commands += 1;
+        let quit = match parsed {
+            Ok(req) => {
+                let req = match reorder.as_deref() {
+                    Some(r) => translate_request(req, r),
+                    None => req,
+                };
+                shard_process(router, reorder, &mut state, &mut summary, req, &mut out)?
+            }
+            Err(e) => {
+                reply(&mut out, reorder, &Response::Error(e))?;
+                false
+            }
+        };
+        out.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+/// Handle one parsed command against the router. Returns whether the
+/// client said `quit`. Mirrors `serve::process` — same push preamble,
+/// same staging rules — with reads answered from one [`ShardPin`] and
+/// the out-of-surface verbs refused by name.
+fn shard_process<W: Write>(
+    router: &ShardRouter,
+    reorder: &SharedReordering,
+    state: &mut ShardConnState,
+    summary: &mut ServeSummary,
+    req: Request,
+    out: &mut W,
+) -> std::io::Result<bool> {
+    // Pin the committed state this command answers from and piggyback
+    // pending pushes first, exactly like the single-session server.
+    {
+        let pin = router.pin();
+        let is_poll = matches!(req, Request::Poll);
+        let pushed = state.drain_pushes(&pin);
+        if is_poll || !pushed.is_empty() {
+            summary.pushes += 1;
+            reply(
+                out,
+                reorder,
+                &Response::Push {
+                    entries: pushed,
+                    epoch: pin.newest_epoch(),
+                },
+            )?;
+        }
+        if is_poll {
+            return Ok(false);
+        }
+    }
+    let unavailable =
+        |what: &str| Response::Error(ServeError::ShardedUnavailable(what.to_string()));
+    let resp = match req {
+        Request::Poll => unreachable!("handled by the push preamble"),
+        Request::Hello => Response::Hello(router.handshake()),
+        Request::Insert { u, v } => {
+            let pin = router.pin();
+            match shard_checked(&pin, u, v) {
+                Ok(()) => stage_insert(|u, v| pin.has_edge(u, v), &mut state.staged, u, v),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Delete { u, v } => {
+            let pin = router.pin();
+            match shard_checked(&pin, u, v) {
+                Ok(()) => stage_delete(|u, v| pin.has_edge(u, v), &mut state.staged, u, v),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Batch => {
+            let batch = std::mem::take(&mut state.staged);
+            let k = batch.len();
+            match router.commit(batch) {
+                Ok(o) => {
+                    summary.batches += 1;
+                    summary.updates += k as u64;
+                    Response::BatchOk {
+                        batch: k,
+                        m: o.m,
+                        status: o.status,
+                        iters: o.iters,
+                        epochs: ShardEpochs::Sharded(o.epochs),
+                    }
+                }
+                Err((rest, msg)) => {
+                    state.staged = rest; // the *rejected* edits survive
+                    Response::Error(ServeError::BatchRejected(msg))
+                }
+            }
+        }
+        Request::Rank { view: Some(_), .. } => unavailable("views"),
+        Request::Rank { v, view: None } => {
+            let pin = router.pin();
+            if (v as usize) < pin.num_vertices() {
+                Response::Rank {
+                    v,
+                    rank: pin.rank(v),
+                    epoch: pin.owner_epoch(v),
+                    view: None,
+                }
+            } else {
+                Response::Error(ServeError::UnknownVertex(v.to_string()))
+            }
+        }
+        Request::TopK { view: Some(_), .. } => unavailable("views"),
+        Request::TopK { k, view: None } => {
+            let pin = router.pin();
+            Response::TopK {
+                entries: pin.top_k(k),
+                epochs: ShardEpochs::Sharded(pin.epochs()),
+                view: None,
+            }
+        }
+        Request::Movers { view: Some(_), .. } => unavailable("views"),
+        Request::Movers { k, view: None } => {
+            let pin = router.pin();
+            Response::Movers {
+                entries: pin.movers(k),
+                epochs: ShardEpochs::Sharded(pin.epochs()),
+                view: None,
+            }
+        }
+        Request::Stats => {
+            let pin = router.pin();
+            Response::Stats {
+                n: pin.num_vertices(),
+                m: pin.num_edges(),
+                steps: pin.epochs().iter().sum(),
+                staged: state.staged.len(),
+                algo: router.algorithm().to_string(),
+                epochs: ShardEpochs::Sharded(pin.epochs()),
+                wal: router.wal_stats(),
+                slack: None,
+                queues: Some(router.queue_depths()),
+            }
+        }
+        Request::Subscribe { v, eps } => {
+            let pin = router.pin();
+            if (v as usize) < pin.num_vertices() {
+                let baseline = pin.rank(v);
+                state.subs.insert(v, ShardSub { eps, baseline });
+                Response::Subscribed { v, eps }
+            } else {
+                Response::Error(ServeError::VertexOutOfRange {
+                    id: v,
+                    n: pin.num_vertices(),
+                })
+            }
+        }
+        Request::Unsubscribe { v } => {
+            if state.subs.remove(&v).is_some() {
+                Response::Unsubscribed { v }
+            } else {
+                Response::Error(ServeError::NotSubscribed(v))
+            }
+        }
+        Request::ViewAdd { .. } | Request::ViewDrop { .. } | Request::Views => unavailable("views"),
+        Request::Follow { .. } => unavailable("follow"),
+        Request::Quit => {
+            reply(out, reorder, &Response::Bye)?;
+            return Ok(true);
+        }
+    };
+    reply(out, reorder, &resp)?;
+    Ok(false)
+}
+
+fn shard_checked(pin: &ShardPin<'_>, u: u32, v: u32) -> Result<(), ServeError> {
+    let n = pin.num_vertices();
+    for id in [u, v] {
+        if id as usize >= n {
+            return Err(ServeError::VertexOutOfRange { id, n });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfpr_graph::selfloops::add_self_loops;
+    use lfpr_graph::GraphBuilder;
+
+    fn ring_graph(n: usize) -> DynGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+        let mut g = GraphBuilder::new(n).edges(edges).build_dyn().unwrap();
+        add_self_loops(&mut g);
+        g
+    }
+
+    /// Two disconnected cliques split exactly at the block boundary:
+    /// no crossing edges.
+    fn two_blocks() -> DynGraph {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        for u in 4..8u32 {
+            for v in 4..8u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let mut g = GraphBuilder::new(8).edges(edges).build_dyn().unwrap();
+        add_self_loops(&mut g);
+        g
+    }
+
+    fn opts() -> PagerankOptions {
+        PagerankOptions::default().with_threads(1)
+    }
+
+    #[test]
+    fn no_crossing_edges_skip_the_exchange_entirely() {
+        let router =
+            ShardRouter::new(two_blocks(), Algorithm::DfLF, opts(), ShardSpec::new(2)).unwrap();
+        assert_eq!(router.exchange(), 0);
+        assert!(router.corr.read().unwrap().is_none());
+        let single = UpdateSession::new(two_blocks(), Algorithm::DfLF, opts());
+        let pin = router.pin();
+        for v in 0..8u32 {
+            assert_eq!(
+                pin.rank(v).to_bits(),
+                single.rank(v).to_bits(),
+                "vertex {v} differs from the unsharded session"
+            );
+        }
+        router.shutdown();
+    }
+
+    #[test]
+    fn crossing_ring_corrections_converge_to_the_unsharded_ranks() {
+        let router =
+            ShardRouter::new(ring_graph(12), Algorithm::DfLF, opts(), ShardSpec::new(3)).unwrap();
+        let single = UpdateSession::new(ring_graph(12), Algorithm::DfLF, opts());
+        let pin = router.pin();
+        for v in 0..12u32 {
+            let diff = (pin.rank(v) - single.rank(v)).abs();
+            assert!(
+                diff < 1e-9,
+                "vertex {v}: sharded {} vs single {} (diff {diff:e})",
+                pin.rank(v),
+                single.rank(v)
+            );
+        }
+        router.shutdown();
+    }
+
+    #[test]
+    fn scatter_gather_commit_reports_per_shard_epochs() {
+        let router =
+            ShardRouter::new(ring_graph(8), Algorithm::DfLF, opts(), ShardSpec::new(4)).unwrap();
+        // One edge into shard 0's range and one into shard 2's: shards
+        // 1 and 3 must keep epoch 0.
+        let mut batch = BatchUpdate::new();
+        batch.insertions.push((0, 3));
+        batch.insertions.push((4, 7));
+        let o = router.commit(batch).unwrap();
+        assert_eq!(o.batch, 2);
+        assert_eq!(o.epochs, vec![1, 0, 1, 0]);
+        let pin = router.pin();
+        assert!(pin.has_edge(0, 3) && pin.has_edge(4, 7));
+        assert_eq!(pin.num_edges(), 8 + 8 + 2);
+        router.shutdown();
+    }
+
+    #[test]
+    fn sharded_client_speaks_v2_and_refuses_views_and_follow() {
+        let router =
+            ShardRouter::new(ring_graph(8), Algorithm::DfLF, opts(), ShardSpec::new(2)).unwrap();
+        let script = "hello\nviews\nfollow\nview add ego 1\ntopk 2 ego\nquit\n";
+        let mut out = Vec::new();
+        serve_shard_client(&router, script.as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "hello lfpr/2 algo=DFLF shards=2 strategy=block caps=core,subs"
+        );
+        assert_eq!(lines[1], "err views unavailable on a sharded server");
+        assert_eq!(lines[2], "err follow unavailable on a sharded server");
+        assert_eq!(lines[3], "err views unavailable on a sharded server");
+        assert_eq!(lines[4], "err views unavailable on a sharded server");
+        assert_eq!(lines[5], "bye");
+        router.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_queue_depths_and_summed_edges() {
+        let router =
+            ShardRouter::new(ring_graph(9), Algorithm::DfLF, opts(), ShardSpec::new(3)).unwrap();
+        let script = "insert 0 2\nbatch\nstats\nquit\n";
+        let mut out = Vec::new();
+        serve_shard_client(&router, script.as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let stats = out
+            .lines()
+            .find(|l| l.starts_with("stats "))
+            .expect("no stats reply");
+        assert!(stats.contains(" m=19 "), "bad edge sum in {stats:?}");
+        assert!(stats.contains("epochs=1,0,0"), "bad epochs in {stats:?}");
+        assert!(stats.ends_with("queues=0,0,0"), "bad queues in {stats:?}");
+        router.shutdown();
+    }
+}

@@ -7,8 +7,8 @@ use lockfree_pagerank::graph::csr::Csr;
 use lockfree_pagerank::graph::selfloops::add_self_loops;
 use lockfree_pagerank::graph::{DynGraph, GraphBuilder};
 use lockfree_pagerank::protocol::{
-    continuation_lines, encode_request, encode_response, parse_request, parse_response, MoverEntry,
-    Request, Response, ServeError, VERBS,
+    caps, continuation_lines, encode_request, encode_response, parse_request, parse_response,
+    Handshake, MoverEntry, Request, Response, ServeError, ShardEpochs, VERBS,
 };
 use lockfree_pagerank::{api, Algorithm, BatchSpec, BatchUpdate, PagerankOptions};
 use proptest::prelude::*;
@@ -209,6 +209,22 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         })
 }
 
+/// A deterministic [`ShardEpochs`] stamp: scalar for even picks, a
+/// 1–4-shard vector otherwise — so both wire forms (`epoch=` /
+/// `epochs=`) run through every aggregated-reply law.
+fn shard_epochs(epoch: u64, pick: usize) -> ShardEpochs {
+    if pick % 2 == 0 {
+        ShardEpochs::Single(epoch)
+    } else {
+        let shards = 1 + (epoch % 4) as usize;
+        ShardEpochs::Sharded(
+            (0..shards)
+                .map(|i| epoch.wrapping_add(i as u64) % 1_000_000)
+                .collect(),
+        )
+    }
+}
+
 /// Every non-error [`Response`] variant (errors get their own exact
 /// round-trip property below).
 fn response_strategy() -> impl Strategy<Value = Response> {
@@ -226,21 +242,33 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 let status = ["converged", "max-iterations", "diverged", "skipped"][pick];
                 let algo = ["DFLF", "DFBB", "NDLF", "STBB"][pick];
                 match variant {
-                    0 => Response::Hello {
-                        version: v,
-                        algorithm: algo.to_string(),
-                        verbs: VERBS[..1 + count % VERBS.len()]
-                            .iter()
-                            .map(|s| s.to_string())
-                            .collect(),
-                    },
+                    0 => Response::Hello(if pick % 2 == 0 {
+                        Handshake::V1 {
+                            algorithm: algo.to_string(),
+                            verbs: VERBS[..1 + count % VERBS.len()]
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect(),
+                        }
+                    } else {
+                        let all = [caps::CORE, caps::SUBS, caps::VIEWS, caps::FOLLOW, caps::WAL];
+                        Handshake::V2 {
+                            algorithm: algo.to_string(),
+                            shards: 1 + count % 16,
+                            strategy: "block".to_string(),
+                            caps: all[..1 + count % all.len()]
+                                .iter()
+                                .map(|s| s.to_string())
+                                .collect(),
+                        }
+                    }),
                     1 => Response::Staged { count },
                     2 => Response::BatchOk {
                         batch: count,
                         m: count * 2,
                         status: status.to_string(),
                         iters: pick,
-                        epoch,
+                        epochs: shard_epochs(epoch, pick),
                     },
                     3 => Response::Rank {
                         v,
@@ -250,7 +278,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     },
                     4 => Response::TopK {
                         entries: ranks,
-                        epoch,
+                        epochs: shard_epochs(epoch, pick),
                         view,
                     },
                     5 => Response::Movers {
@@ -259,7 +287,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                             .zip(deltas.iter())
                             .map(|(&(v, rank), &delta)| MoverEntry { v, rank, delta })
                             .collect(),
-                        epoch,
+                        epochs: shard_epochs(epoch, pick),
                         view,
                     },
                     6 => Response::Stats {
@@ -268,9 +296,11 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                         steps: epoch,
                         staged: pick,
                         algo: algo.to_string(),
-                        epoch,
+                        epochs: shard_epochs(epoch, pick),
                         wal: (pick >= 2).then(|| (epoch, count as u64 * 7)),
                         slack: (pick % 2 == 1).then_some(u64::from(v) % 1001),
+                        queues: (pick == 3)
+                            .then(|| (0..1 + epoch % 4).map(|i| i * 3 % 17).collect()),
                     },
                     7 => Response::Subscribed { v, eps: rank },
                     8 => Response::Unsubscribed { v },
@@ -300,7 +330,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
 /// wire texts embed them between fixed markers).
 fn error_strategy() -> impl Strategy<Value = ServeError> {
     (
-        (0usize..23, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
+        (0usize..24, 0u32..1_000_000, 0u32..1_000_000, 0usize..10_000),
         (0u64..u64::MAX, 1usize..13, 0u32..2),
     )
         .prop_map(|((variant, u, v, n), (nseed, nlen, flip))| {
@@ -331,6 +361,11 @@ fn error_strategy() -> impl Strategy<Value = ServeError> {
                 19 => ServeError::ReadOnlyReplica,
                 20 => ServeError::WalUnavailable(tok),
                 21 => ServeError::FollowReordered,
+                22 => ServeError::ShardedUnavailable(if flip == 0 {
+                    "views".to_string()
+                } else {
+                    "follow".to_string()
+                }),
                 _ => ServeError::RecoverFailed(tok),
             }
         })

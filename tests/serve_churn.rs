@@ -104,7 +104,10 @@ fn temporal_churn_with_subscriptions_and_views() {
                 assert_eq!(sources, 2);
             }
             Response::Staged { .. } => {}
-            Response::BatchOk { epoch: e, .. } => {
+            Response::BatchOk { epochs: e, .. } => {
+                let e = e
+                    .scalar()
+                    .expect("single-shard commit carries a scalar epoch");
                 assert_eq!(e, epoch + 1, "commits must advance the epoch by one");
                 epoch = e;
             }
@@ -118,10 +121,10 @@ fn temporal_churn_with_subscriptions_and_views() {
             }
             Response::Movers {
                 entries,
-                epoch: e,
+                epochs: e,
                 view,
             } => {
-                assert_eq!(e, epoch);
+                assert_eq!(e.scalar(), Some(epoch));
                 assert_eq!(view, None);
                 assert!(entries.len() <= 5);
                 movers_seen += 1;
@@ -133,8 +136,8 @@ fn temporal_churn_with_subscriptions_and_views() {
                 assert_eq!(e, epoch);
                 assert_eq!(view.as_deref(), Some("ego"));
             }
-            Response::Stats { m, epoch: e, .. } => {
-                assert_eq!(e, epoch);
+            Response::Stats { m, epochs: e, .. } => {
+                assert_eq!(e.scalar(), Some(epoch));
                 assert_eq!(m, replica.num_edges(), "served graph drifted from replica");
             }
             Response::Bye => {}
